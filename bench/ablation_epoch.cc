@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ablation — epoch length of the adaptive thresholding scheme. Short
+ * epochs react faster to phase changes but estimate accuracy on
+ * fewer resolved prefetches; long epochs the reverse.
+ */
+#include <cstdio>
+
+#include "filter/policies.h"
+#include "sim/experiment.h"
+#include "sim/runner.h"
+#include "trace/suites.h"
+
+using namespace moka;
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = parse_bench_args(argc, argv);
+    const auto roster = args.select(seen_workloads());
+    const L1dPrefetcherKind k = L1dPrefetcherKind::kBerti;
+
+    std::printf("== Ablation: adaptive-scheme epoch length "
+                "(Berti+DRIPPER) ==\n\n");
+
+    TablePrinter table({"epoch insts", "geomean"});
+    table.print_header();
+    for (std::uint64_t epoch : {8'192ull, 32'768ull, 65'536ull,
+                                262'144ull}) {
+        SuiteAggregator agg;
+        for (const WorkloadSpec &spec : roster) {
+            MachineConfig base_cfg = make_config(k, scheme_discard());
+            const RunMetrics base = run_single(base_cfg, spec, args.run);
+            MachineConfig cfg = make_config(k, scheme_dripper(k));
+            cfg.epoch_insts = epoch;
+            cfg.interval_insts = std::min<std::uint64_t>(
+                cfg.interval_insts, epoch / 2);
+            const RunMetrics m = run_single(cfg, spec, args.run);
+            agg.add(spec.suite, speedup(m, base));
+        }
+        char e[32], g[32];
+        std::snprintf(e, sizeof(e), "%llu",
+                      static_cast<unsigned long long>(epoch));
+        std::snprintf(g, sizeof(g), "%+.2f%%",
+                      (agg.overall_geomean() - 1.0) * 100.0);
+        table.print_row({e, g});
+    }
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablation — DRIPPER structure sizing (paper §III-E1 notes the
+ * weight-table/vUB/pUB sizes were selected empirically). Sweeps each
+ * structure independently around the shipped configuration.
+ */
+#include <cstdio>
+
+#include "filter/policies.h"
+#include "sim/experiment.h"
+#include "sim/runner.h"
+#include "trace/suites.h"
+
+using namespace moka;
+
+namespace {
+
+SchemeConfig
+sized(const char *label, unsigned wt, unsigned vub, unsigned pub)
+{
+    SchemeConfig s;
+    s.name = label;
+    s.policy = PgcPolicy::kFilter;
+    s.make_filter = [wt, vub, pub] {
+        MokaConfig cfg = dripper_config(L1dPrefetcherKind::kBerti);
+        cfg.wt_entries = wt;
+        cfg.vub_entries = vub;
+        cfg.pub_entries = pub;
+        return std::make_unique<MokaFilter>(cfg);
+    };
+    return s;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = parse_bench_args(argc, argv);
+    const auto roster = args.select(seen_workloads());
+    const L1dPrefetcherKind k = L1dPrefetcherKind::kBerti;
+
+    std::printf("== Ablation: DRIPPER structure sizes (Berti) ==\n\n");
+
+    const SchemeConfig schemes[] = {
+        sized("WT=128", 128, 4, 128),
+        sized("WT=1024 (paper)", 1024, 4, 128),
+        sized("WT=4096", 4096, 4, 128),
+        sized("vUB=1", 1024, 1, 128),
+        sized("vUB=16", 1024, 16, 128),
+        sized("pUB=32", 1024, 4, 32),
+        sized("pUB=512", 1024, 4, 512),
+    };
+
+    TablePrinter table({"config", "geomean", "storage KB"});
+    table.print_header();
+    for (const SchemeConfig &scheme : schemes) {
+        SuiteAggregator agg;
+        for (const WorkloadSpec &spec : roster) {
+            const RunMetrics base = run_single(
+                make_config(k, scheme_discard()), spec, args.run);
+            const RunMetrics m =
+                run_single(make_config(k, scheme), spec, args.run);
+            agg.add(spec.suite, speedup(m, base));
+        }
+        const FilterPtr f = scheme.make_filter();
+        char g[32], kb[32];
+        std::snprintf(g, sizeof(g), "%+.2f%%",
+                      (agg.overall_geomean() - 1.0) * 100.0);
+        std::snprintf(kb, sizeof(kb), "%.3f",
+                      double(f->storage_bits()) / 8000.0);
+        table.print_row({scheme.name, g, kb});
+    }
+    return 0;
+}

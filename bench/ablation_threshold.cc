@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Ablation — the adaptive thresholding scheme (paper §III-C3). Runs
+ * DRIPPER with several static activation thresholds against the
+ * full adaptive scheme.
+ *
+ * Expected: no single static T_a matches the adaptive scheme across
+ * the roster (the paper's argument for epoch-based adaptation).
+ */
+#include <cstdio>
+
+#include "filter/policies.h"
+#include "sim/experiment.h"
+#include "sim/runner.h"
+#include "trace/suites.h"
+
+using namespace moka;
+
+namespace {
+
+SchemeConfig
+dripper_static(int t_static)
+{
+    SchemeConfig s;
+    s.name = "DRIPPER@T=" + std::to_string(t_static);
+    s.policy = PgcPolicy::kFilter;
+    s.make_filter = [t_static] {
+        MokaConfig cfg = dripper_config(L1dPrefetcherKind::kBerti);
+        cfg.name = "static";
+        cfg.threshold.adaptive = false;
+        cfg.threshold.t_static = t_static;
+        return std::make_unique<MokaFilter>(cfg);
+    };
+    return s;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = parse_bench_args(argc, argv);
+    const auto roster = args.select(seen_workloads());
+    const L1dPrefetcherKind k = L1dPrefetcherKind::kBerti;
+
+    std::printf("== Ablation: static T_a vs adaptive thresholding "
+                "(Berti+DRIPPER) ==\n\n");
+
+    std::vector<SchemeConfig> schemes;
+    for (int t : {-4, -2, 0, 3, 6, 10}) {
+        schemes.push_back(dripper_static(t));
+    }
+    schemes.push_back(scheme_dripper(k));
+
+    TablePrinter table({"scheme", "geomean", "min", "max"});
+    table.print_header();
+    for (const SchemeConfig &scheme : schemes) {
+        SuiteAggregator agg;
+        double lo = 1e9, hi = -1e9;
+        for (const WorkloadSpec &spec : roster) {
+            const RunMetrics base = run_single(
+                make_config(k, scheme_discard()), spec, args.run);
+            const RunMetrics m =
+                run_single(make_config(k, scheme), spec, args.run);
+            const double s = speedup(m, base);
+            agg.add(spec.suite, s);
+            lo = std::min(lo, s);
+            hi = std::max(hi, s);
+        }
+        char g[32], a[32], b[32];
+        std::snprintf(g, sizeof(g), "%+.2f%%",
+                      (agg.overall_geomean() - 1.0) * 100.0);
+        std::snprintf(a, sizeof(a), "%+.2f%%", (lo - 1.0) * 100.0);
+        std::snprintf(b, sizeof(b), "%+.2f%%", (hi - 1.0) * 100.0);
+        table.print_row({scheme.name, g, a, b});
+    }
+    return 0;
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Component microbenchmarks (google-benchmark): throughput of the
+ * structures on the simulated hot path — MokaFilter prediction and
+ * training, cache accesses, TLB lookups, page walks, prefetcher
+ * operate calls, and end-to-end simulated instructions per second.
+ */
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.h"
+#include "dram/dram.h"
+#include "filter/policies.h"
+#include "prefetch/berti.h"
+#include "prefetch/bop.h"
+#include "prefetch/ipcp.h"
+#include "sim/runner.h"
+#include "trace/suites.h"
+#include "vmem/walker.h"
+
+using namespace moka;
+
+static void
+BM_FilterPredict(benchmark::State &state)
+{
+    FilterPtr f = make_dripper(L1dPrefetcherKind::kBerti);
+    SystemSnapshot snap;
+    Addr va = 0x10000000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            f->permit(0x400123, va, 5, va + 5 * 64, snap));
+        va += 64;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FilterPredict);
+
+static void
+BM_FilterTrainCycle(benchmark::State &state)
+{
+    FilterPtr f = make_dripper(L1dPrefetcherKind::kBerti);
+    SystemSnapshot snap;
+    Addr va = 0x10000000;
+    for (auto _ : state) {
+        if (f->permit(0x400123, va, 5, va + 5 * 64, snap)) {
+            f->on_pgc_issued(va + 5 * 64, va + 5 * 64);
+            f->on_pgc_eviction(va + 5 * 64, (va & 128) != 0);
+        } else {
+            f->on_l1d_demand_miss(va + 5 * 64);
+        }
+        va += 64;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FilterTrainCycle);
+
+static void
+BM_CacheAccess(benchmark::State &state)
+{
+    DramConfig dcfg;
+    Dram dram(dcfg);
+    CacheConfig cfg;
+    cfg.sets = 64;
+    cfg.ways = 8;
+    Cache cache(cfg, &dram);
+    Addr a = 0;
+    Cycle now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(a, AccessType::kLoad, now));
+        a = (a + 64) % (1 << 20);
+        now += 2;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+static void
+BM_TlbLookup(benchmark::State &state)
+{
+    TlbConfig cfg;
+    cfg.sets = 16;
+    cfg.ways = 4;
+    Tlb tlb(cfg);
+    for (Addr p = 0; p < 64; ++p) {
+        tlb.fill(p << kPageBits, p << kPageBits, false, false);
+    }
+    Addr va = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tlb.lookup(va, 0, true));
+        va = (va + kPageSize) % (128 << kPageBits);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TlbLookup);
+
+static void
+BM_PageWalk(benchmark::State &state)
+{
+    DramConfig dcfg;
+    Dram dram(dcfg);
+    CacheConfig l2cfg;
+    l2cfg.sets = 1024;
+    l2cfg.ways = 8;
+    Cache l2(l2cfg, &dram);
+    VmemConfig vcfg;
+    PageTable pt(vcfg);
+    WalkerConfig wcfg;
+    PageWalker walker(wcfg, &pt, &l2);
+    Addr va = 0x10000000;
+    Cycle now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(walker.walk(va, now, false));
+        va += kPageSize;
+        now += 50;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageWalk);
+
+static void
+BM_PrefetcherOperate(benchmark::State &state)
+{
+    const L1dPrefetcherKind kinds[] = {L1dPrefetcherKind::kBerti,
+                                       L1dPrefetcherKind::kIpcp,
+                                       L1dPrefetcherKind::kBop};
+    PrefetcherPtr pf = make_l1d_prefetcher(kinds[state.range(0)]);
+    std::vector<PrefetchRequest> out;
+    PrefetchContext ctx;
+    ctx.pc = 0x400123;
+    for (auto _ : state) {
+        ctx.vaddr += 64;
+        ctx.now += 20;
+        out.clear();
+        pf->on_access(ctx, out);
+        benchmark::DoNotOptimize(out.size());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrefetcherOperate)->Arg(0)->Arg(1)->Arg(2);
+
+static void
+BM_SimulatedMips(benchmark::State &state)
+{
+    // End-to-end: simulated instructions per wall-clock second.
+    const WorkloadSpec spec = seen_workloads().front();
+    const MachineConfig cfg = make_config(
+        L1dPrefetcherKind::kBerti,
+        scheme_dripper(L1dPrefetcherKind::kBerti));
+    std::vector<WorkloadPtr> w;
+    w.push_back(make_workload(spec));
+    Machine machine(cfg, std::move(w));
+    for (auto _ : state) {
+        machine.run(10000);
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatedMips);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Scheme explorer: run any roster workload under every page-cross
+ * scheme with a chosen L1D prefetcher, and print the full metric
+ * panel (IPC, MPKIs, page-cross usefulness, walks). This is the
+ * "which policy should my core use for this workload?" workflow.
+ *
+ * Usage:
+ *   scheme_explorer [workload-name] [berti|ipcp|bop] [insts]
+ *   scheme_explorer --list        # show roster names
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "filter/policies.h"
+#include "sim/experiment.h"
+#include "sim/runner.h"
+#include "trace/suites.h"
+
+using namespace moka;
+
+int
+main(int argc, char **argv)
+{
+    const std::vector<WorkloadSpec> roster = seen_workloads();
+
+    if (argc > 1 && std::strcmp(argv[1], "--list") == 0) {
+        for (const WorkloadSpec &s : roster) {
+            std::printf("%-28s %s\n", s.name.c_str(), s.suite.c_str());
+        }
+        return 0;
+    }
+
+    const std::string name = argc > 1 ? argv[1] : "parsec.stream.0";
+    const L1dPrefetcherKind kind =
+        parse_l1d_kind(argc > 2 ? argv[2] : "berti");
+    RunConfig run;
+    if (argc > 3) {
+        run.measure_insts = std::strtoull(argv[3], nullptr, 10);
+        run.warmup_insts = run.measure_insts / 4;
+    }
+
+    const WorkloadSpec *spec = nullptr;
+    for (const WorkloadSpec &s : roster) {
+        if (s.name == name) {
+            spec = &s;
+        }
+    }
+    if (spec == nullptr) {
+        std::fprintf(stderr,
+                     "unknown workload '%s' (try --list)\n", name.c_str());
+        return 1;
+    }
+
+    std::printf("workload %s, prefetcher %s, %llu measured "
+                "instructions\n\n",
+                spec->name.c_str(), argc > 2 ? argv[2] : "berti",
+                static_cast<unsigned long long>(run.measure_insts));
+
+    const SchemeConfig schemes[] = {
+        scheme_discard(),      scheme_permit(),
+        scheme_discard_ptw(),  scheme_iso_storage(),
+        scheme_ppf(false),     scheme_ppf(true),
+        scheme_dripper(kind),  scheme_dripper_sf(kind),
+    };
+
+    TablePrinter table({"scheme", "IPC", "speedup", "L1D", "LLC", "dTLB",
+                        "sTLB", "pgc+", "pgc-", "walks d/s"});
+    table.print_header();
+    RunMetrics base;
+    for (const SchemeConfig &scheme : schemes) {
+        const RunMetrics m =
+            run_single(make_config(kind, scheme), *spec, run);
+        if (scheme.policy == PgcPolicy::kDiscard) {
+            base = m;
+        }
+        char ipc[16], spd[16], l1d[16], llc[16], dtlb[16], stlb[16],
+            pu[16], pl[16], walks[32];
+        std::snprintf(ipc, sizeof(ipc), "%.3f", m.ipc());
+        std::snprintf(spd, sizeof(spd), "%+.2f%%",
+                      (speedup(m, base) - 1.0) * 100.0);
+        std::snprintf(l1d, sizeof(l1d), "%.1f", m.l1d_mpki());
+        std::snprintf(llc, sizeof(llc), "%.1f", m.llc_mpki());
+        std::snprintf(dtlb, sizeof(dtlb), "%.1f", m.dtlb_mpki());
+        std::snprintf(stlb, sizeof(stlb), "%.1f", m.stlb_mpki());
+        std::snprintf(pu, sizeof(pu), "%llu",
+                      static_cast<unsigned long long>(m.pgc_useful));
+        std::snprintf(pl, sizeof(pl), "%llu",
+                      static_cast<unsigned long long>(m.pgc_useless));
+        std::snprintf(walks, sizeof(walks), "%llu/%llu",
+                      static_cast<unsigned long long>(m.demand_walks),
+                      static_cast<unsigned long long>(m.spec_walks));
+        table.print_row({scheme.name, ipc, spd, l1d, llc, dtlb, stlb, pu,
+                         pl, walks});
+    }
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Virtual-memory study: how footprint drives TLB pressure and what
+ * page-cross prefetching does about it. Sweeps a streaming kernel
+ * from dTLB-resident to sTLB-busting footprints and reports dTLB and
+ * sTLB MPKI, demand/speculative walks, and IPC under Discard vs
+ * Permit vs DRIPPER — the microarchitectural story behind the
+ * paper's Fig. 4.
+ */
+#include <cstdio>
+
+#include "filter/policies.h"
+#include "sim/experiment.h"
+#include "sim/runner.h"
+#include "trace/generators.h"
+
+using namespace moka;
+
+namespace {
+
+/** Build an on-the-fly stream workload of a given footprint. */
+WorkloadPtr
+stream_of(Addr footprint, std::uint64_t seed)
+{
+    StreamParams p;
+    p.footprint = footprint;
+    p.streams = 2;
+    p.stride = 256;  // 4 lines: frequent page crossings
+    InterleaveParams ip;
+    ip.mem_ratio = 0.25;
+    return make_synthetic("sweep", make_stream_kernel(p), ip, seed);
+}
+
+RunMetrics
+measure(Addr footprint, const SchemeConfig &scheme)
+{
+    MachineConfig cfg = make_config(L1dPrefetcherKind::kBerti, scheme);
+    std::vector<WorkloadPtr> w;
+    w.push_back(stream_of(footprint, 123));
+    Machine machine(cfg, std::move(w));
+    machine.run(150'000);
+    machine.start_measurement();
+    machine.run(500'000);
+    return machine.measured(0);
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("dTLB reach = 64 x 4KB = 256KB; sTLB reach = 1536 x 4KB "
+                "= 6MB\n\n");
+    TablePrinter table({"footprint", "scheme", "IPC", "dTLB MPKI",
+                        "sTLB MPKI", "walks d", "walks s", "pgc acc"});
+    table.print_header();
+
+    const Addr footprints[] = {Addr{128} << 10, Addr{1} << 20,
+                               Addr{4} << 20, Addr{16} << 20,
+                               Addr{64} << 20};
+    for (Addr fp : footprints) {
+        const SchemeConfig schemes[] = {
+            scheme_discard(), scheme_permit(),
+            scheme_dripper(L1dPrefetcherKind::kBerti)};
+        for (const SchemeConfig &scheme : schemes) {
+            const RunMetrics m = measure(fp, scheme);
+            char fps[16], ipc[16], d[16], s[16], wd[16], ws[16], acc[16];
+            std::snprintf(fps, sizeof(fps), "%lluKB",
+                          static_cast<unsigned long long>(fp >> 10));
+            std::snprintf(ipc, sizeof(ipc), "%.3f", m.ipc());
+            std::snprintf(d, sizeof(d), "%.2f", m.dtlb_mpki());
+            std::snprintf(s, sizeof(s), "%.2f", m.stlb_mpki());
+            std::snprintf(wd, sizeof(wd), "%llu",
+                          static_cast<unsigned long long>(m.demand_walks));
+            std::snprintf(ws, sizeof(ws), "%llu",
+                          static_cast<unsigned long long>(m.spec_walks));
+            std::snprintf(acc, sizeof(acc), "%.2f", m.pgc_accuracy());
+            table.print_row({fps, scheme.name, ipc, d, s, wd, ws, acc});
+        }
+    }
+    std::printf("\nExpected: page-cross prefetching turns demand walks "
+                "into speculative ones\nand erases dTLB misses once the "
+                "footprint exceeds each TLB's reach.\n");
+    return 0;
+}

@@ -1,0 +1,225 @@
+#include "cache/cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bitops.h"
+
+namespace moka {
+
+Cache::Cache(const CacheConfig &config, MemoryLevel *lower)
+    : cfg_(config), lower_(lower),
+      blocks_(static_cast<std::size_t>(config.sets) * config.ways),
+      repl_(make_replacement(config.replacement, config.sets,
+                             config.ways))
+{
+    assert(is_pow2(cfg_.sets));
+}
+
+std::uint32_t
+Cache::set_index(Addr paddr) const
+{
+    return static_cast<std::uint32_t>(block_number(paddr) &
+                                      (cfg_.sets - 1));
+}
+
+Cache::Block *
+Cache::find(Addr paddr, std::uint32_t &way)
+{
+    const Addr tag = block_number(paddr);
+    Block *row = &blocks_[static_cast<std::size_t>(set_index(paddr)) *
+                          cfg_.ways];
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        if (row[w].valid && row[w].tag == tag) {
+            way = w;
+            return &row[w];
+        }
+    }
+    return nullptr;
+}
+
+const Cache::Block *
+Cache::find(Addr paddr) const
+{
+    std::uint32_t way;
+    return const_cast<Cache *>(this)->find(paddr, way);
+}
+
+bool
+Cache::probe(Addr paddr) const
+{
+    return find(paddr) != nullptr;
+}
+
+unsigned
+Cache::inflight_misses(Cycle now) const
+{
+    unsigned n = 0;
+    for (Cycle c : inflight_) {
+        if (c > now) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+void
+Cache::mark_used(Block &b)
+{
+    if (b.prefetched && !b.used) {
+        ++stats_.pf.useful;
+        if (b.pgc) {
+            ++stats_.pf.pgc_useful;
+            if (listener_ != nullptr) {
+                listener_->on_pgc_first_use(b.tag << kBlockBits);
+            }
+        }
+    }
+    b.used = true;
+}
+
+std::uint32_t
+Cache::pick_victim(std::uint32_t set, Cycle now)
+{
+    Block *row = &blocks_[static_cast<std::size_t>(set) * cfg_.ways];
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        if (!row[w].valid) {
+            return w;
+        }
+    }
+    const std::uint32_t way = repl_->victim(set);
+    Block *victim = &row[way];
+
+    // Evict: resolve prefetch usefulness and write back dirt.
+    if (victim->prefetched && !victim->used) {
+        ++stats_.pf.useless;
+        if (victim->pgc) {
+            ++stats_.pf.pgc_useless;
+        }
+    }
+    if (listener_ != nullptr) {
+        listener_->on_eviction(victim->tag << kBlockBits,
+                               victim->prefetched, victim->pgc,
+                               victim->used);
+    }
+    if (victim->dirty) {
+        ++stats_.writebacks;
+        if (lower_ != nullptr) {
+            lower_->access(victim->tag << kBlockBits,
+                           AccessType::kWriteback, now);
+        }
+    }
+    victim->valid = false;
+    return way;
+}
+
+AccessResult
+Cache::access(Addr paddr, AccessType type, Cycle now, bool pgc_prefetch)
+{
+    // Port contention: one request per cycle enters the pipeline.
+    const Cycle start = std::max(now, next_port_free_);
+    next_port_free_ = start + 1;
+    Cycle t = start + cfg_.latency;
+
+    const bool demand = is_demand(type);
+    if (demand) {
+        ++stats_.demand.accesses;
+    } else if (type == AccessType::kPageWalk) {
+        ++stats_.walk.accesses;
+    } else if (type == AccessType::kPrefetch) {
+        ++stats_.prefetch_lookups;
+    }
+
+    std::uint32_t way = 0;
+    Block *b = find(paddr, way);
+    if (b != nullptr) {
+        repl_->on_hit(set_index(paddr), way);
+        AccessResult r;
+        if (b->fill_done > t && type != AccessType::kWriteback) {
+            // In-flight fill: merge (counts as a miss, pays residual).
+            r.done = b->fill_done;
+            r.merged = true;
+            if (demand) {
+                ++stats_.demand.misses;
+                mark_used(*b);
+            } else if (type == AccessType::kPageWalk) {
+                ++stats_.walk.misses;
+            }
+        } else {
+            r.done = t;
+            r.hit = true;
+            if (demand) {
+                mark_used(*b);
+            }
+        }
+        if (type == AccessType::kStore || type == AccessType::kWriteback) {
+            b->dirty = true;
+        }
+        return r;
+    }
+
+    // Miss.
+    if (demand) {
+        ++stats_.demand.misses;
+    } else if (type == AccessType::kPageWalk) {
+        ++stats_.walk.misses;
+    }
+
+    if (type == AccessType::kWriteback) {
+        // No allocation on writeback miss; forward the dirt downwards.
+        AccessResult r;
+        if (lower_ != nullptr) {
+            r = lower_->access(paddr, AccessType::kWriteback, t);
+        } else {
+            r.done = t;
+        }
+        return r;
+    }
+
+    // MSHR occupancy: when all entries are in flight the request
+    // stalls until the oldest completes.
+    std::erase_if(inflight_, [t](Cycle c) { return c <= t; });
+    if (inflight_.size() >= cfg_.mshr_entries) {
+        const Cycle oldest = *std::min_element(inflight_.begin(),
+                                               inflight_.end());
+        t = oldest;
+        std::erase_if(inflight_, [t](Cycle c) { return c <= t; });
+    }
+
+    Cycle fill_done = t;
+    if (lower_ != nullptr) {
+        fill_done = lower_->access(paddr, type, t, pgc_prefetch).done +
+                    cfg_.latency;
+    }
+    inflight_.push_back(fill_done);
+
+    const std::uint32_t set = set_index(paddr);
+    const std::uint32_t victim_way = pick_victim(set, t);
+    Block &nb = blocks_[static_cast<std::size_t>(set) * cfg_.ways +
+                        victim_way];
+    nb.valid = true;
+    nb.tag = block_number(paddr);
+    nb.dirty = (type == AccessType::kStore);
+    nb.prefetched = (type == AccessType::kPrefetch);
+    nb.pgc = cfg_.track_pgc && pgc_prefetch &&
+             type == AccessType::kPrefetch;
+    nb.used = false;
+    nb.fill_done = fill_done;
+    repl_->on_fill(set, victim_way);
+
+    if (type == AccessType::kPrefetch) {
+        ++stats_.pf.issued;
+        if (nb.pgc || (pgc_prefetch && !cfg_.track_pgc)) {
+            ++stats_.pf.pgc_issued;
+        }
+    } else if (demand) {
+        // A demand miss fills a demand block; mark used on arrival.
+        nb.used = true;
+    }
+
+    AccessResult r;
+    r.done = fill_done;
+    return r;
+}
+
+}  // namespace moka

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Set-associative write-back cache with LRU replacement, MSHR-style
+ * in-flight merging, port contention, and per-block prefetch
+ * metadata. The L1D instance additionally carries the paper's PCB
+ * (Page-Cross Bit) per block and reports page-cross prefetch
+ * usefulness through a listener, which is what drives MOKA training.
+ */
+#ifndef MOKASIM_CACHE_CACHE_H
+#define MOKASIM_CACHE_CACHE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/memory_level.h"
+#include "cache/replacement.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace moka {
+
+/** Geometry and timing of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint32_t sets = 64;      //!< power of two
+    std::uint32_t ways = 8;
+    Cycle latency = 4;            //!< lookup + fill latency
+    std::uint32_t mshr_entries = 8;
+    bool track_pgc = false;       //!< maintain PCB bits (L1D only)
+    ReplacementKind replacement = ReplacementKind::kLru;
+};
+
+/**
+ * Observer of L1D block lifetime events needed by a Page-Cross
+ * Filter: first demand use of a PGC-prefetched block (positive
+ * training through pUB) and evictions (negative training for unused
+ * PCB blocks).
+ */
+class CacheListener
+{
+  public:
+    virtual ~CacheListener() = default;
+
+    /** A block with PCB set served its first demand access. */
+    virtual void on_pgc_first_use(Addr block_paddr) = 0;
+
+    /**
+     * A valid block was evicted.
+     *
+     * @param block_paddr block-aligned physical address
+     * @param prefetched  block was filled by a prefetch
+     * @param pgc         block's PCB was set
+     * @param used        block served at least one demand access
+     */
+    virtual void on_eviction(Addr block_paddr, bool prefetched, bool pgc,
+                             bool used) = 0;
+};
+
+/** Aggregate statistics of one cache level. */
+struct CacheStats
+{
+    AccessStats demand;          //!< loads, stores, instruction fetches
+    AccessStats walk;            //!< page-table walker references
+    std::uint64_t writebacks = 0;
+    std::uint64_t prefetch_lookups = 0;  //!< prefetch requests observed
+    PrefetchStats pf;            //!< prefetch effectiveness
+};
+
+/** One cache level; lower level wired at construction. */
+class Cache : public MemoryLevel
+{
+  public:
+    /**
+     * @param config geometry/timing
+     * @param lower  next level (cache or DRAM); may be nullptr for
+     *               tests, in which case misses complete locally
+     */
+    Cache(const CacheConfig &config, MemoryLevel *lower);
+
+    AccessResult access(Addr paddr, AccessType type, Cycle now,
+                        bool pgc_prefetch = false) override;
+
+    /** Install an L1D lifetime listener (used by Page-Cross Filters). */
+    void set_listener(CacheListener *listener) { listener_ = listener; }
+
+    /** True when @p paddr's block is resident (no state change). */
+    bool probe(Addr paddr) const;
+
+    /** Counters. */
+    const CacheStats &stats() const { return stats_; }
+
+    /** In-flight demand misses younger than @p now (ROB-pressure cue). */
+    unsigned inflight_misses(Cycle now) const;
+
+    /** Config echo. */
+    const CacheConfig &config() const { return cfg_; }
+
+  private:
+    struct Block
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;
+        bool pgc = false;      //!< the paper's Page-Cross Bit (PCB)
+        bool used = false;     //!< served >=1 demand access
+        Cycle fill_done = 0;   //!< data arrival cycle
+    };
+
+    std::uint32_t set_index(Addr paddr) const;
+    Block *find(Addr paddr, std::uint32_t &way);
+    const Block *find(Addr paddr) const;
+    std::uint32_t pick_victim(std::uint32_t set, Cycle now);
+    void mark_used(Block &b);
+
+    CacheConfig cfg_;
+    MemoryLevel *lower_;
+    CacheListener *listener_ = nullptr;
+    std::vector<Block> blocks_;       //!< sets * ways, row-major
+    std::vector<Cycle> inflight_;     //!< outstanding fill completions
+    Cycle next_port_free_ = 0;
+    std::unique_ptr<ReplacementPolicy> repl_;
+    CacheStats stats_;
+};
+
+}  // namespace moka
+
+#endif  // MOKASIM_CACHE_CACHE_H

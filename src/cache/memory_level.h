@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The MemoryLevel interface: anything a cache can forward a request
+ * to (a lower cache or the DRAM model). mokasim composes latencies:
+ * an access call returns its completion cycle, and contention is
+ * carried by per-level port/bank availability plus MSHR occupancy.
+ */
+#ifndef MOKASIM_CACHE_MEMORY_LEVEL_H
+#define MOKASIM_CACHE_MEMORY_LEVEL_H
+
+#include "common/types.h"
+
+namespace moka {
+
+/** Outcome of a memory-level access. */
+struct AccessResult
+{
+    Cycle done = 0;      //!< cycle at which the data is available
+    bool hit = false;    //!< true for a plain hit (excludes merges)
+    bool merged = false; //!< matched an in-flight fill (partial miss)
+};
+
+/** One level of the memory hierarchy (cache or DRAM). */
+class MemoryLevel
+{
+  public:
+    virtual ~MemoryLevel() = default;
+
+    /**
+     * Perform an access.
+     *
+     * @param paddr        physical byte address
+     * @param type         demand/prefetch/walk/writeback
+     * @param now          cycle the request arrives at this level
+     * @param pgc_prefetch true when this is a page-cross prefetch fill
+     *                     (tracked only by levels configured to care)
+     * @return completion information
+     */
+    virtual AccessResult access(Addr paddr, AccessType type, Cycle now,
+                                bool pgc_prefetch = false) = 0;
+};
+
+}  // namespace moka
+
+#endif  // MOKASIM_CACHE_MEMORY_LEVEL_H

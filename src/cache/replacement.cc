@@ -1,0 +1,137 @@
+#include "cache/replacement.h"
+
+namespace moka {
+namespace {
+
+/** Timestamp LRU. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    LruPolicy(std::uint32_t sets, std::uint32_t ways)
+        : ways_(ways), stamps_(std::size_t(sets) * ways, 0)
+    {
+    }
+
+    void
+    on_hit(std::uint32_t set, std::uint32_t way) override
+    {
+        stamps_[std::size_t(set) * ways_ + way] = ++clock_;
+    }
+
+    void
+    on_fill(std::uint32_t set, std::uint32_t way) override
+    {
+        stamps_[std::size_t(set) * ways_ + way] = ++clock_;
+    }
+
+    std::uint32_t
+    victim(std::uint32_t set) override
+    {
+        const std::uint64_t *row = &stamps_[std::size_t(set) * ways_];
+        std::uint32_t v = 0;
+        for (std::uint32_t w = 1; w < ways_; ++w) {
+            if (row[w] < row[v]) {
+                v = w;
+            }
+        }
+        return v;
+    }
+
+    const char *name() const override { return "lru"; }
+
+  private:
+    std::uint32_t ways_;
+    std::vector<std::uint64_t> stamps_;
+    std::uint64_t clock_ = 0;
+};
+
+/** 2-bit SRRIP (Jaleel et al., ISCA 2010). */
+class SrripPolicy : public ReplacementPolicy
+{
+  public:
+    static constexpr std::uint8_t kMaxRrpv = 3;
+
+    SrripPolicy(std::uint32_t sets, std::uint32_t ways)
+        : ways_(ways), rrpv_(std::size_t(sets) * ways, kMaxRrpv)
+    {
+    }
+
+    void
+    on_hit(std::uint32_t set, std::uint32_t way) override
+    {
+        rrpv_[std::size_t(set) * ways_ + way] = 0;
+    }
+
+    void
+    on_fill(std::uint32_t set, std::uint32_t way) override
+    {
+        // Long re-reference prediction on insertion.
+        rrpv_[std::size_t(set) * ways_ + way] = kMaxRrpv - 1;
+    }
+
+    std::uint32_t
+    victim(std::uint32_t set) override
+    {
+        std::uint8_t *row = &rrpv_[std::size_t(set) * ways_];
+        for (;;) {
+            for (std::uint32_t w = 0; w < ways_; ++w) {
+                if (row[w] == kMaxRrpv) {
+                    return w;
+                }
+            }
+            for (std::uint32_t w = 0; w < ways_; ++w) {
+                ++row[w];
+            }
+        }
+    }
+
+    const char *name() const override { return "srrip"; }
+
+  private:
+    std::uint32_t ways_;
+    std::vector<std::uint8_t> rrpv_;
+};
+
+/** Pseudo-random victim. */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    RandomPolicy(std::uint32_t ways, std::uint64_t seed)
+        : ways_(ways), rng_(seed)
+    {
+    }
+
+    void on_hit(std::uint32_t, std::uint32_t) override {}
+    void on_fill(std::uint32_t, std::uint32_t) override {}
+
+    std::uint32_t
+    victim(std::uint32_t) override
+    {
+        return static_cast<std::uint32_t>(rng_.below(ways_));
+    }
+
+    const char *name() const override { return "random"; }
+
+  private:
+    std::uint32_t ways_;
+    Rng rng_;
+};
+
+}  // namespace
+
+std::unique_ptr<ReplacementPolicy>
+make_replacement(ReplacementKind kind, std::uint32_t sets,
+                 std::uint32_t ways, std::uint64_t seed)
+{
+    switch (kind) {
+      case ReplacementKind::kSrrip:
+        return std::make_unique<SrripPolicy>(sets, ways);
+      case ReplacementKind::kRandom:
+        return std::make_unique<RandomPolicy>(ways, seed);
+      case ReplacementKind::kLru:
+      default:
+        return std::make_unique<LruPolicy>(sets, ways);
+    }
+}
+
+}  // namespace moka

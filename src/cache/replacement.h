@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Replacement policies for the set-associative structures. The paper
+ * evaluates LRU everywhere (Table IV); SRRIP and Random are provided
+ * for ablations (bench/ablation_replacement) and for downstream users
+ * whose baselines differ.
+ */
+#ifndef MOKASIM_CACHE_REPLACEMENT_H
+#define MOKASIM_CACHE_REPLACEMENT_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace moka {
+
+/** Replacement policy selector. */
+enum class ReplacementKind : std::uint8_t {
+    kLru,    //!< least-recently-used (paper's Table IV)
+    kSrrip,  //!< static re-reference interval prediction (2-bit)
+    kRandom, //!< pseudo-random victim
+};
+
+/**
+ * Per-set replacement state machine. One instance serves a whole
+ * cache; way state is stored per (set, way) slot.
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** A block at (set, way) was touched by a hit. */
+    virtual void on_hit(std::uint32_t set, std::uint32_t way) = 0;
+
+    /** A block was filled into (set, way). */
+    virtual void on_fill(std::uint32_t set, std::uint32_t way) = 0;
+
+    /** Choose the victim way within @p set (all ways valid). */
+    virtual std::uint32_t victim(std::uint32_t set) = 0;
+
+    /** Identifier for reports. */
+    virtual const char *name() const = 0;
+};
+
+/**
+ * Build a policy instance.
+ *
+ * @param kind which policy
+ * @param sets cache sets
+ * @param ways cache ways
+ * @param seed randomization seed (kRandom only)
+ */
+std::unique_ptr<ReplacementPolicy> make_replacement(ReplacementKind kind,
+                                                    std::uint32_t sets,
+                                                    std::uint32_t ways,
+                                                    std::uint64_t seed = 1);
+
+}  // namespace moka
+
+#endif  // MOKASIM_CACHE_REPLACEMENT_H

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Hash functions used to index perceptron weight tables, prefetcher
+ * metadata tables, and set-index scrambles.
+ */
+#ifndef MOKASIM_COMMON_HASHING_H
+#define MOKASIM_COMMON_HASHING_H
+
+#include <cstdint>
+
+#include "common/bitops.h"
+
+namespace moka {
+
+/** 64-bit finalizer (splitmix64 mix), good avalanche, cheap. */
+constexpr std::uint64_t mix64(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+/** Combine two values into one hash (order-sensitive). */
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b)
+{
+    return mix64(a ^ (b + 0x9E3779B97F4A7C15ull + (a << 6) + (a >> 2)));
+}
+
+/**
+ * Index into a table of @p table_bits entries from a raw feature
+ * value: mix then fold, as in hashed perceptron predictors
+ * (Tarjan & Skadron).
+ */
+constexpr std::uint32_t table_index(std::uint64_t feature,
+                                    unsigned table_bits)
+{
+    return static_cast<std::uint32_t>(fold_xor(mix64(feature), table_bits));
+}
+
+}  // namespace moka
+
+#endif  // MOKASIM_COMMON_HASHING_H

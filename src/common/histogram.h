@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fixed-bin histogram used by the figure harnesses to print the
+ * distributions the paper plots (e.g. useful/useless PGC prefetches).
+ */
+#ifndef MOKASIM_COMMON_HISTOGRAM_H
+#define MOKASIM_COMMON_HISTOGRAM_H
+
+#include <cstdint>
+#include <vector>
+
+namespace moka {
+
+/** Linear-bin histogram over [lo, hi); out-of-range samples clamp. */
+class Histogram
+{
+  public:
+    /** @param bins number of bins (>=1). */
+    Histogram(double lo, double hi, std::size_t bins)
+        : lo_(lo), hi_(hi), counts_(bins, 0)
+    {
+    }
+
+    /** Record one sample. */
+    void add(double v)
+    {
+        double t = (v - lo_) / (hi_ - lo_);
+        if (t < 0.0) t = 0.0;
+        if (t >= 1.0) t = 1.0 - 1e-12;
+        ++counts_[static_cast<std::size_t>(
+            t * static_cast<double>(counts_.size()))];
+        ++total_;
+    }
+
+    /** Count in bin @p i. */
+    std::uint64_t count(std::size_t i) const { return counts_[i]; }
+
+    /** Number of bins. */
+    std::size_t bins() const { return counts_.size(); }
+
+    /** Total samples recorded. */
+    std::uint64_t total() const { return total_; }
+
+    /** Lower edge of bin @p i. */
+    double bin_lo(std::size_t i) const
+    {
+        return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                         static_cast<double>(counts_.size());
+    }
+
+    /** Upper edge of bin @p i. */
+    double bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+}  // namespace moka
+
+#endif  // MOKASIM_COMMON_HISTOGRAM_H

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deterministic, seedable pseudo-random number generator
+ * (xoshiro256**). Every stochastic component in mokasim (workload
+ * generators, frame allocator, mix selection) draws from an explicit
+ * Rng instance so whole experiments replay bit-identically.
+ */
+#ifndef MOKASIM_COMMON_RNG_H
+#define MOKASIM_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace moka {
+
+/** xoshiro256** by Blackman & Vigna (public domain reference code). */
+class Rng
+{
+  public:
+    /** Seeds the four lanes via splitmix64 of @p seed. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto &lane : s_) {
+            x += 0x9E3779B97F4A7C15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+            lane = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t below(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection-free approximation is fine
+        // for simulation purposes (bias < 2^-64 * bound).
+        return static_cast<std::uint64_t>(
+            (static_cast<__uint128_t>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s_[4];
+};
+
+}  // namespace moka
+
+#endif  // MOKASIM_COMMON_RNG_H

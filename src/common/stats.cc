@@ -1,0 +1,58 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace moka {
+
+double
+geomean(const std::vector<double> &ratios)
+{
+    double log_sum = 0.0;
+    std::size_t n = 0;
+    for (double r : ratios) {
+        if (r > 0.0) {
+            log_sum += std::log(r);
+            ++n;
+        }
+    }
+    return n == 0 ? 0.0 : std::exp(log_sum / static_cast<double>(n));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty()) {
+        return 0.0;
+    }
+    double s = 0.0;
+    for (double v : values) {
+        s += v;
+    }
+    return s / static_cast<double>(values.size());
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty()) {
+        return 0.0;
+    }
+    std::sort(values.begin(), values.end());
+    const double rank = (p / 100.0) * static_cast<double>(values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+std::string
+format_pct(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%+.2f%%", v * 100.0);
+    return buf;
+}
+
+}  // namespace moka

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fundamental address/time types and page/block geometry constants
+ * shared by every mokasim subsystem.
+ */
+#ifndef MOKASIM_COMMON_TYPES_H
+#define MOKASIM_COMMON_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace moka {
+
+/** Virtual or physical byte address. */
+using Addr = std::uint64_t;
+
+/** Simulation time in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Count of retired instructions. */
+using InstCount = std::uint64_t;
+
+/** Cache-block geometry (64B blocks everywhere, as in ChampSim). */
+inline constexpr unsigned kBlockBits = 6;
+inline constexpr Addr kBlockSize = Addr{1} << kBlockBits;
+
+/** Base (small) page: 4KB. */
+inline constexpr unsigned kPageBits = 12;
+inline constexpr Addr kPageSize = Addr{1} << kPageBits;
+
+/** Large page: 2MB. */
+inline constexpr unsigned kLargePageBits = 21;
+inline constexpr Addr kLargePageSize = Addr{1} << kLargePageBits;
+
+/** Cache blocks per 4KB page. */
+inline constexpr Addr kBlocksPerPage = kPageSize / kBlockSize;
+
+/** Strip the block offset. */
+constexpr Addr block_addr(Addr a) { return a & ~(kBlockSize - 1); }
+
+/** Block number (address >> 6). */
+constexpr Addr block_number(Addr a) { return a >> kBlockBits; }
+
+/** 4KB virtual/physical page number. */
+constexpr Addr page_number(Addr a) { return a >> kPageBits; }
+
+/** Base address of the enclosing 4KB page. */
+constexpr Addr page_addr(Addr a) { return a & ~(kPageSize - 1); }
+
+/** 2MB page number. */
+constexpr Addr large_page_number(Addr a) { return a >> kLargePageBits; }
+
+/** Byte offset within the 4KB page. */
+constexpr Addr page_offset(Addr a) { return a & (kPageSize - 1); }
+
+/** Cache-line index within the 4KB page (0..63). */
+constexpr Addr line_in_page(Addr a) { return page_offset(a) >> kBlockBits; }
+
+/** True when @p a and @p b fall in different 4KB pages. */
+constexpr bool crosses_page(Addr a, Addr b)
+{
+    return page_number(a) != page_number(b);
+}
+
+/** True when @p a and @p b fall in different 2MB pages. */
+constexpr bool crosses_large_page(Addr a, Addr b)
+{
+    return large_page_number(a) != large_page_number(b);
+}
+
+/** Kind of a memory reference flowing through the hierarchy. */
+enum class AccessType : std::uint8_t {
+    kLoad,          //!< demand data load
+    kStore,         //!< demand data store (write-allocate)
+    kInstFetch,     //!< demand instruction fetch
+    kPrefetch,      //!< cache prefetch (data or instruction)
+    kPageWalk,      //!< page-table walker reference
+    kWriteback,     //!< dirty-victim writeback
+};
+
+/** Returns true for demand (non-speculative) access types. */
+constexpr bool is_demand(AccessType t)
+{
+    return t == AccessType::kLoad || t == AccessType::kStore ||
+           t == AccessType::kInstFetch;
+}
+
+}  // namespace moka
+
+#endif  // MOKASIM_COMMON_TYPES_H

@@ -1,0 +1,63 @@
+#include "core/branch_pred.h"
+
+#include <cstdlib>
+
+#include "common/hashing.h"
+
+namespace moka {
+
+BranchPredictor::BranchPredictor(const BranchPredConfig &config)
+    : cfg_(config),
+      tables_(config.tables,
+              std::vector<SignedSatCounter>(
+                  config.entries, SignedSatCounter(config.weight_bits)))
+{
+}
+
+int
+BranchPredictor::sum_for(Addr pc, IndexArray &indexes) const
+{
+    int sum = 0;
+    for (unsigned t = 0; t < cfg_.tables; ++t) {
+        // Table t sees the PC hashed with an 8-bit history segment.
+        const std::uint64_t seg = (history_ >> (8 * t)) & 0xFF;
+        const std::uint32_t idx = static_cast<std::uint32_t>(
+            mix64(pc ^ (seg << 17) ^ (static_cast<std::uint64_t>(t) << 40)) %
+            cfg_.entries);
+        indexes[t] = idx;
+        sum += tables_[t][idx].value();
+    }
+    return sum;
+}
+
+bool
+BranchPredictor::predict(Addr pc) const
+{
+    ++lookups_;
+    IndexArray indexes;
+    return sum_for(pc, indexes) >= 0;
+}
+
+void
+BranchPredictor::update(Addr pc, bool taken)
+{
+    IndexArray indexes;
+    const int sum = sum_for(pc, indexes);
+    const bool predicted = sum >= 0;
+    if (predicted != taken) {
+        ++mispredicts_;
+    }
+    // Perceptron rule: train on mispredict or weak margin.
+    if (predicted != taken || std::abs(sum) < cfg_.train_threshold) {
+        for (unsigned t = 0; t < cfg_.tables; ++t) {
+            if (taken) {
+                tables_[t][indexes[t]].increment();
+            } else {
+                tables_[t][indexes[t]].decrement();
+            }
+        }
+    }
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+}  // namespace moka

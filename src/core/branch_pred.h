@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Hashed-perceptron branch predictor (Tarjan & Skadron), as listed in
+ * the paper's Table IV core configuration. Several weight tables are
+ * indexed by PC hashed with different global-history segments; the
+ * signed sum decides the direction.
+ */
+#ifndef MOKASIM_CORE_BRANCH_PRED_H
+#define MOKASIM_CORE_BRANCH_PRED_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/sat_counter.h"
+#include "common/types.h"
+
+namespace moka {
+
+/** Predictor geometry. */
+struct BranchPredConfig
+{
+    unsigned tables = 8;        //!< feature tables
+    unsigned entries = 256;     //!< entries per table
+    unsigned weight_bits = 6;
+    int train_threshold = 16;   //!< retrain below this |sum| margin
+};
+
+/** See file comment. */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const BranchPredConfig &config);
+
+    /** Predict the direction of the branch at @p pc. */
+    bool predict(Addr pc) const;
+
+    /** Commit the outcome: trains and shifts the global history. */
+    void update(Addr pc, bool taken);
+
+    /** Branches predicted. */
+    std::uint64_t lookups() const { return lookups_; }
+    /** Mispredicted branches. */
+    std::uint64_t mispredicts() const { return mispredicts_; }
+
+  private:
+    static constexpr unsigned kMaxTables = 16;
+    using IndexArray = std::array<std::uint32_t, kMaxTables>;
+
+    int sum_for(Addr pc, IndexArray &indexes) const;
+
+    BranchPredConfig cfg_;
+    std::vector<std::vector<SignedSatCounter>> tables_;
+    std::uint64_t history_ = 0;
+    mutable std::uint64_t lookups_ = 0;
+    std::uint64_t mispredicts_ = 0;
+};
+
+}  // namespace moka
+
+#endif  // MOKASIM_CORE_BRANCH_PRED_H

@@ -1,0 +1,93 @@
+#include "core/frontend.h"
+
+#include <algorithm>
+
+namespace moka {
+
+Frontend::Frontend(const FrontendConfig &config, Cache *l1i, Tlb *itlb,
+                   Tlb *stlb, PageWalker *walker, BranchPredictor *bp)
+    : cfg_(config), l1i_(l1i), itlb_(itlb), stlb_(stlb), walker_(walker),
+      bp_(bp)
+{
+}
+
+std::pair<Addr, Cycle>
+Frontend::translate(Addr vaddr, Cycle now)
+{
+    Tlb::Result r = itlb_->lookup(vaddr, now, /*demand=*/true);
+    if (r.hit) {
+        return {r.page_base + (r.large ? (vaddr & (kLargePageSize - 1))
+                                       : page_offset(vaddr)),
+                r.done};
+    }
+    Tlb::Result s = stlb_->lookup(vaddr, r.done, /*demand=*/true);
+    if (s.hit) {
+        itlb_->fill(vaddr, s.page_base, s.large, /*from_prefetch=*/false);
+        return {s.page_base + (s.large ? (vaddr & (kLargePageSize - 1))
+                                       : page_offset(vaddr)),
+                s.done};
+    }
+    const PageWalker::WalkResult w =
+        walker_->walk(vaddr, s.done, /*speculative=*/false);
+    stlb_->fill(vaddr, w.page_base, w.large, false);
+    itlb_->fill(vaddr, w.page_base, w.large, false);
+    return {w.page_base + (w.large ? (vaddr & (kLargePageSize - 1))
+                                   : page_offset(vaddr)),
+            w.done};
+}
+
+Frontend::FetchResult
+Frontend::fetch(const TraceInst &inst)
+{
+    // Width-limited fetch grouping.
+    if (++group_used_ > cfg_.fetch_width) {
+        fetch_cycle_ += 1;
+        group_used_ = 1;
+    }
+
+    // New cache block: translate and access L1I.
+    const Addr block = block_number(inst.pc);
+    if (block != cur_block_) {
+        cur_block_ = block;
+        auto [paddr, tdone] = translate(inst.pc, fetch_cycle_);
+        const AccessResult r =
+            l1i_->access(paddr, AccessType::kInstFetch, tdone);
+        fetch_cycle_ = std::max(fetch_cycle_, r.done);
+
+        // Next-line instruction prefetch (fnl-lite): stay within the
+        // page so no speculative instruction-side walks are added.
+        for (unsigned d = 1; d <= cfg_.l1i_prefetch_degree; ++d) {
+            const Addr tv = inst.pc + d * kBlockSize;
+            if (crosses_page(inst.pc, tv)) {
+                break;
+            }
+            const Addr tp = page_addr(paddr) + page_offset(tv);
+            if (!l1i_->probe(tp)) {
+                l1i_->access(tp, AccessType::kPrefetch, tdone);
+            }
+        }
+    }
+
+    FetchResult out;
+    out.ready = fetch_cycle_;
+    if (inst.op == OpClass::kBranch) {
+        const bool predicted = bp_->predict(inst.pc);
+        bp_->update(inst.pc, inst.taken);
+        out.mispredict = predicted != inst.taken;
+        if (out.mispredict) {
+            // The block after a redirect restarts fetch grouping.
+            cur_block_ = ~Addr{0};
+        }
+    }
+    return out;
+}
+
+void
+Frontend::redirect(Cycle resolve_cycle)
+{
+    fetch_cycle_ =
+        std::max(fetch_cycle_, resolve_cycle + cfg_.mispredict_penalty);
+    group_used_ = 0;
+}
+
+}  // namespace moka

@@ -1,0 +1,60 @@
+#include "dram/dram.h"
+
+#include <algorithm>
+
+#include "common/bitops.h"
+
+namespace moka {
+
+Dram::Dram(const DramConfig &config)
+    : cfg_(config), banks_(config.channels * config.banks),
+      channel_next_free_(config.channels, 0)
+{
+}
+
+AccessResult
+Dram::access(Addr paddr, AccessType type, Cycle now, bool /*pgc_prefetch*/)
+{
+    ++accesses_;
+    if (type == AccessType::kPrefetch) {
+        ++prefetch_accesses_;
+    } else if (type == AccessType::kPageWalk) {
+        ++walk_accesses_;
+    }
+
+    const std::uint64_t block = block_number(paddr);
+    const unsigned channel =
+        static_cast<unsigned>(block % cfg_.channels);
+    const unsigned bank = static_cast<unsigned>(
+        (block / cfg_.channels) % cfg_.banks);
+    Bank &b = banks_[channel * cfg_.banks + bank];
+
+    // Row id: the address bits above bank/channel interleaving and
+    // the column bits (a row holds 2^column_bits blocks per bank).
+    const std::uint64_t row =
+        bits((block / (cfg_.channels * cfg_.banks)) >> cfg_.column_bits,
+             0, cfg_.rows_bits);
+
+    const Cycle start =
+        std::max({now, b.next_free, channel_next_free_[channel]});
+    Cycle latency;
+    if (b.open_row == row) {
+        latency = cfg_.row_hit_latency;
+        ++row_hits_;
+    } else {
+        latency = cfg_.row_miss_latency;
+        b.open_row = row;
+    }
+
+    const Cycle done = start + latency;
+    b.next_free = start + latency / 4;  // bank busy window
+    channel_next_free_[channel] = start + cfg_.burst_cycles;
+
+    AccessResult r;
+    r.done = done;
+    r.hit = false;
+    r.merged = false;
+    return r;
+}
+
+}  // namespace moka

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * MOKA's epoch-based adaptive thresholding scheme (paper §III-C3,
+ * Fig. 8). Intra-epoch, extreme cache/ROB pressure snaps the
+ * activation threshold T_a to medium or high values (or disables
+ * page-cross prefetching outright); at epoch boundaries, page-cross
+ * accuracy and IPC trends nudge T_a.
+ */
+#ifndef MOKASIM_FILTER_ADAPTIVE_THRESHOLD_H
+#define MOKASIM_FILTER_ADAPTIVE_THRESHOLD_H
+
+#include "filter/system_features.h"
+
+namespace moka {
+
+/** Threshold levels and trip points. */
+struct ThresholdConfig
+{
+    bool adaptive = true;  //!< false: hold t_static forever
+    int t_static = 2;      //!< static threshold (PPF-style designs)
+
+    int t_low = -2;        //!< aggressive level
+    int t_mid = 3;         //!< medium level t_m
+    int t_high = 10;       //!< conservative level t_h
+    int t_min = -8;        //!< clamp range of T_a
+    int t_max = 14;
+
+    double acc_low = 0.30;   //!< T1: force t_high below this accuracy
+    double acc_mid = 0.55;   //!< T2: force t_mid below this accuracy
+    double l1i_mpki_threshold = 4.0;     //!< T_L1i (L1I pressure)
+    double rob_pressure_threshold = 0.85; //!< ROB occupancy fraction
+    unsigned inflight_threshold = 10;    //!< in-flight L1D misses
+    double llc_missrate_extreme = 0.93;  //!< disable PGC above these...
+    double llc_mpki_extreme = 160.0;     //!< ...two together
+};
+
+/** Epoch summary handed to the scheme at epoch boundaries. */
+struct EpochInfo
+{
+    double pgc_accuracy = 0.0;  //!< useful/(useful+useless) this epoch
+    bool accuracy_valid = false; //!< enough resolved PGC prefetches
+    double ipc = 0.0;
+};
+
+/** See file comment. */
+class AdaptiveThreshold
+{
+  public:
+    explicit AdaptiveThreshold(const ThresholdConfig &config);
+
+    /** Current activation threshold T_a. */
+    int threshold() const { return ta_; }
+
+    /** True while extreme LLC pressure disables page-cross prefetching. */
+    bool pgc_disabled() const { return pgc_disabled_; }
+
+    /** Intra-epoch check against extreme behaviours (paper step 2). */
+    void on_interval(const SystemSnapshot &snap);
+
+    /** Epoch-boundary update (paper steps 3-5). */
+    void on_epoch(const EpochInfo &info);
+
+    /** Config echo. */
+    const ThresholdConfig &config() const { return cfg_; }
+
+  private:
+    void clamp();
+
+    ThresholdConfig cfg_;
+    int ta_;
+    bool pgc_disabled_ = false;
+    bool have_prev_ = false;
+    EpochInfo prev_;
+};
+
+}  // namespace moka
+
+#endif  // MOKASIM_FILTER_ADAPTIVE_THRESHOLD_H

@@ -1,0 +1,193 @@
+#include "filter/moka.h"
+
+#include <cassert>
+
+namespace moka {
+
+MokaFilter::MokaFilter(const MokaConfig &config)
+    : cfg_(config), vub_(config.vub_entries), pub_(config.pub_entries),
+      thresholds_(config.threshold)
+{
+    assert(cfg_.program_features.size() +
+               cfg_.specialized_features.size() <=
+           DecisionRecord::kMaxFeatures);
+    assert(cfg_.system_features.size() <= 8);
+    for (std::size_t i = 0; i < cfg_.program_features.size() +
+                                    cfg_.specialized_features.size();
+         ++i) {
+        tables_.emplace_back(cfg_.wt_entries, cfg_.weight_bits);
+    }
+    for (const SystemFeatureConfig &sf : cfg_.system_features) {
+        system_.emplace_back(sf);
+    }
+}
+
+DecisionRecord
+MokaFilter::make_record(Addr block, const FeatureInput &in,
+                        const SystemSnapshot &snap) const
+{
+    DecisionRecord rec;
+    rec.block = block;
+    const std::size_t np = cfg_.program_features.size();
+    rec.num_features = static_cast<std::uint8_t>(
+        np + cfg_.specialized_features.size());
+    for (std::size_t i = 0; i < np; ++i) {
+        rec.indexes[i] = tables_[i].index_of(
+            eval_feature(cfg_.program_features[i], in));
+    }
+    for (std::size_t i = 0; i < cfg_.specialized_features.size(); ++i) {
+        rec.indexes[np + i] = tables_[np + i].index_of(
+            eval_specialized(cfg_.specialized_features[i], in));
+    }
+    for (std::size_t i = 0; i < system_.size(); ++i) {
+        if (system_[i].active(snap)) {
+            rec.system_mask |= static_cast<std::uint8_t>(1u << i);
+        }
+    }
+    return rec;
+}
+
+bool
+MokaFilter::permit(Addr trigger_pc, Addr trigger_vaddr, std::int64_t delta,
+                   Addr target_vaddr, const SystemSnapshot &snap,
+                   std::uint64_t meta)
+{
+    // Stage 1-2: gather program weights and active system weights.
+    const FeatureInput in =
+        extractor_.make_input(trigger_pc, trigger_vaddr, delta, meta);
+    const DecisionRecord rec = make_record(block_addr(target_vaddr), in,
+                                           snap);
+
+    if (thresholds_.pgc_disabled()) {
+        // Extreme LLC pressure: discard, but let vUB keep learning so
+        // page-cross prefetching can re-arm later.
+        vub_.insert(rec);
+        pending_valid_ = false;
+        return false;
+    }
+
+    // Stage 3: cumulative weight.
+    int w_final = 0;
+    for (std::size_t i = 0; i < tables_.size(); ++i) {
+        w_final += tables_[i].weight_at(rec.indexes[i]);
+    }
+    for (std::size_t i = 0; i < system_.size(); ++i) {
+        if (rec.system_mask & (1u << i)) {
+            w_final += system_[i].weight();
+        }
+    }
+
+    // Stage 4: compare against the activation threshold.
+    if (w_final > thresholds_.threshold()) {
+        pending_ = rec;
+        pending_valid_ = true;
+        return true;
+    }
+    vub_.insert(rec);
+    pending_valid_ = false;
+    return false;
+}
+
+void
+MokaFilter::on_demand_access(Addr pc, Addr vaddr)
+{
+    extractor_.on_demand_access(pc, vaddr);
+}
+
+void
+MokaFilter::train(const DecisionRecord &rec, bool positive)
+{
+    for (std::uint8_t i = 0; i < rec.num_features; ++i) {
+        if (positive) {
+            tables_[i].increment(rec.indexes[i]);
+        } else {
+            tables_[i].decrement(rec.indexes[i]);
+        }
+    }
+    for (std::size_t i = 0; i < system_.size(); ++i) {
+        if (rec.system_mask & (1u << i)) {
+            if (positive) {
+                system_[i].increment();
+            } else {
+                system_[i].decrement();
+            }
+        }
+    }
+}
+
+void
+MokaFilter::on_l1d_demand_miss(Addr vaddr)
+{
+    // vUB hit: we discarded a page-cross prefetch that would have
+    // covered this miss — a false negative. Positive training.
+    DecisionRecord rec;
+    if (vub_.take(block_addr(vaddr), rec)) {
+        train(rec, true);
+    }
+}
+
+void
+MokaFilter::on_pgc_issued(Addr target_vaddr, Addr target_paddr)
+{
+    if (!pending_valid_) {
+        return;
+    }
+    assert(pending_.block == block_addr(target_vaddr));
+    (void)target_vaddr;
+    pending_.block = block_addr(target_paddr);
+    pub_.insert(pending_);
+    pending_valid_ = false;
+}
+
+void
+MokaFilter::on_pgc_first_use(Addr block_paddr)
+{
+    // The issued page-cross prefetch proved useful: reward.
+    DecisionRecord rec;
+    if (pub_.take(block_addr(block_paddr), rec)) {
+        train(rec, true);
+    }
+}
+
+void
+MokaFilter::on_pgc_eviction(Addr block_paddr, bool used)
+{
+    DecisionRecord rec;
+    if (!pub_.take(block_addr(block_paddr), rec)) {
+        return;
+    }
+    if (!used) {
+        // Evicted without serving a demand access: the filter should
+        // have classified this page-cross prefetch as useless.
+        train(rec, false);
+    }
+}
+
+void
+MokaFilter::on_interval(const SystemSnapshot &snap)
+{
+    thresholds_.on_interval(snap);
+}
+
+void
+MokaFilter::on_epoch(const EpochInfo &info)
+{
+    thresholds_.on_epoch(info);
+}
+
+std::uint64_t
+MokaFilter::storage_bits() const
+{
+    std::uint64_t bits = 0;
+    for (const WeightTable &t : tables_) {
+        bits += t.storage_bits();
+    }
+    for (const SystemFeature &sf : system_) {
+        bits += sf.storage_bits();
+    }
+    bits += vub_.storage_bits();
+    bits += pub_.storage_bits();
+    return bits;
+}
+
+}  // namespace moka

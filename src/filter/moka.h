@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The MOKA framework proper: the PageCrossFilter interface the
+ * machine talks to, and MokaFilter — the configurable perceptron
+ * page-cross filter combining program features, system features,
+ * vUB/pUB training and adaptive thresholding (paper §III).
+ */
+#ifndef MOKASIM_FILTER_MOKA_H
+#define MOKASIM_FILTER_MOKA_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "filter/adaptive_threshold.h"
+#include "filter/features.h"
+#include "filter/perceptron.h"
+#include "filter/system_features.h"
+#include "filter/update_buffer.h"
+
+namespace moka {
+
+/**
+ * Interface between the machine and a Page-Cross Filter. The machine
+ * calls permit() for every page-cross prefetch candidate and routes
+ * L1D lifetime events back for training.
+ */
+class PageCrossFilter
+{
+  public:
+    virtual ~PageCrossFilter() = default;
+
+    /**
+     * Predict whether the page-cross prefetch should be issued.
+     *
+     * @param trigger_pc    PC of the trigger load
+     * @param trigger_vaddr VA of the trigger access
+     * @param delta         block delta used by the prefetcher
+     * @param target_vaddr  block-aligned prefetch target VA
+     * @param snap          current system state
+     */
+    virtual bool permit(Addr trigger_pc, Addr trigger_vaddr,
+                        std::int64_t delta, Addr target_vaddr,
+                        const SystemSnapshot &snap,
+                        std::uint64_t meta = 0) = 0;
+
+    /** Demand data access in program order (feeds feature history). */
+    virtual void on_demand_access(Addr pc, Addr vaddr)
+    {
+        (void)pc; (void)vaddr;
+    }
+
+    /** L1D demand miss (vUB false-negative check). */
+    virtual void on_l1d_demand_miss(Addr vaddr) { (void)vaddr; }
+
+    /** The last permitted prefetch was issued with this paddr. */
+    virtual void on_pgc_issued(Addr target_vaddr, Addr target_paddr)
+    {
+        (void)target_vaddr; (void)target_paddr;
+    }
+
+    /**
+     * The last permitted prefetch was dropped after the decision
+     * (block already resident/in flight): forget the pending record.
+     */
+    virtual void on_pgc_abandoned() {}
+
+    /** A PCB block served its first demand hit (positive training). */
+    virtual void on_pgc_first_use(Addr block_paddr) { (void)block_paddr; }
+
+    /** A PCB block was evicted; @p used: served >=1 demand access. */
+    virtual void on_pgc_eviction(Addr block_paddr, bool used)
+    {
+        (void)block_paddr; (void)used;
+    }
+
+    /** Periodic intra-epoch check (adaptive thresholding). */
+    virtual void on_interval(const SystemSnapshot &snap) { (void)snap; }
+
+    /** Epoch boundary (adaptive thresholding). */
+    virtual void on_epoch(const EpochInfo &info) { (void)info; }
+
+    /** Identifier for reports. */
+    virtual const std::string &name() const = 0;
+
+    /** Hardware budget in bits (Table III audit). */
+    virtual std::uint64_t storage_bits() const { return 0; }
+};
+
+using FilterPtr = std::unique_ptr<PageCrossFilter>;
+
+/** Full configuration of a MokaFilter instance. */
+struct MokaConfig
+{
+    std::string name = "moka";
+    std::vector<ProgramFeatureId> program_features;
+    //! optional prefetcher-specialized features (SIII-D1 extension)
+    std::vector<SpecializedFeatureId> specialized_features;
+    std::vector<SystemFeatureConfig> system_features;
+    unsigned wt_entries = 1024;  //!< entries per weight table
+    unsigned weight_bits = 5;
+    unsigned vub_entries = 4;
+    unsigned pub_entries = 128;
+    ThresholdConfig threshold;
+};
+
+/** The MOKA-built perceptron Page-Cross Filter. */
+class MokaFilter : public PageCrossFilter
+{
+  public:
+    explicit MokaFilter(const MokaConfig &config);
+
+    bool permit(Addr trigger_pc, Addr trigger_vaddr, std::int64_t delta,
+                Addr target_vaddr, const SystemSnapshot &snap,
+                std::uint64_t meta = 0) override;
+
+    void on_demand_access(Addr pc, Addr vaddr) override;
+    void on_l1d_demand_miss(Addr vaddr) override;
+    void on_pgc_issued(Addr target_vaddr, Addr target_paddr) override;
+    void on_pgc_abandoned() override { pending_valid_ = false; }
+    void on_pgc_first_use(Addr block_paddr) override;
+    void on_pgc_eviction(Addr block_paddr, bool used) override;
+    void on_interval(const SystemSnapshot &snap) override;
+    void on_epoch(const EpochInfo &info) override;
+
+    const std::string &name() const override { return cfg_.name; }
+    std::uint64_t storage_bits() const override;
+
+    /** Current activation threshold (tests/diagnostics). */
+    int activation_threshold() const { return thresholds_.threshold(); }
+
+    /** Config echo. */
+    const MokaConfig &config() const { return cfg_; }
+
+  private:
+    void train(const DecisionRecord &rec, bool positive);
+    DecisionRecord make_record(Addr block, const FeatureInput &in,
+                               const SystemSnapshot &snap) const;
+
+    MokaConfig cfg_;
+    FeatureExtractor extractor_;
+    //! one per program feature, then one per specialized feature
+    std::vector<WeightTable> tables_;
+    std::vector<SystemFeature> system_;    //!< instantiated system features
+    UpdateBuffer vub_;
+    UpdateBuffer pub_;
+    AdaptiveThreshold thresholds_;
+    DecisionRecord pending_;   //!< permit()'d, awaiting on_pgc_issued()
+    bool pending_valid_ = false;
+};
+
+}  // namespace moka
+
+#endif  // MOKASIM_FILTER_MOKA_H

@@ -1,0 +1,42 @@
+#include "filter/perceptron.h"
+
+#include <cassert>
+
+#include "common/bitops.h"
+#include "common/hashing.h"
+
+namespace moka {
+
+WeightTable::WeightTable(unsigned entries, unsigned weight_bits)
+    : weights_(entries, SignedSatCounter(weight_bits)),
+      weight_bits_(weight_bits)
+{
+    assert(is_pow2(entries));
+    index_bits_ = log2_exact(entries);
+}
+
+std::uint32_t
+WeightTable::index_of(std::uint64_t feature_value) const
+{
+    return table_index(feature_value, index_bits_);
+}
+
+int
+WeightTable::weight_at(std::uint32_t index) const
+{
+    return weights_[index].value();
+}
+
+void
+WeightTable::increment(std::uint32_t index)
+{
+    weights_[index].increment();
+}
+
+void
+WeightTable::decrement(std::uint32_t index)
+{
+    weights_[index].decrement();
+}
+
+}  // namespace moka

@@ -1,0 +1,165 @@
+#include "filter/policies.h"
+
+namespace moka {
+
+SchemeConfig
+scheme_permit()
+{
+    SchemeConfig s;
+    s.name = "Permit PGC";
+    s.policy = PgcPolicy::kPermit;
+    return s;
+}
+
+SchemeConfig
+scheme_discard()
+{
+    SchemeConfig s;
+    s.name = "Discard PGC";
+    s.policy = PgcPolicy::kDiscard;
+    return s;
+}
+
+SchemeConfig
+scheme_discard_ptw()
+{
+    SchemeConfig s;
+    s.name = "Discard PTW";
+    s.policy = PgcPolicy::kDiscardPtw;
+    return s;
+}
+
+SchemeConfig
+scheme_iso_storage()
+{
+    SchemeConfig s;
+    s.name = "ISO Storage";
+    s.policy = PgcPolicy::kPermit;
+    s.iso_storage = true;
+    return s;
+}
+
+MokaConfig
+dripper_config(L1dPrefetcherKind kind)
+{
+    MokaConfig cfg;
+    cfg.name = "DRIPPER";
+    // Table II: Berti pairs the raw Delta with the two sTLB system
+    // features; BOP and IPCP use PC^Delta instead.
+    cfg.program_features = {kind == L1dPrefetcherKind::kBerti
+                                ? ProgramFeatureId::kDelta
+                                : ProgramFeatureId::kPcXorDelta};
+    cfg.system_features = {
+        default_system_feature(SystemFeatureId::kStlbMpki),
+        default_system_feature(SystemFeatureId::kStlbMissRate),
+    };
+    // Table III: 1 x 1024 x 5b weights, 4-entry vUB, 128-entry pUB.
+    cfg.wt_entries = 1024;
+    cfg.weight_bits = 5;
+    cfg.vub_entries = 4;
+    cfg.pub_entries = 128;
+    cfg.threshold.adaptive = true;
+    return cfg;
+}
+
+FilterPtr
+make_dripper(L1dPrefetcherKind kind)
+{
+    return std::make_unique<MokaFilter>(dripper_config(kind));
+}
+
+SchemeConfig
+scheme_dripper(L1dPrefetcherKind kind)
+{
+    SchemeConfig s;
+    s.name = "DRIPPER";
+    s.policy = PgcPolicy::kFilter;
+    s.make_filter = [kind] { return make_dripper(kind); };
+    return s;
+}
+
+SchemeConfig
+scheme_dripper_filter_2mb(L1dPrefetcherKind kind)
+{
+    SchemeConfig s = scheme_dripper(kind);
+    s.name = "DRIPPER(filter@2MB)";
+    s.filter_at_2mb = true;
+    return s;
+}
+
+SchemeConfig
+scheme_dripper_specialized(L1dPrefetcherKind kind)
+{
+    SchemeConfig s;
+    s.name = "DRIPPER+Meta";
+    s.policy = PgcPolicy::kFilter;
+    s.make_filter = [kind] {
+        MokaConfig cfg = dripper_config(kind);
+        cfg.name = "DRIPPER+Meta";
+        cfg.specialized_features = {SpecializedFeatureId::kMeta,
+                                    SpecializedFeatureId::kMetaXorDelta};
+        return std::make_unique<MokaFilter>(cfg);
+    };
+    return s;
+}
+
+SchemeConfig
+scheme_dripper_sf(L1dPrefetcherKind kind)
+{
+    SchemeConfig s;
+    s.name = "DRIPPER-SF";
+    s.policy = PgcPolicy::kFilter;
+    s.make_filter = [kind] {
+        MokaConfig cfg = dripper_config(kind);
+        cfg.name = "DRIPPER-SF";
+        cfg.program_features.clear();
+        return std::make_unique<MokaFilter>(cfg);
+    };
+    return s;
+}
+
+SchemeConfig
+scheme_single_program(ProgramFeatureId id)
+{
+    SchemeConfig s;
+    s.name = std::string("PF:") + feature_name(id);
+    s.policy = PgcPolicy::kFilter;
+    s.make_filter = [id, name = s.name] {
+        MokaConfig cfg;
+        cfg.name = name;
+        cfg.program_features = {id};
+        cfg.threshold.adaptive = true;
+        return std::make_unique<MokaFilter>(cfg);
+    };
+    return s;
+}
+
+SchemeConfig
+scheme_single_system(SystemFeatureId id)
+{
+    SchemeConfig s;
+    s.name = std::string("SF:") + system_feature_name(id);
+    s.policy = PgcPolicy::kFilter;
+    s.make_filter = [id, name = s.name] {
+        MokaConfig cfg;
+        cfg.name = name;
+        cfg.system_features = {default_system_feature(id)};
+        cfg.threshold.adaptive = true;
+        return std::make_unique<MokaFilter>(cfg);
+    };
+    return s;
+}
+
+SchemeConfig
+scheme_ppf(bool dynamic_threshold)
+{
+    SchemeConfig s;
+    s.name = dynamic_threshold ? "PPF+Dthr" : "PPF";
+    s.policy = PgcPolicy::kFilter;
+    s.make_filter = [dynamic_threshold] {
+        return make_ppf(dynamic_threshold);
+    };
+    return s;
+}
+
+}  // namespace moka

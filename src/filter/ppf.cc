@@ -1,0 +1,44 @@
+/**
+ * @file
+ * PPF (Perceptron-based Prefetch Filtering, Bhatia et al. ISCA 2019)
+ * converted into a page-cross filter, as the paper does for its
+ * comparison (§V-A). The SPP-specific features (signature, depth,
+ * confidence) are excluded because they do not exist outside SPP;
+ * what remains is PPF's prefetcher-independent feature set. PPF has
+ * no system features and, in its original form, a static activation
+ * threshold; PPF+Dthr grafts MOKA's adaptive thresholding on top.
+ */
+#include "filter/policies.h"
+
+namespace moka {
+
+FilterPtr
+make_ppf(bool dynamic_threshold)
+{
+    MokaConfig cfg;
+    cfg.name = dynamic_threshold ? "PPF+Dthr" : "PPF";
+    // PPF's prefetcher-independent features: PC, address forms, line
+    // offset, and PC history — notably *no delta* features (PPF's
+    // delta inputs came from SPP metadata) and no system features,
+    // the two gaps the paper identifies.
+    cfg.program_features = {
+        ProgramFeatureId::kPc,        ProgramFeatureId::kVa,
+        ProgramFeatureId::kLineOffset, ProgramFeatureId::kVaP12,
+        ProgramFeatureId::kPcXorVa,   ProgramFeatureId::kPcHist3,
+    };
+    cfg.system_features.clear();
+    // PPF's tables are larger than DRIPPER's (its original budget is
+    // tens of KBs across ~9 tables).
+    cfg.wt_entries = 4096;
+    cfg.weight_bits = 5;
+    // PPF's own training structures are large: a 1024-entry prefetch
+    // table and a 1024-entry reject table. The vUB/pUB machinery
+    // plays those roles in this conversion, at PPF's sizes.
+    cfg.vub_entries = 1024;
+    cfg.pub_entries = 1024;
+    cfg.threshold.adaptive = dynamic_threshold;
+    cfg.threshold.t_static = 2;
+    return std::make_unique<MokaFilter>(cfg);
+}
+
+}  // namespace moka

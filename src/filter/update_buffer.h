@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The MOKA update buffers (paper §III-B). The Virtual Update Buffer
+ * (vUB) remembers recently *discarded* page-cross prefetches by
+ * virtual address so a subsequent demand L1D miss on the same block
+ * exposes a false negative (positive training). The Physical Update
+ * Buffer (pUB) remembers *issued* page-cross prefetches by physical
+ * address so L1D use/eviction events can reward or punish the
+ * weights. Both store the hash indexes captured at prediction time
+ * so exactly the contributing weights get updated.
+ */
+#ifndef MOKASIM_FILTER_UPDATE_BUFFER_H
+#define MOKASIM_FILTER_UPDATE_BUFFER_H
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace moka {
+
+/** Decision context captured when the filter predicted. */
+struct DecisionRecord
+{
+    static constexpr std::size_t kMaxFeatures = 8;
+
+    Addr block = 0;  //!< block-aligned key (virtual in vUB, physical in pUB)
+    std::uint8_t num_features = 0;              //!< valid prefix length
+    std::array<std::uint32_t, kMaxFeatures> indexes{};  //!< WT hash indexes
+    std::uint8_t system_mask = 0;               //!< active system features
+};
+
+/**
+ * FIFO associative buffer of DecisionRecords keyed by block address.
+ * Functionally a small CAM; implemented with a hash index so large
+ * configurations (the converted PPF uses 1024 entries) stay fast.
+ * Duplicate keys keep the newest record.
+ */
+class UpdateBuffer
+{
+  public:
+    explicit UpdateBuffer(std::size_t entries) : capacity_(entries) {}
+
+    /** Insert @p rec, evicting the oldest record when full. */
+    void insert(const DecisionRecord &rec)
+    {
+        auto it = index_.find(rec.block);
+        if (it != index_.end()) {
+            it->second = rec;  // refresh in place (FIFO age unchanged)
+            return;
+        }
+        while (index_.size() >= capacity_ && !fifo_.empty()) {
+            index_.erase(fifo_.front());
+            fifo_.pop_front();
+        }
+        index_.emplace(rec.block, rec);
+        fifo_.push_back(rec.block);
+    }
+
+    /**
+     * Find the record for @p block, copy it to @p out and remove it.
+     * @return true on hit.
+     */
+    bool take(Addr block, DecisionRecord &out)
+    {
+        auto it = index_.find(block);
+        if (it == index_.end()) {
+            return false;
+        }
+        out = it->second;
+        index_.erase(it);
+        // The stale FIFO slot is skipped lazily at eviction time.
+        return true;
+    }
+
+    /** Current occupancy. */
+    std::size_t size() const { return index_.size(); }
+
+    /** Capacity. */
+    std::size_t capacity() const { return capacity_; }
+
+    /**
+     * Storage cost in bits: paper charges 36 bits of address/tag plus
+     * 12 bits of hash-index bookkeeping per entry.
+     */
+    std::uint64_t storage_bits() const
+    {
+        return static_cast<std::uint64_t>(capacity_) * (36 + 12);
+    }
+
+  private:
+    std::size_t capacity_;
+    std::deque<Addr> fifo_;  //!< insertion order (may hold stale keys)
+    std::unordered_map<Addr, DecisionRecord> index_;
+};
+
+}  // namespace moka
+
+#endif  // MOKASIM_FILTER_UPDATE_BUFFER_H

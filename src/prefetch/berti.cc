@@ -1,0 +1,165 @@
+#include "prefetch/berti.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/hashing.h"
+
+namespace moka {
+
+Berti::Berti(const BertiConfig &config) : cfg_(config), ips_(config.ip_entries)
+{
+    for (IpEntry &e : ips_) {
+        e.history.resize(cfg_.history_per_ip);
+    }
+}
+
+Berti::IpEntry &
+Berti::lookup_ip(Addr pc)
+{
+    const Addr tag = mix64(pc);
+    for (IpEntry &e : ips_) {
+        if (e.valid && e.tag == tag) {
+            e.lru = ++lru_stamp_;
+            return e;
+        }
+    }
+    // Allocate the first invalid slot, else the LRU victim.
+    IpEntry *victim = &ips_[0];
+    for (IpEntry &e : ips_) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lru < victim->lru) {
+            victim = &e;
+        }
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = ++lru_stamp_;
+    victim->history.assign(cfg_.history_per_ip, {});
+    victim->history_head = 0;
+    victim->deltas.clear();
+    victim->selected.clear();
+    victim->selected_timely.clear();
+    victim->window_count = 0;
+    return *victim;
+}
+
+void
+Berti::train(IpEntry &e, Addr line, Cycle now)
+{
+    // Compare against the shadow history: a delta is timely when a
+    // prefetch launched at the historical access would have completed
+    // by now.
+    for (const HistoryItem &h : e.history) {
+        if (h.cycle == 0 || h.line == line) {
+            continue;
+        }
+        const std::int64_t delta =
+            static_cast<std::int64_t>(line) - static_cast<std::int64_t>(h.line);
+        if (delta == 0 || std::llabs(delta) > cfg_.max_delta) {
+            continue;
+        }
+        const bool timely = h.cycle + cfg_.timely_latency <= now;
+        DeltaCounter *slot = nullptr;
+        for (DeltaCounter &d : e.deltas) {
+            if (d.delta == delta) {
+                slot = &d;
+                break;
+            }
+        }
+        if (slot == nullptr) {
+            if (e.deltas.size() < cfg_.deltas_per_ip) {
+                e.deltas.push_back({delta, 0, 0});
+                slot = &e.deltas.back();
+            } else {
+                // Replace the weakest candidate.
+                slot = &*std::min_element(
+                    e.deltas.begin(), e.deltas.end(),
+                    [](const DeltaCounter &a, const DeltaCounter &b) {
+                        return a.timely < b.timely;
+                    });
+                if (slot->timely > 2) {
+                    slot = nullptr;  // keep established deltas
+                } else {
+                    *slot = {delta, 0, 0};
+                }
+            }
+        }
+        if (slot != nullptr) {
+            ++slot->occurrences;
+            if (timely) {
+                ++slot->timely;
+            }
+        }
+    }
+
+    e.history[e.history_head] = {line, now};
+    e.history_head = (e.history_head + 1) % cfg_.history_per_ip;
+}
+
+void
+Berti::select_deltas(IpEntry &e)
+{
+    e.selected.clear();
+    e.selected_timely.clear();
+    std::vector<DeltaCounter> sorted = e.deltas;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const DeltaCounter &a, const DeltaCounter &b) {
+                  if (a.timely != b.timely) {
+                      return a.timely > b.timely;
+                  }
+                  // Tie-break towards larger deltas: more lead time,
+                  // better timeliness for the issued prefetches.
+                  return std::llabs(a.delta) > std::llabs(b.delta);
+              });
+    const double window = static_cast<double>(cfg_.window_accesses);
+    for (const DeltaCounter &d : sorted) {
+        if (e.selected.size() >= cfg_.max_degree) {
+            break;
+        }
+        if (static_cast<double>(d.timely) >=
+            cfg_.coverage_threshold * window) {
+            e.selected.push_back(d.delta);
+            e.selected_timely.push_back(d.timely);
+        }
+    }
+    for (DeltaCounter &d : e.deltas) {
+        d.occurrences = 0;
+        d.timely = 0;
+    }
+}
+
+void
+Berti::on_access(const PrefetchContext &ctx,
+                 std::vector<PrefetchRequest> &out)
+{
+    IpEntry &e = lookup_ip(ctx.pc);
+    const Addr line = block_number(ctx.vaddr);
+
+    train(e, line, ctx.now);
+    if (++e.window_count >= cfg_.window_accesses) {
+        e.window_count = 0;
+        select_deltas(e);
+    }
+
+    for (std::size_t i = 0; i < e.selected.size(); ++i) {
+        const std::int64_t delta = e.selected[i];
+        const std::int64_t target =
+            static_cast<std::int64_t>(line) + delta;
+        if (target <= 0) {
+            continue;
+        }
+        PrefetchRequest req;
+        req.vaddr = static_cast<Addr>(target) << kBlockBits;
+        req.delta = delta;
+        req.trigger_pc = ctx.pc;
+        req.trigger_vaddr = ctx.vaddr;
+        req.meta = e.selected_timely[i];  // timeliness confidence
+        out.push_back(req);
+    }
+}
+
+}  // namespace moka

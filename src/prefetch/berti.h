@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Berti: accurate local-delta L1D prefetcher (Navarro-Torres et al.,
+ * MICRO 2022). Per-IP shadow history establishes which local deltas
+ * would have been *timely*, and only high-coverage timely deltas are
+ * used for prefetching. Reimplemented from the paper's description.
+ */
+#ifndef MOKASIM_PREFETCH_BERTI_H
+#define MOKASIM_PREFETCH_BERTI_H
+
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.h"
+
+namespace moka {
+
+/** Berti sizing knobs. */
+struct BertiConfig
+{
+    unsigned ip_entries = 64;        //!< tracked IPs (fully assoc, LRU)
+    unsigned history_per_ip = 16;    //!< shadow history depth
+    unsigned deltas_per_ip = 16;     //!< candidate deltas tracked per IP
+    std::int64_t max_delta = 63;     //!< |delta| bound in blocks
+    Cycle timely_latency = 80;       //!< assumed fill latency for
+                                     //!< timeliness classification
+    unsigned window_accesses = 128;  //!< per-IP selection window
+    double coverage_threshold = 0.30; //!< timely-coverage to select
+    unsigned max_degree = 4;         //!< deltas issued per access
+};
+
+/** See file comment. */
+class Berti : public Prefetcher
+{
+  public:
+    explicit Berti(const BertiConfig &config);
+
+    void on_access(const PrefetchContext &ctx,
+                   std::vector<PrefetchRequest> &out) override;
+
+    const std::string &name() const override { return name_; }
+
+  private:
+    struct HistoryItem
+    {
+        Addr line = 0;
+        Cycle cycle = 0;
+    };
+
+    struct DeltaCounter
+    {
+        std::int64_t delta = 0;
+        std::uint16_t occurrences = 0;
+        std::uint16_t timely = 0;
+    };
+
+    struct IpEntry
+    {
+        Addr tag = 0;
+        bool valid = false;
+        std::uint64_t lru = 0;
+        std::vector<HistoryItem> history;  //!< ring buffer
+        unsigned history_head = 0;
+        std::vector<DeltaCounter> deltas;
+        std::vector<std::int64_t> selected;
+        std::vector<std::uint16_t> selected_timely;  //!< metadata export
+        unsigned window_count = 0;
+    };
+
+    IpEntry &lookup_ip(Addr pc);
+    void train(IpEntry &e, Addr line, Cycle now);
+    void select_deltas(IpEntry &e);
+
+    BertiConfig cfg_;
+    std::vector<IpEntry> ips_;
+    std::uint64_t lru_stamp_ = 0;
+    std::string name_ = "berti";
+};
+
+}  // namespace moka
+
+#endif  // MOKASIM_PREFETCH_BERTI_H

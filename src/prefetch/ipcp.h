@@ -1,0 +1,83 @@
+/**
+ * @file
+ * IPCP: Instruction Pointer Classifier-based spatial Prefetching
+ * (Pakalapati & Panda, ISCA 2020). Each IP is classified as constant
+ * stride (CS), complex stride (CPLX) or part of a global stream (GS),
+ * with next-line (NL) as the fallback. Reimplemented from the paper.
+ */
+#ifndef MOKASIM_PREFETCH_IPCP_H
+#define MOKASIM_PREFETCH_IPCP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sat_counter.h"
+#include "prefetch/prefetcher.h"
+
+namespace moka {
+
+/** IPCP sizing knobs. */
+struct IpcpConfig
+{
+    unsigned ip_entries = 64;     //!< IP table (direct mapped + tag)
+    unsigned cspt_entries = 128;  //!< complex stride prediction table
+    unsigned rst_entries = 8;     //!< region stream table
+    unsigned region_lines = 32;   //!< lines per stream region (2KB)
+    unsigned dense_threshold = 24; //!< touched lines to call a region dense
+    unsigned cs_degree = 4;
+    unsigned cplx_degree = 3;
+    unsigned gs_degree = 8;
+};
+
+/** See file comment. */
+class Ipcp : public Prefetcher
+{
+  public:
+    explicit Ipcp(const IpcpConfig &config);
+
+    void on_access(const PrefetchContext &ctx,
+                   std::vector<PrefetchRequest> &out) override;
+
+    const std::string &name() const override { return name_; }
+
+  private:
+    struct IpEntry
+    {
+        std::uint16_t tag = 0;
+        bool valid = false;
+        Addr last_line = 0;
+        std::int64_t stride = 0;
+        UnsignedSatCounter conf{2};
+        std::uint16_t signature = 0;
+        bool stream = false;  //!< classified GS
+    };
+
+    struct CsptEntry
+    {
+        std::int64_t stride = 0;
+        UnsignedSatCounter conf{2};
+    };
+
+    struct Region
+    {
+        Addr tag = 0;
+        bool valid = false;
+        std::uint64_t touched = 0;  //!< bitmap of touched lines
+        unsigned count = 0;
+        bool dense = false;
+        std::uint64_t lru = 0;
+    };
+
+    Region *find_region(Addr line, bool allocate);
+
+    IpcpConfig cfg_;
+    std::vector<IpEntry> ips_;
+    std::vector<CsptEntry> cspt_;
+    std::vector<Region> regions_;
+    std::uint64_t lru_stamp_ = 0;
+    std::string name_ = "ipcp";
+};
+
+}  // namespace moka
+
+#endif  // MOKASIM_PREFETCH_IPCP_H

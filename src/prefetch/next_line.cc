@@ -1,0 +1,98 @@
+#include "prefetch/next_line.h"
+
+#include "prefetch/berti.h"
+#include "prefetch/bop.h"
+#include "prefetch/ipcp.h"
+#include "prefetch/spp.h"
+#include "prefetch/stride.h"
+
+namespace moka {
+
+void
+NextLine::on_access(const PrefetchContext &ctx,
+                    std::vector<PrefetchRequest> &out)
+{
+    if (ctx.hit) {
+        return;
+    }
+    const Addr line = block_number(ctx.vaddr);
+    for (unsigned d = 1; d <= degree_; ++d) {
+        PrefetchRequest req;
+        req.vaddr = (line + d) << kBlockBits;
+        req.delta = static_cast<std::int64_t>(d);
+        req.trigger_pc = ctx.pc;
+        req.trigger_vaddr = ctx.vaddr;
+        out.push_back(req);
+    }
+}
+
+PrefetcherPtr
+make_l1d_prefetcher(L1dPrefetcherKind kind, bool iso_storage)
+{
+    switch (kind) {
+      case L1dPrefetcherKind::kBerti: {
+        BertiConfig cfg;
+        if (iso_storage) {
+            // DRIPPER's 1.44KB reinvested in Berti's most relevant
+            // structures: more tracked IPs and deeper shadow history.
+            cfg.ip_entries = 96;
+            cfg.history_per_ip = 20;
+        }
+        return std::make_unique<Berti>(cfg);
+      }
+      case L1dPrefetcherKind::kIpcp: {
+        IpcpConfig cfg;
+        if (iso_storage) {
+            cfg.ip_entries = 96;
+            cfg.cspt_entries = 256;
+            cfg.rst_entries = 12;
+        }
+        return std::make_unique<Ipcp>(cfg);
+      }
+      case L1dPrefetcherKind::kBop: {
+        BopConfig cfg;
+        if (iso_storage) {
+            cfg.rr_entries = 512;
+        }
+        return std::make_unique<Bop>(cfg);
+      }
+      case L1dPrefetcherKind::kStride: {
+        StridePrefetcherConfig cfg;
+        if (iso_storage) {
+            cfg.entries = 128;
+        }
+        return std::make_unique<StridePrefetcher>(cfg);
+      }
+      case L1dPrefetcherKind::kNextLine:
+      default:
+        return std::make_unique<NextLine>(1);
+    }
+}
+
+PrefetcherPtr
+make_l2_prefetcher(L2PrefetcherKind kind)
+{
+    switch (kind) {
+      case L2PrefetcherKind::kSpp:
+        return std::make_unique<Spp>(SppConfig{});
+      case L2PrefetcherKind::kIpcp:
+        return std::make_unique<Ipcp>(IpcpConfig{});
+      case L2PrefetcherKind::kBop:
+        return std::make_unique<Bop>(BopConfig{});
+      case L2PrefetcherKind::kNone:
+      default:
+        return nullptr;
+    }
+}
+
+L1dPrefetcherKind
+parse_l1d_kind(const std::string &s)
+{
+    if (s == "ipcp") return L1dPrefetcherKind::kIpcp;
+    if (s == "bop") return L1dPrefetcherKind::kBop;
+    if (s == "stride") return L1dPrefetcherKind::kStride;
+    if (s == "nl") return L1dPrefetcherKind::kNextLine;
+    return L1dPrefetcherKind::kBerti;
+}
+
+}  // namespace moka

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Next-line data prefetcher (baseline/fallback) and the prefetcher
+ * factory functions declared in prefetcher.h.
+ */
+#ifndef MOKASIM_PREFETCH_NEXT_LINE_H
+#define MOKASIM_PREFETCH_NEXT_LINE_H
+
+#include "prefetch/prefetcher.h"
+
+namespace moka {
+
+/** Prefetch the next @p degree sequential lines on every miss. */
+class NextLine : public Prefetcher
+{
+  public:
+    explicit NextLine(unsigned degree = 1) : degree_(degree) {}
+
+    void on_access(const PrefetchContext &ctx,
+                   std::vector<PrefetchRequest> &out) override;
+
+    const std::string &name() const override { return name_; }
+
+  private:
+    unsigned degree_;
+    std::string name_ = "nl";
+};
+
+}  // namespace moka
+
+#endif  // MOKASIM_PREFETCH_NEXT_LINE_H

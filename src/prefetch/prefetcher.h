@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Prefetcher interface. L1D prefetchers observe demand accesses in
+ * *virtual* address space (VIPT L1D) and emit block-aligned prefetch
+ * candidates annotated with the delta and trigger context that
+ * Page-Cross Filters consume as program features.
+ */
+#ifndef MOKASIM_PREFETCH_PREFETCHER_H
+#define MOKASIM_PREFETCH_PREFETCHER_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace moka {
+
+/** One prefetch candidate produced by a prefetcher. */
+struct PrefetchRequest
+{
+    Addr vaddr = 0;         //!< block-aligned target (virtual for L1D)
+    std::int64_t delta = 0; //!< block delta from the trigger access
+    Addr trigger_pc = 0;    //!< PC of the triggering load/store
+    Addr trigger_vaddr = 0; //!< virtual address of the trigger
+    std::uint64_t meta = 0; //!< prefetcher-specific metadata for
+                            //!< specialized filter features (paper
+                            //!< SIII-D1 extension): Berti exports the
+                            //!< delta's timeliness count, IPCP its
+                            //!< class, BOP its best score
+};
+
+/** Demand-access context handed to a prefetcher. */
+struct PrefetchContext
+{
+    Addr vaddr = 0;   //!< accessed virtual (L1D) / physical (L2) address
+    Addr pc = 0;      //!< instruction pointer
+    bool hit = false; //!< demand hit in the host cache
+    bool store = false;
+    Cycle now = 0;
+};
+
+/** Base class of every data/instruction prefetcher. */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    /**
+     * Observe one demand access; append prefetch candidates to @p out.
+     * Candidates may cross page boundaries — filtering is the
+     * Page-Cross Filter's job, not the prefetcher's.
+     */
+    virtual void on_access(const PrefetchContext &ctx,
+                           std::vector<PrefetchRequest> &out) = 0;
+
+    /**
+     * Notification that a block fill completed in the host cache.
+     *
+     * @param vaddr        virtual address of the filled block
+     * @param now          fill completion cycle
+     * @param was_prefetch true when the fill came from a prefetch
+     */
+    virtual void on_fill(Addr vaddr, Cycle now, bool was_prefetch)
+    {
+        (void)vaddr; (void)now; (void)was_prefetch;
+    }
+
+    /** Short identifier ("berti", "ipcp", "bop", ...). */
+    virtual const std::string &name() const = 0;
+};
+
+using PrefetcherPtr = std::unique_ptr<Prefetcher>;
+
+/** Identifier for constructing L1D prefetchers by name. */
+enum class L1dPrefetcherKind : std::uint8_t {
+    kBerti,
+    kIpcp,
+    kBop,
+    kStride,
+    kNextLine,
+};
+
+/** Identifier for constructing L2C prefetchers by name. */
+enum class L2PrefetcherKind : std::uint8_t { kNone, kSpp, kIpcp, kBop };
+
+/**
+ * Build an L1D prefetcher.
+ *
+ * @param kind        which algorithm
+ * @param iso_storage when true, enlarge the algorithm's most
+ *                    performance-relevant tables by the DRIPPER
+ *                    storage budget (1.44KB) — the paper's ISO
+ *                    Storage comparison point
+ */
+PrefetcherPtr make_l1d_prefetcher(L1dPrefetcherKind kind,
+                                  bool iso_storage = false);
+
+/** Build an L2C prefetcher (physical addresses, in-page only). */
+PrefetcherPtr make_l2_prefetcher(L2PrefetcherKind kind);
+
+/** Parse "berti"/"ipcp"/"bop"/"nl" into a kind. */
+L1dPrefetcherKind parse_l1d_kind(const std::string &s);
+
+}  // namespace moka
+
+#endif  // MOKASIM_PREFETCH_PREFETCHER_H

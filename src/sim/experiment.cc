@@ -1,0 +1,128 @@
+#include "sim/experiment.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/stats.h"
+
+namespace moka {
+
+double
+speedup(const RunMetrics &m, const RunMetrics &base)
+{
+    const double b = base.ipc();
+    return b > 0.0 ? m.ipc() / b : 0.0;
+}
+
+double
+coverage_gain(const RunMetrics &m, const RunMetrics &base)
+{
+    if (base.l1d.misses == 0) {
+        return 0.0;
+    }
+    return (static_cast<double>(base.l1d.misses) -
+            static_cast<double>(m.l1d.misses)) /
+           static_cast<double>(base.l1d.misses);
+}
+
+BenchArgs
+parse_bench_args(int argc, char **argv)
+{
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        auto next_u64 = [&](std::uint64_t fallback) -> std::uint64_t {
+            if (i + 1 < argc) {
+                return std::strtoull(argv[++i], nullptr, 10);
+            }
+            return fallback;
+        };
+        if (std::strcmp(a, "--full") == 0) {
+            args.full = true;
+            args.run = args.run.scaled(4.0);
+            args.mixes = 300;
+        } else if (std::strcmp(a, "--workloads") == 0) {
+            args.workloads = next_u64(args.workloads);
+        } else if (std::strcmp(a, "--insts") == 0) {
+            args.run.measure_insts = next_u64(args.run.measure_insts);
+        } else if (std::strcmp(a, "--warmup") == 0) {
+            args.run.warmup_insts = next_u64(args.run.warmup_insts);
+        } else if (std::strcmp(a, "--mixes") == 0) {
+            args.mixes = next_u64(args.mixes);
+        } else if (std::strcmp(a, "--seed") == 0) {
+            args.seed = next_u64(args.seed);
+        } else {
+            std::fprintf(stderr, "warning: ignoring unknown flag %s\n", a);
+        }
+    }
+    return args;
+}
+
+void
+SuiteAggregator::add(const std::string &suite, double ratio)
+{
+    auto [it, inserted] = by_suite_.try_emplace(suite);
+    if (inserted) {
+        order_.push_back(suite);
+    }
+    it->second.push_back(ratio);
+}
+
+double
+SuiteAggregator::suite_geomean(const std::string &suite) const
+{
+    const auto it = by_suite_.find(suite);
+    if (it == by_suite_.end() || it->second.empty()) {
+        return 1.0;
+    }
+    return geomean(it->second);
+}
+
+double
+SuiteAggregator::overall_geomean() const
+{
+    std::vector<double> all;
+    for (const auto &[suite, ratios] : by_suite_) {
+        all.insert(all.end(), ratios.begin(), ratios.end());
+    }
+    return all.empty() ? 1.0 : geomean(all);
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    widths_.reserve(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+        widths_.push_back(std::max<std::size_t>(
+            headers_[i].size() + 2, i == 0 ? 26 : 12));
+    }
+}
+
+void
+TablePrinter::print_header() const
+{
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+        std::printf("%-*s", static_cast<int>(widths_[i]),
+                    headers_[i].c_str());
+        total += widths_[i];
+    }
+    std::printf("\n");
+    for (std::size_t i = 0; i < total; ++i) {
+        std::putchar('-');
+    }
+    std::printf("\n");
+}
+
+void
+TablePrinter::print_row(const std::vector<std::string> &cells) const
+{
+    for (std::size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+        std::printf("%-*s", static_cast<int>(widths_[i]), cells[i].c_str());
+    }
+    std::printf("\n");
+}
+
+}  // namespace moka

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared helpers for the figure/table benchmark harnesses: derived
+ * metrics (speedup, coverage), per-suite aggregation, table printing,
+ * and common CLI flags (--full, --workloads, --insts, --warmup).
+ */
+#ifndef MOKASIM_SIM_EXPERIMENT_H
+#define MOKASIM_SIM_EXPERIMENT_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/runner.h"
+#include "trace/suites.h"
+
+namespace moka {
+
+/** IPC speedup of @p m over @p base. */
+double speedup(const RunMetrics &m, const RunMetrics &base);
+
+/**
+ * Miss-coverage improvement of @p m over @p base: the fraction of the
+ * baseline's L1D demand misses that @p m eliminates (paper Fig. 11).
+ */
+double coverage_gain(const RunMetrics &m, const RunMetrics &base);
+
+/** Common bench CLI options. */
+struct BenchArgs
+{
+    bool full = false;            //!< full roster + 4x instructions
+    std::size_t workloads = 24;   //!< roster sample size (default runs)
+    RunConfig run;                //!< instruction budgets
+    std::size_t mixes = 24;       //!< multi-core mixes (fig19)
+    std::uint64_t seed = 7;
+
+    /** Effective roster for @p roster given --full/--workloads. */
+    std::vector<WorkloadSpec>
+    select(const std::vector<WorkloadSpec> &roster) const
+    {
+        return full ? roster : sample(roster, workloads);
+    }
+};
+
+/** Parse argv; unknown flags are ignored with a warning. */
+BenchArgs parse_bench_args(int argc, char **argv);
+
+/** Accumulates per-workload speedups and reports suite geomeans. */
+class SuiteAggregator
+{
+  public:
+    /** Record @p ratio for @p suite. */
+    void add(const std::string &suite, double ratio);
+
+    /** Geomean of one suite (1.0 when empty). */
+    double suite_geomean(const std::string &suite) const;
+
+    /** Geomean across every recorded ratio. */
+    double overall_geomean() const;
+
+    /** Suites recorded, in first-seen order. */
+    const std::vector<std::string> &suites() const { return order_; }
+
+  private:
+    std::map<std::string, std::vector<double>> by_suite_;
+    std::vector<std::string> order_;
+};
+
+/** Fixed-width table printer for the bench harnesses. */
+class TablePrinter
+{
+  public:
+    /** @param headers column titles; first column is the row label. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Print the header row + rule. */
+    void print_header() const;
+
+    /** Print one row; numeric cells formatted by the caller. */
+    void print_row(const std::vector<std::string> &cells) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::size_t> widths_;
+};
+
+}  // namespace moka
+
+#endif  // MOKASIM_SIM_EXPERIMENT_H

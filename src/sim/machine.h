@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Machine assembly: N cores (Table IV configuration), each with a
+ * private L1I/L1D/L2, TLB hierarchy, page table + walker, L1D
+ * prefetcher and page-cross scheme, sharing an LLC and DRAM. This is
+ * where the paper's page-cross prefetch flow (Fig. 5) lives: filter
+ * decision -> TLB probe -> speculative walk -> prefetch fill, plus
+ * all training hooks back into the filter.
+ */
+#ifndef MOKASIM_SIM_MACHINE_H
+#define MOKASIM_SIM_MACHINE_H
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.h"
+#include "core/branch_pred.h"
+#include "core/core.h"
+#include "core/frontend.h"
+#include "dram/dram.h"
+#include "filter/policies.h"
+#include "prefetch/prefetcher.h"
+#include "trace/workload.h"
+#include "vmem/page_table.h"
+#include "vmem/tlb.h"
+#include "vmem/walker.h"
+
+namespace moka {
+
+/** Full machine configuration (defaults = paper Table IV). */
+struct MachineConfig
+{
+    CoreConfig core;
+    FrontendConfig frontend;
+    BranchPredConfig branch;
+    CacheConfig l1i{"L1I", 64, 12, 5, 16, false};      // 48KB
+    CacheConfig l1d{"L1D", 64, 8, 4, 8, true};         // 32KB, PCB bits
+    CacheConfig l2{"L2C", 1024, 8, 10, 32, false};     // 512KB
+    CacheConfig llc{"LLC", 2048, 16, 20, 64, false};   // 2MB (per core x N)
+    TlbConfig itlb{"iTLB", 16, 4, 1, 4, 4};            // 64-entry
+    TlbConfig dtlb{"dTLB", 16, 4, 1, 4, 4};            // 64-entry
+    TlbConfig stlb{"sTLB", 128, 12, 8, 16, 8};         // 1536-entry
+    WalkerConfig walker;
+    VmemConfig vmem;
+    DramConfig dram;
+    L1dPrefetcherKind l1d_prefetcher = L1dPrefetcherKind::kBerti;
+    L2PrefetcherKind l2_prefetcher = L2PrefetcherKind::kNone;
+    SchemeConfig scheme;                       //!< page-cross policy
+    std::uint64_t interval_insts = 4096;       //!< snapshot cadence
+    std::uint64_t epoch_insts = 65536;         //!< adaptive epoch length
+};
+
+/**
+ * Per-core counters. All fields are raw cumulative counts so that a
+ * measured region is simply `end - start` (operator-); rates are
+ * derived by the accessors.
+ */
+struct RunMetrics
+{
+    InstCount instructions = 0;
+    Cycle cycles = 0;
+    AccessStats l1i, l1d, l2, llc;  //!< demand access/miss pairs
+    AccessStats dtlb, stlb;
+    std::uint64_t pf_issued = 0;    //!< all prefetch fills
+    std::uint64_t pf_useful = 0;
+    std::uint64_t pf_useless = 0;
+    std::uint64_t pgc_candidates = 0; //!< page-cross candidates seen
+    std::uint64_t pgc_issued = 0;
+    std::uint64_t pgc_useful = 0;
+    std::uint64_t pgc_useless = 0;
+    std::uint64_t pgc_dropped = 0;  //!< discarded by the policy/filter
+    std::uint64_t demand_walks = 0;
+    std::uint64_t spec_walks = 0;
+    std::uint64_t walk_refs = 0;      //!< PTE memory references
+    std::uint64_t dram_accesses = 0;  //!< machine-wide DRAM transfers
+    std::uint64_t branch_mispredicts = 0;
+
+    /** Instructions per cycle over the region. */
+    double ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : double(instructions) / double(cycles);
+    }
+
+    /** MPKI helpers over the region. */
+    double l1i_mpki() const { return l1i.mpki(instructions); }
+    double l1d_mpki() const { return l1d.mpki(instructions); }
+    double l2_mpki() const { return l2.mpki(instructions); }
+    double llc_mpki() const { return llc.mpki(instructions); }
+    double dtlb_mpki() const { return dtlb.mpki(instructions); }
+    double stlb_mpki() const { return stlb.mpki(instructions); }
+
+    /** Prefetch accuracy over resolved prefetches. */
+    double pf_accuracy() const
+    {
+        const auto r = pf_useful + pf_useless;
+        return r == 0 ? 0.0 : double(pf_useful) / double(r);
+    }
+
+    /** Page-cross accuracy over resolved PGC prefetches. */
+    double pgc_accuracy() const
+    {
+        const auto r = pgc_useful + pgc_useless;
+        return r == 0 ? 0.0 : double(pgc_useful) / double(r);
+    }
+
+    RunMetrics operator-(const RunMetrics &o) const;
+};
+
+/** One core with its private memory-side structures. */
+class CoreComplex : public CacheListener
+{
+  public:
+    /**
+     * @param cfg      machine configuration
+     * @param shared   next level below the private L2 (LLC)
+     * @param workload instruction stream (ownership taken)
+     * @param seed     per-core seed (frame allocator etc.)
+     */
+    CoreComplex(const MachineConfig &cfg, Cache *llc,
+                WorkloadPtr workload, std::uint64_t seed);
+    ~CoreComplex() override;
+
+    /** Execute one instruction. */
+    void step();
+
+    /** Instructions retired so far. */
+    InstCount retired() const { return core_.retired(); }
+
+    /** Cycle of the youngest retirement (the core's clock). */
+    Cycle now() const { return core_.last_retire(); }
+
+    /** Snapshot cumulative counters into a RunMetrics. */
+    RunMetrics metrics() const;
+
+    /** L1D cache (tests/diagnostics). */
+    const Cache &l1d() const { return *l1d_; }
+    /** sTLB (tests/diagnostics). */
+    const Tlb &stlb() const { return *stlb_; }
+    /** Active page-cross filter, may be null. */
+    const PageCrossFilter *filter() const { return filter_.get(); }
+
+    // CacheListener (L1D lifetime events):
+    void on_pgc_first_use(Addr block_paddr) override;
+    void on_eviction(Addr block_paddr, bool prefetched, bool pgc,
+                     bool used) override;
+
+  private:
+    struct Translated
+    {
+        Addr paddr = 0;
+        Addr page_base = 0;
+        bool large = false;
+        Cycle done = 0;
+    };
+
+    Translated translate_demand(Addr vaddr, Cycle now);
+    void handle_memory(const TraceInst &inst, Cycle dispatch,
+                       Cycle &complete);
+    void run_l1d_prefetcher(const PrefetchContext &ctx,
+                            const Translated &trigger);
+    void process_candidate(const PrefetchRequest &req,
+                           const Translated &trigger, Cycle now);
+    void run_l2_prefetcher(Addr trigger_paddr, Addr pc, Cycle now);
+    void interval_tick();
+    SystemSnapshot snapshot() const;
+
+    const MachineConfig &cfg_;
+    Cache *llc_shared_;  //!< shared LLC (observed for snapshots)
+
+    // Memory-side structures (construction order matters).
+    std::unique_ptr<Cache> l2_;
+    std::unique_ptr<Cache> l1i_;
+    std::unique_ptr<Cache> l1d_;
+    std::unique_ptr<PageTable> page_table_;
+    std::unique_ptr<Tlb> itlb_;
+    std::unique_ptr<Tlb> dtlb_;
+    std::unique_ptr<Tlb> stlb_;
+    std::unique_ptr<PageWalker> walker_;
+
+    BranchPredictor bp_;
+    Core core_;
+    Frontend frontend_;
+    WorkloadPtr workload_;
+
+    PrefetcherPtr l1d_pf_;
+    PrefetcherPtr l2_pf_;
+    FilterPtr filter_;
+
+    Cycle last_load_complete_ = 0;  //!< dependent-load serialization
+    std::vector<PrefetchRequest> pf_buffer_;
+    std::vector<PrefetchRequest> l2_pf_buffer_;
+
+    // Page-cross bookkeeping.
+    std::uint64_t pgc_candidates_ = 0;
+    std::uint64_t pgc_dropped_ = 0;
+    std::uint64_t epoch_pgc_useful_ = 0;
+    std::uint64_t epoch_pgc_useless_ = 0;
+
+    // Interval/epoch state.
+    InstCount next_interval_ = 0;
+    InstCount next_epoch_ = 0;
+    struct Window
+    {
+        AccessStats l1d, llc, stlb, l1i;
+        InstCount insts = 0;
+        Cycle cycle = 0;
+    } window_start_;
+    Cycle epoch_start_cycle_ = 0;
+    InstCount epoch_start_insts_ = 0;
+    SystemSnapshot last_snapshot_;
+};
+
+/** The machine: cores + shared LLC + DRAM. */
+class Machine
+{
+  public:
+    /** One workload per core. */
+    Machine(const MachineConfig &cfg, std::vector<WorkloadPtr> workloads);
+    ~Machine();
+
+    /**
+     * Run until every core has retired at least @p insts_per_core
+     * instructions past its current count (cores that finish early
+     * keep replaying, per the paper's multi-core methodology).
+     * Records each core's cycle count at its own crossing point.
+     */
+    void run(InstCount insts_per_core);
+
+    /** Number of cores. */
+    std::size_t num_cores() const { return cores_.size(); }
+
+    /** Cumulative metrics of core @p i. */
+    RunMetrics metrics(std::size_t i) const { return cores_[i]->metrics(); }
+
+    /** Begin a measured region (after warmup). */
+    void start_measurement();
+
+    /**
+     * Metrics of the measured region for core @p i: counters since
+     * start_measurement(), with cycles taken at the core's own
+     * crossing of the instruction budget in the last run() call.
+     */
+    RunMetrics measured(std::size_t i) const;
+
+    /** Core access (tests/diagnostics). */
+    CoreComplex &core(std::size_t i) { return *cores_[i]; }
+
+  private:
+    MachineConfig cfg_;
+    std::unique_ptr<Dram> dram_;
+    std::unique_ptr<Cache> llc_;
+    std::vector<std::unique_ptr<CoreComplex>> cores_;
+    std::vector<RunMetrics> measure_start_;
+    std::vector<RunMetrics> at_budget_;  //!< metrics at own crossing
+};
+
+/** Table IV machine configuration for @p cores cores. */
+MachineConfig default_config(unsigned cores = 1);
+
+}  // namespace moka
+
+#endif  // MOKASIM_SIM_MACHINE_H

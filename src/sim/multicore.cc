@@ -1,0 +1,93 @@
+#include "sim/multicore.h"
+
+#include "common/rng.h"
+#include "sim/runner.h"
+
+namespace moka {
+
+std::vector<std::vector<WorkloadSpec>>
+make_mixes(const std::vector<WorkloadSpec> &roster, std::size_t count,
+           unsigned cores, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<WorkloadSpec>> mixes;
+    mixes.reserve(count);
+    for (std::size_t m = 0; m < count; ++m) {
+        std::vector<WorkloadSpec> mix;
+        mix.reserve(cores);
+        for (unsigned c = 0; c < cores; ++c) {
+            mix.push_back(roster[rng.below(roster.size())]);
+        }
+        mixes.push_back(std::move(mix));
+    }
+    return mixes;
+}
+
+namespace {
+
+double
+isolation_ipc(L1dPrefetcherKind prefetcher, const WorkloadSpec &spec,
+              const MulticoreConfig &mc, IsolationCache &iso)
+{
+    auto it = iso.find(spec.name);
+    if (it != iso.end()) {
+        return it->second;
+    }
+    // Isolation run: multi-core machine configuration (bigger LLC,
+    // more channels), a single active core, baseline scheme.
+    MachineConfig cfg = default_config(mc.cores);
+    cfg.l1d_prefetcher = prefetcher;
+    cfg.scheme = scheme_discard();
+    std::vector<WorkloadPtr> w;
+    w.push_back(make_workload(spec));
+    Machine machine(cfg, std::move(w));
+    machine.run(mc.warmup_insts);
+    machine.start_measurement();
+    machine.run(mc.measure_insts);
+    const double ipc = machine.measured(0).ipc();
+    iso.emplace(spec.name, ipc);
+    return ipc;
+}
+
+}  // namespace
+
+double
+weighted_ipc(L1dPrefetcherKind prefetcher, const SchemeConfig &scheme,
+             const std::vector<WorkloadSpec> &mix,
+             const MulticoreConfig &mc, IsolationCache &iso)
+{
+    MachineConfig cfg = default_config(static_cast<unsigned>(mix.size()));
+    cfg.l1d_prefetcher = prefetcher;
+    cfg.scheme = scheme;
+    std::vector<WorkloadPtr> workloads;
+    workloads.reserve(mix.size());
+    for (const WorkloadSpec &spec : mix) {
+        workloads.push_back(make_workload(spec));
+    }
+    Machine machine(cfg, std::move(workloads));
+    machine.run(mc.warmup_insts);
+    machine.start_measurement();
+    machine.run(mc.measure_insts);
+
+    double sum = 0.0;
+    for (std::size_t i = 0; i < mix.size(); ++i) {
+        const double iso_ipc = isolation_ipc(prefetcher, mix[i], mc, iso);
+        if (iso_ipc > 0.0) {
+            sum += machine.measured(i).ipc() / iso_ipc;
+        }
+    }
+    return sum;
+}
+
+double
+weighted_speedup(L1dPrefetcherKind prefetcher, const SchemeConfig &scheme,
+                 const SchemeConfig &baseline,
+                 const std::vector<WorkloadSpec> &mix,
+                 const MulticoreConfig &mc, IsolationCache &iso)
+{
+    const double ws = weighted_ipc(prefetcher, scheme, mix, mc, iso);
+    const double wb = weighted_ipc(prefetcher, baseline, mix, mc, iso);
+    return wb > 0.0 ? ws / wb : 0.0;
+}
+
+}  // namespace moka

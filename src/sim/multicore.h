@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Multi-core evaluation (paper §IV-A2 and Fig. 19): randomly
+ * generated 8-core mixes, weighted speedup over the Discard PGC
+ * baseline with isolation IPCs, and the replay-until-all-finish rule.
+ */
+#ifndef MOKASIM_SIM_MULTICORE_H
+#define MOKASIM_SIM_MULTICORE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "filter/policies.h"
+#include "sim/machine.h"
+#include "trace/suites.h"
+
+namespace moka {
+
+/** Multi-core run parameters. */
+struct MulticoreConfig
+{
+    unsigned cores = 8;
+    InstCount warmup_insts = 100'000;
+    InstCount measure_insts = 400'000;
+};
+
+/** Draw @p count random @p cores-wide mixes from @p roster. */
+std::vector<std::vector<WorkloadSpec>>
+make_mixes(const std::vector<WorkloadSpec> &roster, std::size_t count,
+           unsigned cores, std::uint64_t seed);
+
+/** Isolation-IPC cache keyed by workload name. */
+using IsolationCache = std::map<std::string, double>;
+
+/**
+ * Weighted IPC of @p mix under @p scheme: sum of
+ * IPC_multicore / IPC_isolation per core (paper's metric). Isolation
+ * IPCs are computed on demand against the multi-core machine
+ * configuration with the baseline (Discard PGC) scheme and memoized
+ * in @p iso.
+ */
+double weighted_ipc(L1dPrefetcherKind prefetcher,
+                    const SchemeConfig &scheme,
+                    const std::vector<WorkloadSpec> &mix,
+                    const MulticoreConfig &mc, IsolationCache &iso);
+
+/**
+ * Weighted speedup of @p scheme over @p baseline for @p mix
+ * (both normalized with the same isolation IPCs).
+ */
+double weighted_speedup(L1dPrefetcherKind prefetcher,
+                        const SchemeConfig &scheme,
+                        const SchemeConfig &baseline,
+                        const std::vector<WorkloadSpec> &mix,
+                        const MulticoreConfig &mc, IsolationCache &iso);
+
+}  // namespace moka
+
+#endif  // MOKASIM_SIM_MULTICORE_H

@@ -1,0 +1,88 @@
+#include "sim/report.h"
+
+#include <sstream>
+
+namespace moka {
+
+std::string
+csv_header()
+{
+    return "workload,suite,scheme,prefetcher,instructions,cycles,ipc,"
+           "l1i_mpki,l1d_mpki,l2_mpki,llc_mpki,dtlb_mpki,stlb_mpki,"
+           "pf_issued,pf_useful,pf_useless,pf_accuracy,"
+           "pgc_candidates,pgc_issued,pgc_useful,pgc_useless,"
+           "pgc_dropped,pgc_accuracy,demand_walks,spec_walks,"
+           "branch_mispredicts";
+}
+
+std::string
+to_csv(const ResultRow &row)
+{
+    const RunMetrics &m = row.metrics;
+    std::ostringstream os;
+    os << row.workload << ',' << row.suite << ',' << row.scheme << ','
+       << row.prefetcher << ',' << m.instructions << ',' << m.cycles << ','
+       << m.ipc() << ',' << m.l1i_mpki() << ',' << m.l1d_mpki() << ','
+       << m.l2_mpki() << ',' << m.llc_mpki() << ',' << m.dtlb_mpki() << ','
+       << m.stlb_mpki() << ',' << m.pf_issued << ',' << m.pf_useful << ','
+       << m.pf_useless << ',' << m.pf_accuracy() << ','
+       << m.pgc_candidates << ',' << m.pgc_issued << ',' << m.pgc_useful
+       << ',' << m.pgc_useless << ',' << m.pgc_dropped << ','
+       << m.pgc_accuracy() << ',' << m.demand_walks << ',' << m.spec_walks
+       << ',' << m.branch_mispredicts;
+    return os.str();
+}
+
+void
+write_csv(std::ostream &os, const std::vector<ResultRow> &rows)
+{
+    os << csv_header() << '\n';
+    for (const ResultRow &row : rows) {
+        os << to_csv(row) << '\n';
+    }
+}
+
+std::string
+to_json(const ResultRow &row)
+{
+    const RunMetrics &m = row.metrics;
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"workload\": \"" << row.workload << "\",\n"
+       << "  \"suite\": \"" << row.suite << "\",\n"
+       << "  \"scheme\": \"" << row.scheme << "\",\n"
+       << "  \"prefetcher\": \"" << row.prefetcher << "\",\n"
+       << "  \"instructions\": " << m.instructions << ",\n"
+       << "  \"cycles\": " << m.cycles << ",\n"
+       << "  \"ipc\": " << m.ipc() << ",\n"
+       << "  \"mpki\": {\n"
+       << "    \"l1i\": " << m.l1i_mpki() << ",\n"
+       << "    \"l1d\": " << m.l1d_mpki() << ",\n"
+       << "    \"l2\": " << m.l2_mpki() << ",\n"
+       << "    \"llc\": " << m.llc_mpki() << ",\n"
+       << "    \"dtlb\": " << m.dtlb_mpki() << ",\n"
+       << "    \"stlb\": " << m.stlb_mpki() << "\n"
+       << "  },\n"
+       << "  \"prefetch\": {\n"
+       << "    \"issued\": " << m.pf_issued << ",\n"
+       << "    \"useful\": " << m.pf_useful << ",\n"
+       << "    \"useless\": " << m.pf_useless << ",\n"
+       << "    \"accuracy\": " << m.pf_accuracy() << "\n"
+       << "  },\n"
+       << "  \"page_cross\": {\n"
+       << "    \"candidates\": " << m.pgc_candidates << ",\n"
+       << "    \"issued\": " << m.pgc_issued << ",\n"
+       << "    \"useful\": " << m.pgc_useful << ",\n"
+       << "    \"useless\": " << m.pgc_useless << ",\n"
+       << "    \"dropped\": " << m.pgc_dropped << ",\n"
+       << "    \"accuracy\": " << m.pgc_accuracy() << "\n"
+       << "  },\n"
+       << "  \"walks\": {\n"
+       << "    \"demand\": " << m.demand_walks << ",\n"
+       << "    \"speculative\": " << m.spec_walks << "\n"
+       << "  }\n"
+       << "}";
+    return os.str();
+}
+
+}  // namespace moka

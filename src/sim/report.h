@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Machine-readable result export: RunMetrics rows to CSV and single
+ * runs to JSON, for plotting the figure data outside the harnesses.
+ */
+#ifndef MOKASIM_SIM_REPORT_H
+#define MOKASIM_SIM_REPORT_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace moka {
+
+/** One labelled result row. */
+struct ResultRow
+{
+    std::string workload;
+    std::string suite;
+    std::string scheme;
+    std::string prefetcher;
+    RunMetrics metrics;
+};
+
+/** CSV header matching write_csv's columns. */
+std::string csv_header();
+
+/** One CSV line for @p row (no trailing newline). */
+std::string to_csv(const ResultRow &row);
+
+/** Write header + all rows to @p os. */
+void write_csv(std::ostream &os, const std::vector<ResultRow> &rows);
+
+/** Pretty JSON object for one run. */
+std::string to_json(const ResultRow &row);
+
+}  // namespace moka
+
+#endif  // MOKASIM_SIM_REPORT_H

@@ -1,0 +1,27 @@
+#include "sim/runner.h"
+
+namespace moka {
+
+MachineConfig
+make_config(L1dPrefetcherKind prefetcher, const SchemeConfig &scheme)
+{
+    MachineConfig cfg = default_config(1);
+    cfg.l1d_prefetcher = prefetcher;
+    cfg.scheme = scheme;
+    return cfg;
+}
+
+RunMetrics
+run_single(const MachineConfig &cfg, const WorkloadSpec &spec,
+           const RunConfig &run)
+{
+    std::vector<WorkloadPtr> w;
+    w.push_back(make_workload(spec));
+    Machine machine(cfg, std::move(w));
+    machine.run(run.warmup_insts);
+    machine.start_measurement();
+    machine.run(run.measure_insts);
+    return machine.measured(0);
+}
+
+}  // namespace moka

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Single-core experiment runner: warmup + measured region for one
+ * (workload, scheme) pair, mirroring the paper's SimPoint
+ * methodology at a laptop-friendly scale.
+ */
+#ifndef MOKASIM_SIM_RUNNER_H
+#define MOKASIM_SIM_RUNNER_H
+
+#include "sim/machine.h"
+#include "trace/suites.h"
+
+namespace moka {
+
+/** Instruction budgets for one run. */
+struct RunConfig
+{
+    InstCount warmup_insts = 200'000;
+    InstCount measure_insts = 800'000;
+
+    /** Scale both budgets by @p factor (for --full sweeps). */
+    RunConfig scaled(double factor) const
+    {
+        RunConfig r = *this;
+        r.warmup_insts = static_cast<InstCount>(
+            static_cast<double>(warmup_insts) * factor);
+        r.measure_insts = static_cast<InstCount>(
+            static_cast<double>(measure_insts) * factor);
+        return r;
+    }
+};
+
+/**
+ * Run @p spec single-core under @p cfg: warm up, measure, return the
+ * measured-region metrics.
+ */
+RunMetrics run_single(const MachineConfig &cfg, const WorkloadSpec &spec,
+                      const RunConfig &run);
+
+/**
+ * Convenience: default Table IV machine with @p prefetcher and
+ * @p scheme.
+ */
+MachineConfig make_config(L1dPrefetcherKind prefetcher,
+                          const SchemeConfig &scheme);
+
+}  // namespace moka
+
+#endif  // MOKASIM_SIM_RUNNER_H

@@ -1,0 +1,584 @@
+#include "trace/generators.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/hashing.h"
+
+namespace moka {
+namespace {
+
+/** Sequential multi-stream sweep (see make_stream_kernel). */
+class StreamKernel : public AccessKernel
+{
+  public:
+    explicit StreamKernel(const StreamParams &p) : p_(p)
+    {
+        const Addr per_stream = p_.footprint / p_.streams;
+        for (unsigned s = 0; s < p_.streams; ++s) {
+            cursors_.push_back(p_.base + s * per_stream);
+        }
+    }
+
+    Access
+    next(Rng &rng) override
+    {
+        const unsigned s = next_stream_;
+        next_stream_ = (next_stream_ + 1) % p_.streams;
+        const Addr per_stream = p_.footprint / p_.streams;
+        const Addr lo = p_.base + s * per_stream;
+        Addr a = cursors_[s];
+        cursors_[s] += p_.stride;
+        if (cursors_[s] >= lo + per_stream) {
+            cursors_[s] = lo;
+        }
+        return {a, 0x4000 + s * 16, rng.chance(p_.store_frac)};
+    }
+
+  private:
+    StreamParams p_;
+    std::vector<Addr> cursors_;
+    unsigned next_stream_ = 0;
+};
+
+/** Page-sized rows with large pitch (see make_tile_kernel). */
+class TileKernel : public AccessKernel
+{
+  public:
+    explicit TileKernel(const TileParams &p) : p_(p) {}
+
+    Access
+    next(Rng &rng) override
+    {
+        const Addr a = p_.base + row_ * p_.pitch + col_;
+        col_ += p_.stride;
+        if (col_ >= p_.row_bytes) {
+            col_ = 0;
+            row_ = (row_ + 1) % p_.rows;
+        }
+        return {a, 0x5000, rng.chance(p_.store_frac)};
+    }
+
+  private:
+    TileParams p_;
+    Addr row_ = 0;
+    Addr col_ = 0;
+};
+
+/** CSR traversal (see make_csr_graph_kernel). */
+class CsrGraphKernel : public AccessKernel
+{
+  public:
+    explicit CsrGraphKernel(const CsrGraphParams &p) : p_(p)
+    {
+        offsets_base_ = p_.base;
+        edges_base_ = p_.base + p_.vertices * 8 + kPageSize;
+        edges_base_ = page_addr(edges_base_ + kPageSize - 1);
+        values_base_ =
+            edges_base_ + p_.vertices * Addr{p_.avg_degree} * 8 + kPageSize;
+        values_base_ = page_addr(values_base_ + kPageSize - 1);
+    }
+
+    Access
+    next(Rng &rng) override
+    {
+        switch (state_) {
+          case State::kOffset: {
+            const Addr a = offsets_base_ + vertex_ * 8;
+            // Deterministic degree derived from the vertex id so the
+            // stream replays identically across schemes.
+            degree_left_ = 1 + static_cast<unsigned>(
+                mix64(vertex_ * 0x9E3779B97F4A7C15ull) %
+                (2 * p_.avg_degree));
+            edge_cursor_ = edges_base_ +
+                (mix64(vertex_) % (p_.vertices * p_.avg_degree)) * 8;
+            state_ = State::kEdges;
+            return {a, 0x6000, false};
+          }
+          case State::kEdges: {
+            const Addr a = edge_cursor_;
+            edge_cursor_ += 8;
+            pending_gather_ = rng.chance(p_.value_gather_frac);
+            if (--degree_left_ == 0) {
+                vertex_ = (vertex_ + 1) % p_.vertices;
+                state_ = pending_gather_ ? State::kGather : State::kOffset;
+            } else if (pending_gather_) {
+                state_ = State::kGather;
+            }
+            return {a, 0x6010, false, true};
+          }
+          case State::kGather:
+          default: {
+            const Addr a = values_base_ +
+                (rng.next() % p_.vertices) * kBlockSize;
+            state_ = (degree_left_ == 0) ? State::kOffset : State::kEdges;
+            return {a, 0x6020, rng.chance(p_.store_frac), true};
+          }
+        }
+    }
+
+  private:
+    enum class State { kOffset, kEdges, kGather };
+
+    CsrGraphParams p_;
+    Addr offsets_base_ = 0;
+    Addr edges_base_ = 0;
+    Addr values_base_ = 0;
+    std::uint64_t vertex_ = 0;
+    unsigned degree_left_ = 0;
+    Addr edge_cursor_ = 0;
+    bool pending_gather_ = false;
+    State state_ = State::kOffset;
+};
+
+/** Dependent sequential chase (see make_seq_chase_kernel). */
+class SeqChaseKernel : public AccessKernel
+{
+  public:
+    explicit SeqChaseKernel(const SeqChaseParams &p) : p_(p)
+    {
+        blocks_ = p_.footprint / kBlockSize;
+    }
+
+    Access
+    next(Rng &rng) override
+    {
+        const Addr a = p_.base + cursor_ * kBlockSize;
+        cursor_ += p_.stride_lines;
+        if (cursor_ >= blocks_ || rng.chance(p_.restart_prob)) {
+            cursor_ = rng.below(blocks_);
+        }
+        return {a, 0x7800, false, /*dependent=*/true};
+    }
+
+  private:
+    SeqChaseParams p_;
+    Addr blocks_ = 0;
+    Addr cursor_ = 0;
+};
+
+/** Dependent random chase (see make_pointer_chase_kernel). */
+class PointerChaseKernel : public AccessKernel
+{
+  public:
+    explicit PointerChaseKernel(const PointerChaseParams &p) : p_(p)
+    {
+        for (unsigned c = 0; c < p_.chains; ++c) {
+            cursors_.push_back(mix64(c * 77 + 1));
+        }
+    }
+
+    Access
+    next(Rng & /*rng*/) override
+    {
+        const unsigned c = next_chain_;
+        next_chain_ = (next_chain_ + 1) % p_.chains;
+        const Addr blocks = p_.footprint / kBlockSize;
+        const Addr a = p_.base + (cursors_[c] % blocks) * kBlockSize;
+        // Next hop depends on the current one: a data-dependent chain.
+        cursors_[c] = mix64(cursors_[c]);
+        return {a, 0x7000 + c * 16, false, true};
+    }
+
+  private:
+    PointerChaseParams p_;
+    std::vector<std::uint64_t> cursors_;
+    unsigned next_chain_ = 0;
+};
+
+/** Random bucket + short in-page probe (see make_hash_probe_kernel). */
+class HashProbeKernel : public AccessKernel
+{
+  public:
+    explicit HashProbeKernel(const HashProbeParams &p) : p_(p) {}
+
+    Access
+    next(Rng &rng) override
+    {
+        if (lines_left_ == 0) {
+            const Addr pages = p_.footprint / kPageSize;
+            cursor_ = p_.base + rng.below(pages) * kPageSize +
+                      rng.below(kBlocksPerPage) * kBlockSize;
+            lines_left_ = static_cast<unsigned>(
+                rng.range(p_.probe_lines_min, p_.probe_lines_max));
+        }
+        const Addr a = cursor_;
+        cursor_ += kBlockSize;
+        --lines_left_;
+        return {a, 0x8000, rng.chance(p_.store_frac)};
+    }
+
+  private:
+    HashProbeParams p_;
+    Addr cursor_ = 0;
+    unsigned lines_left_ = 0;
+};
+
+/** Sequential index stream + random gathers (see make_gather_kernel). */
+class GatherKernel : public AccessKernel
+{
+  public:
+    explicit GatherKernel(const GatherParams &p) : p_(p) {}
+
+    Access
+    next(Rng &rng) override
+    {
+        if (gathers_left_ > 0) {
+            --gathers_left_;
+            const Addr blocks = p_.data_bytes / kBlockSize;
+            return {p_.data_base + rng.below(blocks) * kBlockSize, 0x9010,
+                    false, true};
+        }
+        const Addr a = p_.index_base + index_cursor_;
+        index_cursor_ += 8;
+        if (index_cursor_ >= p_.index_bytes) {
+            index_cursor_ = 0;
+        }
+        gathers_left_ = p_.gathers_per_index;
+        return {a, 0x9000, false};
+    }
+
+  private:
+    GatherParams p_;
+    Addr index_cursor_ = 0;
+    unsigned gathers_left_ = 0;
+};
+
+/** 5-point stencil sweep (see make_stencil_kernel). */
+class StencilKernel : public AccessKernel
+{
+  public:
+    explicit StencilKernel(const StencilParams &p) : p_(p) {}
+
+    Access
+    next(Rng & /*rng*/) override
+    {
+        // Point order per element: N, W, C, E, S.
+        const Addr center =
+            p_.base + row_ * p_.row_bytes + col_ * p_.elem_bytes;
+        Addr a = center;
+        switch (point_) {
+          case 0: a = center - p_.row_bytes; break;  // north
+          case 1: a = center - p_.elem_bytes; break; // west
+          case 2: a = center; break;
+          case 3: a = center + p_.elem_bytes; break; // east
+          case 4: a = center + p_.row_bytes; break;  // south
+        }
+        // Distinct PC per stencil point: five recognizable streams.
+        const Addr pc = 0xC800 + Addr(point_) * 8;
+        if (++point_ == 5) {
+            point_ = 0;
+            if (++col_ >= p_.row_bytes / p_.elem_bytes - 1) {
+                col_ = 1;
+                row_ = (row_ + 1) % p_.rows;
+                if (row_ == 0) {
+                    row_ = 1;
+                }
+            }
+        }
+        return {a, pc, false};
+    }
+
+  private:
+    StencilParams p_;
+    Addr row_ = 1;
+    Addr col_ = 1;
+    unsigned point_ = 0;
+};
+
+/** Zipf-distributed point accesses (see make_zipf_kernel). */
+class ZipfKernel : public AccessKernel
+{
+  public:
+    explicit ZipfKernel(const ZipfParams &p) : p_(p)
+    {
+        // Rejection-free approximate Zipf via the inverse-CDF power
+        // trick: rank = N * u^(1/(1-skew)) biases towards low ranks.
+        blocks_ = p_.footprint / kBlockSize;
+    }
+
+    Access
+    next(Rng &rng) override
+    {
+        const double u = rng.uniform();
+        const double exponent = 1.0 / (1.0 - p_.skew);
+        const double frac = std::pow(u, exponent);
+        Addr block = static_cast<Addr>(frac * double(blocks_ - 1));
+        if (block >= blocks_) {
+            block = blocks_ - 1;
+        }
+        // Scramble ranks across the footprint so the hot set is not
+        // spatially contiguous (defeats trivial spatial prefetching).
+        block = mix64(block) % blocks_;
+        return {p_.base + block * kBlockSize, 0xD800,
+                rng.chance(p_.store_frac)};
+    }
+
+  private:
+    ZipfParams p_;
+    Addr blocks_ = 0;
+};
+
+/** Same-PC dual-stride kernel (see make_dual_stride_kernel). */
+class DualStrideKernel : public AccessKernel
+{
+  public:
+    explicit DualStrideKernel(const DualStrideParams &p) : p_(p) {}
+
+    Access
+    next(Rng &rng) override
+    {
+        if (streaming_) {
+            const Addr a = p_.base + stream_cursor_;
+            stream_cursor_ = (stream_cursor_ + kBlockSize) % p_.footprint;
+            if (++burst_count_ >= p_.stream_burst) {
+                burst_count_ = 0;
+                streaming_ = false;
+                runs_left_ = p_.runs_per_burst;
+                start_run(rng);
+            }
+            return {a, 0xB000, false};
+        }
+        const Addr a = p_.base + run_page_ * kPageSize +
+                       run_line_ * kBlockSize;
+        run_line_ += p_.hop_lines;
+        if (run_line_ >= kBlocksPerPage) {
+            // The run always dies at the page boundary: a +hop_lines
+            // page-cross prefetch issued from the last hop is useless.
+            if (--runs_left_ == 0) {
+                streaming_ = true;
+            } else {
+                start_run(rng);
+            }
+        }
+        return {a, 0xB000, false};
+    }
+
+  private:
+    void
+    start_run(Rng &rng)
+    {
+        run_page_ = rng.below(p_.footprint / kPageSize);
+        run_line_ = 0;
+    }
+
+    DualStrideParams p_;
+    bool streaming_ = true;
+    Addr stream_cursor_ = 0;
+    unsigned burst_count_ = 0;
+    unsigned runs_left_ = 0;
+    Addr run_page_ = 0;
+    Addr run_line_ = 0;
+};
+
+/** Round-robin phase mixer (see make_phase_mix_kernel). */
+class PhaseMixKernel : public AccessKernel
+{
+  public:
+    PhaseMixKernel(std::vector<KernelPtr> children, std::uint64_t phase_len)
+        : children_(std::move(children)), phase_len_(phase_len)
+    {
+    }
+
+    Access
+    next(Rng &rng) override
+    {
+        if (++count_ >= phase_len_) {
+            count_ = 0;
+            active_ = (active_ + 1) % children_.size();
+        }
+        return children_[active_]->next(rng);
+    }
+
+  private:
+    std::vector<KernelPtr> children_;
+    std::uint64_t phase_len_;
+    std::uint64_t count_ = 0;
+    std::size_t active_ = 0;
+};
+
+/** Bursty stream/chase alternation (see make_bursty_kernel). */
+class BurstyKernel : public AccessKernel
+{
+  public:
+    explicit BurstyKernel(const BurstyParams &p) : p_(p) {}
+
+    Access
+    next(Rng &rng) override
+    {
+        if (left_ == 0) {
+            left_ = p_.burst_len;
+            streaming_ = rng.chance(p_.stream_frac);
+            if (streaming_) {
+                cursor_ = p_.base +
+                          rng.below(p_.footprint / kPageSize) * kPageSize;
+            }
+        }
+        --left_;
+        if (streaming_) {
+            const Addr a = cursor_;
+            cursor_ += kBlockSize;
+            if (cursor_ >= p_.base + p_.footprint) {
+                cursor_ = p_.base;
+            }
+            return {a, 0xA000, false};
+        }
+        chase_ = mix64(chase_ + 1);
+        const Addr blocks = p_.footprint / kBlockSize;
+        return {p_.base + (chase_ % blocks) * kBlockSize, 0xA010, false, true};
+    }
+
+  private:
+    BurstyParams p_;
+    std::uint64_t left_ = 0;
+    bool streaming_ = false;
+    Addr cursor_ = 0;
+    std::uint64_t chase_ = 0;
+};
+
+/**
+ * The interleaver: wraps a kernel with ALU filler and loop branches
+ * to form a complete instruction stream (see make_synthetic).
+ */
+class SyntheticWorkload : public Workload
+{
+  public:
+    SyntheticWorkload(std::string name, KernelPtr kernel,
+                      const InterleaveParams &params, std::uint64_t seed)
+        : name_(std::move(name)), kernel_(std::move(kernel)), p_(params),
+          rng_(seed)
+    {
+    }
+
+    TraceInst
+    next() override
+    {
+        TraceInst inst;
+        const double draw = rng_.uniform();
+        if (draw < p_.branch_ratio) {
+            inst.op = OpClass::kBranch;
+            if (rng_.chance(p_.hard_branch_frac)) {
+                // Data-dependent branch: outcome is a coin flip.
+                inst.pc = kBranchBase + 0x40;
+                inst.taken = rng_.chance(0.5);
+            } else {
+                // Loop branch: taken (period-1)/period of the time.
+                inst.pc = kBranchBase;
+                inst.taken = (++loop_iter_ % p_.loop_period) != 0;
+            }
+            inst.target = inst.taken ? kLoopTop : inst.pc + 4;
+        } else if (draw < p_.branch_ratio + p_.mem_ratio) {
+            const AccessKernel::Access a = kernel_->next(rng_);
+            inst.op = (a.store || rng_.chance(p_.store_frac))
+                          ? OpClass::kStore
+                          : OpClass::kLoad;
+            inst.pc = kCodeBase + a.pc;
+            inst.mem_addr = a.addr;
+            inst.dep_load = a.dependent;
+        } else {
+            inst.op = OpClass::kAlu;
+            inst.pc = kCodeBase + 0x100 + (alu_pc_++ % 16) * 4;
+        }
+        return inst;
+    }
+
+    const std::string &name() const override { return name_; }
+
+  private:
+    static constexpr Addr kCodeBase = 0x400000;
+    static constexpr Addr kBranchBase = kCodeBase + 0x2000;
+    static constexpr Addr kLoopTop = kCodeBase + 0x1000;
+
+    std::string name_;
+    KernelPtr kernel_;
+    InterleaveParams p_;
+    Rng rng_;
+    std::uint64_t loop_iter_ = 0;
+    std::uint64_t alu_pc_ = 0;
+};
+
+}  // namespace
+
+WorkloadPtr
+make_synthetic(std::string name, KernelPtr kernel,
+               const InterleaveParams &params, std::uint64_t seed)
+{
+    return std::make_unique<SyntheticWorkload>(std::move(name),
+                                               std::move(kernel), params,
+                                               seed);
+}
+
+KernelPtr
+make_stream_kernel(const StreamParams &p)
+{
+    return std::make_unique<StreamKernel>(p);
+}
+
+KernelPtr
+make_tile_kernel(const TileParams &p)
+{
+    return std::make_unique<TileKernel>(p);
+}
+
+KernelPtr
+make_csr_graph_kernel(const CsrGraphParams &p)
+{
+    return std::make_unique<CsrGraphKernel>(p);
+}
+
+KernelPtr
+make_seq_chase_kernel(const SeqChaseParams &p)
+{
+    return std::make_unique<SeqChaseKernel>(p);
+}
+
+KernelPtr
+make_pointer_chase_kernel(const PointerChaseParams &p)
+{
+    return std::make_unique<PointerChaseKernel>(p);
+}
+
+KernelPtr
+make_hash_probe_kernel(const HashProbeParams &p)
+{
+    return std::make_unique<HashProbeKernel>(p);
+}
+
+KernelPtr
+make_gather_kernel(const GatherParams &p)
+{
+    return std::make_unique<GatherKernel>(p);
+}
+
+KernelPtr
+make_stencil_kernel(const StencilParams &p)
+{
+    return std::make_unique<StencilKernel>(p);
+}
+
+KernelPtr
+make_zipf_kernel(const ZipfParams &p)
+{
+    return std::make_unique<ZipfKernel>(p);
+}
+
+KernelPtr
+make_dual_stride_kernel(const DualStrideParams &p)
+{
+    return std::make_unique<DualStrideKernel>(p);
+}
+
+KernelPtr
+make_phase_mix_kernel(std::vector<KernelPtr> children,
+                      std::uint64_t phase_len)
+{
+    return std::make_unique<PhaseMixKernel>(std::move(children), phase_len);
+}
+
+KernelPtr
+make_bursty_kernel(const BurstyParams &p)
+{
+    return std::make_unique<BurstyKernel>(p);
+}
+
+}  // namespace moka

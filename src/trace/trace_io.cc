@@ -1,0 +1,108 @@
+#include "trace/trace_io.h"
+
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+namespace moka {
+namespace {
+
+constexpr char kMagic[8] = {'M', 'O', 'K', 'A', 'T', 'R', 'C', '1'};
+
+/** RAII stdio handle. */
+struct File
+{
+    explicit File(std::FILE *f) : fp(f) {}
+    ~File()
+    {
+        if (fp != nullptr) {
+            std::fclose(fp);
+        }
+    }
+    File(const File &) = delete;
+    File &operator=(const File &) = delete;
+
+    std::FILE *fp;
+};
+
+}  // namespace
+
+bool
+record_trace(const std::string &path, Workload &workload,
+             std::uint64_t count)
+{
+    File f(std::fopen(path.c_str(), "wb"));
+    if (f.fp == nullptr) {
+        return false;
+    }
+    if (std::fwrite(kMagic, sizeof(kMagic), 1, f.fp) != 1 ||
+        std::fwrite(&count, sizeof(count), 1, f.fp) != 1) {
+        return false;
+    }
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const TraceInst inst = workload.next();
+        TraceRecord rec{};
+        rec.pc = inst.pc;
+        rec.mem_addr = inst.mem_addr;
+        rec.target = inst.target;
+        rec.op = static_cast<std::uint8_t>(inst.op);
+        rec.taken = inst.taken ? 1 : 0;
+        rec.dep_load = inst.dep_load ? 1 : 0;
+        if (std::fwrite(&rec, sizeof(rec), 1, f.fp) != 1) {
+            return false;
+        }
+    }
+    return true;
+}
+
+TraceFileWorkload::TraceFileWorkload(const std::string &path)
+    : name_("trace:" + path)
+{
+    File f(std::fopen(path.c_str(), "rb"));
+    if (f.fp == nullptr) {
+        throw std::runtime_error("cannot open trace " + path);
+    }
+    char magic[8];
+    std::uint64_t count = 0;
+    if (std::fread(magic, sizeof(magic), 1, f.fp) != 1 ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0 ||
+        std::fread(&count, sizeof(count), 1, f.fp) != 1) {
+        throw std::runtime_error("bad trace header in " + path);
+    }
+    records_.resize(count);
+    if (count > 0 &&
+        std::fread(records_.data(), sizeof(TraceRecord), count, f.fp) !=
+            count) {
+        throw std::runtime_error("truncated trace " + path);
+    }
+    if (records_.empty()) {
+        throw std::runtime_error("empty trace " + path);
+    }
+}
+
+TraceInst
+TraceFileWorkload::next()
+{
+    const TraceRecord &rec = records_[cursor_];
+    cursor_ = (cursor_ + 1) % records_.size();
+    TraceInst inst;
+    inst.pc = rec.pc;
+    inst.mem_addr = rec.mem_addr;
+    inst.target = rec.target;
+    inst.op = static_cast<OpClass>(rec.op);
+    inst.taken = rec.taken != 0;
+    inst.dep_load = rec.dep_load != 0;
+    return inst;
+}
+
+WorkloadPtr
+open_trace(const std::string &path)
+{
+    try {
+        return std::make_unique<TraceFileWorkload>(path);
+    } catch (const std::exception &) {
+        return nullptr;
+    }
+}
+
+}  // namespace moka

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Binary trace file format: record any Workload to disk and replay it
+ * later. This is the adoption path for real traces (e.g. converted
+ * ChampSim/SimPoint traces) in place of the synthetic generators.
+ *
+ * Format: 16-byte header (magic "MOKATRC1", u64 instruction count),
+ * then one packed record per instruction.
+ */
+#ifndef MOKASIM_TRACE_TRACE_IO_H
+#define MOKASIM_TRACE_TRACE_IO_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/workload.h"
+
+namespace moka {
+
+/** On-disk instruction record (packed, little-endian). */
+struct TraceRecord
+{
+    std::uint64_t pc;
+    std::uint64_t mem_addr;
+    std::uint64_t target;
+    std::uint8_t op;       //!< OpClass
+    std::uint8_t taken;    //!< 0/1
+    std::uint8_t dep_load; //!< 0/1
+    std::uint8_t pad[5];
+};
+static_assert(sizeof(TraceRecord) == 32, "record layout");
+
+/**
+ * Capture @p count instructions of @p workload into @p path.
+ *
+ * @return true on success.
+ */
+bool record_trace(const std::string &path, Workload &workload,
+                  std::uint64_t count);
+
+/**
+ * A Workload backed by a trace file; loops back to the start when the
+ * trace is exhausted (mirrors how SimPoint regions are replayed).
+ * The whole trace is held in memory (32B/instruction).
+ */
+class TraceFileWorkload : public Workload
+{
+  public:
+    /** Throws std::runtime_error on malformed files. */
+    explicit TraceFileWorkload(const std::string &path);
+
+    TraceInst next() override;
+
+    const std::string &name() const override { return name_; }
+
+    /** Instructions in one pass of the trace. */
+    std::uint64_t length() const { return records_.size(); }
+
+  private:
+    std::string name_;
+    std::vector<TraceRecord> records_;
+    std::size_t cursor_ = 0;
+};
+
+/** Open a trace file as a Workload (nullptr on failure, no throw). */
+WorkloadPtr open_trace(const std::string &path);
+
+}  // namespace moka
+
+#endif  // MOKASIM_TRACE_TRACE_IO_H

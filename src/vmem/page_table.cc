@@ -1,0 +1,122 @@
+#include "vmem/page_table.h"
+
+#include <cassert>
+
+#include "common/hashing.h"
+
+namespace moka {
+namespace {
+
+/** 9-bit radix index of @p vaddr at @p level (0 = PT, 4 = PML5). */
+constexpr unsigned
+radix_index(Addr vaddr, unsigned level)
+{
+    return static_cast<unsigned>((vaddr >> (kPageBits + 9 * level)) & 0x1FF);
+}
+
+}  // namespace
+
+PageTable::PageTable(const VmemConfig &config)
+    : cfg_(config), rng_(config.seed)
+{
+    root_ = alloc_frame();
+}
+
+Addr
+PageTable::alloc_frame()
+{
+    // 4KB frames come from the lower half of physical memory; 2MB
+    // frames from the upper half (avoids overlap bookkeeping).
+    const Addr frames = cfg_.phys_bytes / kPageSize / 2;
+    for (;;) {
+        const Addr f = rng_.below(frames);
+        if (used_frames_.insert(f).second) {
+            return f * kPageSize;
+        }
+    }
+}
+
+Addr
+PageTable::alloc_large_frame()
+{
+    const Addr half = cfg_.phys_bytes / 2;
+    const Addr frames = half / kLargePageSize;
+    assert(frames > 0);
+    for (;;) {
+        const Addr f = rng_.below(frames);
+        if (used_large_frames_.insert(f).second) {
+            return half + f * kLargePageSize;
+        }
+    }
+}
+
+bool
+PageTable::is_large_region(Addr vaddr) const
+{
+    if (cfg_.large_page_fraction <= 0.0) {
+        return false;
+    }
+    // Deterministic per-region coin flip so every simulation of the
+    // same address space agrees on page sizes.
+    const Addr region = large_page_number(vaddr);
+    const double draw =
+        static_cast<double>(mix64(region ^ cfg_.seed) >> 11) * 0x1.0p-53;
+    return draw < cfg_.large_page_fraction;
+}
+
+Translation
+PageTable::translate(Addr vaddr)
+{
+    Translation t;
+    if (is_large_region(vaddr)) {
+        const Addr lvpn = large_page_number(vaddr);
+        auto [it, inserted] = large_page_map_.try_emplace(lvpn, 0);
+        if (inserted) {
+            it->second = alloc_large_frame();
+        }
+        t.paddr = it->second + (vaddr & (kLargePageSize - 1));
+        t.large = true;
+        return t;
+    }
+    const Addr vpn = page_number(vaddr);
+    auto [it, inserted] = page_map_.try_emplace(vpn, 0);
+    if (inserted) {
+        it->second = alloc_frame();
+    }
+    t.paddr = it->second + page_offset(vaddr);
+    t.large = false;
+    return t;
+}
+
+Addr
+PageTable::table_frame(unsigned level, Addr prefix)
+{
+    auto [it, inserted] = tables_[level].try_emplace(prefix, 0);
+    if (inserted) {
+        it->second = alloc_frame();
+    }
+    return it->second;
+}
+
+unsigned
+PageTable::walk_addresses(Addr vaddr, std::array<Addr, 5> &out)
+{
+    // Levels top-down: PML5 (radix level 4) .. PT (radix level 0).
+    // Table frames are keyed by the VA prefix above each table so
+    // adjacent pages share leaf tables, giving walks cache locality.
+    out[0] = root_ + radix_index(vaddr, 4) * 8;
+    const Addr pml4 = table_frame(3, vaddr >> (kPageBits + 9 * 4));
+    out[1] = pml4 + radix_index(vaddr, 3) * 8;
+    const Addr pdpt = table_frame(2, vaddr >> (kPageBits + 9 * 3));
+    out[2] = pdpt + radix_index(vaddr, 2) * 8;
+    const Addr pd = table_frame(1, vaddr >> (kPageBits + 9 * 2));
+    out[3] = pd + radix_index(vaddr, 1) * 8;
+    if (is_large_region(vaddr)) {
+        return 4;  // PDE maps the 2MB page directly
+    }
+    const Addr pt = table_frame(0, vaddr >> (kPageBits + 9));
+    out[4] = pt + radix_index(vaddr, 0) * 8;
+    return 5;
+}
+
+}  // namespace moka

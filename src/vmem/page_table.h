@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Lazy 5-level radix page table with a randomized physical frame
+ * allocator. Randomized allocation destroys virtual->physical
+ * contiguity, which is why patterns easy to prefetch in virtual space
+ * are invisible in physical space — the premise behind VIPT L1D
+ * prefetching (paper §II-A).
+ */
+#ifndef MOKASIM_VMEM_PAGE_TABLE_H
+#define MOKASIM_VMEM_PAGE_TABLE_H
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace moka {
+
+/** Virtual-memory configuration for one address space. */
+struct VmemConfig
+{
+    Addr phys_bytes = Addr{4} << 30;   //!< physical memory size
+    double large_page_fraction = 0.0;  //!< chance a 2MB VA region is
+                                       //!< backed by a 2MB page
+    std::uint64_t seed = 1;            //!< allocator randomization
+};
+
+/** Result of an address translation. */
+struct Translation
+{
+    Addr paddr = 0;    //!< translated physical byte address
+    bool large = false; //!< backed by a 2MB page
+};
+
+/**
+ * Per-process page table. Mappings and intermediate table frames are
+ * allocated on first touch, emulating a lazy OS; walk_addresses()
+ * exposes the physical PTE addresses so the hardware walker can issue
+ * real memory references against the cache hierarchy.
+ */
+class PageTable
+{
+  public:
+    explicit PageTable(const VmemConfig &config);
+
+    /** Translate @p vaddr, allocating the mapping on demand. */
+    Translation translate(Addr vaddr);
+
+    /**
+     * Physical addresses of the page-table entries a full walk reads,
+     * outermost first (PML5E, PML4E, PDPTE, PDE[, PTE]).
+     *
+     * @param vaddr faulting virtual address
+     * @param out   filled with up to 5 entry addresses
+     * @return number of levels to read (4 for 2MB mappings, 5 for 4KB)
+     */
+    unsigned walk_addresses(Addr vaddr, std::array<Addr, 5> &out);
+
+    /** Number of 4KB data pages mapped so far. */
+    std::size_t mapped_pages() const { return page_map_.size(); }
+
+    /** True if the 2MB region containing @p vaddr uses a large page. */
+    bool is_large_region(Addr vaddr) const;
+
+  private:
+    Addr alloc_frame();        //!< unique random 4KB frame
+    Addr alloc_large_frame();  //!< unique random 2MB-aligned frame
+    Addr table_frame(unsigned level, Addr prefix);
+
+    VmemConfig cfg_;
+    Rng rng_;
+    Addr root_;  //!< physical base of the PML5 table
+    //! table frames keyed by (level, VA prefix)
+    std::array<std::unordered_map<Addr, Addr>, 4> tables_;
+    std::unordered_map<Addr, Addr> page_map_;        //!< VPN -> frame
+    std::unordered_map<Addr, Addr> large_page_map_;  //!< LVPN -> frame
+    std::unordered_set<Addr> used_frames_;           //!< 4KB frame ids
+    std::unordered_set<Addr> used_large_frames_;     //!< 2MB frame ids
+};
+
+}  // namespace moka
+
+#endif  // MOKASIM_VMEM_PAGE_TABLE_H

@@ -1,0 +1,95 @@
+#include "vmem/tlb.h"
+
+#include <cassert>
+
+#include "common/bitops.h"
+
+namespace moka {
+
+Tlb::Tlb(const TlbConfig &config)
+    : cfg_(config),
+      small_(static_cast<std::size_t>(config.sets) * config.ways),
+      large_(static_cast<std::size_t>(config.large_sets) *
+             config.large_ways)
+{
+    assert(is_pow2(cfg_.sets) && is_pow2(cfg_.large_sets));
+}
+
+Tlb::Entry *
+Tlb::find(std::vector<Entry> &arr, std::uint32_t sets, std::uint32_t ways,
+          Addr vpn)
+{
+    Entry *row = &arr[static_cast<std::size_t>(vpn & (sets - 1)) * ways];
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        if (row[w].valid && row[w].vpn == vpn) {
+            return &row[w];
+        }
+    }
+    return nullptr;
+}
+
+void
+Tlb::install(std::vector<Entry> &arr, std::uint32_t sets,
+             std::uint32_t ways, Addr vpn, Addr page_base)
+{
+    Entry *row = &arr[static_cast<std::size_t>(vpn & (sets - 1)) * ways];
+    Entry *victim = &row[0];
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        if (!row[w].valid) {
+            victim = &row[w];
+            break;
+        }
+        if (row[w].lru < victim->lru) {
+            victim = &row[w];
+        }
+    }
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->page_base = page_base;
+    victim->lru = ++lru_stamp_;
+}
+
+Tlb::Result
+Tlb::lookup(Addr vaddr, Cycle now, bool demand)
+{
+    AccessStats &st = demand ? demand_ : probe_;
+    ++st.accesses;
+
+    Result r;
+    r.done = now + cfg_.latency;
+
+    if (Entry *e = find(small_, cfg_.sets, cfg_.ways, page_number(vaddr))) {
+        e->lru = ++lru_stamp_;
+        r.hit = true;
+        r.page_base = e->page_base;
+        r.large = false;
+        return r;
+    }
+    if (Entry *e = find(large_, cfg_.large_sets, cfg_.large_ways,
+                        large_page_number(vaddr))) {
+        e->lru = ++lru_stamp_;
+        r.hit = true;
+        r.page_base = e->page_base;
+        r.large = true;
+        return r;
+    }
+    ++st.misses;
+    return r;
+}
+
+void
+Tlb::fill(Addr vaddr, Addr page_base, bool large, bool from_prefetch)
+{
+    if (from_prefetch) {
+        ++prefetch_fills_;
+    }
+    if (large) {
+        install(large_, cfg_.large_sets, cfg_.large_ways,
+                large_page_number(vaddr), page_base);
+    } else {
+        install(small_, cfg_.sets, cfg_.ways, page_number(vaddr),
+                page_base);
+    }
+}
+
+}  // namespace moka

@@ -1,0 +1,113 @@
+#include "vmem/walker.h"
+
+#include <algorithm>
+
+namespace moka {
+
+bool
+StructureCache::lookup(Addr prefix)
+{
+    ++lookups_;
+    for (Entry &e : data_) {
+        if (e.prefix == prefix) {
+            e.lru = ++lru_stamp_;
+            ++hits_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+StructureCache::fill(Addr prefix)
+{
+    for (Entry &e : data_) {
+        if (e.prefix == prefix) {
+            e.lru = ++lru_stamp_;
+            return;
+        }
+    }
+    if (data_.size() < entries_) {
+        data_.push_back({prefix, ++lru_stamp_});
+        return;
+    }
+    Entry *victim = &data_[0];
+    for (Entry &e : data_) {
+        if (e.lru < victim->lru) {
+            victim = &e;
+        }
+    }
+    victim->prefix = prefix;
+    victim->lru = ++lru_stamp_;
+}
+
+PageWalker::PageWalker(const WalkerConfig &config, PageTable *table,
+                       MemoryLevel *memory)
+    : cfg_(config), table_(table), memory_(memory),
+      psc_pml5_(config.psc_pml5_entries),
+      psc_pml4_(config.psc_pml4_entries),
+      psc_pdpte_(config.psc_pdpte_entries),
+      psc_pde_(config.psc_pde_entries),
+      walker_free_(std::max(1u, config.concurrent_walks), 0)
+{
+}
+
+PageWalker::WalkResult
+PageWalker::walk(Addr vaddr, Cycle now, bool speculative)
+{
+    if (speculative) {
+        ++spec_walks_;
+    } else {
+        ++demand_walks_;
+    }
+
+    // Claim the earliest-available walker slot.
+    auto slot = std::min_element(walker_free_.begin(), walker_free_.end());
+    Cycle t = std::max(now, *slot);
+
+    std::array<Addr, 5> pte_addrs;
+    const unsigned levels = table_->walk_addresses(vaddr, pte_addrs);
+
+    // Split PSC lookup (parallel, 1 cycle): deepest hit decides how
+    // many upper-level reads the walk may skip. PSC prefixes, deepest
+    // first. A PDE-PSC hit on a 2MB mapping resolves the translation
+    // outright (the PDE is the leaf).
+    t += cfg_.psc_latency;
+    unsigned first_level = 0;  // index into pte_addrs to start reading at
+    if (psc_pde_.lookup(vaddr >> kLargePageBits)) {
+        first_level = 4;
+    } else if (psc_pdpte_.lookup(vaddr >> 30)) {
+        first_level = 3;
+    } else if (psc_pml4_.lookup(vaddr >> 39)) {
+        first_level = 2;
+    } else if (psc_pml5_.lookup(vaddr >> 48)) {
+        first_level = 1;
+    }
+
+    WalkResult r;
+    for (unsigned i = first_level; i < levels; ++i) {
+        // Dependent chain: each PTE read must finish before the next.
+        t = memory_->access(pte_addrs[i], AccessType::kPageWalk, t).done;
+        ++r.mem_refs;
+    }
+    total_mem_refs_ += r.mem_refs;
+
+    // Refill PSCs for every level the walk traversed.
+    if (levels == 5) {
+        psc_pde_.fill(vaddr >> kLargePageBits);
+    }
+    psc_pdpte_.fill(vaddr >> 30);
+    psc_pml4_.fill(vaddr >> 39);
+    psc_pml5_.fill(vaddr >> 48);
+
+    const Translation tr = table_->translate(vaddr);
+    r.done = t;
+    r.page_base = tr.large ? (tr.paddr & ~(kLargePageSize - 1))
+                           : (tr.paddr & ~(kPageSize - 1));
+    r.large = tr.large;
+
+    *slot = t;
+    return r;
+}
+
+}  // namespace moka

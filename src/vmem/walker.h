@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Hardware page-table walker with split page-structure caches (PSCs).
+ * Walks are sequences of dependent memory references issued through
+ * the cache hierarchy (L2C entry point), so a speculative walk for a
+ * useless page-cross prefetch costs up to 4 real memory accesses —
+ * the paper's headline risk.
+ */
+#ifndef MOKASIM_VMEM_WALKER_H
+#define MOKASIM_VMEM_WALKER_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cache/memory_level.h"
+#include "common/types.h"
+#include "vmem/page_table.h"
+
+namespace moka {
+
+/** Walker + PSC configuration (Table IV: split PSC, 1-cycle). */
+struct WalkerConfig
+{
+    unsigned psc_pml5_entries = 1;
+    unsigned psc_pml4_entries = 2;
+    unsigned psc_pdpte_entries = 8;
+    unsigned psc_pde_entries = 32;
+    Cycle psc_latency = 1;
+    unsigned concurrent_walks = 4;  //!< walker MSHR-equivalents
+};
+
+/** A small fully-associative LRU cache over VA prefixes (one PSC). */
+class StructureCache
+{
+  public:
+    explicit StructureCache(unsigned entries) : entries_(entries) {}
+
+    /** True when @p prefix is cached (updates recency). */
+    bool lookup(Addr prefix);
+
+    /** Install @p prefix, evicting LRU if needed. */
+    void fill(Addr prefix);
+
+    /** Lookup counters. */
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t lookups() const { return lookups_; }
+
+  private:
+    struct Entry
+    {
+        Addr prefix = 0;
+        std::uint64_t lru = 0;
+    };
+
+    unsigned entries_;
+    std::vector<Entry> data_;
+    std::uint64_t lru_stamp_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t lookups_ = 0;
+};
+
+/** The hardware page-table walker. */
+class PageWalker
+{
+  public:
+    /** Result of a completed walk. */
+    struct WalkResult
+    {
+        Cycle done = 0;       //!< translation available
+        Addr page_base = 0;   //!< physical page base
+        bool large = false;   //!< 2MB mapping
+        unsigned mem_refs = 0; //!< memory accesses the walk issued
+    };
+
+    /**
+     * @param config walker/PSC geometry
+     * @param table  the process page table
+     * @param memory entry point for PTE reads (L2C in the paper)
+     */
+    PageWalker(const WalkerConfig &config, PageTable *table,
+               MemoryLevel *memory);
+
+    /**
+     * Perform a full walk for @p vaddr starting at @p now.
+     *
+     * @param speculative true for walks triggered by page-cross
+     *                    prefetches (counted separately)
+     */
+    WalkResult walk(Addr vaddr, Cycle now, bool speculative);
+
+    /** Demand walks performed. */
+    std::uint64_t demand_walks() const { return demand_walks_; }
+    /** Speculative (prefetch-triggered) walks performed. */
+    std::uint64_t spec_walks() const { return spec_walks_; }
+    /** Total PTE memory references issued. */
+    std::uint64_t total_mem_refs() const { return total_mem_refs_; }
+
+  private:
+    WalkerConfig cfg_;
+    PageTable *table_;
+    MemoryLevel *memory_;
+    StructureCache psc_pml5_;
+    StructureCache psc_pml4_;
+    StructureCache psc_pdpte_;
+    StructureCache psc_pde_;
+    std::vector<Cycle> walker_free_;  //!< per-slot availability
+    std::uint64_t demand_walks_ = 0;
+    std::uint64_t spec_walks_ = 0;
+    std::uint64_t total_mem_refs_ = 0;
+};
+
+}  // namespace moka
+
+#endif  // MOKASIM_VMEM_WALKER_H

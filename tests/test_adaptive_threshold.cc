@@ -1,0 +1,149 @@
+/** @file Unit tests for the adaptive thresholding scheme. */
+#include <gtest/gtest.h>
+
+#include "filter/adaptive_threshold.h"
+
+namespace moka {
+namespace {
+
+ThresholdConfig
+adaptive_cfg()
+{
+    ThresholdConfig cfg;
+    cfg.adaptive = true;
+    return cfg;
+}
+
+TEST(AdaptiveThreshold, StaticModeNeverMoves)
+{
+    ThresholdConfig cfg;
+    cfg.adaptive = false;
+    cfg.t_static = 5;
+    AdaptiveThreshold at(cfg);
+    EXPECT_EQ(at.threshold(), 5);
+    SystemSnapshot snap;
+    snap.rob_occupancy = 1.0;
+    snap.inflight_l1d_misses = 100;
+    at.on_interval(snap);
+    EpochInfo info;
+    info.accuracy_valid = true;
+    info.pgc_accuracy = 0.01;
+    at.on_epoch(info);
+    EXPECT_EQ(at.threshold(), 5);
+    EXPECT_FALSE(at.pgc_disabled());
+}
+
+TEST(AdaptiveThreshold, StartsAggressive)
+{
+    AdaptiveThreshold at(adaptive_cfg());
+    EXPECT_EQ(at.threshold(), adaptive_cfg().t_low);
+}
+
+TEST(AdaptiveThreshold, RobPressureForcesHigh)
+{
+    AdaptiveThreshold at(adaptive_cfg());
+    SystemSnapshot snap;
+    snap.rob_occupancy = 0.95;
+    snap.inflight_l1d_misses = 20;
+    at.on_interval(snap);
+    EXPECT_EQ(at.threshold(), adaptive_cfg().t_high);
+}
+
+TEST(AdaptiveThreshold, LowAccuracyForcesHighIntraEpoch)
+{
+    AdaptiveThreshold at(adaptive_cfg());
+    SystemSnapshot snap;
+    snap.pgc_accuracy_valid = true;
+    snap.pgc_accuracy = 0.1;
+    at.on_interval(snap);
+    EXPECT_EQ(at.threshold(), adaptive_cfg().t_high);
+}
+
+TEST(AdaptiveThreshold, L1iPressureForcesAtLeastMid)
+{
+    AdaptiveThreshold at(adaptive_cfg());
+    SystemSnapshot snap;
+    snap.l1i_mpki = 50.0;
+    at.on_interval(snap);
+    EXPECT_GE(at.threshold(), adaptive_cfg().t_mid);
+}
+
+TEST(AdaptiveThreshold, ExtremeLlcPressureDisablesPgc)
+{
+    AdaptiveThreshold at(adaptive_cfg());
+    SystemSnapshot snap;
+    snap.llc_miss_rate = 0.99;
+    snap.llc_mpki = 500.0;
+    at.on_interval(snap);
+    EXPECT_TRUE(at.pgc_disabled());
+    // Pressure subsides: re-enabled.
+    snap.llc_mpki = 1.0;
+    snap.llc_miss_rate = 0.1;
+    at.on_interval(snap);
+    EXPECT_FALSE(at.pgc_disabled());
+}
+
+TEST(AdaptiveThreshold, EpochAccuracyClamps)
+{
+    const ThresholdConfig cfg = adaptive_cfg();
+    AdaptiveThreshold at(cfg);
+    EpochInfo info;
+    info.accuracy_valid = true;
+    info.pgc_accuracy = (cfg.acc_low + cfg.acc_mid) / 2.0;
+    at.on_epoch(info);
+    EXPECT_GE(at.threshold(), cfg.t_mid);
+
+    AdaptiveThreshold at2(cfg);
+    info.pgc_accuracy = cfg.acc_low / 2.0;
+    at2.on_epoch(info);
+    EXPECT_GE(at2.threshold(), cfg.t_high);
+}
+
+TEST(AdaptiveThreshold, AccuracyTrendNudges)
+{
+    const ThresholdConfig cfg = adaptive_cfg();
+    AdaptiveThreshold at(cfg);
+    EpochInfo info;
+    info.accuracy_valid = true;
+    info.pgc_accuracy = 0.7;
+    info.ipc = 1.0;
+    at.on_epoch(info);
+    const int before = at.threshold();
+    // Accuracy improves: threshold relaxes (one step down).
+    info.pgc_accuracy = 0.9;
+    at.on_epoch(info);
+    EXPECT_EQ(at.threshold(), std::max(before - 1, cfg.t_min));
+}
+
+TEST(AdaptiveThreshold, IpcDropForcesAtLeastMid)
+{
+    const ThresholdConfig cfg = adaptive_cfg();
+    AdaptiveThreshold at(cfg);
+    EpochInfo info;
+    info.ipc = 2.0;
+    at.on_epoch(info);
+    info.ipc = 1.0;  // drop
+    at.on_epoch(info);
+    EXPECT_GE(at.threshold(), cfg.t_mid);
+}
+
+TEST(AdaptiveThreshold, ClampedToRange)
+{
+    const ThresholdConfig cfg = adaptive_cfg();
+    AdaptiveThreshold at(cfg);
+    EpochInfo info;
+    info.accuracy_valid = true;
+    info.ipc = 1.0;
+    // Alternate accuracy drops for many epochs: T_a must stay <= t_max.
+    double acc = 0.99;
+    for (int i = 0; i < 50; ++i) {
+        info.pgc_accuracy = acc;
+        acc -= 0.01;
+        at.on_epoch(info);
+        EXPECT_LE(at.threshold(), cfg.t_max);
+        EXPECT_GE(at.threshold(), cfg.t_min);
+    }
+}
+
+}  // namespace
+}  // namespace moka

@@ -1,0 +1,144 @@
+/** @file Unit tests for the Berti prefetcher. */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "prefetch/berti.h"
+
+namespace moka {
+namespace {
+
+BertiConfig
+quick_config()
+{
+    BertiConfig cfg;
+    cfg.window_accesses = 32;
+    cfg.timely_latency = 50;
+    return cfg;
+}
+
+/** Feed a constant-stride stream, return candidates of the last access. */
+std::vector<PrefetchRequest>
+drive_stream(Berti &berti, Addr pc, Addr base, std::int64_t stride_blocks,
+             unsigned count, Cycle gap)
+{
+    std::vector<PrefetchRequest> out;
+    Cycle now = 0;
+    for (unsigned i = 0; i < count; ++i) {
+        out.clear();
+        PrefetchContext ctx;
+        ctx.pc = pc;
+        ctx.vaddr = base + Addr(i) * Addr(stride_blocks) * kBlockSize;
+        ctx.now = now;
+        ctx.hit = false;
+        berti.on_access(ctx, out);
+        now += gap;
+    }
+    return out;
+}
+
+TEST(Berti, LearnsTimelyStride)
+{
+    Berti berti(quick_config());
+    const auto out =
+        drive_stream(berti, 0x400100, 0x100000, 1, 200, /*gap=*/100);
+    ASSERT_FALSE(out.empty());
+    // All candidates carry positive deltas along the stream direction.
+    for (const PrefetchRequest &r : out) {
+        EXPECT_GT(r.delta, 0);
+        EXPECT_EQ(r.trigger_pc, 0x400100u);
+    }
+}
+
+TEST(Berti, PrefersLargerTimelyDeltas)
+{
+    Berti berti(quick_config());
+    const auto out =
+        drive_stream(berti, 0x400100, 0x100000, 1, 200, /*gap=*/100);
+    ASSERT_FALSE(out.empty());
+    // Tie-break favours larger deltas (lead time).
+    std::int64_t max_delta = 0;
+    for (const PrefetchRequest &r : out) {
+        max_delta = std::max(max_delta, r.delta);
+    }
+    EXPECT_GE(max_delta, 8);
+}
+
+TEST(Berti, UntimelyDeltasNotSelected)
+{
+    // Back-to-back accesses (gap 1 cycle << timely_latency): no delta
+    // is ever timely, so nothing should be selected.
+    Berti berti(quick_config());
+    const auto out =
+        drive_stream(berti, 0x400100, 0x100000, 1, 200, /*gap=*/1);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Berti, RandomPatternStaysQuiet)
+{
+    Berti berti(quick_config());
+    std::vector<PrefetchRequest> out;
+    Cycle now = 0;
+    std::uint64_t x = 12345;
+    for (int i = 0; i < 500; ++i) {
+        out.clear();
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        PrefetchContext ctx;
+        ctx.pc = 0x400200;
+        ctx.vaddr = (x % (1u << 30)) & ~(kBlockSize - 1);
+        ctx.now = now;
+        berti.on_access(ctx, out);
+        now += 100;
+    }
+    // Random deltas never accumulate timely coverage.
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Berti, EmitsPageCrossCandidatesNearBoundary)
+{
+    Berti berti(quick_config());
+    // Warm up a +1 stride; then make the last access near a page end
+    // and check that candidates cross into the next page.
+    drive_stream(berti, 0x400100, 0x100000, 1, 199, 100);
+    std::vector<PrefetchRequest> out;
+    PrefetchContext ctx;
+    ctx.pc = 0x400100;
+    ctx.vaddr = 0x200000 + kPageSize - kBlockSize;  // last line of page
+    ctx.now = 1000000;
+    berti.on_access(ctx, out);
+    bool crossing = false;
+    for (const PrefetchRequest &r : out) {
+        if (crosses_page(ctx.vaddr, r.vaddr)) {
+            crossing = true;
+        }
+    }
+    EXPECT_TRUE(crossing);
+}
+
+TEST(Berti, PerIpIsolation)
+{
+    Berti berti(quick_config());
+    // IP A streams; IP B is random-ish. B must not inherit A's deltas.
+    drive_stream(berti, 0xA, 0x100000, 1, 200, 100);
+    std::vector<PrefetchRequest> out;
+    PrefetchContext ctx;
+    ctx.pc = 0xB;
+    ctx.vaddr = 0x900000;
+    ctx.now = 500000;
+    berti.on_access(ctx, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Berti, DeltaBound)
+{
+    BertiConfig cfg = quick_config();
+    cfg.max_delta = 16;
+    Berti berti(cfg);
+    const auto out = drive_stream(berti, 0x1, 0x100000, 1, 200, 100);
+    for (const PrefetchRequest &r : out) {
+        EXPECT_LE(std::abs(r.delta), 16);
+    }
+}
+
+}  // namespace
+}  // namespace moka

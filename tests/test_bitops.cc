@@ -1,0 +1,92 @@
+/** @file Unit tests for common/bitops.h. */
+#include <gtest/gtest.h>
+
+#include "common/bitops.h"
+
+namespace moka {
+namespace {
+
+TEST(Bitops, IsPow2)
+{
+    EXPECT_FALSE(is_pow2(0));
+    EXPECT_TRUE(is_pow2(1));
+    EXPECT_TRUE(is_pow2(2));
+    EXPECT_FALSE(is_pow2(3));
+    EXPECT_TRUE(is_pow2(1ull << 40));
+    EXPECT_FALSE(is_pow2((1ull << 40) + 1));
+}
+
+TEST(Bitops, Log2Exact)
+{
+    EXPECT_EQ(log2_exact(1), 0u);
+    EXPECT_EQ(log2_exact(2), 1u);
+    EXPECT_EQ(log2_exact(4096), 12u);
+    EXPECT_EQ(log2_exact(1ull << 63), 63u);
+}
+
+TEST(Bitops, BitsExtract)
+{
+    EXPECT_EQ(bits(0xABCD, 0, 4), 0xDu);
+    EXPECT_EQ(bits(0xABCD, 4, 4), 0xCu);
+    EXPECT_EQ(bits(0xABCD, 8, 8), 0xABu);
+    EXPECT_EQ(bits(~0ull, 0, 64), ~0ull);
+    EXPECT_EQ(bits(0xFF, 4, 64), 0xFull);
+}
+
+TEST(Bitops, FoldXorWidthBound)
+{
+    // Folding must always land inside [0, 2^width).
+    for (unsigned width = 1; width < 32; ++width) {
+        for (std::uint64_t v : {0ull, 1ull, 0xDEADBEEFull,
+                                0xFFFFFFFFFFFFFFFFull, 0x123456789ABCDEFull}) {
+            EXPECT_LT(fold_xor(v, width), 1ull << width)
+                << "width=" << width << " v=" << v;
+        }
+    }
+}
+
+TEST(Bitops, FoldXorIdentityForWideWidths)
+{
+    EXPECT_EQ(fold_xor(0x1234, 0), 0x1234ull);
+    EXPECT_EQ(fold_xor(0x1234, 64), 0x1234ull);
+}
+
+TEST(Bitops, FoldXorKnownValue)
+{
+    // 0b1011 folded to 2 bits: 0b10 ^ 0b11 = 0b01.
+    EXPECT_EQ(fold_xor(0b1011, 2), 0b01ull);
+}
+
+TEST(Bitops, SignExtend)
+{
+    EXPECT_EQ(sign_extend(0x7F, 8), 127);
+    EXPECT_EQ(sign_extend(0x80, 8), -128);
+    EXPECT_EQ(sign_extend(0xFF, 8), -1);
+    EXPECT_EQ(sign_extend(0x1F, 5), -1);
+    EXPECT_EQ(sign_extend(0x0F, 5), 15);
+}
+
+/** Property sweep: fold_xor of x and x<<width differ only via fold. */
+class FoldProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(FoldProperty, XorOfChunksEqualsFold)
+{
+    const unsigned width = GetParam();
+    const std::uint64_t v = 0x0F0F1234ABCD5678ull;
+    std::uint64_t expect = 0;
+    std::uint64_t rest = v;
+    while (rest != 0) {
+        expect ^= rest & ((width >= 64) ? ~0ull : ((1ull << width) - 1));
+        rest >>= width;
+    }
+    EXPECT_EQ(fold_xor(v, width), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, FoldProperty,
+                         ::testing::Values(1u, 3u, 5u, 8u, 9u, 12u, 16u,
+                                           21u, 32u, 63u));
+
+}  // namespace
+}  // namespace moka

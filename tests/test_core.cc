@@ -1,0 +1,90 @@
+/** @file Unit tests for the ROB timing model. */
+#include <gtest/gtest.h>
+
+#include "core/core.h"
+
+namespace moka {
+namespace {
+
+CoreConfig
+tiny_core(unsigned rob = 4, unsigned width = 2)
+{
+    CoreConfig cfg;
+    cfg.rob_entries = rob;
+    cfg.width = width;
+    return cfg;
+}
+
+TEST(Core, DispatchFollowsFetchWhenRobEmpty)
+{
+    Core core(tiny_core());
+    EXPECT_EQ(core.dispatch(100), 100u);
+}
+
+TEST(Core, RetireIsInOrderAndMonotonic)
+{
+    Core core(tiny_core());
+    core.dispatch(0);
+    const Cycle r1 = core.retire(50);
+    core.dispatch(0);
+    // Completes earlier than the previous retire: still retires after.
+    const Cycle r2 = core.retire(10);
+    EXPECT_GE(r2, r1);
+    EXPECT_EQ(core.retired(), 2u);
+}
+
+TEST(Core, RetireWidthLimitsPerCycle)
+{
+    Core core(tiny_core(16, 2));
+    // 6 instructions all complete at cycle 10: at width 2 they retire
+    // over >= 3 distinct cycles.
+    Cycle last = 0;
+    for (int i = 0; i < 6; ++i) {
+        core.dispatch(0);
+        last = core.retire(10);
+    }
+    EXPECT_GE(last, 13u);
+}
+
+TEST(Core, RobBlocksDispatch)
+{
+    Core core(tiny_core(4, 4));
+    // Fill the ROB with slow instructions.
+    for (int i = 0; i < 4; ++i) {
+        core.dispatch(0);
+        core.retire(1000 + i);
+    }
+    // The 5th instruction cannot dispatch before the 1st retired.
+    const Cycle d = core.dispatch(0);
+    EXPECT_GE(d, 1001u);
+}
+
+TEST(Core, RobPressureTracksStalls)
+{
+    Core core(tiny_core(2, 2));
+    core.reset_pressure_window();
+    // First two dispatches are free; afterwards every dispatch waits
+    // on the ROB.
+    for (int i = 0; i < 10; ++i) {
+        const Cycle d = core.dispatch(0);
+        core.retire(d + 500);
+    }
+    EXPECT_GT(core.rob_pressure(), 0.5);
+    core.reset_pressure_window();
+    EXPECT_DOUBLE_EQ(core.rob_pressure(), 0.0);
+}
+
+TEST(Core, IpcEmergesFromWidth)
+{
+    // With everything completing instantly, IPC == width.
+    Core core(tiny_core(64, 4));
+    for (int i = 0; i < 400; ++i) {
+        const Cycle d = core.dispatch(0);
+        core.retire(d);
+    }
+    const double ipc = 400.0 / static_cast<double>(core.last_retire());
+    EXPECT_NEAR(ipc, 4.0, 0.2);
+}
+
+}  // namespace
+}  // namespace moka

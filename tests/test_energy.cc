@@ -1,0 +1,67 @@
+/** @file Unit tests for the energy model. */
+#include <gtest/gtest.h>
+
+#include "sim/energy.h"
+
+namespace moka {
+namespace {
+
+TEST(Energy, ZeroForEmptyRegion)
+{
+    const RunMetrics m;
+    const EnergyEstimate e = estimate_energy(m);
+    EXPECT_DOUBLE_EQ(e.total_nj, 0.0);
+    EXPECT_DOUBLE_EQ(e.nj_per_kilo_inst, 0.0);
+}
+
+TEST(Energy, DramDominates)
+{
+    RunMetrics m;
+    m.instructions = 1000;
+    m.l1d = {1000, 100};
+    m.dram_accesses = 100;
+    const EnergyConfig cfg;
+    const EnergyEstimate e = estimate_energy(m, cfg);
+    const double dram_nj = cfg.dram_access_pj * 100 / 1000.0;
+    EXPECT_GT(dram_nj / e.total_nj, 0.5);
+}
+
+TEST(Energy, WalkRefsCharged)
+{
+    RunMetrics base;
+    base.instructions = 1000;
+    RunMetrics with = base;
+    with.walk_refs = 400;
+    const EnergyConfig cfg;
+    EXPECT_NEAR(estimate_energy(with, cfg).total_nj -
+                    estimate_energy(base, cfg).total_nj,
+                cfg.walk_ref_pj * 400 / 1000.0, 1e-9);
+}
+
+TEST(Energy, PerKiloInstructionScaling)
+{
+    RunMetrics m;
+    m.instructions = 2000;
+    m.dram_accesses = 10;
+    const EnergyEstimate e = estimate_energy(m);
+    EXPECT_NEAR(e.nj_per_kilo_inst, e.total_nj / 2.0, 1e-9);
+}
+
+TEST(Energy, UselessPrefetchPremiumVisible)
+{
+    // Two regions identical except one carries useless PGC traffic
+    // (extra fills + walk refs + DRAM): it must cost more.
+    RunMetrics clean;
+    clean.instructions = 10000;
+    clean.l1d = {3000, 300};
+    clean.dram_accesses = 300;
+    RunMetrics polluted = clean;
+    polluted.pf_issued = 500;
+    polluted.walk_refs = 2000;  // 4 refs x 500 speculative walks
+    polluted.dram_accesses += 500;
+    EXPECT_GT(estimate_energy(polluted).total_nj,
+              estimate_energy(clean).total_nj * 1.2);
+}
+
+}  // namespace
+}  // namespace moka

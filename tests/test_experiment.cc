@@ -1,0 +1,90 @@
+/** @file Unit tests for the experiment helpers. */
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+
+namespace moka {
+namespace {
+
+TEST(Experiment, SpeedupRatio)
+{
+    RunMetrics a, b;
+    a.instructions = 1000;
+    a.cycles = 500;  // IPC 2.0
+    b.instructions = 1000;
+    b.cycles = 1000;  // IPC 1.0
+    EXPECT_DOUBLE_EQ(speedup(a, b), 2.0);
+}
+
+TEST(Experiment, CoverageGain)
+{
+    RunMetrics m, base;
+    base.l1d.misses = 100;
+    m.l1d.misses = 60;
+    EXPECT_DOUBLE_EQ(coverage_gain(m, base), 0.4);
+    base.l1d.misses = 0;
+    EXPECT_DOUBLE_EQ(coverage_gain(m, base), 0.0);
+}
+
+TEST(Experiment, BenchArgsDefaults)
+{
+    char prog[] = "bench";
+    char *argv[] = {prog};
+    const BenchArgs args = parse_bench_args(1, argv);
+    EXPECT_FALSE(args.full);
+    EXPECT_EQ(args.workloads, 24u);
+    EXPECT_EQ(args.run.measure_insts, 800'000u);
+}
+
+TEST(Experiment, BenchArgsParsing)
+{
+    char prog[] = "bench";
+    char f1[] = "--workloads";
+    char v1[] = "7";
+    char f2[] = "--insts";
+    char v2[] = "12345";
+    char f3[] = "--seed";
+    char v3[] = "99";
+    char *argv[] = {prog, f1, v1, f2, v2, f3, v3};
+    const BenchArgs args = parse_bench_args(7, argv);
+    EXPECT_EQ(args.workloads, 7u);
+    EXPECT_EQ(args.run.measure_insts, 12'345u);
+    EXPECT_EQ(args.seed, 99u);
+}
+
+TEST(Experiment, BenchArgsFullScales)
+{
+    char prog[] = "bench";
+    char f1[] = "--full";
+    char *argv[] = {prog, f1};
+    const BenchArgs args = parse_bench_args(2, argv);
+    EXPECT_TRUE(args.full);
+    EXPECT_EQ(args.run.measure_insts, 4u * 800'000u);
+    EXPECT_EQ(args.mixes, 300u);
+}
+
+TEST(Experiment, RunConfigScaled)
+{
+    RunConfig run;
+    const RunConfig big = run.scaled(2.5);
+    EXPECT_EQ(big.warmup_insts, 500'000u);
+    EXPECT_EQ(big.measure_insts, 2'000'000u);
+}
+
+TEST(Experiment, SuiteAggregator)
+{
+    SuiteAggregator agg;
+    agg.add("A", 1.1);
+    agg.add("A", 1.1);
+    agg.add("B", 0.9);
+    EXPECT_NEAR(agg.suite_geomean("A"), 1.1, 1e-12);
+    EXPECT_NEAR(agg.suite_geomean("B"), 0.9, 1e-12);
+    EXPECT_DOUBLE_EQ(agg.suite_geomean("missing"), 1.0);
+    EXPECT_EQ(agg.suites().size(), 2u);
+    const double overall = agg.overall_geomean();
+    EXPECT_GT(overall, 1.0);
+    EXPECT_LT(overall, 1.1);
+}
+
+}  // namespace
+}  // namespace moka

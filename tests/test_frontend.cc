@@ -1,0 +1,123 @@
+/** @file Unit tests for the decoupled frontend. */
+#include <gtest/gtest.h>
+
+#include "core/frontend.h"
+#include "vmem/page_table.h"
+
+namespace moka {
+namespace {
+
+struct Fixture
+{
+    Fixture()
+        : l2({"L2", 256, 8, 10, 32, false}, nullptr),
+          l1i({"L1I", 16, 4, 2, 8, false}, &l2),
+          itlb({"iTLB", 4, 4, 2, 2, 1}),
+          stlb({"sTLB", 16, 4, 4, 4, 8}),
+          table(VmemConfig{}),
+          walker(WalkerConfig{}, &table, &l2),
+          bp(BranchPredConfig{}),
+          frontend(FrontendConfig{}, &l1i, &itlb, &stlb, &walker, &bp)
+    {
+    }
+
+    Cache l2;
+    Cache l1i;
+    Tlb itlb;
+    Tlb stlb;
+    PageTable table;
+    PageWalker walker;
+    BranchPredictor bp;
+    Frontend frontend;
+};
+
+TraceInst
+alu_at(Addr pc)
+{
+    TraceInst inst;
+    inst.pc = pc;
+    inst.op = OpClass::kAlu;
+    return inst;
+}
+
+TEST(Frontend, SameBlockFetchesBatchByWidth)
+{
+    Fixture f;
+    // First instruction pays iTLB + L1I; the following 5 in the same
+    // fetch group share the cycle.
+    const auto first = f.frontend.fetch(alu_at(0x400000));
+    Cycle prev = first.ready;
+    for (int i = 1; i < 6; ++i) {
+        const auto r = f.frontend.fetch(alu_at(0x400000 + i * 4));
+        EXPECT_EQ(r.ready, prev);
+    }
+    // 7th instruction starts a new group: +1 cycle.
+    const auto seventh = f.frontend.fetch(alu_at(0x400000 + 6 * 4));
+    EXPECT_EQ(seventh.ready, prev + 1);
+}
+
+TEST(Frontend, NewBlockPaysInstructionCacheLatency)
+{
+    Fixture f;
+    const auto a = f.frontend.fetch(alu_at(0x400000));
+    const auto b = f.frontend.fetch(alu_at(0x400000 + kBlockSize));
+    EXPECT_GT(b.ready, a.ready);
+    EXPECT_GE(f.l1i.stats().demand.accesses, 2u);
+}
+
+TEST(Frontend, L1iHitsAfterWarmup)
+{
+    Fixture f;
+    f.frontend.fetch(alu_at(0x400000));
+    const auto misses = f.l1i.stats().demand.misses;
+    // Loop back to the same block later: hit (no new miss).
+    f.frontend.fetch(alu_at(0x401000));
+    f.frontend.fetch(alu_at(0x400000));
+    EXPECT_GE(f.l1i.stats().demand.misses, misses);
+    EXPECT_TRUE(f.l1i.probe(
+        f.table.translate(0x400000).paddr));
+}
+
+TEST(Frontend, MispredictDetection)
+{
+    Fixture f;
+    TraceInst br;
+    br.pc = 0x400800;
+    br.op = OpClass::kBranch;
+    br.taken = true;
+    // Train the predictor on taken.
+    for (int i = 0; i < 100; ++i) {
+        f.frontend.fetch(br);
+    }
+    br.taken = false;
+    const auto r = f.frontend.fetch(br);
+    EXPECT_TRUE(r.mispredict);
+}
+
+TEST(Frontend, RedirectStallsFetch)
+{
+    Fixture f;
+    const auto before = f.frontend.fetch(alu_at(0x400000));
+    f.frontend.redirect(before.ready + 100);
+    const auto after = f.frontend.fetch(alu_at(0x400004));
+    // penalty = 12 by default
+    EXPECT_GE(after.ready, before.ready + 100 + 12);
+}
+
+TEST(Frontend, NextLinePrefetchStaysInPage)
+{
+    Fixture f;
+    // Fetch at the last block of a page: the instruction prefetcher
+    // must not cross (no speculative I-side walks).
+    const Addr pc = 0x400000 + kPageSize - kBlockSize;
+    const auto walks_before = f.walker.demand_walks() +
+                              f.walker.spec_walks();
+    f.frontend.fetch(alu_at(pc));
+    // Only the demand translation may have walked.
+    EXPECT_LE(f.walker.demand_walks() + f.walker.spec_walks(),
+              walks_before + 1);
+    EXPECT_EQ(f.walker.spec_walks(), 0u);
+}
+
+}  // namespace
+}  // namespace moka

@@ -1,0 +1,175 @@
+/** @file Unit tests for the synthetic workload generators. */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "trace/generators.h"
+
+namespace moka {
+namespace {
+
+TEST(Generators, DeterministicStreams)
+{
+    StreamParams p;
+    WorkloadPtr a = make_synthetic("a", make_stream_kernel(p),
+                                   InterleaveParams{}, 42);
+    WorkloadPtr b = make_synthetic("b", make_stream_kernel(p),
+                                   InterleaveParams{}, 42);
+    for (int i = 0; i < 5000; ++i) {
+        const TraceInst x = a->next();
+        const TraceInst y = b->next();
+        ASSERT_EQ(x.pc, y.pc);
+        ASSERT_EQ(static_cast<int>(x.op), static_cast<int>(y.op));
+        ASSERT_EQ(x.mem_addr, y.mem_addr);
+        ASSERT_EQ(x.taken, y.taken);
+    }
+}
+
+TEST(Generators, InterleaveRatiosApproximatelyHonored)
+{
+    InterleaveParams ip;
+    ip.mem_ratio = 0.3;
+    ip.branch_ratio = 0.1;
+    WorkloadPtr w = make_synthetic("w", make_stream_kernel(StreamParams{}),
+                                   ip, 7);
+    std::map<OpClass, unsigned> counts;
+    const unsigned n = 50000;
+    for (unsigned i = 0; i < n; ++i) {
+        ++counts[w->next().op];
+    }
+    const double mem =
+        double(counts[OpClass::kLoad] + counts[OpClass::kStore]) / n;
+    const double br = double(counts[OpClass::kBranch]) / n;
+    EXPECT_NEAR(mem, 0.3, 0.02);
+    EXPECT_NEAR(br, 0.1, 0.02);
+}
+
+TEST(Generators, StreamKernelIsSequentialPerStream)
+{
+    StreamParams p;
+    p.streams = 1;
+    p.stride = 64;
+    p.store_frac = 0.0;
+    KernelPtr k = make_stream_kernel(p);
+    Rng rng(1);
+    Addr prev = k->next(rng).addr;
+    for (int i = 0; i < 1000; ++i) {
+        const Addr cur = k->next(rng).addr;
+        ASSERT_EQ(cur, prev + 64);
+        prev = cur;
+    }
+}
+
+TEST(Generators, TileKernelRowsAndPitch)
+{
+    TileParams p;
+    p.row_bytes = 256;
+    p.pitch = 1 << 20;
+    p.rows = 4;
+    p.stride = 64;
+    KernelPtr k = make_tile_kernel(p);
+    Rng rng(1);
+    // First row: 4 sequential accesses; then jump by pitch.
+    Addr first = k->next(rng).addr;
+    for (int i = 1; i < 4; ++i) {
+        EXPECT_EQ(k->next(rng).addr, first + Addr(i) * 64);
+    }
+    EXPECT_EQ(k->next(rng).addr, first + (1 << 20));
+}
+
+TEST(Generators, PointerChaseIsDependent)
+{
+    PointerChaseParams p;
+    KernelPtr k = make_pointer_chase_kernel(p);
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_TRUE(k->next(rng).dependent);
+    }
+}
+
+TEST(Generators, HashProbeStaysInFootprint)
+{
+    HashProbeParams p;
+    p.footprint = 1 << 20;
+    KernelPtr k = make_hash_probe_kernel(p);
+    Rng rng(1);
+    for (int i = 0; i < 5000; ++i) {
+        const Addr a = k->next(rng).addr;
+        EXPECT_GE(a, p.base);
+        // Probes may run a few lines past the last page.
+        EXPECT_LT(a, p.base + p.footprint + kPageSize);
+    }
+}
+
+TEST(Generators, DualStrideCrossingsAreDeltaSeparable)
+{
+    DualStrideParams p;
+    p.hop_lines = 9;
+    p.stream_burst = 64;
+    p.runs_per_burst = 4;
+    KernelPtr k = make_dual_stride_kernel(p);
+    Rng rng(1);
+    // Verify the two populations: +1-line steps within stream bursts
+    // and +hop_lines steps within runs, both under a single PC.
+    std::map<std::int64_t, unsigned> deltas;
+    Addr prev = k->next(rng).addr;
+    Addr pc = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const AccessKernel::Access a = k->next(rng);
+        const std::int64_t d =
+            std::int64_t(block_number(a.addr)) -
+            std::int64_t(block_number(prev));
+        ++deltas[d];
+        prev = a.addr;
+        if (pc == 0) {
+            pc = a.pc;
+        } else {
+            ASSERT_EQ(a.pc, pc) << "dual-stride must use a single PC";
+        }
+    }
+    EXPECT_GT(deltas[1], 1000u);
+    EXPECT_GT(deltas[9], 200u);
+}
+
+TEST(Generators, PhaseMixAlternatesChildren)
+{
+    StreamParams sp;
+    sp.base = 0x1000000;
+    TileParams tp;
+    tp.base = 0x9000000;
+    std::vector<KernelPtr> children;
+    children.push_back(make_stream_kernel(sp));
+    children.push_back(make_tile_kernel(tp));
+    KernelPtr k = make_phase_mix_kernel(std::move(children), 10);
+    Rng rng(1);
+    bool saw_stream = false, saw_tile = false;
+    for (int i = 0; i < 100; ++i) {
+        const Addr a = k->next(rng).addr;
+        saw_stream |= a < 0x9000000;
+        saw_tile |= a >= 0x9000000;
+    }
+    EXPECT_TRUE(saw_stream);
+    EXPECT_TRUE(saw_tile);
+}
+
+TEST(Generators, GatherMixesSequentialAndRandom)
+{
+    GatherParams p;
+    p.gathers_per_index = 1;
+    KernelPtr k = make_gather_kernel(p);
+    Rng rng(1);
+    unsigned index_side = 0, data_side = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const AccessKernel::Access a = k->next(rng);
+        if (a.addr >= p.data_base) {
+            ++data_side;
+            EXPECT_TRUE(a.dependent);
+        } else {
+            ++index_side;
+        }
+    }
+    EXPECT_NEAR(double(index_side), double(data_side), 50.0);
+}
+
+}  // namespace
+}  // namespace moka

@@ -1,0 +1,53 @@
+/** @file Unit tests for common/hashing.h. */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/hashing.h"
+
+namespace moka {
+namespace {
+
+TEST(Hashing, Mix64Deterministic)
+{
+    EXPECT_EQ(mix64(12345), mix64(12345));
+    EXPECT_NE(mix64(12345), mix64(12346));
+}
+
+TEST(Hashing, Mix64SpreadsLowBits)
+{
+    // Sequential inputs should produce well-spread low bits.
+    std::set<std::uint64_t> low;
+    for (std::uint64_t i = 0; i < 256; ++i) {
+        low.insert(mix64(i) & 0xFF);
+    }
+    EXPECT_GT(low.size(), 150u);
+}
+
+TEST(Hashing, HashCombineOrderSensitive)
+{
+    EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(Hashing, TableIndexBounded)
+{
+    for (unsigned bits : {4u, 9u, 10u, 12u}) {
+        for (std::uint64_t v : {0ull, 1ull, 0xFFFFull, 0xDEADBEEFCAFEull}) {
+            EXPECT_LT(table_index(v, bits), 1u << bits);
+        }
+    }
+}
+
+TEST(Hashing, TableIndexDistribution)
+{
+    // Page-aligned addresses (typical feature values) must not
+    // cluster into few table entries.
+    std::set<std::uint32_t> idx;
+    for (std::uint64_t page = 0; page < 512; ++page) {
+        idx.insert(table_index(page << 12, 9));
+    }
+    EXPECT_GT(idx.size(), 300u);
+}
+
+}  // namespace
+}  // namespace moka

@@ -1,0 +1,127 @@
+/** @file Unit tests for the stencil and Zipf kernels. */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "trace/generators.h"
+
+namespace moka {
+namespace {
+
+TEST(Stencil, FivePointsPerElement)
+{
+    StencilParams p;
+    p.row_bytes = 1 << 10;
+    p.rows = 8;
+    KernelPtr k = make_stencil_kernel(p);
+    Rng rng(1);
+    // Collect one element's worth of accesses.
+    std::vector<AccessKernel::Access> pts;
+    for (int i = 0; i < 5; ++i) {
+        pts.push_back(k->next(rng));
+    }
+    // Center element is pts[2]; verify the cross shape.
+    const Addr c = pts[2].addr;
+    EXPECT_EQ(pts[0].addr, c - p.row_bytes);   // north
+    EXPECT_EQ(pts[1].addr, c - p.elem_bytes);  // west
+    EXPECT_EQ(pts[3].addr, c + p.elem_bytes);  // east
+    EXPECT_EQ(pts[4].addr, c + p.row_bytes);   // south
+}
+
+TEST(Stencil, DistinctPcPerPoint)
+{
+    KernelPtr k = make_stencil_kernel(StencilParams{});
+    Rng rng(1);
+    std::map<Addr, unsigned> pcs;
+    for (int i = 0; i < 500; ++i) {
+        ++pcs[k->next(rng).pc];
+    }
+    EXPECT_EQ(pcs.size(), 5u);
+    for (const auto &[pc, count] : pcs) {
+        EXPECT_EQ(count, 100u);
+    }
+}
+
+TEST(Stencil, StreamsAdvanceSequentially)
+{
+    StencilParams p;
+    p.row_bytes = 1 << 10;
+    KernelPtr k = make_stencil_kernel(p);
+    Rng rng(1);
+    Addr prev_center = 0;
+    for (int e = 0; e < 20; ++e) {
+        std::vector<AccessKernel::Access> pts;
+        for (int i = 0; i < 5; ++i) {
+            pts.push_back(k->next(rng));
+        }
+        if (prev_center != 0) {
+            EXPECT_EQ(pts[2].addr, prev_center + p.elem_bytes);
+        }
+        prev_center = pts[2].addr;
+    }
+}
+
+TEST(Zipf, SkewConcentratesAccesses)
+{
+    ZipfParams p;
+    p.footprint = 1 << 20;  // 16K blocks
+    p.skew = 0.8;
+    KernelPtr k = make_zipf_kernel(p);
+    Rng rng(3);
+    std::map<Addr, unsigned> counts;
+    const unsigned n = 50000;
+    for (unsigned i = 0; i < n; ++i) {
+        ++counts[k->next(rng).addr & ~(kBlockSize - 1)];
+    }
+    // Top-16 blocks must absorb a disproportionate share.
+    std::vector<unsigned> sorted;
+    for (const auto &[addr, c] : counts) {
+        sorted.push_back(c);
+    }
+    std::sort(sorted.rbegin(), sorted.rend());
+    unsigned top16 = 0;
+    for (std::size_t i = 0; i < 16 && i < sorted.size(); ++i) {
+        top16 += sorted[i];
+    }
+    EXPECT_GT(double(top16) / n, 0.10);
+    // But the tail exists: many distinct blocks touched.
+    EXPECT_GT(counts.size(), 1000u);
+}
+
+TEST(Zipf, UniformWhenUnskewed)
+{
+    ZipfParams p;
+    p.footprint = 1 << 18;  // 4K blocks
+    p.skew = 0.0;
+    KernelPtr k = make_zipf_kernel(p);
+    Rng rng(3);
+    std::map<Addr, unsigned> counts;
+    for (unsigned i = 0; i < 40000; ++i) {
+        ++counts[k->next(rng).addr];
+    }
+    // Near-uniform: the hash scramble maps a few ranks onto shared
+    // blocks (it is not a permutation), so allow small pile-ups but
+    // nothing resembling a Zipf head.
+    unsigned max_count = 0;
+    for (const auto &[addr, c] : counts) {
+        max_count = std::max(max_count, c);
+    }
+    EXPECT_LT(max_count, 150u);
+    EXPECT_GT(counts.size(), 2000u);
+}
+
+TEST(Zipf, StaysInFootprint)
+{
+    ZipfParams p;
+    p.footprint = 1 << 20;
+    KernelPtr k = make_zipf_kernel(p);
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const Addr a = k->next(rng).addr;
+        EXPECT_GE(a, p.base);
+        EXPECT_LT(a, p.base + p.footprint);
+    }
+}
+
+}  // namespace
+}  // namespace moka

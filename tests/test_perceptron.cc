@@ -1,0 +1,59 @@
+/** @file Unit tests for the hashed-perceptron weight table. */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "filter/perceptron.h"
+
+namespace moka {
+namespace {
+
+TEST(WeightTable, StartsAtZero)
+{
+    WeightTable wt(1024, 5);
+    for (std::uint32_t i = 0; i < 1024; i += 137) {
+        EXPECT_EQ(wt.weight_at(i), 0);
+    }
+}
+
+TEST(WeightTable, IndexStableAndBounded)
+{
+    WeightTable wt(1024, 5);
+    const std::uint32_t idx = wt.index_of(0xDEADBEEF);
+    EXPECT_EQ(idx, wt.index_of(0xDEADBEEF));
+    EXPECT_LT(idx, 1024u);
+}
+
+TEST(WeightTable, TrainingSaturates)
+{
+    WeightTable wt(64, 5);
+    const std::uint32_t idx = wt.index_of(42);
+    for (int i = 0; i < 100; ++i) {
+        wt.increment(idx);
+    }
+    EXPECT_EQ(wt.weight_at(idx), 15);
+    for (int i = 0; i < 200; ++i) {
+        wt.decrement(idx);
+    }
+    EXPECT_EQ(wt.weight_at(idx), -16);
+}
+
+TEST(WeightTable, StorageBits)
+{
+    WeightTable wt(1024, 5);
+    EXPECT_EQ(wt.storage_bits(), 1024u * 5u);
+    EXPECT_EQ(wt.entries(), 1024u);
+}
+
+TEST(WeightTable, DistinctValuesSpread)
+{
+    WeightTable wt(512, 5);
+    std::set<std::uint32_t> indexes;
+    for (std::uint64_t v = 0; v < 256; ++v) {
+        indexes.insert(wt.index_of(v << 12));
+    }
+    EXPECT_GT(indexes.size(), 180u);
+}
+
+}  // namespace
+}  // namespace moka

@@ -1,0 +1,97 @@
+/** @file Unit tests for scheme/policy factories. */
+#include <gtest/gtest.h>
+
+#include "filter/policies.h"
+
+namespace moka {
+namespace {
+
+TEST(Policies, StaticSchemes)
+{
+    EXPECT_EQ(scheme_permit().policy, PgcPolicy::kPermit);
+    EXPECT_EQ(scheme_discard().policy, PgcPolicy::kDiscard);
+    EXPECT_EQ(scheme_discard_ptw().policy, PgcPolicy::kDiscardPtw);
+    EXPECT_TRUE(scheme_iso_storage().iso_storage);
+    EXPECT_EQ(scheme_iso_storage().policy, PgcPolicy::kPermit);
+}
+
+TEST(Policies, DripperTableTwoFeatures)
+{
+    // Table II: Berti uses Delta; BOP and IPCP use PC^Delta; all use
+    // the two sTLB system features.
+    const MokaConfig berti = dripper_config(L1dPrefetcherKind::kBerti);
+    ASSERT_EQ(berti.program_features.size(), 1u);
+    EXPECT_EQ(berti.program_features[0], ProgramFeatureId::kDelta);
+
+    for (L1dPrefetcherKind k :
+         {L1dPrefetcherKind::kBop, L1dPrefetcherKind::kIpcp}) {
+        const MokaConfig cfg = dripper_config(k);
+        ASSERT_EQ(cfg.program_features.size(), 1u);
+        EXPECT_EQ(cfg.program_features[0], ProgramFeatureId::kPcXorDelta);
+    }
+
+    ASSERT_EQ(berti.system_features.size(), 2u);
+    EXPECT_EQ(berti.system_features[0].id, SystemFeatureId::kStlbMpki);
+    EXPECT_EQ(berti.system_features[1].id,
+              SystemFeatureId::kStlbMissRate);
+}
+
+TEST(Policies, DripperSchemeBuildsFilter)
+{
+    const SchemeConfig s = scheme_dripper(L1dPrefetcherKind::kBerti);
+    EXPECT_EQ(s.policy, PgcPolicy::kFilter);
+    ASSERT_TRUE(static_cast<bool>(s.make_filter));
+    const FilterPtr f = s.make_filter();
+    EXPECT_EQ(f->name(), "DRIPPER");
+}
+
+TEST(Policies, Filter2MbVariantFlagged)
+{
+    const SchemeConfig s =
+        scheme_dripper_filter_2mb(L1dPrefetcherKind::kBerti);
+    EXPECT_TRUE(s.filter_at_2mb);
+    EXPECT_EQ(s.policy, PgcPolicy::kFilter);
+}
+
+TEST(Policies, PpfExcludesDeltaAndSystemFeatures)
+{
+    const FilterPtr f = make_ppf(false);
+    const auto *moka_f = dynamic_cast<const MokaFilter *>(f.get());
+    ASSERT_NE(moka_f, nullptr);
+    EXPECT_TRUE(moka_f->config().system_features.empty());
+    for (ProgramFeatureId id : moka_f->config().program_features) {
+        EXPECT_NE(id, ProgramFeatureId::kDelta);
+        EXPECT_NE(id, ProgramFeatureId::kPcXorDelta);
+        EXPECT_NE(id, ProgramFeatureId::kVaXorDelta);
+    }
+    EXPECT_FALSE(moka_f->config().threshold.adaptive);
+
+    const FilterPtr dthr = make_ppf(true);
+    const auto *dthr_f = dynamic_cast<const MokaFilter *>(dthr.get());
+    ASSERT_NE(dthr_f, nullptr);
+    EXPECT_TRUE(dthr_f->config().threshold.adaptive);
+}
+
+TEST(Policies, SingleFeatureSchemesNamed)
+{
+    const SchemeConfig p = scheme_single_program(ProgramFeatureId::kDelta);
+    EXPECT_EQ(p.name, "PF:Delta");
+    const SchemeConfig s = scheme_single_system(SystemFeatureId::kStlbMpki);
+    EXPECT_EQ(s.name, "SF:sTLB MPKI");
+    EXPECT_TRUE(static_cast<bool>(p.make_filter));
+    EXPECT_TRUE(static_cast<bool>(s.make_filter));
+    // Instantiate both to validate their configs.
+    EXPECT_NE(p.make_filter(), nullptr);
+    EXPECT_NE(s.make_filter(), nullptr);
+}
+
+TEST(Policies, ParseL1dKinds)
+{
+    EXPECT_EQ(parse_l1d_kind("berti"), L1dPrefetcherKind::kBerti);
+    EXPECT_EQ(parse_l1d_kind("ipcp"), L1dPrefetcherKind::kIpcp);
+    EXPECT_EQ(parse_l1d_kind("bop"), L1dPrefetcherKind::kBop);
+    EXPECT_EQ(parse_l1d_kind("nl"), L1dPrefetcherKind::kNextLine);
+}
+
+}  // namespace
+}  // namespace moka

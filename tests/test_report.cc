@@ -1,0 +1,82 @@
+/** @file Unit tests for CSV/JSON result export. */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/report.h"
+
+namespace moka {
+namespace {
+
+ResultRow
+sample_row()
+{
+    ResultRow row;
+    row.workload = "gap.csr.0";
+    row.suite = "GAP";
+    row.scheme = "DRIPPER";
+    row.prefetcher = "berti";
+    row.metrics.instructions = 1000;
+    row.metrics.cycles = 2000;
+    row.metrics.l1d = {300, 50};
+    row.metrics.pgc_issued = 10;
+    row.metrics.pgc_useful = 8;
+    row.metrics.pgc_useless = 2;
+    return row;
+}
+
+TEST(Report, CsvColumnsMatchHeader)
+{
+    const std::string header = csv_header();
+    const std::string line = to_csv(sample_row());
+    const auto count = [](const std::string &s) {
+        std::size_t n = 1;
+        for (char c : s) {
+            n += c == ',' ? 1 : 0;
+        }
+        return n;
+    };
+    EXPECT_EQ(count(header), count(line));
+}
+
+TEST(Report, CsvValues)
+{
+    const std::string line = to_csv(sample_row());
+    EXPECT_NE(line.find("gap.csr.0,GAP,DRIPPER,berti,1000,2000,0.5"),
+              std::string::npos)
+        << line;
+    EXPECT_NE(line.find(",50,"), std::string::npos);  // l1d mpki = 50
+}
+
+TEST(Report, WriteCsvEmitsHeaderAndRows)
+{
+    std::ostringstream os;
+    write_csv(os, {sample_row(), sample_row()});
+    const std::string out = os.str();
+    std::size_t lines = 0;
+    for (char c : out) {
+        lines += c == '\n' ? 1 : 0;
+    }
+    EXPECT_EQ(lines, 3u);
+    EXPECT_EQ(out.rfind("workload,", 0), 0u);
+}
+
+TEST(Report, JsonWellFormedEnough)
+{
+    const std::string j = to_json(sample_row());
+    EXPECT_EQ(j.front(), '{');
+    EXPECT_EQ(j.back(), '}');
+    EXPECT_NE(j.find("\"ipc\": 0.5"), std::string::npos);
+    EXPECT_NE(j.find("\"accuracy\": 0.8"), std::string::npos);
+    // Balanced braces.
+    int depth = 0;
+    for (char c : j) {
+        depth += c == '{' ? 1 : 0;
+        depth -= c == '}' ? 1 : 0;
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+}  // namespace
+}  // namespace moka

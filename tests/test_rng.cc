@@ -1,0 +1,81 @@
+/** @file Unit tests for common/rng.h (determinism + distribution). */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace moka {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next()) {
+            ++same;
+        }
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowIsBounded)
+{
+    Rng r(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 100ull, 1000000007ull}) {
+        for (int i = 0; i < 500; ++i) {
+            EXPECT_LT(r.below(bound), bound);
+        }
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t v = r.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    // Mean should be close to 0.5.
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceFrequency)
+{
+    Rng r(13);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        hits += r.chance(0.25) ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace moka

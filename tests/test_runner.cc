@@ -1,0 +1,58 @@
+/** @file Unit tests for runner/config plumbing. */
+#include <gtest/gtest.h>
+
+#include "filter/policies.h"
+#include "sim/runner.h"
+
+namespace moka {
+namespace {
+
+TEST(Runner, MakeConfigWiresSchemeAndPrefetcher)
+{
+    const SchemeConfig scheme = scheme_permit();
+    const MachineConfig cfg =
+        make_config(L1dPrefetcherKind::kIpcp, scheme);
+    EXPECT_EQ(cfg.l1d_prefetcher, L1dPrefetcherKind::kIpcp);
+    EXPECT_EQ(cfg.scheme.policy, PgcPolicy::kPermit);
+    EXPECT_EQ(cfg.scheme.name, "Permit PGC");
+}
+
+TEST(Runner, DefaultConfigMatchesTableFour)
+{
+    const MachineConfig cfg = default_config(1);
+    // L1D 32KB 8-way, L1I 48KB 12-way, L2 512KB 8-way, LLC 2MB 16-way.
+    EXPECT_EQ(cfg.l1d.sets * cfg.l1d.ways * kBlockSize, 32u << 10);
+    EXPECT_EQ(cfg.l1i.sets * cfg.l1i.ways * kBlockSize, 48u << 10);
+    EXPECT_EQ(cfg.l2.sets * cfg.l2.ways * kBlockSize, 512u << 10);
+    EXPECT_EQ(cfg.llc.sets * cfg.llc.ways * kBlockSize, 2u << 20);
+    // dTLB 64-entry 4-way, sTLB 1536-entry 12-way.
+    EXPECT_EQ(cfg.dtlb.sets * cfg.dtlb.ways, 64u);
+    EXPECT_EQ(cfg.stlb.sets * cfg.stlb.ways, 1536u);
+    // Core: 352-entry ROB, 6-wide.
+    EXPECT_EQ(cfg.core.rob_entries, 352u);
+    EXPECT_EQ(cfg.core.width, 6u);
+}
+
+TEST(Runner, MulticoreConfigScalesSharedResources)
+{
+    const MachineConfig one = default_config(1);
+    const MachineConfig eight = default_config(8);
+    EXPECT_EQ(eight.llc.sets, one.llc.sets * 8);
+    EXPECT_GE(eight.dram.channels, one.dram.channels);
+    EXPECT_GT(eight.vmem.phys_bytes, one.vmem.phys_bytes);
+}
+
+TEST(Runner, RunSingleHonoursBudgets)
+{
+    const MachineConfig cfg =
+        make_config(L1dPrefetcherKind::kNextLine, scheme_discard());
+    RunConfig run;
+    run.warmup_insts = 7'000;
+    run.measure_insts = 13'000;
+    const RunMetrics m =
+        run_single(cfg, seen_workloads().front(), run);
+    EXPECT_EQ(m.instructions, 13'000u);
+}
+
+}  // namespace
+}  // namespace moka

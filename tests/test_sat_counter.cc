@@ -1,0 +1,82 @@
+/** @file Unit tests for common/sat_counter.h. */
+#include <gtest/gtest.h>
+
+#include "common/sat_counter.h"
+
+namespace moka {
+namespace {
+
+TEST(SignedSatCounter, FiveBitRails)
+{
+    SignedSatCounter c(5);
+    EXPECT_EQ(c.min(), -16);
+    EXPECT_EQ(c.max(), 15);
+    for (int i = 0; i < 100; ++i) {
+        c.increment();
+    }
+    EXPECT_EQ(c.value(), 15);
+    EXPECT_TRUE(c.saturated());
+    for (int i = 0; i < 100; ++i) {
+        c.decrement();
+    }
+    EXPECT_EQ(c.value(), -16);
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SignedSatCounter, InitialClamp)
+{
+    SignedSatCounter c(5, 100);
+    EXPECT_EQ(c.value(), 15);
+    SignedSatCounter d(5, -100);
+    EXPECT_EQ(d.value(), -16);
+}
+
+TEST(SignedSatCounter, StepBy)
+{
+    SignedSatCounter c(6);
+    c.increment(10);
+    EXPECT_EQ(c.value(), 10);
+    c.decrement(15);
+    EXPECT_EQ(c.value(), -5);
+    c.reset();
+    EXPECT_EQ(c.value(), 0);
+}
+
+TEST(UnsignedSatCounter, Rails)
+{
+    UnsignedSatCounter c(2);
+    EXPECT_EQ(c.max(), 3);
+    c.decrement();
+    EXPECT_EQ(c.value(), 0);
+    for (int i = 0; i < 10; ++i) {
+        c.increment();
+    }
+    EXPECT_EQ(c.value(), 3);
+}
+
+/** Width property sweep: rails are +-2^(n-1) for the signed counter. */
+class SatWidth : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SatWidth, RailsMatchWidth)
+{
+    const unsigned w = GetParam();
+    SignedSatCounter c(w);
+    EXPECT_EQ(c.min(), -(1 << (w - 1)));
+    EXPECT_EQ(c.max(), (1 << (w - 1)) - 1);
+    for (int i = 0; i < (1 << w) + 5; ++i) {
+        c.increment();
+    }
+    EXPECT_EQ(c.value(), c.max());
+    for (int i = 0; i < (1 << (w + 1)); ++i) {
+        c.decrement();
+    }
+    EXPECT_EQ(c.value(), c.min());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SatWidth,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 8u, 10u));
+
+}  // namespace
+}  // namespace moka

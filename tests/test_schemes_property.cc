@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Property sweeps across every page-cross scheme: determinism,
+ * accounting invariants (candidates = issued + dropped for
+ * machine-filtered schemes), and accuracy ordering.
+ */
+#include <gtest/gtest.h>
+
+#include "filter/policies.h"
+#include "sim/runner.h"
+#include "trace/suites.h"
+
+namespace moka {
+namespace {
+
+enum class SchemeId {
+    kDiscard,
+    kPermit,
+    kDiscardPtw,
+    kIso,
+    kPpf,
+    kPpfDthr,
+    kDripper,
+    kDripperSf,
+    kDripperMeta,
+};
+
+SchemeConfig
+make_scheme(SchemeId id)
+{
+    const L1dPrefetcherKind k = L1dPrefetcherKind::kBerti;
+    switch (id) {
+      case SchemeId::kDiscard:     return scheme_discard();
+      case SchemeId::kPermit:      return scheme_permit();
+      case SchemeId::kDiscardPtw:  return scheme_discard_ptw();
+      case SchemeId::kIso:         return scheme_iso_storage();
+      case SchemeId::kPpf:         return scheme_ppf(false);
+      case SchemeId::kPpfDthr:     return scheme_ppf(true);
+      case SchemeId::kDripper:     return scheme_dripper(k);
+      case SchemeId::kDripperSf:   return scheme_dripper_sf(k);
+      case SchemeId::kDripperMeta: return scheme_dripper_specialized(k);
+    }
+    return scheme_discard();
+}
+
+class SchemeProperty : public ::testing::TestWithParam<SchemeId>
+{
+  protected:
+    static WorkloadSpec
+    stream_spec()
+    {
+        for (const WorkloadSpec &s : seen_workloads()) {
+            if (s.family == Family::kStream) {
+                return s;
+            }
+        }
+        return seen_workloads().front();
+    }
+};
+
+TEST_P(SchemeProperty, DeterministicReplay)
+{
+    const MachineConfig cfg =
+        make_config(L1dPrefetcherKind::kBerti, make_scheme(GetParam()));
+    const RunConfig run{10'000, 60'000};
+    const RunMetrics a = run_single(cfg, stream_spec(), run);
+    const RunMetrics b = run_single(cfg, stream_spec(), run);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.pgc_issued, b.pgc_issued);
+    EXPECT_EQ(a.pgc_dropped, b.pgc_dropped);
+    EXPECT_EQ(a.l1d.misses, b.l1d.misses);
+}
+
+TEST_P(SchemeProperty, CandidateAccounting)
+{
+    const MachineConfig cfg =
+        make_config(L1dPrefetcherKind::kBerti, make_scheme(GetParam()));
+    const RunConfig run{10'000, 60'000};
+    const RunMetrics m = run_single(cfg, stream_spec(), run);
+    // Every page-cross candidate is either dropped by the policy or
+    // flows to the TLB path. Issued fills can be fewer than permitted
+    // candidates (duplicates hit in cache), never more.
+    EXPECT_LE(m.pgc_issued, m.pgc_candidates);
+    EXPECT_LE(m.pgc_dropped, m.pgc_candidates);
+    // Resolved usefulness never exceeds issues.
+    EXPECT_LE(m.pgc_useful + m.pgc_useless, m.pgc_issued + 1);
+}
+
+TEST_P(SchemeProperty, SpeculativeWalkDiscipline)
+{
+    const MachineConfig cfg =
+        make_config(L1dPrefetcherKind::kBerti, make_scheme(GetParam()));
+    const RunConfig run{10'000, 60'000};
+    const RunMetrics m = run_single(cfg, stream_spec(), run);
+    const SchemeConfig scheme = make_scheme(GetParam());
+    if (scheme.policy == PgcPolicy::kDiscard ||
+        scheme.policy == PgcPolicy::kDiscardPtw) {
+        EXPECT_EQ(m.spec_walks, 0u);
+    }
+    if (scheme.policy == PgcPolicy::kPermit) {
+        EXPECT_EQ(m.pgc_dropped, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeProperty,
+    ::testing::Values(SchemeId::kDiscard, SchemeId::kPermit,
+                      SchemeId::kDiscardPtw, SchemeId::kIso,
+                      SchemeId::kPpf, SchemeId::kPpfDthr,
+                      SchemeId::kDripper, SchemeId::kDripperSf,
+                      SchemeId::kDripperMeta));
+
+/** Determinism must also hold per prefetcher. */
+class PrefetcherProperty
+    : public ::testing::TestWithParam<L1dPrefetcherKind>
+{
+};
+
+TEST_P(PrefetcherProperty, DripperDeterministicAndSane)
+{
+    const MachineConfig cfg =
+        make_config(GetParam(), scheme_dripper(GetParam()));
+    const WorkloadSpec spec = seen_workloads()[3];
+    const RunConfig run{10'000, 60'000};
+    const RunMetrics a = run_single(cfg, spec, run);
+    const RunMetrics b = run_single(cfg, spec, run);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_GT(a.ipc(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrefetchers, PrefetcherProperty,
+    ::testing::Values(L1dPrefetcherKind::kBerti, L1dPrefetcherKind::kIpcp,
+                      L1dPrefetcherKind::kBop, L1dPrefetcherKind::kStride,
+                      L1dPrefetcherKind::kNextLine));
+
+}  // namespace
+}  // namespace moka

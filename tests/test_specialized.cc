@@ -1,0 +1,132 @@
+/** @file Unit tests for prefetcher-specialized filter features. */
+#include <gtest/gtest.h>
+
+#include "filter/policies.h"
+#include "prefetch/berti.h"
+#include "prefetch/ipcp.h"
+
+namespace moka {
+namespace {
+
+TEST(Specialized, EvalFormulas)
+{
+    FeatureInput in;
+    in.pc = 0x400100;
+    in.delta = 7;
+    in.meta = 0x55;
+    EXPECT_EQ(eval_specialized(SpecializedFeatureId::kMeta, in), 0x55u);
+    EXPECT_EQ(eval_specialized(SpecializedFeatureId::kMetaXorDelta, in),
+              0x55u ^ 7u);
+    EXPECT_EQ(eval_specialized(SpecializedFeatureId::kMetaXorPc, in),
+              0x55u ^ 0x400100u);
+}
+
+TEST(Specialized, Names)
+{
+    EXPECT_STREQ(specialized_feature_name(SpecializedFeatureId::kMeta),
+                 "Meta");
+    EXPECT_STREQ(
+        specialized_feature_name(SpecializedFeatureId::kMetaXorDelta),
+        "Meta^Delta");
+    EXPECT_STREQ(
+        specialized_feature_name(SpecializedFeatureId::kMetaXorPc),
+        "Meta^PC");
+}
+
+TEST(Specialized, BertiExportsTimelinessMeta)
+{
+    BertiConfig cfg;
+    cfg.window_accesses = 32;
+    cfg.timely_latency = 50;
+    Berti berti(cfg);
+    std::vector<PrefetchRequest> out;
+    Cycle now = 0;
+    for (int i = 0; i < 200; ++i) {
+        out.clear();
+        PrefetchContext ctx;
+        ctx.pc = 0x400100;
+        ctx.vaddr = 0x100000 + Addr(i) * kBlockSize;
+        ctx.now = now;
+        berti.on_access(ctx, out);
+        now += 100;
+    }
+    ASSERT_FALSE(out.empty());
+    // A steady stream's selected deltas carry nonzero timely counts.
+    EXPECT_GT(out[0].meta, 0u);
+}
+
+TEST(Specialized, IpcpExportsClassMeta)
+{
+    Ipcp ipcp(IpcpConfig{});
+    std::vector<PrefetchRequest> out;
+    PrefetchContext ctx;
+    ctx.pc = 0x400200;
+    ctx.vaddr = 0x100000;
+    ctx.hit = false;
+    ipcp.on_access(ctx, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].meta, 0u);  // NL class on fresh IP
+    // Train CS (sparse regions, stride 3): meta becomes the CS class.
+    for (int i = 1; i < 10; ++i) {
+        out.clear();
+        ctx.vaddr = 0x100000 + Addr(i) * 3 * kBlockSize;
+        ipcp.on_access(ctx, out);
+    }
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out[0].meta, 1u);  // CS class
+}
+
+TEST(Specialized, FilterUsesMetaTables)
+{
+    MokaConfig cfg = dripper_config(L1dPrefetcherKind::kBerti);
+    cfg.specialized_features = {SpecializedFeatureId::kMeta};
+    MokaFilter f(cfg);
+    // Storage grows by exactly one more weight table.
+    MokaFilter plain(dripper_config(L1dPrefetcherKind::kBerti));
+    EXPECT_EQ(f.storage_bits(),
+              plain.storage_bits() + cfg.wt_entries * cfg.weight_bits);
+}
+
+TEST(Specialized, MetaSeparatesSamePcSameDelta)
+{
+    // Two populations identical in every program feature but meta:
+    // only the specialized feature can separate them.
+    MokaConfig cfg;
+    cfg.name = "meta-only";
+    cfg.specialized_features = {SpecializedFeatureId::kMeta};
+    cfg.threshold.adaptive = false;
+    cfg.threshold.t_static = 0;
+    MokaFilter f(cfg);
+    SystemSnapshot snap;
+    // meta=1 -> useful; meta=2 -> useless, alternating.
+    for (int i = 0; i < 40; ++i) {
+        const Addr t1 = 0x100000 + Addr(i) * 2 * kPageSize;
+        if (f.permit(0x1, 0x100000, 5, t1, snap, /*meta=*/1)) {
+            f.on_pgc_issued(t1, t1);
+            f.on_pgc_first_use(t1);
+        } else {
+            f.on_l1d_demand_miss(t1);
+        }
+        const Addr t2 = t1 + kPageSize;
+        if (f.permit(0x1, 0x100000, 5, t2, snap, /*meta=*/2)) {
+            f.on_pgc_issued(t2, t2);
+            f.on_pgc_eviction(t2, false);
+        }
+    }
+    EXPECT_TRUE(f.permit(0x1, 0x100000, 5, 0x900000, snap, 1));
+    EXPECT_FALSE(f.permit(0x1, 0x100000, 5, 0x901000, snap, 2));
+}
+
+TEST(Specialized, SchemeFactory)
+{
+    const SchemeConfig s =
+        scheme_dripper_specialized(L1dPrefetcherKind::kBerti);
+    EXPECT_EQ(s.name, "DRIPPER+Meta");
+    const FilterPtr f = s.make_filter();
+    const auto *mf = dynamic_cast<const MokaFilter *>(f.get());
+    ASSERT_NE(mf, nullptr);
+    EXPECT_EQ(mf->config().specialized_features.size(), 2u);
+}
+
+}  // namespace
+}  // namespace moka

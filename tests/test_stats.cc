@@ -1,0 +1,90 @@
+/** @file Unit tests for common/stats.h + histogram. */
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "common/stats.h"
+
+namespace moka {
+namespace {
+
+TEST(AccessStats, MpkiAndMissRate)
+{
+    AccessStats s;
+    s.accesses = 1000;
+    s.misses = 50;
+    EXPECT_DOUBLE_EQ(s.mpki(10000), 5.0);
+    EXPECT_DOUBLE_EQ(s.miss_rate(), 0.05);
+    EXPECT_DOUBLE_EQ(s.mpki(0), 0.0);
+    AccessStats zero;
+    EXPECT_DOUBLE_EQ(zero.miss_rate(), 0.0);
+}
+
+TEST(AccessStats, Subtraction)
+{
+    AccessStats a{100, 20}, b{40, 5};
+    const AccessStats d = a - b;
+    EXPECT_EQ(d.accesses, 60u);
+    EXPECT_EQ(d.misses, 15u);
+}
+
+TEST(PrefetchStats, Accuracy)
+{
+    PrefetchStats p;
+    EXPECT_DOUBLE_EQ(p.accuracy(), 0.0);
+    p.useful = 30;
+    p.useless = 10;
+    EXPECT_DOUBLE_EQ(p.accuracy(), 0.75);
+    p.pgc_useful = 1;
+    p.pgc_useless = 3;
+    EXPECT_DOUBLE_EQ(p.pgc_accuracy(), 0.25);
+}
+
+TEST(Geomean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_NEAR(geomean({1.1, 1.1, 1.1}), 1.1, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    // Non-positive entries are skipped, not poisoning the result.
+    EXPECT_DOUBLE_EQ(geomean({4.0, 0.0, 1.0, -3.0}), 2.0);
+}
+
+TEST(Mean, Basics)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Percentile, Interpolation)
+{
+    const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 2.5);
+    EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(FormatPct, SignAndPrecision)
+{
+    EXPECT_EQ(format_pct(0.0173), "+1.73%");
+    EXPECT_EQ(format_pct(-0.025), "-2.50%");
+    EXPECT_EQ(format_pct(0.0), "+0.00%");
+}
+
+TEST(Histogram, BinningAndClamping)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);   // bin 0
+    h.add(9.9);   // bin 4
+    h.add(-3.0);  // clamps to bin 0
+    h.add(42.0);  // clamps to bin 4
+    h.add(5.0);   // bin 2
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(2), 1u);
+    EXPECT_EQ(h.count(4), 2u);
+    EXPECT_DOUBLE_EQ(h.bin_lo(2), 4.0);
+    EXPECT_DOUBLE_EQ(h.bin_hi(2), 6.0);
+}
+
+}  // namespace
+}  // namespace moka

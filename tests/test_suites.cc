@@ -1,0 +1,110 @@
+/** @file Unit tests for the workload roster. */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/suites.h"
+
+namespace moka {
+namespace {
+
+TEST(Suites, RosterSizesMatchPaper)
+{
+    EXPECT_EQ(seen_workloads().size(), 218u);
+    EXPECT_EQ(unseen_workloads().size(), 178u);
+    EXPECT_FALSE(non_intensive_workloads().empty());
+}
+
+TEST(Suites, NamesUniqueAcrossSeenAndUnseen)
+{
+    std::set<std::string> names;
+    for (const WorkloadSpec &s : seen_workloads()) {
+        EXPECT_TRUE(names.insert(s.name).second) << s.name;
+    }
+    for (const WorkloadSpec &s : unseen_workloads()) {
+        EXPECT_TRUE(names.insert(s.name).second) << s.name;
+    }
+}
+
+TEST(Suites, SeedsUniqueAcrossRoster)
+{
+    std::set<std::uint64_t> seeds;
+    for (const WorkloadSpec &s : seen_workloads()) {
+        EXPECT_TRUE(seeds.insert(s.seed).second)
+            << "seed collision at " << s.name;
+    }
+    for (const WorkloadSpec &s : unseen_workloads()) {
+        EXPECT_TRUE(seeds.insert(s.seed).second)
+            << "seed collision at " << s.name;
+    }
+}
+
+TEST(Suites, EverySuitePresent)
+{
+    const auto names = suite_names();
+    EXPECT_EQ(names.size(), 8u);
+    const auto roster = seen_workloads();
+    for (const std::string &suite : names) {
+        EXPECT_FALSE(filter_suite(roster, suite).empty()) << suite;
+    }
+}
+
+TEST(Suites, IntensiveFlagsConsistent)
+{
+    for (const WorkloadSpec &s : seen_workloads()) {
+        EXPECT_TRUE(s.memory_intensive);
+    }
+    for (const WorkloadSpec &s : non_intensive_workloads()) {
+        EXPECT_FALSE(s.memory_intensive);
+    }
+}
+
+TEST(Suites, SampleEvenAndBounded)
+{
+    const auto roster = seen_workloads();
+    const auto s = sample(roster, 24);
+    EXPECT_EQ(s.size(), 24u);
+    // Sampling preserves order and includes early + late entries.
+    EXPECT_EQ(s.front().name, roster.front().name);
+    std::set<std::string> names;
+    for (const WorkloadSpec &w : s) {
+        EXPECT_TRUE(names.insert(w.name).second);
+    }
+    // Oversampling returns the full roster.
+    EXPECT_EQ(sample(roster, 10000).size(), roster.size());
+}
+
+TEST(Suites, WorkloadsInstantiateAndRun)
+{
+    const auto roster = sample(seen_workloads(), 9);
+    for (const WorkloadSpec &spec : roster) {
+        WorkloadPtr w = make_workload(spec);
+        ASSERT_NE(w, nullptr) << spec.name;
+        EXPECT_EQ(w->name(), spec.name);
+        bool saw_mem = false;
+        for (int i = 0; i < 2000; ++i) {
+            const TraceInst inst = w->next();
+            if (inst.op == OpClass::kLoad || inst.op == OpClass::kStore) {
+                saw_mem = true;
+                EXPECT_NE(inst.mem_addr, 0u);
+            }
+        }
+        EXPECT_TRUE(saw_mem) << spec.name;
+    }
+}
+
+TEST(Suites, SameSpecGivesIdenticalStream)
+{
+    const WorkloadSpec spec = seen_workloads().front();
+    WorkloadPtr a = make_workload(spec);
+    WorkloadPtr b = make_workload(spec);
+    for (int i = 0; i < 3000; ++i) {
+        const TraceInst x = a->next();
+        const TraceInst y = b->next();
+        ASSERT_EQ(x.mem_addr, y.mem_addr);
+        ASSERT_EQ(x.pc, y.pc);
+    }
+}
+
+}  // namespace
+}  // namespace moka

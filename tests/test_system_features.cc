@@ -1,0 +1,92 @@
+/** @file Unit tests for MOKA system features. */
+#include <gtest/gtest.h>
+
+#include "filter/system_features.h"
+
+namespace moka {
+namespace {
+
+TEST(SystemFeatures, AllSixPresent)
+{
+    EXPECT_EQ(all_system_features().size(), 6u);
+}
+
+TEST(SystemFeatures, StlbMpkiActiveWhenLow)
+{
+    // DRIPPER's rationale: the sTLB MPKI feature participates in
+    // phases with LOW sTLB pressure.
+    SystemFeature f(default_system_feature(SystemFeatureId::kStlbMpki));
+    SystemSnapshot snap;
+    snap.stlb_mpki = 0.1;
+    EXPECT_TRUE(f.active(snap));
+    snap.stlb_mpki = 50.0;
+    EXPECT_FALSE(f.active(snap));
+}
+
+TEST(SystemFeatures, StlbMissRateActiveWhenHigh)
+{
+    SystemFeature f(
+        default_system_feature(SystemFeatureId::kStlbMissRate));
+    SystemSnapshot snap;
+    snap.stlb_miss_rate = 0.9;
+    EXPECT_TRUE(f.active(snap));
+    snap.stlb_miss_rate = 0.01;
+    EXPECT_FALSE(f.active(snap));
+}
+
+TEST(SystemFeatures, WeightTrainsAndSaturates)
+{
+    SystemFeature f(default_system_feature(SystemFeatureId::kLlcMpki));
+    EXPECT_EQ(f.weight(), 0);
+    for (int i = 0; i < 40; ++i) {
+        f.increment();
+    }
+    EXPECT_EQ(f.weight(), 15);
+    for (int i = 0; i < 80; ++i) {
+        f.decrement();
+    }
+    EXPECT_EQ(f.weight(), -16);
+    EXPECT_EQ(f.storage_bits(), 5u);
+}
+
+TEST(SystemFeatures, NamesMatchTableOne)
+{
+    EXPECT_STREQ(system_feature_name(SystemFeatureId::kStlbMpki),
+                 "sTLB MPKI");
+    EXPECT_STREQ(system_feature_name(SystemFeatureId::kStlbMissRate),
+                 "sTLB Miss Rate");
+    EXPECT_STREQ(system_feature_name(SystemFeatureId::kL1dMpki),
+                 "L1D MPKI");
+    EXPECT_STREQ(system_feature_name(SystemFeatureId::kLlcMissRate),
+                 "LLC Miss Rate");
+}
+
+/** Each feature reads exactly its own snapshot field. */
+class SystemFeatureField
+    : public ::testing::TestWithParam<SystemFeatureId>
+{
+};
+
+TEST_P(SystemFeatureField, RespondsOnlyToOwnField)
+{
+    const SystemFeatureConfig cfg = default_system_feature(GetParam());
+    SystemFeature f(cfg);
+    SystemSnapshot low{};   // all zeros
+    SystemSnapshot high{};
+    high.l1d_mpki = high.llc_mpki = high.stlb_mpki = 1e6;
+    high.l1d_miss_rate = high.llc_miss_rate = high.stlb_miss_rate = 1.0;
+    // Exactly one of the two snapshots activates the feature.
+    EXPECT_NE(f.active(low), f.active(high));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, SystemFeatureField,
+    ::testing::Values(SystemFeatureId::kL1dMpki,
+                      SystemFeatureId::kL1dMissRate,
+                      SystemFeatureId::kLlcMpki,
+                      SystemFeatureId::kLlcMissRate,
+                      SystemFeatureId::kStlbMpki,
+                      SystemFeatureId::kStlbMissRate));
+
+}  // namespace
+}  // namespace moka

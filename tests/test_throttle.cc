@@ -1,0 +1,110 @@
+/** @file Unit tests for the FDP-style throttler. */
+#include <gtest/gtest.h>
+
+#include "prefetch/next_line.h"
+#include "prefetch/throttle.h"
+
+namespace moka {
+namespace {
+
+/** Inner prefetcher emitting a fixed fan of candidates per trigger. */
+class FanPrefetcher : public Prefetcher
+{
+  public:
+    explicit FanPrefetcher(unsigned fan) : fan_(fan) {}
+
+    void
+    on_access(const PrefetchContext &ctx,
+              std::vector<PrefetchRequest> &out) override
+    {
+        for (unsigned d = 1; d <= fan_; ++d) {
+            PrefetchRequest r;
+            r.vaddr = block_addr(ctx.vaddr) + d * kBlockSize;
+            r.delta = d;
+            out.push_back(r);
+        }
+    }
+
+    const std::string &name() const override { return name_; }
+
+  private:
+    unsigned fan_;
+    std::string name_ = "fan";
+};
+
+ThrottleConfig
+quick()
+{
+    ThrottleConfig cfg;
+    cfg.interval_fills = 32;
+    return cfg;
+}
+
+void
+drive_interval(ThrottledPrefetcher &t, bool useful, bool late)
+{
+    for (int i = 0; i < 32; ++i) {
+        t.on_feedback(useful, late);
+        t.on_fill(0x1000, 0, /*was_prefetch=*/true);
+    }
+}
+
+TEST(Throttle, LevelCapsCandidates)
+{
+    ThrottledPrefetcher t(std::make_unique<FanPrefetcher>(6), quick());
+    std::vector<PrefetchRequest> out;
+    PrefetchContext ctx;
+    ctx.vaddr = 0x100000;
+    t.on_access(ctx, out);
+    EXPECT_EQ(out.size(), 2u);  // initial level 2
+}
+
+TEST(Throttle, RampsUpWhenAccurateAndLate)
+{
+    ThrottledPrefetcher t(std::make_unique<FanPrefetcher>(6), quick());
+    drive_interval(t, /*useful=*/true, /*late=*/true);
+    EXPECT_EQ(t.level(), 3u);
+    drive_interval(t, true, true);
+    EXPECT_EQ(t.level(), 4u);
+    drive_interval(t, true, true);
+    EXPECT_EQ(t.level(), 4u);  // saturates at cfg.levels
+}
+
+TEST(Throttle, RampsDownWhenInaccurate)
+{
+    ThrottledPrefetcher t(std::make_unique<FanPrefetcher>(6), quick());
+    drive_interval(t, /*useful=*/false, /*late=*/false);
+    EXPECT_EQ(t.level(), 1u);
+    drive_interval(t, false, false);
+    EXPECT_EQ(t.level(), 1u);  // floor
+}
+
+TEST(Throttle, HoldsWhenAccurateAndTimely)
+{
+    ThrottledPrefetcher t(std::make_unique<FanPrefetcher>(6), quick());
+    drive_interval(t, /*useful=*/true, /*late=*/false);
+    EXPECT_EQ(t.level(), 2u);
+}
+
+TEST(Throttle, SmallWindowsIgnored)
+{
+    ThrottleConfig cfg = quick();
+    ThrottledPrefetcher t(std::make_unique<FanPrefetcher>(6), cfg);
+    // Fewer than 16 resolved outcomes: level must not move.
+    for (int i = 0; i < 8; ++i) {
+        t.on_feedback(false, false);
+    }
+    for (int i = 0; i < 32; ++i) {
+        t.on_fill(0x1000, 0, true);
+    }
+    EXPECT_EQ(t.level(), 2u);
+}
+
+TEST(Throttle, NamePrefixed)
+{
+    ThrottledPrefetcher t(std::make_unique<NextLine>(1), quick());
+    EXPECT_EQ(t.name(), "fdp+nl");
+}
+
+}  // namespace
+}  // namespace moka

@@ -1,0 +1,89 @@
+/** @file Unit tests for trace recording/replay. */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "trace/suites.h"
+#include "trace/trace_io.h"
+
+namespace moka {
+namespace {
+
+std::string
+temp_path(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "moka_" + tag + ".trc";
+}
+
+TEST(TraceIo, RoundTripPreservesStream)
+{
+    const WorkloadSpec spec = seen_workloads().front();
+    const std::string path = temp_path("roundtrip");
+
+    WorkloadPtr source = make_workload(spec);
+    ASSERT_TRUE(record_trace(path, *source, 5000));
+
+    WorkloadPtr replay = open_trace(path);
+    ASSERT_NE(replay, nullptr);
+    WorkloadPtr reference = make_workload(spec);
+    for (int i = 0; i < 5000; ++i) {
+        const TraceInst a = reference->next();
+        const TraceInst b = replay->next();
+        ASSERT_EQ(a.pc, b.pc);
+        ASSERT_EQ(static_cast<int>(a.op), static_cast<int>(b.op));
+        ASSERT_EQ(a.mem_addr, b.mem_addr);
+        ASSERT_EQ(a.taken, b.taken);
+        ASSERT_EQ(a.target, b.target);
+        ASSERT_EQ(a.dep_load, b.dep_load);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, ReplayWrapsAround)
+{
+    const WorkloadSpec spec = seen_workloads().front();
+    const std::string path = temp_path("wrap");
+    WorkloadPtr source = make_workload(spec);
+    ASSERT_TRUE(record_trace(path, *source, 100));
+
+    WorkloadPtr replay = open_trace(path);
+    ASSERT_NE(replay, nullptr);
+    std::vector<Addr> first_pass;
+    for (int i = 0; i < 100; ++i) {
+        first_pass.push_back(replay->next().pc);
+    }
+    // The 101st instruction replays the 1st.
+    EXPECT_EQ(replay->next().pc, first_pass[0]);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileReturnsNull)
+{
+    EXPECT_EQ(open_trace("/nonexistent/path.trc"), nullptr);
+}
+
+TEST(TraceIo, CorruptHeaderRejected)
+{
+    const std::string path = temp_path("corrupt");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("NOTATRACE-AT-ALL", f);
+    std::fclose(f);
+    EXPECT_EQ(open_trace(path), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, LengthReported)
+{
+    const WorkloadSpec spec = seen_workloads().front();
+    const std::string path = temp_path("len");
+    WorkloadPtr source = make_workload(spec);
+    ASSERT_TRUE(record_trace(path, *source, 1234));
+    TraceFileWorkload trace(path);
+    EXPECT_EQ(trace.length(), 1234u);
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace moka

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * sweep_tool — batch experiment driver. Runs a workload sample
+ * against a scheme list and streams one CSV row per (workload,
+ * scheme) to stdout, ready for pandas/gnuplot. This is the
+ * plot-your-own-figures companion to the fixed bench/ harnesses.
+ *
+ * Usage:
+ *   sweep_tool [--workloads N] [--insts N] [--warmup N]
+ *              [--prefetcher berti|ipcp|bop|stride|nl]
+ *              [--schemes discard,permit,dripper,...]
+ *              [--unseen] [--large-pages F]
+ *
+ * Example:
+ *   sweep_tool --workloads 32 --schemes discard,permit,dripper \
+ *       > results.csv
+ */
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "filter/policies.h"
+#include "sim/report.h"
+#include "sim/runner.h"
+#include "trace/suites.h"
+
+using namespace moka;
+
+namespace {
+
+SchemeConfig
+parse_scheme(const std::string &s, L1dPrefetcherKind kind)
+{
+    if (s == "permit") return scheme_permit();
+    if (s == "discard-ptw") return scheme_discard_ptw();
+    if (s == "iso") return scheme_iso_storage();
+    if (s == "ppf") return scheme_ppf(false);
+    if (s == "ppf-dthr") return scheme_ppf(true);
+    if (s == "dripper") return scheme_dripper(kind);
+    if (s == "dripper-sf") return scheme_dripper_sf(kind);
+    if (s == "dripper-meta") return scheme_dripper_specialized(kind);
+    if (s == "dripper-2mb") return scheme_dripper_filter_2mb(kind);
+    return scheme_discard();
+}
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, sep)) {
+        if (!item.empty()) {
+            out.push_back(item);
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t workloads = 24;
+    RunConfig run;
+    std::string pf_name = "berti";
+    std::string schemes_arg = "discard,permit,dripper";
+    bool unseen = false;
+    double large_pages = 0.0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            return i + 1 < argc ? argv[++i] : "";
+        };
+        if (a == "--workloads") workloads = std::stoull(next());
+        else if (a == "--insts") run.measure_insts = std::stoull(next());
+        else if (a == "--warmup") run.warmup_insts = std::stoull(next());
+        else if (a == "--prefetcher") pf_name = next();
+        else if (a == "--schemes") schemes_arg = next();
+        else if (a == "--unseen") unseen = true;
+        else if (a == "--large-pages") large_pages = std::stod(next());
+        else {
+            std::cerr << "unknown flag " << a << "\n";
+            return 1;
+        }
+    }
+
+    const L1dPrefetcherKind kind = parse_l1d_kind(pf_name);
+    const auto roster =
+        sample(unseen ? unseen_workloads() : seen_workloads(), workloads);
+
+    std::cout << csv_header() << '\n';
+    for (const std::string &scheme_name : split(schemes_arg, ',')) {
+        const SchemeConfig scheme = parse_scheme(scheme_name, kind);
+        for (const WorkloadSpec &spec : roster) {
+            MachineConfig cfg = make_config(kind, scheme);
+            cfg.vmem.large_page_fraction = large_pages;
+            ResultRow row;
+            row.workload = spec.name;
+            row.suite = spec.suite;
+            row.scheme = scheme.name;
+            row.prefetcher = pf_name;
+            row.metrics = run_single(cfg, spec, run);
+            std::cout << to_csv(row) << '\n';
+            std::cout.flush();
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * trace_tool — record roster workloads into the binary trace format
+ * and inspect trace files.
+ *
+ * Usage:
+ *   trace_tool record <workload-name> <out.trc> [count]
+ *   trace_tool info <file.trc>
+ *   trace_tool dump <file.trc> [n]     # print the first n records
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "trace/suites.h"
+#include "trace/trace_io.h"
+
+using namespace moka;
+
+namespace {
+
+const char *
+op_name(OpClass op)
+{
+    switch (op) {
+      case OpClass::kAlu:    return "alu";
+      case OpClass::kLoad:   return "load";
+      case OpClass::kStore:  return "store";
+      case OpClass::kBranch: return "branch";
+    }
+    return "?";
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr, "usage: trace_tool record|info|dump ... "
+                             "(see file header)\n");
+        return 1;
+    }
+    const std::string cmd = argv[1];
+
+    if (cmd == "record") {
+        if (argc < 4) {
+            std::fprintf(stderr, "record needs <workload> <out.trc>\n");
+            return 1;
+        }
+        const std::string name = argv[2];
+        const std::string path = argv[3];
+        const std::uint64_t count =
+            argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1'000'000;
+        for (const WorkloadSpec &spec : seen_workloads()) {
+            if (spec.name == name) {
+                WorkloadPtr w = make_workload(spec);
+                if (!record_trace(path, *w, count)) {
+                    std::fprintf(stderr, "write failed: %s\n",
+                                 path.c_str());
+                    return 1;
+                }
+                std::printf("recorded %llu instructions of %s to %s\n",
+                            (unsigned long long)count, name.c_str(),
+                            path.c_str());
+                return 0;
+            }
+        }
+        std::fprintf(stderr, "unknown workload %s\n", name.c_str());
+        return 1;
+    }
+
+    if (cmd == "info" || cmd == "dump") {
+        WorkloadPtr t = open_trace(argv[2]);
+        if (t == nullptr) {
+            std::fprintf(stderr, "cannot load %s\n", argv[2]);
+            return 1;
+        }
+        auto *trace = static_cast<TraceFileWorkload *>(t.get());
+        std::printf("%s: %llu instructions/pass\n", argv[2],
+                    (unsigned long long)trace->length());
+        if (cmd == "dump") {
+            const std::uint64_t n =
+                argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 16;
+            for (std::uint64_t i = 0; i < n && i < trace->length(); ++i) {
+                const TraceInst inst = trace->next();
+                std::printf("%6llu  pc=%#llx  %-6s", (unsigned long long)i,
+                            (unsigned long long)inst.pc,
+                            op_name(inst.op));
+                if (inst.op == OpClass::kLoad ||
+                    inst.op == OpClass::kStore) {
+                    std::printf("  addr=%#llx%s",
+                                (unsigned long long)inst.mem_addr,
+                                inst.dep_load ? " (dep)" : "");
+                } else if (inst.op == OpClass::kBranch) {
+                    std::printf("  %s -> %#llx",
+                                inst.taken ? "taken" : "not-taken",
+                                (unsigned long long)inst.target);
+                }
+                std::printf("\n");
+            }
+        }
+        return 0;
+    }
+
+    std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
+    return 1;
+}
