@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_structures.dir/ablation_structures.cc.o"
+  "CMakeFiles/ablation_structures.dir/ablation_structures.cc.o.d"
+  "ablation_structures"
+  "ablation_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

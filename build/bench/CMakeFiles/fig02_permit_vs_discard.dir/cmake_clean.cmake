@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_permit_vs_discard.dir/fig02_permit_vs_discard.cc.o"
+  "CMakeFiles/fig02_permit_vs_discard.dir/fig02_permit_vs_discard.cc.o.d"
+  "fig02_permit_vs_discard"
+  "fig02_permit_vs_discard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_permit_vs_discard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

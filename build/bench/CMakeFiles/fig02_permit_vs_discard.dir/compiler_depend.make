@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig02_permit_vs_discard.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_pgc_usefulness.dir/fig03_pgc_usefulness.cc.o"
+  "CMakeFiles/fig03_pgc_usefulness.dir/fig03_pgc_usefulness.cc.o.d"
+  "fig03_pgc_usefulness"
+  "fig03_pgc_usefulness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_pgc_usefulness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_mpki_split.dir/fig04_mpki_split.cc.o"
+  "CMakeFiles/fig04_mpki_split.dir/fig04_mpki_split.cc.o.d"
+  "fig04_mpki_split"
+  "fig04_mpki_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_mpki_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

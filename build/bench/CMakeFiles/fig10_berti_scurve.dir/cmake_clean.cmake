@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_berti_scurve.dir/fig10_berti_scurve.cc.o"
+  "CMakeFiles/fig10_berti_scurve.dir/fig10_berti_scurve.cc.o.d"
+  "fig10_berti_scurve"
+  "fig10_berti_scurve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_berti_scurve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_mpki_curves.dir/fig12_mpki_curves.cc.o"
+  "CMakeFiles/fig12_mpki_curves.dir/fig12_mpki_curves.cc.o.d"
+  "fig12_mpki_curves"
+  "fig12_mpki_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_mpki_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

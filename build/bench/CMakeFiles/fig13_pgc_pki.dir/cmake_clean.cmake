@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_pgc_pki.dir/fig13_pgc_pki.cc.o"
+  "CMakeFiles/fig13_pgc_pki.dir/fig13_pgc_pki.cc.o.d"
+  "fig13_pgc_pki"
+  "fig13_pgc_pki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_pgc_pki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_pgc_pki.
+# This may be replaced when dependencies are built.

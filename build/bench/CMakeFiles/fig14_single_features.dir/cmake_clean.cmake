@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_single_features.dir/fig14_single_features.cc.o"
+  "CMakeFiles/fig14_single_features.dir/fig14_single_features.cc.o.d"
+  "fig14_single_features"
+  "fig14_single_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_single_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

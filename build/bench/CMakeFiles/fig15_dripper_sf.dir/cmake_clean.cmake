@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_dripper_sf.dir/fig15_dripper_sf.cc.o"
+  "CMakeFiles/fig15_dripper_sf.dir/fig15_dripper_sf.cc.o.d"
+  "fig15_dripper_sf"
+  "fig15_dripper_sf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_dripper_sf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

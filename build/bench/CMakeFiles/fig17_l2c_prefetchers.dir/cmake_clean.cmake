@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_l2c_prefetchers.dir/fig17_l2c_prefetchers.cc.o"
+  "CMakeFiles/fig17_l2c_prefetchers.dir/fig17_l2c_prefetchers.cc.o.d"
+  "fig17_l2c_prefetchers"
+  "fig17_l2c_prefetchers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_l2c_prefetchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig17_l2c_prefetchers.
+# This may be replaced when dependencies are built.

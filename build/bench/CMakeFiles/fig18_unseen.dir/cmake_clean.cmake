@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_unseen.dir/fig18_unseen.cc.o"
+  "CMakeFiles/fig18_unseen.dir/fig18_unseen.cc.o.d"
+  "fig18_unseen"
+  "fig18_unseen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_unseen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

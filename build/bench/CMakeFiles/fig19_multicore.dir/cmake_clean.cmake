@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_multicore.dir/fig19_multicore.cc.o"
+  "CMakeFiles/fig19_multicore.dir/fig19_multicore.cc.o.d"
+  "fig19_multicore"
+  "fig19_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specialized_features.dir/specialized_features.cc.o"
+  "CMakeFiles/specialized_features.dir/specialized_features.cc.o.d"
+  "specialized_features"
+  "specialized_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specialized_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

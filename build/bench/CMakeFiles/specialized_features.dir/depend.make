@@ -1,0 +1,2 @@
+# Empty dependencies file for specialized_features.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_nonintensive.dir/table5_nonintensive.cc.o"
+  "CMakeFiles/table5_nonintensive.dir/table5_nonintensive.cc.o.d"
+  "table5_nonintensive"
+  "table5_nonintensive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_nonintensive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_filter.dir/custom_filter.cpp.o"
+  "CMakeFiles/custom_filter.dir/custom_filter.cpp.o.d"
+  "custom_filter"
+  "custom_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/mokasim.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/mokasim.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cache/replacement.cc" "src/CMakeFiles/mokasim.dir/cache/replacement.cc.o" "gcc" "src/CMakeFiles/mokasim.dir/cache/replacement.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/mokasim.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/mokasim.dir/common/stats.cc.o.d"
+  "/root/repo/src/core/branch_pred.cc" "src/CMakeFiles/mokasim.dir/core/branch_pred.cc.o" "gcc" "src/CMakeFiles/mokasim.dir/core/branch_pred.cc.o.d"
+  "/root/repo/src/core/core.cc" "src/CMakeFiles/mokasim.dir/core/core.cc.o" "gcc" "src/CMakeFiles/mokasim.dir/core/core.cc.o.d"
+  "/root/repo/src/core/frontend.cc" "src/CMakeFiles/mokasim.dir/core/frontend.cc.o" "gcc" "src/CMakeFiles/mokasim.dir/core/frontend.cc.o.d"
+  "/root/repo/src/dram/dram.cc" "src/CMakeFiles/mokasim.dir/dram/dram.cc.o" "gcc" "src/CMakeFiles/mokasim.dir/dram/dram.cc.o.d"
+  "/root/repo/src/filter/adaptive_threshold.cc" "src/CMakeFiles/mokasim.dir/filter/adaptive_threshold.cc.o" "gcc" "src/CMakeFiles/mokasim.dir/filter/adaptive_threshold.cc.o.d"
+  "/root/repo/src/filter/features.cc" "src/CMakeFiles/mokasim.dir/filter/features.cc.o" "gcc" "src/CMakeFiles/mokasim.dir/filter/features.cc.o.d"
+  "/root/repo/src/filter/moka.cc" "src/CMakeFiles/mokasim.dir/filter/moka.cc.o" "gcc" "src/CMakeFiles/mokasim.dir/filter/moka.cc.o.d"
+  "/root/repo/src/filter/perceptron.cc" "src/CMakeFiles/mokasim.dir/filter/perceptron.cc.o" "gcc" "src/CMakeFiles/mokasim.dir/filter/perceptron.cc.o.d"
+  "/root/repo/src/filter/policies.cc" "src/CMakeFiles/mokasim.dir/filter/policies.cc.o" "gcc" "src/CMakeFiles/mokasim.dir/filter/policies.cc.o.d"
+  "/root/repo/src/filter/ppf.cc" "src/CMakeFiles/mokasim.dir/filter/ppf.cc.o" "gcc" "src/CMakeFiles/mokasim.dir/filter/ppf.cc.o.d"
+  "/root/repo/src/filter/system_features.cc" "src/CMakeFiles/mokasim.dir/filter/system_features.cc.o" "gcc" "src/CMakeFiles/mokasim.dir/filter/system_features.cc.o.d"
+  "/root/repo/src/prefetch/berti.cc" "src/CMakeFiles/mokasim.dir/prefetch/berti.cc.o" "gcc" "src/CMakeFiles/mokasim.dir/prefetch/berti.cc.o.d"
+  "/root/repo/src/prefetch/bop.cc" "src/CMakeFiles/mokasim.dir/prefetch/bop.cc.o" "gcc" "src/CMakeFiles/mokasim.dir/prefetch/bop.cc.o.d"
+  "/root/repo/src/prefetch/ipcp.cc" "src/CMakeFiles/mokasim.dir/prefetch/ipcp.cc.o" "gcc" "src/CMakeFiles/mokasim.dir/prefetch/ipcp.cc.o.d"
+  "/root/repo/src/prefetch/next_line.cc" "src/CMakeFiles/mokasim.dir/prefetch/next_line.cc.o" "gcc" "src/CMakeFiles/mokasim.dir/prefetch/next_line.cc.o.d"
+  "/root/repo/src/prefetch/spp.cc" "src/CMakeFiles/mokasim.dir/prefetch/spp.cc.o" "gcc" "src/CMakeFiles/mokasim.dir/prefetch/spp.cc.o.d"
+  "/root/repo/src/prefetch/stride.cc" "src/CMakeFiles/mokasim.dir/prefetch/stride.cc.o" "gcc" "src/CMakeFiles/mokasim.dir/prefetch/stride.cc.o.d"
+  "/root/repo/src/prefetch/throttle.cc" "src/CMakeFiles/mokasim.dir/prefetch/throttle.cc.o" "gcc" "src/CMakeFiles/mokasim.dir/prefetch/throttle.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/mokasim.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/mokasim.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/CMakeFiles/mokasim.dir/sim/machine.cc.o" "gcc" "src/CMakeFiles/mokasim.dir/sim/machine.cc.o.d"
+  "/root/repo/src/sim/multicore.cc" "src/CMakeFiles/mokasim.dir/sim/multicore.cc.o" "gcc" "src/CMakeFiles/mokasim.dir/sim/multicore.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/CMakeFiles/mokasim.dir/sim/report.cc.o" "gcc" "src/CMakeFiles/mokasim.dir/sim/report.cc.o.d"
+  "/root/repo/src/sim/runner.cc" "src/CMakeFiles/mokasim.dir/sim/runner.cc.o" "gcc" "src/CMakeFiles/mokasim.dir/sim/runner.cc.o.d"
+  "/root/repo/src/trace/generators.cc" "src/CMakeFiles/mokasim.dir/trace/generators.cc.o" "gcc" "src/CMakeFiles/mokasim.dir/trace/generators.cc.o.d"
+  "/root/repo/src/trace/suites.cc" "src/CMakeFiles/mokasim.dir/trace/suites.cc.o" "gcc" "src/CMakeFiles/mokasim.dir/trace/suites.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/CMakeFiles/mokasim.dir/trace/trace_io.cc.o" "gcc" "src/CMakeFiles/mokasim.dir/trace/trace_io.cc.o.d"
+  "/root/repo/src/vmem/page_table.cc" "src/CMakeFiles/mokasim.dir/vmem/page_table.cc.o" "gcc" "src/CMakeFiles/mokasim.dir/vmem/page_table.cc.o.d"
+  "/root/repo/src/vmem/tlb.cc" "src/CMakeFiles/mokasim.dir/vmem/tlb.cc.o" "gcc" "src/CMakeFiles/mokasim.dir/vmem/tlb.cc.o.d"
+  "/root/repo/src/vmem/walker.cc" "src/CMakeFiles/mokasim.dir/vmem/walker.cc.o" "gcc" "src/CMakeFiles/mokasim.dir/vmem/walker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

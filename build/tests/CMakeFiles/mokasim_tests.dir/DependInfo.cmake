@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adaptive_threshold.cc" "tests/CMakeFiles/mokasim_tests.dir/test_adaptive_threshold.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_adaptive_threshold.cc.o.d"
+  "/root/repo/tests/test_berti.cc" "tests/CMakeFiles/mokasim_tests.dir/test_berti.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_berti.cc.o.d"
+  "/root/repo/tests/test_bitops.cc" "tests/CMakeFiles/mokasim_tests.dir/test_bitops.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_bitops.cc.o.d"
+  "/root/repo/tests/test_bop.cc" "tests/CMakeFiles/mokasim_tests.dir/test_bop.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_bop.cc.o.d"
+  "/root/repo/tests/test_branch_pred.cc" "tests/CMakeFiles/mokasim_tests.dir/test_branch_pred.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_branch_pred.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/mokasim_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_cache_model_check.cc" "tests/CMakeFiles/mokasim_tests.dir/test_cache_model_check.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_cache_model_check.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/mokasim_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_dram.cc" "tests/CMakeFiles/mokasim_tests.dir/test_dram.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_dram.cc.o.d"
+  "/root/repo/tests/test_energy.cc" "tests/CMakeFiles/mokasim_tests.dir/test_energy.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_energy.cc.o.d"
+  "/root/repo/tests/test_experiment.cc" "tests/CMakeFiles/mokasim_tests.dir/test_experiment.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_experiment.cc.o.d"
+  "/root/repo/tests/test_features.cc" "tests/CMakeFiles/mokasim_tests.dir/test_features.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_features.cc.o.d"
+  "/root/repo/tests/test_frontend.cc" "tests/CMakeFiles/mokasim_tests.dir/test_frontend.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_frontend.cc.o.d"
+  "/root/repo/tests/test_generators.cc" "tests/CMakeFiles/mokasim_tests.dir/test_generators.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_generators.cc.o.d"
+  "/root/repo/tests/test_hashing.cc" "tests/CMakeFiles/mokasim_tests.dir/test_hashing.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_hashing.cc.o.d"
+  "/root/repo/tests/test_hierarchy.cc" "tests/CMakeFiles/mokasim_tests.dir/test_hierarchy.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_hierarchy.cc.o.d"
+  "/root/repo/tests/test_ipcp.cc" "tests/CMakeFiles/mokasim_tests.dir/test_ipcp.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_ipcp.cc.o.d"
+  "/root/repo/tests/test_kernels_extra.cc" "tests/CMakeFiles/mokasim_tests.dir/test_kernels_extra.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_kernels_extra.cc.o.d"
+  "/root/repo/tests/test_machine.cc" "tests/CMakeFiles/mokasim_tests.dir/test_machine.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_machine.cc.o.d"
+  "/root/repo/tests/test_moka.cc" "tests/CMakeFiles/mokasim_tests.dir/test_moka.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_moka.cc.o.d"
+  "/root/repo/tests/test_multicore.cc" "tests/CMakeFiles/mokasim_tests.dir/test_multicore.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_multicore.cc.o.d"
+  "/root/repo/tests/test_page_table.cc" "tests/CMakeFiles/mokasim_tests.dir/test_page_table.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_page_table.cc.o.d"
+  "/root/repo/tests/test_perceptron.cc" "tests/CMakeFiles/mokasim_tests.dir/test_perceptron.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_perceptron.cc.o.d"
+  "/root/repo/tests/test_policies.cc" "tests/CMakeFiles/mokasim_tests.dir/test_policies.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_policies.cc.o.d"
+  "/root/repo/tests/test_replacement.cc" "tests/CMakeFiles/mokasim_tests.dir/test_replacement.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_replacement.cc.o.d"
+  "/root/repo/tests/test_report.cc" "tests/CMakeFiles/mokasim_tests.dir/test_report.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_report.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/mokasim_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_runner.cc" "tests/CMakeFiles/mokasim_tests.dir/test_runner.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_runner.cc.o.d"
+  "/root/repo/tests/test_sat_counter.cc" "tests/CMakeFiles/mokasim_tests.dir/test_sat_counter.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_sat_counter.cc.o.d"
+  "/root/repo/tests/test_schemes_property.cc" "tests/CMakeFiles/mokasim_tests.dir/test_schemes_property.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_schemes_property.cc.o.d"
+  "/root/repo/tests/test_specialized.cc" "tests/CMakeFiles/mokasim_tests.dir/test_specialized.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_specialized.cc.o.d"
+  "/root/repo/tests/test_spp.cc" "tests/CMakeFiles/mokasim_tests.dir/test_spp.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_spp.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/mokasim_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_stride.cc" "tests/CMakeFiles/mokasim_tests.dir/test_stride.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_stride.cc.o.d"
+  "/root/repo/tests/test_suites.cc" "tests/CMakeFiles/mokasim_tests.dir/test_suites.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_suites.cc.o.d"
+  "/root/repo/tests/test_system_features.cc" "tests/CMakeFiles/mokasim_tests.dir/test_system_features.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_system_features.cc.o.d"
+  "/root/repo/tests/test_throttle.cc" "tests/CMakeFiles/mokasim_tests.dir/test_throttle.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_throttle.cc.o.d"
+  "/root/repo/tests/test_tlb.cc" "tests/CMakeFiles/mokasim_tests.dir/test_tlb.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_tlb.cc.o.d"
+  "/root/repo/tests/test_trace_io.cc" "tests/CMakeFiles/mokasim_tests.dir/test_trace_io.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_trace_io.cc.o.d"
+  "/root/repo/tests/test_update_buffer.cc" "tests/CMakeFiles/mokasim_tests.dir/test_update_buffer.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_update_buffer.cc.o.d"
+  "/root/repo/tests/test_walker.cc" "tests/CMakeFiles/mokasim_tests.dir/test_walker.cc.o" "gcc" "tests/CMakeFiles/mokasim_tests.dir/test_walker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mokasim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for mokasim_tests.
+# This may be replaced when dependencies are built.

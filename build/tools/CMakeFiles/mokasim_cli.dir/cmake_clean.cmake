@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mokasim_cli.dir/mokasim_cli.cc.o"
+  "CMakeFiles/mokasim_cli.dir/mokasim_cli.cc.o.d"
+  "mokasim_cli"
+  "mokasim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mokasim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
