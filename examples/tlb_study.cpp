@@ -64,7 +64,7 @@ main()
             scheme_dripper(L1dPrefetcherKind::kBerti)};
         for (const SchemeConfig &scheme : schemes) {
             const RunMetrics m = measure(fp, scheme);
-            char fps[16], ipc[16], d[16], s[16], wd[16], ws[16], acc[16];
+            char fps[32], ipc[32], d[32], s[32], wd[32], ws[32], acc[32];
             std::snprintf(fps, sizeof(fps), "%lluKB",
                           static_cast<unsigned long long>(fp >> 10));
             std::snprintf(ipc, sizeof(ipc), "%.3f", m.ipc());

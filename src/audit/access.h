@@ -1,0 +1,389 @@
+/**
+ * @file
+ * AuditAccess: the one befriended window into private simulator
+ * state. The auditors use it to *inspect* internals without widening
+ * any public API, and tests/test_audit.cc uses its corrupt_* helpers
+ * to *inject* the exact metadata drift the auditors must detect.
+ * Nothing outside src/audit/ and the audit tests should include this.
+ */
+#ifndef MOKASIM_AUDIT_ACCESS_H
+#define MOKASIM_AUDIT_ACCESS_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "cache/cache.h"
+#include "cache/replacement.h"
+#include "common/sat_counter.h"
+#include "common/types.h"
+#include "dram/dram.h"
+#include "filter/adaptive_threshold.h"
+#include "filter/moka.h"
+#include "filter/perceptron.h"
+#include "filter/system_features.h"
+#include "filter/update_buffer.h"
+#include "sim/machine.h"
+#include "vmem/page_table.h"
+#include "vmem/tlb.h"
+#include "vmem/walker.h"
+
+namespace moka {
+
+/** See file comment. */
+struct AuditAccess
+{
+    // ----------------------------------------------------------------
+    // Cache
+    // ----------------------------------------------------------------
+
+    /** Value snapshot of one cache block (private Cache::Block). */
+    struct BlockView
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;
+        bool pgc = false;
+        bool used = false;
+    };
+
+    static BlockView
+    cache_block(const Cache &c, std::uint32_t set, std::uint32_t way)
+    {
+        const Cache::Block &b =
+            c.blocks_[static_cast<std::size_t>(set) * c.cfg_.ways + way];
+        return {b.tag, b.valid, b.dirty, b.prefetched, b.pgc, b.used};
+    }
+
+    static std::size_t
+    cache_inflight_count(const Cache &c)
+    {
+        return c.inflight_.size();
+    }
+
+    static const ReplacementPolicy &
+    cache_replacement(const Cache &c)
+    {
+        return *c.repl_;
+    }
+
+    /** Corruption: flip the PCB of block (set, way). */
+    static void
+    corrupt_cache_pcb(Cache &c, std::uint32_t set, std::uint32_t way,
+                      bool pgc)
+    {
+        c.blocks_[static_cast<std::size_t>(set) * c.cfg_.ways + way].pgc =
+            pgc;
+    }
+
+    /** Corruption: clone way 0's tag into way 1 of @p set. */
+    static void
+    corrupt_cache_duplicate_tag(Cache &c, std::uint32_t set)
+    {
+        Cache::Block *row =
+            &c.blocks_[static_cast<std::size_t>(set) * c.cfg_.ways];
+        row[1] = row[0];
+        row[0].valid = true;
+        row[1].valid = true;
+    }
+
+    /** Locate the first valid block; false when the cache is empty. */
+    static bool
+    find_valid_block(const Cache &c, std::uint32_t &set,
+                     std::uint32_t &way)
+    {
+        for (std::uint32_t s = 0; s < c.cfg_.sets; ++s) {
+            for (std::uint32_t w = 0; w < c.cfg_.ways; ++w) {
+                if (cache_block(c, s, w).valid) {
+                    set = s;
+                    way = w;
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
+
+    // ----------------------------------------------------------------
+    // TLB
+    // ----------------------------------------------------------------
+
+    /** Value snapshot of one TLB entry (private Tlb::Entry). */
+    struct TlbEntryView
+    {
+        Addr vpn = 0;
+        Addr page_base = 0;
+        bool valid = false;
+        std::uint64_t lru = 0;
+    };
+
+    static std::size_t tlb_small_slots(const Tlb &t) { return t.small_.size(); }
+    static std::size_t tlb_large_slots(const Tlb &t) { return t.large_.size(); }
+    static std::uint64_t tlb_lru_stamp(const Tlb &t) { return t.lru_stamp_; }
+
+    static TlbEntryView
+    tlb_small_entry(const Tlb &t, std::size_t slot)
+    {
+        const Tlb::Entry &e = t.small_[slot];
+        return {e.vpn, e.page_base, e.valid, e.lru};
+    }
+
+    static TlbEntryView
+    tlb_large_entry(const Tlb &t, std::size_t slot)
+    {
+        const Tlb::Entry &e = t.large_[slot];
+        return {e.vpn, e.page_base, e.valid, e.lru};
+    }
+
+    /**
+     * Corruption: shift the page base of the first valid small-page
+     * entry by @p delta_bytes. Returns false when the TLB is empty.
+     */
+    static bool
+    corrupt_tlb_page_base(Tlb &t, Addr delta_bytes)
+    {
+        for (Tlb::Entry &e : t.small_) {
+            if (e.valid) {
+                e.page_base += delta_bytes;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    // ----------------------------------------------------------------
+    // Page table
+    // ----------------------------------------------------------------
+
+    static const std::unordered_map<Addr, Addr> &
+    page_map(const PageTable &pt)
+    {
+        return pt.page_map_;
+    }
+
+    static const std::unordered_map<Addr, Addr> &
+    large_page_map(const PageTable &pt)
+    {
+        return pt.large_page_map_;
+    }
+
+    static const std::unordered_set<Addr> &
+    used_frames(const PageTable &pt)
+    {
+        return pt.used_frames_;
+    }
+
+    static const std::unordered_set<Addr> &
+    used_large_frames(const PageTable &pt)
+    {
+        return pt.used_large_frames_;
+    }
+
+    static Addr phys_bytes(const PageTable &pt) { return pt.cfg_.phys_bytes; }
+
+    // ----------------------------------------------------------------
+    // Walker / page-structure caches
+    // ----------------------------------------------------------------
+
+    struct PscView
+    {
+        std::vector<std::pair<Addr, std::uint64_t>> entries;  //!< prefix, lru
+        unsigned capacity = 0;
+        std::uint64_t lru_stamp = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t lookups = 0;
+    };
+
+    static PscView
+    psc(const StructureCache &s)
+    {
+        PscView v;
+        v.capacity = s.entries_;
+        v.lru_stamp = s.lru_stamp_;
+        v.hits = s.hits_;
+        v.lookups = s.lookups_;
+        for (const StructureCache::Entry &e : s.data_) {
+            v.entries.emplace_back(e.prefix, e.lru);
+        }
+        return v;
+    }
+
+    static const StructureCache &walker_pde(const PageWalker &w) { return w.psc_pde_; }
+    static const StructureCache &walker_pdpte(const PageWalker &w) { return w.psc_pdpte_; }
+    static const StructureCache &walker_pml4(const PageWalker &w) { return w.psc_pml4_; }
+    static const StructureCache &walker_pml5(const PageWalker &w) { return w.psc_pml5_; }
+    static std::size_t walker_slots(const PageWalker &w) { return w.walker_free_.size(); }
+    static unsigned walker_configured_slots(const PageWalker &w)
+    {
+        return w.cfg_.concurrent_walks;
+    }
+
+    /** Corruption: duplicate the PSC's first entry (PDE PSC). */
+    static void
+    corrupt_psc_duplicate(PageWalker &w)
+    {
+        StructureCache &s = w.psc_pde_;
+        if (!s.data_.empty()) {
+            s.data_.push_back(s.data_.front());
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Update buffers
+    // ----------------------------------------------------------------
+
+    static std::size_t ub_fifo_size(const UpdateBuffer &b) { return b.fifo_.size(); }
+    static std::uint64_t ub_stale(const UpdateBuffer &b) { return b.stale_; }
+
+    static std::vector<std::pair<Addr, std::uint64_t>>
+    ub_fifo(const UpdateBuffer &b)
+    {
+        return {b.fifo_.begin(), b.fifo_.end()};
+    }
+
+    /** Live records with their slot sequence numbers. */
+    static std::vector<std::pair<DecisionRecord, std::uint64_t>>
+    ub_records(const UpdateBuffer &b)
+    {
+        std::vector<std::pair<DecisionRecord, std::uint64_t>> out;
+        out.reserve(b.index_.size());
+        for (const auto &[key, slot] : b.index_) {
+            (void)key;
+            out.emplace_back(slot.rec, slot.seq);
+        }
+        return out;
+    }
+
+    /** Corruption: append a phantom FIFO slot nothing indexed. */
+    static void
+    corrupt_ub_phantom_fifo_slot(UpdateBuffer &b, Addr key)
+    {
+        b.fifo_.emplace_back(key, ~std::uint64_t{0});
+    }
+
+    /** Corruption: blow the feature count of one live record. */
+    static bool
+    corrupt_ub_feature_count(UpdateBuffer &b)
+    {
+        if (b.index_.empty()) {
+            return false;
+        }
+        b.index_.begin()->second.rec.num_features =
+            static_cast<std::uint8_t>(DecisionRecord::kMaxFeatures + 1);
+        return true;
+    }
+
+    // ----------------------------------------------------------------
+    // Perceptron / thresholds / filter
+    // ----------------------------------------------------------------
+
+    /** Corruption: write @p raw into weight @p index, bypassing clamp. */
+    static void
+    corrupt_weight(WeightTable &t, std::uint32_t index, std::int16_t raw)
+    {
+        t.weights_[index].value_ = raw;
+    }
+
+    /** Corruption: force T_a to @p value, bypassing clamp. */
+    static void
+    corrupt_threshold(AdaptiveThreshold &t, int value)
+    {
+        t.ta_ = value;
+    }
+
+    static const std::vector<WeightTable> &
+    filter_tables(const MokaFilter &f)
+    {
+        return f.tables_;
+    }
+
+    static WeightTable &
+    filter_table(MokaFilter &f, std::size_t i)
+    {
+        return f.tables_[i];
+    }
+
+    static const std::vector<SystemFeature> &
+    filter_system(const MokaFilter &f)
+    {
+        return f.system_;
+    }
+
+    static const SignedSatCounter &
+    system_weight(const SystemFeature &sf)
+    {
+        return sf.weight_;
+    }
+
+    static const UpdateBuffer &filter_vub(const MokaFilter &f) { return f.vub_; }
+    static const UpdateBuffer &filter_pub(const MokaFilter &f) { return f.pub_; }
+    static UpdateBuffer &filter_pub_mut(MokaFilter &f) { return f.pub_; }
+    static UpdateBuffer &filter_vub_mut(MokaFilter &f) { return f.vub_; }
+
+    static const AdaptiveThreshold &
+    filter_thresholds(const MokaFilter &f)
+    {
+        return f.thresholds_;
+    }
+
+    static AdaptiveThreshold &
+    filter_thresholds_mut(MokaFilter &f)
+    {
+        return f.thresholds_;
+    }
+
+    static bool filter_pending_valid(const MokaFilter &f) { return f.pending_valid_; }
+    static const DecisionRecord &filter_pending(const MokaFilter &f)
+    {
+        return f.pending_;
+    }
+
+    // ----------------------------------------------------------------
+    // DRAM
+    // ----------------------------------------------------------------
+
+    struct BankView
+    {
+        std::uint64_t open_row = 0;
+        Cycle next_free = 0;
+    };
+
+    static std::size_t dram_bank_count(const Dram &d) { return d.banks_.size(); }
+    static std::size_t dram_channel_count(const Dram &d)
+    {
+        return d.channel_next_free_.size();
+    }
+    static const DramConfig &dram_config(const Dram &d) { return d.cfg_; }
+
+    static BankView
+    dram_bank(const Dram &d, std::size_t i)
+    {
+        const Dram::Bank &b = d.banks_[i];
+        return {b.open_row, b.next_free};
+    }
+
+    /** Corruption: open a row id outside the addressable range. */
+    static void
+    corrupt_dram_open_row(Dram &d, std::size_t bank, std::uint64_t row)
+    {
+        d.banks_[bank].open_row = row;
+    }
+
+    // ----------------------------------------------------------------
+    // Machine plumbing (end-to-end corruption tests)
+    // ----------------------------------------------------------------
+
+    static Cache &core_l1d(CoreComplex &core) { return *core.l1d_; }
+    static Tlb &core_dtlb(CoreComplex &core) { return *core.dtlb_; }
+    static PageCrossFilter *core_filter(CoreComplex &core)
+    {
+        return core.filter_.get();
+    }
+};
+
+}  // namespace moka
+
+#endif  // MOKASIM_AUDIT_ACCESS_H

@@ -1,9 +1,9 @@
 #include "cache/cache.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "common/bitops.h"
+#include "common/check.h"
 
 namespace moka {
 
@@ -13,7 +13,8 @@ Cache::Cache(const CacheConfig &config, MemoryLevel *lower)
       repl_(make_replacement(config.replacement, config.sets,
                              config.ways))
 {
-    assert(is_pow2(cfg_.sets));
+    SIM_REQUIRE(is_pow2(cfg_.sets), "cache sets must be a power of two");
+    SIM_REQUIRE(cfg_.ways > 0, "cache must have at least one way");
 }
 
 std::uint32_t
@@ -88,6 +89,8 @@ Cache::pick_victim(std::uint32_t set, Cycle now)
         }
     }
     const std::uint32_t way = repl_->victim(set);
+    SIM_AUDIT(way < cfg_.ways,
+              "replacement policy chose a way outside the set");
     Block *victim = &row[way];
 
     // Evict: resolve prefetch usefulness and write back dirt.
@@ -192,6 +195,8 @@ Cache::access(Addr paddr, AccessType type, Cycle now, bool pgc_prefetch)
                     cfg_.latency;
     }
     inflight_.push_back(fill_done);
+    SIM_AUDIT(inflight_.size() <= cfg_.mshr_entries,
+              "MSHR occupancy exceeded its configured entries");
 
     const std::uint32_t set = set_index(paddr);
     const std::uint32_t victim_way = pick_victim(set, t);

@@ -21,6 +21,8 @@
 
 namespace moka {
 
+struct AuditAccess;
+
 /** Geometry and timing of one cache level. */
 struct CacheConfig
 {
@@ -99,6 +101,8 @@ class Cache : public MemoryLevel
     const CacheConfig &config() const { return cfg_; }
 
   private:
+    friend struct AuditAccess;
+
     struct Block
     {
         Addr tag = 0;

@@ -39,6 +39,19 @@ class LruPolicy : public ReplacementPolicy
 
     const char *name() const override { return "lru"; }
 
+    bool
+    audit_state(std::string &why) const override
+    {
+        for (std::size_t i = 0; i < stamps_.size(); ++i) {
+            if (stamps_[i] > clock_) {
+                why = "lru stamp ahead of the policy clock at slot " +
+                      std::to_string(i);
+                return false;
+            }
+        }
+        return true;
+    }
+
   private:
     std::uint32_t ways_;
     std::vector<std::uint64_t> stamps_;
@@ -86,6 +99,19 @@ class SrripPolicy : public ReplacementPolicy
     }
 
     const char *name() const override { return "srrip"; }
+
+    bool
+    audit_state(std::string &why) const override
+    {
+        for (std::size_t i = 0; i < rrpv_.size(); ++i) {
+            if (rrpv_[i] > kMaxRrpv) {
+                why = "srrip rrpv above the 2-bit rail at slot " +
+                      std::to_string(i);
+                return false;
+            }
+        }
+        return true;
+    }
 
   private:
     std::uint32_t ways_;

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -43,6 +44,18 @@ class ReplacementPolicy
 
     /** Identifier for reports. */
     virtual const char *name() const = 0;
+
+    /**
+     * Check internal-state invariants (replacement-stack sanity).
+     *
+     * @param why filled with a description of the first violation
+     * @return true when the policy state is consistent
+     */
+    virtual bool audit_state(std::string &why) const
+    {
+        (void)why;
+        return true;
+    }
 };
 
 /**

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Invariant-checking macro family. Two tiers:
+ *
+ *  - SIM_REQUIRE(cond, what): construction/configuration precondition,
+ *    checked in every build. Replaces raw `assert` in src/ (which
+ *    vanishes in NDEBUG builds and aborts without context otherwise).
+ *
+ *  - SIM_AUDIT(cond, what) / SIM_AUDIT_FAIL(what): hot-path invariant
+ *    tripwires, compiled in only when MOKASIM_AUDIT_LEVEL > 0 (the
+ *    `MOKASIM_AUDIT` CMake option: OFF=0, LOG=1, FATAL=2). In LOG
+ *    mode failures are counted and printed to stderr; in FATAL mode
+ *    the first failure aborts. The level picked at configure time is
+ *    only a default: audit::set_fatal() can override it at runtime.
+ *
+ * The structural auditors in src/audit/ are always compiled (they are
+ * plain functions invoked on demand); this header only controls the
+ * inline tripwires and the cadence hooks in the machine loop.
+ */
+#ifndef MOKASIM_COMMON_CHECK_H
+#define MOKASIM_COMMON_CHECK_H
+
+#include <cstdint>
+
+#ifndef MOKASIM_AUDIT_LEVEL
+#define MOKASIM_AUDIT_LEVEL 0
+#endif
+
+/** True in builds whose hot-path audits are compiled in. */
+#define SIM_AUDIT_ENABLED (MOKASIM_AUDIT_LEVEL > 0)
+
+namespace moka::audit {
+
+/**
+ * Record one audit failure: increments the global failure counter,
+ * prints to stderr, and aborts when in fatal mode. Implemented in
+ * src/audit/audit.cc; always available regardless of audit level.
+ */
+void report_failure(const char *file, int line, const char *what);
+
+/** Unrecoverable precondition violation: print and abort. */
+[[noreturn]] void require_failure(const char *file, int line,
+                                  const char *what);
+
+/** Number of audit failures reported since start/reset. */
+std::uint64_t failure_count();
+
+/** Reset the failure counter (tests). */
+void reset_failures();
+
+/** True when audit failures abort (default: MOKASIM_AUDIT=FATAL). */
+bool fatal();
+
+/** Override abort-on-failure at runtime. */
+void set_fatal(bool value);
+
+}  // namespace moka::audit
+
+#define SIM_REQUIRE(cond, what)                                         \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::moka::audit::require_failure(__FILE__, __LINE__, what);   \
+        }                                                               \
+    } while (0)
+
+#if SIM_AUDIT_ENABLED
+
+#define SIM_AUDIT(cond, what)                                           \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::moka::audit::report_failure(__FILE__, __LINE__, what);    \
+        }                                                               \
+    } while (0)
+
+#define SIM_AUDIT_FAIL(what)                                            \
+    ::moka::audit::report_failure(__FILE__, __LINE__, what)
+
+#else
+
+// Off builds: the condition still has to compile (so audits cannot
+// rot), but it is never evaluated and folds away entirely.
+#define SIM_AUDIT(cond, what)                                           \
+    do {                                                                \
+        if (false) {                                                    \
+            (void)(cond);                                               \
+        }                                                               \
+    } while (0)
+
+#define SIM_AUDIT_FAIL(what)                                            \
+    do {                                                                \
+    } while (0)
+
+#endif  // SIM_AUDIT_ENABLED
+
+#endif  // MOKASIM_COMMON_CHECK_H

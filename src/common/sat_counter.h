@@ -10,6 +10,8 @@
 
 namespace moka {
 
+struct AuditAccess;
+
 /**
  * Signed saturating counter of a configurable bit width.
  *
@@ -58,6 +60,8 @@ class SignedSatCounter
     constexpr std::int16_t max() const { return max_; }
 
   private:
+    friend struct AuditAccess;
+
     constexpr std::int16_t clamp(std::int16_t v) const
     {
         if (v < min_) return min_;

@@ -17,6 +17,8 @@
 
 namespace moka {
 
+struct AuditAccess;
+
 /** DRAM geometry and timing (core-clock cycles). */
 struct DramConfig
 {
@@ -48,10 +50,15 @@ class Dram : public MemoryLevel
     /** Accesses attributable to page walks. */
     std::uint64_t walk_accesses() const { return walk_accesses_; }
 
+    /** Sentinel for a bank with no open row. */
+    static constexpr std::uint64_t kNoOpenRow = ~std::uint64_t{0};
+
   private:
+    friend struct AuditAccess;
+
     struct Bank
     {
-        std::uint64_t open_row = ~std::uint64_t{0};
+        std::uint64_t open_row = kNoOpenRow;
         Cycle next_free = 0;
     };
 

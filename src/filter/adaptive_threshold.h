@@ -13,6 +13,8 @@
 
 namespace moka {
 
+struct AuditAccess;
+
 /** Threshold levels and trip points. */
 struct ThresholdConfig
 {
@@ -64,6 +66,8 @@ class AdaptiveThreshold
     const ThresholdConfig &config() const { return cfg_; }
 
   private:
+    friend struct AuditAccess;
+
     void clamp();
 
     ThresholdConfig cfg_;

@@ -1,6 +1,6 @@
 #include "filter/moka.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace moka {
 
@@ -8,10 +8,13 @@ MokaFilter::MokaFilter(const MokaConfig &config)
     : cfg_(config), vub_(config.vub_entries), pub_(config.pub_entries),
       thresholds_(config.threshold)
 {
-    assert(cfg_.program_features.size() +
-               cfg_.specialized_features.size() <=
-           DecisionRecord::kMaxFeatures);
-    assert(cfg_.system_features.size() <= 8);
+    SIM_REQUIRE(cfg_.program_features.size() +
+                        cfg_.specialized_features.size() <=
+                    DecisionRecord::kMaxFeatures,
+                "MOKA configured with more features than a "
+                "DecisionRecord can hold");
+    SIM_REQUIRE(cfg_.system_features.size() <= 8,
+                "MOKA supports at most 8 system features (8-bit mask)");
     for (std::size_t i = 0; i < cfg_.program_features.size() +
                                     cfg_.specialized_features.size();
          ++i) {
@@ -132,7 +135,9 @@ MokaFilter::on_pgc_issued(Addr target_vaddr, Addr target_paddr)
     if (!pending_valid_) {
         return;
     }
-    assert(pending_.block == block_addr(target_vaddr));
+    SIM_AUDIT(pending_.block == block_addr(target_vaddr),
+              "issued page-cross prefetch does not match the pending "
+              "decision record");
     (void)target_vaddr;
     pending_.block = block_addr(target_paddr);
     pub_.insert(pending_);

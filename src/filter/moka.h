@@ -21,6 +21,8 @@
 
 namespace moka {
 
+struct AuditAccess;
+
 /**
  * Interface between the machine and a Page-Cross Filter. The machine
  * calls permit() for every page-cross prefetch candidate and routes
@@ -134,6 +136,8 @@ class MokaFilter : public PageCrossFilter
     const MokaConfig &config() const { return cfg_; }
 
   private:
+    friend struct AuditAccess;
+
     void train(const DecisionRecord &rec, bool positive);
     DecisionRecord make_record(Addr block, const FeatureInput &in,
                                const SystemSnapshot &snap) const;

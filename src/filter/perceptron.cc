@@ -1,8 +1,7 @@
 #include "filter/perceptron.h"
 
-#include <cassert>
-
 #include "common/bitops.h"
+#include "common/check.h"
 #include "common/hashing.h"
 
 namespace moka {
@@ -11,7 +10,10 @@ WeightTable::WeightTable(unsigned entries, unsigned weight_bits)
     : weights_(entries, SignedSatCounter(weight_bits)),
       weight_bits_(weight_bits)
 {
-    assert(is_pow2(entries));
+    SIM_REQUIRE(is_pow2(entries),
+                "weight-table entries must be a power of two");
+    SIM_REQUIRE(weight_bits >= 2 && weight_bits <= 16,
+                "weight width must be 2..16 bits");
     index_bits_ = log2_exact(entries);
 }
 

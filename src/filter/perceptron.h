@@ -14,6 +14,8 @@
 
 namespace moka {
 
+struct AuditAccess;
+
 /** One feature's weight table. */
 class WeightTable
 {
@@ -39,6 +41,9 @@ class WeightTable
     /** Number of entries. */
     std::size_t entries() const { return weights_.size(); }
 
+    /** Signed weight width in bits. */
+    unsigned weight_bits() const { return weight_bits_; }
+
     /** Storage cost in bits. */
     std::uint64_t storage_bits() const
     {
@@ -46,6 +51,8 @@ class WeightTable
     }
 
   private:
+    friend struct AuditAccess;
+
     std::vector<SignedSatCounter> weights_;
     unsigned weight_bits_;
     unsigned index_bits_;

@@ -17,6 +17,8 @@
 
 namespace moka {
 
+struct AuditAccess;
+
 /** Observable system state sampled over a recent instruction window. */
 struct SystemSnapshot
 {
@@ -95,6 +97,8 @@ class SystemFeature
     std::uint64_t storage_bits() const { return cfg_.weight_bits; }
 
   private:
+    friend struct AuditAccess;
+
     SystemFeatureConfig cfg_;
     SignedSatCounter weight_;
 };

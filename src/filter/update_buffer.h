@@ -16,10 +16,14 @@
 #include <cstdint>
 #include <deque>
 #include <unordered_map>
+#include <utility>
 
+#include "common/check.h"
 #include "common/types.h"
 
 namespace moka {
+
+struct AuditAccess;
 
 /** Decision context captured when the filter predicted. */
 struct DecisionRecord
@@ -37,26 +41,47 @@ struct DecisionRecord
  * Functionally a small CAM; implemented with a hash index so large
  * configurations (the converted PPF uses 1024 entries) stay fast.
  * Duplicate keys keep the newest record.
+ *
+ * take() removes only the hash-index entry; the FIFO slot goes stale
+ * and is skipped lazily. Each slot carries the sequence number of the
+ * insertion that created it, so a stale slot for a key that was later
+ * re-inserted is never confused with the live slot (re-insertion gets
+ * a fresh sequence number). Stale slots are purged from the front on
+ * insert and compacted wholesale once they dominate, which bounds the
+ * FIFO at 2x capacity while keeping take() O(1).
  */
 class UpdateBuffer
 {
   public:
-    explicit UpdateBuffer(std::size_t entries) : capacity_(entries) {}
+    explicit UpdateBuffer(std::size_t entries) : capacity_(entries)
+    {
+        SIM_REQUIRE(entries > 0, "UpdateBuffer capacity must be positive");
+    }
 
     /** Insert @p rec, evicting the oldest record when full. */
     void insert(const DecisionRecord &rec)
     {
         auto it = index_.find(rec.block);
         if (it != index_.end()) {
-            it->second = rec;  // refresh in place (FIFO age unchanged)
+            it->second.rec = rec;  // refresh in place (FIFO age unchanged)
             return;
         }
+        purge_stale_front();
         while (index_.size() >= capacity_ && !fifo_.empty()) {
-            index_.erase(fifo_.front());
+            const auto [key, seq] = fifo_.front();
             fifo_.pop_front();
+            auto victim = index_.find(key);
+            if (victim != index_.end() && victim->second.seq == seq) {
+                index_.erase(victim);
+                ++overflow_evictions_;
+            } else {
+                --stale_;
+            }
         }
-        index_.emplace(rec.block, rec);
-        fifo_.push_back(rec.block);
+        index_.emplace(rec.block, Slot{rec, next_seq_});
+        fifo_.emplace_back(rec.block, next_seq_);
+        ++next_seq_;
+        compact_if_needed();
     }
 
     /**
@@ -69,9 +94,10 @@ class UpdateBuffer
         if (it == index_.end()) {
             return false;
         }
-        out = it->second;
+        out = it->second.rec;
         index_.erase(it);
         // The stale FIFO slot is skipped lazily at eviction time.
+        ++stale_;
         return true;
     }
 
@@ -80,6 +106,9 @@ class UpdateBuffer
 
     /** Capacity. */
     std::size_t capacity() const { return capacity_; }
+
+    /** Records dropped because the buffer was full (FIFO evictions). */
+    std::uint64_t overflow_evictions() const { return overflow_evictions_; }
 
     /**
      * Storage cost in bits: paper charges 36 bits of address/tag plus
@@ -91,9 +120,51 @@ class UpdateBuffer
     }
 
   private:
+    friend struct AuditAccess;
+
+    struct Slot
+    {
+        DecisionRecord rec;
+        std::uint64_t seq = 0;  //!< insertion that created the slot
+    };
+
+    /** True when the FIFO slot still backs a live index entry. */
+    bool live(const std::pair<Addr, std::uint64_t> &slot) const
+    {
+        auto it = index_.find(slot.first);
+        return it != index_.end() && it->second.seq == slot.second;
+    }
+
+    void purge_stale_front()
+    {
+        while (!fifo_.empty() && !live(fifo_.front())) {
+            fifo_.pop_front();
+            --stale_;
+        }
+    }
+
+    void compact_if_needed()
+    {
+        if (fifo_.size() < 2 * capacity_ || stale_ == 0) {
+            return;
+        }
+        std::deque<std::pair<Addr, std::uint64_t>> kept;
+        for (const auto &slot : fifo_) {
+            if (live(slot)) {
+                kept.push_back(slot);
+            }
+        }
+        fifo_.swap(kept);
+        stale_ = 0;
+    }
+
     std::size_t capacity_;
-    std::deque<Addr> fifo_;  //!< insertion order (may hold stale keys)
-    std::unordered_map<Addr, DecisionRecord> index_;
+    //! insertion order: (key, sequence); may hold stale slots
+    std::deque<std::pair<Addr, std::uint64_t>> fifo_;
+    std::unordered_map<Addr, Slot> index_;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t stale_ = 0;    //!< stale slots currently in fifo_
+    std::uint64_t overflow_evictions_ = 0;
 };
 
 }  // namespace moka

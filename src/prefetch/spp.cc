@@ -26,7 +26,7 @@ Spp::on_access(const PrefetchContext &ctx,
 {
     const Addr page = page_number(ctx.vaddr);
     const std::int32_t offset =
-        static_cast<std::int32_t>(line_in_page(ctx.vaddr));
+        static_cast<std::int32_t>(line_in_page(ctx.vaddr) & (kBlocksPerPage - 1));
 
     // --- Signature table lookup (set = hashed page) -------------------
     StEntry &e = st_[mix64(page) % st_.size()];

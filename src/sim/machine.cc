@@ -1,8 +1,9 @@
 #include "sim/machine.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "audit/audit.h"
+#include "common/check.h"
 #include "common/hashing.h"
 
 namespace moka {
@@ -79,12 +80,14 @@ CoreComplex::CoreComplex(const MachineConfig &cfg, Cache *llc,
                                   cfg.scheme.iso_storage);
     l2_pf_ = make_l2_prefetcher(cfg.l2_prefetcher);
     if (cfg.scheme.policy == PgcPolicy::kFilter) {
-        assert(cfg.scheme.make_filter);
+        SIM_REQUIRE(cfg.scheme.make_filter != nullptr,
+                    "kFilter scheme configured without a filter factory");
         filter_ = cfg.scheme.make_filter();
     }
 
     next_interval_ = cfg.interval_insts;
     next_epoch_ = cfg.epoch_insts;
+    next_audit_ = cfg.audit_interval_insts;
 }
 
 CoreComplex::~CoreComplex() = default;
@@ -402,6 +405,31 @@ CoreComplex::interval_tick()
         epoch_start_insts_ = core_.retired();
         epoch_start_cycle_ = core_.last_retire();
     }
+
+#if SIM_AUDIT_ENABLED
+    if (cfg_.audit_interval_insts > 0 && core_.retired() >= next_audit_) {
+        next_audit_ += cfg_.audit_interval_insts;
+        AuditReport report(/*forward=*/true);
+        audit(report);
+    }
+#endif
+}
+
+void
+CoreComplex::audit(AuditReport &report) const
+{
+    audit::audit_cache(*l1i_, report);
+    audit::audit_cache(*l1d_, report);
+    audit::audit_cache(*l2_, report);
+    audit::audit_page_table(*page_table_, report);
+    audit::audit_tlb(*itlb_, *page_table_, report);
+    audit::audit_tlb(*dtlb_, *page_table_, report);
+    audit::audit_tlb(*stlb_, *page_table_, report);
+    audit::audit_walker(*walker_, report);
+    if (filter_ != nullptr) {
+        audit::audit_filter(*filter_, report);
+        audit::audit_pcb_pub(*l1d_, *filter_, report);
+    }
 }
 
 void
@@ -526,6 +554,16 @@ RunMetrics
 Machine::measured(std::size_t i) const
 {
     return at_budget_[i] - measure_start_[i];
+}
+
+void
+Machine::audit(AuditReport &report) const
+{
+    audit::audit_cache(*llc_, report);
+    audit::audit_dram(*dram_, report);
+    for (const auto &core : cores_) {
+        core->audit(report);
+    }
 }
 
 }  // namespace moka

@@ -27,6 +27,9 @@
 
 namespace moka {
 
+struct AuditAccess;
+class AuditReport;
+
 /** Full machine configuration (defaults = paper Table IV). */
 struct MachineConfig
 {
@@ -48,6 +51,9 @@ struct MachineConfig
     SchemeConfig scheme;                       //!< page-cross policy
     std::uint64_t interval_insts = 4096;       //!< snapshot cadence
     std::uint64_t epoch_insts = 65536;         //!< adaptive epoch length
+    //! invariant-audit cadence in audit-enabled builds (see
+    //! common/check.h); 0 disables the periodic sweep
+    std::uint64_t audit_interval_insts = 262144;
 };
 
 /**
@@ -145,7 +151,16 @@ class CoreComplex : public CacheListener
     void on_eviction(Addr block_paddr, bool prefetched, bool pgc,
                      bool used) override;
 
+    /**
+     * Run every structural auditor over this core's private
+     * structures (caches, TLBs vs page table, walker, filter, and the
+     * PCB<->pUB cross-check). Always compiled; the machine invokes it
+     * periodically only in audit-enabled builds.
+     */
+    void audit(AuditReport &report) const;
+
   private:
+    friend struct AuditAccess;
     struct Translated
     {
         Addr paddr = 0;
@@ -200,6 +215,7 @@ class CoreComplex : public CacheListener
     // Interval/epoch state.
     InstCount next_interval_ = 0;
     InstCount next_epoch_ = 0;
+    InstCount next_audit_ = 0;  //!< audit-enabled builds only
     struct Window
     {
         AccessStats l1d, llc, stlb, l1i;
@@ -245,6 +261,9 @@ class Machine
 
     /** Core access (tests/diagnostics). */
     CoreComplex &core(std::size_t i) { return *cores_[i]; }
+
+    /** Audit the shared levels (LLC, DRAM) and every core. */
+    void audit(AuditReport &report) const;
 
   private:
     MachineConfig cfg_;

@@ -1,5 +1,8 @@
 #include "sim/runner.h"
 
+#include "audit/audit.h"
+#include "common/check.h"
+
 namespace moka {
 
 MachineConfig
@@ -21,6 +24,11 @@ run_single(const MachineConfig &cfg, const WorkloadSpec &spec,
     machine.run(run.warmup_insts);
     machine.start_measurement();
     machine.run(run.measure_insts);
+#if SIM_AUDIT_ENABLED
+    // Final full-machine sweep so even sub-cadence runs get audited.
+    AuditReport report(/*forward=*/true);
+    machine.audit(report);
+#endif
     return machine.measured(0);
 }
 

@@ -1,7 +1,6 @@
 #include "vmem/page_table.h"
 
-#include <cassert>
-
+#include "common/check.h"
 #include "common/hashing.h"
 
 namespace moka {
@@ -41,7 +40,8 @@ PageTable::alloc_large_frame()
 {
     const Addr half = cfg_.phys_bytes / 2;
     const Addr frames = half / kLargePageSize;
-    assert(frames > 0);
+    SIM_REQUIRE(frames > 0,
+                "physical memory too small for a 2MB page partition");
     for (;;) {
         const Addr f = rng_.below(frames);
         if (used_large_frames_.insert(f).second) {

@@ -19,6 +19,8 @@
 
 namespace moka {
 
+struct AuditAccess;
+
 /** Virtual-memory configuration for one address space. */
 struct VmemConfig
 {
@@ -66,6 +68,8 @@ class PageTable
     bool is_large_region(Addr vaddr) const;
 
   private:
+    friend struct AuditAccess;
+
     Addr alloc_frame();        //!< unique random 4KB frame
     Addr alloc_large_frame();  //!< unique random 2MB-aligned frame
     Addr table_frame(unsigned level, Addr prefix);

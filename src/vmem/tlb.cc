@@ -1,8 +1,7 @@
 #include "vmem/tlb.h"
 
-#include <cassert>
-
 #include "common/bitops.h"
+#include "common/check.h"
 
 namespace moka {
 
@@ -12,7 +11,8 @@ Tlb::Tlb(const TlbConfig &config)
       large_(static_cast<std::size_t>(config.large_sets) *
              config.large_ways)
 {
-    assert(is_pow2(cfg_.sets) && is_pow2(cfg_.large_sets));
+    SIM_REQUIRE(is_pow2(cfg_.sets) && is_pow2(cfg_.large_sets),
+                "TLB sets must be powers of two");
 }
 
 Tlb::Entry *

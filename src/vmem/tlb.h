@@ -18,6 +18,8 @@
 
 namespace moka {
 
+struct AuditAccess;
+
 /** Geometry/timing of a TLB level. */
 struct TlbConfig
 {
@@ -75,6 +77,8 @@ class Tlb
     const TlbConfig &config() const { return cfg_; }
 
   private:
+    friend struct AuditAccess;
+
     struct Entry
     {
         Addr vpn = 0;

@@ -19,6 +19,8 @@
 
 namespace moka {
 
+struct AuditAccess;
+
 /** Walker + PSC configuration (Table IV: split PSC, 1-cycle). */
 struct WalkerConfig
 {
@@ -47,6 +49,8 @@ class StructureCache
     std::uint64_t lookups() const { return lookups_; }
 
   private:
+    friend struct AuditAccess;
+
     struct Entry
     {
         Addr prefix = 0;
@@ -97,6 +101,8 @@ class PageWalker
     std::uint64_t total_mem_refs() const { return total_mem_refs_; }
 
   private:
+    friend struct AuditAccess;
+
     WalkerConfig cfg_;
     PageTable *table_;
     MemoryLevel *memory_;
