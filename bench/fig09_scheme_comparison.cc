@@ -9,12 +9,15 @@
  * the Discard baseline; DRIPPER is the best for every prefetcher
  * (e.g. +1.7% over Permit... see Fig. 10 for Berti detail), beating
  * PPF by 2.4%/1.4%/1.6% on Berti/BOP/IPCP.
+ *
+ * Runs the full (workload, scheme, prefetcher) matrix through the job
+ * engine; accepts --jobs/--journal/--resume/--fail-fast. Failed jobs
+ * are dropped from the aggregates and reported on stderr.
  */
+#include <cmath>
 #include <cstdio>
 
-#include "filter/policies.h"
 #include "sim/experiment.h"
-#include "sim/runner.h"
 #include "trace/suites.h"
 
 using namespace moka;
@@ -25,61 +28,51 @@ main(int argc, char **argv)
     const BenchArgs args = parse_bench_args(argc, argv);
     const std::vector<WorkloadSpec> roster = args.select(seen_workloads());
 
+    // Scheme 0 is the Discard PGC baseline every column normalizes to.
+    const std::vector<std::string> schemes = {
+        "discard", "permit", "discard-ptw", "iso",
+        "ppf",     "ppf-dthr", "dripper"};
+    const char *labels[] = {"Discard PGC", "Permit PGC", "Discard PTW",
+                            "ISO Storage", "PPF",        "PPF+Dthr",
+                            "DRIPPER"};
+    const std::vector<std::string> pfs = {"berti", "bop", "ipcp"};
+    const char *names[] = {"Berti", "BOP", "IPCP"};
+
+    const std::vector<JobSpec> matrix =
+        make_matrix(roster, schemes, pfs, args.run);
+    const EngineReport report = run_matrix(matrix, args);
+    if (!report.all_completed()) {
+        std::fputs(report.summary().c_str(), stderr);
+    }
+
     std::printf("== Fig. 9: scheme comparison, geomean speedup over "
                 "Discard PGC ==\n\n");
-
-    const L1dPrefetcherKind kinds[] = {L1dPrefetcherKind::kBerti,
-                                       L1dPrefetcherKind::kBop,
-                                       L1dPrefetcherKind::kIpcp};
-    const char *names[] = {"Berti", "BOP", "IPCP"};
 
     TablePrinter table({"scheme", "Berti", "BOP", "IPCP"});
     table.print_header();
 
-    struct SchemeEntry
-    {
-        const char *label;
-        SchemeConfig (*make)(L1dPrefetcherKind);
-    };
-    const SchemeEntry schemes[] = {
-        {"Permit PGC", [](L1dPrefetcherKind) { return scheme_permit(); }},
-        {"Discard PTW",
-         [](L1dPrefetcherKind) { return scheme_discard_ptw(); }},
-        {"ISO Storage",
-         [](L1dPrefetcherKind) { return scheme_iso_storage(); }},
-        {"PPF", [](L1dPrefetcherKind) { return scheme_ppf(false); }},
-        {"PPF+Dthr", [](L1dPrefetcherKind) { return scheme_ppf(true); }},
-        {"DRIPPER",
-         [](L1dPrefetcherKind k) { return scheme_dripper(k); }},
-    };
-
-    // Baselines first (one per prefetcher, reused for all schemes).
-    std::vector<std::vector<RunMetrics>> base(3);
-    for (std::size_t k = 0; k < 3; ++k) {
-        for (const WorkloadSpec &spec : roster) {
-            base[k].push_back(run_single(
-                make_config(kinds[k], scheme_discard()), spec, args.run));
-        }
-    }
-
+    const std::size_t S = schemes.size();
+    const std::size_t R = roster.size();
     double dripper_geo[3] = {0, 0, 0};
     double ppf_geo[3] = {0, 0, 0};
-    for (const SchemeEntry &entry : schemes) {
-        std::vector<std::string> cells = {entry.label};
-        for (std::size_t k = 0; k < 3; ++k) {
+    for (std::size_t s = 1; s < S; ++s) {
+        std::vector<std::string> cells = {labels[s]};
+        for (std::size_t p = 0; p < pfs.size(); ++p) {
             SuiteAggregator agg;
-            for (std::size_t w = 0; w < roster.size(); ++w) {
-                const RunMetrics m = run_single(
-                    make_config(kinds[k], entry.make(kinds[k])), roster[w],
-                    args.run);
-                agg.add(roster[w].suite, speedup(m, base[k][w]));
+            for (std::size_t w = 0; w < R; ++w) {
+                const double base = matrix_ipc(report, S, R, p, 0, w);
+                const double ipc = matrix_ipc(report, S, R, p, s, w);
+                if (std::isnan(base) || std::isnan(ipc) || base <= 0.0) {
+                    continue;  // failed job: degrade to partial geomean
+                }
+                agg.add(roster[w].suite, ipc / base);
             }
             const double g = agg.overall_geomean();
-            if (std::string(entry.label) == "DRIPPER") {
-                dripper_geo[k] = g;
+            if (schemes[s] == "dripper") {
+                dripper_geo[p] = g;
             }
-            if (std::string(entry.label) == "PPF") {
-                ppf_geo[k] = g;
+            if (schemes[s] == "ppf") {
+                ppf_geo[p] = g;
             }
             char buf[32];
             std::snprintf(buf, sizeof(buf), "%+.2f%%", (g - 1.0) * 100.0);
@@ -89,10 +82,12 @@ main(int argc, char **argv)
     }
 
     std::printf("\nDRIPPER over PPF: ");
-    for (std::size_t k = 0; k < 3; ++k) {
-        std::printf("%s %+.2f%%  ", names[k],
-                    (dripper_geo[k] / ppf_geo[k] - 1.0) * 100.0);
+    for (std::size_t p = 0; p < pfs.size(); ++p) {
+        if (ppf_geo[p] > 0.0) {
+            std::printf("%s %+.2f%%  ", names[p],
+                        (dripper_geo[p] / ppf_geo[p] - 1.0) * 100.0);
+        }
     }
     std::printf("(paper: +2.4%% / +1.4%% / +1.6%%)\n");
-    return 0;
+    return report.all_completed() ? 0 : 1;
 }

@@ -21,6 +21,7 @@
 #include "audit/audit.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -32,13 +33,15 @@ namespace moka {
 namespace audit {
 namespace {
 
-std::uint64_t g_failures = 0;
-bool g_fatal = MOKASIM_AUDIT_LEVEL >= 2;
+// Atomics: audit failures can now be reported concurrently from
+// job-engine worker threads (see sim/jobs/engine.h).
+std::atomic<std::uint64_t> g_failures{0};
+std::atomic<bool> g_fatal{MOKASIM_AUDIT_LEVEL >= 2};
 
 void
 emit(const char *where, int line, const char *what)
 {
-    ++g_failures;
+    g_failures.fetch_add(1, std::memory_order_relaxed);
     if (line > 0) {
         std::fprintf(stderr, "mokasim audit failure: %s:%d: %s\n", where,
                      line, what);
@@ -46,7 +49,7 @@ emit(const char *where, int line, const char *what)
         std::fprintf(stderr, "mokasim audit failure: %s: %s\n", where,
                      what);
     }
-    if (g_fatal) {
+    if (g_fatal.load(std::memory_order_relaxed)) {
         std::abort();
     }
 }
@@ -70,25 +73,25 @@ require_failure(const char *file, int line, const char *what)
 std::uint64_t
 failure_count()
 {
-    return g_failures;
+    return g_failures.load(std::memory_order_relaxed);
 }
 
 void
 reset_failures()
 {
-    g_failures = 0;
+    g_failures.store(0, std::memory_order_relaxed);
 }
 
 bool
 fatal()
 {
-    return g_fatal;
+    return g_fatal.load(std::memory_order_relaxed);
 }
 
 void
 set_fatal(bool value)
 {
-    g_fatal = value;
+    g_fatal.store(value, std::memory_order_relaxed);
 }
 
 }  // namespace audit

@@ -1,11 +1,15 @@
 #include "sim/experiment.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "common/stats.h"
+#include "filter/policies.h"
+#include "trace/trace_io.h"
 
 namespace moka {
 
@@ -27,37 +31,253 @@ coverage_gain(const RunMetrics &m, const RunMetrics &base)
            static_cast<double>(base.l1d.misses);
 }
 
+const char *
+require_value(const std::string &flag, int &i, int argc, char **argv)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "usage: %s requires a value\n", flag.c_str());
+        std::exit(2);
+    }
+    return argv[++i];
+}
+
+std::uint64_t
+require_u64(const std::string &flag, const char *value)
+{
+    char *end = nullptr;
+    errno = 0;
+    const std::uint64_t parsed = std::strtoull(value, &end, 10);
+    if (end == value || *end != '\0' || errno == ERANGE) {
+        std::fprintf(stderr,
+                     "usage: %s requires a non-negative integer "
+                     "(got '%s')\n",
+                     flag.c_str(), value);
+        std::exit(2);
+    }
+    return parsed;
+}
+
+double
+require_double(const std::string &flag, const char *value)
+{
+    char *end = nullptr;
+    const double parsed = std::strtod(value, &end);
+    if (end == value || *end != '\0') {
+        std::fprintf(stderr, "usage: %s requires a number (got '%s')\n",
+                     flag.c_str(), value);
+        std::exit(2);
+    }
+    return parsed;
+}
+
 BenchArgs
 parse_bench_args(int argc, char **argv)
 {
     BenchArgs args;
     for (int i = 1; i < argc; ++i) {
-        const char *a = argv[i];
-        auto next_u64 = [&](std::uint64_t fallback) -> std::uint64_t {
-            if (i + 1 < argc) {
-                return std::strtoull(argv[++i], nullptr, 10);
-            }
-            return fallback;
+        const std::string a = argv[i];
+        auto next_u64 = [&]() {
+            return require_u64(a, require_value(a, i, argc, argv));
         };
-        if (std::strcmp(a, "--full") == 0) {
+        if (a == "--full") {
             args.full = true;
             args.run = args.run.scaled(4.0);
             args.mixes = 300;
-        } else if (std::strcmp(a, "--workloads") == 0) {
-            args.workloads = next_u64(args.workloads);
-        } else if (std::strcmp(a, "--insts") == 0) {
-            args.run.measure_insts = next_u64(args.run.measure_insts);
-        } else if (std::strcmp(a, "--warmup") == 0) {
-            args.run.warmup_insts = next_u64(args.run.warmup_insts);
-        } else if (std::strcmp(a, "--mixes") == 0) {
-            args.mixes = next_u64(args.mixes);
-        } else if (std::strcmp(a, "--seed") == 0) {
-            args.seed = next_u64(args.seed);
+        } else if (a == "--workloads") {
+            args.workloads = next_u64();
+        } else if (a == "--insts") {
+            args.run.measure_insts = next_u64();
+        } else if (a == "--warmup") {
+            args.run.warmup_insts = next_u64();
+        } else if (a == "--mixes") {
+            args.mixes = next_u64();
+        } else if (a == "--seed") {
+            args.seed = next_u64();
+        } else if (a == "--jobs") {
+            args.jobs = next_u64();
+        } else if (a == "--fail-fast") {
+            args.fail_fast = true;
+        } else if (a == "--journal") {
+            args.journal = require_value(a, i, argc, argv);
+        } else if (a == "--resume") {
+            args.resume = require_value(a, i, argc, argv);
+        } else if (a == "--inject-faults") {
+            args.fault_rate =
+                require_double(a, require_value(a, i, argc, argv));
+        } else if (a == "--fault-seed") {
+            args.fault_seed = next_u64();
         } else {
-            std::fprintf(stderr, "warning: ignoring unknown flag %s\n", a);
+            std::fprintf(stderr, "warning: ignoring unknown flag %s\n",
+                         a.c_str());
         }
     }
     return args;
+}
+
+EngineConfig
+engine_config(const BenchArgs &args)
+{
+    EngineConfig cfg;
+    cfg.workers = std::max<std::size_t>(1, args.jobs);
+    cfg.fail_fast = args.fail_fast;
+    cfg.journal_path = args.journal;
+    cfg.resume_path = args.resume;
+    if (args.fault_rate > 0.0) {
+        cfg.faults.enabled = true;
+        cfg.faults.seed = args.fault_seed;
+        cfg.faults.throw_rate = args.fault_rate * 0.75;
+        cfg.faults.stall_rate = args.fault_rate * 0.25;
+        cfg.faults.stall_ms = 200;
+        // Stalled workers must trip the wall deadline; generous slack
+        // over the stall keeps legitimate jobs clear of it.
+        cfg.watchdog_wall_ms = 60'000;
+    }
+    return cfg;
+}
+
+SchemeConfig
+scheme_by_name(const std::string &name, L1dPrefetcherKind kind)
+{
+    if (name == "discard") return scheme_discard();
+    if (name == "permit") return scheme_permit();
+    if (name == "discard-ptw") return scheme_discard_ptw();
+    if (name == "iso") return scheme_iso_storage();
+    if (name == "ppf") return scheme_ppf(false);
+    if (name == "ppf-dthr") return scheme_ppf(true);
+    if (name == "dripper") return scheme_dripper(kind);
+    if (name == "dripper-sf") return scheme_dripper_sf(kind);
+    if (name == "dripper-meta") return scheme_dripper_specialized(kind);
+    if (name == "dripper-2mb") return scheme_dripper_filter_2mb(kind);
+    throw JobError(JobErrorCode::kConfigInvalid,
+                   "unknown scheme '" + name + "'");
+}
+
+const std::vector<std::string> &
+known_scheme_names()
+{
+    static const std::vector<std::string> names = {
+        "discard",    "permit",      "discard-ptw", "iso",
+        "ppf",        "ppf-dthr",    "dripper",     "dripper-sf",
+        "dripper-meta", "dripper-2mb",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+known_prefetcher_names()
+{
+    static const std::vector<std::string> names = {"berti", "ipcp", "bop",
+                                                   "stride", "nl"};
+    return names;
+}
+
+namespace {
+
+L1dPrefetcherKind
+prefetcher_by_name(const std::string &name)
+{
+    const std::vector<std::string> &known = known_prefetcher_names();
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+        throw JobError(JobErrorCode::kConfigInvalid,
+                       "unknown prefetcher '" + name + "'");
+    }
+    return parse_l1d_kind(name);
+}
+
+}  // namespace
+
+std::vector<JobSpec>
+make_matrix(const std::vector<WorkloadSpec> &roster,
+            const std::vector<std::string> &schemes,
+            const std::vector<std::string> &prefetchers,
+            const RunConfig &run, double large_page_fraction)
+{
+    std::vector<JobSpec> jobs;
+    jobs.reserve(roster.size() * schemes.size() * prefetchers.size());
+    for (const std::string &pf : prefetchers) {
+        for (const std::string &scheme : schemes) {
+            for (const WorkloadSpec &spec : roster) {
+                JobSpec job;
+                job.id = jobs.size();
+                job.workload = spec;
+                job.scheme = scheme;
+                job.prefetcher = pf;
+                job.run = run;
+                job.large_page_fraction = large_page_fraction;
+                // A single-core run retires warmup+measure
+                // instructions in exactly that many steps; 8x slack
+                // accommodates replay variance with headroom while
+                // still catching runaway loops.
+                job.watchdog_steps =
+                    8 * (run.warmup_insts + run.measure_insts);
+                jobs.push_back(std::move(job));
+            }
+        }
+    }
+    return jobs;
+}
+
+JobOutput
+run_sim_job(const JobSpec &spec, JobContext &ctx)
+{
+    const L1dPrefetcherKind kind = prefetcher_by_name(spec.prefetcher);
+    MachineConfig cfg = make_config(kind, scheme_by_name(spec.scheme, kind));
+    cfg.vmem.large_page_fraction = spec.large_page_fraction;
+
+    WorkloadPtr workload;
+    JobOutput out;
+    if (!spec.trace_path.empty()) {
+        TraceOpenResult open = open_trace_checked(spec.trace_path);
+        if (!open.ok()) {
+            // Missing file is an operator error; damaged bytes are
+            // data corruption. Both isolate to this one job.
+            throw JobError(open.status == TraceIoStatus::kFileMissing
+                               ? JobErrorCode::kConfigInvalid
+                               : JobErrorCode::kTraceCorrupt,
+                           open.message);
+        }
+        workload = std::move(open.workload);
+        out.row.workload = workload->name();
+        out.row.suite = "trace";
+    } else {
+        workload = make_workload(spec.workload);
+        out.row.workload = spec.workload.name;
+        out.row.suite = spec.workload.suite;
+    }
+    out.row.scheme = spec.scheme;
+    out.row.prefetcher = spec.prefetcher;
+
+    std::string audit_findings;
+    out.row.metrics = run_single_workload(cfg, std::move(workload),
+                                          spec.run, ctx.hook,
+                                          &audit_findings);
+    if (!audit_findings.empty()) {
+        throw JobError(JobErrorCode::kAuditFailure, audit_findings);
+    }
+    out.aux = {out.row.metrics.ipc(),
+               static_cast<double>(out.row.metrics.l1d.misses),
+               static_cast<double>(out.row.metrics.l1d.accesses)};
+    return out;
+}
+
+EngineReport
+run_matrix(const std::vector<JobSpec> &jobs, const BenchArgs &args)
+{
+    JobEngine engine(engine_config(args));
+    return engine.run(jobs, run_sim_job);
+}
+
+double
+matrix_ipc(const EngineReport &report, std::size_t schemes,
+           std::size_t roster, std::size_t p, std::size_t s,
+           std::size_t w)
+{
+    const std::size_t id = (p * schemes + s) * roster + w;
+    const JobResult &res = report.results[id];
+    if (res.status != JobStatus::kCompleted || res.output.aux.empty()) {
+        return std::nan("");
+    }
+    return res.output.aux[0];
 }
 
 void

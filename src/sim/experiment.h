@@ -2,7 +2,10 @@
  * @file
  * Shared helpers for the figure/table benchmark harnesses: derived
  * metrics (speedup, coverage), per-suite aggregation, table printing,
- * and common CLI flags (--full, --workloads, --insts, --warmup).
+ * common CLI flags (--full, --workloads, --insts, --warmup, plus the
+ * engine flags --jobs/--resume/--journal/--fail-fast/--inject-faults),
+ * and the engine-backed matrix runner every ported harness and
+ * sweep_tool share.
  */
 #ifndef MOKASIM_SIM_EXPERIMENT_H
 #define MOKASIM_SIM_EXPERIMENT_H
@@ -11,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/jobs/engine.h"
 #include "sim/runner.h"
 #include "trace/suites.h"
 
@@ -34,6 +38,14 @@ struct BenchArgs
     std::size_t mixes = 24;       //!< multi-core mixes (fig19)
     std::uint64_t seed = 7;
 
+    // Job-engine knobs (see sim/jobs/engine.h).
+    std::size_t jobs = 1;         //!< worker threads
+    bool fail_fast = false;       //!< abort the sweep on first failure
+    std::string journal;          //!< journal finished jobs here
+    std::string resume;           //!< resume from this journal
+    double fault_rate = 0.0;      //!< injected fault rate (tests/CI)
+    std::uint64_t fault_seed = 1;
+
     /** Effective roster for @p roster given --full/--workloads. */
     std::vector<WorkloadSpec>
     select(const std::vector<WorkloadSpec> &roster) const
@@ -42,8 +54,73 @@ struct BenchArgs
     }
 };
 
-/** Parse argv; unknown flags are ignored with a warning. */
+/**
+ * Parse argv; unknown flags are ignored with a warning, but a flag
+ * with a missing or non-numeric value is a usage error: one line to
+ * stderr and exit(2) instead of an uncaught-exception backtrace.
+ */
 BenchArgs parse_bench_args(int argc, char **argv);
+
+/**
+ * CLI parsing helpers shared with the tools: each prints a one-line
+ * usage error and exits(2) on a missing or malformed value.
+ */
+const char *require_value(const std::string &flag, int &i, int argc,
+                          char **argv);
+std::uint64_t require_u64(const std::string &flag, const char *value);
+double require_double(const std::string &flag, const char *value);
+
+/** Engine configuration implied by the common bench flags. */
+EngineConfig engine_config(const BenchArgs &args);
+
+/**
+ * Scheme registry keyed by CLI name ("discard", "permit",
+ * "discard-ptw", "iso", "ppf", "ppf-dthr", "dripper", "dripper-sf",
+ * "dripper-meta", "dripper-2mb"). Throws JobError(kConfigInvalid) on
+ * an unknown name.
+ */
+SchemeConfig scheme_by_name(const std::string &name,
+                            L1dPrefetcherKind kind);
+
+/** All names scheme_by_name accepts (usage messages, validation). */
+const std::vector<std::string> &known_scheme_names();
+
+/** All L1D prefetcher names run_sim_job accepts. */
+const std::vector<std::string> &known_prefetcher_names();
+
+/**
+ * Build the dense (prefetcher-major, then scheme, then workload) job
+ * matrix: id = (p * |schemes| + s) * |roster| + w, which is also the
+ * CSV emission order. Every job carries @p run budgets and a
+ * watchdog step budget derived from them.
+ */
+std::vector<JobSpec>
+make_matrix(const std::vector<WorkloadSpec> &roster,
+            const std::vector<std::string> &schemes,
+            const std::vector<std::string> &prefetchers,
+            const RunConfig &run, double large_page_fraction = 0.0);
+
+/**
+ * The default single-core simulation job body: loads the workload
+ * (roster generator or trace file), runs it under the job's scheme
+ * and prefetcher with the engine's watchdog/fault hook, surfaces
+ * audit findings, and returns the labelled row. aux = {ipc,
+ * l1d_misses, l1d_accesses} so harnesses can aggregate speedups and
+ * coverage even for resumed jobs (which have no RunMetrics).
+ */
+JobOutput run_sim_job(const JobSpec &spec, JobContext &ctx);
+
+/** Run @p jobs through the engine with the default sim body. */
+EngineReport run_matrix(const std::vector<JobSpec> &jobs,
+                        const BenchArgs &args);
+
+/**
+ * Completed-job IPC for matrix cell (p, s, w) of @p report (layout
+ * from make_matrix), or a quiet NaN when that job failed/was skipped.
+ */
+double matrix_ipc(const EngineReport &report, std::size_t schemes,
+                  std::size_t roster, std::size_t p, std::size_t s,
+                  std::size_t w);
 
 /** Accumulates per-workload speedups and reports suite geomeans. */
 class SuiteAggregator

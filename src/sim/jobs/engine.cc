@@ -1,0 +1,319 @@
+#include "sim/jobs/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "common/check.h"
+#include "sim/jobs/journal.h"
+
+namespace moka {
+namespace {
+
+/** Delivers one FaultInjector decision as machine-tick behaviour. */
+class FaultHook final : public RunTickHook
+{
+  public:
+    FaultHook(const FaultInjector::Decision &decision,
+              std::uint64_t stall_ms)
+        : decision_(decision), stall_ms_(stall_ms)
+    {
+    }
+
+    void on_tick(std::uint64_t steps) override
+    {
+        using Kind = FaultInjector::Decision::Kind;
+        if (fired_ || decision_.kind == Kind::kNone ||
+            steps < decision_.at_tick) {
+            return;
+        }
+        fired_ = true;
+        if (decision_.kind == Kind::kThrow) {
+            std::ostringstream os;
+            os << "injected fault at tick " << steps;
+            throw JobError(decision_.transient ? JobErrorCode::kTimeout
+                                               : JobErrorCode::kUnknown,
+                           os.str());
+        }
+        // Stall: sleep past the wall-clock deadline so the watchdog
+        // (which runs after us in the chain) cancels the run.
+        std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms_));
+    }
+
+  private:
+    FaultInjector::Decision decision_;
+    std::uint64_t stall_ms_;
+    bool fired_ = false;
+};
+
+/** Fault first, watchdog second: a stall is observed by the deadline. */
+class ChainHook final : public RunTickHook
+{
+  public:
+    ChainHook(RunTickHook *first, RunTickHook *second)
+        : first_(first), second_(second)
+    {
+    }
+
+    void on_tick(std::uint64_t steps) override
+    {
+        first_->on_tick(steps);
+        second_->on_tick(steps);
+    }
+
+  private:
+    RunTickHook *first_;
+    RunTickHook *second_;
+};
+
+std::string
+job_label(const JobSpec &spec)
+{
+    std::string label = spec.trace_path.empty() ? spec.workload.name
+                                                : spec.trace_path;
+    if (!spec.scheme.empty()) {
+        label += " scheme=" + spec.scheme;
+    }
+    if (!spec.prefetcher.empty()) {
+        label += " prefetcher=" + spec.prefetcher;
+    }
+    return label;
+}
+
+}  // namespace
+
+Watchdog::Watchdog(std::uint64_t step_budget, std::uint64_t wall_ms)
+    : step_budget_(step_budget), wall_ms_(wall_ms),
+      deadline_(std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(wall_ms))
+{
+}
+
+void
+Watchdog::on_tick(std::uint64_t steps)
+{
+    if (step_budget_ > 0 && steps > step_budget_) {
+        std::ostringstream os;
+        os << "watchdog: step budget " << step_budget_
+           << " exhausted at tick " << steps;
+        throw JobError(JobErrorCode::kTimeout, os.str());
+    }
+    if (wall_ms_ > 0 && steps % kHeartbeatSteps == 0 &&
+        std::chrono::steady_clock::now() > deadline_) {
+        std::ostringstream os;
+        os << "watchdog: wall deadline of " << wall_ms_
+           << " ms exceeded at tick " << steps;
+        throw JobError(JobErrorCode::kTimeout, os.str());
+    }
+}
+
+JobEngine::JobEngine(EngineConfig cfg) : cfg_(std::move(cfg))
+{
+    SIM_REQUIRE(cfg_.max_attempts >= 1,
+                "engine needs at least one attempt per job");
+}
+
+JobResult
+JobEngine::execute_one(const JobSpec &spec, const JobFn &fn,
+                       const FaultInjector &injector) const
+{
+    JobResult res;
+    res.id = spec.id;
+    res.label = job_label(spec);
+    for (int attempt = 1; attempt <= cfg_.max_attempts; ++attempt) {
+        res.attempts = attempt;
+        const FaultInjector::Decision decision =
+            injector.decide(spec.id, attempt);
+        FaultHook fault(decision, injector.plan().stall_ms);
+        Watchdog watchdog(spec.watchdog_steps, cfg_.watchdog_wall_ms);
+        ChainHook chain(&fault, &watchdog);
+        JobContext ctx;
+        ctx.hook = &chain;
+        ctx.attempt = attempt;
+        try {
+            res.output = fn(spec, ctx);
+            res.csv = to_csv(res.output.row);
+            res.status = JobStatus::kCompleted;
+            return res;
+        } catch (const JobError &e) {
+            res.error = e.code();
+            res.error_message = e.what();
+        } catch (const std::bad_alloc &) {
+            res.error = JobErrorCode::kOom;
+            res.error_message = "allocation failure";
+        } catch (const std::exception &e) {
+            res.error = JobErrorCode::kUnknown;
+            res.error_message = e.what();
+        } catch (...) {  // LINT_CATCH_OK: classified as kUnknown below
+            res.error = JobErrorCode::kUnknown;
+            res.error_message = "non-standard exception";
+        }
+        res.status = JobStatus::kFailed;
+        if (!is_transient(res.error) || attempt == cfg_.max_attempts) {
+            break;
+        }
+        // Capped exponential backoff before retrying a transient
+        // failure: base * 2^(attempt-1), clamped.
+        const std::uint64_t shift =
+            attempt <= 63 ? static_cast<std::uint64_t>(attempt - 1) : 63;
+        const std::uint64_t delay_ms =
+            std::min(cfg_.backoff_cap_ms,
+                     cfg_.backoff_base_ms == 0
+                         ? 0
+                         : cfg_.backoff_base_ms << shift);
+        if (delay_ms > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay_ms));
+        }
+    }
+    return res;
+}
+
+EngineReport
+JobEngine::run(const std::vector<JobSpec> &jobs, const JobFn &fn)
+{
+    EngineReport report;
+    report.results.resize(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        SIM_REQUIRE(jobs[i].id == i,
+                    "job ids must be dense and in order");
+        report.results[i].id = i;
+        report.results[i].label = job_label(jobs[i]);
+    }
+
+    // Resume: pre-fill every journaled terminal result; those jobs
+    // are never re-run and their CSV rows are replayed verbatim.
+    if (!cfg_.resume_path.empty()) {
+        for (const JournalRecord &rec : Journal::load(cfg_.resume_path)) {
+            if (rec.job_id >= jobs.size()) {
+                continue;  // journal from a different matrix
+            }
+            JobResult &res = report.results[rec.job_id];
+            res.status = rec.status;
+            res.attempts = rec.attempts;
+            res.error = rec.error;
+            res.error_message = rec.error_message;
+            res.csv = rec.csv;
+            res.output.aux = rec.aux;
+            res.from_journal = true;
+        }
+    }
+
+    // Fresh sweeps overwrite a stale journal instead of extending it.
+    std::unique_ptr<Journal> journal;
+    if (!cfg_.journal_path.empty()) {
+        if (cfg_.resume_path != cfg_.journal_path) {
+            std::remove(cfg_.journal_path.c_str());
+        }
+        journal = std::make_unique<Journal>(cfg_.journal_path);
+        // Re-journal replayed results so the new journal is itself a
+        // complete resume point, not just the post-crash remainder.
+        for (const JobResult &res : report.results) {
+            if (res.from_journal && !journal->contains(res.id)) {
+                JournalRecord rec;
+                rec.job_id = res.id;
+                rec.status = res.status;
+                rec.attempts = res.attempts;
+                rec.error = res.error;
+                rec.error_message = res.error_message;
+                rec.csv = res.csv;
+                rec.aux = res.output.aux;
+                journal->append(rec);
+            }
+        }
+    }
+
+    const FaultInjector injector(cfg_.faults);
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> abort_rest{false};
+    auto worker = [&]() {
+        while (true) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs.size()) {
+                return;
+            }
+            JobResult &res = report.results[i];
+            if (res.from_journal) {
+                continue;
+            }
+            if (abort_rest.load(std::memory_order_relaxed)) {
+                res.status = JobStatus::kSkipped;
+                res.error_message = "skipped by --fail-fast";
+                continue;
+            }
+            res = execute_one(jobs[i], fn, injector);
+            if (res.status == JobStatus::kFailed && cfg_.fail_fast) {
+                abort_rest.store(true, std::memory_order_relaxed);
+            }
+            if (journal != nullptr) {
+                JournalRecord rec;
+                rec.job_id = res.id;
+                rec.status = res.status;
+                rec.attempts = res.attempts;
+                rec.error = res.error;
+                rec.error_message = res.error_message;
+                rec.csv = res.csv;
+                rec.aux = res.output.aux;
+                journal->append(rec);
+            }
+        }
+    };
+
+    const std::size_t workers =
+        std::max<std::size_t>(1, std::min(cfg_.workers, jobs.size()));
+    if (workers <= 1) {
+        worker();  // keep serial sweeps genuinely single-threaded
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t i = 0; i < workers; ++i) {
+            pool.emplace_back(worker);
+        }
+        for (std::thread &t : pool) {
+            t.join();
+        }
+    }
+
+    for (const JobResult &res : report.results) {
+        switch (res.status) {
+          case JobStatus::kCompleted: ++report.completed; break;
+          case JobStatus::kFailed: ++report.failed; break;
+          case JobStatus::kSkipped: ++report.skipped; break;
+        }
+        if (res.from_journal) {
+            ++report.resumed;
+        }
+    }
+    return report;
+}
+
+std::string
+EngineReport::summary() const
+{
+    std::ostringstream os;
+    os << "jobs: " << results.size() << " total, " << completed
+       << " completed, " << failed << " failed, " << skipped
+       << " skipped";
+    if (resumed > 0) {
+        os << " (" << resumed << " from journal)";
+    }
+    os << '\n';
+    for (const JobResult &res : results) {
+        if (res.status == JobStatus::kFailed) {
+            os << "  job " << res.id << " [" << res.label
+               << "]: " << to_string(res.error) << ": "
+               << res.error_message << " (attempts=" << res.attempts
+               << ")\n";
+        } else if (res.status == JobStatus::kSkipped) {
+            os << "  job " << res.id << " [" << res.label
+               << "]: skipped\n";
+        }
+    }
+    return os.str();
+}
+
+}  // namespace moka

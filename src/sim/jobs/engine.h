@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Fault-tolerant parallel job engine: executes the (workload, scheme,
+ * prefetcher) matrix on a worker-thread pool with the posture of a
+ * fleet scheduler — failures are expected, isolated, classified and
+ * retried instead of fatal.
+ *
+ *  - isolation: a throwing job body marks that job failed with a
+ *    JobErrorCode instead of killing the sweep;
+ *  - watchdog: a cooperative step-budget + wall-clock heartbeat
+ *    threaded through Machine::run cancels hung or stalled runs;
+ *  - retry: transient failures (timeout, OOM) retry with capped
+ *    exponential backoff before the engine degrades gracefully to a
+ *    partial-results report;
+ *  - resume: finished jobs are journaled through atomic write-rename;
+ *    a resumed sweep replays journaled results and only runs the
+ *    remainder, producing a byte-identical CSV;
+ *  - determinism: results are emitted in ascending job id, and every
+ *    per-job decision (including injected faults) is a pure function
+ *    of the job id, so an N-worker run is byte-identical to a serial
+ *    one.
+ */
+#ifndef MOKASIM_SIM_JOBS_ENGINE_H
+#define MOKASIM_SIM_JOBS_ENGINE_H
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/jobs/faults.h"
+#include "sim/jobs/job.h"
+#include "sim/machine.h"
+
+namespace moka {
+
+/** Engine-wide policy knobs. */
+struct EngineConfig
+{
+    std::size_t workers = 1;         //!< worker threads (--jobs N)
+    int max_attempts = 3;            //!< attempts for transient failures
+    std::uint64_t backoff_base_ms = 10;  //!< doubles per retry ...
+    std::uint64_t backoff_cap_ms = 500;  //!< ... up to this cap
+    bool fail_fast = false;          //!< first failure skips the rest
+    //! wall-clock watchdog deadline per attempt; 0 disables it (the
+    //! per-job step budget in JobSpec::watchdog_steps still applies)
+    std::uint64_t watchdog_wall_ms = 0;
+    std::string journal_path;        //!< "" = don't journal
+    std::string resume_path;         //!< journal to resume from ("" = fresh)
+    FaultPlan faults;                //!< injected-fault plan (tests/CI)
+};
+
+/**
+ * Cooperative watchdog hook: cancels a run by throwing
+ * JobError(kTimeout) once it exceeds its machine-step budget, or —
+ * checked at a coarse heartbeat cadence so the hot path stays a
+ * single compare — its wall-clock deadline.
+ */
+class Watchdog final : public RunTickHook
+{
+  public:
+    /**
+     * @param step_budget cancel after this many machine steps (0 = no
+     *        step budget)
+     * @param wall_ms     cancel once this much wall time has elapsed
+     *        since construction (0 = no deadline)
+     */
+    Watchdog(std::uint64_t step_budget, std::uint64_t wall_ms);
+
+    void on_tick(std::uint64_t steps) override;
+
+  private:
+    //! wall-clock checks happen every this many ticks
+    static constexpr std::uint64_t kHeartbeatSteps = 2048;
+
+    std::uint64_t step_budget_;
+    std::uint64_t wall_ms_;
+    std::chrono::steady_clock::time_point deadline_;
+};
+
+/** Per-attempt context the engine hands to a job body. */
+struct JobContext
+{
+    /**
+     * Composed watchdog + fault-injection hook; pass it into
+     * run_single_workload / Machine::run, or invoke on_tick manually
+     * from non-machine job bodies. Never null inside a job body.
+     */
+    RunTickHook *hook = nullptr;
+    int attempt = 1;  //!< 1-based attempt number
+};
+
+/** A job body: turns one JobSpec into a JobOutput, or throws. */
+using JobFn = std::function<JobOutput(const JobSpec &, JobContext &)>;
+
+/** What the engine hands back after draining the matrix. */
+struct EngineReport
+{
+    std::vector<JobResult> results;  //!< ascending job id
+    std::size_t completed = 0;
+    std::size_t failed = 0;
+    std::size_t skipped = 0;
+    std::size_t resumed = 0;  //!< completed/failed satisfied by --resume
+
+    bool all_completed() const { return failed == 0 && skipped == 0; }
+
+    /**
+     * Deterministic human-readable report: one summary line plus one
+     * line per failed/skipped job in ascending id order.
+     */
+    std::string summary() const;
+};
+
+/** The engine. Construct once per sweep; run() drains the whole matrix. */
+class JobEngine
+{
+  public:
+    explicit JobEngine(EngineConfig cfg);
+
+    /**
+     * Execute @p jobs (dense ids: jobs[i].id must equal i) through
+     * @p fn. Blocks until every job completed, failed permanently, or
+     * was skipped; never throws for job-level failures.
+     */
+    EngineReport run(const std::vector<JobSpec> &jobs, const JobFn &fn);
+
+  private:
+    JobResult execute_one(const JobSpec &spec, const JobFn &fn,
+                          const FaultInjector &injector) const;
+
+    EngineConfig cfg_;
+};
+
+}  // namespace moka
+
+#endif  // MOKASIM_SIM_JOBS_ENGINE_H

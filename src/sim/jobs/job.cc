@@ -1,0 +1,55 @@
+#include "sim/jobs/job.h"
+
+#include <cstring>
+
+namespace moka {
+
+const char *
+to_string(JobErrorCode code)
+{
+    switch (code) {
+      case JobErrorCode::kTraceCorrupt: return "trace_corrupt";
+      case JobErrorCode::kConfigInvalid: return "config_invalid";
+      case JobErrorCode::kAuditFailure: return "audit_failure";
+      case JobErrorCode::kTimeout: return "timeout";
+      case JobErrorCode::kOom: return "oom";
+      case JobErrorCode::kUnknown: break;
+    }
+    return "unknown";
+}
+
+JobErrorCode
+job_error_code_from(const std::string &name)
+{
+    for (const JobErrorCode code :
+         {JobErrorCode::kTraceCorrupt, JobErrorCode::kConfigInvalid,
+          JobErrorCode::kAuditFailure, JobErrorCode::kTimeout,
+          JobErrorCode::kOom}) {
+        if (name == to_string(code)) {
+            return code;
+        }
+    }
+    return JobErrorCode::kUnknown;
+}
+
+bool
+is_transient(JobErrorCode code)
+{
+    // Timeouts are stragglers/stalls and OOM is memory pressure from
+    // neighbouring jobs: both may succeed on a quieter retry. Corrupt
+    // input, bad configuration and audit findings are deterministic.
+    return code == JobErrorCode::kTimeout || code == JobErrorCode::kOom;
+}
+
+const char *
+to_string(JobStatus status)
+{
+    switch (status) {
+      case JobStatus::kCompleted: return "completed";
+      case JobStatus::kFailed: return "failed";
+      case JobStatus::kSkipped: break;
+    }
+    return "skipped";
+}
+
+}  // namespace moka

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Job model for the fault-tolerant experiment engine: one job is one
+ * cell of the (workload, scheme, prefetcher) matrix, executed in
+ * isolation by the engine (src/sim/jobs/engine.h). Failures are
+ * classified into a stable taxonomy (JobErrorCode) that the journal,
+ * the failure report, and the retry policy all key on.
+ */
+#ifndef MOKASIM_SIM_JOBS_JOB_H
+#define MOKASIM_SIM_JOBS_JOB_H
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/report.h"
+#include "sim/runner.h"
+#include "trace/suites.h"
+
+namespace moka {
+
+/**
+ * Why a job failed. The taxonomy is stable: codes are journaled by
+ * name and drive the retry policy, so renaming one is a format break.
+ */
+enum class JobErrorCode : std::uint8_t {
+    kTraceCorrupt,   //!< workload/trace failed to load or parse
+    kConfigInvalid,  //!< scheme/prefetcher/machine config rejected
+    kAuditFailure,   //!< invariant auditor flagged the finished run
+    kTimeout,        //!< watchdog cancelled a hung or stalled run
+    kOom,            //!< allocation failure while building/running
+    kUnknown,        //!< unclassified exception escaping the job body
+};
+
+/** Stable journal/report name of @p code (e.g. "trace_corrupt"). */
+const char *to_string(JobErrorCode code);
+
+/** Inverse of to_string; kUnknown for unrecognized names. */
+JobErrorCode job_error_code_from(const std::string &name);
+
+/**
+ * True when @p code marks a transient failure worth retrying with
+ * backoff (stragglers, stalls, memory pressure); permanent failures
+ * (corrupt input, bad config, audit findings) fail on first attempt.
+ */
+bool is_transient(JobErrorCode code);
+
+/** Classified job failure; thrown by job bodies, caught by the engine. */
+class JobError : public std::runtime_error
+{
+  public:
+    JobError(JobErrorCode code, const std::string &message)
+        : std::runtime_error(message), code_(code)
+    {
+    }
+
+    JobErrorCode code() const { return code_; }
+    bool transient() const { return is_transient(code_); }
+
+  private:
+    JobErrorCode code_;
+};
+
+/** Terminal state of one job after the engine is done with it. */
+enum class JobStatus : std::uint8_t {
+    kCompleted,  //!< produced a result (possibly after retries)
+    kFailed,     //!< exhausted retries or failed permanently
+    kSkipped,    //!< never ran (--fail-fast after an earlier failure)
+};
+
+/** Stable journal name of @p status. */
+const char *to_string(JobStatus status);
+
+/**
+ * One cell of the experiment matrix. `id` is the dense job index and
+ * the only ordering the engine honours: results, CSV rows and the
+ * failure report are always emitted in ascending id so an N-worker
+ * run is byte-identical to a serial one.
+ */
+struct JobSpec
+{
+    std::size_t id = 0;
+    WorkloadSpec workload;       //!< roster entry (ignored with trace_path)
+    std::string trace_path;      //!< non-empty: replay this trace file
+    std::string scheme;          //!< scheme name, parsed by the job body
+    std::string prefetcher;      //!< prefetcher name, parsed by the body
+    RunConfig run;               //!< instruction budgets
+    double large_page_fraction = 0.0;
+    //! cooperative watchdog: cancel after this many machine steps
+    //! (0 disables the step budget for this job)
+    std::uint64_t watchdog_steps = 0;
+};
+
+/**
+ * What a completed job hands back: a canonical labelled result row
+ * plus harness-specific scalars (e.g. fig19's weighted IPCs) that
+ * ride through the journal untouched.
+ */
+struct JobOutput
+{
+    ResultRow row;
+    std::vector<double> aux;
+};
+
+/** Engine-side record of one job's fate. */
+struct JobResult
+{
+    std::size_t id = 0;
+    std::string label;           //!< "workload scheme prefetcher" (reports)
+    JobStatus status = JobStatus::kSkipped;
+    int attempts = 0;
+    JobErrorCode error = JobErrorCode::kUnknown;  //!< valid when failed
+    std::string error_message;
+    /**
+     * Final CSV row of a completed job. Journaled verbatim and reused
+     * on resume, which is what makes a resumed sweep's CSV
+     * byte-identical to an uninterrupted one. Empty for failed jobs.
+     */
+    std::string csv;
+    JobOutput output;            //!< row valid only for fresh runs;
+                                 //!< aux survives resume
+    bool from_journal = false;   //!< satisfied by --resume, not re-run
+};
+
+}  // namespace moka
+
+#endif  // MOKASIM_SIM_JOBS_JOB_H

@@ -1,0 +1,259 @@
+#include "sim/jobs/journal.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace moka {
+namespace {
+
+/** JSON string escaping for the small subset we emit. */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c; break;
+        }
+    }
+    return out;
+}
+
+/**
+ * Find `"key":` at object top level and return the start of its
+ * value, or npos. The journal only ever contains flat objects we
+ * wrote ourselves, so a substring scan is sufficient and keeps the
+ * parser dependency-free.
+ */
+std::size_t
+value_start(const std::string &line, const char *key)
+{
+    const std::string needle = std::string("\"") + key + "\":";
+    const std::size_t at = line.find(needle);
+    return at == std::string::npos ? std::string::npos
+                                   : at + needle.size();
+}
+
+bool
+parse_string(const std::string &line, const char *key, std::string &out)
+{
+    std::size_t i = value_start(line, key);
+    if (i == std::string::npos || i >= line.size() || line[i] != '"') {
+        return false;
+    }
+    out.clear();
+    for (++i; i < line.size(); ++i) {
+        const char c = line[i];
+        if (c == '"') {
+            return true;
+        }
+        if (c == '\\' && i + 1 < line.size()) {
+            const char e = line[++i];
+            switch (e) {
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              default: out += e; break;  // \" and \\ (and pass-through)
+            }
+        } else {
+            out += c;
+        }
+    }
+    return false;  // unterminated string: torn line
+}
+
+bool
+parse_u64(const std::string &line, const char *key, std::uint64_t &out)
+{
+    const std::size_t i = value_start(line, key);
+    if (i == std::string::npos) {
+        return false;
+    }
+    char *end = nullptr;
+    out = std::strtoull(line.c_str() + i, &end, 10);
+    return end != line.c_str() + i;
+}
+
+bool
+parse_doubles(const std::string &line, const char *key,
+              std::vector<double> &out)
+{
+    std::size_t i = value_start(line, key);
+    if (i == std::string::npos || i >= line.size() || line[i] != '[') {
+        return false;
+    }
+    const std::size_t close = line.find(']', i);
+    if (close == std::string::npos) {
+        return false;
+    }
+    out.clear();
+    std::stringstream ss(line.substr(i + 1, close - i - 1));
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (!item.empty()) {
+            out.push_back(std::strtod(item.c_str(), nullptr));
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+std::string
+to_jsonl(const JournalRecord &rec)
+{
+    std::ostringstream os;
+    os << "{\"job\":" << rec.job_id << ",\"status\":\""
+       << to_string(rec.status) << "\",\"attempts\":" << rec.attempts;
+    if (rec.status == JobStatus::kCompleted) {
+        os << ",\"csv\":\"" << escape(rec.csv) << "\"";
+        if (!rec.aux.empty()) {
+            os << ",\"aux\":[";
+            for (std::size_t i = 0; i < rec.aux.size(); ++i) {
+                if (i > 0) {
+                    os << ',';
+                }
+                char buf[32];
+                // %.17g round-trips doubles exactly: journaled aux
+                // values must reproduce the original output bytes.
+                std::snprintf(buf, sizeof(buf), "%.17g", rec.aux[i]);
+                os << buf;
+            }
+            os << ']';
+        }
+    } else {
+        os << ",\"error\":\"" << to_string(rec.error) << "\",\"message\":\""
+           << escape(rec.error_message) << "\"";
+    }
+    os << "}";
+    return os.str();
+}
+
+bool
+from_jsonl(const std::string &line, JournalRecord &rec, std::string *error)
+{
+    const auto fail = [&](const char *what) {
+        if (error != nullptr) {
+            *error = what;
+        }
+        return false;
+    };
+    if (line.empty() || line.front() != '{' || line.back() != '}') {
+        return fail("not a JSON object line");
+    }
+    std::uint64_t job = 0;
+    if (!parse_u64(line, "job", job)) {
+        return fail("missing job id");
+    }
+    rec.job_id = static_cast<std::size_t>(job);
+    std::string status;
+    if (!parse_string(line, "status", status)) {
+        return fail("missing status");
+    }
+    std::uint64_t attempts = 0;
+    parse_u64(line, "attempts", attempts);
+    rec.attempts = static_cast<int>(attempts);
+    if (status == to_string(JobStatus::kCompleted)) {
+        rec.status = JobStatus::kCompleted;
+        if (!parse_string(line, "csv", rec.csv)) {
+            return fail("completed record without csv");
+        }
+        parse_doubles(line, "aux", rec.aux);
+    } else if (status == to_string(JobStatus::kFailed)) {
+        rec.status = JobStatus::kFailed;
+        std::string code;
+        parse_string(line, "error", code);
+        rec.error = job_error_code_from(code);
+        parse_string(line, "message", rec.error_message);
+    } else {
+        return fail("unknown status");
+    }
+    return true;
+}
+
+Journal::Journal(std::string path) : path_(std::move(path))
+{
+    std::size_t skipped = 0;
+    recovered_ = load(path_, &skipped);
+    if (skipped > 0) {
+        std::fprintf(stderr,
+                     "journal: dropped %zu malformed line(s) from %s "
+                     "(torn write?)\n",
+                     skipped, path_.c_str());
+    }
+    lines_.reserve(recovered_.size());
+    for (const JournalRecord &rec : recovered_) {
+        lines_.push_back(to_jsonl(rec));
+    }
+}
+
+void
+Journal::append(const JournalRecord &rec)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    lines_.push_back(to_jsonl(rec));
+    persist_locked();
+}
+
+void
+Journal::persist_locked()
+{
+    const std::string tmp = path_ + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os) {
+            throw JobError(JobErrorCode::kUnknown,
+                           "journal: cannot write " + tmp);
+        }
+        for (const std::string &line : lines_) {
+            os << line << '\n';
+        }
+        os.flush();
+        if (!os) {
+            throw JobError(JobErrorCode::kUnknown,
+                           "journal: short write to " + tmp);
+        }
+    }
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+        throw JobError(JobErrorCode::kUnknown,
+                       "journal: rename " + tmp + " -> " + path_ +
+                           " failed: " + std::strerror(errno));
+    }
+}
+
+std::vector<JournalRecord>
+Journal::load(const std::string &path, std::size_t *skipped)
+{
+    std::vector<JournalRecord> out;
+    if (skipped != nullptr) {
+        *skipped = 0;
+    }
+    std::ifstream is(path);
+    if (!is) {
+        return out;
+    }
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty()) {
+            continue;
+        }
+        JournalRecord rec;
+        if (from_jsonl(line, rec, nullptr)) {
+            out.push_back(std::move(rec));
+        } else if (skipped != nullptr) {
+            ++*skipped;
+        }
+    }
+    return out;
+}
+
+}  // namespace moka

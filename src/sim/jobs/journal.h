@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Crash-safe sweep journal: one JSONL record per finished job,
+ * persisted through atomic write-rename (`<path>.tmp` -> rename) so a
+ * reader never observes a torn file and an interrupted sweep resumes
+ * exactly where it stopped (`--resume <journal>`).
+ *
+ * Record shape (one line each, completion order):
+ *
+ *   {"job":12,"status":"completed","attempts":1,"csv":"...","aux":[1.5]}
+ *   {"job":13,"status":"failed","attempts":3,"error":"timeout",
+ *    "message":"watchdog: ..."}
+ *
+ * The `csv` field is the job's final CSV row verbatim, which is what
+ * makes a resumed sweep byte-identical to an uninterrupted one.
+ */
+#ifndef MOKASIM_SIM_JOBS_JOURNAL_H
+#define MOKASIM_SIM_JOBS_JOURNAL_H
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/jobs/job.h"
+
+namespace moka {
+
+/** One journal line, parsed or about to be written. */
+struct JournalRecord
+{
+    std::size_t job_id = 0;
+    JobStatus status = JobStatus::kFailed;
+    int attempts = 0;
+    JobErrorCode error = JobErrorCode::kUnknown;
+    std::string error_message;
+    std::string csv;          //!< to_csv(row) for completed jobs
+    std::vector<double> aux;  //!< JobOutput::aux passthrough
+};
+
+/** Serialize @p rec as one JSONL line (no trailing newline). */
+std::string to_jsonl(const JournalRecord &rec);
+
+/**
+ * Parse one JSONL line previously produced by to_jsonl.
+ * @return false (and fills @p error) on malformed input.
+ */
+bool from_jsonl(const std::string &line, JournalRecord &rec,
+                std::string *error);
+
+/**
+ * Append-only journal with atomic persistence. Thread-safe: worker
+ * threads append concurrently; every append rewrites the whole file
+ * to `<path>.tmp` and renames it over `<path>`, so the on-disk
+ * journal is always a complete prefix of the sweep.
+ */
+class Journal
+{
+  public:
+    /**
+     * @param path journal file; an existing file is loaded first so a
+     *        resumed sweep keeps its history (malformed trailing
+     *        lines from a torn write are dropped with a warning).
+     */
+    explicit Journal(std::string path);
+
+    /** Record @p rec and persist. Throws JobError(kUnknown) on I/O error. */
+    void append(const JournalRecord &rec);
+
+    /** Records loaded from an existing file at construction. */
+    const std::vector<JournalRecord> &recovered() const
+    {
+        return recovered_;
+    }
+
+    /** True when a record for @p job_id was recovered at construction. */
+    bool contains(std::size_t job_id) const
+    {
+        for (const JournalRecord &rec : recovered_) {
+            if (rec.job_id == job_id) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /**
+     * Load every well-formed record of @p path (no Journal instance
+     * needed). Missing file yields an empty vector; malformed lines
+     * are skipped and counted in @p skipped when non-null.
+     */
+    static std::vector<JournalRecord> load(const std::string &path,
+                                           std::size_t *skipped = nullptr);
+
+  private:
+    void persist_locked();
+
+    std::string path_;
+    std::vector<std::string> lines_;  //!< serialized records, in order
+    std::vector<JournalRecord> recovered_;
+    std::mutex mu_;
+};
+
+}  // namespace moka
+
+#endif  // MOKASIM_SIM_JOBS_JOURNAL_H

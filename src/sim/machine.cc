@@ -515,7 +515,7 @@ Machine::start_measurement()
 }
 
 void
-Machine::run(InstCount insts_per_core)
+Machine::run(InstCount insts_per_core, RunTickHook *hook)
 {
     std::vector<InstCount> target(cores_.size());
     std::vector<bool> crossed(cores_.size(), false);
@@ -536,6 +536,10 @@ Machine::run(InstCount insts_per_core)
             }
         }
         cores_[pick]->step();
+        ++steps_;
+        if (hook != nullptr) {
+            hook->on_tick(steps_);
+        }
         if (!crossed[pick] && cores_[pick]->retired() >= target[pick]) {
             crossed[pick] = true;
             at_budget_[pick] = cores_[pick]->metrics();

@@ -227,6 +227,26 @@ class CoreComplex : public CacheListener
     SystemSnapshot last_snapshot_;
 };
 
+/**
+ * Cooperative per-step hook for Machine::run. The job engine chains a
+ * watchdog (step-budget + wall-clock heartbeat) and the fault
+ * injector through this interface; a hook cancels the run by
+ * throwing (typically a classified JobError), which the engine
+ * catches and maps onto the failure taxonomy.
+ */
+class RunTickHook
+{
+  public:
+    virtual ~RunTickHook() = default;
+
+    /**
+     * Called once per machine step (one instruction on one core).
+     * @p steps counts from 1 within the machine's lifetime, across
+     * run() calls, so budgets cover warmup + measurement together.
+     */
+    virtual void on_tick(std::uint64_t steps) = 0;
+};
+
 /** The machine: cores + shared LLC + DRAM. */
 class Machine
 {
@@ -240,8 +260,13 @@ class Machine
      * instructions past its current count (cores that finish early
      * keep replaying, per the paper's multi-core methodology).
      * Records each core's cycle count at its own crossing point.
+     *
+     * @p hook, when non-null, is invoked after every step and may
+     * throw to cancel the run (watchdog deadline, fault injection).
+     * The machine stays destructible after such a cancellation but
+     * its counters describe a partial run.
      */
-    void run(InstCount insts_per_core);
+    void run(InstCount insts_per_core, RunTickHook *hook = nullptr);
 
     /** Number of cores. */
     std::size_t num_cores() const { return cores_.size(); }
@@ -272,6 +297,7 @@ class Machine
     std::vector<std::unique_ptr<CoreComplex>> cores_;
     std::vector<RunMetrics> measure_start_;
     std::vector<RunMetrics> at_budget_;  //!< metrics at own crossing
+    std::uint64_t steps_ = 0;            //!< lifetime step count (hooks)
 };
 
 /** Table IV machine configuration for @p cores cores. */

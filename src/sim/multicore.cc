@@ -23,30 +23,53 @@ make_mixes(const std::vector<WorkloadSpec> &roster, std::size_t count,
     return mixes;
 }
 
+double
+IsolationCache::get_or_compute(const std::string &name,
+                               const std::function<double()> &compute)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = map_.find(name);
+        if (it != map_.end()) {
+            return it->second;
+        }
+    }
+    // Computed outside the lock: an isolation run takes far longer
+    // than a redundant duplicate is worth blocking other workers for,
+    // and the run is deterministic so duplicates agree.
+    const double value = compute();
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.try_emplace(name, value).first->second;
+}
+
+std::size_t
+IsolationCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+}
+
 namespace {
 
 double
 isolation_ipc(L1dPrefetcherKind prefetcher, const WorkloadSpec &spec,
-              const MulticoreConfig &mc, IsolationCache &iso)
+              const MulticoreConfig &mc, IsolationCache &iso,
+              RunTickHook *hook)
 {
-    auto it = iso.find(spec.name);
-    if (it != iso.end()) {
-        return it->second;
-    }
-    // Isolation run: multi-core machine configuration (bigger LLC,
-    // more channels), a single active core, baseline scheme.
-    MachineConfig cfg = default_config(mc.cores);
-    cfg.l1d_prefetcher = prefetcher;
-    cfg.scheme = scheme_discard();
-    std::vector<WorkloadPtr> w;
-    w.push_back(make_workload(spec));
-    Machine machine(cfg, std::move(w));
-    machine.run(mc.warmup_insts);
-    machine.start_measurement();
-    machine.run(mc.measure_insts);
-    const double ipc = machine.measured(0).ipc();
-    iso.emplace(spec.name, ipc);
-    return ipc;
+    return iso.get_or_compute(spec.name, [&]() {
+        // Isolation run: multi-core machine configuration (bigger
+        // LLC, more channels), a single active core, baseline scheme.
+        MachineConfig cfg = default_config(mc.cores);
+        cfg.l1d_prefetcher = prefetcher;
+        cfg.scheme = scheme_discard();
+        std::vector<WorkloadPtr> w;
+        w.push_back(make_workload(spec));
+        Machine machine(cfg, std::move(w));
+        machine.run(mc.warmup_insts, hook);
+        machine.start_measurement();
+        machine.run(mc.measure_insts, hook);
+        return machine.measured(0).ipc();
+    });
 }
 
 }  // namespace
@@ -54,7 +77,8 @@ isolation_ipc(L1dPrefetcherKind prefetcher, const WorkloadSpec &spec,
 double
 weighted_ipc(L1dPrefetcherKind prefetcher, const SchemeConfig &scheme,
              const std::vector<WorkloadSpec> &mix,
-             const MulticoreConfig &mc, IsolationCache &iso)
+             const MulticoreConfig &mc, IsolationCache &iso,
+             RunTickHook *hook)
 {
     MachineConfig cfg = default_config(static_cast<unsigned>(mix.size()));
     cfg.l1d_prefetcher = prefetcher;
@@ -65,13 +89,14 @@ weighted_ipc(L1dPrefetcherKind prefetcher, const SchemeConfig &scheme,
         workloads.push_back(make_workload(spec));
     }
     Machine machine(cfg, std::move(workloads));
-    machine.run(mc.warmup_insts);
+    machine.run(mc.warmup_insts, hook);
     machine.start_measurement();
-    machine.run(mc.measure_insts);
+    machine.run(mc.measure_insts, hook);
 
     double sum = 0.0;
     for (std::size_t i = 0; i < mix.size(); ++i) {
-        const double iso_ipc = isolation_ipc(prefetcher, mix[i], mc, iso);
+        const double iso_ipc =
+            isolation_ipc(prefetcher, mix[i], mc, iso, hook);
         if (iso_ipc > 0.0) {
             sum += machine.measured(i).ipc() / iso_ipc;
         }
@@ -83,10 +108,12 @@ double
 weighted_speedup(L1dPrefetcherKind prefetcher, const SchemeConfig &scheme,
                  const SchemeConfig &baseline,
                  const std::vector<WorkloadSpec> &mix,
-                 const MulticoreConfig &mc, IsolationCache &iso)
+                 const MulticoreConfig &mc, IsolationCache &iso,
+                 RunTickHook *hook)
 {
-    const double ws = weighted_ipc(prefetcher, scheme, mix, mc, iso);
-    const double wb = weighted_ipc(prefetcher, baseline, mix, mc, iso);
+    const double ws = weighted_ipc(prefetcher, scheme, mix, mc, iso, hook);
+    const double wb =
+        weighted_ipc(prefetcher, baseline, mix, mc, iso, hook);
     return wb > 0.0 ? ws / wb : 0.0;
 }
 

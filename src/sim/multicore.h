@@ -7,7 +7,9 @@
 #ifndef MOKASIM_SIM_MULTICORE_H
 #define MOKASIM_SIM_MULTICORE_H
 
+#include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,20 +32,44 @@ std::vector<std::vector<WorkloadSpec>>
 make_mixes(const std::vector<WorkloadSpec> &roster, std::size_t count,
            unsigned cores, std::uint64_t seed);
 
-/** Isolation-IPC cache keyed by workload name. */
-using IsolationCache = std::map<std::string, double>;
+/**
+ * Isolation-IPC memo keyed by workload name. Thread-safe so fig19's
+ * (mix, scheme) jobs can share one cache across engine workers: a
+ * value may be computed twice under contention, but isolation runs
+ * are deterministic, so whichever insert wins stores the same number
+ * and parallel sweeps stay byte-identical to serial ones.
+ */
+class IsolationCache
+{
+  public:
+    /**
+     * Return the memoized IPC for @p name, or invoke @p compute
+     * (outside the lock — isolation runs are long) and memoize it.
+     */
+    double get_or_compute(const std::string &name,
+                          const std::function<double()> &compute);
+
+    /** Number of memoized entries. */
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, double> map_;
+};
 
 /**
  * Weighted IPC of @p mix under @p scheme: sum of
  * IPC_multicore / IPC_isolation per core (paper's metric). Isolation
  * IPCs are computed on demand against the multi-core machine
  * configuration with the baseline (Discard PGC) scheme and memoized
- * in @p iso.
+ * in @p iso. @p hook (may be null) is threaded into every
+ * Machine::run for watchdog/fault-injection coverage.
  */
 double weighted_ipc(L1dPrefetcherKind prefetcher,
                     const SchemeConfig &scheme,
                     const std::vector<WorkloadSpec> &mix,
-                    const MulticoreConfig &mc, IsolationCache &iso);
+                    const MulticoreConfig &mc, IsolationCache &iso,
+                    RunTickHook *hook = nullptr);
 
 /**
  * Weighted speedup of @p scheme over @p baseline for @p mix
@@ -53,7 +79,8 @@ double weighted_speedup(L1dPrefetcherKind prefetcher,
                         const SchemeConfig &scheme,
                         const SchemeConfig &baseline,
                         const std::vector<WorkloadSpec> &mix,
-                        const MulticoreConfig &mc, IsolationCache &iso);
+                        const MulticoreConfig &mc, IsolationCache &iso,
+                        RunTickHook *hook = nullptr);
 
 }  // namespace moka
 

@@ -18,16 +18,30 @@ RunMetrics
 run_single(const MachineConfig &cfg, const WorkloadSpec &spec,
            const RunConfig &run)
 {
+    return run_single_workload(cfg, make_workload(spec), run,
+                               /*hook=*/nullptr);
+}
+
+RunMetrics
+run_single_workload(const MachineConfig &cfg, WorkloadPtr workload,
+                    const RunConfig &run, RunTickHook *hook,
+                    std::string *audit_findings)
+{
     std::vector<WorkloadPtr> w;
-    w.push_back(make_workload(spec));
+    w.push_back(std::move(workload));
     Machine machine(cfg, std::move(w));
-    machine.run(run.warmup_insts);
+    machine.run(run.warmup_insts, hook);
     machine.start_measurement();
-    machine.run(run.measure_insts);
+    machine.run(run.measure_insts, hook);
 #if SIM_AUDIT_ENABLED
     // Final full-machine sweep so even sub-cadence runs get audited.
     AuditReport report(/*forward=*/true);
     machine.audit(report);
+    if (audit_findings != nullptr && !report.ok()) {
+        *audit_findings = report.to_string();
+    }
+#else
+    (void)audit_findings;
 #endif
     return machine.measured(0);
 }

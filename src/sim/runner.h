@@ -38,6 +38,19 @@ RunMetrics run_single(const MachineConfig &cfg, const WorkloadSpec &spec,
                       const RunConfig &run);
 
 /**
+ * Engine-facing variant: run an already-constructed @p workload with
+ * a cooperative @p hook threaded into Machine::run (watchdog / fault
+ * injection; may be null). In audit-enabled builds the end-of-run
+ * sweep's findings are returned through @p audit_findings (when
+ * non-null) instead of only the global failure handler, so the job
+ * engine can classify them as JobErrorCode::kAuditFailure.
+ */
+RunMetrics run_single_workload(const MachineConfig &cfg,
+                               WorkloadPtr workload, const RunConfig &run,
+                               RunTickHook *hook,
+                               std::string *audit_findings = nullptr);
+
+/**
  * Convenience: default Table IV machine with @p prefetcher and
  * @p scheme.
  */

@@ -55,28 +55,64 @@ record_trace(const std::string &path, Workload &workload,
     return true;
 }
 
+const char *
+to_string(TraceIoStatus status)
+{
+    switch (status) {
+      case TraceIoStatus::kOk: return "ok";
+      case TraceIoStatus::kFileMissing: return "file_missing";
+      case TraceIoStatus::kBadHeader: return "bad_header";
+      case TraceIoStatus::kTruncated: return "truncated";
+      case TraceIoStatus::kEmpty: break;
+    }
+    return "empty";
+}
+
 TraceFileWorkload::TraceFileWorkload(const std::string &path)
     : name_("trace:" + path)
 {
     File f(std::fopen(path.c_str(), "rb"));
     if (f.fp == nullptr) {
-        throw std::runtime_error("cannot open trace " + path);
+        throw TraceIoError(TraceIoStatus::kFileMissing,
+                           "cannot open trace " + path);
     }
     char magic[8];
     std::uint64_t count = 0;
-    if (std::fread(magic, sizeof(magic), 1, f.fp) != 1 ||
-        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0 ||
-        std::fread(&count, sizeof(count), 1, f.fp) != 1) {
-        throw std::runtime_error("bad trace header in " + path);
+    if (std::fread(magic, sizeof(magic), 1, f.fp) != 1) {
+        throw TraceIoError(TraceIoStatus::kTruncated,
+                           "truncated header (no magic) in " + path);
+    }
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        throw TraceIoError(TraceIoStatus::kBadHeader,
+                           "bad magic in " + path +
+                               " (not a MOKATRC1 trace)");
+    }
+    if (std::fread(&count, sizeof(count), 1, f.fp) != 1) {
+        throw TraceIoError(TraceIoStatus::kTruncated,
+                           "truncated header (no count) in " + path);
+    }
+    // A flipped count byte must not turn into a terabyte allocation.
+    constexpr std::uint64_t kMaxRecords = std::uint64_t{1} << 32;
+    if (count > kMaxRecords) {
+        throw TraceIoError(TraceIoStatus::kBadHeader,
+                           "implausible record count " +
+                               std::to_string(count) + " in " + path);
     }
     records_.resize(count);
-    if (count > 0 &&
-        std::fread(records_.data(), sizeof(TraceRecord), count, f.fp) !=
-            count) {
-        throw std::runtime_error("truncated trace " + path);
+    if (count > 0) {
+        const std::size_t got = std::fread(
+            records_.data(), sizeof(TraceRecord), count, f.fp);
+        if (got != count) {
+            throw TraceIoError(
+                TraceIoStatus::kTruncated,
+                "truncated trace " + path + ": header promises " +
+                    std::to_string(count) + " records, found " +
+                    std::to_string(got));
+        }
     }
     if (records_.empty()) {
-        throw std::runtime_error("empty trace " + path);
+        throw TraceIoError(TraceIoStatus::kEmpty,
+                           "empty trace " + path);
     }
 }
 
@@ -95,14 +131,32 @@ TraceFileWorkload::next()
     return inst;
 }
 
+TraceOpenResult
+open_trace_checked(const std::string &path)
+{
+    TraceOpenResult result;
+    try {
+        result.workload = std::make_unique<TraceFileWorkload>(path);
+    } catch (const TraceIoError &e) {
+        result.status = e.status();
+        result.message = e.what();
+    } catch (const std::bad_alloc &) {
+        result.status = TraceIoStatus::kTruncated;
+        result.message = "trace " + path +
+                         " too large to load (allocation failure)";
+    }
+    return result;
+}
+
 WorkloadPtr
 open_trace(const std::string &path)
 {
-    try {
-        return std::make_unique<TraceFileWorkload>(path);
-    } catch (const std::exception &) {
-        return nullptr;
+    TraceOpenResult result = open_trace_checked(path);
+    if (!result.ok()) {
+        std::fprintf(stderr, "mokasim: trace open failed [%s]: %s\n",
+                     to_string(result.status), result.message.c_str());
     }
+    return std::move(result.workload);
 }
 
 }  // namespace moka

@@ -11,12 +11,45 @@
 #define MOKASIM_TRACE_TRACE_IO_H
 
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "trace/workload.h"
 
 namespace moka {
+
+/**
+ * Why a trace failed to open. "File missing" (bad path, permissions)
+ * and "file corrupt" (bad magic, truncation, empty stream) are
+ * distinct classes: the former is an operator error, the latter is
+ * data damage the job engine classifies as kTraceCorrupt.
+ */
+enum class TraceIoStatus : std::uint8_t {
+    kOk,
+    kFileMissing,   //!< cannot open the path at all
+    kBadHeader,     //!< magic mismatch: not a mokasim trace
+    kTruncated,     //!< header or record stream cut short
+    kEmpty,         //!< well-formed but zero instructions
+};
+
+/** Stable diagnostic name of @p status (e.g. "bad_header"). */
+const char *to_string(TraceIoStatus status);
+
+/** Classified trace-I/O failure thrown by TraceFileWorkload. */
+class TraceIoError : public std::runtime_error
+{
+  public:
+    TraceIoError(TraceIoStatus status, const std::string &message)
+        : std::runtime_error(message), status_(status)
+    {
+    }
+
+    TraceIoStatus status() const { return status_; }
+
+  private:
+    TraceIoStatus status_;
+};
 
 /** On-disk instruction record (packed, little-endian). */
 struct TraceRecord
@@ -47,7 +80,7 @@ bool record_trace(const std::string &path, Workload &workload,
 class TraceFileWorkload : public Workload
 {
   public:
-    /** Throws std::runtime_error on malformed files. */
+    /** Throws TraceIoError (a std::runtime_error) on malformed files. */
     explicit TraceFileWorkload(const std::string &path);
 
     TraceInst next() override;
@@ -63,7 +96,27 @@ class TraceFileWorkload : public Workload
     std::size_t cursor_ = 0;
 };
 
-/** Open a trace file as a Workload (nullptr on failure, no throw). */
+/** Outcome of open_trace_checked: workload or classified failure. */
+struct TraceOpenResult
+{
+    WorkloadPtr workload;  //!< null on failure
+    TraceIoStatus status = TraceIoStatus::kOk;
+    std::string message;   //!< human-readable diagnostic on failure
+
+    bool ok() const { return workload != nullptr; }
+};
+
+/**
+ * Open a trace file as a Workload, surfacing the failure class and
+ * message to the caller instead of swallowing them. Never throws.
+ */
+TraceOpenResult open_trace_checked(const std::string &path);
+
+/**
+ * Open a trace file as a Workload (nullptr on failure, no throw).
+ * Each failure is logged once to stderr with its taxonomy code;
+ * callers that want the classification use open_trace_checked.
+ */
 WorkloadPtr open_trace(const std::string &path);
 
 }  // namespace moka

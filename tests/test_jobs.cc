@@ -1,0 +1,505 @@
+/**
+ * @file
+ * Tests for the fault-tolerant job engine: failure isolation and
+ * classification, retry with backoff, watchdog cancellation,
+ * journal/resume equivalence, fail-fast, and the determinism
+ * guarantee that any worker count produces byte-identical output.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "sim/jobs/engine.h"
+#include "sim/jobs/faults.h"
+#include "sim/jobs/journal.h"
+#include "trace/suites.h"
+
+namespace moka {
+namespace {
+
+std::string
+temp_path(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "moka_jobs_" + tag +
+           ".jsonl";
+}
+
+/** N trivial jobs with dense ids. */
+std::vector<JobSpec>
+trivial_jobs(std::size_t n)
+{
+    std::vector<JobSpec> jobs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        jobs[i].id = i;
+        jobs[i].workload.name = "job" + std::to_string(i);
+    }
+    return jobs;
+}
+
+/** A cheap deterministic body: csv identifies the job. */
+JobOutput
+echo_body(const JobSpec &spec, JobContext &)
+{
+    JobOutput out;
+    out.row.workload = spec.workload.name;
+    out.row.suite = "test";
+    out.row.scheme = "s";
+    out.row.prefetcher = "p";
+    out.aux = {static_cast<double>(spec.id) + 0.5};
+    return out;
+}
+
+std::string
+all_csv(const EngineReport &report)
+{
+    std::string out;
+    for (const JobResult &res : report.results) {
+        out += res.csv;
+        out += '\n';
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Isolation + classification
+// ---------------------------------------------------------------------------
+
+TEST(JobEngine, ThrowingJobIsIsolated)
+{
+    EngineConfig cfg;
+    JobEngine engine(cfg);
+    const auto report = engine.run(
+        trivial_jobs(5), [](const JobSpec &spec, JobContext &ctx) {
+            if (spec.id == 2) {
+                throw JobError(JobErrorCode::kTraceCorrupt,
+                               "bad bytes in job 2");
+            }
+            return echo_body(spec, ctx);
+        });
+    EXPECT_EQ(report.completed, 4u);
+    EXPECT_EQ(report.failed, 1u);
+    EXPECT_EQ(report.skipped, 0u);
+    EXPECT_EQ(report.results[2].status, JobStatus::kFailed);
+    EXPECT_EQ(report.results[2].error, JobErrorCode::kTraceCorrupt);
+    EXPECT_EQ(report.results[2].error_message, "bad bytes in job 2");
+    EXPECT_FALSE(report.all_completed());
+    // The other four kept their results.
+    EXPECT_EQ(report.results[3].status, JobStatus::kCompleted);
+    EXPECT_FALSE(report.results[3].csv.empty());
+}
+
+TEST(JobEngine, ForeignExceptionsAreClassified)
+{
+    EngineConfig cfg;
+    JobEngine engine(cfg);
+    const auto report = engine.run(
+        trivial_jobs(3), [](const JobSpec &spec, JobContext &ctx) {
+            if (spec.id == 0) {
+                throw std::runtime_error("vanilla failure");
+            }
+            if (spec.id == 1) {
+                throw std::bad_alloc();
+            }
+            return echo_body(spec, ctx);
+        });
+    EXPECT_EQ(report.results[0].status, JobStatus::kFailed);
+    EXPECT_EQ(report.results[0].error, JobErrorCode::kUnknown);
+    EXPECT_EQ(report.results[1].status, JobStatus::kFailed);
+    // bad_alloc is transient (kOom), so it was retried to exhaustion.
+    EXPECT_EQ(report.results[1].error, JobErrorCode::kOom);
+    EXPECT_EQ(report.results[1].attempts, cfg.max_attempts);
+    EXPECT_EQ(report.results[2].status, JobStatus::kCompleted);
+}
+
+// ---------------------------------------------------------------------------
+// Retry policy
+// ---------------------------------------------------------------------------
+
+TEST(JobEngine, TransientFailureRetriesThenSucceeds)
+{
+    EngineConfig cfg;
+    cfg.max_attempts = 3;
+    cfg.backoff_base_ms = 1;
+    cfg.backoff_cap_ms = 2;
+    JobEngine engine(cfg);
+    const auto report = engine.run(
+        trivial_jobs(1), [](const JobSpec &spec, JobContext &ctx) {
+            if (ctx.attempt < 3) {
+                throw JobError(JobErrorCode::kTimeout, "straggler");
+            }
+            return echo_body(spec, ctx);
+        });
+    EXPECT_EQ(report.results[0].status, JobStatus::kCompleted);
+    EXPECT_EQ(report.results[0].attempts, 3);
+}
+
+TEST(JobEngine, PermanentFailureIsNotRetried)
+{
+    EngineConfig cfg;
+    cfg.max_attempts = 5;
+    JobEngine engine(cfg);
+    const auto report = engine.run(
+        trivial_jobs(1), [](const JobSpec &, JobContext &) -> JobOutput {
+            throw JobError(JobErrorCode::kConfigInvalid, "bad scheme");
+        });
+    EXPECT_EQ(report.results[0].status, JobStatus::kFailed);
+    EXPECT_EQ(report.results[0].attempts, 1);
+    EXPECT_EQ(report.results[0].error, JobErrorCode::kConfigInvalid);
+}
+
+TEST(JobErrors, TransiencyTaxonomy)
+{
+    EXPECT_TRUE(is_transient(JobErrorCode::kTimeout));
+    EXPECT_TRUE(is_transient(JobErrorCode::kOom));
+    EXPECT_FALSE(is_transient(JobErrorCode::kTraceCorrupt));
+    EXPECT_FALSE(is_transient(JobErrorCode::kConfigInvalid));
+    EXPECT_FALSE(is_transient(JobErrorCode::kAuditFailure));
+    EXPECT_FALSE(is_transient(JobErrorCode::kUnknown));
+    // Names round-trip through the journal format.
+    for (const JobErrorCode code :
+         {JobErrorCode::kTraceCorrupt, JobErrorCode::kConfigInvalid,
+          JobErrorCode::kAuditFailure, JobErrorCode::kTimeout,
+          JobErrorCode::kOom, JobErrorCode::kUnknown}) {
+        EXPECT_EQ(job_error_code_from(to_string(code)), code);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog
+// ---------------------------------------------------------------------------
+
+TEST(JobEngine, WatchdogCancelsOverBudgetJob)
+{
+    EngineConfig cfg;
+    cfg.max_attempts = 2;
+    cfg.backoff_base_ms = 0;
+    JobEngine engine(cfg);
+    auto jobs = trivial_jobs(1);
+    jobs[0].watchdog_steps = 100;
+    const auto report =
+        engine.run(jobs, [](const JobSpec &spec, JobContext &ctx) {
+            // A runaway loop, observed through the cooperative hook
+            // exactly as Machine::run would report it.
+            for (std::uint64_t steps = 1; steps <= 100000; ++steps) {
+                ctx.hook->on_tick(steps);
+            }
+            return echo_body(spec, ctx);
+        });
+    EXPECT_EQ(report.results[0].status, JobStatus::kFailed);
+    EXPECT_EQ(report.results[0].error, JobErrorCode::kTimeout);
+    // Timeouts are transient: the budget was retried once.
+    EXPECT_EQ(report.results[0].attempts, 2);
+}
+
+TEST(JobEngine, StalledWorkerTripsWallDeadline)
+{
+    EngineConfig cfg;
+    cfg.max_attempts = 1;
+    cfg.watchdog_wall_ms = 5;
+    cfg.faults.enabled = true;
+    cfg.faults.seed = 3;
+    cfg.faults.stall_rate = 1.0;  // every attempt stalls
+    cfg.faults.stall_ms = 50;
+    JobEngine engine(cfg);
+    const auto report = engine.run(
+        trivial_jobs(1), [](const JobSpec &spec, JobContext &ctx) {
+            for (std::uint64_t steps = 1; steps <= 8192; ++steps) {
+                ctx.hook->on_tick(steps);
+            }
+            return echo_body(spec, ctx);
+        });
+    EXPECT_EQ(report.results[0].status, JobStatus::kFailed);
+    EXPECT_EQ(report.results[0].error, JobErrorCode::kTimeout);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism across worker counts (real simulations)
+// ---------------------------------------------------------------------------
+
+TEST(JobEngine, WorkerCountDoesNotChangeOutput)
+{
+    RunConfig run;
+    run.warmup_insts = 500;
+    run.measure_insts = 2000;
+    const auto roster = sample(seen_workloads(), 3);
+    const auto jobs =
+        make_matrix(roster, {"discard", "dripper"}, {"berti"}, run);
+
+    std::string reference;
+    for (const std::size_t workers : {1u, 4u, 8u}) {
+        EngineConfig cfg;
+        cfg.workers = workers;
+        JobEngine engine(cfg);
+        const std::string csv = all_csv(engine.run(jobs, run_sim_job));
+        if (reference.empty()) {
+            reference = csv;
+        } else {
+            EXPECT_EQ(csv, reference) << "workers=" << workers;
+        }
+    }
+    EXPECT_NE(reference.find("discard,berti"), std::string::npos);
+}
+
+TEST(JobEngine, InjectedFaultsAreScheduleIndependent)
+{
+    EngineConfig cfg;
+    cfg.max_attempts = 2;
+    cfg.backoff_base_ms = 0;
+    cfg.faults.enabled = true;
+    cfg.faults.seed = 11;
+    cfg.faults.throw_rate = 0.5;
+    cfg.faults.transient_rate = 0.0;  // every injected throw permanent
+
+    std::vector<JobStatus> reference;
+    for (const std::size_t workers : {1u, 4u, 8u}) {
+        cfg.workers = workers;
+        JobEngine engine(cfg);
+        const auto report = engine.run(
+            trivial_jobs(16), [](const JobSpec &spec, JobContext &ctx) {
+                for (std::uint64_t steps = 1; steps <= 4096; ++steps) {
+                    ctx.hook->on_tick(steps);
+                }
+                return echo_body(spec, ctx);
+            });
+        std::vector<JobStatus> statuses;
+        for (const JobResult &res : report.results) {
+            statuses.push_back(res.status);
+        }
+        if (reference.empty()) {
+            reference = statuses;
+            // The plan must actually produce both outcomes.
+            EXPECT_GT(report.completed, 0u);
+            EXPECT_GT(report.failed, 0u);
+        } else {
+            EXPECT_EQ(statuses, reference) << "workers=" << workers;
+        }
+    }
+}
+
+TEST(FaultInjector, DecisionsAreDeterministic)
+{
+    FaultPlan plan;
+    plan.enabled = true;
+    plan.seed = 42;
+    plan.throw_rate = 0.5;
+    plan.stall_rate = 0.25;
+    const FaultInjector a(plan);
+    const FaultInjector b(plan);
+    bool saw_fault = false;
+    for (std::size_t id = 0; id < 64; ++id) {
+        for (int attempt = 1; attempt <= 3; ++attempt) {
+            const auto da = a.decide(id, attempt);
+            const auto db = b.decide(id, attempt);
+            EXPECT_EQ(static_cast<int>(da.kind),
+                      static_cast<int>(db.kind));
+            EXPECT_EQ(da.at_tick, db.at_tick);
+            EXPECT_EQ(da.transient, db.transient);
+            saw_fault |= da.kind != FaultInjector::Decision::Kind::kNone;
+        }
+    }
+    EXPECT_TRUE(saw_fault);
+    // Disabled plan never faults.
+    plan.enabled = false;
+    const FaultInjector off(plan);
+    for (std::size_t id = 0; id < 16; ++id) {
+        EXPECT_EQ(static_cast<int>(off.decide(id, 1).kind),
+                  static_cast<int>(FaultInjector::Decision::Kind::kNone));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Journal + resume
+// ---------------------------------------------------------------------------
+
+TEST(Journal, RecordRoundTripsThroughJsonl)
+{
+    JournalRecord rec;
+    rec.job_id = 42;
+    rec.status = JobStatus::kCompleted;
+    rec.attempts = 2;
+    rec.csv = "w1,\"suite\",s,p,1,2,0.5\nsecond\tline\\with\\escapes";
+    rec.aux = {1.0 / 3.0, -2.5e-17, 123456789.123456789};
+
+    JournalRecord back;
+    std::string error;
+    ASSERT_TRUE(from_jsonl(to_jsonl(rec), back, &error)) << error;
+    EXPECT_EQ(back.job_id, rec.job_id);
+    EXPECT_EQ(back.status, rec.status);
+    EXPECT_EQ(back.attempts, rec.attempts);
+    EXPECT_EQ(back.csv, rec.csv);
+    ASSERT_EQ(back.aux.size(), rec.aux.size());
+    for (std::size_t i = 0; i < rec.aux.size(); ++i) {
+        EXPECT_EQ(back.aux[i], rec.aux[i]);  // %.17g: exact round-trip
+    }
+
+    rec.status = JobStatus::kFailed;
+    rec.error = JobErrorCode::kTimeout;
+    rec.error_message = "watchdog: \"deadline\" exceeded\n";
+    ASSERT_TRUE(from_jsonl(to_jsonl(rec), back, &error)) << error;
+    EXPECT_EQ(back.status, JobStatus::kFailed);
+    EXPECT_EQ(back.error, JobErrorCode::kTimeout);
+    EXPECT_EQ(back.error_message, rec.error_message);
+}
+
+TEST(Journal, MalformedTrailingLineIsDropped)
+{
+    const std::string path = temp_path("torn");
+    {
+        std::ofstream os(path);
+        JournalRecord rec;
+        rec.job_id = 0;
+        rec.status = JobStatus::kCompleted;
+        rec.attempts = 1;
+        rec.csv = "row0";
+        os << to_jsonl(rec) << "\n";
+        os << "{\"job\":1,\"status\":\"compl";  // torn mid-write
+    }
+    std::size_t skipped = 0;
+    const auto records = Journal::load(path, &skipped);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].job_id, 0u);
+    EXPECT_EQ(skipped, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(JobEngine, ResumeReproducesUninterruptedOutput)
+{
+    const std::string ref_journal = temp_path("ref");
+    const std::string cut_journal = temp_path("cut");
+    const std::string new_journal = temp_path("new");
+    const auto jobs = trivial_jobs(8);
+
+    EngineConfig cfg;
+    cfg.journal_path = ref_journal;
+    const std::string reference =
+        all_csv(JobEngine(cfg).run(jobs, echo_body));
+
+    // Simulate a crash: keep only the first 3 journal lines.
+    {
+        std::ifstream is(ref_journal);
+        std::ofstream os(cut_journal);
+        std::string line;
+        for (int i = 0; i < 3 && std::getline(is, line); ++i) {
+            os << line << '\n';
+        }
+    }
+
+    int fresh_runs = 0;
+    EngineConfig rcfg;
+    rcfg.resume_path = cut_journal;
+    rcfg.journal_path = new_journal;
+    const auto resumed = JobEngine(rcfg).run(
+        jobs, [&](const JobSpec &spec, JobContext &ctx) {
+            ++fresh_runs;
+            return echo_body(spec, ctx);
+        });
+    EXPECT_EQ(all_csv(resumed), reference);
+    EXPECT_EQ(fresh_runs, 5);  // 3 of 8 replayed from the journal
+    EXPECT_EQ(resumed.resumed, 3u);
+    EXPECT_EQ(resumed.completed, 8u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_TRUE(resumed.results[i].from_journal);
+    }
+    // aux survives the journal round trip for resumed jobs.
+    EXPECT_EQ(resumed.results[0].output.aux.size(), 1u);
+    EXPECT_EQ(resumed.results[0].output.aux[0], 0.5);
+
+    // The resumed run's journal is itself a complete resume point.
+    EngineConfig r2cfg;
+    r2cfg.resume_path = new_journal;
+    const auto second = JobEngine(r2cfg).run(
+        jobs, [](const JobSpec &, JobContext &) -> JobOutput {
+            throw JobError(JobErrorCode::kUnknown,
+                           "nothing should re-run");
+        });
+    EXPECT_EQ(all_csv(second), reference);
+    EXPECT_EQ(second.resumed, 8u);
+
+    std::remove(ref_journal.c_str());
+    std::remove(cut_journal.c_str());
+    std::remove(new_journal.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Fail-fast
+// ---------------------------------------------------------------------------
+
+TEST(JobEngine, FailFastSkipsRemainingJobs)
+{
+    EngineConfig cfg;
+    cfg.fail_fast = true;
+    JobEngine engine(cfg);  // workers=1: deterministic skip count
+    const auto report = engine.run(
+        trivial_jobs(6), [](const JobSpec &spec, JobContext &ctx) {
+            if (spec.id == 1) {
+                throw JobError(JobErrorCode::kAuditFailure,
+                               "invariant violated");
+            }
+            return echo_body(spec, ctx);
+        });
+    EXPECT_EQ(report.completed, 1u);
+    EXPECT_EQ(report.failed, 1u);
+    EXPECT_EQ(report.skipped, 4u);
+    for (std::size_t i = 2; i < 6; ++i) {
+        EXPECT_EQ(report.results[i].status, JobStatus::kSkipped);
+    }
+    const std::string summary = report.summary();
+    EXPECT_NE(summary.find("audit_failure"), std::string::npos);
+    EXPECT_NE(summary.find("skipped"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// CLI validation
+// ---------------------------------------------------------------------------
+
+using JobEngineDeathTest = ::testing::Test;
+
+TEST(JobEngineDeathTest, MalformedNumericFlagIsUsageError)
+{
+    const char *argv1[] = {"bench", "--insts", "banana"};
+    EXPECT_EXIT(parse_bench_args(3, const_cast<char **>(argv1)),
+                ::testing::ExitedWithCode(2), "non-negative integer");
+    const char *argv2[] = {"bench", "--jobs"};
+    EXPECT_EXIT(parse_bench_args(2, const_cast<char **>(argv2)),
+                ::testing::ExitedWithCode(2), "requires a value");
+    const char *argv3[] = {"bench", "--inject-faults", "lots"};
+    EXPECT_EXIT(parse_bench_args(3, const_cast<char **>(argv3)),
+                ::testing::ExitedWithCode(2), "requires a number");
+    const char *argv4[] = {"bench", "--insts", "123abc"};
+    EXPECT_EXIT(parse_bench_args(3, const_cast<char **>(argv4)),
+                ::testing::ExitedWithCode(2), "non-negative integer");
+}
+
+TEST(JobEngine, SchemeAndPrefetcherNamesAreValidated)
+{
+    EXPECT_THROW(scheme_by_name("not-a-scheme",
+                                L1dPrefetcherKind::kBerti),
+                 JobError);
+    try {
+        scheme_by_name("not-a-scheme", L1dPrefetcherKind::kBerti);
+    } catch (const JobError &e) {
+        EXPECT_EQ(e.code(), JobErrorCode::kConfigInvalid);
+    }
+    for (const std::string &name : known_scheme_names()) {
+        EXPECT_NO_THROW(scheme_by_name(name, L1dPrefetcherKind::kBerti));
+    }
+    // An invalid prefetcher fails the job as kConfigInvalid.
+    auto jobs = trivial_jobs(1);
+    jobs[0].workload = seen_workloads().front();
+    jobs[0].scheme = "discard";
+    jobs[0].prefetcher = "psychic";
+    jobs[0].run.warmup_insts = 100;
+    jobs[0].run.measure_insts = 100;
+    JobEngine engine((EngineConfig()));
+    const auto report = engine.run(jobs, run_sim_job);
+    EXPECT_EQ(report.results[0].status, JobStatus::kFailed);
+    EXPECT_EQ(report.results[0].error, JobErrorCode::kConfigInvalid);
+}
+
+}  // namespace
+}  // namespace moka

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <string>
 
+#include "sim/jobs/faults.h"
 #include "trace/suites.h"
 #include "trace/trace_io.h"
 
@@ -71,6 +72,112 @@ TEST(TraceIo, CorruptHeaderRejected)
     std::fputs("NOTATRACE-AT-ALL", f);
     std::fclose(f);
     EXPECT_EQ(open_trace(path), nullptr);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Malformed-trace corpus: every damage mode maps to a classified
+// TraceIoStatus with a usable message, never a crash or a silent null.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string
+damaged_trace(const char *tag, TraceFault fault, std::uint64_t seed)
+{
+    const WorkloadSpec spec = seen_workloads().front();
+    const std::string path = temp_path(tag);
+    WorkloadPtr source = make_workload(spec);
+    EXPECT_TRUE(record_trace(path, *source, 64));
+    EXPECT_TRUE(corrupt_trace_file(path, fault, seed));
+    return path;
+}
+
+}  // namespace
+
+TEST(TraceIoCorpus, BitFlippedMagicIsBadHeader)
+{
+    const std::string path =
+        damaged_trace("flipmagic", TraceFault::kBitFlipMagic, 5);
+    const TraceOpenResult r = open_trace_checked(path);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status, TraceIoStatus::kBadHeader);
+    EXPECT_NE(r.message.find("magic"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoCorpus, TruncatedHeaderIsTruncated)
+{
+    const std::string path =
+        damaged_trace("cuthdr", TraceFault::kTruncateHeader, 5);
+    const TraceOpenResult r = open_trace_checked(path);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status, TraceIoStatus::kTruncated);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoCorpus, TruncatedRecordAtEofIsTruncated)
+{
+    const std::string path =
+        damaged_trace("cutrec", TraceFault::kTruncateRecords, 5);
+    const TraceOpenResult r = open_trace_checked(path);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status, TraceIoStatus::kTruncated);
+    // The message names the promised and found record counts.
+    EXPECT_NE(r.message.find("promises 64"), std::string::npos);
+    EXPECT_NE(r.message.find("found 63"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoCorpus, MissingFileIsClassifiedDistinctly)
+{
+    const TraceOpenResult r = open_trace_checked("/nonexistent/path.trc");
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status, TraceIoStatus::kFileMissing);
+}
+
+TEST(TraceIoCorpus, ImplausibleRecordCountRejectedWithoutAllocating)
+{
+    // A flipped count byte must not become a terabyte allocation.
+    const std::string path = temp_path("hugecount");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite("MOKATRC1", 8, 1, f);
+    const std::uint64_t count = ~std::uint64_t{0};
+    std::fwrite(&count, sizeof(count), 1, f);
+    std::fclose(f);
+    const TraceOpenResult r = open_trace_checked(path);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status, TraceIoStatus::kBadHeader);
+    EXPECT_NE(r.message.find("implausible"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoCorpus, EmptyTraceIsClassified)
+{
+    const std::string path = temp_path("empty");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite("MOKATRC1", 8, 1, f);
+    const std::uint64_t count = 0;
+    std::fwrite(&count, sizeof(count), 1, f);
+    std::fclose(f);
+    const TraceOpenResult r = open_trace_checked(path);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status, TraceIoStatus::kEmpty);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoCorpus, BitFlippedBodyStillLoads)
+{
+    // Body damage is not detectable without checksums; the classified
+    // surface guarantees it either loads or fails cleanly -- here the
+    // header is intact so the stream loads with the damaged byte.
+    const std::string path =
+        damaged_trace("flipbody", TraceFault::kBitFlipBody, 5);
+    const TraceOpenResult r = open_trace_checked(path);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.status, TraceIoStatus::kOk);
     std::remove(path.c_str());
 }
 

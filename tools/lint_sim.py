@@ -23,6 +23,11 @@ project's own correctness conventions, so this script enforces them:
       in src/audit/audit.cc.  Pure interfaces (only pure-virtual
       methods) are exempt, as are names listed on a
       `LINT_AUDIT_EXEMPT: Name` line in audit.cc.
+  L5  no bare `catch (...)` in src/.  Swallowing an unknown exception
+      erases the failure class the job engine's taxonomy
+      (sim/jobs/job.h) exists to preserve.  A bare catch is allowed
+      only when annotated with a `LINT_CATCH_OK: <why>` comment on the
+      same line, which asserts the handler classifies or rethrows.
 
 Exit status is non-zero when any finding is produced.  Run from the
 repo root:  python3 tools/lint_sim.py
@@ -241,13 +246,38 @@ def check_l4() -> None:
                         f"`LINT_AUDIT_EXEMPT: {name}` line with rationale")
 
 
+# --------------------------------------------------------------------------
+# L5: bare catch (...) must classify, not swallow
+# --------------------------------------------------------------------------
+
+CATCH_ALL_RE = re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)")
+
+
+def check_l5() -> None:
+    for path in src_files((".h", ".cc")):
+        stripped = strip_comments(path.read_text())
+        # Annotations live in comments, so scan the raw text for them.
+        raw_lines = path.read_text().splitlines()
+        for no, line in enumerate(stripped.splitlines(), 1):
+            if not CATCH_ALL_RE.search(line):
+                continue
+            raw = raw_lines[no - 1] if no <= len(raw_lines) else ""
+            if "LINT_CATCH_OK" in raw:
+                continue
+            finding("L5", path, no,
+                    "bare `catch (...)` without classification; map the "
+                    "failure to a JobErrorCode (sim/jobs/job.h) or annotate "
+                    "the line with `LINT_CATCH_OK: <why>`")
+
+
 def main() -> int:
     check_l1()
     check_l2_l3()
     check_l4()
+    check_l5()
     if not findings:
         print("lint_sim: clean (L1 raw-assert, L2 address truncation, "
-              "L3 signed-narrowing, L4 audit coverage)")
+              "L3 signed-narrowing, L4 audit coverage, L5 bare catch)")
         return 0
     for rule, path, line_no, message in findings:
         rel = path.relative_to(REPO)

@@ -1,48 +1,40 @@
 /**
  * @file
- * sweep_tool — batch experiment driver. Runs a workload sample
- * against a scheme list and streams one CSV row per (workload,
- * scheme) to stdout, ready for pandas/gnuplot. This is the
- * plot-your-own-figures companion to the fixed bench/ harnesses.
+ * sweep_tool — batch experiment driver on the fault-tolerant job
+ * engine. Runs the (workload, scheme) matrix for one prefetcher and
+ * streams one CSV row per completed job to stdout in job-id order,
+ * ready for pandas/gnuplot; failures are classified and reported to
+ * stderr instead of killing the sweep.
  *
  * Usage:
  *   sweep_tool [--workloads N] [--insts N] [--warmup N]
  *              [--prefetcher berti|ipcp|bop|stride|nl]
  *              [--schemes discard,permit,dripper,...]
  *              [--unseen] [--large-pages F]
+ *              [--jobs N] [--journal FILE] [--resume FILE]
+ *              [--fail-fast] [--inject-faults RATE] [--fault-seed N]
  *
  * Example:
  *   sweep_tool --workloads 32 --schemes discard,permit,dripper \
- *       > results.csv
+ *       --jobs 8 --journal sweep.jsonl > results.csv
+ *
+ * The CSV is byte-identical for any --jobs count, and a sweep resumed
+ * from its journal reproduces the uninterrupted output exactly.
  */
-#include <iostream>
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "filter/policies.h"
+#include "sim/experiment.h"
 #include "sim/report.h"
-#include "sim/runner.h"
 #include "trace/suites.h"
 
 using namespace moka;
 
 namespace {
-
-SchemeConfig
-parse_scheme(const std::string &s, L1dPrefetcherKind kind)
-{
-    if (s == "permit") return scheme_permit();
-    if (s == "discard-ptw") return scheme_discard_ptw();
-    if (s == "iso") return scheme_iso_storage();
-    if (s == "ppf") return scheme_ppf(false);
-    if (s == "ppf-dthr") return scheme_ppf(true);
-    if (s == "dripper") return scheme_dripper(kind);
-    if (s == "dripper-sf") return scheme_dripper_sf(kind);
-    if (s == "dripper-meta") return scheme_dripper_specialized(kind);
-    if (s == "dripper-2mb") return scheme_dripper_filter_2mb(kind);
-    return scheme_discard();
-}
 
 std::vector<std::string>
 split(const std::string &s, char sep)
@@ -63,8 +55,7 @@ split(const std::string &s, char sep)
 int
 main(int argc, char **argv)
 {
-    std::size_t workloads = 24;
-    RunConfig run;
+    BenchArgs args;
     std::string pf_name = "berti";
     std::string schemes_arg = "discard,permit,dripper";
     bool unseen = false;
@@ -72,41 +63,83 @@ main(int argc, char **argv)
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
-        auto next = [&]() -> std::string {
-            return i + 1 < argc ? argv[++i] : "";
-        };
-        if (a == "--workloads") workloads = std::stoull(next());
-        else if (a == "--insts") run.measure_insts = std::stoull(next());
-        else if (a == "--warmup") run.warmup_insts = std::stoull(next());
-        else if (a == "--prefetcher") pf_name = next();
-        else if (a == "--schemes") schemes_arg = next();
-        else if (a == "--unseen") unseen = true;
-        else if (a == "--large-pages") large_pages = std::stod(next());
-        else {
-            std::cerr << "unknown flag " << a << "\n";
-            return 1;
+        auto next = [&]() { return require_value(a, i, argc, argv); };
+        if (a == "--workloads") {
+            args.workloads = require_u64(a, next());
+        } else if (a == "--insts") {
+            args.run.measure_insts = require_u64(a, next());
+        } else if (a == "--warmup") {
+            args.run.warmup_insts = require_u64(a, next());
+        } else if (a == "--prefetcher") {
+            pf_name = next();
+        } else if (a == "--schemes") {
+            schemes_arg = next();
+        } else if (a == "--unseen") {
+            unseen = true;
+        } else if (a == "--large-pages") {
+            large_pages = require_double(a, next());
+        } else if (a == "--jobs") {
+            args.jobs = require_u64(a, next());
+        } else if (a == "--journal") {
+            args.journal = next();
+        } else if (a == "--resume") {
+            args.resume = next();
+        } else if (a == "--fail-fast") {
+            args.fail_fast = true;
+        } else if (a == "--inject-faults") {
+            args.fault_rate = require_double(a, next());
+        } else if (a == "--fault-seed") {
+            args.fault_seed = require_u64(a, next());
+        } else {
+            std::fprintf(stderr, "usage: unknown flag %s\n", a.c_str());
+            return 2;
         }
     }
 
-    const L1dPrefetcherKind kind = parse_l1d_kind(pf_name);
-    const auto roster =
-        sample(unseen ? unseen_workloads() : seen_workloads(), workloads);
-
-    std::cout << csv_header() << '\n';
-    for (const std::string &scheme_name : split(schemes_arg, ',')) {
-        const SchemeConfig scheme = parse_scheme(scheme_name, kind);
-        for (const WorkloadSpec &spec : roster) {
-            MachineConfig cfg = make_config(kind, scheme);
-            cfg.vmem.large_page_fraction = large_pages;
-            ResultRow row;
-            row.workload = spec.name;
-            row.suite = spec.suite;
-            row.scheme = scheme.name;
-            row.prefetcher = pf_name;
-            row.metrics = run_single(cfg, spec, run);
-            std::cout << to_csv(row) << '\n';
-            std::cout.flush();
+    // Validate names up front: a typo is a usage error, not a sweep
+    // of uniformly failed jobs.
+    const std::vector<std::string> schemes = split(schemes_arg, ',');
+    const std::vector<std::string> &known = known_scheme_names();
+    for (const std::string &name : schemes) {
+        if (std::find(known.begin(), known.end(), name) == known.end()) {
+            std::fprintf(stderr, "usage: unknown scheme '%s' (known:",
+                         name.c_str());
+            for (const std::string &k : known) {
+                std::fprintf(stderr, " %s", k.c_str());
+            }
+            std::fprintf(stderr, ")\n");
+            return 2;
         }
     }
-    return 0;
+    const std::vector<std::string> &pfs = known_prefetcher_names();
+    if (std::find(pfs.begin(), pfs.end(), pf_name) == pfs.end()) {
+        std::fprintf(stderr, "usage: unknown prefetcher '%s' (known:",
+                     pf_name.c_str());
+        for (const std::string &k : pfs) {
+            std::fprintf(stderr, " %s", k.c_str());
+        }
+        std::fprintf(stderr, ")\n");
+        return 2;
+    }
+    try {
+        const std::vector<WorkloadSpec> roster = sample(
+            unseen ? unseen_workloads() : seen_workloads(), args.workloads);
+        const std::vector<JobSpec> matrix =
+            make_matrix(roster, schemes, {pf_name}, args.run, large_pages);
+        const EngineReport report = run_matrix(matrix, args);
+
+        std::printf("%s\n", csv_header().c_str());
+        for (const JobResult &res : report.results) {
+            if (res.status == JobStatus::kCompleted && !res.csv.empty()) {
+                std::printf("%s\n", res.csv.c_str());
+            }
+        }
+        std::fflush(stdout);
+        std::fputs(report.summary().c_str(), stderr);
+        return report.all_completed() ? 0 : 1;
+    } catch (const JobError &e) {
+        std::fprintf(stderr, "usage: %s: %s\n", to_string(e.code()),
+                     e.what());
+        return 2;
+    }
 }
