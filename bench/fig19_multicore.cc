@@ -19,6 +19,7 @@
 #include "filter/policies.h"
 #include "sim/experiment.h"
 #include "sim/multicore.h"
+#include "telemetry/telemetry.h"
 
 using namespace moka;
 
@@ -59,19 +60,34 @@ main(int argc, char **argv)
         // (3 schemes + isolation runs), each with its own step count.
         spec.watchdog_steps =
             16 * mc.cores * (mc.warmup_insts + mc.measure_insts);
+        // 3 scheme runs of `cores` workloads each, plus a share of the
+        // isolation runs; mixes dominate any single-core cell.
+        spec.estimated_cost = 3.0 * mc.cores *
+                              double(mc.warmup_insts + mc.measure_insts);
         jobs.push_back(std::move(spec));
     }
 
-    JobEngine engine(engine_config(args));
+    const std::unique_ptr<TelemetrySession> telemetry =
+        make_telemetry(args);
+    EngineConfig ecfg = engine_config(args);
+    ecfg.telemetry = telemetry.get();
+    JobEngine engine(std::move(ecfg));
     const EngineReport report =
         engine.run(jobs, [&](const JobSpec &spec, JobContext &ctx) {
             const std::vector<WorkloadSpec> &mix = mixes[spec.id];
-            const double wb = weighted_ipc(k, scheme_discard(), mix, mc,
-                                           iso, ctx.hook);
-            const double wp = weighted_ipc(k, scheme_permit(), mix, mc,
-                                           iso, ctx.hook);
-            const double wd = weighted_ipc(k, scheme_dripper(k), mix, mc,
-                                           iso, ctx.hook);
+            const std::string mixname = spec.workload.name;
+            const double wb =
+                weighted_ipc(k, scheme_discard(), mix, mc, iso, ctx.hook,
+                             ctx.telemetry, mixname + ".discard",
+                             ctx.trace_pid);
+            const double wp =
+                weighted_ipc(k, scheme_permit(), mix, mc, iso, ctx.hook,
+                             ctx.telemetry, mixname + ".permit",
+                             ctx.trace_pid);
+            const double wd =
+                weighted_ipc(k, scheme_dripper(k), mix, mc, iso,
+                             ctx.hook, ctx.telemetry,
+                             mixname + ".dripper", ctx.trace_pid);
             JobOutput out;
             out.row.workload = spec.workload.name;
             out.row.suite = spec.workload.suite;
@@ -118,5 +134,15 @@ main(int argc, char **argv)
     }
     std::printf("paper: DRIPPER +2.0%% over Discard, +3.3%% over Permit "
                 "across 300 mixes\n");
+    if (telemetry != nullptr) {
+        const std::string trace = telemetry->flush();
+        if (!trace.empty()) {
+            std::printf("trace events written to %s\n", trace.c_str());
+        }
+        if (!telemetry->dir().empty()) {
+            std::printf("epoch timeseries written to %s\n",
+                        telemetry->dir().c_str());
+        }
+    }
     return report.all_completed() ? 0 : 1;
 }

@@ -43,10 +43,10 @@ emit(const char *where, int line, const char *what)
 {
     g_failures.fetch_add(1, std::memory_order_relaxed);
     if (line > 0) {
-        std::fprintf(stderr, "mokasim audit failure: %s:%d: %s\n", where,
+        std::fprintf(stderr, "mokasim audit failure: %s:%d: %s\n", where,  // LINT_LOG_OK: crash diagnostic
                      line, what);
     } else {
-        std::fprintf(stderr, "mokasim audit failure: %s: %s\n", where,
+        std::fprintf(stderr, "mokasim audit failure: %s: %s\n", where,  // LINT_LOG_OK: crash diagnostic
                      what);
     }
     if (g_fatal.load(std::memory_order_relaxed)) {
@@ -65,7 +65,7 @@ report_failure(const char *file, int line, const char *what)
 void
 require_failure(const char *file, int line, const char *what)
 {
-    std::fprintf(stderr, "mokasim requirement violated: %s:%d: %s\n",
+    std::fprintf(stderr, "mokasim requirement violated: %s:%d: %s\n",  // LINT_LOG_OK: crash diagnostic
                  file, line, what);
     std::abort();
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/gate.h"
+
 namespace moka {
 
 AdaptiveThreshold::AdaptiveThreshold(const ThresholdConfig &config)
@@ -34,20 +36,32 @@ AdaptiveThreshold::on_interval(const SystemSnapshot &snap)
 
     // (1) High ROB pressure with many in-flight L1D misses: only
     // very-high-confidence page-cross prefetches may pass.
-    if (snap.rob_occupancy > cfg_.rob_pressure_threshold &&
-        snap.inflight_l1d_misses > cfg_.inflight_threshold) {
+    const bool rob_clamp =
+        snap.rob_occupancy > cfg_.rob_pressure_threshold &&
+        snap.inflight_l1d_misses > cfg_.inflight_threshold;
+    if (rob_clamp) {
         ta_ = std::max(ta_, cfg_.t_high);
     }
     // (2) Running PGC accuracy collapsed below T1.
-    if (snap.pgc_accuracy_valid && snap.pgc_accuracy < cfg_.acc_low) {
+    const bool acc_clamp =
+        snap.pgc_accuracy_valid && snap.pgc_accuracy < cfg_.acc_low;
+    if (acc_clamp) {
         ta_ = std::max(ta_, cfg_.t_high);
     }
     // (3) L1I pressure: avoid contending with demand instruction
     // accesses in the L2C.
-    if (snap.l1i_mpki > cfg_.l1i_mpki_threshold) {
+    const bool l1i_clamp = snap.l1i_mpki > cfg_.l1i_mpki_threshold;
+    if (l1i_clamp) {
         ta_ = std::max(ta_, cfg_.t_mid);
     }
     clamp();
+
+    if (telemetry_enabled()) {
+        tel_.rob_clamps += rob_clamp ? 1 : 0;
+        tel_.acc_clamps += acc_clamp ? 1 : 0;
+        tel_.l1i_clamps += l1i_clamp ? 1 : 0;
+        tel_.disable_intervals += pgc_disabled_ ? 1 : 0;
+    }
 }
 
 void
@@ -61,8 +75,14 @@ AdaptiveThreshold::on_epoch(const EpochInfo &info)
         // Force conservative levels below the accuracy trip points.
         if (info.pgc_accuracy < cfg_.acc_low) {
             ta_ = std::max(ta_, cfg_.t_high);
+            if (telemetry_enabled()) {
+                ++tel_.epoch_acc_clamps;
+            }
         } else if (info.pgc_accuracy < cfg_.acc_mid) {
             ta_ = std::max(ta_, cfg_.t_mid);
+            if (telemetry_enabled()) {
+                ++tel_.epoch_acc_clamps;
+            }
         }
         // Accuracy trend between consecutive epochs nudges T_a by one.
         // NOTE: the paper's text says "increase (decrease) in accuracy
@@ -75,8 +95,14 @@ AdaptiveThreshold::on_epoch(const EpochInfo &info)
         if (have_prev_ && prev_.accuracy_valid) {
             if (info.pgc_accuracy > prev_.pgc_accuracy) {
                 --ta_;
+                if (telemetry_enabled()) {
+                    ++tel_.nudges_down;
+                }
             } else if (info.pgc_accuracy < prev_.pgc_accuracy) {
                 ++ta_;
+                if (telemetry_enabled()) {
+                    ++tel_.nudges_up;
+                }
             }
         }
     }
@@ -84,6 +110,9 @@ AdaptiveThreshold::on_epoch(const EpochInfo &info)
     // (paper step 5).
     if (have_prev_ && info.ipc < prev_.ipc && ta_ < cfg_.t_mid) {
         ta_ = cfg_.t_mid;
+        if (telemetry_enabled()) {
+            ++tel_.ipc_drop_clamps;
+        }
     }
     clamp();
     prev_ = info;

@@ -9,6 +9,8 @@
 #ifndef MOKASIM_FILTER_ADAPTIVE_THRESHOLD_H
 #define MOKASIM_FILTER_ADAPTIVE_THRESHOLD_H
 
+#include <cstdint>
+
 #include "filter/system_features.h"
 
 namespace moka {
@@ -44,6 +46,24 @@ struct EpochInfo
     double ipc = 0.0;
 };
 
+/**
+ * Cumulative counts of the adaptive-threshold control actions, for
+ * the telemetry sampler (counts only move while telemetry is armed;
+ * see telemetry/gate.h). Public fields without trailing underscores:
+ * this is a passive snapshot surface, not a stateful class.
+ */
+struct ThresholdTelemetry
+{
+    std::uint64_t rob_clamps = 0;      //!< intra-epoch ROB-pressure clamps
+    std::uint64_t acc_clamps = 0;      //!< intra-epoch accuracy clamps
+    std::uint64_t l1i_clamps = 0;      //!< intra-epoch L1I-pressure clamps
+    std::uint64_t disable_intervals = 0;  //!< intervals with PGC disabled
+    std::uint64_t epoch_acc_clamps = 0;   //!< epoch accuracy trip points
+    std::uint64_t nudges_up = 0;       //!< epoch trend: T_a tightened
+    std::uint64_t nudges_down = 0;     //!< epoch trend: T_a relaxed
+    std::uint64_t ipc_drop_clamps = 0; //!< epoch IPC-drop forcing t_mid
+};
+
 /** See file comment. */
 class AdaptiveThreshold
 {
@@ -55,6 +75,21 @@ class AdaptiveThreshold
 
     /** True while extreme LLC pressure disables page-cross prefetching. */
     bool pgc_disabled() const { return pgc_disabled_; }
+
+    /**
+     * Discretized T_a level for timeseries plots: 0 while T_a sits at
+     * or below t_low, 1 below t_high, 2 at or above t_high.
+     */
+    int level() const
+    {
+        if (ta_ >= cfg_.t_high) {
+            return 2;
+        }
+        return ta_ <= cfg_.t_low ? 0 : 1;
+    }
+
+    /** Control-action counters (moves only while telemetry is armed). */
+    const ThresholdTelemetry &telemetry_counters() const { return tel_; }
 
     /** Intra-epoch check against extreme behaviours (paper step 2). */
     void on_interval(const SystemSnapshot &snap);
@@ -75,6 +110,7 @@ class AdaptiveThreshold
     bool pgc_disabled_ = false;
     bool have_prev_ = false;
     EpochInfo prev_;
+    ThresholdTelemetry tel_;
 };
 
 }  // namespace moka

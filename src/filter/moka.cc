@@ -1,6 +1,9 @@
 #include "filter/moka.h"
 
+#include <cstdlib>
+
 #include "common/check.h"
+#include "telemetry/gate.h"
 
 namespace moka {
 
@@ -81,7 +84,20 @@ MokaFilter::permit(Addr trigger_pc, Addr trigger_vaddr, std::int64_t delta,
     }
 
     // Stage 4: compare against the activation threshold.
-    if (w_final > thresholds_.threshold()) {
+    const bool permitted = w_final > thresholds_.threshold();
+
+    if (telemetry_enabled()) {
+        ++tel_.decisions;
+        tel_.permits += permitted ? 1 : 0;
+        tel_.sum_total += w_final;
+        ++tel_.sum_hist[FilterTelemetry::sum_bucket(w_final)];
+        for (std::size_t i = 0; i < tables_.size(); ++i) {
+            tel_.feature_abs[i] += static_cast<std::uint64_t>(
+                std::abs(tables_[i].weight_at(rec.indexes[i])));
+        }
+    }
+
+    if (permitted) {
         pending_ = rec;
         pending_valid_ = true;
         return true;
@@ -126,6 +142,9 @@ MokaFilter::on_l1d_demand_miss(Addr vaddr)
     DecisionRecord rec;
     if (vub_.take(block_addr(vaddr), rec)) {
         train(rec, true);
+        if (telemetry_enabled()) {
+            ++tel_.vub_rewards;
+        }
     }
 }
 
@@ -151,6 +170,9 @@ MokaFilter::on_pgc_first_use(Addr block_paddr)
     DecisionRecord rec;
     if (pub_.take(block_addr(block_paddr), rec)) {
         train(rec, true);
+        if (telemetry_enabled()) {
+            ++tel_.pub_rewards;
+        }
     }
 }
 
@@ -165,6 +187,9 @@ MokaFilter::on_pgc_eviction(Addr block_paddr, bool used)
         // Evicted without serving a demand access: the filter should
         // have classified this page-cross prefetch as useless.
         train(rec, false);
+        if (telemetry_enabled()) {
+            ++tel_.pub_punishes;
+        }
     }
 }
 
@@ -178,6 +203,19 @@ void
 MokaFilter::on_epoch(const EpochInfo &info)
 {
     thresholds_.on_epoch(info);
+}
+
+FilterTelemetry
+MokaFilter::telemetry() const
+{
+    FilterTelemetry t = tel_;
+    t.valid = true;
+    t.t_a = thresholds_.threshold();
+    t.level = thresholds_.level();
+    t.pgc_disabled = thresholds_.pgc_disabled();
+    t.num_features = tables_.size();
+    t.threshold = thresholds_.telemetry_counters();
+    return t;
 }
 
 std::uint64_t

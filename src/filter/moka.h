@@ -24,6 +24,50 @@ namespace moka {
 struct AuditAccess;
 
 /**
+ * Snapshot of a page-cross filter's internal state for the telemetry
+ * sampler (telemetry surface (b)): current T_a, the perceptron-sum
+ * distribution, vUB/pUB reward-punish counts and per-feature weight
+ * contribution. Count fields are cumulative (the sampler computes
+ * per-epoch deltas) and move only while telemetry is armed; `valid`
+ * is false for filters with nothing to report (Permit/Discard).
+ */
+struct FilterTelemetry
+{
+    //! perceptron-sum histogram bucket upper bounds; one overflow
+    //! bucket on top (covers the T_a clamp range t_min=-8..t_max=14)
+    static constexpr int kSumBounds[7] = {-12, -8, -4, 0, 4, 8, 12};
+    static constexpr std::size_t kSumBuckets = 8;
+    static constexpr std::size_t kMaxFeatures = 8;
+
+    bool valid = false;
+    int t_a = 0;               //!< current activation threshold
+    int level = 0;             //!< 0 low / 1 mid / 2 high
+    bool pgc_disabled = false; //!< extreme-LLC-pressure kill switch
+    std::uint64_t decisions = 0;   //!< full permit() evaluations
+    std::uint64_t permits = 0;     //!< decisions above T_a
+    std::uint64_t vub_rewards = 0; //!< vUB hits (false-negative fixes)
+    std::uint64_t pub_rewards = 0; //!< pUB first-use rewards
+    std::uint64_t pub_punishes = 0; //!< pUB unused-eviction punishes
+    std::int64_t sum_total = 0;    //!< cumulative w_final over decisions
+    std::uint64_t sum_hist[kSumBuckets] = {};  //!< w_final distribution
+    std::size_t num_features = 0;  //!< program + specialized features
+    //! cumulative |weight| contribution per feature slot
+    std::uint64_t feature_abs[kMaxFeatures] = {};
+    ThresholdTelemetry threshold;  //!< adaptive-threshold actions
+
+    /** Histogram bucket index of perceptron sum @p w_final. */
+    static std::size_t sum_bucket(int w_final)
+    {
+        for (std::size_t i = 0; i < kSumBuckets - 1; ++i) {
+            if (w_final <= kSumBounds[i]) {
+                return i;
+            }
+        }
+        return kSumBuckets - 1;
+    }
+};
+
+/**
  * Interface between the machine and a Page-Cross Filter. The machine
  * calls permit() for every page-cross prefetch candidate and routes
  * L1D lifetime events back for training.
@@ -88,6 +132,12 @@ class PageCrossFilter
 
     /** Hardware budget in bits (Table III audit). */
     virtual std::uint64_t storage_bits() const { return 0; }
+
+    /**
+     * Internal-state snapshot for the telemetry sampler; default is
+     * an invalid (empty) snapshot for stateless policies.
+     */
+    virtual FilterTelemetry telemetry() const { return {}; }
 };
 
 using FilterPtr = std::unique_ptr<PageCrossFilter>;
@@ -135,6 +185,8 @@ class MokaFilter : public PageCrossFilter
     /** Config echo. */
     const MokaConfig &config() const { return cfg_; }
 
+    FilterTelemetry telemetry() const override;
+
   private:
     friend struct AuditAccess;
 
@@ -152,6 +204,7 @@ class MokaFilter : public PageCrossFilter
     AdaptiveThreshold thresholds_;
     DecisionRecord pending_;   //!< permit()'d, awaiting on_pgc_issued()
     bool pending_valid_ = false;
+    FilterTelemetry tel_;      //!< counter part of telemetry()
 };
 
 }  // namespace moka

@@ -9,6 +9,7 @@
 
 #include "common/stats.h"
 #include "filter/policies.h"
+#include "telemetry/telemetry.h"
 #include "trace/trace_io.h"
 
 namespace moka {
@@ -35,7 +36,7 @@ const char *
 require_value(const std::string &flag, int &i, int argc, char **argv)
 {
     if (i + 1 >= argc) {
-        std::fprintf(stderr, "usage: %s requires a value\n", flag.c_str());
+        std::fprintf(stderr, "usage: %s requires a value\n", flag.c_str());  // LINT_LOG_OK: usage error
         std::exit(2);
     }
     return argv[++i];
@@ -48,7 +49,7 @@ require_u64(const std::string &flag, const char *value)
     errno = 0;
     const std::uint64_t parsed = std::strtoull(value, &end, 10);
     if (end == value || *end != '\0' || errno == ERANGE) {
-        std::fprintf(stderr,
+        std::fprintf(stderr,  // LINT_LOG_OK: usage error
                      "usage: %s requires a non-negative integer "
                      "(got '%s')\n",
                      flag.c_str(), value);
@@ -63,7 +64,7 @@ require_double(const std::string &flag, const char *value)
     char *end = nullptr;
     const double parsed = std::strtod(value, &end);
     if (end == value || *end != '\0') {
-        std::fprintf(stderr, "usage: %s requires a number (got '%s')\n",
+        std::fprintf(stderr, "usage: %s requires a number (got '%s')\n",  // LINT_LOG_OK: usage error
                      flag.c_str(), value);
         std::exit(2);
     }
@@ -106,8 +107,12 @@ parse_bench_args(int argc, char **argv)
                 require_double(a, require_value(a, i, argc, argv));
         } else if (a == "--fault-seed") {
             args.fault_seed = next_u64();
+        } else if (a == "--telemetry-dir") {
+            args.telemetry_dir = require_value(a, i, argc, argv);
+        } else if (a == "--trace-events") {
+            args.trace_events = require_value(a, i, argc, argv);
         } else {
-            std::fprintf(stderr, "warning: ignoring unknown flag %s\n",
+            std::fprintf(stderr, "warning: ignoring unknown flag %s\n",  // LINT_LOG_OK: usage warning
                          a.c_str());
         }
     }
@@ -133,6 +138,16 @@ engine_config(const BenchArgs &args)
         cfg.watchdog_wall_ms = 60'000;
     }
     return cfg;
+}
+
+std::unique_ptr<TelemetrySession>
+make_telemetry(const BenchArgs &args)
+{
+    if (args.telemetry_dir.empty() && args.trace_events.empty()) {
+        return nullptr;
+    }
+    return std::make_unique<TelemetrySession>(args.telemetry_dir,
+                                              args.trace_events);
 }
 
 SchemeConfig
@@ -210,6 +225,10 @@ make_matrix(const std::vector<WorkloadSpec> &roster,
                 // still catching runaway loops.
                 job.watchdog_steps =
                     8 * (run.warmup_insts + run.measure_insts);
+                // Uniform single-core cells: equal cost keeps the
+                // engine's cost-ordered dispatch in plain id order.
+                job.estimated_cost = static_cast<double>(
+                    run.warmup_insts + run.measure_insts);
                 jobs.push_back(std::move(job));
             }
         }
@@ -248,9 +267,12 @@ run_sim_job(const JobSpec &spec, JobContext &ctx)
     out.row.prefetcher = spec.prefetcher;
 
     std::string audit_findings;
+    const std::string label = out.row.workload + "." + spec.scheme + "." +
+                              spec.prefetcher;
     out.row.metrics = run_single_workload(cfg, std::move(workload),
                                           spec.run, ctx.hook,
-                                          &audit_findings);
+                                          &audit_findings, ctx.telemetry,
+                                          label, ctx.trace_pid);
     if (!audit_findings.empty()) {
         throw JobError(JobErrorCode::kAuditFailure, audit_findings);
     }
@@ -261,9 +283,12 @@ run_sim_job(const JobSpec &spec, JobContext &ctx)
 }
 
 EngineReport
-run_matrix(const std::vector<JobSpec> &jobs, const BenchArgs &args)
+run_matrix(const std::vector<JobSpec> &jobs, const BenchArgs &args,
+           TelemetrySession *telemetry)
 {
-    JobEngine engine(engine_config(args));
+    EngineConfig cfg = engine_config(args);
+    cfg.telemetry = telemetry;
+    JobEngine engine(std::move(cfg));
     return engine.run(jobs, run_sim_job);
 }
 
@@ -325,24 +350,24 @@ TablePrinter::print_header() const
 {
     std::size_t total = 0;
     for (std::size_t i = 0; i < headers_.size(); ++i) {
-        std::printf("%-*s", static_cast<int>(widths_[i]),
+        std::printf("%-*s", static_cast<int>(widths_[i]),  // LINT_LOG_OK: report table surface
                     headers_[i].c_str());
         total += widths_[i];
     }
-    std::printf("\n");
+    std::printf("\n");  // LINT_LOG_OK: report table surface
     for (std::size_t i = 0; i < total; ++i) {
-        std::putchar('-');
+        std::putchar('-');  // LINT_LOG_OK: report table surface
     }
-    std::printf("\n");
+    std::printf("\n");  // LINT_LOG_OK: report table surface
 }
 
 void
 TablePrinter::print_row(const std::vector<std::string> &cells) const
 {
     for (std::size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
-        std::printf("%-*s", static_cast<int>(widths_[i]), cells[i].c_str());
+        std::printf("%-*s", static_cast<int>(widths_[i]), cells[i].c_str());  // LINT_LOG_OK: report table surface
     }
-    std::printf("\n");
+    std::printf("\n");  // LINT_LOG_OK: report table surface
 }
 
 }  // namespace moka

@@ -11,6 +11,7 @@
 #define MOKASIM_SIM_EXPERIMENT_H
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,10 @@ struct BenchArgs
     double fault_rate = 0.0;      //!< injected fault rate (tests/CI)
     std::uint64_t fault_seed = 1;
 
+    // Telemetry knobs (see telemetry/telemetry.h).
+    std::string telemetry_dir;    //!< per-run epoch CSV/JSONL directory
+    std::string trace_events;     //!< merged Chrome trace JSON path
+
     /** Effective roster for @p roster given --full/--workloads. */
     std::vector<WorkloadSpec>
     select(const std::vector<WorkloadSpec> &roster) const
@@ -72,6 +77,14 @@ double require_double(const std::string &flag, const char *value);
 
 /** Engine configuration implied by the common bench flags. */
 EngineConfig engine_config(const BenchArgs &args);
+
+/**
+ * TelemetrySession implied by --telemetry-dir/--trace-events, or null
+ * when neither was given. Constructing the session arms the runtime
+ * telemetry gate; the caller owns it and calls flush() after the
+ * sweep drains.
+ */
+std::unique_ptr<TelemetrySession> make_telemetry(const BenchArgs &args);
 
 /**
  * Scheme registry keyed by CLI name ("discard", "permit",
@@ -110,9 +123,14 @@ make_matrix(const std::vector<WorkloadSpec> &roster,
  */
 JobOutput run_sim_job(const JobSpec &spec, JobContext &ctx);
 
-/** Run @p jobs through the engine with the default sim body. */
+/**
+ * Run @p jobs through the engine with the default sim body.
+ * @p telemetry (may be null) is handed to the engine for trace spans
+ * and per-run epoch sampling.
+ */
 EngineReport run_matrix(const std::vector<JobSpec> &jobs,
-                        const BenchArgs &args);
+                        const BenchArgs &args,
+                        TelemetrySession *telemetry = nullptr);
 
 /**
  * Completed-job IPC for matrix cell (p, s, w) of @p report (layout

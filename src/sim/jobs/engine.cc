@@ -9,6 +9,7 @@
 
 #include "common/check.h"
 #include "sim/jobs/journal.h"
+#include "telemetry/telemetry.h"
 
 namespace moka {
 namespace {
@@ -49,25 +50,15 @@ class FaultHook final : public RunTickHook
     bool fired_ = false;
 };
 
-/** Fault first, watchdog second: a stall is observed by the deadline. */
-class ChainHook final : public RunTickHook
+/** The engine's tracer, or null when tracing is not armed. */
+Tracer *
+engine_tracer(const EngineConfig &cfg)
 {
-  public:
-    ChainHook(RunTickHook *first, RunTickHook *second)
-        : first_(first), second_(second)
-    {
+    if (cfg.telemetry == nullptr || !telemetry_enabled()) {
+        return nullptr;
     }
-
-    void on_tick(std::uint64_t steps) override
-    {
-        first_->on_tick(steps);
-        second_->on_tick(steps);
-    }
-
-  private:
-    RunTickHook *first_;
-    RunTickHook *second_;
-};
+    return cfg.telemetry->tracer();
+}
 
 std::string
 job_label(const JobSpec &spec)
@@ -118,21 +109,37 @@ JobEngine::JobEngine(EngineConfig cfg) : cfg_(std::move(cfg))
 
 JobResult
 JobEngine::execute_one(const JobSpec &spec, const JobFn &fn,
-                       const FaultInjector &injector) const
+                       const FaultInjector &injector,
+                       std::uint32_t worker) const
 {
+    Tracer *tracer = engine_tracer(cfg_);
     JobResult res;
     res.id = spec.id;
     res.label = job_label(spec);
     for (int attempt = 1; attempt <= cfg_.max_attempts; ++attempt) {
         res.attempts = attempt;
+        if (tracer != nullptr && attempt > 1) {
+            std::ostringstream os;
+            os << "{\"job\":" << spec.id << ",\"attempt\":" << attempt
+               << ",\"error\":\"" << to_string(res.error) << "\"}";
+            tracer->instant(kEnginePid, worker, "retry",
+                            tracer->now_us(), os.str());
+        }
         const FaultInjector::Decision decision =
             injector.decide(spec.id, attempt);
         FaultHook fault(decision, injector.plan().stall_ms);
         Watchdog watchdog(spec.watchdog_steps, cfg_.watchdog_wall_ms);
-        ChainHook chain(&fault, &watchdog);
+        // Fault first, watchdog second: a stall is observed by the
+        // deadline check behind it.
+        TickHookChain chain;
+        chain.add(&fault);
+        chain.add(&watchdog);
         JobContext ctx;
         ctx.hook = &chain;
         ctx.attempt = attempt;
+        ctx.telemetry = cfg_.telemetry;
+        ctx.trace_pid =
+            kJobPidBase + static_cast<std::uint32_t>(spec.id);
         try {
             res.output = fn(spec, ctx);
             res.csv = to_csv(res.output.row);
@@ -226,16 +233,45 @@ JobEngine::run(const std::vector<JobSpec> &jobs, const JobFn &fn)
         }
     }
 
+    // Dispatch order: descending estimated cost, id-ascending within
+    // equal cost. Long jobs (multicore mixes) start first so a skewed
+    // sweep doesn't serialize on a straggler claimed last; with the
+    // default cost of 0 this degenerates to plain id order. Results
+    // are still emitted in ascending id, so the CSV stays
+    // byte-identical to a serial sweep.
+    std::vector<std::size_t> order(jobs.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        order[i] = i;
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&jobs](std::size_t a, std::size_t b) {
+                         return jobs[a].estimated_cost >
+                                jobs[b].estimated_cost;
+                     });
+
+    Tracer *tracer = engine_tracer(cfg_);
+    const std::size_t workers =
+        std::max<std::size_t>(1, std::min(cfg_.workers, jobs.size()));
+    if (tracer != nullptr) {
+        tracer->register_process(kEnginePid, "job-engine");
+        for (std::size_t w = 0; w < workers; ++w) {
+            tracer->register_thread(kEnginePid,
+                                    static_cast<std::uint32_t>(w),
+                                    "worker-" + std::to_string(w));
+        }
+    }
+
     const FaultInjector injector(cfg_.faults);
     std::atomic<std::size_t> next{0};
     std::atomic<bool> abort_rest{false};
-    auto worker = [&]() {
+    auto worker = [&](std::uint32_t wid) {
         while (true) {
-            const std::size_t i =
+            const std::size_t slot =
                 next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= jobs.size()) {
+            if (slot >= order.size()) {
                 return;
             }
+            const std::size_t i = order[slot];
             JobResult &res = report.results[i];
             if (res.from_journal) {
                 continue;
@@ -245,7 +281,27 @@ JobEngine::run(const std::vector<JobSpec> &jobs, const JobFn &fn)
                 res.error_message = "skipped by --fail-fast";
                 continue;
             }
-            res = execute_one(jobs[i], fn, injector);
+            std::uint64_t begin_us = 0;
+            if (tracer != nullptr) {
+                begin_us = tracer->now_us();
+                std::ostringstream os;
+                os << "{\"job\":" << i << "}";
+                tracer->instant(kEnginePid, wid, "schedule", begin_us,
+                                os.str());
+                tracer->register_process(
+                    kJobPidBase + static_cast<std::uint32_t>(i),
+                    "job " + std::to_string(i) + ": " + res.label);
+            }
+            res = execute_one(jobs[i], fn, injector, wid);
+            if (tracer != nullptr) {
+                std::ostringstream os;
+                os << "{\"job\":" << i << ",\"status\":\""
+                   << to_string(res.status)
+                   << "\",\"attempts\":" << res.attempts << "}";
+                tracer->complete(kEnginePid, wid,
+                                 "job " + std::to_string(i), begin_us,
+                                 tracer->now_us() - begin_us, os.str());
+            }
             if (res.status == JobStatus::kFailed && cfg_.fail_fast) {
                 abort_rest.store(true, std::memory_order_relaxed);
             }
@@ -259,19 +315,23 @@ JobEngine::run(const std::vector<JobSpec> &jobs, const JobFn &fn)
                 rec.csv = res.csv;
                 rec.aux = res.output.aux;
                 journal->append(rec);
+                if (tracer != nullptr) {
+                    tracer->instant(kEnginePid, wid, "journal",
+                                    tracer->now_us(),
+                                    "{\"job\":" + std::to_string(i) +
+                                        "}");
+                }
             }
         }
     };
 
-    const std::size_t workers =
-        std::max<std::size_t>(1, std::min(cfg_.workers, jobs.size()));
     if (workers <= 1) {
-        worker();  // keep serial sweeps genuinely single-threaded
+        worker(0);  // keep serial sweeps genuinely single-threaded
     } else {
         std::vector<std::thread> pool;
         pool.reserve(workers);
         for (std::size_t i = 0; i < workers; ++i) {
-            pool.emplace_back(worker);
+            pool.emplace_back(worker, static_cast<std::uint32_t>(i));
         }
         for (std::thread &t : pool) {
             t.join();

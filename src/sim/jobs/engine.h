@@ -34,6 +34,8 @@
 
 namespace moka {
 
+class TelemetrySession;
+
 /** Engine-wide policy knobs. */
 struct EngineConfig
 {
@@ -48,6 +50,13 @@ struct EngineConfig
     std::string journal_path;        //!< "" = don't journal
     std::string resume_path;         //!< journal to resume from ("" = fresh)
     FaultPlan faults;                //!< injected-fault plan (tests/CI)
+    /**
+     * Telemetry session (non-owning, may be null): the engine emits
+     * schedule/run/retry/journal trace spans per worker thread onto
+     * its tracer and threads the session into every JobContext so job
+     * bodies can arm per-run epoch sampling.
+     */
+    TelemetrySession *telemetry = nullptr;
 };
 
 /**
@@ -88,7 +97,16 @@ struct JobContext
      */
     RunTickHook *hook = nullptr;
     int attempt = 1;  //!< 1-based attempt number
+    //! telemetry session (null when the sweep runs untelemetried)
+    TelemetrySession *telemetry = nullptr;
+    //! trace process id reserved for this job's sim-phase spans and
+    //! per-core counter tracks (kJobPidBase + job id)
+    std::uint32_t trace_pid = 0;
 };
+
+//! trace pid layout: 1 = the engine itself, jobs from here up
+inline constexpr std::uint32_t kEnginePid = 1;
+inline constexpr std::uint32_t kJobPidBase = 2;
 
 /** A job body: turns one JobSpec into a JobOutput, or throws. */
 using JobFn = std::function<JobOutput(const JobSpec &, JobContext &)>;
@@ -126,7 +144,8 @@ class JobEngine
 
   private:
     JobResult execute_one(const JobSpec &spec, const JobFn &fn,
-                          const FaultInjector &injector) const;
+                          const FaultInjector &injector,
+                          std::uint32_t worker) const;
 
     EngineConfig cfg_;
 };

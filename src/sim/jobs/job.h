@@ -90,6 +90,14 @@ struct JobSpec
     //! cooperative watchdog: cancel after this many machine steps
     //! (0 disables the step budget for this job)
     std::uint64_t watchdog_steps = 0;
+    /**
+     * Relative cost estimate (any monotone unit, e.g. total machine
+     * steps). The engine dispatches pending jobs in descending cost so
+     * a skewed sweep doesn't serialize on a long job claimed last;
+     * result order stays ascending id regardless. Jobs with equal
+     * cost (including the default 0) run in id order.
+     */
+    double estimated_cost = 0.0;
 };
 
 /**

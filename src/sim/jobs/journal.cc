@@ -180,32 +180,129 @@ from_jsonl(const std::string &line, JournalRecord &rec, std::string *error)
     return true;
 }
 
-Journal::Journal(std::string path) : path_(std::move(path))
+Journal::Journal(std::string path, std::size_t compact_threshold_bytes)
+    : path_(std::move(path)), compact_threshold_(compact_threshold_bytes)
 {
     std::size_t skipped = 0;
     recovered_ = load(path_, &skipped);
     if (skipped > 0) {
-        std::fprintf(stderr,
+        std::fprintf(stderr,  // LINT_LOG_OK: torn-write recovery warning
                      "journal: dropped %zu malformed line(s) from %s "
                      "(torn write?)\n",
                      skipped, path_.c_str());
     }
+    // A torn tail may also be a well-formed line missing its newline;
+    // appending to it directly would glue two records together.
+    bool tail_newline = true;
+    {
+        std::ifstream is(path_, std::ios::binary | std::ios::ate);
+        if (is && is.tellg() > 0) {
+            is.seekg(-1, std::ios::end);
+            tail_newline = is.get() == '\n';
+        }
+    }
     lines_.reserve(recovered_.size());
     for (const JournalRecord &rec : recovered_) {
-        lines_.push_back(to_jsonl(rec));
+        record_locked(to_jsonl(rec), rec.job_id);
     }
+    if (skipped > 0 || !tail_newline) {
+        rewrite_locked();  // start from a clean file
+    }
+    open_append_locked();
 }
 
 void
 Journal::append(const JournalRecord &rec)
 {
     std::lock_guard<std::mutex> lock(mu_);
-    lines_.push_back(to_jsonl(rec));
-    persist_locked();
+    const std::string line = to_jsonl(rec);
+    out_ << line << '\n';
+    out_.flush();
+    if (!out_) {
+        throw JobError(JobErrorCode::kUnknown,
+                       "journal: short write to " + path_);
+    }
+    record_locked(line, rec.job_id);
+    if (disk_bytes_ - live_bytes_ > compact_threshold_) {
+        compact_locked();
+    }
+}
+
+std::size_t
+Journal::compactions() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return compactions_;
+}
+
+std::size_t
+Journal::disk_bytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return disk_bytes_;
+}
+
+std::size_t
+Journal::live_bytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return live_bytes_;
 }
 
 void
-Journal::persist_locked()
+Journal::open_append_locked()
+{
+    out_.open(path_, std::ios::app);
+    if (!out_) {
+        throw JobError(JobErrorCode::kUnknown,
+                       "journal: cannot open " + path_);
+    }
+}
+
+/** Account @p line in the in-memory mirror and the byte ledgers. */
+void
+Journal::record_locked(const std::string &line, std::size_t job_id)
+{
+    const std::size_t bytes = line.size() + 1;  // + newline
+    disk_bytes_ += bytes;
+    const auto [it, fresh] = live_.try_emplace(job_id, bytes);
+    if (fresh) {
+        live_bytes_ += bytes;
+    } else {
+        live_bytes_ += bytes - it->second;  // superseded earlier record
+        it->second = bytes;
+    }
+    lines_.emplace_back(job_id, line);
+}
+
+/**
+ * Drop superseded records: keep the last occurrence per job, in the
+ * order those last occurrences were appended, and rewrite the file.
+ */
+void
+Journal::compact_locked()
+{
+    std::unordered_map<std::size_t, std::size_t> last_at;
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+        last_at[lines_[i].first] = i;
+    }
+    std::vector<std::pair<std::size_t, std::string>> kept;
+    kept.reserve(last_at.size());
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+        if (last_at[lines_[i].first] == i) {
+            kept.push_back(std::move(lines_[i]));
+        }
+    }
+    lines_ = std::move(kept);
+    out_.close();
+    rewrite_locked();
+    open_append_locked();
+    ++compactions_;
+}
+
+/** Write-rename `lines_` over the journal; resets the byte ledgers. */
+void
+Journal::rewrite_locked()
 {
     const std::string tmp = path_ + ".tmp";
     {
@@ -214,8 +311,8 @@ Journal::persist_locked()
             throw JobError(JobErrorCode::kUnknown,
                            "journal: cannot write " + tmp);
         }
-        for (const std::string &line : lines_) {
-            os << line << '\n';
+        for (const auto &entry : lines_) {
+            os << entry.second << '\n';
         }
         os.flush();
         if (!os) {
@@ -227,6 +324,16 @@ Journal::persist_locked()
         throw JobError(JobErrorCode::kUnknown,
                        "journal: rename " + tmp + " -> " + path_ +
                            " failed: " + std::strerror(errno));
+    }
+    disk_bytes_ = 0;
+    for (const auto &entry : lines_) {
+        disk_bytes_ += entry.second.size() + 1;
+    }
+    // The rewrite may still hold duplicates (construction-time clean
+    // of a torn file); live bytes are the newest line per job.
+    live_bytes_ = 0;
+    for (const auto &entry : live_) {
+        live_bytes_ += entry.second;
     }
 }
 

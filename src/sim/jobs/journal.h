@@ -1,9 +1,17 @@
 /**
  * @file
  * Crash-safe sweep journal: one JSONL record per finished job,
- * persisted through atomic write-rename (`<path>.tmp` -> rename) so a
- * reader never observes a torn file and an interrupted sweep resumes
- * exactly where it stopped (`--resume <journal>`).
+ * written through a true append stream — each append costs O(record),
+ * not O(journal) — so an interrupted sweep resumes exactly where it
+ * stopped (`--resume <journal>`). A crash can tear at most the last
+ * line; recovery drops malformed trailing lines (with a warning) and
+ * atomically rewrites the file clean before appending resumes.
+ *
+ * When later records supersede earlier ones for the same job (a
+ * resumed sweep re-running a previously failed job), the dead bytes
+ * accumulate; once they exceed the compaction threshold the journal
+ * rewrites itself atomically (`<path>.tmp` -> rename), keeping only
+ * the newest record per job, and reopens the append stream.
  *
  * Record shape (one line each, completion order):
  *
@@ -17,8 +25,11 @@
 #ifndef MOKASIM_SIM_JOBS_JOURNAL_H
 #define MOKASIM_SIM_JOBS_JOURNAL_H
 
+#include <fstream>
 #include <mutex>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/jobs/job.h"
@@ -48,22 +59,34 @@ bool from_jsonl(const std::string &line, JournalRecord &rec,
                 std::string *error);
 
 /**
- * Append-only journal with atomic persistence. Thread-safe: worker
- * threads append concurrently; every append rewrites the whole file
- * to `<path>.tmp` and renames it over `<path>`, so the on-disk
- * journal is always a complete prefix of the sweep.
+ * Append-only journal with O(1) appends and size-triggered
+ * compaction; see file comment. Thread-safe: worker threads append
+ * concurrently under one mutex.
  */
 class Journal
 {
   public:
+    /** Default compaction threshold: dead bytes tolerated on disk. */
+    static constexpr std::size_t kDefaultCompactBytes = 64 * 1024;
+
     /**
      * @param path journal file; an existing file is loaded first so a
-     *        resumed sweep keeps its history (malformed trailing
-     *        lines from a torn write are dropped with a warning).
+     *        resumed sweep keeps its history (malformed lines from a
+     *        torn write are dropped with a warning and the file is
+     *        rewritten clean via write-rename before appends resume).
+     * @param compact_threshold_bytes compact once superseded records
+     *        occupy more than this many bytes on disk
      */
-    explicit Journal(std::string path);
+    explicit Journal(std::string path,
+                     std::size_t compact_threshold_bytes =
+                         kDefaultCompactBytes);
 
-    /** Record @p rec and persist. Throws JobError(kUnknown) on I/O error. */
+    /**
+     * Record @p rec and persist: one stream append + flush, O(record)
+     * regardless of journal length. Throws JobError(kUnknown) on I/O
+     * error. May trigger a compaction when @p rec supersedes enough
+     * earlier bytes.
+     */
     void append(const JournalRecord &rec);
 
     /** Records loaded from an existing file at construction. */
@@ -91,13 +114,34 @@ class Journal
     static std::vector<JournalRecord> load(const std::string &path,
                                            std::size_t *skipped = nullptr);
 
+    /** Compactions performed over this instance's lifetime. */
+    std::size_t compactions() const;
+
+    /** Bytes currently on disk (live + superseded). */
+    std::size_t disk_bytes() const;
+
+    /** Bytes of the newest record per job (what a compaction keeps). */
+    std::size_t live_bytes() const;
+
   private:
-    void persist_locked();
+    void open_append_locked();
+    void record_locked(const std::string &line, std::size_t job_id);
+    void compact_locked();
+    void rewrite_locked();
 
     std::string path_;
-    std::vector<std::string> lines_;  //!< serialized records, in order
+    std::size_t compact_threshold_;
+    std::ofstream out_;  //!< append stream, kept open across appends
+    //! (job id, serialized record), append order; compaction keeps
+    //! the last occurrence per job.
+    std::vector<std::pair<std::size_t, std::string>> lines_;
+    //! job id -> byte size of its newest line (incl. newline)
+    std::unordered_map<std::size_t, std::size_t> live_;
+    std::size_t disk_bytes_ = 0;
+    std::size_t live_bytes_ = 0;
+    std::size_t compactions_ = 0;
     std::vector<JournalRecord> recovered_;
-    std::mutex mu_;
+    mutable std::mutex mu_;
 };
 
 }  // namespace moka

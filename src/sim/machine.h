@@ -247,6 +247,43 @@ class RunTickHook
     virtual void on_tick(std::uint64_t steps) = 0;
 };
 
+/**
+ * Fans one Machine::run hook slot out to several hooks in add()
+ * order (watchdog, fault injector, telemetry sampler). Non-owning;
+ * null hooks are skipped at add() time so a chain of zero or one
+ * hook costs nothing extra per tick.
+ */
+class TickHookChain : public RunTickHook
+{
+  public:
+    /** Append @p hook (ignored when null). */
+    void add(RunTickHook *hook)
+    {
+        if (hook != nullptr) {
+            hooks_.push_back(hook);
+        }
+    }
+
+    /** The chain itself, or the single hook / null when degenerate. */
+    RunTickHook *as_hook()
+    {
+        if (hooks_.empty()) {
+            return nullptr;
+        }
+        return hooks_.size() == 1 ? hooks_.front() : this;
+    }
+
+    void on_tick(std::uint64_t steps) override
+    {
+        for (RunTickHook *hook : hooks_) {
+            hook->on_tick(steps);
+        }
+    }
+
+  private:
+    std::vector<RunTickHook *> hooks_;
+};
+
 /** The machine: cores + shared LLC + DRAM. */
 class Machine
 {
@@ -286,6 +323,13 @@ class Machine
 
     /** Core access (tests/diagnostics). */
     CoreComplex &core(std::size_t i) { return *cores_[i]; }
+    const CoreComplex &core(std::size_t i) const { return *cores_[i]; }
+
+    /** Lifetime step count (one instruction on one core per step). */
+    std::uint64_t steps() const { return steps_; }
+
+    /** Configuration echo. */
+    const MachineConfig &config() const { return cfg_; }
 
     /** Audit the shared levels (LLC, DRAM) and every core. */
     void audit(AuditReport &report) const;

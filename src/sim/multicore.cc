@@ -2,6 +2,7 @@
 
 #include "common/rng.h"
 #include "sim/runner.h"
+#include "telemetry/timeseries.h"
 
 namespace moka {
 
@@ -78,7 +79,8 @@ double
 weighted_ipc(L1dPrefetcherKind prefetcher, const SchemeConfig &scheme,
              const std::vector<WorkloadSpec> &mix,
              const MulticoreConfig &mc, IsolationCache &iso,
-             RunTickHook *hook)
+             RunTickHook *hook, TelemetrySession *telemetry,
+             const std::string &label, std::uint32_t trace_pid)
 {
     MachineConfig cfg = default_config(static_cast<unsigned>(mix.size()));
     cfg.l1d_prefetcher = prefetcher;
@@ -89,9 +91,13 @@ weighted_ipc(L1dPrefetcherKind prefetcher, const SchemeConfig &scheme,
         workloads.push_back(make_workload(spec));
     }
     Machine machine(cfg, std::move(workloads));
-    machine.run(mc.warmup_insts, hook);
+    ScopedRunTelemetry scoped(telemetry, &machine, label, trace_pid);
+    RunTickHook *run_hook = scoped.hook(hook);
+    scoped.span("warmup",
+                [&] { machine.run(mc.warmup_insts, run_hook); });
     machine.start_measurement();
-    machine.run(mc.measure_insts, hook);
+    scoped.span("measure",
+                [&] { machine.run(mc.measure_insts, run_hook); });
 
     double sum = 0.0;
     for (std::size_t i = 0; i < mix.size(); ++i) {

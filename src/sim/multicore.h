@@ -19,6 +19,8 @@
 
 namespace moka {
 
+class TelemetrySession;
+
 /** Multi-core run parameters. */
 struct MulticoreConfig
 {
@@ -64,12 +66,22 @@ class IsolationCache
  * configuration with the baseline (Discard PGC) scheme and memoized
  * in @p iso. @p hook (may be null) is threaded into every
  * Machine::run for watchdog/fault-injection coverage.
+ *
+ * With an active @p telemetry session, the multi-core machine is
+ * sampled per adaptive epoch (per-core T_a / PGC-accuracy tracks
+ * under process id @p trace_pid, timeseries file named @p label).
+ * Isolation runs stay untelemetried: their results are memoized
+ * across jobs, so instrumenting them would attribute one job's
+ * samples to another's track.
  */
 double weighted_ipc(L1dPrefetcherKind prefetcher,
                     const SchemeConfig &scheme,
                     const std::vector<WorkloadSpec> &mix,
                     const MulticoreConfig &mc, IsolationCache &iso,
-                    RunTickHook *hook = nullptr);
+                    RunTickHook *hook = nullptr,
+                    TelemetrySession *telemetry = nullptr,
+                    const std::string &label = "",
+                    std::uint32_t trace_pid = 0);
 
 /**
  * Weighted speedup of @p scheme over @p baseline for @p mix

@@ -2,6 +2,7 @@
 
 #include "audit/audit.h"
 #include "common/check.h"
+#include "telemetry/timeseries.h"
 
 namespace moka {
 
@@ -25,14 +26,18 @@ run_single(const MachineConfig &cfg, const WorkloadSpec &spec,
 RunMetrics
 run_single_workload(const MachineConfig &cfg, WorkloadPtr workload,
                     const RunConfig &run, RunTickHook *hook,
-                    std::string *audit_findings)
+                    std::string *audit_findings,
+                    TelemetrySession *telemetry, const std::string &label,
+                    std::uint32_t trace_pid)
 {
     std::vector<WorkloadPtr> w;
     w.push_back(std::move(workload));
     Machine machine(cfg, std::move(w));
-    machine.run(run.warmup_insts, hook);
+    ScopedRunTelemetry scoped(telemetry, &machine, label, trace_pid);
+    hook = scoped.hook(hook);
+    scoped.span("warmup", [&] { machine.run(run.warmup_insts, hook); });
     machine.start_measurement();
-    machine.run(run.measure_insts, hook);
+    scoped.span("measure", [&] { machine.run(run.measure_insts, hook); });
 #if SIM_AUDIT_ENABLED
     // Final full-machine sweep so even sub-cadence runs get audited.
     AuditReport report(/*forward=*/true);

@@ -37,6 +37,8 @@ struct RunConfig
 RunMetrics run_single(const MachineConfig &cfg, const WorkloadSpec &spec,
                       const RunConfig &run);
 
+class TelemetrySession;
+
 /**
  * Engine-facing variant: run an already-constructed @p workload with
  * a cooperative @p hook threaded into Machine::run (watchdog / fault
@@ -44,11 +46,19 @@ RunMetrics run_single(const MachineConfig &cfg, const WorkloadSpec &spec,
  * sweep's findings are returned through @p audit_findings (when
  * non-null) instead of only the global failure handler, so the job
  * engine can classify them as JobErrorCode::kAuditFailure.
+ *
+ * When @p telemetry is an active session, the run is sampled per
+ * adaptive epoch into `<dir>/<label>.epochs.{csv,jsonl}` and its
+ * warmup/measure phases plus per-epoch counter tracks are traced
+ * under process id @p trace_pid.
  */
 RunMetrics run_single_workload(const MachineConfig &cfg,
                                WorkloadPtr workload, const RunConfig &run,
                                RunTickHook *hook,
-                               std::string *audit_findings = nullptr);
+                               std::string *audit_findings = nullptr,
+                               TelemetrySession *telemetry = nullptr,
+                               const std::string &label = "",
+                               std::uint32_t trace_pid = 0);
 
 /**
  * Convenience: default Table IV machine with @p prefetcher and

@@ -1,0 +1,212 @@
+#include "telemetry/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace moka {
+
+MetricHistogram::MetricHistogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1)
+{
+    SIM_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+                "histogram bucket bounds must be ascending");
+}
+
+void
+MetricHistogram::observe(double v)
+{
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    counts_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+        1, std::memory_order_relaxed);
+}
+
+std::uint64_t
+MetricHistogram::count(std::size_t bucket) const
+{
+    return counts_[bucket].load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+MetricHistogram::total() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &c : counts_) {
+        sum += c.load(std::memory_order_relaxed);
+    }
+    return sum;
+}
+
+double
+MetricHistogram::bound(std::size_t i) const
+{
+    return i < bounds_.size()
+               ? bounds_[i]
+               : std::numeric_limits<double>::infinity();
+}
+
+MetricRegistry::Entry &
+MetricRegistry::find_or_create(const std::string &name, Kind kind)
+{
+    const auto it = index_.find(name);
+    if (it != index_.end()) {
+        Entry &entry = *entries_[it->second];
+        SIM_REQUIRE(entry.kind == kind || kind == Kind::kProbe,
+                    "metric re-registered as a different instrument kind");
+        return entry;
+    }
+    auto entry = std::make_unique<Entry>();
+    entry->name = name;
+    entry->kind = kind;
+    index_.emplace(name, entries_.size());
+    entries_.push_back(std::move(entry));
+    return *entries_.back();
+}
+
+Counter &
+MetricRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry &entry = find_or_create(name, Kind::kCounter);
+    if (entry.counter == nullptr) {
+        entry.counter = std::make_unique<Counter>();
+    }
+    return *entry.counter;
+}
+
+Gauge &
+MetricRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry &entry = find_or_create(name, Kind::kGauge);
+    if (entry.gauge == nullptr) {
+        entry.gauge = std::make_unique<Gauge>();
+    }
+    return *entry.gauge;
+}
+
+MetricHistogram &
+MetricRegistry::histogram(const std::string &name, std::vector<double> bounds)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry &entry = find_or_create(name, Kind::kHistogram);
+    if (entry.histogram == nullptr) {
+        entry.histogram = std::make_unique<MetricHistogram>(std::move(bounds));
+    }
+    return *entry.histogram;
+}
+
+void
+MetricRegistry::probe(const std::string &name, std::function<double()> fn)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry &entry = find_or_create(name, Kind::kProbe);
+    SIM_REQUIRE(entry.kind == Kind::kProbe,
+                "metric re-registered as a different instrument kind");
+    entry.probe = std::move(fn);
+}
+
+std::vector<MetricRegistry::Sample>
+MetricRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Sample> out;
+    out.reserve(entries_.size());
+    for (const auto &entry : entries_) {
+        switch (entry->kind) {
+          case Kind::kCounter:
+            out.push_back({entry->name,
+                           static_cast<double>(entry->counter->value()),
+                           /*cumulative=*/true});
+            break;
+          case Kind::kGauge:
+            out.push_back({entry->name, entry->gauge->value(),
+                           /*cumulative=*/false});
+            break;
+          case Kind::kProbe:
+            out.push_back({entry->name, entry->probe ? entry->probe() : 0.0,
+                           /*cumulative=*/false});
+            break;
+          case Kind::kHistogram: {
+            const MetricHistogram &h = *entry->histogram;
+            for (std::size_t b = 0; b < h.buckets(); ++b) {
+                char suffix[48];
+                if (b + 1 < h.buckets()) {
+                    std::snprintf(suffix, sizeof(suffix), ".le_%g",
+                                  h.bound(b));
+                } else {
+                    std::snprintf(suffix, sizeof(suffix), ".le_inf");
+                }
+                out.push_back({entry->name + suffix,
+                               static_cast<double>(h.count(b)),
+                               /*cumulative=*/true});
+            }
+            out.push_back({entry->name + ".count",
+                           static_cast<double>(h.total()),
+                           /*cumulative=*/true});
+            break;
+          }
+        }
+    }
+    return out;
+}
+
+std::size_t
+MetricRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+// Adapters declared in common/stats.h: expose existing stat structs
+// through read-on-snapshot probes without touching their hot paths.
+
+void
+register_access_stats(MetricRegistry &registry, const std::string &prefix,
+                      const AccessStats *stats)
+{
+    registry.probe(prefix + ".accesses", [stats] {
+        return static_cast<double>(stats->accesses);
+    });
+    registry.probe(prefix + ".misses", [stats] {
+        return static_cast<double>(stats->misses);
+    });
+    registry.probe(prefix + ".miss_rate",
+                   [stats] { return stats->miss_rate(); });
+}
+
+void
+register_prefetch_stats(MetricRegistry &registry, const std::string &prefix,
+                        const PrefetchStats *stats)
+{
+    registry.probe(prefix + ".issued", [stats] {
+        return static_cast<double>(stats->issued);
+    });
+    registry.probe(prefix + ".useful", [stats] {
+        return static_cast<double>(stats->useful);
+    });
+    registry.probe(prefix + ".useless", [stats] {
+        return static_cast<double>(stats->useless);
+    });
+    registry.probe(prefix + ".pgc_issued", [stats] {
+        return static_cast<double>(stats->pgc_issued);
+    });
+    registry.probe(prefix + ".pgc_useful", [stats] {
+        return static_cast<double>(stats->pgc_useful);
+    });
+    registry.probe(prefix + ".pgc_useless", [stats] {
+        return static_cast<double>(stats->pgc_useless);
+    });
+    registry.probe(prefix + ".pgc_dropped", [stats] {
+        return static_cast<double>(stats->pgc_dropped);
+    });
+    registry.probe(prefix + ".accuracy",
+                   [stats] { return stats->accuracy(); });
+    registry.probe(prefix + ".pgc_accuracy",
+                   [stats] { return stats->pgc_accuracy(); });
+}
+
+}  // namespace moka

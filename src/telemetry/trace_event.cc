@@ -1,0 +1,262 @@
+#include "telemetry/trace_event.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace moka {
+
+namespace {
+
+std::uint64_t
+steady_now_us()
+{
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(now).count());
+}
+
+void
+write_event(std::ostream &os, const TraceEvent &e, bool last)
+{
+    os << "{\"name\":\"" << Tracer::escape(e.name) << "\",\"ph\":\""
+       << e.phase << "\",\"pid\":" << e.pid << ",\"tid\":" << e.tid
+       << ",\"ts\":" << e.ts_us;
+    if (e.phase == 'X') {
+        os << ",\"dur\":" << e.dur_us;
+    }
+    if (e.phase == 'i') {
+        os << ",\"s\":\"t\"";
+    }
+    if (!e.args_json.empty()) {
+        os << ",\"args\":" << e.args_json;
+    }
+    os << (last ? "}" : "},") << "\n";
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity)
+    : capacity_(capacity), epoch_us_(steady_now_us())
+{
+    SIM_REQUIRE(capacity_ > 0, "tracer ring capacity must be positive");
+    ring_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+std::uint64_t
+Tracer::now_us() const
+{
+    const std::uint64_t now = steady_now_us();
+    return now >= epoch_us_ ? now - epoch_us_ : 0;
+}
+
+void
+Tracer::register_process(std::uint32_t pid, const std::string &name)
+{
+    TraceEvent e;
+    e.phase = 'M';
+    e.pid = pid;
+    e.tid = 0;
+    e.name = "process_name";
+    e.args_json = "{\"name\":\"" + escape(name) + "\"}";
+    std::lock_guard<std::mutex> lock(mu_);
+    metadata_.push_back(std::move(e));
+}
+
+void
+Tracer::register_thread(std::uint32_t pid, std::uint32_t tid,
+                        const std::string &name)
+{
+    TraceEvent e;
+    e.phase = 'M';
+    e.pid = pid;
+    e.tid = tid;
+    e.name = "thread_name";
+    e.args_json = "{\"name\":\"" + escape(name) + "\"}";
+    std::lock_guard<std::mutex> lock(mu_);
+    metadata_.push_back(std::move(e));
+}
+
+void
+Tracer::complete(std::uint32_t pid, std::uint32_t tid,
+                 const std::string &name, std::uint64_t ts_us,
+                 std::uint64_t dur_us, const std::string &args_json)
+{
+    TraceEvent e;
+    e.phase = 'X';
+    e.pid = pid;
+    e.tid = tid;
+    e.ts_us = ts_us;
+    e.dur_us = dur_us;
+    e.name = name;
+    e.args_json = args_json;
+    std::lock_guard<std::mutex> lock(mu_);
+    push_locked(std::move(e));
+}
+
+void
+Tracer::instant(std::uint32_t pid, std::uint32_t tid, const std::string &name,
+                std::uint64_t ts_us, const std::string &args_json)
+{
+    TraceEvent e;
+    e.phase = 'i';
+    e.pid = pid;
+    e.tid = tid;
+    e.ts_us = ts_us;
+    e.name = name;
+    e.args_json = args_json;
+    std::lock_guard<std::mutex> lock(mu_);
+    push_locked(std::move(e));
+}
+
+void
+Tracer::counter(std::uint32_t pid, std::uint32_t tid, const std::string &name,
+                std::uint64_t ts_us, const std::string &series, double value)
+{
+    char body[96];
+    std::snprintf(body, sizeof(body), "{\"%s\":%.17g}",
+                  escape(series).c_str(), value);
+    TraceEvent e;
+    e.phase = 'C';
+    e.pid = pid;
+    e.tid = tid;
+    e.ts_us = ts_us;
+    e.name = name;
+    e.args_json = body;
+    std::lock_guard<std::mutex> lock(mu_);
+    push_locked(std::move(e));
+}
+
+std::size_t
+Tracer::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return wrapped_ ? capacity_ : ring_.size();
+}
+
+std::uint64_t
+Tracer::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+}
+
+void
+Tracer::push_locked(TraceEvent event)
+{
+    if (ring_.size() < capacity_) {
+        ring_.push_back(std::move(event));
+        return;
+    }
+    ring_[head_] = std::move(event);
+    head_ = (head_ + 1) % capacity_;
+    wrapped_ = true;
+    ++dropped_;
+}
+
+void
+Tracer::write_json(std::ostream &os) const
+{
+    std::vector<TraceEvent> events;
+    std::vector<TraceEvent> metadata;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        metadata = metadata_;
+        if (wrapped_) {
+            events.reserve(capacity_);
+            events.insert(events.end(), ring_.begin() + head_, ring_.end());
+            events.insert(events.end(), ring_.begin(), ring_.begin() + head_);
+        } else {
+            events = ring_;
+        }
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return a.ts_us < b.ts_us;
+                     });
+    os << "{\"traceEvents\":[\n";
+    const std::size_t total = metadata.size() + events.size();
+    std::size_t written = 0;
+    for (const auto &e : metadata) {
+        write_event(os, e, ++written == total);
+    }
+    for (const auto &e : events) {
+        write_event(os, e, ++written == total);
+    }
+    os << "]}\n";
+}
+
+bool
+Tracer::write_json_file(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os) {
+        return false;
+    }
+    write_json(os);
+    os.flush();
+    return static_cast<bool>(os);
+}
+
+std::string
+Tracer::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+TraceSpan::TraceSpan(Tracer *tracer, std::uint32_t pid, std::uint32_t tid,
+                     std::string name, std::string args_json)
+    : tracer_(tracer),
+      pid_(pid),
+      tid_(tid),
+      name_(std::move(name)),
+      args_json_(std::move(args_json))
+{
+    if (tracer_ != nullptr) {
+        begin_us_ = tracer_->now_us();
+    }
+}
+
+TraceSpan::~TraceSpan()
+{
+    if (tracer_ != nullptr) {
+        const std::uint64_t end = tracer_->now_us();
+        tracer_->complete(pid_, tid_, name_, begin_us_,
+                          end >= begin_us_ ? end - begin_us_ : 0, args_json_);
+    }
+}
+
+}  // namespace moka

@@ -153,7 +153,7 @@ open_trace(const std::string &path)
 {
     TraceOpenResult result = open_trace_checked(path);
     if (!result.ok()) {
-        std::fprintf(stderr, "mokasim: trace open failed [%s]: %s\n",
+        std::fprintf(stderr, "mokasim: trace open failed [%s]: %s\n",  // LINT_LOG_OK: trace open diagnostic
                      to_string(result.status), result.message.c_str());
     }
     return std::move(result.workload);

@@ -425,6 +425,164 @@ TEST(JobEngine, ResumeReproducesUninterruptedOutput)
     std::remove(new_journal.c_str());
 }
 
+TEST(Journal, AppendStreamSurvivesReopen)
+{
+    const std::string path = temp_path("reopen");
+    std::remove(path.c_str());
+    {
+        Journal journal(path);
+        for (std::size_t id = 0; id < 3; ++id) {
+            JournalRecord rec;
+            rec.job_id = id;
+            rec.status = JobStatus::kCompleted;
+            rec.attempts = 1;
+            rec.csv = "row" + std::to_string(id);
+            journal.append(rec);
+        }
+        EXPECT_EQ(journal.compactions(), 0u);
+        EXPECT_EQ(journal.disk_bytes(), journal.live_bytes());
+    }
+    Journal journal(path);
+    EXPECT_EQ(journal.recovered().size(), 3u);
+    JournalRecord rec;
+    rec.job_id = 3;
+    rec.status = JobStatus::kCompleted;
+    rec.attempts = 1;
+    rec.csv = "row3";
+    journal.append(rec);
+    EXPECT_EQ(Journal::load(path).size(), 4u);
+    std::remove(path.c_str());
+}
+
+TEST(Journal, TornTailIsRewrittenCleanBeforeAppends)
+{
+    const std::string path = temp_path("clean");
+    {
+        std::ofstream os(path);
+        JournalRecord rec;
+        rec.job_id = 0;
+        rec.status = JobStatus::kCompleted;
+        rec.attempts = 1;
+        rec.csv = "row0";
+        os << to_jsonl(rec) << "\n";
+        os << "{\"job\":1,\"status\":\"compl";  // torn, no newline
+    }
+    Journal journal(path);
+    EXPECT_EQ(journal.recovered().size(), 1u);
+    JournalRecord rec;
+    rec.job_id = 2;
+    rec.status = JobStatus::kCompleted;
+    rec.attempts = 1;
+    rec.csv = "row2";
+    journal.append(rec);
+    // The torn line is gone; the new record was not glued to it.
+    std::size_t skipped = 99;
+    const auto records = Journal::load(path, &skipped);
+    EXPECT_EQ(skipped, 0u);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].job_id, 0u);
+    EXPECT_EQ(records[1].job_id, 2u);
+    std::remove(path.c_str());
+}
+
+TEST(Journal, CompactionKeepsNewestRecordPerJob)
+{
+    const std::string path = temp_path("compact");
+    std::remove(path.c_str());
+    Journal journal(path, /*compact_threshold_bytes=*/256);
+    JournalRecord rec;
+    rec.job_id = 7;
+    rec.status = JobStatus::kFailed;
+    rec.error = JobErrorCode::kTimeout;
+    rec.error_message = "transient straggler";
+    // Re-record the same job until superseded bytes trip compaction.
+    for (int i = 0; i < 32; ++i) {
+        rec.attempts = i + 1;
+        journal.append(rec);
+    }
+    JournalRecord done;
+    done.job_id = 7;
+    done.status = JobStatus::kCompleted;
+    done.attempts = 33;
+    done.csv = "row7";
+    journal.append(done);
+    JournalRecord other;
+    other.job_id = 8;
+    other.status = JobStatus::kCompleted;
+    other.attempts = 1;
+    other.csv = "row8";
+    journal.append(other);
+
+    EXPECT_GE(journal.compactions(), 1u);
+    // Dead bytes are bounded by the threshold: 33 superseded ~90-byte
+    // records would otherwise leave ~3KB of garbage.
+    EXPECT_LE(journal.disk_bytes() - journal.live_bytes(), 256u);
+    EXPECT_LE(journal.disk_bytes(), 256u + journal.live_bytes());
+    // The newest record per job survives every compaction: job 7's
+    // completion supersedes all of its journaled failures.
+    const auto records = Journal::load(path);
+    EXPECT_LE(records.size(), 6u);  // 35 appends, mostly compacted away
+    const JournalRecord *last7 = nullptr;
+    const JournalRecord *last8 = nullptr;
+    for (const JournalRecord &r : records) {
+        if (r.job_id == 7) {
+            last7 = &r;
+        }
+        if (r.job_id == 8) {
+            last8 = &r;
+        }
+    }
+    ASSERT_NE(last7, nullptr);
+    EXPECT_EQ(last7->status, JobStatus::kCompleted);
+    EXPECT_EQ(last7->attempts, 33);
+    EXPECT_EQ(last7->csv, "row7");
+    ASSERT_NE(last8, nullptr);
+    EXPECT_EQ(last8->status, JobStatus::kCompleted);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Cost-ordered dispatch
+// ---------------------------------------------------------------------------
+
+TEST(JobEngine, DispatchesByDescendingEstimatedCost)
+{
+    auto jobs = trivial_jobs(3);
+    jobs[0].estimated_cost = 1.0;
+    jobs[1].estimated_cost = 100.0;
+    jobs[2].estimated_cost = 10.0;
+
+    std::vector<std::size_t> execution_order;
+    EngineConfig cfg;  // workers=1: execution order is observable
+    const auto report = JobEngine(cfg).run(
+        jobs, [&](const JobSpec &spec, JobContext &ctx) {
+            execution_order.push_back(spec.id);
+            return echo_body(spec, ctx);
+        });
+    const std::vector<std::size_t> expected = {1, 2, 0};
+    EXPECT_EQ(execution_order, expected);
+    // Results stay in ascending id order regardless of dispatch.
+    ASSERT_EQ(report.results.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(report.results[i].id, i);
+    }
+}
+
+TEST(JobEngine, EqualCostsPreserveIdOrder)
+{
+    std::vector<std::size_t> execution_order;
+    EngineConfig cfg;
+    JobEngine(cfg).run(trivial_jobs(4),
+                       [&](const JobSpec &spec, JobContext &ctx) {
+                           execution_order.push_back(spec.id);
+                           return echo_body(spec, ctx);
+                       });
+    // Default cost 0.0 everywhere: stable sort keeps id order, so
+    // pre-cost sweeps execute exactly as before.
+    const std::vector<std::size_t> expected = {0, 1, 2, 3};
+    EXPECT_EQ(execution_order, expected);
+}
+
 // ---------------------------------------------------------------------------
 // Fail-fast
 // ---------------------------------------------------------------------------

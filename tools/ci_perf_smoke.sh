@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# CI perf smoke for the telemetry subsystem's overhead contract:
+#
+#   run one short fixed workload through mokasim_cli with telemetry
+#   disarmed (built in, runtime gate off) and with telemetry fully
+#   armed (epoch sampling + trace events), best-of-N wall clock each,
+#   and write BENCH_smoke.json with simulated kilo-instructions per
+#   second both ways.  Fails when the armed run is more than
+#   MAX_OVERHEAD_PCT slower than the disarmed run -- the sampler is
+#   sized to ride the adaptive-epoch cadence, so anything above a few
+#   percent means a hot-path regression (a sample point that stopped
+#   honouring the gate, or work that migrated into the per-step path).
+#
+# Usage: ci_perf_smoke.sh <path-to-mokasim_cli> [workdir] [out.json]
+set -u
+
+CLI=${1:?usage: ci_perf_smoke.sh <mokasim_cli> [workdir] [out.json]}
+WORK=${2:-$(mktemp -d)}
+OUT=${3:-BENCH_smoke.json}
+mkdir -p "$WORK"
+
+WORKLOAD=parsec.stream.0
+SCHEME=dripper
+# Long enough that the end-of-run telemetry flush (a fixed file-IO
+# cost) cannot dominate the per-instruction overhead being measured.
+WARMUP=200000
+INSTS=4000000
+REPS=3
+MAX_OVERHEAD_PCT=5
+
+# Wall-clock one run in nanoseconds; echoes the elapsed time.
+run_once() { # args: extra cli flags...
+    local begin end
+    begin=$(date +%s%N)
+    "$CLI" --workload "$WORKLOAD" --scheme "$SCHEME" \
+        --warmup "$WARMUP" --insts "$INSTS" "$@" \
+        > /dev/null 2>> "$WORK/smoke.err" || return 1
+    end=$(date +%s%N)
+    echo $((end - begin))
+}
+
+best_of() { # args: label, extra cli flags...
+    local label=$1
+    shift
+    local best=0 t r
+    for r in $(seq "$REPS"); do
+        t=$(run_once "$@") || {
+            echo "perf-smoke: $label run $r failed:" >&2
+            cat "$WORK/smoke.err" >&2
+            return 1
+        }
+        if [ "$best" -eq 0 ] || [ "$t" -lt "$best" ]; then
+            best=$t
+        fi
+    done
+    echo "$best"
+}
+
+echo "== perf smoke: $WORKLOAD/$SCHEME, $INSTS insts, best of $REPS =="
+
+# Telemetry disarmed: the subsystem is compiled in but the runtime
+# gate stays off (no env var, no flags).
+unset MOKASIM_TELEMETRY
+off_ns=$(best_of "telemetry-off") || exit 1
+
+# Telemetry armed: runtime gate on, epoch timeseries + trace events.
+on_ns=$(MOKASIM_TELEMETRY=1 best_of "telemetry-on" \
+    --telemetry-dir "$WORK/tele" \
+    --trace-events "$WORK/tele/smoke.trace.json") || exit 1
+
+# The armed run must actually have produced telemetry, or the
+# comparison is vacuous.
+if [ ! -s "$WORK/tele/smoke.trace.json" ]; then
+    echo "perf-smoke: armed run produced no trace events" >&2
+    exit 1
+fi
+
+awk -v insts="$INSTS" -v off_ns="$off_ns" -v on_ns="$on_ns" \
+    -v max_pct="$MAX_OVERHEAD_PCT" -v out="$OUT" \
+    -v workload="$WORKLOAD" -v scheme="$SCHEME" 'BEGIN {
+    off_kips = (insts / 1000.0) / (off_ns / 1e9);
+    on_kips = (insts / 1000.0) / (on_ns / 1e9);
+    overhead_pct = (off_ns > 0) ? (on_ns - off_ns) * 100.0 / off_ns : 0;
+    printf "telemetry off: %.1f kinsts/s (%.1f ms)\n", \
+        off_kips, off_ns / 1e6;
+    printf "telemetry on:  %.1f kinsts/s (%.1f ms)\n", \
+        on_kips, on_ns / 1e6;
+    printf "overhead: %.2f%% (limit %d%%)\n", overhead_pct, max_pct;
+    printf "{\n" > out;
+    printf "  \"workload\": \"%s\",\n", workload > out;
+    printf "  \"scheme\": \"%s\",\n", scheme > out;
+    printf "  \"instructions\": %d,\n", insts > out;
+    printf "  \"kinsts_per_sec\": {\"telemetry_off\": %.2f, " \
+        "\"telemetry_on\": %.2f},\n", off_kips, on_kips > out;
+    printf "  \"overhead_pct\": %.2f,\n", overhead_pct > out;
+    printf "  \"limit_pct\": %d\n", max_pct > out;
+    printf "}\n" > out;
+    exit overhead_pct > max_pct ? 1 : 0;
+}'
+status=$?
+echo "wrote $OUT"
+if [ "$status" -ne 0 ]; then
+    echo "perf-smoke: telemetry overhead exceeds ${MAX_OVERHEAD_PCT}%" >&2
+    exit 1
+fi

@@ -28,6 +28,13 @@ project's own correctness conventions, so this script enforces them:
       (sim/jobs/job.h) exists to preserve.  A bare catch is allowed
       only when annotated with a `LINT_CATCH_OK: <why>` comment on the
       same line, which asserts the handler classifies or rethrows.
+  L6  no raw progress output in src/: `std::cout` / `printf` /
+      `fprintf(stdout, ...)` corrupt machine-readable tool output
+      (sweep CSV goes to stdout), and ad-hoc stderr chatter bypasses
+      the telemetry subsystem (src/telemetry/) that exists for
+      progress reporting.  Deliberate surfaces -- the report-table
+      printer, usage errors, crash/audit diagnostics -- are annotated
+      with `LINT_LOG_OK: <why>` on the same line.
 
 Exit status is non-zero when any finding is produced.  Run from the
 repo root:  python3 tools/lint_sim.py
@@ -80,7 +87,14 @@ def strip_comments(text: str) -> str:
             while j < n and text[j] != quote:
                 j += 2 if text[j] == "\\" else 1
             j = min(j + 1, n)
-            out.append(quote + " " * (j - i - 2) + quote if j - i >= 2 else text[i:j])
+            # Preserve newlines so line numbers stay honest even when a
+            # digit separator (800'000) mis-pairs across lines.
+            if j - i >= 2:
+                inner = "".join(
+                    c if c == "\n" else " " for c in text[i + 1:j - 1])
+                out.append(quote + inner + quote)
+            else:
+                out.append(text[i:j])
             i = j
         else:
             out.append(ch)
@@ -270,14 +284,46 @@ def check_l5() -> None:
                     "the line with `LINT_CATCH_OK: <why>`")
 
 
+# --------------------------------------------------------------------------
+# L6: no raw console output in library code
+# --------------------------------------------------------------------------
+
+CONSOLE_RE = re.compile(
+    r"std::cout\b|std::cerr\b"
+    r"|(?<!\w)(?:std::)?printf\s*\("        # snprintf/sprintf excluded
+    r"|(?<!\w)(?:std::)?puts\s*\("
+    r"|(?<!\w)(?:std::)?putchar\s*\("
+    r"|(?<!\w)(?:std::)?v?fprintf\s*\(\s*(?:stdout|stderr)\b"
+    r"|(?<!\w)(?:std::)?fputs?\s*\([^;]*,\s*(?:stdout|stderr)\s*\)"
+    r"|(?<!\w)(?:std::)?fwrite\s*\([^;]*,\s*(?:stdout|stderr)\s*\)")
+
+
+def check_l6() -> None:
+    for path in src_files((".h", ".cc")):
+        stripped = strip_comments(path.read_text())
+        raw_lines = path.read_text().splitlines()
+        for no, line in enumerate(stripped.splitlines(), 1):
+            if not CONSOLE_RE.search(line):
+                continue
+            raw = raw_lines[no - 1] if no <= len(raw_lines) else ""
+            if "LINT_LOG_OK" in raw:
+                continue
+            finding("L6", path, no,
+                    "raw console output in library code; route progress "
+                    "through src/telemetry/ or annotate a deliberate "
+                    "report/diagnostic surface with `LINT_LOG_OK: <why>`")
+
+
 def main() -> int:
     check_l1()
     check_l2_l3()
     check_l4()
     check_l5()
+    check_l6()
     if not findings:
         print("lint_sim: clean (L1 raw-assert, L2 address truncation, "
-              "L3 signed-narrowing, L4 audit coverage, L5 bare catch)")
+              "L3 signed-narrowing, L4 audit coverage, L5 bare catch, "
+              "L6 raw console output)")
         return 0
     for rule, path, line_no, message in findings:
         rel = path.relative_to(REPO)

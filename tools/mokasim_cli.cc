@@ -11,6 +11,8 @@
  *               --scheme dripper --insts 1000000 [--json|--csv]
  *   mokasim_cli --trace my.trc --scheme permit
  *   mokasim_cli --mix gap.csr.0,parsec.stream.0 --scheme dripper
+ *   mokasim_cli --scheme dripper --telemetry-dir tele \
+ *               --trace-events trace.json
  *   mokasim_cli --list
  *
  * Schemes: discard | permit | discard-ptw | iso | ppf | ppf-dthr |
@@ -19,6 +21,7 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -26,6 +29,7 @@
 #include "filter/policies.h"
 #include "sim/report.h"
 #include "sim/runner.h"
+#include "telemetry/timeseries.h"
 #include "trace/suites.h"
 #include "trace/trace_io.h"
 
@@ -119,6 +123,7 @@ main(int argc, char **argv)
     InstCount warmup = 200'000;
     double large_pages = 0.0;
     bool json = false, csv = false, list = false;
+    std::string telemetry_dir, trace_events;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -134,6 +139,8 @@ main(int argc, char **argv)
         else if (a == "--insts") insts = std::stoull(next());
         else if (a == "--warmup") warmup = std::stoull(next());
         else if (a == "--large-pages") large_pages = std::stod(next());
+        else if (a == "--telemetry-dir") telemetry_dir = next();
+        else if (a == "--trace-events") trace_events = next();
         else if (a == "--json") json = true;
         else if (a == "--csv") csv = true;
         else if (a == "--list") list = true;
@@ -201,10 +208,36 @@ main(int argc, char **argv)
         workloads.push_back(make_workload(*spec));
     }
 
+    std::unique_ptr<TelemetrySession> telemetry;
+    if (!telemetry_dir.empty() || !trace_events.empty()) {
+        telemetry = std::make_unique<TelemetrySession>(telemetry_dir,
+                                                       trace_events);
+    }
+    std::string label = names[0];
+    for (std::size_t c = 1; c < names.size(); ++c) {
+        label += "+" + names[c];
+    }
+    label += "." + scheme_name;
+
     Machine machine(cfg, std::move(workloads));
-    machine.run(warmup);
-    machine.start_measurement();
-    machine.run(insts);
+    {
+        ScopedRunTelemetry scoped(telemetry.get(), &machine, label, 0);
+        RunTickHook *hook = scoped.hook(nullptr);
+        scoped.span("warmup", [&] { machine.run(warmup, hook); });
+        machine.start_measurement();
+        scoped.span("measure", [&] { machine.run(insts, hook); });
+    }
+    if (telemetry != nullptr) {
+        const std::string trace = telemetry->flush();
+        if (!trace.empty()) {
+            std::fprintf(stderr, "trace events written to %s\n",
+                         trace.c_str());
+        }
+        if (!telemetry->dir().empty()) {
+            std::fprintf(stderr, "epoch timeseries written to %s\n",
+                         telemetry->dir().c_str());
+        }
+    }
 
     std::vector<ResultRow> rows;
     for (std::size_t c = 0; c < machine.num_cores(); ++c) {

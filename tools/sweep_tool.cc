@@ -13,6 +13,7 @@
  *              [--unseen] [--large-pages F]
  *              [--jobs N] [--journal FILE] [--resume FILE]
  *              [--fail-fast] [--inject-faults RATE] [--fault-seed N]
+ *              [--telemetry-dir DIR] [--trace-events FILE]
  *
  * Example:
  *   sweep_tool --workloads 32 --schemes discard,permit,dripper \
@@ -30,6 +31,7 @@
 
 #include "sim/experiment.h"
 #include "sim/report.h"
+#include "telemetry/telemetry.h"
 #include "trace/suites.h"
 
 using namespace moka;
@@ -90,6 +92,10 @@ main(int argc, char **argv)
             args.fault_rate = require_double(a, next());
         } else if (a == "--fault-seed") {
             args.fault_seed = require_u64(a, next());
+        } else if (a == "--telemetry-dir") {
+            args.telemetry_dir = next();
+        } else if (a == "--trace-events") {
+            args.trace_events = next();
         } else {
             std::fprintf(stderr, "usage: unknown flag %s\n", a.c_str());
             return 2;
@@ -126,7 +132,10 @@ main(int argc, char **argv)
             unseen ? unseen_workloads() : seen_workloads(), args.workloads);
         const std::vector<JobSpec> matrix =
             make_matrix(roster, schemes, {pf_name}, args.run, large_pages);
-        const EngineReport report = run_matrix(matrix, args);
+        const std::unique_ptr<TelemetrySession> telemetry =
+            make_telemetry(args);
+        const EngineReport report =
+            run_matrix(matrix, args, telemetry.get());
 
         std::printf("%s\n", csv_header().c_str());
         for (const JobResult &res : report.results) {
@@ -136,6 +145,13 @@ main(int argc, char **argv)
         }
         std::fflush(stdout);
         std::fputs(report.summary().c_str(), stderr);
+        if (telemetry != nullptr) {
+            const std::string trace = telemetry->flush();
+            if (!trace.empty()) {
+                std::fprintf(stderr, "trace events written to %s\n",
+                             trace.c_str());
+            }
+        }
         return report.all_completed() ? 0 : 1;
     } catch (const JobError &e) {
         std::fprintf(stderr, "usage: %s: %s\n", to_string(e.code()),

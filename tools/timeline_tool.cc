@@ -1,0 +1,174 @@
+/**
+ * @file
+ * timeline_tool — merge Chrome trace_event JSON files produced by
+ * separate mokasim runs (sweep_tool, fig19_multicore, mokasim_cli
+ * --trace-events) into one file loadable in chrome://tracing or
+ * Perfetto.
+ *
+ * Each input is the one-event-per-line format Tracer::write_json
+ * emits, so merging is line-wise: no general JSON parser needed. To
+ * keep runs visually distinct, every input after the first has its
+ * process ids rebased past the previous inputs' maximum, so e.g. two
+ * sweeps' "job-engine" processes (both pid 1 in their own files) land
+ * on separate tracks instead of interleaving.
+ *
+ * Usage:
+ *   timeline_tool -o merged.json run1.trace.json run2.trace.json ...
+ *   timeline_tool sweep.trace.json > merged.json
+ */
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Line
+{
+    std::string text;      //!< event JSON, no trailing comma/newline
+    std::uint64_t ts = 0;  //!< sort key
+    bool metadata = false; //!< 'M' events sort before everything
+};
+
+/** Parse the first unsigned integer following @p key, or @p fallback. */
+std::uint64_t
+field_u64(const std::string &line, const char *key, std::uint64_t fallback)
+{
+    const std::size_t at = line.find(key);
+    if (at == std::string::npos) {
+        return fallback;
+    }
+    return std::strtoull(line.c_str() + at + std::strlen(key), nullptr, 10);
+}
+
+/** Rewrite `"pid":N` to `"pid":N+delta` in place; returns new pid. */
+std::uint64_t
+rebase_pid(std::string &line, std::uint64_t delta)
+{
+    const std::size_t at = line.find("\"pid\":");
+    if (at == std::string::npos) {
+        return 0;
+    }
+    const std::size_t start = at + 6;
+    std::size_t end = start;
+    while (end < line.size() && line[end] >= '0' && line[end] <= '9') {
+        ++end;
+    }
+    const std::uint64_t pid =
+        std::strtoull(line.substr(start, end - start).c_str(), nullptr, 10) +
+        delta;
+    line.replace(start, end - start, std::to_string(pid));
+    return pid;
+}
+
+bool
+load_file(const std::string &path, std::uint64_t pid_delta,
+          std::uint64_t &max_pid, std::vector<Line> &out)
+{
+    std::ifstream is(path);
+    if (!is) {
+        std::fprintf(stderr, "timeline_tool: cannot open %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::string raw;
+    while (std::getline(is, raw)) {
+        // Strip the container lines and the per-event trailing comma.
+        if (raw.rfind("{\"traceEvents\":[", 0) == 0 || raw == "]}" ||
+            raw.empty()) {
+            continue;
+        }
+        if (!raw.empty() && raw.back() == ',') {
+            raw.pop_back();
+        }
+        if (raw.empty() || raw.front() != '{') {
+            continue;  // tolerate stray non-event lines
+        }
+        Line line;
+        line.text = std::move(raw);
+        line.ts = field_u64(line.text, "\"ts\":", 0);
+        line.metadata = line.text.find("\"ph\":\"M\"") != std::string::npos;
+        max_pid = std::max(max_pid, rebase_pid(line.text, pid_delta));
+        out.push_back(std::move(line));
+        raw.clear();
+    }
+    return true;
+}
+
+void
+write_merged(std::ostream &os, std::vector<Line> &lines)
+{
+    std::stable_sort(lines.begin(), lines.end(),
+                     [](const Line &a, const Line &b) {
+                         if (a.metadata != b.metadata) {
+                             return a.metadata;
+                         }
+                         return a.ts < b.ts;
+                     });
+    os << "{\"traceEvents\":[\n";
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        os << lines[i].text << (i + 1 == lines.size() ? "" : ",") << "\n";
+    }
+    os << "]}\n";
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path;
+    std::vector<std::string> inputs;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "-o" || a == "--output") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "timeline_tool: %s needs a value\n",
+                             a.c_str());
+                return 2;
+            }
+            out_path = argv[++i];
+        } else if (a == "-h" || a == "--help") {
+            std::fprintf(stderr,
+                         "usage: timeline_tool [-o OUT] TRACE.json...\n");
+            return 0;
+        } else {
+            inputs.push_back(a);
+        }
+    }
+    if (inputs.empty()) {
+        std::fprintf(stderr, "usage: timeline_tool [-o OUT] TRACE.json...\n");
+        return 2;
+    }
+
+    std::vector<Line> lines;
+    std::uint64_t next_base = 0;
+    for (const std::string &path : inputs) {
+        const std::uint64_t delta = next_base;
+        std::uint64_t max_pid = 0;
+        if (!load_file(path, delta, max_pid, lines)) {
+            return 1;
+        }
+        next_base = max_pid + 1;
+    }
+
+    if (out_path.empty()) {
+        write_merged(std::cout, lines);
+    } else {
+        std::ofstream os(out_path);
+        if (!os) {
+            std::fprintf(stderr, "timeline_tool: cannot write %s\n",
+                         out_path.c_str());
+            return 1;
+        }
+        write_merged(os, lines);
+        std::fprintf(stderr, "timeline_tool: %zu events -> %s\n",
+                     lines.size(), out_path.c_str());
+    }
+    return 0;
+}
