@@ -9,6 +9,7 @@
 #ifndef MOKASIM_AUDIT_ACCESS_H
 #define MOKASIM_AUDIT_ACCESS_H
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
@@ -250,10 +251,16 @@ struct AuditAccess
     {
         std::vector<std::pair<DecisionRecord, std::uint64_t>> out;
         out.reserve(b.index_.size());
+        // LINT_ORDER_OK: hash order is neutralised by the sort below;
+        // auditors see records in slot-sequence order (lint rule L7).
         for (const auto &[key, slot] : b.index_) {
             (void)key;
             out.emplace_back(slot.rec, slot.seq);
         }
+        std::sort(out.begin(), out.end(),
+                  [](const auto &a, const auto &b2) {
+                      return a.second < b2.second;
+                  });
         return out;
     }
 

@@ -3,7 +3,7 @@
  * Implementation of the invariant auditors and the global audit
  * failure handler behind common/check.h.
  *
- * Audited component registry — tools/lint_sim.py (rule L4) verifies
+ * Audited component registry — tools/simlint (rule L4) verifies
  * that every stateful class declared in src/{cache,dram,vmem,filter}
  * headers is named in this file:
  *
@@ -26,6 +26,8 @@
 #include <cstdlib>
 #include <string>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "audit/access.h"
 
@@ -276,8 +278,14 @@ audit_page_table(const PageTable &table, AuditReport &report)
 
     // 4KB data frames: aligned, inside the lower-half partition,
     // tracked by the allocator, and never shared between pages.
+    // Findings must not depend on libstdc++ hash order, so the
+    // unordered maps are walked in sorted-VPN order (lint rule L7).
     std::unordered_set<Addr> seen;
-    for (const auto &[vpn, frame] : AuditAccess::page_map(table)) {
+    std::vector<std::pair<Addr, Addr>> pages(
+        AuditAccess::page_map(table).begin(),
+        AuditAccess::page_map(table).end());
+    std::sort(pages.begin(), pages.end());
+    for (const auto &[vpn, frame] : pages) {
         if (frame % kPageSize != 0) {
             report.fail(name, "VPN " + std::to_string(vpn) +
                                   " mapped to misaligned frame " +
@@ -302,7 +310,11 @@ audit_page_table(const PageTable &table, AuditReport &report)
 
     // 2MB frames: upper-half partition, aligned within it.
     std::unordered_set<Addr> seen_large;
-    for (const auto &[lvpn, frame] : AuditAccess::large_page_map(table)) {
+    std::vector<std::pair<Addr, Addr>> large_pages(
+        AuditAccess::large_page_map(table).begin(),
+        AuditAccess::large_page_map(table).end());
+    std::sort(large_pages.begin(), large_pages.end());
+    for (const auto &[lvpn, frame] : large_pages) {
         if (frame < half || frame >= phys ||
             (frame - half) % kLargePageSize != 0) {
             report.fail(name, "large VPN " + std::to_string(lvpn) +

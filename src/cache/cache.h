@@ -69,6 +69,14 @@ struct CacheStats
     std::uint64_t writebacks = 0;
     std::uint64_t prefetch_lookups = 0;  //!< prefetch requests observed
     PrefetchStats pf;            //!< prefetch effectiveness
+
+    /** Memberwise delta for measured-region snapshots. */
+    CacheStats operator-(const CacheStats &o) const
+    {
+        return {demand - o.demand, walk - o.walk,
+                writebacks - o.writebacks,
+                prefetch_lookups - o.prefetch_lookups, pf - o.pf};
+    }
 };
 
 /** One cache level; lower level wired at construction. */

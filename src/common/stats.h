@@ -81,6 +81,18 @@ struct PrefetchStats
                              : static_cast<double>(pgc_useful) /
                                    static_cast<double>(resolved);
     }
+
+    /** Memberwise delta for measured-region snapshots. */
+    PrefetchStats operator-(const PrefetchStats &o) const
+    {
+        return {issued - o.issued,
+                useful - o.useful,
+                useless - o.useless,
+                pgc_issued - o.pgc_issued,
+                pgc_useful - o.pgc_useful,
+                pgc_useless - o.pgc_useless,
+                pgc_dropped - o.pgc_dropped};
+    }
 };
 
 class MetricRegistry;

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Clang Thread Safety Analysis annotations and the annotated mutex
+ * types every concurrent structure in src/ must use.
+ *
+ * The analysis (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html)
+ * turns the repo's locking discipline into compile-time errors: a
+ * member declared SIM_GUARDED_BY(mu_) cannot be touched without
+ * holding mu_, a helper declared SIM_REQUIRES(mu_) cannot be called
+ * from an unlocked context, and a public entry point declared
+ * SIM_EXCLUDES(mu_) cannot be re-entered while the lock is held
+ * (self-deadlock). TSan validates the interleavings a run happens to
+ * exercise; these annotations reject the bug in *every* interleaving
+ * before the binary exists — which is what keeps `--jobs N` provably
+ * byte-identical to serial (docs/ARCHITECTURE.md, "Static analysis").
+ *
+ * The attributes only exist under Clang; everywhere else the macros
+ * expand to nothing, so GCC builds are unaffected. The analysis is
+ * armed by configuring with -DMOKASIM_THREAD_SAFETY=ON (the
+ * `thread-safety` preset), which adds -Wthread-safety
+ * -Wthread-safety-beta promoted to errors.
+ *
+ * Conventions (enforced by simlint rule L9):
+ *  - no bare `std::mutex` member in src/ — declare a `SimMutex`;
+ *  - every SimMutex member must guard something: at least one
+ *    SIM_GUARDED_BY(that_member) / SIM_REQUIRES(that_member) in the
+ *    same file;
+ *  - lock with `SimMutexLock lock(&mu_);`, never std::lock_guard —
+ *    std::lock_guard is not annotated, so the analyzer cannot see the
+ *    acquisition through it.
+ */
+#ifndef MOKASIM_COMMON_THREAD_ANNOTATIONS_H
+#define MOKASIM_COMMON_THREAD_ANNOTATIONS_H
+
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define SIM_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define SIM_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+//! Marks a class as a lockable capability (e.g. "mutex").
+#define SIM_CAPABILITY(x) SIM_THREAD_ANNOTATION_(capability(x))
+
+//! Marks an RAII class whose lifetime holds a capability.
+#define SIM_SCOPED_CAPABILITY SIM_THREAD_ANNOTATION_(scoped_lockable)
+
+//! Data member readable/writable only while holding the capability.
+#define SIM_GUARDED_BY(x) SIM_THREAD_ANNOTATION_(guarded_by(x))
+
+//! Pointee (not the pointer) protected by the capability.
+#define SIM_PT_GUARDED_BY(x) SIM_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+//! Function callable only while holding the capabilities.
+#define SIM_REQUIRES(...) \
+    SIM_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+//! Function acquiring the capabilities (held on return).
+#define SIM_ACQUIRE(...) \
+    SIM_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+//! Function releasing the capabilities (must be held on entry).
+#define SIM_RELEASE(...) \
+    SIM_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+//! Function acquiring the capability only when it returns @p ret.
+#define SIM_TRY_ACQUIRE(ret, ...) \
+    SIM_THREAD_ANNOTATION_(try_acquire_capability(ret, __VA_ARGS__))
+
+//! Function that must NOT be entered holding the capabilities
+//! (deadlock guard on public entry points that lock internally).
+#define SIM_EXCLUDES(...) \
+    SIM_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+//! Declares that the capability is held (runtime-checked elsewhere).
+#define SIM_ASSERT_CAPABILITY(x) \
+    SIM_THREAD_ANNOTATION_(assert_capability(x))
+
+//! Function returning a reference to the given capability.
+#define SIM_RETURN_CAPABILITY(x) SIM_THREAD_ANNOTATION_(lock_returned(x))
+
+//! Escape hatch: disables the analysis for one function. Every use
+//! must carry a comment explaining why the lock discipline cannot be
+//! expressed.
+#define SIM_NO_THREAD_SAFETY_ANALYSIS \
+    SIM_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace moka {
+
+/**
+ * std::mutex annotated as a Clang capability. libstdc++'s std::mutex
+ * carries no thread-safety attributes, so guarding data with it keeps
+ * the analyzer blind; this thin wrapper (zero overhead — the methods
+ * inline to the std::mutex calls) is what SIM_GUARDED_BY members name.
+ */
+class SIM_CAPABILITY("mutex") SimMutex
+{
+  public:
+    SimMutex() = default;
+    SimMutex(const SimMutex &) = delete;
+    SimMutex &operator=(const SimMutex &) = delete;
+
+    void lock() SIM_ACQUIRE() { mu_.lock(); }
+    void unlock() SIM_RELEASE() { mu_.unlock(); }
+    bool try_lock() SIM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  private:
+    std::mutex mu_;
+};
+
+/**
+ * RAII guard for SimMutex — the annotated replacement for
+ * std::lock_guard (which the analyzer cannot see through). Takes a
+ * pointer so the acquisition reads as `SimMutexLock lock(&mu_);`.
+ */
+class SIM_SCOPED_CAPABILITY SimMutexLock
+{
+  public:
+    explicit SimMutexLock(SimMutex *mu) SIM_ACQUIRE(mu) : mu_(mu)
+    {
+        mu_->lock();
+    }
+
+    ~SimMutexLock() SIM_RELEASE() { mu_->unlock(); }
+
+    SimMutexLock(const SimMutexLock &) = delete;
+    SimMutexLock &operator=(const SimMutexLock &) = delete;
+
+  private:
+    SimMutex *mu_;
+};
+
+}  // namespace moka
+
+#endif  // MOKASIM_COMMON_THREAD_ANNOTATIONS_H

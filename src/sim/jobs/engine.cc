@@ -78,6 +78,8 @@ job_label(const JobSpec &spec)
 
 Watchdog::Watchdog(std::uint64_t step_budget, std::uint64_t wall_ms)
     : step_budget_(step_budget), wall_ms_(wall_ms),
+      // LINT_NONDET_OK: the watchdog deadline is wall time by design;
+      // a timeout only classifies a failure, never a result value.
       deadline_(std::chrono::steady_clock::now() +
                 std::chrono::milliseconds(wall_ms))
 {
@@ -93,6 +95,7 @@ Watchdog::on_tick(std::uint64_t steps)
         throw JobError(JobErrorCode::kTimeout, os.str());
     }
     if (wall_ms_ > 0 && steps % kHeartbeatSteps == 0 &&
+        // LINT_NONDET_OK: heartbeat check against the wall deadline.
         std::chrono::steady_clock::now() > deadline_) {
         std::ostringstream os;
         os << "watchdog: wall deadline of " << wall_ms_

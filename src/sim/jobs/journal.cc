@@ -2,9 +2,9 @@
 
 #include <cerrno>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 
 namespace moka {
 namespace {
@@ -214,7 +214,7 @@ Journal::Journal(std::string path, std::size_t compact_threshold_bytes)
 void
 Journal::append(const JournalRecord &rec)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    SimMutexLock lock(&mu_);
     const std::string line = to_jsonl(rec);
     out_ << line << '\n';
     out_.flush();
@@ -231,21 +231,21 @@ Journal::append(const JournalRecord &rec)
 std::size_t
 Journal::compactions() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    SimMutexLock lock(&mu_);
     return compactions_;
 }
 
 std::size_t
 Journal::disk_bytes() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    SimMutexLock lock(&mu_);
     return disk_bytes_;
 }
 
 std::size_t
 Journal::live_bytes() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    SimMutexLock lock(&mu_);
     return live_bytes_;
 }
 
@@ -323,7 +323,9 @@ Journal::rewrite_locked()
     if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
         throw JobError(JobErrorCode::kUnknown,
                        "journal: rename " + tmp + " -> " + path_ +
-                           " failed: " + std::strerror(errno));
+                           " failed: " +
+                           std::error_code(errno, std::generic_category())
+                               .message());
     }
     disk_bytes_ = 0;
     for (const auto &entry : lines_) {
@@ -332,6 +334,7 @@ Journal::rewrite_locked()
     // The rewrite may still hold duplicates (construction-time clean
     // of a torn file); live bytes are the newest line per job.
     live_bytes_ = 0;
+    // LINT_ORDER_OK: commutative sum; no output order depends on it.
     for (const auto &entry : live_) {
         live_bytes_ += entry.second;
     }

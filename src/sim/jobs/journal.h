@@ -26,12 +26,12 @@
 #define MOKASIM_SIM_JOBS_JOURNAL_H
 
 #include <fstream>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "sim/jobs/job.h"
 
 namespace moka {
@@ -87,7 +87,7 @@ class Journal
      * error. May trigger a compaction when @p rec supersedes enough
      * earlier bytes.
      */
-    void append(const JournalRecord &rec);
+    void append(const JournalRecord &rec) SIM_EXCLUDES(mu_);
 
     /** Records loaded from an existing file at construction. */
     const std::vector<JournalRecord> &recovered() const
@@ -115,33 +115,39 @@ class Journal
                                            std::size_t *skipped = nullptr);
 
     /** Compactions performed over this instance's lifetime. */
-    std::size_t compactions() const;
+    std::size_t compactions() const SIM_EXCLUDES(mu_);
 
     /** Bytes currently on disk (live + superseded). */
-    std::size_t disk_bytes() const;
+    std::size_t disk_bytes() const SIM_EXCLUDES(mu_);
 
     /** Bytes of the newest record per job (what a compaction keeps). */
-    std::size_t live_bytes() const;
+    std::size_t live_bytes() const SIM_EXCLUDES(mu_);
 
   private:
-    void open_append_locked();
-    void record_locked(const std::string &line, std::size_t job_id);
-    void compact_locked();
-    void rewrite_locked();
+    void open_append_locked() SIM_REQUIRES(mu_);
+    void record_locked(const std::string &line, std::size_t job_id)
+        SIM_REQUIRES(mu_);
+    void compact_locked() SIM_REQUIRES(mu_);
+    void rewrite_locked() SIM_REQUIRES(mu_);
 
-    std::string path_;
-    std::size_t compact_threshold_;
-    std::ofstream out_;  //!< append stream, kept open across appends
+    std::string path_;               //!< const after construction
+    std::size_t compact_threshold_;  //!< const after construction
+    //! append stream, kept open across appends
+    std::ofstream out_ SIM_GUARDED_BY(mu_);
     //! (job id, serialized record), append order; compaction keeps
     //! the last occurrence per job.
-    std::vector<std::pair<std::size_t, std::string>> lines_;
+    std::vector<std::pair<std::size_t, std::string>> lines_
+        SIM_GUARDED_BY(mu_);
     //! job id -> byte size of its newest line (incl. newline)
-    std::unordered_map<std::size_t, std::size_t> live_;
-    std::size_t disk_bytes_ = 0;
-    std::size_t live_bytes_ = 0;
-    std::size_t compactions_ = 0;
+    std::unordered_map<std::size_t, std::size_t> live_
+        SIM_GUARDED_BY(mu_);
+    std::size_t disk_bytes_ SIM_GUARDED_BY(mu_) = 0;
+    std::size_t live_bytes_ SIM_GUARDED_BY(mu_) = 0;
+    std::size_t compactions_ SIM_GUARDED_BY(mu_) = 0;
+    //! filled by the constructor, read-only afterwards (recovered()
+    //! and contains() are const views of construction-time state)
     std::vector<JournalRecord> recovered_;
-    mutable std::mutex mu_;
+    mutable SimMutex mu_;
 };
 
 }  // namespace moka

@@ -20,6 +20,9 @@ RunMetrics::operator-(const RunMetrics &o) const
     r.llc = llc - o.llc;
     r.dtlb = dtlb - o.dtlb;
     r.stlb = stlb - o.stlb;
+    r.l2_walk = l2_walk - o.l2_walk;
+    r.l1d_writebacks -= o.l1d_writebacks;
+    r.l1d_pf_lookups -= o.l1d_pf_lookups;
     r.pf_issued -= o.pf_issued;
     r.pf_useful -= o.pf_useful;
     r.pf_useless -= o.pf_useless;
@@ -467,6 +470,9 @@ CoreComplex::metrics() const
     m.l2 = l2_->stats().demand;
     m.dtlb = dtlb_->demand_stats();
     m.stlb = stlb_->demand_stats();
+    m.l2_walk = l2_->stats().walk;
+    m.l1d_writebacks = l1d_->stats().writebacks;
+    m.l1d_pf_lookups = l1d_->stats().prefetch_lookups;
     const PrefetchStats &pf = l1d_->stats().pf;
     m.pf_issued = pf.issued;
     m.pf_useful = pf.useful;

@@ -67,6 +67,9 @@ struct RunMetrics
     Cycle cycles = 0;
     AccessStats l1i, l1d, l2, llc;  //!< demand access/miss pairs
     AccessStats dtlb, stlb;
+    AccessStats l2_walk;            //!< page-walker refs hitting the L2
+    std::uint64_t l1d_writebacks = 0;
+    std::uint64_t l1d_pf_lookups = 0;  //!< prefetch requests observed
     std::uint64_t pf_issued = 0;    //!< all prefetch fills
     std::uint64_t pf_useful = 0;
     std::uint64_t pf_useless = 0;
@@ -95,6 +98,7 @@ struct RunMetrics
     double llc_mpki() const { return llc.mpki(instructions); }
     double dtlb_mpki() const { return dtlb.mpki(instructions); }
     double stlb_mpki() const { return stlb.mpki(instructions); }
+    double walk_mpki() const { return l2_walk.mpki(instructions); }
 
     /** Prefetch accuracy over resolved prefetches. */
     double pf_accuracy() const

@@ -29,7 +29,7 @@ IsolationCache::get_or_compute(const std::string &name,
                                const std::function<double()> &compute)
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        SimMutexLock lock(&mu_);
         auto it = map_.find(name);
         if (it != map_.end()) {
             return it->second;
@@ -39,14 +39,14 @@ IsolationCache::get_or_compute(const std::string &name,
     // than a redundant duplicate is worth blocking other workers for,
     // and the run is deterministic so duplicates agree.
     const double value = compute();
-    std::lock_guard<std::mutex> lock(mu_);
+    SimMutexLock lock(&mu_);
     return map_.try_emplace(name, value).first->second;
 }
 
 std::size_t
 IsolationCache::size() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    SimMutexLock lock(&mu_);
     return map_.size();
 }
 

@@ -9,10 +9,10 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "filter/policies.h"
 #include "sim/machine.h"
 #include "trace/suites.h"
@@ -49,14 +49,15 @@ class IsolationCache
      * (outside the lock — isolation runs are long) and memoize it.
      */
     double get_or_compute(const std::string &name,
-                          const std::function<double()> &compute);
+                          const std::function<double()> &compute)
+        SIM_EXCLUDES(mu_);
 
     /** Number of memoized entries. */
-    std::size_t size() const;
+    std::size_t size() const SIM_EXCLUDES(mu_);
 
   private:
-    mutable std::mutex mu_;
-    std::map<std::string, double> map_;
+    mutable SimMutex mu_;
+    std::map<std::string, double> map_ SIM_GUARDED_BY(mu_);
 };
 
 /**

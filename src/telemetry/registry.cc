@@ -69,7 +69,7 @@ MetricRegistry::find_or_create(const std::string &name, Kind kind)
 Counter &
 MetricRegistry::counter(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    SimMutexLock lock(&mu_);
     Entry &entry = find_or_create(name, Kind::kCounter);
     if (entry.counter == nullptr) {
         entry.counter = std::make_unique<Counter>();
@@ -80,7 +80,7 @@ MetricRegistry::counter(const std::string &name)
 Gauge &
 MetricRegistry::gauge(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    SimMutexLock lock(&mu_);
     Entry &entry = find_or_create(name, Kind::kGauge);
     if (entry.gauge == nullptr) {
         entry.gauge = std::make_unique<Gauge>();
@@ -91,7 +91,7 @@ MetricRegistry::gauge(const std::string &name)
 MetricHistogram &
 MetricRegistry::histogram(const std::string &name, std::vector<double> bounds)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    SimMutexLock lock(&mu_);
     Entry &entry = find_or_create(name, Kind::kHistogram);
     if (entry.histogram == nullptr) {
         entry.histogram = std::make_unique<MetricHistogram>(std::move(bounds));
@@ -102,7 +102,7 @@ MetricRegistry::histogram(const std::string &name, std::vector<double> bounds)
 void
 MetricRegistry::probe(const std::string &name, std::function<double()> fn)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    SimMutexLock lock(&mu_);
     Entry &entry = find_or_create(name, Kind::kProbe);
     SIM_REQUIRE(entry.kind == Kind::kProbe,
                 "metric re-registered as a different instrument kind");
@@ -112,7 +112,7 @@ MetricRegistry::probe(const std::string &name, std::function<double()> fn)
 std::vector<MetricRegistry::Sample>
 MetricRegistry::snapshot() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    SimMutexLock lock(&mu_);
     std::vector<Sample> out;
     out.reserve(entries_.size());
     for (const auto &entry : entries_) {
@@ -157,7 +157,7 @@ MetricRegistry::snapshot() const
 std::size_t
 MetricRegistry::size() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    SimMutexLock lock(&mu_);
     return entries_.size();
 }
 

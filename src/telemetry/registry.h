@@ -23,10 +23,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace moka {
 
@@ -105,17 +106,18 @@ class MetricRegistry
      * stable for the registry's lifetime. Re-registering a name as a
      * different instrument kind is a usage error (SIM_REQUIRE).
      */
-    Counter &counter(const std::string &name);
+    Counter &counter(const std::string &name) SIM_EXCLUDES(mu_);
 
     /** Find or create the gauge @p name. */
-    Gauge &gauge(const std::string &name);
+    Gauge &gauge(const std::string &name) SIM_EXCLUDES(mu_);
 
     /**
      * Find or create the histogram @p name; @p bounds is used only on
      * first registration.
      */
     MetricHistogram &histogram(const std::string &name,
-                               std::vector<double> bounds);
+                               std::vector<double> bounds)
+        SIM_EXCLUDES(mu_);
 
     /**
      * Register a read-on-snapshot probe. The callback is invoked by
@@ -123,7 +125,8 @@ class MetricRegistry
      * the caller must stop snapshotting first. Re-registering a probe
      * name replaces the callback (structs move between runs).
      */
-    void probe(const std::string &name, std::function<double()> fn);
+    void probe(const std::string &name, std::function<double()> fn)
+        SIM_EXCLUDES(mu_);
 
     /** One flattened metric value. */
     struct Sample
@@ -140,10 +143,10 @@ class MetricRegistry
      * expand to `<name>.le_<bound>` bucket counts plus
      * `<name>.count`.
      */
-    std::vector<Sample> snapshot() const;
+    std::vector<Sample> snapshot() const SIM_EXCLUDES(mu_);
 
     /** Number of registered instruments. */
-    std::size_t size() const;
+    std::size_t size() const SIM_EXCLUDES(mu_);
 
   private:
     enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram, kProbe };
@@ -158,11 +161,14 @@ class MetricRegistry
         std::function<double()> probe;
     };
 
-    Entry &find_or_create(const std::string &name, Kind kind);
+    Entry &find_or_create(const std::string &name, Kind kind)
+        SIM_REQUIRES(mu_);
 
-    mutable std::mutex mu_;
-    std::vector<std::unique_ptr<Entry>> entries_;  //!< registration order
-    std::unordered_map<std::string, std::size_t> index_;
+    mutable SimMutex mu_;
+    //! registration order
+    std::vector<std::unique_ptr<Entry>> entries_ SIM_GUARDED_BY(mu_);
+    std::unordered_map<std::string, std::size_t> index_
+        SIM_GUARDED_BY(mu_);
 };
 
 }  // namespace moka

@@ -18,7 +18,8 @@ set_telemetry_enabled(bool enabled)
 bool
 telemetry_env_requested()
 {
-    const char *env = std::getenv("MOKASIM_TELEMETRY");
+    const char *env =  // NOLINT(concurrency-mt-unsafe): read once
+        std::getenv("MOKASIM_TELEMETRY");  // before any thread spawns
     if (env == nullptr) {
         return false;
     }

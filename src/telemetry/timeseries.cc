@@ -148,6 +148,11 @@ MachineSampler::sample(std::uint64_t steps)
         row.emplace_back(prefix + "l1d_mpki", d.l1d_mpki());
         row.emplace_back(prefix + "llc_mpki", d.llc_mpki());
         row.emplace_back(prefix + "stlb_mpki", d.stlb_mpki());
+        row.emplace_back(prefix + "walk_mpki", d.walk_mpki());
+        row.emplace_back(prefix + "l1d_writebacks",
+                         double(d.l1d_writebacks));
+        row.emplace_back(prefix + "l1d_pf_lookups",
+                         double(d.l1d_pf_lookups));
         row.emplace_back(prefix + "pgc_candidates",
                          double(d.pgc_candidates));
         row.emplace_back(prefix + "pgc_issued", double(d.pgc_issued));

@@ -14,6 +14,8 @@ namespace {
 std::uint64_t
 steady_now_us()
 {
+    // LINT_NONDET_OK: trace timestamps are wall-time by design; they
+    // never feed a result CSV (tests pass explicit ts_us instead).
     const auto now = std::chrono::steady_clock::now().time_since_epoch();
     return static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(now).count());
@@ -62,7 +64,7 @@ Tracer::register_process(std::uint32_t pid, const std::string &name)
     e.tid = 0;
     e.name = "process_name";
     e.args_json = "{\"name\":\"" + escape(name) + "\"}";
-    std::lock_guard<std::mutex> lock(mu_);
+    SimMutexLock lock(&mu_);
     metadata_.push_back(std::move(e));
 }
 
@@ -76,7 +78,7 @@ Tracer::register_thread(std::uint32_t pid, std::uint32_t tid,
     e.tid = tid;
     e.name = "thread_name";
     e.args_json = "{\"name\":\"" + escape(name) + "\"}";
-    std::lock_guard<std::mutex> lock(mu_);
+    SimMutexLock lock(&mu_);
     metadata_.push_back(std::move(e));
 }
 
@@ -93,7 +95,7 @@ Tracer::complete(std::uint32_t pid, std::uint32_t tid,
     e.dur_us = dur_us;
     e.name = name;
     e.args_json = args_json;
-    std::lock_guard<std::mutex> lock(mu_);
+    SimMutexLock lock(&mu_);
     push_locked(std::move(e));
 }
 
@@ -108,7 +110,7 @@ Tracer::instant(std::uint32_t pid, std::uint32_t tid, const std::string &name,
     e.ts_us = ts_us;
     e.name = name;
     e.args_json = args_json;
-    std::lock_guard<std::mutex> lock(mu_);
+    SimMutexLock lock(&mu_);
     push_locked(std::move(e));
 }
 
@@ -126,21 +128,21 @@ Tracer::counter(std::uint32_t pid, std::uint32_t tid, const std::string &name,
     e.ts_us = ts_us;
     e.name = name;
     e.args_json = body;
-    std::lock_guard<std::mutex> lock(mu_);
+    SimMutexLock lock(&mu_);
     push_locked(std::move(e));
 }
 
 std::size_t
 Tracer::size() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    SimMutexLock lock(&mu_);
     return wrapped_ ? capacity_ : ring_.size();
 }
 
 std::uint64_t
 Tracer::dropped() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    SimMutexLock lock(&mu_);
     return dropped_;
 }
 
@@ -163,7 +165,7 @@ Tracer::write_json(std::ostream &os) const
     std::vector<TraceEvent> events;
     std::vector<TraceEvent> metadata;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        SimMutexLock lock(&mu_);
         metadata = metadata_;
         if (wrapped_) {
             events.reserve(capacity_);

@@ -23,10 +23,11 @@
 #define MOKASIM_TELEMETRY_TRACE_EVENT_H
 
 #include <cstdint>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace moka {
 
@@ -53,11 +54,12 @@ class Tracer
     std::uint64_t now_us() const;
 
     /** Label a pid track ("M" process_name metadata). */
-    void register_process(std::uint32_t pid, const std::string &name);
+    void register_process(std::uint32_t pid, const std::string &name)
+        SIM_EXCLUDES(mu_);
 
     /** Label a (pid, tid) track ("M" thread_name metadata). */
     void register_thread(std::uint32_t pid, std::uint32_t tid,
-                         const std::string &name);
+                         const std::string &name) SIM_EXCLUDES(mu_);
 
     /**
      * Record a complete span ('X').
@@ -65,23 +67,25 @@ class Tracer
      */
     void complete(std::uint32_t pid, std::uint32_t tid,
                   const std::string &name, std::uint64_t ts_us,
-                  std::uint64_t dur_us, const std::string &args_json = "");
+                  std::uint64_t dur_us, const std::string &args_json = "")
+        SIM_EXCLUDES(mu_);
 
     /** Record an instant event ('i', thread scope). */
     void instant(std::uint32_t pid, std::uint32_t tid,
                  const std::string &name, std::uint64_t ts_us,
-                 const std::string &args_json = "");
+                 const std::string &args_json = "") SIM_EXCLUDES(mu_);
 
     /** Record a counter sample ('C'); @p series names the value. */
     void counter(std::uint32_t pid, std::uint32_t tid,
                  const std::string &name, std::uint64_t ts_us,
-                 const std::string &series, double value);
+                 const std::string &series, double value)
+        SIM_EXCLUDES(mu_);
 
     /** Events currently buffered (metadata excluded). */
-    std::size_t size() const;
+    std::size_t size() const SIM_EXCLUDES(mu_);
 
     /** Events lost to ring wrap-around. */
-    std::uint64_t dropped() const;
+    std::uint64_t dropped() const SIM_EXCLUDES(mu_);
 
     /**
      * Write the whole trace as `{"traceEvents":[...]}` — metadata
@@ -89,7 +93,7 @@ class Tracer
      * line (parseable line-wise by the golden test and mergeable by
      * timeline_tool).
      */
-    void write_json(std::ostream &os) const;
+    void write_json(std::ostream &os) const SIM_EXCLUDES(mu_);
 
     /** write_json to @p path; returns false on I/O failure. */
     bool write_json_file(const std::string &path) const;
@@ -98,16 +102,18 @@ class Tracer
     static std::string escape(const std::string &s);
 
   private:
-    void push_locked(TraceEvent event);
+    void push_locked(TraceEvent event) SIM_REQUIRES(mu_);
 
-    mutable std::mutex mu_;
-    std::size_t capacity_;
-    std::vector<TraceEvent> ring_;
-    std::size_t head_ = 0;  //!< next write slot once the ring is full
-    bool wrapped_ = false;
-    std::uint64_t dropped_ = 0;
-    std::vector<TraceEvent> metadata_;  //!< never dropped
-    std::uint64_t epoch_us_;            //!< steady-clock construction time
+    mutable SimMutex mu_;
+    std::size_t capacity_;  //!< const after construction (unguarded)
+    std::vector<TraceEvent> ring_ SIM_GUARDED_BY(mu_);
+    //! next write slot once the ring is full
+    std::size_t head_ SIM_GUARDED_BY(mu_) = 0;
+    bool wrapped_ SIM_GUARDED_BY(mu_) = false;
+    std::uint64_t dropped_ SIM_GUARDED_BY(mu_) = 0;
+    //! never dropped
+    std::vector<TraceEvent> metadata_ SIM_GUARDED_BY(mu_);
+    std::uint64_t epoch_us_;  //!< steady-clock construction time (const)
 };
 
 /**

@@ -1,0 +1,7 @@
+#include <cassert>
+
+void
+check_widget(int n)
+{
+    assert(n > 0);
+}

@@ -1,0 +1,23 @@
+#include "common/check.h"
+
+// The lexer regression corpus: none of the `assert(` tokens below are
+// code, and the old line-oriented stripper got several of them wrong.
+static const char *kBanner =
+    R"(usage: assert(x) is banned here, " and so is #include <cassert>)";
+static const char *kMultiline = R"doc(line one
+assert(hidden)
+line three)doc";
+static const char *kEscaped = "quote \" then assert( nothing";
+constexpr int kBig = 1'000'000;  // digit separator, not a char literal
+
+void
+check_widget(int n)
+{
+    // assert(n) in a comment is fine.
+    SIM_REQUIRE(n > 0, "widget count must be positive");
+    static_assert(sizeof(int) >= 4, "ILP32 or wider");
+    (void)kBanner;
+    (void)kMultiline;
+    (void)kEscaped;
+    (void)kBig;
+}

@@ -1,0 +1,13 @@
+#include <cstdint>
+
+std::uint32_t
+truncate(std::uint64_t vaddr)
+{
+    return static_cast<std::uint32_t>(vaddr);
+}
+
+unsigned
+truncate_c_style(std::uint64_t paddr)
+{
+    return (unsigned)(paddr);
+}

@@ -1,0 +1,19 @@
+#include <cstdint>
+
+std::uint32_t
+page_offset(std::uint64_t vaddr)
+{
+    return static_cast<std::uint32_t>(vaddr & 0xfffULL);  // masked first
+}
+
+std::uint64_t
+widen(std::uint64_t paddr)
+{
+    return static_cast<std::uint64_t>(paddr);  // full width is fine
+}
+
+std::uint32_t
+set_index(std::uint64_t vaddr)
+{
+    return static_cast<std::uint32_t>(vaddr >> 6 & 0x3f);
+}

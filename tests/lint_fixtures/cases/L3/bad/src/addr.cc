@@ -1,0 +1,7 @@
+#include <cstdint>
+
+int
+to_signed(std::uint64_t ppn)
+{
+    return static_cast<int>(ppn);
+}

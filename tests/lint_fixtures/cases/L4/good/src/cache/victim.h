@@ -1,0 +1,22 @@
+#pragma once
+#include <cstdint>
+
+class VictimBuffer {
+ public:
+    void insert(std::uint64_t tag);
+
+ private:
+    std::uint64_t last_tag_ = 0;  // covered: audit.cc names it
+};
+
+/** Pure interface: exempt without any registration. */
+class ReplacementPolicy {
+ public:
+    virtual ~ReplacementPolicy() = default;
+    virtual int pick_victim() = 0;
+};
+
+class ScratchPad {
+ private:
+    int tmp_ = 0;  // exempt via LINT_AUDIT_EXEMPT in audit.cc
+};

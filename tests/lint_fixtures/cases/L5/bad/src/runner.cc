@@ -1,0 +1,9 @@
+void
+run_one()
+{
+    try {
+        // work
+    } catch (...) {
+        // swallowed: failure class is lost
+    }
+}

@@ -1,0 +1,20 @@
+void
+run_one()
+{
+    try {
+        // work
+    } catch (...) {  // LINT_CATCH_OK: rethrown after cleanup below
+        throw;
+    }
+}
+
+void
+run_two()
+{
+    try {
+        // work
+        // LINT_CATCH_OK: classified into JobErrorCode on the next line
+    } catch (...) {
+        // classify_current_exception();
+    }
+}

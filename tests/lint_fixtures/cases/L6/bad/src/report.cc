@@ -1,0 +1,10 @@
+#include <cstdio>
+#include <iostream>
+
+void
+chatty(int pct)
+{
+    std::cout << "progress: " << pct << "\n";
+    std::printf("done\n");
+    std::fprintf(stderr, "note\n");
+}

@@ -1,0 +1,13 @@
+#include <cstdio>
+#include <iostream>
+
+void
+report(int pct)
+{
+    std::cout << "final table\n";  // LINT_LOG_OK: the report surface
+    // LINT_LOG_OK: usage error goes to the operator, not telemetry
+    std::fprintf(stderr, "usage: report PCT\n");
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%d", pct);  // not console output
+    (void)buf;
+}

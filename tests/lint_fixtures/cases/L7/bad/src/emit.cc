@@ -1,0 +1,30 @@
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+struct Row {
+    int value;
+};
+
+std::unordered_map<std::string, Row> rows_;
+std::map<Row *, int> by_ptr_;  // pointer key: address order
+
+void
+emit_csv()
+{
+    // Seeded violation: CSV row order follows libstdc++ hash order.
+    for (const auto &kv : rows_) {
+        std::cout << kv.first << "," << kv.second.value << "\n";
+    }
+}
+
+unsigned
+seed_from_clock()
+{
+    std::srand(static_cast<unsigned>(std::time(nullptr)));
+    const auto t = std::chrono::steady_clock::now();
+    return static_cast<unsigned>(t.time_since_epoch().count());
+}

@@ -1,0 +1,49 @@
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+struct Row {
+    int value;
+};
+
+std::unordered_map<std::string, Row> rows_;
+
+void
+emit_csv()
+{
+    // Sort into a vector before emitting: byte-identical across runs.
+    std::vector<std::pair<std::string, int>> sorted_rows;
+    sorted_rows.reserve(rows_.size());
+    // LINT_ORDER_OK: collection into a vector that is sorted below.
+    for (const auto &kv : rows_) {
+        sorted_rows.emplace_back(kv.first, kv.second.value);
+    }
+    std::sort(sorted_rows.begin(), sorted_rows.end());
+    for (const auto &row : sorted_rows) {
+        std::cout << row.first << "," << row.second << "\n";
+    }
+}
+
+long
+trace_timestamp_us()
+{
+    // LINT_NONDET_OK: trace timestamps are wall-time by design and
+    // never reach a result CSV.
+    const auto t = std::chrono::steady_clock::now();
+    return static_cast<long>(t.time_since_epoch().count());
+}
+
+int
+total()
+{
+    int sum = 0;
+    // LINT_ORDER_OK: commutative sum; order cannot affect the result.
+    for (const auto &kv : rows_) {
+        sum += kv.second.value;
+    }
+    return sum;
+}

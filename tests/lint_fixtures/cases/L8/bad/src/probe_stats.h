@@ -1,0 +1,19 @@
+#pragma once
+#include <cstdint>
+
+/** Seeded violations: `skips` is missing from operator- (epoch
+ *  deltas carry stale values) and is never read by any report path;
+ *  DropStats has no reset/delta path at all. */
+struct ProbeStats {
+    std::uint64_t hits = 0;
+    std::uint64_t skips = 0;
+
+    ProbeStats operator-(const ProbeStats &o) const
+    {
+        return {hits - o.hits};
+    }
+};
+
+struct DropStats {
+    std::uint64_t dropped = 0;
+};

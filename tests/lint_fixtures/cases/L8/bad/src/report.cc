@@ -1,0 +1,11 @@
+#include <iostream>
+
+#include "probe_stats.h"
+
+void
+report(const ProbeStats &s, const DropStats &d)
+{
+    std::cout << s.hits << "\n";      // hits is reported...
+    std::cout << d.dropped << "\n";   // ...and dropped is reported,
+    // but nothing ever reads skips, and DropStats has no reset path.
+}

@@ -1,0 +1,20 @@
+#pragma once
+#include <cstdint>
+
+struct ProbeStats {
+    std::uint64_t hits = 0;
+    std::uint64_t skips = 0;
+    // LINT_STATS_OK: scratch cursor for the sampler, not a counter.
+    std::uint64_t scan_cursor = 0;
+
+    ProbeStats operator-(const ProbeStats &o) const
+    {
+        return {hits - o.hits, skips - o.skips};
+    }
+};
+
+struct DropStats {
+    std::uint64_t dropped = 0;
+
+    void reset() { dropped = 0; }
+};

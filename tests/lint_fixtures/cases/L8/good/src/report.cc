@@ -1,0 +1,9 @@
+#include <iostream>
+
+#include "probe_stats.h"
+
+void
+report(const ProbeStats &s, const DropStats &d)
+{
+    std::cout << s.hits << "," << s.skips << "," << d.dropped << "\n";
+}

@@ -1,0 +1,18 @@
+#pragma once
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+class Worker {
+ public:
+    void bump()
+    {
+        std::lock_guard<std::mutex> lock(mu_);  // invisible to analysis
+        ++count_;
+    }
+
+ private:
+    std::mutex mu_;      // bare mutex: analysis cannot see it
+    SimMutex lonely_;    // annotated type, but guards nothing
+    int count_ = 0;
+};

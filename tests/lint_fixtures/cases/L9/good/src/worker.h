@@ -1,0 +1,15 @@
+#pragma once
+#include "common/thread_annotations.h"
+
+class Worker {
+ public:
+    void bump()
+    {
+        SimMutexLock lock(&mu_);
+        ++count_;
+    }
+
+ private:
+    mutable SimMutex mu_;
+    int count_ SIM_GUARDED_BY(mu_) = 0;
+};

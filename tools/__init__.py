@@ -1,0 +1,2 @@
+# Makes tools/ importable so `python3 -m tools.simlint` works from the
+# repository root (the only supported invocation directory).

@@ -1,336 +1,18 @@
 #!/usr/bin/env python3
-"""Repo-specific lint rules for mokasim.
+"""Deprecated shim: the linter grew into the tools/simlint package.
 
-Generic tooling (clang-tidy, -Wall -Wextra) cannot express the
-project's own correctness conventions, so this script enforces them:
-
-  L1  no raw `assert` / <cassert> in src/ -- simulator code must use
-      SIM_REQUIRE (always-on) or SIM_AUDIT (audit builds) from
-      common/check.h so precondition failures are never compiled out
-      by NDEBUG in release builds.
-  L2  no truncating casts of address-typed expressions to 32-bit (or
-      narrower) integer types.  Virtual and physical addresses are 64
-      bits wide; a 32-bit cast silently aliases addresses 4 GiB apart.
-      Casts of expressions already masked/shifted into a narrow range
-      are allowed.
-  L3  no casts of address-typed expressions to narrow *signed* types.
-      Address arithmetic is unsigned; a signed narrow cast invites
-      implementation-defined wrap and sign-extension bugs when mixed
-      back into 64-bit arithmetic.
-  L4  every stateful simulator component (a class/struct in
-      src/{cache,dram,vmem,filter} headers that has data members) must
-      be registered with the invariant auditor: its name must appear
-      in src/audit/audit.cc.  Pure interfaces (only pure-virtual
-      methods) are exempt, as are names listed on a
-      `LINT_AUDIT_EXEMPT: Name` line in audit.cc.
-  L5  no bare `catch (...)` in src/.  Swallowing an unknown exception
-      erases the failure class the job engine's taxonomy
-      (sim/jobs/job.h) exists to preserve.  A bare catch is allowed
-      only when annotated with a `LINT_CATCH_OK: <why>` comment on the
-      same line, which asserts the handler classifies or rethrows.
-  L6  no raw progress output in src/: `std::cout` / `printf` /
-      `fprintf(stdout, ...)` corrupt machine-readable tool output
-      (sweep CSV goes to stdout), and ad-hoc stderr chatter bypasses
-      the telemetry subsystem (src/telemetry/) that exists for
-      progress reporting.  Deliberate surfaces -- the report-table
-      printer, usage errors, crash/audit diagnostics -- are annotated
-      with `LINT_LOG_OK: <why>` on the same line.
-
-Exit status is non-zero when any finding is produced.  Run from the
-repo root:  python3 tools/lint_sim.py
+Kept so muscle memory (`python3 tools/lint_sim.py`) and old docs keep
+working; the package adds rules L7-L9, --fix, --explain, and a real
+C++ lexer.  Prefer:  python3 -m tools.simlint
 """
 
-from __future__ import annotations
-
-import re
 import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
-SRC = REPO / "src"
-AUDIT_CC = SRC / "audit" / "audit.cc"
+sys.path.insert(0, str(REPO))
 
-# Directories whose headers define stateful simulator components that
-# the auditor is expected to cover (rule L4).
-AUDITED_DIRS = ("cache", "dram", "vmem", "filter")
-
-# Identifier fragments that mark an expression as address-typed for
-# rules L2/L3.
-ADDR_WORD = r"(?:vaddr|paddr|addr|vpn|ppn|pc)"
-
-findings: list[tuple[str, Path, int, str]] = []
-
-
-def finding(rule: str, path: Path, line_no: int, message: str) -> None:
-    findings.append((rule, path, line_no, message))
-
-
-def strip_comments(text: str) -> str:
-    """Blank out comments and string literals, preserving line structure."""
-    out: list[str] = []
-    i, n = 0, len(text)
-    while i < n:
-        ch = text[i]
-        if ch == "/" and i + 1 < n and text[i + 1] == "/":
-            j = text.find("\n", i)
-            if j == -1:
-                break
-            i = j  # keep the newline
-        elif ch == "/" and i + 1 < n and text[i + 1] == "*":
-            j = text.find("*/", i + 2)
-            end = n if j == -1 else j + 2
-            out.append("".join(c if c == "\n" else " " for c in text[i:end]))
-            i = end
-        elif ch in "\"'":
-            quote = ch
-            j = i + 1
-            while j < n and text[j] != quote:
-                j += 2 if text[j] == "\\" else 1
-            j = min(j + 1, n)
-            # Preserve newlines so line numbers stay honest even when a
-            # digit separator (800'000) mis-pairs across lines.
-            if j - i >= 2:
-                inner = "".join(
-                    c if c == "\n" else " " for c in text[i + 1:j - 1])
-                out.append(quote + inner + quote)
-            else:
-                out.append(text[i:j])
-            i = j
-        else:
-            out.append(ch)
-            i += 1
-    return "".join(out)
-
-
-def src_files(suffixes: tuple[str, ...]) -> list[Path]:
-    return sorted(p for p in SRC.rglob("*") if p.suffix in suffixes)
-
-
-# --------------------------------------------------------------------------
-# L1: raw assert in src/
-# --------------------------------------------------------------------------
-
-def check_l1() -> None:
-    assert_call = re.compile(r"(?<![\w.])assert\s*\(")
-    cassert_inc = re.compile(r'#\s*include\s*<cassert>|#\s*include\s*"assert\.h"')
-    for path in src_files((".h", ".cc")):
-        if path == SRC / "common" / "check.h":
-            continue  # the one place allowed to talk about assert
-        text = strip_comments(path.read_text())
-        for no, line in enumerate(text.splitlines(), 1):
-            if cassert_inc.search(line):
-                finding("L1", path, no,
-                        "<cassert> include in simulator code; use "
-                        '"common/check.h" (SIM_REQUIRE / SIM_AUDIT) instead')
-            elif assert_call.search(line) and "static_assert" not in line:
-                finding("L1", path, no,
-                        "raw assert() is compiled out by NDEBUG; use "
-                        "SIM_REQUIRE (always-on) or SIM_AUDIT (audit builds)")
-
-
-# --------------------------------------------------------------------------
-# L2/L3: narrowing casts of address-typed expressions
-# --------------------------------------------------------------------------
-
-NARROW_UNSIGNED = (
-    r"(?:std::)?uint(?:8|16|32)_t|unsigned\s+(?:char|short|int)\b|unsigned\b(?!\s+long)"
-)
-NARROW_SIGNED = (
-    r"(?:std::)?int(?:8|16|32)_t(?!\d)|short\b|(?<!unsigned\s)(?<!long\s)\bint\b"
-)
-
-
-def cast_sites(line: str, type_pattern: str):
-    """Yield (column, inner_expression) for static_cast<T>(expr) and
-    C-style (T)(expr) casts whose T matches type_pattern."""
-    for m in re.finditer(r"static_cast\s*<\s*(" + type_pattern + r")\s*>\s*\(", line):
-        yield m.start(), _balanced(line, m.end() - 1)
-    for m in re.finditer(r"\(\s*(" + type_pattern + r")\s*\)\s*\(?", line):
-        rest = line[m.end() - 1:]
-        yield m.start(), rest if not rest.startswith("(") else _balanced(line, m.end() - 1)
-
-
-def _balanced(line: str, open_paren: int) -> str:
-    depth = 0
-    for i in range(open_paren, len(line)):
-        if line[i] == "(":
-            depth += 1
-        elif line[i] == ")":
-            depth -= 1
-            if depth == 0:
-                return line[open_paren + 1:i]
-    return line[open_paren + 1:]
-
-
-def is_masked(expr: str) -> bool:
-    """True when the expression is already reduced below 32 bits via a
-    mask, modulo, or shift before the cast."""
-    return bool(re.search(r"[&%]|>>", expr))
-
-
-def check_l2_l3() -> None:
-    addr_expr = re.compile(r"\b\w*" + ADDR_WORD + r"\w*\b", re.IGNORECASE)
-    for path in src_files((".h", ".cc")):
-        text = strip_comments(path.read_text())
-        for no, line in enumerate(text.splitlines(), 1):
-            for _, expr in cast_sites(line, NARROW_UNSIGNED):
-                if addr_expr.search(expr) and not is_masked(expr):
-                    finding("L2", path, no,
-                            f"cast truncates address expression `{expr.strip()}` "
-                            "to <=32 bits; mask or shift the value first")
-            for _, expr in cast_sites(line, NARROW_SIGNED):
-                if addr_expr.search(expr) and not is_masked(expr):
-                    finding("L3", path, no,
-                            f"narrow signed cast of address expression "
-                            f"`{expr.strip()}`; address math must stay unsigned")
-
-
-# --------------------------------------------------------------------------
-# L4: stateful components must be registered with the auditor
-# --------------------------------------------------------------------------
-
-CLASS_RE = re.compile(
-    r"^\s*(?:class|struct)\s+([A-Z]\w*)\s*(?:final\s*)?(?::[^{;]*)?\{",
-    re.MULTILINE)
-
-
-def class_bodies(text: str):
-    """Yield (name, body, line_no) for top-level class/struct definitions."""
-    lines = text.splitlines()
-    joined = "\n".join(lines)
-    for m in CLASS_RE.finditer(joined):
-        name = m.group(1)
-        body = _balanced_braces(joined, joined.index("{", m.start()))
-        line_no = joined[:m.start()].count("\n") + 1
-        yield name, body, line_no
-
-
-def _balanced_braces(text: str, open_brace: int) -> str:
-    depth = 0
-    for i in range(open_brace, len(text)):
-        if text[i] == "{":
-            depth += 1
-        elif text[i] == "}":
-            depth -= 1
-            if depth == 0:
-                return text[open_brace + 1:i]
-    return text[open_brace + 1:]
-
-
-def has_data_members(body: str) -> bool:
-    # Strip nested braces (method bodies, nested types) so we only see
-    # the class's own declaration lines.
-    flat = []
-    depth = 0
-    for ch in body:
-        if ch == "{":
-            depth += 1
-        elif ch == "}":
-            depth -= 1
-        elif depth == 0:
-            flat.append(ch)
-    member = re.compile(
-        r"^\s*(?!using|typedef|friend|static\s+constexpr|static\s+const\b|enum\b)"
-        r"[\w:<>,\s*&]+?\s+\w+_\s*(?:\[[^\]]*\]\s*)?(?:=[^;]*)?;", re.MULTILINE)
-    return bool(member.search("".join(flat)))
-
-
-def is_pure_interface(body: str) -> bool:
-    return "= 0" in body and not has_data_members(body)
-
-
-def check_l4() -> None:
-    audit_text = AUDIT_CC.read_text() if AUDIT_CC.exists() else ""
-    exempt = set(re.findall(r"LINT_AUDIT_EXEMPT:\s*(\w+)", audit_text))
-    for sub in AUDITED_DIRS:
-        for path in sorted((SRC / sub).glob("*.h")):
-            text = strip_comments(path.read_text())
-            for name, body, line_no in class_bodies(text):
-                if not has_data_members(body):
-                    continue
-                if is_pure_interface(body):
-                    continue
-                if name in exempt:
-                    continue
-                if re.search(r"\b" + re.escape(name) + r"\b", audit_text):
-                    continue
-                finding("L4", path, line_no,
-                        f"stateful component `{name}` has no coverage in "
-                        "src/audit/audit.cc; add an auditor or a "
-                        f"`LINT_AUDIT_EXEMPT: {name}` line with rationale")
-
-
-# --------------------------------------------------------------------------
-# L5: bare catch (...) must classify, not swallow
-# --------------------------------------------------------------------------
-
-CATCH_ALL_RE = re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)")
-
-
-def check_l5() -> None:
-    for path in src_files((".h", ".cc")):
-        stripped = strip_comments(path.read_text())
-        # Annotations live in comments, so scan the raw text for them.
-        raw_lines = path.read_text().splitlines()
-        for no, line in enumerate(stripped.splitlines(), 1):
-            if not CATCH_ALL_RE.search(line):
-                continue
-            raw = raw_lines[no - 1] if no <= len(raw_lines) else ""
-            if "LINT_CATCH_OK" in raw:
-                continue
-            finding("L5", path, no,
-                    "bare `catch (...)` without classification; map the "
-                    "failure to a JobErrorCode (sim/jobs/job.h) or annotate "
-                    "the line with `LINT_CATCH_OK: <why>`")
-
-
-# --------------------------------------------------------------------------
-# L6: no raw console output in library code
-# --------------------------------------------------------------------------
-
-CONSOLE_RE = re.compile(
-    r"std::cout\b|std::cerr\b"
-    r"|(?<!\w)(?:std::)?printf\s*\("        # snprintf/sprintf excluded
-    r"|(?<!\w)(?:std::)?puts\s*\("
-    r"|(?<!\w)(?:std::)?putchar\s*\("
-    r"|(?<!\w)(?:std::)?v?fprintf\s*\(\s*(?:stdout|stderr)\b"
-    r"|(?<!\w)(?:std::)?fputs?\s*\([^;]*,\s*(?:stdout|stderr)\s*\)"
-    r"|(?<!\w)(?:std::)?fwrite\s*\([^;]*,\s*(?:stdout|stderr)\s*\)")
-
-
-def check_l6() -> None:
-    for path in src_files((".h", ".cc")):
-        stripped = strip_comments(path.read_text())
-        raw_lines = path.read_text().splitlines()
-        for no, line in enumerate(stripped.splitlines(), 1):
-            if not CONSOLE_RE.search(line):
-                continue
-            raw = raw_lines[no - 1] if no <= len(raw_lines) else ""
-            if "LINT_LOG_OK" in raw:
-                continue
-            finding("L6", path, no,
-                    "raw console output in library code; route progress "
-                    "through src/telemetry/ or annotate a deliberate "
-                    "report/diagnostic surface with `LINT_LOG_OK: <why>`")
-
-
-def main() -> int:
-    check_l1()
-    check_l2_l3()
-    check_l4()
-    check_l5()
-    check_l6()
-    if not findings:
-        print("lint_sim: clean (L1 raw-assert, L2 address truncation, "
-              "L3 signed-narrowing, L4 audit coverage, L5 bare catch, "
-              "L6 raw console output)")
-        return 0
-    for rule, path, line_no, message in findings:
-        rel = path.relative_to(REPO)
-        print(f"{rel}:{line_no}: [{rule}] {message}")
-    print(f"lint_sim: {len(findings)} finding(s)")
-    return 1
-
+from tools.simlint import main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(["--root", str(REPO)] + sys.argv[1:]))

@@ -1,0 +1,131 @@
+"""Programmatic entry points and the command-line interface."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import textwrap
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import tools.simlint.rules  # noqa: F401  (registers the built-in rules)
+from tools.simlint.model import Finding, Project
+from tools.simlint.registry import RULES, all_rules
+
+
+def lint(root: Path, rule_ids: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Run the selected rules (default: all) over the tree at *root*."""
+    project = Project(Path(root))
+    selected = all_rules()
+    if rule_ids is not None:
+        unknown = sorted(set(rule_ids) - set(RULES))
+        if unknown:
+            raise KeyError(f"unknown rule id(s): {', '.join(unknown)}")
+        selected = [r for r in selected if r.id in set(rule_ids)]
+    findings: List[Finding] = []
+    for r in selected:
+        findings.extend(r.check(project))
+    findings.sort(key=lambda f: (str(f.path), f.line, f.rule))
+    return findings
+
+
+def apply_fixes(findings: List[Finding]) -> int:
+    """Apply full-line replacements for findings that carry one.
+
+    Returns the number of lines rewritten.  Multiple fixes to one file
+    are applied together; findings without a replacement are ignored.
+    """
+    by_file: Dict[Path, List[Finding]] = defaultdict(list)
+    for f in findings:
+        if f.replacement is not None:
+            by_file[f.path].append(f)
+    fixed = 0
+    for path, todo in by_file.items():
+        lines = path.read_text().splitlines(keepends=True)
+        for f in todo:
+            if 1 <= f.line <= len(lines):
+                eol = "\n" if lines[f.line - 1].endswith("\n") else ""
+                lines[f.line - 1] = f.replacement + eol
+                fixed += 1
+        path.write_text("".join(lines))
+    return fixed
+
+
+def _explain(rule_id: str) -> int:
+    if rule_id not in RULES:
+        print(f"simlint: unknown rule `{rule_id}`; try --list", file=sys.stderr)
+        return 2
+    r = RULES[rule_id]
+    print(f"{r.id}: {r.title}\n")
+    print(textwrap.dedent(r.doc).strip())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python3 -m tools.simlint",
+        description="mokasim's repo-specific static analyzer",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path.cwd(),
+        help="project root to lint (default: current directory; "
+        "fixtures pass their own mini-tree here)",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="L1,L7,...",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply mechanical fixes where a rule offers one, then re-check",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        help="print what a rule enforces and why, then exit",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.explain:
+        return _explain(args.explain)
+    if args.list:
+        for r in all_rules():
+            print(f"{r.id}  {r.title}")
+        return 0
+
+    rule_ids = args.rules.split(",") if args.rules else None
+    try:
+        findings = lint(args.root, rule_ids)
+    except KeyError as err:
+        print(f"simlint: {err.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.fix and findings:
+        fixed = apply_fixes(findings)
+        if fixed:
+            print(f"simlint: fixed {fixed} line(s), re-checking")
+            findings = lint(args.root, rule_ids)
+
+    root = Path(args.root).resolve()
+    if not findings:
+        ran = all_rules() if rule_ids is None else [RULES[i] for i in rule_ids]
+        print(
+            "simlint: clean ("
+            + ", ".join(f"{r.id} {r.title}" for r in ran)
+            + ")"
+        )
+        return 0
+    for f in findings:
+        print(f.render(root))
+    print(f"simlint: {len(findings)} finding(s)")
+    return 1

@@ -1,0 +1,97 @@
+"""Small structural helpers over lexed C++ text.
+
+These work on *code* text (see :mod:`tools.simlint.lexer`), so brace
+and paren counting is not fooled by comments or string literals.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, Tuple
+
+CLASS_RE = re.compile(
+    r"^\s*(?:class|struct)\s+([A-Z]\w*)\s*(?:final\s*)?(?::[^{;]*)?\{",
+    re.MULTILINE,
+)
+
+
+def balanced_parens(text: str, open_paren: int) -> str:
+    """Contents of the paren group opening at *open_paren*."""
+    depth = 0
+    for i in range(open_paren, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren + 1 : i]
+    return text[open_paren + 1 :]
+
+
+def balanced_braces(text: str, open_brace: int) -> str:
+    """Contents of the brace block opening at *open_brace*."""
+    depth = 0
+    for i in range(open_brace, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return text[open_brace + 1 : i]
+    return text[open_brace + 1 :]
+
+
+def class_bodies(code: str) -> Iterator[Tuple[str, str, int]]:
+    """Yield (name, body, line_no) for class/struct definitions."""
+    for m in CLASS_RE.finditer(code):
+        name = m.group(1)
+        body = balanced_braces(code, code.index("{", m.start()))
+        line_no = code[: m.start()].count("\n") + 1
+        yield name, body, line_no
+
+
+def depth0(body: str) -> str:
+    """Strip nested brace blocks, keeping only the outermost level.
+
+    Newlines inside stripped blocks are preserved so line-oriented
+    regexes see the original vertical layout.
+    """
+    flat = []
+    depth = 0
+    for ch in body:
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+        elif depth == 0:
+            flat.append(ch)
+        elif ch == "\n":
+            flat.append(ch)
+    return "".join(flat)
+
+
+def has_data_members(body: str) -> bool:
+    member = re.compile(
+        r"^\s*(?!using|typedef|friend|static\s+constexpr|static\s+const\b|enum\b)"
+        r"[\w:<>,\s*&]+?\s+\w+_\s*(?:\[[^\]]*\]\s*)?(?:=[^;]*)?;",
+        re.MULTILINE,
+    )
+    return bool(member.search(depth0(body)))
+
+
+def is_pure_interface(body: str) -> bool:
+    return "= 0" in body and not has_data_members(body)
+
+
+def cast_sites(line: str, type_pattern: str):
+    """Yield (column, inner_expression) for static_cast<T>(expr) and
+    C-style (T)(expr) casts whose T matches *type_pattern*."""
+    for m in re.finditer(
+        r"static_cast\s*<\s*(" + type_pattern + r")\s*>\s*\(", line
+    ):
+        yield m.start(), balanced_parens(line, m.end() - 1)
+    for m in re.finditer(r"\(\s*(" + type_pattern + r")\s*\)\s*\(?", line):
+        rest = line[m.end() - 1 :]
+        yield m.start(), (
+            rest if not rest.startswith("(") else balanced_parens(line, m.end() - 1)
+        )

@@ -1,0 +1,149 @@
+"""C++-aware text preparation for simlint rules.
+
+Rules match regexes against *code* text: the original file with
+comment and literal contents blanked out, byte-for-byte aligned with
+the raw text (newlines are preserved, everything else is replaced by
+spaces).  Getting this right is what keeps every rule honest; the
+previous generation of the linter used a line-oriented stripper that
+mis-handled raw string literals and escaped quotes, so e.g. a
+``R"(assert()"`` inside a test string produced a false L1 finding and
+a ``"\""`` could hide real code from every rule.
+
+Handled here:
+
+* ``//`` and ``/* ... */`` comments (including ``//`` with a trailing
+  backslash continuation),
+* string and character literals with escape sequences,
+* encoding prefixes ``u8``, ``u``, ``U``, ``L`` on either kind,
+* raw string literals ``R"delim( ... )delim"`` with any delimiter and
+  any prefix, whose contents may span lines and contain ``//`` or
+  quotes,
+* digit separators (``1'000'000``) — the ``'`` does not open a
+  character literal when it follows an identifier character.
+
+The delimiting quotes themselves are kept so that rules can still see
+"there is a string literal here"; only the contents are blanked.
+"""
+
+from __future__ import annotations
+
+_IDENT = set("abcdefghijklmnopqrstuvwxyz" "ABCDEFGHIJKLMNOPQRSTUVWXYZ" "0123456789_")
+
+_PREFIXES = ("u8", "u", "U", "L")
+
+
+def _blank(text: str) -> str:
+    """Replace every character except newlines with a space."""
+    return "".join("\n" if c == "\n" else " " for c in text)
+
+
+def _has_prefix_before(text: str, i: int) -> bool:
+    """True if text[..i] ends with an encoding prefix that is itself a
+    standalone token (``u8"x"`` yes, ``menu"x"`` no)."""
+    for p in _PREFIXES:
+        start = i - len(p)
+        if start >= 0 and text[start:i] == p:
+            if start == 0 or text[start - 1] not in _IDENT:
+                return True
+    return False
+
+
+def strip_code(text: str) -> str:
+    """Return *text* with comments and literal contents blanked.
+
+    The result has the same length and the same newline positions as
+    the input, so line/column arithmetic carries over unchanged.
+    """
+    out: list[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        # ---- comments -------------------------------------------------
+        if c == "/" and i + 1 < n:
+            nxt = text[i + 1]
+            if nxt == "/":
+                j = i
+                while j < n and text[j] != "\n":
+                    # A line comment ending in a backslash continues
+                    # onto the next physical line.
+                    if text[j] == "\\" and j + 1 < n and text[j + 1] == "\n":
+                        j += 2
+                        continue
+                    j += 1
+                out.append(_blank(text[i:j]))
+                i = j
+                continue
+            if nxt == "*":
+                j = text.find("*/", i + 2)
+                j = n if j == -1 else j + 2
+                out.append(_blank(text[i:j]))
+                i = j
+                continue
+        # ---- raw string literals -------------------------------------
+        if c == "R" and i + 1 < n and text[i + 1] == '"':
+            standalone = (i == 0 or text[i - 1] not in _IDENT) or _has_prefix_before(
+                text, i
+            )
+            if standalone:
+                lparen = text.find("(", i + 2)
+                # The delimiter may not contain spaces, parens or
+                # backslashes and is at most 16 chars.
+                delim = text[i + 2 : lparen] if lparen != -1 else None
+                if (
+                    delim is not None
+                    and len(delim) <= 16
+                    and not any(ch in ' ()\\\n"' for ch in delim)
+                ):
+                    closer = ")" + delim + '"'
+                    end = text.find(closer, lparen + 1)
+                    end = n if end == -1 else end + len(closer)
+                    # Keep R"…( and )…" so rules can tell a literal is
+                    # present; blank only the contents.
+                    head = i + 2 + len(delim) + 1  # past the opening (
+                    body_end = max(head, end - len(closer))
+                    out.append(text[i:head])
+                    out.append(_blank(text[head:body_end]))
+                    out.append(text[body_end:end])
+                    i = end
+                    continue
+        # ---- ordinary string / char literals -------------------------
+        if c == '"' or c == "'":
+            if c == "'":
+                # Digit separator (1'000) or part of an identifier-ish
+                # token: previous char is alphanumeric/underscore and
+                # not an encoding prefix.
+                if (
+                    i > 0
+                    and text[i - 1] in _IDENT
+                    and not _has_prefix_before(text, i)
+                ):
+                    out.append(c)
+                    i += 1
+                    continue
+            j = i + 1
+            while j < n:
+                if text[j] == "\\" and j + 1 < n:
+                    j += 2
+                    continue
+                if text[j] == c:
+                    j += 1
+                    break
+                if text[j] == "\n":  # unterminated literal: stop at EOL
+                    break
+                j += 1
+            out.append(c)
+            inner_end = j - 1 if j <= n and text[j - 1 : j] == c and j - 1 > i else j
+            out.append(_blank(text[i + 1 : inner_end]))
+            if inner_end < j:
+                out.append(text[inner_end:j])
+            i = j
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def line_of(text: str, offset: int) -> int:
+    """1-based line number of *offset* in *text*."""
+    return text.count("\n", 0, offset) + 1

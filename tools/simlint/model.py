@@ -1,0 +1,108 @@
+"""Project / file / finding model shared by all simlint rules."""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from tools.simlint.lexer import strip_code
+
+
+@dataclasses.dataclass
+class Finding:
+    """One rule violation.
+
+    ``replacement``, when set, is a full-line substitution that
+    ``--fix`` may apply to the *raw* line (1-based ``line``).
+    """
+
+    rule: str
+    path: Path
+    line: int
+    message: str
+    replacement: Optional[str] = None
+
+    def render(self, root: Path) -> str:
+        try:
+            rel = self.path.relative_to(root)
+        except ValueError:
+            rel = self.path
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+class SourceFile:
+    """A lazily-lexed C++ source file."""
+
+    def __init__(self, path: Path, root: Path):
+        self.path = path
+        self.root = root
+        self._raw: Optional[str] = None
+        self._code: Optional[str] = None
+
+    @property
+    def rel(self) -> str:
+        return self.path.relative_to(self.root).as_posix()
+
+    @property
+    def raw(self) -> str:
+        if self._raw is None:
+            self._raw = self.path.read_text(errors="replace")
+        return self._raw
+
+    @property
+    def raw_lines(self) -> List[str]:
+        return self.raw.splitlines()
+
+    @property
+    def code(self) -> str:
+        """Raw text with comments and literal contents blanked."""
+        if self._code is None:
+            self._code = strip_code(self.raw)
+        return self._code
+
+    @property
+    def code_lines(self) -> List[str]:
+        return self.code.splitlines()
+
+    def annotated(self, line: int, tag: str, lookback: int = 2) -> bool:
+        """True if *tag* appears in the raw text on 1-based ``line`` or
+        on up to *lookback* immediately preceding lines.  Escape
+        annotations (``LINT_*``) live in comments, usually directly
+        above the statement they describe."""
+        lines = self.raw_lines
+        lo = max(0, line - 1 - lookback)
+        return any(tag in lines[i] for i in range(lo, min(line, len(lines))))
+
+
+class Project:
+    """The tree under ``--root``: the real repo or a fixture tree."""
+
+    SRC_SUFFIXES = (".h", ".cc")
+
+    def __init__(self, root: Path):
+        self.root = root.resolve()
+        self._files: Dict[Path, SourceFile] = {}
+        self._src_cache: Optional[Tuple[SourceFile, ...]] = None
+
+    def file(self, path: Path) -> SourceFile:
+        path = path.resolve()
+        if path not in self._files:
+            self._files[path] = SourceFile(path, self.root)
+        return self._files[path]
+
+    def src_files(self) -> Tuple[SourceFile, ...]:
+        """All C++ sources under src/, sorted for stable output."""
+        if self._src_cache is None:
+            src = self.root / "src"
+            paths = sorted(
+                p
+                for p in src.rglob("*")
+                if p.is_file() and p.suffix in self.SRC_SUFFIXES
+            ) if src.is_dir() else []
+            self._src_cache = tuple(self.file(p) for p in paths)
+        return self._src_cache
+
+    def maybe(self, rel: str) -> Optional[SourceFile]:
+        p = self.root / rel
+        return self.file(p) if p.is_file() else None

@@ -1,0 +1,44 @@
+"""Rule plugin registry.
+
+A rule is a function ``(Project) -> list[Finding]`` registered with
+the :func:`rule` decorator; its docstring doubles as the ``--explain``
+text.  Importing :mod:`tools.simlint.rules` registers the built-in
+rule set; out-of-tree rules only need to import this module and
+decorate a function before :func:`tools.simlint.api.lint` runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+from typing import Callable, Dict, List
+
+from tools.simlint.model import Finding, Project
+
+CheckFn = Callable[[Project], List[Finding]]
+
+
+@dataclasses.dataclass
+class Rule:
+    id: str
+    title: str
+    check: CheckFn
+    doc: str
+
+
+RULES: Dict[str, Rule] = {}
+
+
+def rule(rule_id: str, title: str) -> Callable[[CheckFn], CheckFn]:
+    def deco(fn: CheckFn) -> CheckFn:
+        if rule_id in RULES:
+            raise ValueError(f"duplicate rule id {rule_id}")
+        RULES[rule_id] = Rule(rule_id, title, fn, inspect.getdoc(fn) or title)
+        return fn
+
+    return deco
+
+
+def all_rules() -> List[Rule]:
+    """Rules in id order (L1, L2, ... L10 sorts numerically)."""
+    return sorted(RULES.values(), key=lambda r: (len(r.id), r.id))

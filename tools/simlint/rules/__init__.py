@@ -1,0 +1,12 @@
+"""Built-in rule set.  Importing this package registers every rule."""
+
+from tools.simlint.rules import (  # noqa: F401
+    l1_assert,
+    l2_l3_casts,
+    l4_audit,
+    l5_catch,
+    l6_console,
+    l7_determinism,
+    l8_stats,
+    l9_locks,
+)

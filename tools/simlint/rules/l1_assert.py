@@ -1,0 +1,55 @@
+"""L1: no raw assert / <cassert> in src/."""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from tools.simlint.model import Finding, Project
+from tools.simlint.registry import rule
+
+ASSERT_CALL = re.compile(r"(?<![\w.])assert\s*\(")
+CASSERT_INC = re.compile(r'#\s*include\s*<cassert>|#\s*include\s*"assert\.h"')
+
+
+@rule("L1", "no raw assert in simulator code")
+def check(project: Project) -> List[Finding]:
+    """Simulator code must use SIM_REQUIRE (always-on) or SIM_AUDIT
+    (audit builds) from common/check.h instead of raw assert().
+
+    Why: release builds define NDEBUG, which compiles assert() out
+    entirely — a precondition that silently stops being checked is
+    worse than none, because readers trust it.  SIM_REQUIRE survives
+    every build type; SIM_AUDIT is the opt-in expensive tier.
+
+    Fix: `--fix` rewrites `#include <cassert>` to
+    `#include "common/check.h"`; assert() call sites need a judgement
+    call (REQUIRE vs AUDIT) and are left to the author.
+    """
+    out: List[Finding] = []
+    for sf in project.src_files():
+        if sf.rel == "src/common/check.h":
+            continue  # the one place allowed to talk about assert
+        for no, line in enumerate(sf.code_lines, 1):
+            if CASSERT_INC.search(line):
+                out.append(
+                    Finding(
+                        "L1",
+                        sf.path,
+                        no,
+                        "<cassert> include in simulator code; use "
+                        '"common/check.h" (SIM_REQUIRE / SIM_AUDIT) instead',
+                        replacement='#include "common/check.h"',
+                    )
+                )
+            elif ASSERT_CALL.search(line) and "static_assert" not in line:
+                out.append(
+                    Finding(
+                        "L1",
+                        sf.path,
+                        no,
+                        "raw assert() is compiled out by NDEBUG; use "
+                        "SIM_REQUIRE (always-on) or SIM_AUDIT (audit builds)",
+                    )
+                )
+    return out

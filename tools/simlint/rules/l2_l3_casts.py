@@ -1,0 +1,83 @@
+"""L2/L3: narrowing casts of address-typed expressions."""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from tools.simlint.cppparse import cast_sites
+from tools.simlint.model import Finding, Project
+from tools.simlint.registry import rule
+
+# Identifier fragments that mark an expression as address-typed.
+ADDR_WORD = r"(?:vaddr|paddr|addr|vpn|ppn|pc)"
+ADDR_EXPR = re.compile(r"\b\w*" + ADDR_WORD + r"\w*\b", re.IGNORECASE)
+
+NARROW_UNSIGNED = (
+    r"(?:std::)?uint(?:8|16|32)_t|unsigned\s+(?:char|short|int)\b"
+    r"|unsigned\b(?!\s+long)"
+)
+NARROW_SIGNED = (
+    r"(?:std::)?int(?:8|16|32)_t(?!\d)|short\b|(?<!unsigned\s)(?<!long\s)\bint\b"
+)
+
+
+def _is_masked(expr: str) -> bool:
+    """True when the expression is already reduced below 32 bits via a
+    mask, modulo, or shift before the cast."""
+    return bool(re.search(r"[&%]|>>", expr))
+
+
+@rule("L2", "no truncating casts of addresses")
+def check_l2(project: Project) -> List[Finding]:
+    """No casts of address-typed expressions (vaddr/paddr/vpn/ppn/pc)
+    to unsigned types of 32 bits or narrower.
+
+    Why: addresses are 64 bits wide in this simulator; a 32-bit cast
+    silently aliases addresses 4 GiB apart and corrupts every derived
+    statistic without crashing.  Casts of expressions already
+    masked/shifted into a narrow range (`&`, `%`, `>>`) are allowed.
+    """
+    out: List[Finding] = []
+    for sf in project.src_files():
+        for no, line in enumerate(sf.code_lines, 1):
+            for _, expr in cast_sites(line, NARROW_UNSIGNED):
+                if ADDR_EXPR.search(expr) and not _is_masked(expr):
+                    out.append(
+                        Finding(
+                            "L2",
+                            sf.path,
+                            no,
+                            "cast truncates address expression "
+                            f"`{expr.strip()}` to <=32 bits; mask or shift "
+                            "the value first",
+                        )
+                    )
+    return out
+
+
+@rule("L3", "no narrow signed casts of addresses")
+def check_l3(project: Project) -> List[Finding]:
+    """No casts of address-typed expressions to narrow *signed* types.
+
+    Why: address arithmetic is unsigned; a signed narrow cast invites
+    implementation-defined wrap and sign-extension bugs when the value
+    is mixed back into 64-bit arithmetic.  The same mask/shift escape
+    as L2 applies.
+    """
+    out: List[Finding] = []
+    for sf in project.src_files():
+        for no, line in enumerate(sf.code_lines, 1):
+            for _, expr in cast_sites(line, NARROW_SIGNED):
+                if ADDR_EXPR.search(expr) and not _is_masked(expr):
+                    out.append(
+                        Finding(
+                            "L3",
+                            sf.path,
+                            no,
+                            "narrow signed cast of address expression "
+                            f"`{expr.strip()}`; address math must stay "
+                            "unsigned",
+                        )
+                    )
+    return out

@@ -1,0 +1,58 @@
+"""L4: stateful components must be registered with the auditor."""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from tools.simlint.cppparse import class_bodies, has_data_members, is_pure_interface
+from tools.simlint.model import Finding, Project
+from tools.simlint.registry import rule
+
+# Directories whose headers define stateful simulator components that
+# the auditor is expected to cover.
+AUDITED_DIRS = ("cache", "dram", "vmem", "filter")
+
+
+@rule("L4", "stateful components need audit coverage")
+def check(project: Project) -> List[Finding]:
+    """Every stateful simulator component (a class/struct with data
+    members in src/{cache,dram,vmem,filter} headers) must appear in
+    src/audit/audit.cc.
+
+    Why: the invariant auditor (src/audit/) is the safety net that
+    catches state corruption close to its cause; a component it never
+    visits is a component whose invariants silently rot.  Pure
+    interfaces are exempt, as are names listed on a
+    `LINT_AUDIT_EXEMPT: Name` line in audit.cc with a rationale.
+    """
+    audit = project.maybe("src/audit/audit.cc")
+    audit_text = audit.raw if audit is not None else ""
+    exempt = set(re.findall(r"LINT_AUDIT_EXEMPT:\s*(\w+)", audit_text))
+    out: List[Finding] = []
+    for sub in AUDITED_DIRS:
+        subdir = project.root / "src" / sub
+        if not subdir.is_dir():
+            continue
+        for path in sorted(subdir.glob("*.h")):
+            sf = project.file(path)
+            for name, body, line_no in class_bodies(sf.code):
+                if not has_data_members(body):
+                    continue
+                if is_pure_interface(body):
+                    continue
+                if name in exempt:
+                    continue
+                if re.search(r"\b" + re.escape(name) + r"\b", audit_text):
+                    continue
+                out.append(
+                    Finding(
+                        "L4",
+                        sf.path,
+                        line_no,
+                        f"stateful component `{name}` has no coverage in "
+                        "src/audit/audit.cc; add an auditor or a "
+                        f"`LINT_AUDIT_EXEMPT: {name}` line with rationale",
+                    )
+                )
+    return out

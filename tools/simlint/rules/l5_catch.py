@@ -1,0 +1,41 @@
+"""L5: bare catch (...) must classify, not swallow."""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from tools.simlint.model import Finding, Project
+from tools.simlint.registry import rule
+
+CATCH_ALL_RE = re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)")
+
+
+@rule("L5", "no bare catch (...) without classification")
+def check(project: Project) -> List[Finding]:
+    """No bare `catch (...)` in src/ unless annotated with
+    `LINT_CATCH_OK: <why>` on or just above the line.
+
+    Why: swallowing an unknown exception erases the failure class the
+    job engine's error taxonomy (sim/jobs/job.h) exists to preserve —
+    a retried job and a poisoned job must stay distinguishable.  The
+    annotation asserts the handler classifies or rethrows.
+    """
+    out: List[Finding] = []
+    for sf in project.src_files():
+        for no, line in enumerate(sf.code_lines, 1):
+            if not CATCH_ALL_RE.search(line):
+                continue
+            if sf.annotated(no, "LINT_CATCH_OK", lookback=1):
+                continue
+            out.append(
+                Finding(
+                    "L5",
+                    sf.path,
+                    no,
+                    "bare `catch (...)` without classification; map the "
+                    "failure to a JobErrorCode (sim/jobs/job.h) or annotate "
+                    "the line with `LINT_CATCH_OK: <why>`",
+                )
+            )
+    return out

@@ -1,0 +1,50 @@
+"""L6: no raw console output in library code."""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from tools.simlint.model import Finding, Project
+from tools.simlint.registry import rule
+
+CONSOLE_RE = re.compile(
+    r"std::cout\b|std::cerr\b"
+    r"|(?<!\w)(?:std::)?printf\s*\("  # snprintf/sprintf excluded
+    r"|(?<!\w)(?:std::)?puts\s*\("
+    r"|(?<!\w)(?:std::)?putchar\s*\("
+    r"|(?<!\w)(?:std::)?v?fprintf\s*\(\s*(?:stdout|stderr)\b"
+    r"|(?<!\w)(?:std::)?fputs?\s*\([^;]*,\s*(?:stdout|stderr)\s*\)"
+    r"|(?<!\w)(?:std::)?fwrite\s*\([^;]*,\s*(?:stdout|stderr)\s*\)"
+)
+
+
+@rule("L6", "no raw console output in library code")
+def check(project: Project) -> List[Finding]:
+    """No std::cout / printf / fprintf(stdout|stderr, ...) in src/
+    unless annotated with `LINT_LOG_OK: <why>`.
+
+    Why: sweep CSV goes to stdout, so stray prints corrupt
+    machine-readable output; ad-hoc stderr chatter bypasses the
+    telemetry subsystem (src/telemetry/) that exists for progress
+    reporting.  Deliberate surfaces — the report-table printer, usage
+    errors, crash/audit diagnostics — carry the annotation.
+    """
+    out: List[Finding] = []
+    for sf in project.src_files():
+        for no, line in enumerate(sf.code_lines, 1):
+            if not CONSOLE_RE.search(line):
+                continue
+            if sf.annotated(no, "LINT_LOG_OK", lookback=1):
+                continue
+            out.append(
+                Finding(
+                    "L6",
+                    sf.path,
+                    no,
+                    "raw console output in library code; route progress "
+                    "through src/telemetry/ or annotate a deliberate "
+                    "report/diagnostic surface with `LINT_LOG_OK: <why>`",
+                )
+            )
+    return out

@@ -1,0 +1,138 @@
+"""L8: stats completeness — every counter is reported and resettable."""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from tools.simlint.cppparse import balanced_braces, class_bodies, depth0
+from tools.simlint.model import Finding, Project
+from tools.simlint.registry import rule
+
+# Depth-0 struct lines that declare data members: no parens (excludes
+# methods), not a nested type / alias / static constant.
+MEMBER_LINE_RE = re.compile(
+    r"^\s*(?!using\b|typedef\b|friend\b|static\b|enum\b|struct\b|class\b|public\b|private\b|protected\b)"
+    r"[\w:<>,\s&]+?\s+(\w+)(?:\s*=\s*[^;]*|\s*\{[^;]*\})?\s*;",
+    re.MULTILINE,
+)
+
+RESET_SIG_RE = re.compile(r"(operator\-|(?<![\w~])reset)\s*\(")
+
+
+def _member_names(body: str) -> List[Tuple[str, int]]:
+    """(name, line offset within body) of data members at depth 0."""
+    flat = depth0(body)
+    out = []
+    for m in MEMBER_LINE_RE.finditer(flat):
+        line = flat[: m.start()].count("\n")
+        if "(" in m.group(0):
+            continue
+        out.append((m.group(1), line))
+    return out
+
+
+def _reset_text(body: str) -> str:
+    """Concatenated bodies of operator- / reset() defined in *body*."""
+    chunks = []
+    for m in RESET_SIG_RE.finditer(body):
+        brace = body.find("{", m.end())
+        semi = body.find(";", m.end())
+        if brace == -1 or (semi != -1 and semi < brace):
+            continue  # declaration only; defined out of line
+        chunks.append(balanced_braces(body, brace))
+    return "\n".join(chunks)
+
+
+def _is_write(code: str, start: int, end: int) -> bool:
+    before = code[:start].rstrip()
+    if before.endswith("++") or before.endswith("--"):
+        return True
+    after = code[end:].lstrip()
+    if after[:2] in ("++", "--", "+=", "-=", "*=", "/=", "|=", "&=", "^="):
+        return True
+    return after.startswith("=") and not after.startswith("==")
+
+
+@rule("L8", "stats completeness: counters must be reported and reset")
+def check(project: Project) -> List[Finding]:
+    """Every data member of a `*Stats` struct in src/ must be
+
+    * **reported**: read (`.member` / `->member`, not assigned) from
+      code outside the struct's own definition — i.e. some dump,
+      report, CSV, or metrics path actually surfaces it; and
+    * **resettable**: mentioned by the struct's own `reset()` or
+      `operator-` so epoch deltas and warmup resets cover it.
+
+    Why: a counter that is incremented but never surfaced is a
+    silent lie — readers assume "we measure this"; one missing from
+    `operator-` corrupts every epoch-delta series that subtracts
+    snapshots.  Annotate a deliberate internal-only member with
+    `LINT_STATS_OK: <why>` on or just above its declaration.
+    """
+    out: List[Finding] = []
+    files = project.src_files()
+    for sf in files:
+        for name, body, struct_line in class_bodies(sf.code):
+            if not name.endswith("Stats"):
+                continue
+            members = _member_names(body)
+            if not members:
+                continue
+            reset_text = _reset_text(body)
+            body_at = sf.code.index(body)
+            body_span = (body_at, body_at + len(body))
+            body_line = sf.code[:body_at].count("\n") + 1
+            if not reset_text:
+                out.append(
+                    Finding(
+                        "L8",
+                        sf.path,
+                        struct_line,
+                        f"`{name}` has no reset() or operator-; epoch "
+                        "deltas and warmup resets cannot cover its "
+                        "counters",
+                    )
+                )
+            for member, line_off in members:
+                decl_line = body_line + line_off
+                if sf.annotated(decl_line, "LINT_STATS_OK", lookback=1):
+                    continue
+                if reset_text and not re.search(
+                    r"\b" + re.escape(member) + r"\b", reset_text
+                ):
+                    out.append(
+                        Finding(
+                            "L8",
+                            sf.path,
+                            decl_line,
+                            f"counter `{name}::{member}` is missing from "
+                            "reset()/operator-; epoch deltas will carry "
+                            "stale values",
+                        )
+                    )
+                if not _has_outside_read(files, member, sf, body_span):
+                    out.append(
+                        Finding(
+                            "L8",
+                            sf.path,
+                            decl_line,
+                            f"counter `{name}::{member}` is never read by "
+                            "any report path; surface it (report table, "
+                            "telemetry column, CSV) or delete it",
+                        )
+                    )
+    return out
+
+
+def _has_outside_read(files, member: str, owner, body_span) -> bool:
+    ref = re.compile(r"(?:\.|->)\s*" + re.escape(member) + r"\b")
+    for sf in files:
+        code = sf.code
+        for m in ref.finditer(code):
+            if sf.path == owner.path and body_span[0] <= m.start() < body_span[1]:
+                continue
+            if _is_write(code, m.start(), m.end()):
+                continue
+            return True
+    return False

@@ -1,0 +1,94 @@
+"""L9: concurrency — annotated mutexes only."""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from tools.simlint.lexer import line_of
+from tools.simlint.model import Finding, Project
+from tools.simlint.registry import rule
+
+ANNOT_HEADER = "src/common/thread_annotations.h"
+
+BARE_MUTEX_RE = re.compile(
+    r"\bstd\s*::\s*(?:recursive_|shared_|timed_|recursive_timed_)?mutex\b"
+)
+STD_LOCK_RE = re.compile(r"\bstd\s*::\s*(?:lock_guard|unique_lock|scoped_lock)\b")
+SIMMUTEX_MEMBER_RE = re.compile(r"\bSimMutex\s+(\w+)\s*;")
+
+
+@rule("L9", "mutexes must carry thread-safety annotations")
+def check(project: Project) -> List[Finding]:
+    """All locking in src/ goes through common/thread_annotations.h:
+
+    * no bare `std::mutex` (or recursive/shared/timed variants) —
+      declare a `SimMutex`, whose SIM_CAPABILITY annotation lets
+      Clang's -Wthread-safety analysis see it;
+    * no `std::lock_guard` / `unique_lock` / `scoped_lock` — those are
+      invisible to the analysis; use `SimMutexLock`;
+    * every `SimMutex` member must actually guard something: the same
+      file must name it in a SIM_GUARDED_BY / SIM_REQUIRES /
+      SIM_ACQUIRE / SIM_EXCLUDES annotation, otherwise the analysis
+      run in CI is checking nothing.
+
+    Why: the container used for local builds has no clang, so the
+    -Wthread-safety CI leg is the only machine check of lock
+    discipline — this rule keeps code structured so that leg stays
+    meaningful.  Escape hatch: `LINT_MUTEX_OK: <why>` on or just
+    above the line.
+    """
+    out: List[Finding] = []
+    for sf in project.src_files():
+        if sf.rel == ANNOT_HEADER:
+            continue
+        code = sf.code
+        for m in BARE_MUTEX_RE.finditer(code):
+            no = line_of(code, m.start())
+            if sf.annotated(no, "LINT_MUTEX_OK", lookback=1):
+                continue
+            out.append(
+                Finding(
+                    "L9",
+                    sf.path,
+                    no,
+                    f"bare `{m.group(0)}` is invisible to thread-safety "
+                    "analysis; use SimMutex from "
+                    '"common/thread_annotations.h"',
+                )
+            )
+        for m in STD_LOCK_RE.finditer(code):
+            no = line_of(code, m.start())
+            if sf.annotated(no, "LINT_MUTEX_OK", lookback=1):
+                continue
+            out.append(
+                Finding(
+                    "L9",
+                    sf.path,
+                    no,
+                    f"`{m.group(0)}` is invisible to thread-safety "
+                    "analysis; use SimMutexLock",
+                )
+            )
+        for m in SIMMUTEX_MEMBER_RE.finditer(code):
+            name = m.group(1)
+            no = line_of(code, m.start())
+            guarded = re.search(
+                r"SIM_(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES|ACQUIRE|RELEASE|EXCLUDES)"
+                r"\s*\(\s*" + re.escape(name) + r"\s*\)",
+                code,
+            )
+            if guarded or sf.annotated(no, "LINT_MUTEX_OK", lookback=1):
+                continue
+            out.append(
+                Finding(
+                    "L9",
+                    sf.path,
+                    no,
+                    f"SimMutex `{name}` guards nothing: no "
+                    "SIM_GUARDED_BY/SIM_REQUIRES/SIM_EXCLUDES in this "
+                    "file names it, so the -Wthread-safety CI leg "
+                    "checks nothing here",
+                )
+            )
+    return out
