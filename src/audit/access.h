@@ -159,25 +159,25 @@ struct AuditAccess
     // Page table
     // ----------------------------------------------------------------
 
-    static const std::unordered_map<Addr, Addr> &
+    static const FlatAddrMap &
     page_map(const PageTable &pt)
     {
         return pt.page_map_;
     }
 
-    static const std::unordered_map<Addr, Addr> &
+    static const FlatAddrMap &
     large_page_map(const PageTable &pt)
     {
         return pt.large_page_map_;
     }
 
-    static const std::unordered_set<Addr> &
+    static const FrameBitmap &
     used_frames(const PageTable &pt)
     {
         return pt.used_frames_;
     }
 
-    static const std::unordered_set<Addr> &
+    static const FrameBitmap &
     used_large_frames(const PageTable &pt)
     {
         return pt.used_large_frames_;
@@ -236,13 +236,20 @@ struct AuditAccess
     // Update buffers
     // ----------------------------------------------------------------
 
-    static std::size_t ub_fifo_size(const UpdateBuffer &b) { return b.fifo_.size(); }
+    static std::size_t ub_fifo_size(const UpdateBuffer &b) { return b.count_; }
     static std::uint64_t ub_stale(const UpdateBuffer &b) { return b.stale_; }
 
+    /** Occupied FIFO ring slots (live and stale) as (key, seq). */
     static std::vector<std::pair<Addr, std::uint64_t>>
     ub_fifo(const UpdateBuffer &b)
     {
-        return {b.fifo_.begin(), b.fifo_.end()};
+        std::vector<std::pair<Addr, std::uint64_t>> out;
+        out.reserve(b.count_);
+        for (std::size_t i = 0, pos = b.head_; i < b.count_;
+             ++i, pos = b.next(pos)) {
+            out.emplace_back(b.ring_[pos].rec.block, b.ring_[pos].seq);
+        }
+        return out;
     }
 
     /** Live records with their slot sequence numbers. */
@@ -250,12 +257,14 @@ struct AuditAccess
     ub_records(const UpdateBuffer &b)
     {
         std::vector<std::pair<DecisionRecord, std::uint64_t>> out;
-        out.reserve(b.index_.size());
-        // LINT_ORDER_OK: hash order is neutralised by the sort below;
-        // auditors see records in slot-sequence order (lint rule L7).
-        for (const auto &[key, slot] : b.index_) {
-            (void)key;
-            out.emplace_back(slot.rec, slot.seq);
+        out.reserve(b.live_);
+        // Ring order is insertion order, so seq is already ascending;
+        // the sort stays as a belt against future layout changes.
+        for (std::size_t i = 0, pos = b.head_; i < b.count_;
+             ++i, pos = b.next(pos)) {
+            if (b.ring_[pos].live) {
+                out.emplace_back(b.ring_[pos].rec, b.ring_[pos].seq);
+            }
         }
         std::sort(out.begin(), out.end(),
                   [](const auto &a, const auto &b2) {
@@ -268,19 +277,32 @@ struct AuditAccess
     static void
     corrupt_ub_phantom_fifo_slot(UpdateBuffer &b, Addr key)
     {
-        b.fifo_.emplace_back(key, ~std::uint64_t{0});
+        if (b.count_ == b.ring_.size()) {
+            b.compact();
+        }
+        const std::size_t tail = (b.head_ + b.count_) % b.ring_.size();
+        b.ring_[tail].rec = DecisionRecord{};
+        b.ring_[tail].rec.block = key;
+        b.ring_[tail].seq = ~std::uint64_t{0};
+        b.ring_[tail].live = false;
+        // count_ grows with neither live_ nor stale_: the FIFO
+        // bookkeeping invariant is now broken, as intended.
+        ++b.count_;
     }
 
     /** Corruption: blow the feature count of one live record. */
     static bool
     corrupt_ub_feature_count(UpdateBuffer &b)
     {
-        if (b.index_.empty()) {
-            return false;
+        for (std::size_t i = 0, pos = b.head_; i < b.count_;
+             ++i, pos = b.next(pos)) {
+            if (b.ring_[pos].live) {
+                b.ring_[pos].rec.num_features = static_cast<std::uint8_t>(
+                    DecisionRecord::kMaxFeatures + 1);
+                return true;
+            }
         }
-        b.index_.begin()->second.rec.num_features =
-            static_cast<std::uint8_t>(DecisionRecord::kMaxFeatures + 1);
-        return true;
+        return false;
     }
 
     // ----------------------------------------------------------------

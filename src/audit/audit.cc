@@ -41,7 +41,7 @@ std::atomic<std::uint64_t> g_failures{0};
 std::atomic<bool> g_fatal{MOKASIM_AUDIT_LEVEL >= 2};
 
 void
-emit(const char *where, int line, const char *what)
+emit_failure(const char *where, int line, const char *what)
 {
     g_failures.fetch_add(1, std::memory_order_relaxed);
     if (line > 0) {
@@ -61,7 +61,7 @@ emit(const char *where, int line, const char *what)
 void
 report_failure(const char *file, int line, const char *what)
 {
-    emit(file, line, what);
+    emit_failure(file, line, what);
 }
 
 void

@@ -15,6 +15,10 @@ Cache::Cache(const CacheConfig &config, MemoryLevel *lower)
 {
     SIM_REQUIRE(is_pow2(cfg_.sets), "cache sets must be a power of two");
     SIM_REQUIRE(cfg_.ways > 0, "cache must have at least one way");
+    // MSHR occupancy is bounded at mshr_entries by the eviction in
+    // access(); reserving here keeps the per-access path allocation
+    // free (rule L10).
+    inflight_.reserve(cfg_.mshr_entries);
 }
 
 std::uint32_t

@@ -16,6 +16,7 @@
 
 #include "cache/memory_level.h"
 #include "cache/replacement.h"
+#include "common/hot_path.h"
 #include "common/stats.h"
 #include "common/types.h"
 
@@ -79,8 +80,13 @@ struct CacheStats
     }
 };
 
-/** One cache level; lower level wired at construction. */
-class Cache : public MemoryLevel
+/**
+ * One cache level; lower level wired at construction. `final` so
+ * that call sites typed `Cache*` (the private-hierarchy members of
+ * CoreComplex, the shared LLC) devirtualize: access() is the single
+ * hottest function in the simulator (rule L12).
+ */
+class Cache final : public MemoryLevel
 {
   public:
     /**
@@ -90,8 +96,8 @@ class Cache : public MemoryLevel
      */
     Cache(const CacheConfig &config, MemoryLevel *lower);
 
-    AccessResult access(Addr paddr, AccessType type, Cycle now,
-                        bool pgc_prefetch = false) override;
+    SIM_HOT AccessResult access(Addr paddr, AccessType type, Cycle now,
+                                bool pgc_prefetch = false) override;
 
     /** Install an L1D lifetime listener (used by Page-Cross Filters). */
     void set_listener(CacheListener *listener) { listener_ = listener; }

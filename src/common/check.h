@@ -22,6 +22,8 @@
 
 #include <cstdint>
 
+#include "common/hot_path.h"
+
 #ifndef MOKASIM_AUDIT_LEVEL
 #define MOKASIM_AUDIT_LEVEL 0
 #endif
@@ -36,11 +38,11 @@ namespace moka::audit {
  * prints to stderr, and aborts when in fatal mode. Implemented in
  * src/audit/audit.cc; always available regardless of audit level.
  */
-void report_failure(const char *file, int line, const char *what);
+SIM_COLD void report_failure(const char *file, int line, const char *what);
 
 /** Unrecoverable precondition violation: print and abort. */
-[[noreturn]] void require_failure(const char *file, int line,
-                                  const char *what);
+[[noreturn]] SIM_COLD void require_failure(const char *file, int line,
+                                           const char *what);
 
 /** Number of audit failures reported since start/reset. */
 std::uint64_t failure_count();

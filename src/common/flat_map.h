@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Flat open-addressing containers for hot-reachable subsystems
+ * (hot-path rules L10/L11).
+ *
+ * std::unordered_map allocates one node per insertion, which makes
+ * every first-touch insert on a per-access path a heap allocation.
+ * FlatAddrMap stores keys and values in two parallel arrays sized at
+ * construction; inserts never allocate until the table crosses a 50%
+ * load factor, at which point it doubles.  Size the reservation so
+ * doubling never happens in a measured region (the alloc-trace ctest
+ * enforces this) and growth remains a cold, amortized event on runs
+ * that outlive the reservation.
+ *
+ * Iteration order is deterministic for a fixed insertion sequence
+ * (rule L7): slots are probed from mix64(key) and scanned in index
+ * order, with no dependence on libstdc++ hash ordering.
+ */
+#ifndef MOKASIM_COMMON_FLAT_MAP_H
+#define MOKASIM_COMMON_FLAT_MAP_H
+
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/hashing.h"
+#include "common/types.h"
+
+namespace moka {
+
+/**
+ * Open-addressing Addr -> Addr map with linear probing.  The key
+ * ~0 is reserved as the empty-slot sentinel (never a valid VPN,
+ * prefix, or frame id in a 48-bit address space).  No erase: the
+ * page table only ever accretes mappings.
+ */
+class FlatAddrMap
+{
+  public:
+    static constexpr Addr kEmptyKey = ~Addr{0};
+
+    /**
+     * @param reserve_entries entries the map holds before its first
+     *        (allocating) doubling; rounded up to a power of two of
+     *        slots at 50% max load.
+     */
+    explicit FlatAddrMap(std::size_t reserve_entries)
+    {
+        std::size_t slots = 64;
+        while (slots < reserve_entries * 2) {
+            slots *= 2;
+        }
+        keys_.assign(slots, kEmptyKey);
+        vals_.assign(slots, 0);
+    }
+
+    /**
+     * Find-or-insert @p key (value-initialised to 0 on insert).
+     * Returns the value slot and whether it was inserted.  The
+     * pointer is invalidated by the next try_emplace (growth).
+     */
+    std::pair<Addr *, bool> try_emplace(Addr key)
+    {
+        SIM_AUDIT(key != kEmptyKey, "flat map key collides with the "
+                                    "empty sentinel");
+        std::size_t i = probe(key);
+        if (keys_[i] == key) {
+            return {&vals_[i], false};
+        }
+        if ((size_ + 1) * 2 > keys_.size()) {
+            grow();
+            i = probe(key);
+        }
+        keys_[i] = key;
+        vals_[i] = 0;
+        ++size_;
+        return {&vals_[i], true};
+    }
+
+    /** Stashing const iterator yielding std::pair<Addr, Addr>. */
+    class const_iterator
+    {
+      public:
+        // Stashing iterator: dereference materialises the pair, so
+        // this is an input iterator (enough for range-constructing a
+        // vector in the audits and for range-for).
+        using iterator_category = std::input_iterator_tag;
+        using value_type = std::pair<Addr, Addr>;
+        using difference_type = std::ptrdiff_t;
+        using pointer = const value_type *;
+        using reference = const value_type &;
+
+        const_iterator(const FlatAddrMap *m, std::size_t i)
+            : m_(m), i_(i)
+        {
+            settle();
+        }
+
+        const value_type &operator*() const
+        {
+            cur_ = {m_->keys_[i_], m_->vals_[i_]};
+            return cur_;
+        }
+
+        const value_type *operator->() const { return &**this; }
+
+        const_iterator &operator++()
+        {
+            ++i_;
+            settle();
+            return *this;
+        }
+
+        bool operator==(const const_iterator &o) const
+        {
+            return i_ == o.i_;
+        }
+
+        bool operator!=(const const_iterator &o) const
+        {
+            return i_ != o.i_;
+        }
+
+      private:
+        void settle()
+        {
+            while (i_ < m_->keys_.size() &&
+                   m_->keys_[i_] == kEmptyKey) {
+                ++i_;
+            }
+        }
+
+        const FlatAddrMap *m_;
+        std::size_t i_;
+        mutable value_type cur_;
+    };
+
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, keys_.size()}; }
+
+    const_iterator find(Addr key) const
+    {
+        const std::size_t i = probe(key);
+        return keys_[i] == key ? const_iterator{this, i} : end();
+    }
+
+    std::size_t size() const { return size_; }
+    std::size_t capacity_slots() const { return keys_.size(); }
+
+  private:
+    /** First slot holding @p key, or the empty slot to claim. */
+    std::size_t probe(Addr key) const
+    {
+        const std::size_t mask = keys_.size() - 1;
+        std::size_t i = static_cast<std::size_t>(mix64(key)) & mask;
+        while (keys_[i] != kEmptyKey && keys_[i] != key) {
+            i = (i + 1) & mask;
+        }
+        return i;
+    }
+
+    void grow()
+    {
+        // LINT_HOT_OK: amortized doubling, reached only when a run
+        // outlives the construction-time reservation; the alloc-trace
+        // ctest pins it out of measured regions (rule L10).
+        std::vector<Addr> old_keys(keys_.size() * 2, kEmptyKey);
+        std::vector<Addr> old_vals(keys_.size() * 2, 0);
+        old_keys.swap(keys_);
+        old_vals.swap(vals_);
+        size_ = 0;
+        for (std::size_t i = 0; i < old_keys.size(); ++i) {
+            if (old_keys[i] == kEmptyKey) {
+                continue;
+            }
+            const std::size_t j = probe(old_keys[i]);
+            keys_[j] = old_keys[i];
+            vals_[j] = old_vals[i];
+            ++size_;
+        }
+    }
+
+    std::vector<Addr> keys_;
+    std::vector<Addr> vals_;
+    std::size_t size_ = 0;
+};
+
+/**
+ * Dense membership set over frame ids [0, frames): one bit per
+ * frame, allocated once at construction.  Mirrors the shape of the
+ * std::unordered_set API the audits consume (insert/count/size).
+ */
+class FrameBitmap
+{
+  public:
+    explicit FrameBitmap(std::size_t frames) : bits_(frames, false) {}
+
+    /** True if @p id was newly inserted. */
+    bool insert(std::size_t id)
+    {
+        SIM_AUDIT(id < bits_.size(), "frame id outside the partition");
+        if (bits_[id]) {
+            return false;
+        }
+        bits_[id] = true;
+        ++count_;
+        return true;
+    }
+
+    std::size_t count(std::size_t id) const
+    {
+        return id < bits_.size() && bits_[id] ? 1 : 0;
+    }
+
+    std::size_t size() const { return count_; }
+
+  private:
+    std::vector<bool> bits_;
+    std::size_t count_ = 0;
+};
+
+}  // namespace moka
+
+#endif  // MOKASIM_COMMON_FLAT_MAP_H

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/hot_path.h"
 #include "filter/adaptive_threshold.h"
 #include "filter/features.h"
 #include "filter/perceptron.h"
@@ -86,10 +87,10 @@ class PageCrossFilter
      * @param target_vaddr  block-aligned prefetch target VA
      * @param snap          current system state
      */
-    virtual bool permit(Addr trigger_pc, Addr trigger_vaddr,
-                        std::int64_t delta, Addr target_vaddr,
-                        const SystemSnapshot &snap,
-                        std::uint64_t meta = 0) = 0;
+    SIM_HOT virtual bool permit(Addr trigger_pc, Addr trigger_vaddr,
+                                std::int64_t delta, Addr target_vaddr,
+                                const SystemSnapshot &snap,
+                                std::uint64_t meta = 0) = 0;
 
     /** Demand data access in program order (feeds feature history). */
     virtual void on_demand_access(Addr pc, Addr vaddr)

@@ -14,11 +14,11 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
-#include <utility>
+#include <vector>
 
 #include "common/check.h"
+#include "common/hashing.h"
+#include "common/hot_path.h"
 #include "common/types.h"
 
 namespace moka {
@@ -38,71 +38,98 @@ struct DecisionRecord
 
 /**
  * FIFO associative buffer of DecisionRecords keyed by block address.
- * Functionally a small CAM; implemented with a hash index so large
- * configurations (the converted PPF uses 1024 entries) stay fast.
- * Duplicate keys keep the newest record.
+ * Functionally a small CAM. Duplicate keys keep the newest record
+ * (refreshed in place; FIFO age unchanged).
  *
- * take() removes only the hash-index entry; the FIFO slot goes stale
- * and is skipped lazily. Each slot carries the sequence number of the
- * insertion that created it, so a stale slot for a key that was later
- * re-inserted is never confused with the live slot (re-insertion gets
- * a fresh sequence number). Stale slots are purged from the front on
- * insert and compacted wholesale once they dominate, which bounds the
- * FIFO at 2x capacity while keeping take() O(1).
+ * Storage is flat and allocated once at construction (hot-path rule
+ * L10: insert/take run on every page-cross decision and every L1D
+ * demand miss, so the steady state must be allocation free):
+ *
+ *  - a ring of 2x capacity slots in FIFO order. take() only clears
+ *    the slot's live flag; the stale slot is skipped lazily at the
+ *    front and compacted in place when the ring fills, which bounds
+ *    occupied slots at 2x capacity while keeping take() O(1);
+ *  - an open-addressing hash table (linear probing, tombstones)
+ *    mapping block -> ring slot, sized 4x capacity so the load
+ *    factor stays below a half; tombstones are cleared by a rebuild
+ *    once they outnumber capacity, amortized O(1) per take().
  */
 class UpdateBuffer
 {
   public:
-    explicit UpdateBuffer(std::size_t entries) : capacity_(entries)
+    explicit UpdateBuffer(std::size_t entries)
+        : capacity_(entries), ring_(2 * entries)
     {
         SIM_REQUIRE(entries > 0, "UpdateBuffer capacity must be positive");
+        SIM_REQUIRE(entries < (std::size_t{1} << 30),
+                    "UpdateBuffer capacity is implausibly large");
+        std::size_t table = 8;
+        while (table < 4 * entries) {
+            table *= 2;
+        }
+        table_.assign(table, kEmpty);
+        tmask_ = static_cast<std::uint32_t>(table - 1);
     }
 
     /** Insert @p rec, evicting the oldest record when full. */
-    void insert(const DecisionRecord &rec)
+    SIM_HOT void insert(const DecisionRecord &rec)
     {
-        auto it = index_.find(rec.block);
-        if (it != index_.end()) {
-            it->second.rec = rec;  // refresh in place (FIFO age unchanged)
+        const std::uint32_t pos = find_slot(rec.block);
+        if (pos != kNoSlot && table_[pos] < kTomb) {
+            ring_[table_[pos]].rec = rec;  // refresh in place
             return;
         }
         purge_stale_front();
-        while (index_.size() >= capacity_ && !fifo_.empty()) {
-            const auto [key, seq] = fifo_.front();
-            fifo_.pop_front();
-            auto victim = index_.find(key);
-            if (victim != index_.end() && victim->second.seq == seq) {
-                index_.erase(victim);
+        while (live_ >= capacity_ && count_ > 0) {
+            Slot &front = ring_[head_];
+            if (front.live) {
+                erase_key(front.rec.block);
+                front.live = false;
+                --live_;
                 ++overflow_evictions_;
             } else {
                 --stale_;
             }
+            head_ = next(head_);
+            --count_;
         }
-        index_.emplace(rec.block, Slot{rec, next_seq_});
-        fifo_.emplace_back(rec.block, next_seq_);
-        ++next_seq_;
-        compact_if_needed();
+        if (count_ == ring_.size()) {
+            compact();  // stale slots mid-ring: squeeze them out
+        }
+        const std::uint32_t tail =
+            static_cast<std::uint32_t>((head_ + count_) % ring_.size());
+        ring_[tail] = Slot{rec, next_seq_++, true};
+        ++count_;
+        ++live_;
+        // Re-probe: eviction/compaction above may have rewritten the
+        // table, so the position from the initial lookup is stale.
+        table_[find_free(rec.block)] = tail;
     }
 
     /**
      * Find the record for @p block, copy it to @p out and remove it.
      * @return true on hit.
      */
-    bool take(Addr block, DecisionRecord &out)
+    SIM_HOT bool take(Addr block, DecisionRecord &out)
     {
-        auto it = index_.find(block);
-        if (it == index_.end()) {
+        const std::uint32_t pos = find_slot(block);
+        if (pos == kNoSlot || table_[pos] >= kTomb) {
             return false;
         }
-        out = it->second.rec;
-        index_.erase(it);
-        // The stale FIFO slot is skipped lazily at eviction time.
+        Slot &slot = ring_[table_[pos]];
+        out = slot.rec;
+        slot.live = false;  // stale ring slot, skipped lazily
+        --live_;
         ++stale_;
+        table_[pos] = kTomb;
+        if (++tombstones_ > capacity_) {
+            rebuild_table();
+        }
         return true;
     }
 
     /** Current occupancy. */
-    std::size_t size() const { return index_.size(); }
+    std::size_t size() const { return live_; }
 
     /** Capacity. */
     std::size_t capacity() const { return capacity_; }
@@ -122,48 +149,128 @@ class UpdateBuffer
   private:
     friend struct AuditAccess;
 
+    //! table_ sentinel: slot never used
+    static constexpr std::uint32_t kEmpty = 0xFFFFFFFFu;
+    //! table_ sentinel: slot erased (probing continues past it)
+    static constexpr std::uint32_t kTomb = 0xFFFFFFFEu;
+    //! find_slot result: key absent and no reusable slot seen
+    static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
     struct Slot
     {
         DecisionRecord rec;
         std::uint64_t seq = 0;  //!< insertion that created the slot
+        bool live = false;      //!< false: awaiting lazy FIFO cleanup
     };
 
-    /** True when the FIFO slot still backs a live index entry. */
-    bool live(const std::pair<Addr, std::uint64_t> &slot) const
+    std::size_t next(std::size_t i) const
     {
-        auto it = index_.find(slot.first);
-        return it != index_.end() && it->second.seq == slot.second;
+        return i + 1 == ring_.size() ? 0 : i + 1;
+    }
+
+    /**
+     * Probe for @p block. Returns the table position holding its
+     * ring index, or the first reusable (tombstone, else empty)
+     * position for an insert, or kNoSlot when absent with no
+     * reusable slot on the probe path (cannot happen below the
+     * enforced load factor, but handled anyway).
+     */
+    std::uint32_t find_slot(Addr block) const
+    {
+        std::uint32_t pos = static_cast<std::uint32_t>(mix64(block)) & tmask_;
+        std::uint32_t reuse = kNoSlot;
+        for (std::uint32_t n = 0; n <= tmask_; ++n) {
+            const std::uint32_t entry = table_[pos];
+            if (entry == kEmpty) {
+                return reuse != kNoSlot ? reuse : pos;
+            }
+            if (entry == kTomb) {
+                if (reuse == kNoSlot) {
+                    reuse = pos;
+                }
+            } else if (ring_[entry].rec.block == block) {
+                return pos;
+            }
+            pos = (pos + 1) & tmask_;
+        }
+        return reuse;
+    }
+
+    /** First insertable position for @p block (key known absent). */
+    std::uint32_t find_free(Addr block) const
+    {
+        std::uint32_t pos = static_cast<std::uint32_t>(mix64(block)) & tmask_;
+        while (table_[pos] < kTomb) {
+            pos = (pos + 1) & tmask_;
+        }
+        return pos;
+    }
+
+    /** Tombstone the table entry pointing at the live slot of @p block. */
+    void erase_key(Addr block)
+    {
+        std::uint32_t pos = static_cast<std::uint32_t>(mix64(block)) & tmask_;
+        while (table_[pos] != kEmpty) {
+            if (table_[pos] != kTomb &&
+                ring_[table_[pos]].rec.block == block) {
+                table_[pos] = kTomb;
+                ++tombstones_;
+                return;
+            }
+            pos = (pos + 1) & tmask_;
+        }
     }
 
     void purge_stale_front()
     {
-        while (!fifo_.empty() && !live(fifo_.front())) {
-            fifo_.pop_front();
+        while (count_ > 0 && !ring_[head_].live) {
+            head_ = next(head_);
+            --count_;
             --stale_;
         }
     }
 
-    void compact_if_needed()
+    /** Drop stale slots, pack live ones to the ring start, re-key. */
+    void compact()
     {
-        if (fifo_.size() < 2 * capacity_ || stale_ == 0) {
-            return;
-        }
-        std::deque<std::pair<Addr, std::uint64_t>> kept;
-        for (const auto &slot : fifo_) {
-            if (live(slot)) {
-                kept.push_back(slot);
+        std::size_t write = 0;
+        for (std::size_t i = 0, read = head_; i < count_;
+             ++i, read = next(read)) {
+            if (ring_[read].live) {
+                ring_[write++] = ring_[read];
             }
         }
-        fifo_.swap(kept);
+        head_ = 0;
+        count_ = write;
         stale_ = 0;
+        rebuild_table();
+    }
+
+    /** Re-derive table_ from the live ring slots (clears tombstones). */
+    void rebuild_table()
+    {
+        table_.assign(table_.size(), kEmpty);
+        tombstones_ = 0;
+        for (std::size_t i = 0, pos = head_; i < count_;
+             ++i, pos = next(pos)) {
+            if (ring_[pos].live) {
+                table_[find_free(ring_[pos].rec.block)] =
+                    static_cast<std::uint32_t>(pos);
+            }
+        }
     }
 
     std::size_t capacity_;
-    //! insertion order: (key, sequence); may hold stale slots
-    std::deque<std::pair<Addr, std::uint64_t>> fifo_;
-    std::unordered_map<Addr, Slot> index_;
+    //! FIFO ring of live + stale slots; occupied span starts at head_
+    std::vector<Slot> ring_;
+    std::vector<std::uint32_t> table_;  //!< block -> ring index
+    std::uint32_t tmask_ = 0;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;      //!< occupied ring slots (live + stale)
+    std::size_t live_ = 0;
+    std::uint64_t stale_ = 0;    //!< stale slots currently in the ring
+    std::size_t tombstones_ = 0;
     std::uint64_t next_seq_ = 0;
-    std::uint64_t stale_ = 0;    //!< stale slots currently in fifo_
     std::uint64_t overflow_evictions_ = 0;
 };
 

@@ -9,9 +9,15 @@ namespace moka {
 
 Berti::Berti(const BertiConfig &config) : cfg_(config), ips_(config.ip_entries)
 {
+    // All per-IP vectors are bounded by configuration; reserving at
+    // construction keeps train/select allocation free (rule L10).
     for (IpEntry &e : ips_) {
         e.history.resize(cfg_.history_per_ip);
+        e.deltas.reserve(cfg_.deltas_per_ip);
+        e.selected.reserve(cfg_.max_degree);
+        e.selected_timely.reserve(cfg_.max_degree);
     }
+    sort_scratch_.reserve(cfg_.deltas_per_ip);
 }
 
 Berti::IpEntry &
@@ -105,7 +111,11 @@ Berti::select_deltas(IpEntry &e)
 {
     e.selected.clear();
     e.selected_timely.clear();
-    std::vector<DeltaCounter> sorted = e.deltas;
+    // Member scratch (reserved to deltas_per_ip in the constructor)
+    // instead of a per-window local copy, which allocated every
+    // window_accesses-th access (rule L10).
+    std::vector<DeltaCounter> &sorted = sort_scratch_;
+    sorted.assign(e.deltas.begin(), e.deltas.end());
     std::sort(sorted.begin(), sorted.end(),
               [](const DeltaCounter &a, const DeltaCounter &b) {
                   if (a.timely != b.timely) {

@@ -73,6 +73,8 @@ class Berti : public Prefetcher
 
     BertiConfig cfg_;
     std::vector<IpEntry> ips_;
+    //! select_deltas sort scratch, reserved once (rule L10)
+    std::vector<DeltaCounter> sort_scratch_;
     std::uint64_t lru_stamp_ = 0;
     std::string name_ = "berti";
 };

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/hot_path.h"
 #include "common/types.h"
 
 namespace moka {
@@ -52,8 +53,8 @@ class Prefetcher
      * Candidates may cross page boundaries — filtering is the
      * Page-Cross Filter's job, not the prefetcher's.
      */
-    virtual void on_access(const PrefetchContext &ctx,
-                           std::vector<PrefetchRequest> &out) = 0;
+    SIM_HOT virtual void on_access(const PrefetchContext &ctx,
+                                   std::vector<PrefetchRequest> &out) = 0;
 
     /**
      * Notification that a block fill completed in the host cache.

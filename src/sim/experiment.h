@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/hot_path.h"
 #include "sim/jobs/engine.h"
 #include "sim/runner.h"
 #include "trace/suites.h"
@@ -144,8 +145,8 @@ double matrix_ipc(const EngineReport &report, std::size_t schemes,
 class SuiteAggregator
 {
   public:
-    /** Record @p ratio for @p suite. */
-    void add(const std::string &suite, double ratio);
+    /** Record @p ratio for @p suite (job-completion cadence). */
+    SIM_COLD void add(const std::string &suite, double ratio);
 
     /** Geomean of one suite (1.0 when empty). */
     double suite_geomean(const std::string &suite) const;

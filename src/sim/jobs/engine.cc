@@ -33,6 +33,8 @@ class FaultHook final : public RunTickHook
         }
         fired_ = true;
         if (decision_.kind == Kind::kThrow) {
+            // LINT_HOT_OK: injected-fault exit; fires at most once
+            // per run, then the job unwinds (rule L14).
             std::ostringstream os;
             os << "injected fault at tick " << steps;
             throw JobError(decision_.transient ? JobErrorCode::kTimeout
@@ -89,6 +91,8 @@ void
 Watchdog::on_tick(std::uint64_t steps)
 {
     if (step_budget_ > 0 && steps > step_budget_) {
+        // LINT_HOT_OK: timeout exit; fires at most once per run
+        // (rule L14).
         std::ostringstream os;
         os << "watchdog: step budget " << step_budget_
            << " exhausted at tick " << steps;
@@ -97,6 +101,7 @@ Watchdog::on_tick(std::uint64_t steps)
     if (wall_ms_ > 0 && steps % kHeartbeatSteps == 0 &&
         // LINT_NONDET_OK: heartbeat check against the wall deadline.
         std::chrono::steady_clock::now() > deadline_) {
+        // LINT_HOT_OK: timeout exit, as above (rule L14).
         std::ostringstream os;
         os << "watchdog: wall deadline of " << wall_ms_
            << " ms exceeded at tick " << steps;

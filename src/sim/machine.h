@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cache/cache.h"
+#include "common/hot_path.h"
 #include "core/branch_pred.h"
 #include "core/core.h"
 #include "core/frontend.h"
@@ -132,7 +133,7 @@ class CoreComplex : public CacheListener
     ~CoreComplex() override;
 
     /** Execute one instruction. */
-    void step();
+    SIM_HOT void step();
 
     /** Instructions retired so far. */
     InstCount retired() const { return core_.retired(); }
@@ -141,7 +142,7 @@ class CoreComplex : public CacheListener
     Cycle now() const { return core_.last_retire(); }
 
     /** Snapshot cumulative counters into a RunMetrics. */
-    RunMetrics metrics() const;
+    SIM_COLD RunMetrics metrics() const;
 
     /** L1D cache (tests/diagnostics). */
     const Cache &l1d() const { return *l1d_; }
@@ -161,7 +162,7 @@ class CoreComplex : public CacheListener
      * PCB<->pUB cross-check). Always compiled; the machine invokes it
      * periodically only in audit-enabled builds.
      */
-    void audit(AuditReport &report) const;
+    SIM_COLD void audit(AuditReport &report) const;
 
   private:
     friend struct AuditAccess;
@@ -181,8 +182,10 @@ class CoreComplex : public CacheListener
     void process_candidate(const PrefetchRequest &req,
                            const Translated &trigger, Cycle now);
     void run_l2_prefetcher(Addr trigger_paddr, Addr pc, Cycle now);
-    void interval_tick();
-    SystemSnapshot snapshot() const;
+    //! interval/epoch cadence work: amortized over interval_insts
+    //! accesses, so it is exempt from the per-access contract
+    SIM_COLD void interval_tick();
+    SIM_COLD SystemSnapshot snapshot() const;
 
     const MachineConfig &cfg_;
     Cache *llc_shared_;  //!< shared LLC (observed for snapshots)
@@ -280,6 +283,9 @@ class TickHookChain : public RunTickHook
     void on_tick(std::uint64_t steps) override
     {
         for (RunTickHook *hook : hooks_) {
+            // LINT_HOT_OK: the engine's fault/watchdog/telemetry seam;
+            // the chain only exists when >= 2 hooks are installed, and
+            // measured perf runs install none (run() sees nullptr).
             hook->on_tick(steps);
         }
     }
@@ -307,7 +313,7 @@ class Machine
      * The machine stays destructible after such a cancellation but
      * its counters describe a partial run.
      */
-    void run(InstCount insts_per_core, RunTickHook *hook = nullptr);
+    SIM_HOT void run(InstCount insts_per_core, RunTickHook *hook = nullptr);
 
     /** Number of cores. */
     std::size_t num_cores() const { return cores_.size(); }
@@ -336,7 +342,7 @@ class Machine
     const MachineConfig &config() const { return cfg_; }
 
     /** Audit the shared levels (LLC, DRAM) and every core. */
-    void audit(AuditReport &report) const;
+    SIM_COLD void audit(AuditReport &report) const;
 
   private:
     MachineConfig cfg_;
@@ -345,6 +351,9 @@ class Machine
     std::vector<std::unique_ptr<CoreComplex>> cores_;
     std::vector<RunMetrics> measure_start_;
     std::vector<RunMetrics> at_budget_;  //!< metrics at own crossing
+    //! run() scratch, sized once at construction (rule L10)
+    std::vector<InstCount> run_target_;
+    std::vector<bool> run_crossed_;
     std::uint64_t steps_ = 0;            //!< lifetime step count (hooks)
 };
 

@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hot_path.h"
 #include "common/thread_annotations.h"
 
 namespace moka {
@@ -106,16 +107,18 @@ class MetricRegistry
      * stable for the registry's lifetime. Re-registering a name as a
      * different instrument kind is a usage error (SIM_REQUIRE).
      */
-    Counter &counter(const std::string &name) SIM_EXCLUDES(mu_);
+    // Registration takes the mutex: do it once at setup and cache
+    // the returned reference; hot code must never re-look-up.
+    SIM_COLD Counter &counter(const std::string &name) SIM_EXCLUDES(mu_);
 
     /** Find or create the gauge @p name. */
-    Gauge &gauge(const std::string &name) SIM_EXCLUDES(mu_);
+    SIM_COLD Gauge &gauge(const std::string &name) SIM_EXCLUDES(mu_);
 
     /**
      * Find or create the histogram @p name; @p bounds is used only on
      * first registration.
      */
-    MetricHistogram &histogram(const std::string &name,
+    SIM_COLD MetricHistogram &histogram(const std::string &name,
                                std::vector<double> bounds)
         SIM_EXCLUDES(mu_);
 
@@ -125,7 +128,7 @@ class MetricRegistry
      * the caller must stop snapshotting first. Re-registering a probe
      * name replaces the callback (structs move between runs).
      */
-    void probe(const std::string &name, std::function<double()> fn)
+    SIM_COLD void probe(const std::string &name, std::function<double()> fn)
         SIM_EXCLUDES(mu_);
 
     /** One flattened metric value. */
@@ -143,7 +146,7 @@ class MetricRegistry
      * expand to `<name>.le_<bound>` bucket counts plus
      * `<name>.count`.
      */
-    std::vector<Sample> snapshot() const SIM_EXCLUDES(mu_);
+    SIM_COLD std::vector<Sample> snapshot() const SIM_EXCLUDES(mu_);
 
     /** Number of registered instruments. */
     std::size_t size() const SIM_EXCLUDES(mu_);
@@ -161,7 +164,7 @@ class MetricRegistry
         std::function<double()> probe;
     };
 
-    Entry &find_or_create(const std::string &name, Kind kind)
+    SIM_COLD Entry &find_or_create(const std::string &name, Kind kind)
         SIM_REQUIRES(mu_);
 
     mutable SimMutex mu_;

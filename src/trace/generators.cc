@@ -468,6 +468,10 @@ class SyntheticWorkload : public Workload
             }
             inst.target = inst.taken ? kLoopTop : inst.pc + 4;
         } else if (draw < p_.branch_ratio + p_.mem_ratio) {
+            // LINT_HOT_OK: the kernel is the synthetic workload's
+            // configuration seam (chosen per run, genuinely
+            // polymorphic); trace generation is not the simulated
+            // pipeline the inst/sec budget measures (rule L12).
             const AccessKernel::Access a = kernel_->next(rng_);
             inst.op = (a.store || rng_.chance(p_.store_frac))
                           ? OpClass::kStore

@@ -16,7 +16,17 @@ radix_index(Addr vaddr, unsigned level)
 }  // namespace
 
 PageTable::PageTable(const VmemConfig &config)
-    : cfg_(config), rng_(config.seed)
+    : cfg_(config), rng_(config.seed),
+      tables_{FlatAddrMap(config.reserve_pages / 64),
+              FlatAddrMap(config.reserve_pages / 64),
+              FlatAddrMap(config.reserve_pages / 64),
+              FlatAddrMap(config.reserve_pages / 64)},
+      page_map_(config.reserve_pages),
+      large_page_map_(config.reserve_pages / 64),
+      used_frames_(
+          static_cast<std::size_t>(config.phys_bytes / kPageSize / 2)),
+      used_large_frames_(static_cast<std::size_t>(
+          (config.phys_bytes / 2) / kLargePageSize))
 {
     root_ = alloc_frame();
 }
@@ -29,7 +39,7 @@ PageTable::alloc_frame()
     const Addr frames = cfg_.phys_bytes / kPageSize / 2;
     for (;;) {
         const Addr f = rng_.below(frames);
-        if (used_frames_.insert(f).second) {
+        if (used_frames_.insert(static_cast<std::size_t>(f))) {
             return f * kPageSize;
         }
     }
@@ -44,7 +54,7 @@ PageTable::alloc_large_frame()
                 "physical memory too small for a 2MB page partition");
     for (;;) {
         const Addr f = rng_.below(frames);
-        if (used_large_frames_.insert(f).second) {
+        if (used_large_frames_.insert(static_cast<std::size_t>(f))) {
             return half + f * kLargePageSize;
         }
     }
@@ -70,20 +80,20 @@ PageTable::translate(Addr vaddr)
     Translation t;
     if (is_large_region(vaddr)) {
         const Addr lvpn = large_page_number(vaddr);
-        auto [it, inserted] = large_page_map_.try_emplace(lvpn, 0);
+        auto [frame, inserted] = large_page_map_.try_emplace(lvpn);
         if (inserted) {
-            it->second = alloc_large_frame();
+            *frame = alloc_large_frame();
         }
-        t.paddr = it->second + (vaddr & (kLargePageSize - 1));
+        t.paddr = *frame + (vaddr & (kLargePageSize - 1));
         t.large = true;
         return t;
     }
     const Addr vpn = page_number(vaddr);
-    auto [it, inserted] = page_map_.try_emplace(vpn, 0);
+    auto [frame, inserted] = page_map_.try_emplace(vpn);
     if (inserted) {
-        it->second = alloc_frame();
+        *frame = alloc_frame();
     }
-    t.paddr = it->second + page_offset(vaddr);
+    t.paddr = *frame + page_offset(vaddr);
     t.large = false;
     return t;
 }
@@ -91,11 +101,11 @@ PageTable::translate(Addr vaddr)
 Addr
 PageTable::table_frame(unsigned level, Addr prefix)
 {
-    auto [it, inserted] = tables_[level].try_emplace(prefix, 0);
+    auto [frame, inserted] = tables_[level].try_emplace(prefix);
     if (inserted) {
-        it->second = alloc_frame();
+        *frame = alloc_frame();
     }
-    return it->second;
+    return *frame;
 }
 
 unsigned

@@ -11,9 +11,8 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 
+#include "common/flat_map.h"
 #include "common/rng.h"
 #include "common/types.h"
 
@@ -28,6 +27,14 @@ struct VmemConfig
     double large_page_fraction = 0.0;  //!< chance a 2MB VA region is
                                        //!< backed by a 2MB page
     std::uint64_t seed = 1;            //!< allocator randomization
+
+    /**
+     * Mappings (data pages + table frames) the flat page maps hold
+     * before their first allocating doubling.  The default covers
+     * multi-million-instruction runs of the heaviest generators; the
+     * alloc-trace build asserts measured regions stay inside it.
+     */
+    std::size_t reserve_pages = std::size_t{1} << 16;
 };
 
 /** Result of an address translation. */
@@ -78,11 +85,11 @@ class PageTable
     Rng rng_;
     Addr root_;  //!< physical base of the PML5 table
     //! table frames keyed by (level, VA prefix)
-    std::array<std::unordered_map<Addr, Addr>, 4> tables_;
-    std::unordered_map<Addr, Addr> page_map_;        //!< VPN -> frame
-    std::unordered_map<Addr, Addr> large_page_map_;  //!< LVPN -> frame
-    std::unordered_set<Addr> used_frames_;           //!< 4KB frame ids
-    std::unordered_set<Addr> used_large_frames_;     //!< 2MB frame ids
+    std::array<FlatAddrMap, 4> tables_;
+    FlatAddrMap page_map_;        //!< VPN -> frame
+    FlatAddrMap large_page_map_;  //!< LVPN -> frame
+    FrameBitmap used_frames_;           //!< 4KB frame ids
+    FrameBitmap used_large_frames_;     //!< 2MB frame ids
 };
 
 }  // namespace moka

@@ -36,7 +36,12 @@ struct WalkerConfig
 class StructureCache
 {
   public:
-    explicit StructureCache(unsigned entries) : entries_(entries) {}
+    explicit StructureCache(unsigned entries) : entries_(entries)
+    {
+        // Occupancy is bounded at entries_ by the LRU replacement in
+        // fill(); reserving keeps walks allocation free (rule L10).
+        data_.reserve(entries_);
+    }
 
     /** True when @p prefix is cached (updates recency). */
     bool lookup(Addr prefix);

@@ -1,0 +1,27 @@
+#include <string>
+#include <vector>
+
+// Per-access pipeline: SIM_HOT marks the root the reachability
+// analysis traverses from (tools/simlint/hotpath.py).
+class Pipeline
+{
+  public:
+    SIM_HOT void on_access(unsigned long addr)
+    {
+        history_.push_back(addr);  // grows without a reserve anywhere
+        record(addr);
+    }
+
+  private:
+    void record(unsigned long addr)
+    {
+        // Reached from the hot root: per-call string + new.
+        std::string label = "access";
+        label += std::to_string(addr).empty() ? "x" : "y";
+        scratch_ = new unsigned long[2];
+        scratch_[0] = addr;
+    }
+
+    std::vector<unsigned long> history_;
+    unsigned long *scratch_ = nullptr;
+};

@@ -1,0 +1,39 @@
+#include <string>
+#include <vector>
+
+// Fixed: capacity reserved at construction, sinks passed by
+// reference so the caller owns the capacity contract.
+class Pipeline
+{
+  public:
+    Pipeline() { history_.reserve(1024); }
+
+    SIM_HOT void on_access(unsigned long addr)
+    {
+        history_.push_back(addr);  // reserved in the constructor
+        collect(addr, history_);
+    }
+
+    SIM_COLD void report()
+    {
+        // Cold (amortized) path: allocation is allowed here.
+        std::string text = "report";
+        rows_.push_back(text.size());
+    }
+
+  private:
+    static void collect(unsigned long addr, std::vector<unsigned long> &out)
+    {
+        out.push_back(addr);  // by-ref parameter: caller reserves
+    }
+
+    std::vector<unsigned long> history_;
+    std::vector<unsigned long> rows_;
+};
+
+// Not reachable from any SIM_HOT root: unconstrained.
+void
+build_table(std::vector<std::string> &rows)
+{
+    rows.push_back(std::string("header"));
+}

@@ -1,0 +1,20 @@
+#include <unordered_map>
+
+// A fixed-capacity hardware table modelled with a hash map: every
+// per-access lookup pays a hash + pointer chase.
+class Tlb
+{
+  public:
+    SIM_HOT bool lookup(unsigned long vpn)
+    {
+        return entries_.find(vpn) != entries_.end();
+    }
+
+    SIM_HOT void fill(unsigned long vpn, unsigned long pfn)
+    {
+        entries_[vpn] = pfn;
+    }
+
+  private:
+    std::unordered_map<unsigned long, unsigned long> entries_;
+};

@@ -1,0 +1,21 @@
+// A per-access virtual call through a non-final class: the compiler
+// cannot devirtualize, so the innermost loop pays an indirect call.
+struct Model
+{
+    virtual ~Model() = default;
+    virtual int predict(int x) = 0;
+};
+
+struct Linear : Model
+{
+    int predict(int x) override { return 2 * x; }
+};
+
+class Engine
+{
+  public:
+    SIM_HOT int on_access(int x) { return model_->predict(x); }
+
+  private:
+    Model *model_ = nullptr;
+};

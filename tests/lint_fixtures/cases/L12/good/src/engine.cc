@@ -1,0 +1,33 @@
+// Fixed: the concrete leaf is `final`, so a call through it
+// devirtualizes; the deliberately polymorphic seam is escaped.
+struct Model
+{
+    virtual ~Model() = default;
+    virtual int predict(int x) = 0;
+};
+
+struct Linear final : Model
+{
+    int predict(int x) override { return 2 * x; }
+};
+
+class Engine
+{
+  public:
+    SIM_HOT int on_access(int x)
+    {
+        // Static type is final: devirtualizable, no finding.
+        return fast_->predict(x) + slow_path(x);
+    }
+
+  private:
+    int slow_path(int x)
+    {
+        // LINT_HOT_OK: the configurable model is this experiment's
+        // configuration point; the indirection is the design.
+        return configured_->predict(x);
+    }
+
+    Linear *fast_ = nullptr;
+    Model *configured_ = nullptr;
+};

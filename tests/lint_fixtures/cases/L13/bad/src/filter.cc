@@ -1,0 +1,16 @@
+// A cache-line-sized record copied by value on every access.
+struct DecisionContext
+{
+    unsigned long block = 0;
+    unsigned long indexes[8] = {};
+    unsigned long mask = 0;
+};
+
+class Filter
+{
+  public:
+    SIM_HOT bool permit(DecisionContext ctx)
+    {
+        return ctx.block != 0 && ctx.indexes[0] != ctx.mask;
+    }
+};

@@ -1,0 +1,31 @@
+// Fixed: big records pass by const reference; a deliberate sink
+// copy carries a justification.
+struct DecisionContext
+{
+    unsigned long block = 0;
+    unsigned long indexes[8] = {};
+    unsigned long mask = 0;
+};
+
+class Filter
+{
+  public:
+    SIM_HOT bool permit(const DecisionContext &ctx)
+    {
+        return ctx.block != 0 && ctx.indexes[0] != ctx.mask;
+    }
+
+    // LINT_HOT_OK: sink argument, moved into the pending slot; the
+    // copy happens at most once per issued prefetch.
+    SIM_HOT void stage(DecisionContext ctx) { pending_ = ctx; }
+
+  private:
+    DecisionContext pending_;
+};
+
+// Not hot-reachable: by-value is fine off the per-access path.
+unsigned long
+checksum(DecisionContext ctx)
+{
+    return ctx.block ^ ctx.mask;
+}

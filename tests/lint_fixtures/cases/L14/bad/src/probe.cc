@@ -1,0 +1,20 @@
+#include <cstdio>
+#include <string>
+
+// Formatting and I/O on the per-access path: locale lookups and
+// syscalls on a path budgeted in nanoseconds.
+class Probe
+{
+  public:
+    SIM_HOT void on_access(unsigned long addr)
+    {
+        if (addr == watch_) {
+            std::printf("hit %lu\n", addr);
+            last_ = std::to_string(addr);
+        }
+    }
+
+  private:
+    unsigned long watch_ = 0;
+    std::string last_;
+};

@@ -1,0 +1,24 @@
+#include <cstdio>
+#include <cstdint>
+
+// Fixed: the hot path records a counter; rendering happens behind a
+// SIM_COLD boundary at report cadence.
+class Probe
+{
+  public:
+    SIM_HOT void on_access(unsigned long addr)
+    {
+        hits_ += (addr == watch_) ? 1 : 0;
+    }
+
+    SIM_COLD void report()
+    {
+        // Cold: the traversal stops here, formatting is fine.
+        std::printf("hits %llu\n",
+                    static_cast<unsigned long long>(hits_));
+    }
+
+  private:
+    unsigned long watch_ = 0;
+    std::uint64_t hits_ = 0;
+};

@@ -24,7 +24,7 @@ REPO = HERE.parent.parent
 sys.path.insert(0, str(REPO))
 
 from tools.simlint import lint  # noqa: E402
-from tools.simlint.api import apply_fixes  # noqa: E402
+from tools.simlint.api import _render_github, apply_fixes  # noqa: E402
 from tools.simlint.lexer import strip_code  # noqa: E402
 from tools.simlint.registry import RULES  # noqa: E402
 
@@ -40,6 +40,24 @@ class FixtureCorpus(unittest.TestCase):
     def test_every_rule_has_fixtures(self):
         covered = {p.name for p in self.case_dirs()}
         self.assertEqual(covered, set(RULES), "each rule needs a cases/Lk dir")
+
+    def test_fixture_trees_are_complete(self):
+        # A cases/Lk dir with an empty (or missing) good/ or bad/
+        # tree would vacuously pass the corpus tests; require at
+        # least one source file on both sides of every rule.
+        for rule_dir in self.case_dirs():
+            for side in ("bad", "good"):
+                with self.subTest(rule=rule_dir.name, side=side):
+                    tree = rule_dir / side / "src"
+                    files = (
+                        sorted(tree.rglob("*.cc")) + sorted(tree.rglob("*.h"))
+                        if tree.is_dir()
+                        else []
+                    )
+                    self.assertTrue(
+                        files,
+                        f"{rule_dir.name}/{side}/src has no fixture sources",
+                    )
 
     def test_bad_fixtures_flag(self):
         for rule_dir in self.case_dirs():
@@ -65,6 +83,34 @@ class FixtureCorpus(unittest.TestCase):
                 self.assertFalse(
                     findings, f"{rule}: good fixture flagged:\n{rendered}"
                 )
+
+
+class GithubFormat(unittest.TestCase):
+    def test_findings_render_as_workflow_commands(self):
+        root = CASES / "L1" / "bad"
+        findings = lint(root, ["L1"])
+        self.assertTrue(findings)
+        for f in findings:
+            cmd = _render_github(f, root)
+            self.assertTrue(cmd.startswith("::error file="), cmd)
+            self.assertIn(f",line={f.line},", cmd)
+            self.assertIn("title=simlint L1::", cmd)
+            # Workflow commands are single-line; payload newlines and
+            # percents must arrive %-escaped.
+            self.assertNotIn("\n", cmd)
+            self.assertNotIn("\r", cmd)
+
+    def test_payload_escaping(self):
+        from tools.simlint.model import Finding
+
+        f = Finding(
+            rule="L1",
+            path=Path("/tmp/x.cc"),
+            line=3,
+            message="100% broken\nsecond line",
+        )
+        cmd = _render_github(f, Path("/tmp"))
+        self.assertIn("100%25 broken%0Asecond line", cmd)
 
 
 class LexerRegression(unittest.TestCase):
@@ -143,6 +189,29 @@ class FixMode(unittest.TestCase):
                 "\n".join(f.message for f in after),
                 "--fix left a <cassert> include behind",
             )
+
+    def test_fix_is_idempotent(self):
+        # Fixing an already-fixed tree must be a no-op: a fixer whose
+        # replacement still matches its own trigger would rewrite the
+        # same lines forever (and ping-pong in CI).
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp) / "tree"
+            shutil.copytree(CASES / "L1" / "bad", root)
+            apply_fixes(lint(root, ["L1"]))
+            snapshot = {
+                p: p.read_text() for p in sorted(root.rglob("*.cc"))
+            }
+            second = [f for f in lint(root, ["L1"]) if f.replacement]
+            self.assertFalse(
+                second,
+                "second --fix pass still proposes replacements: "
+                + "\n".join(f.render(root) for f in second),
+            )
+            apply_fixes(lint(root, ["L1"]))
+            for p, before in snapshot.items():
+                self.assertEqual(
+                    before, p.read_text(), f"{p} changed on second fix pass"
+                )
 
 
 if __name__ == "__main__":

@@ -103,3 +103,48 @@ if [ "$status" -ne 0 ]; then
     echo "perf-smoke: telemetry overhead exceeds ${MAX_OVERHEAD_PCT}%" >&2
     exit 1
 fi
+
+# ---------------------------------------------------------------------------
+# Hot-path throughput benchmark (BENCH_hotpath.json)
+#
+# Simulated instructions per wall-clock second for the paper's filter
+# scheme (dripper) and the permit-everything baseline, best-of-N.
+# Absolute inst/sec is machine-specific, so the committed baseline at
+# the repo root is informational; the CI gate is the machine-portable
+# RATIO: dripper exercises the full filter stack on top of permit's
+# pipeline, so dripper/permit throughput collapsing below MIN_RATIO_PCT
+# means per-access work crept into the filter hot path.
+# ---------------------------------------------------------------------------
+HOTPATH_OUT=${HOTPATH_OUT:-BENCH_hotpath.json}
+MIN_RATIO_PCT=${MIN_RATIO_PCT:-60}
+
+echo "== hot-path bench: $WORKLOAD, $INSTS insts, best of $REPS =="
+dripper_ns=$(SCHEME=dripper best_of "hotpath-dripper") || exit 1
+permit_ns=$(SCHEME=permit best_of "hotpath-permit") || exit 1
+
+awk -v insts="$INSTS" -v dripper_ns="$dripper_ns" \
+    -v permit_ns="$permit_ns" -v min_ratio="$MIN_RATIO_PCT" \
+    -v out="$HOTPATH_OUT" -v workload="$WORKLOAD" 'BEGIN {
+    dripper_ips = insts / (dripper_ns / 1e9);
+    permit_ips = insts / (permit_ns / 1e9);
+    ratio_pct = (permit_ips > 0) ? dripper_ips * 100.0 / permit_ips : 0;
+    printf "permit:  %.0f inst/s (%.1f ms)\n", permit_ips, permit_ns / 1e6;
+    printf "dripper: %.0f inst/s (%.1f ms)\n", dripper_ips, dripper_ns / 1e6;
+    printf "dripper/permit: %.1f%% (gate: >= %d%%)\n", ratio_pct, min_ratio;
+    printf "{\n" > out;
+    printf "  \"workload\": \"%s\",\n", workload > out;
+    printf "  \"instructions\": %d,\n", insts > out;
+    printf "  \"inst_per_sec\": {\"permit\": %.0f, \"dripper\": %.0f},\n", \
+        permit_ips, dripper_ips > out;
+    printf "  \"dripper_permit_ratio_pct\": %.1f,\n", ratio_pct > out;
+    printf "  \"min_ratio_pct\": %d\n", min_ratio > out;
+    printf "}\n" > out;
+    exit ratio_pct < min_ratio ? 1 : 0;
+}'
+status=$?
+echo "wrote $HOTPATH_OUT"
+if [ "$status" -ne 0 ]; then
+    echo "perf-smoke: dripper hot path fell below ${MIN_RATIO_PCT}% of" \
+         "permit throughput" >&2
+    exit 1
+fi

@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Ranked missed-optimization worklist for hot-reachable code.
+
+The compiler already knows which inlines it gave up on and which
+loops it failed to vectorize; simlint's hotpath model knows which
+lines are reachable from a SIM_HOT root.  This tool joins the two:
+
+  1. build the hot-reachability model over src/ (tools/simlint),
+  2. recompile every file that owns hot code with optimization
+     remarks enabled (GCC `-fopt-info-*-missed` by default, Clang
+     `-Rpass-missed` when --compiler points at clang),
+  3. keep only remarks that land inside a hot-reachable function,
+  4. rank hot functions by remark pressure (vectorization misses
+     weigh more than inline misses) and emit a worklist.
+
+The result is where to spend optimization effort: a missed inline
+on a cold reporting path is noise, the same remark inside
+Cache::access is the next perf PR.
+
+Usage:
+  python3 tools/optreport_tool.py                # text worklist
+  python3 tools/optreport_tool.py --format=json  # machine-readable
+  python3 tools/optreport_tool.py --limit 10 src/cache/cache.cc
+
+stdlib-only; requires a C++20 compiler on PATH (g++ by default).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO))
+
+from tools.simlint import hotpath  # noqa: E402
+from tools.simlint.model import Project  # noqa: E402
+
+# file:line:col: missed: message  (GCC -fopt-info-*-missed) or
+# file:line:col: remark: message [-Rpass-missed=...]  (Clang)
+REMARK_RE = re.compile(
+    r"^(?P<file>[^:\s][^:]*):(?P<line>\d+):(?:\d+:)?\s*"
+    r"(?:missed:|remark:)\s*(?P<msg>.*)$"
+)
+
+# Weight per remark class: failing to vectorize a hot loop costs a
+# multiple of a single call that stayed outlined.
+WEIGHTS = (
+    ("vector", 4.0),
+    ("unroll", 2.0),
+    ("inlin", 1.0),  # "inlining", "inlined", "not inlinable"
+)
+
+GCC_REMARK_FLAGS = [
+    "-fopt-info-inline-missed",
+    "-fopt-info-vec-missed",
+    "-fopt-info-loop-missed",
+]
+CLANG_REMARK_FLAGS = [
+    "-Rpass-missed=inline",
+    "-Rpass-missed=loop-vectorize",
+    "-Rpass-missed=loop-unroll",
+]
+
+
+def remark_weight(msg: str) -> float:
+    lowered = msg.lower()
+    for needle, weight in WEIGHTS:
+        if needle in lowered:
+            return weight
+    return 1.0
+
+
+def is_clang(compiler: str) -> bool:
+    return "clang" in Path(compiler).name
+
+
+def compile_flags(compiler: str) -> list:
+    flags = [
+        compiler,
+        "-std=c++20",
+        "-O2",
+        "-c",
+        "-o",
+        "/dev/null",
+        "-I",
+        str(REPO / "src"),
+    ]
+    flags += CLANG_REMARK_FLAGS if is_clang(compiler) else GCC_REMARK_FLAGS
+    return flags
+
+
+def collect_remarks(compiler: str, source: Path) -> list:
+    """[(line, message)] optimization remarks for one source file."""
+    proc = subprocess.run(
+        compile_flags(compiler) + [str(source)],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"{source}: remark compile failed:\n{proc.stderr[:2000]}"
+        )
+    out = []
+    for raw in proc.stderr.splitlines():
+        m = REMARK_RE.match(raw.strip())
+        if m is None:
+            continue
+        remark_file = Path(m.group("file"))
+        # Keep remarks attributed to this file or headers it pulled
+        # in from src/ (inline hot code lives in headers).
+        if remark_file.is_absolute():
+            try:
+                remark_file = remark_file.relative_to(REPO)
+            except ValueError:
+                continue
+        out.append((str(remark_file), int(m.group("line")), m.group("msg")))
+    return out
+
+
+def hot_sources(project: Project, model, only: list) -> list:
+    """Project .cc files owning at least one hot-reachable span."""
+    picked = []
+    for sf in project.src_files():
+        if sf.path.suffix != ".cc":
+            continue
+        if only and str(sf.rel) not in only:
+            continue
+        if model.hot_spans(sf):
+            picked.append(sf)
+    return picked
+
+
+def build_worklist(project: Project, model, compiler: str, only: list):
+    # Hot spans per rel-path so header remarks can be joined too.
+    spans_by_rel = {}
+    fn_by_rel = defaultdict(list)
+    for sf in project.src_files():
+        spans = model.hot_spans(sf)
+        if spans:
+            spans_by_rel[str(sf.rel)] = spans
+        for d in model.hot_defs:
+            if d.sf is sf:
+                fn_by_rel[str(sf.rel)].append(d)
+
+    entries = defaultdict(
+        lambda: {"score": 0.0, "remarks": [], "qual": "", "file": "",
+                 "line": 0}
+    )
+    compiled = 0
+    for sf in hot_sources(project, model, only):
+        for rel, line, msg in collect_remarks(compiler, sf.path):
+            # `src/...`-relative join key (remarks may cite headers).
+            key_rel = rel if rel in spans_by_rel else f"src/{rel}"
+            if key_rel not in spans_by_rel:
+                continue
+            owner = None
+            for d in fn_by_rel[key_rel]:
+                if d.start_line <= line <= d.end_line:
+                    owner = d
+                    break
+            if owner is None:
+                continue
+            e = entries[owner.qual]
+            e["qual"] = owner.qual
+            e["file"] = key_rel
+            e["line"] = owner.start_line
+            e["score"] += remark_weight(msg)
+            e["remarks"].append({"line": line, "message": msg})
+        compiled += 1
+    ranked = sorted(
+        entries.values(), key=lambda e: (-e["score"], e["qual"])
+    )
+    return ranked, compiled
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        description="rank missed optimizations on hot-reachable code"
+    )
+    ap.add_argument("files", nargs="*",
+                    help="restrict to these src/ .cc files")
+    ap.add_argument("--compiler", default="g++",
+                    help="compiler driver (default: g++; clang "
+                         "switches to -Rpass-missed remarks)")
+    ap.add_argument("--format", choices=("text", "json"),
+                    default="text")
+    ap.add_argument("--limit", type=int, default=20,
+                    help="worklist entries to print (default 20)")
+    args = ap.parse_args(argv)
+
+    project = Project(REPO)
+    model = hotpath.analyze(project)
+    ranked, compiled = build_worklist(
+        project, model, args.compiler, args.files
+    )
+    ranked = ranked[: args.limit]
+
+    if args.format == "json":
+        print(json.dumps({
+            "compiler": args.compiler,
+            "files_compiled": compiled,
+            "worklist": ranked,
+        }, indent=2))
+        return 0
+
+    print(f"optreport: {compiled} hot file(s) compiled with remark "
+          f"flags ({args.compiler})")
+    if not ranked:
+        print("optreport: no missed-optimization remarks land in "
+              "hot-reachable code")
+        return 0
+    for rank, e in enumerate(ranked, 1):
+        print(f"{rank:2}. [{e['score']:6.1f}] {e['qual']} "
+              f"({e['file']}:{e['line']}, {len(e['remarks'])} remark(s))")
+        for r in e["remarks"][:3]:
+            print(f"       L{r['line']}: {r['message'][:100]}")
+        if len(e["remarks"]) > 3:
+            print(f"       ... {len(e['remarks']) - 3} more")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,6 +52,28 @@ def apply_fixes(findings: List[Finding]) -> int:
     return fixed
 
 
+def _render_github(f: Finding, root: Path) -> str:
+    """One finding as a GitHub Actions workflow command.
+
+    `::error file=...,line=...` lines make the runner annotate the
+    offending source lines directly in pull-request diffs.
+    """
+    try:
+        rel = f.path.relative_to(root)
+    except ValueError:
+        rel = f.path
+    # Workflow-command payloads are %-escaped, not quoted.
+    msg = (
+        f.message.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+    )
+    return (
+        f"::error file={rel},line={f.line},"
+        f"title=simlint {f.rule}::{msg}"
+    )
+
+
 def _explain(rule_id: str) -> int:
     if rule_id not in RULES:
         print(f"simlint: unknown rule `{rule_id}`; try --list", file=sys.stderr)
@@ -94,6 +116,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="list registered rules and exit",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "github"),
+        default="text",
+        help="finding output: `text` (default) or `github` workflow "
+        "commands, which annotate the offending lines in pull-request "
+        "diffs",
+    )
     args = parser.parse_args(argv)
 
     if args.explain:
@@ -126,6 +156,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 0
     for f in findings:
-        print(f.render(root))
+        if args.format == "github":
+            print(_render_github(f, root))
+        else:
+            print(f.render(root))
     print(f"simlint: {len(findings)} finding(s)")
     return 1

@@ -9,4 +9,9 @@ from tools.simlint.rules import (  # noqa: F401
     l7_determinism,
     l8_stats,
     l9_locks,
+    l10_hot_alloc,
+    l11_hot_maps,
+    l12_hot_virtual,
+    l13_hot_byvalue,
+    l14_hot_io,
 )

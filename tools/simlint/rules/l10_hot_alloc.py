@@ -1,0 +1,113 @@
+"""L10: hot path — no per-access heap allocation."""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from tools.simlint.hotpath import analyze, hot_function_at
+from tools.simlint.lexer import line_of
+from tools.simlint.model import Finding, Project
+from tools.simlint.registry import rule
+
+# Direct allocation: new-expressions and the make_* helpers.  The
+# `operator new` declarations of the MOKASIM_ALLOC_TRACE interposer
+# are exempted by the SIM_COLD/escape machinery, not special-cased.
+NEW_RE = re.compile(r"(?<!\boperator )\bnew\b(?!\s*\()")
+NEW_PAREN_RE = re.compile(r"(?<!\boperator )\bnew\s*\(")
+MAKE_RE = re.compile(r"\b(?:std\s*::\s*)?make_(?:unique|shared)\s*<")
+
+# Growth calls on containers.  The receiver is exempt when (a) it is
+# a by-reference parameter of the enclosing hot function — capacity
+# is then the caller's contract — or (b) the same file reserves it.
+GROW_RE = re.compile(r"\b([A-Za-z_]\w*(?:\.[A-Za-z_]\w*)*?)\s*\.\s*"
+                     r"(push_back|emplace_back|resize)\s*\(")
+
+# Container / string locals constructed per call.
+LOCAL_CONTAINER_RE = re.compile(
+    r"\bstd\s*::\s*(vector|deque|list|basic_string|string)\b\s*(?:<[^;{}]*>)?"
+    r"\s+\w+\s*[({=;]"
+)
+
+
+@rule("L10", "hot path: no per-access heap allocation")
+def check(project: Project) -> List[Finding]:
+    """Functions reachable from a SIM_HOT root (see
+    common/hot_path.h and tools/simlint/hotpath.py) run once per
+    simulated memory access; a single heap allocation there costs
+    more than the whole cache lookup it models and destroys the
+    3-5x throughput headroom the ROADMAP targets.  Banned inside
+    hot-reachable code:
+
+    * `new` expressions, `make_unique` / `make_shared`;
+    * `push_back` / `emplace_back` / `resize` on containers that are
+      neither reserved in the same file nor by-reference parameters
+      (whose capacity is the caller's contract);
+    * construction of `std::vector` / `std::deque` / `std::list` /
+      `std::string` locals or temporaries.
+
+    Fix by hoisting the container into the owning object and
+    reserving it at construction (see CoreComplex::pf_buffer_), by
+    converting to a fixed-size flat array (see UpdateBuffer), or by
+    arena-allocating.  The MOKASIM_ALLOC_TRACE build enforces the
+    same contract dynamically: a warmed-up run must perform zero
+    steady-state allocations.  Escape hatch for a justified cost:
+    `LINT_HOT_OK: <why>` on or just above the line.
+    """
+    out: List[Finding] = []
+    model = analyze(project)
+    # reserve() calls are credited to the header/source pair (the
+    # constructor reserving in foo.h covers growth in foo.cc).
+    pair_reserved = {}
+    for sf in project.src_files():
+        key = (sf.path.parent, sf.path.stem)
+        pair_reserved.setdefault(key, set()).update(
+            re.findall(r"\b([A-Za-z_]\w*)\s*\.\s*reserve\s*\(", sf.code)
+        )
+    for sf in project.src_files():
+        if sf.rel not in model.spans:
+            continue
+        code = sf.code
+        reserved = pair_reserved.get((sf.path.parent, sf.path.stem), set())
+
+        def emit(m_start: int, message: str) -> None:
+            no = line_of(code, m_start)
+            d = hot_function_at(model, sf, no)
+            if d is None or sf.annotated(no, "LINT_HOT_OK", lookback=4):
+                return
+            out.append(
+                Finding(
+                    "L10",
+                    sf.path,
+                    no,
+                    f"{message} in hot-reachable `{d.qual}` (per-access "
+                    "path); preallocate at construction or annotate with "
+                    "`LINT_HOT_OK: <why>`",
+                )
+            )
+
+        for pat, msg in (
+            (NEW_RE, "heap allocation (`new`)"),
+            (NEW_PAREN_RE, "heap allocation (`new`)"),
+            (MAKE_RE, "heap allocation (`make_unique`/`make_shared`)"),
+            (LOCAL_CONTAINER_RE, "per-call container/string construction"),
+        ):
+            for m in pat.finditer(code):
+                emit(m.start(), msg)
+
+        for m in GROW_RE.finditer(code):
+            receiver = m.group(1).split(".")[-1]
+            if receiver in reserved:
+                continue
+            no = line_of(code, m.start())
+            d = hot_function_at(model, sf, no)
+            if d is None:
+                continue
+            if re.search(r"&\s*" + re.escape(receiver) + r"\b", d.params):
+                continue  # by-ref parameter: caller owns the capacity
+            emit(
+                m.start(),
+                f"`{receiver}.{m.group(2)}` may reallocate and `{receiver}`"
+                " is never reserved in this header/source pair",
+            )
+    return out

@@ -1,0 +1,79 @@
+"""L11: hot path — no node-based map lookups where flat fits."""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Set, Tuple
+
+from tools.simlint.hotpath import analyze, hot_function_at
+from tools.simlint.lexer import line_of
+from tools.simlint.model import Finding, Project
+from tools.simlint.registry import rule
+
+# Names declared as ordered or unordered node-based associative
+# containers (members, locals, parameters).
+MAP_DECL_RE = re.compile(
+    r"\b(?:std\s*::\s*)?((?:unordered_)?(?:map|set|multimap|multiset))"
+    r"\s*<[^;{}()]*?>[\s&]*(\w+)\s*[;={]"
+)
+
+IDENT_USE = r"\b{}\s*[.\[]"
+
+
+def _map_names(project: Project) -> Dict[Tuple, Set[str]]:
+    """Map-typed names scoped to their header/source pair, exactly
+    like L7's unordered-name index: members declared in foo.h are
+    visible in foo.cc and vice versa."""
+    paired: Dict[Tuple, Set[str]] = {}
+    for sf in project.src_files():
+        key = (sf.path.parent, sf.path.stem)
+        for m in MAP_DECL_RE.finditer(sf.code):
+            paired.setdefault(key, set()).add(m.group(2))
+    return paired
+
+
+@rule("L11", "hot path: no hash/tree map traffic where flat fits")
+def check(project: Project):
+    """`std::unordered_map` / `std::map` on a per-access path costs a
+    hash + pointer chase (or a tree walk) and a node allocation per
+    insert — typically 10-50x the cost of indexing a flat array.
+    Simulator structures on the hot path model fixed-capacity
+    hardware (caches, TLBs, update buffers, weight tables), so a
+    flat, capacity-sized array or open-addressing table almost
+    always fits; see UpdateBuffer for the pattern.
+
+    The rule flags any `.member` or `[key]` use of a map/set-typed
+    name inside hot-reachable code (same header/source-pair scoping
+    as L7).  When the structure genuinely wants a map — unbounded
+    sparse key space touched on an amortized sub-path, like the
+    radix page table behind the TLBs — annotate the declaration or
+    the use with `LINT_HOT_OK: <why a flat structure does not fit>`.
+    """
+    out = []
+    model = analyze(project)
+    paired = _map_names(project)
+    for sf in project.src_files():
+        if sf.rel not in model.spans:
+            continue
+        names = paired.get((sf.path.parent, sf.path.stem), set())
+        if not names:
+            continue
+        code = sf.code
+        for name in sorted(names):
+            for m in re.finditer(IDENT_USE.format(re.escape(name)), code):
+                no = line_of(code, m.start())
+                d = hot_function_at(model, sf, no)
+                if d is None or sf.annotated(no, "LINT_HOT_OK", lookback=4):
+                    continue
+                out.append(
+                    Finding(
+                        "L11",
+                        sf.path,
+                        no,
+                        f"map/set `{name}` used in hot-reachable "
+                        f"`{d.qual}`; a flat or open-addressing "
+                        "structure fits fixed-capacity hardware — or "
+                        "annotate `LINT_HOT_OK: <why not>`",
+                    )
+                )
+    return out

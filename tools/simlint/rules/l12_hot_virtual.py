@@ -1,0 +1,135 @@
+"""L12: hot path — no non-devirtualizable virtual dispatch."""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Set
+
+from tools.simlint.hotpath import analyze, hot_function_at
+from tools.simlint.lexer import line_of
+from tools.simlint.cppparse import class_bodies
+from tools.simlint.model import Finding, Project
+from tools.simlint.registry import rule
+
+# `class Foo final : public Bar {` — capture name, final, base list.
+CLASS_HEAD_RE = re.compile(
+    r"\b(?:class|struct)\s+([A-Za-z_]\w*)\s*(final)?\s*(?::([^{;]*))?\{"
+)
+
+# `using FooPtr = std::unique_ptr<Foo>;` — smart-pointer aliases.
+ALIAS_RE = re.compile(
+    r"\busing\s+(\w+)\s*=\s*std\s*::\s*(?:unique_ptr|shared_ptr)\s*<\s*"
+    r"([A-Za-z_]\w*)\b"
+)
+
+# Member/param/local of pointer-ish type: `Foo *name`, `FooPtr name`,
+# `std::unique_ptr<Foo> name`, `Foo &name`.
+PTRDECL_RES = (
+    re.compile(r"\b([A-Z]\w*)\s*[*&]\s*(\w+)\s*[;,=)({]"),
+    re.compile(r"\bstd\s*::\s*(?:unique_ptr|shared_ptr)\s*<\s*([A-Z]\w*)\s*>"
+               r"\s*(\w+)\s*[;,=)({]"),
+)
+ALIASDECL_RE = r"\b({})\s+(\w+)\s*[;,=)({{]"
+
+# Dispatch through the name: `name->method(` or `name.method(`.
+DISPATCH_RE = r"\b{}\s*(?:->|\.)\s*([a-z_]\w*)\s*\("
+
+# Non-virtual utility methods never worth flagging even on a
+# polymorphic receiver (defined non-virtual on the base).
+_BENIGN = frozenset("get reset release swap".split())
+
+
+def _class_info(project: Project):
+    """name -> (is_polymorphic, is_final) for every class in src/."""
+    info: Dict[str, List[bool]] = {}
+    virtual_methods: Set[str] = set()
+    for sf in project.src_files():
+        code = sf.code
+        for cls, body, _line in class_bodies(code):
+            poly = bool(re.search(r"\bvirtual\b|\boverride\b", body))
+            info.setdefault(cls, [False, False])
+            info[cls][0] = info[cls][0] or poly
+            for m in re.finditer(r"\bvirtual\b[^;{(]*?(\w+)\s*\(", body):
+                virtual_methods.add(m.group(1))
+        for m in CLASS_HEAD_RE.finditer(code):
+            name, final = m.group(1), bool(m.group(2))
+            info.setdefault(name, [False, False])
+            info[name][1] = info[name][1] or final
+    return info, virtual_methods
+
+
+@rule("L12", "hot path: virtual dispatch must be devirtualizable")
+def check(project: Project) -> List[Finding]:
+    """An indirect call per simulated access defeats inlining and
+    branch prediction of the simulator's innermost loop: the
+    `Cache::access` -> prefetcher -> filter chain runs hundreds of
+    millions of times per experiment.  GCC/Clang devirtualize a call
+    through a pointer whose static type is a `final` class (or whose
+    method is `final`), turning it back into a direct, inlinable
+    call.
+
+    The rule finds dispatch (`p->f(...)`, `r.f(...)`) inside
+    hot-reachable code where the receiver's declared type is a
+    polymorphic class that is not marked `final`, the callee is
+    declared `virtual` somewhere, and flags it.  Receiver types are
+    resolved from pointer/reference/smart-pointer declarations in the
+    same header/source pair, including `using FooPtr =
+    std::unique_ptr<Foo>` aliases.
+
+    Fix by marking the concrete leaf class `final` (free — see
+    `class Cache final`), or hoisting the virtual call out of the
+    per-access loop.  Genuinely polymorphic seams that stay virtual
+    by design (the configurable prefetcher/filter behind
+    `PrefetcherPtr`/`FilterPtr`) carry a `LINT_HOT_OK: <why>` noting
+    the indirection is the experiment's configuration point.
+    """
+    out: List[Finding] = []
+    model = analyze(project)
+    info, virtual_methods = _class_info(project)
+    aliases: Dict[str, str] = {}
+    for sf in project.src_files():
+        for m in ALIAS_RE.finditer(sf.code):
+            aliases[m.group(1)] = m.group(2)
+
+    poly_nonfinal = {
+        name for name, (poly, final) in info.items() if poly and not final
+    }
+
+    for sf in project.src_files():
+        if sf.rel not in model.spans:
+            continue
+        code = sf.code
+        # receiver name -> declared class
+        recv: Dict[str, str] = {}
+        for pat in PTRDECL_RES:
+            for m in pat.finditer(code):
+                if m.group(1) in poly_nonfinal:
+                    recv[m.group(2)] = m.group(1)
+        alias_names = [a for a, t in aliases.items() if t in poly_nonfinal]
+        if alias_names:
+            pat = re.compile(ALIASDECL_RE.format("|".join(alias_names)))
+            for m in pat.finditer(code):
+                recv[m.group(2)] = aliases[m.group(1)]
+        if not recv:
+            continue
+        for name, cls in sorted(recv.items()):
+            for m in re.finditer(DISPATCH_RE.format(re.escape(name)), code):
+                method = m.group(1)
+                if method in _BENIGN or method not in virtual_methods:
+                    continue
+                no = line_of(code, m.start())
+                d = hot_function_at(model, sf, no)
+                if d is None or sf.annotated(no, "LINT_HOT_OK", lookback=4):
+                    continue
+                out.append(
+                    Finding(
+                        "L12",
+                        sf.path,
+                        no,
+                        f"virtual call `{name}->{method}()` on "
+                        f"non-final polymorphic `{cls}` in hot-reachable "
+                        f"`{d.qual}`; mark the concrete class `final` or "
+                        "annotate `LINT_HOT_OK: <why>`",
+                    )
+                )
+    return out

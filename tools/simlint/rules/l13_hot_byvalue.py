@@ -1,0 +1,109 @@
+"""L13: hot path — no by-value passing of large structs."""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from tools.simlint.cppparse import class_bodies, depth0
+from tools.simlint.hotpath import analyze
+from tools.simlint.model import Finding, Project
+from tools.simlint.registry import rule
+
+# A plausible data member at class depth 0:  `Type name;` possibly
+# with array suffix and initializer.
+MEMBER_RE = re.compile(
+    r"^\s*(?!using|typedef|static|friend|return|if|for|while|public|"
+    r"private|protected|explicit|virtual|template|namespace|else|do|case)"
+    r"[\w:<>,*&\s]+?[\s&*]([A-Za-z_]\w*)\s*(\[[^\]]*\])?\s*"
+    r"(?:=[^;]*|\{[^;]*\})?;"
+)
+ARRAY_N_RE = re.compile(r"\[(\d+)\]")
+STD_ARRAY_RE = re.compile(r"std\s*::\s*array\s*<[^,<>]*,\s*(\d+)\s*>")
+
+# Parameter of form `Type name` with no & or * — by value.
+BYVAL_PARAM = r"(?:^|,)\s*(?:const\s+)?({})\s+(\w+)\s*(?=,|$)"
+
+_WORD = 8            # crude per-member size estimate, bytes
+_LIMIT = 16          # two registers: the by-value sweet spot
+
+
+def _struct_sizes(project: Project) -> Dict[str, int]:
+    """Crude byte-size estimate per class: 8 bytes per depth-0 data
+    member, arrays multiplied out, nested known structs substituted
+    (one level).  An overestimate is fine — the rule only needs to
+    separate two-register values from cache-line-sized records."""
+    raw: Dict[str, List[str]] = {}
+    for sf in project.src_files():
+        for cls, body, _line in class_bodies(sf.code):
+            members = []
+            for stmt in depth0(body).split("\n"):
+                m = MEMBER_RE.match(stmt)
+                if m and "(" not in stmt.split("=")[0].split("{")[0]:
+                    members.append(stmt)
+            if members:
+                raw.setdefault(cls, []).extend(members)
+
+    sizes: Dict[str, int] = {}
+
+    def size_of(stmt: str) -> int:
+        n = 1
+        am = ARRAY_N_RE.search(stmt)
+        if am:
+            n = int(am.group(1))
+        sm = STD_ARRAY_RE.search(stmt)
+        if sm:
+            n = max(n, int(sm.group(1)))
+        unit = _WORD
+        for other, stmts in raw.items():
+            if other in sizes and re.search(r"\b" + other + r"\b", stmt):
+                unit = max(unit, sizes[other])
+        return unit * n
+
+    # Two passes give one level of nesting resolution.
+    for _ in range(2):
+        for cls, stmts in raw.items():
+            sizes[cls] = sum(size_of(s) for s in stmts)
+    return sizes
+
+
+@rule("L13", "hot path: pass large structs by reference")
+def check(project: Project) -> List[Finding]:
+    """A by-value parameter bigger than two machine words (16 bytes)
+    is copied at every call; on a per-access path that copy — often a
+    whole `DecisionRecord` or `PrefetchContext` — shows up directly
+    in instructions/second.  Small values (Addr, Cycle, enums,
+    two-word structs) should stay by value; big records go by
+    const-reference.
+
+    Sizes are estimated structurally (8 bytes per member, arrays
+    multiplied out, one level of nesting), so the rule is
+    deliberately conservative about *what is big* and only fires on
+    parameters of hot-reachable functions.  Fix with `const T &`; a
+    deliberate by-value copy (sink argument that is moved-from)
+    takes `LINT_HOT_OK: <why>`.
+    """
+    out: List[Finding] = []
+    model = analyze(project)
+    sizes = _struct_sizes(project)
+    big = {name for name, sz in sizes.items() if sz > _LIMIT}
+    if not big:
+        return out
+    pat = re.compile(BYVAL_PARAM.format("|".join(sorted(big))))
+    for sf in project.src_files():
+        for start, _end, d in model.hot_spans(sf):
+            for m in pat.finditer(d.params):
+                if sf.annotated(start, "LINT_HOT_OK", lookback=4):
+                    continue
+                out.append(
+                    Finding(
+                        "L13",
+                        sf.path,
+                        start,
+                        f"hot-reachable `{d.qual}` takes "
+                        f"`{m.group(1)} {m.group(2)}` by value "
+                        f"(~{sizes[m.group(1)]}B copy per call); pass "
+                        "`const &` or annotate `LINT_HOT_OK: <why>`",
+                    )
+                )
+    return out

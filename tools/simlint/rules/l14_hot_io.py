@@ -1,0 +1,60 @@
+"""L14: hot path — no formatting or I/O."""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from tools.simlint.hotpath import analyze, hot_function_at
+from tools.simlint.lexer import line_of
+from tools.simlint.model import Finding, Project
+from tools.simlint.registry import rule
+
+IO_RE = re.compile(
+    r"\b(?:printf|fprintf|sprintf|snprintf|vsnprintf|puts|fputs|putchar"
+    r"|fwrite|fread|fopen|fclose|fflush|getline)\s*\("
+    r"|\bstd\s*::\s*(?:cout|cerr|clog|to_string|format|getline"
+    r"|ostringstream|istringstream|stringstream"
+    r"|ofstream|ifstream|fstream)\b"
+)
+
+
+@rule("L14", "hot path: no formatting or I/O")
+def check(project: Project) -> List[Finding]:
+    """Formatting and stream I/O inside hot-reachable code costs
+    microseconds per call (locale lookups, heap-backed buffers,
+    syscalls) on a path budgeted in nanoseconds — and L6 already
+    bans ad-hoc console output project-wide.  Anything the hot path
+    wants to report must be recorded as a counter or telemetry event
+    (src/telemetry/: one relaxed-atomic branch when disabled) and
+    rendered off the hot path at interval/report cadence.
+
+    The rule flags stdio calls, iostream objects, string streams and
+    `std::to_string`/`std::format` inside hot-reachable functions.
+    Error-path uses should instead live behind SIM_COLD helpers
+    (see audit::report_failure); a line that truly must stay takes
+    `LINT_HOT_OK: <why>`.
+    """
+    out: List[Finding] = []
+    model = analyze(project)
+    for sf in project.src_files():
+        if sf.rel not in model.spans:
+            continue
+        code = sf.code
+        for m in IO_RE.finditer(code):
+            no = line_of(code, m.start())
+            d = hot_function_at(model, sf, no)
+            if d is None or sf.annotated(no, "LINT_HOT_OK", lookback=4):
+                continue
+            out.append(
+                Finding(
+                    "L14",
+                    sf.path,
+                    no,
+                    f"formatting/IO `{m.group(0).strip()}` in "
+                    f"hot-reachable `{d.qual}`; record a counter or "
+                    "telemetry event instead, or annotate "
+                    "`LINT_HOT_OK: <why>`",
+                )
+            )
+    return out
