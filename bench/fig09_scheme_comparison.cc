@@ -11,8 +11,9 @@
  * PPF by 2.4%/1.4%/1.6% on Berti/BOP/IPCP.
  *
  * Runs the full (workload, scheme, prefetcher) matrix through the job
- * engine; accepts --jobs/--journal/--resume/--fail-fast. Failed jobs
- * are dropped from the aggregates and reported on stderr.
+ * engine; accepts --jobs/--journal/--resume/--fail-fast and the
+ * sharded-sweep flags --shard-dir/--shard-name/--lease-ttl/--merge.
+ * Failed jobs are dropped from the aggregates and reported on stderr.
  */
 #include <cmath>
 #include <cstdio>

@@ -69,11 +69,11 @@ main(int argc, char **argv)
 
     const std::unique_ptr<TelemetrySession> telemetry =
         make_telemetry(args);
-    EngineConfig ecfg = engine_config(args);
-    ecfg.telemetry = telemetry.get();
-    JobEngine engine(std::move(ecfg));
-    const EngineReport report =
-        engine.run(jobs, [&](const JobSpec &spec, JobContext &ctx) {
+    // run_engine so --shard-dir/--merge work here too: a 300-mix
+    // --full sweep is the natural candidate for a multi-host farm.
+    const EngineReport report = run_engine(
+        jobs, args,
+        [&](const JobSpec &spec, JobContext &ctx) {
             const std::vector<WorkloadSpec> &mix = mixes[spec.id];
             const std::string mixname = spec.workload.name;
             const double wb =
@@ -96,7 +96,8 @@ main(int argc, char **argv)
             out.aux = {wb > 0.0 ? wp / wb : 0.0,
                        wb > 0.0 ? wd / wb : 0.0};
             return out;
-        });
+        },
+        telemetry.get());
     if (!report.all_completed()) {
         std::fputs(report.summary().c_str(), stderr);
     }

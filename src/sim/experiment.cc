@@ -9,6 +9,7 @@
 
 #include "common/stats.h"
 #include "filter/policies.h"
+#include "sim/jobs/shard.h"
 #include "telemetry/telemetry.h"
 #include "trace/trace_io.h"
 
@@ -107,6 +108,17 @@ parse_bench_args(int argc, char **argv)
                 require_double(a, require_value(a, i, argc, argv));
         } else if (a == "--fault-seed") {
             args.fault_seed = next_u64();
+        } else if (a == "--shard-dir") {
+            args.shard_dir = require_value(a, i, argc, argv);
+        } else if (a == "--shard-name") {
+            args.shard_name = require_value(a, i, argc, argv);
+        } else if (a == "--lease-ttl") {
+            args.lease_ttl_ms = next_u64();
+        } else if (a == "--merge") {
+            args.merge = true;
+        } else if (a == "--inject-kill") {
+            args.kill_rate =
+                require_double(a, require_value(a, i, argc, argv));
         } else if (a == "--telemetry-dir") {
             args.telemetry_dir = require_value(a, i, argc, argv);
         } else if (a == "--trace-events") {
@@ -283,13 +295,51 @@ run_sim_job(const JobSpec &spec, JobContext &ctx)
 }
 
 EngineReport
+run_engine(const std::vector<JobSpec> &jobs, const BenchArgs &args,
+           const JobFn &fn, TelemetrySession *telemetry)
+{
+    if (args.merge) {
+        if (args.shard_dir.empty()) {
+            std::fprintf(stderr,  // LINT_LOG_OK: usage error
+                         "usage: --merge requires --shard-dir\n");
+            std::exit(2);
+        }
+        const MergeReport merge =
+            merge_shard_dir(args.shard_dir, jobs.size());
+        std::fputs(merge.summary().c_str(), stderr);  // LINT_LOG_OK: report
+        if (!merge.ok()) {
+            std::exit(2);
+        }
+        return report_from_merge(merge, jobs);
+    }
+    EngineConfig cfg = engine_config(args);
+    cfg.telemetry = telemetry;
+    if (!args.shard_dir.empty()) {
+        ShardConfig shard;
+        shard.dir = args.shard_dir;
+        shard.name = args.shard_name;
+        shard.lease_ttl_ms = std::max<std::uint64_t>(1, args.lease_ttl_ms);
+        if (args.kill_rate > 0.0) {
+            shard.proc_faults.enabled = true;
+            shard.proc_faults.seed = args.fault_seed;
+            shard.proc_faults.kill_rate = args.kill_rate;
+        }
+        // The shard layer owns journaling inside shard_dir; the
+        // --journal/--resume flags stay meaningful only in plain mode.
+        shard.engine = std::move(cfg);
+        ShardReport report = ShardEngine(std::move(shard)).run(jobs, fn);
+        std::fputs(report.summary().c_str(), stderr);  // LINT_LOG_OK: report
+        return std::move(report.engine);
+    }
+    JobEngine engine(std::move(cfg));
+    return engine.run(jobs, fn);
+}
+
+EngineReport
 run_matrix(const std::vector<JobSpec> &jobs, const BenchArgs &args,
            TelemetrySession *telemetry)
 {
-    EngineConfig cfg = engine_config(args);
-    cfg.telemetry = telemetry;
-    JobEngine engine(std::move(cfg));
-    return engine.run(jobs, run_sim_job);
+    return run_engine(jobs, args, run_sim_job, telemetry);
 }
 
 double

@@ -3,9 +3,10 @@
  * Shared helpers for the figure/table benchmark harnesses: derived
  * metrics (speedup, coverage), per-suite aggregation, table printing,
  * common CLI flags (--full, --workloads, --insts, --warmup, plus the
- * engine flags --jobs/--resume/--journal/--fail-fast/--inject-faults),
- * and the engine-backed matrix runner every ported harness and
- * sweep_tool share.
+ * engine flags --jobs/--resume/--journal/--fail-fast/--inject-faults
+ * and the shard flags --shard-dir/--shard-name/--lease-ttl/--merge/
+ * --inject-kill), and the engine-backed matrix runner every ported
+ * harness and sweep_tool share.
  */
 #ifndef MOKASIM_SIM_EXPERIMENT_H
 #define MOKASIM_SIM_EXPERIMENT_H
@@ -47,6 +48,15 @@ struct BenchArgs
     std::string resume;           //!< resume from this journal
     double fault_rate = 0.0;      //!< injected fault rate (tests/CI)
     std::uint64_t fault_seed = 1;
+
+    // Sharded-execution knobs (see sim/jobs/shard.h). A non-empty
+    // shard_dir switches the sweep into shard mode: claim jobs from
+    // the shared directory instead of running the whole matrix.
+    std::string shard_dir;        //!< shared lease/journal directory
+    std::string shard_name;       //!< this shard's name ("" = pid-based)
+    std::uint64_t lease_ttl_ms = 10000;  //!< heartbeat-miss budget
+    bool merge = false;           //!< merge shard_dir, don't run jobs
+    double kill_rate = 0.0;       //!< seeded self-SIGKILL rate (chaos)
 
     // Telemetry knobs (see telemetry/telemetry.h).
     std::string telemetry_dir;    //!< per-run epoch CSV/JSONL directory
@@ -125,10 +135,26 @@ make_matrix(const std::vector<WorkloadSpec> &roster,
 JobOutput run_sim_job(const JobSpec &spec, JobContext &ctx);
 
 /**
- * Run @p jobs through the engine with the default sim body.
- * @p telemetry (may be null) is handed to the engine for trace spans
- * and per-run epoch sampling.
+ * Run @p jobs through whatever execution mode the common flags chose:
+ *
+ *  - merge mode (--merge --shard-dir D): don't run anything; merge
+ *    the shard journals in D (validating checksums and completeness)
+ *    and rehydrate the report a serial run would have produced. Any
+ *    merge problem is a usage-style error: summary to stderr, exit 2.
+ *  - shard mode (--shard-dir D): claim jobs from D via leases, run
+ *    them through the engine, journal into D (sim/jobs/shard.h); the
+ *    shard summary goes to stderr and the returned report covers the
+ *    whole matrix (peer-finished jobs carry status only, no CSV).
+ *  - plain mode: one local JobEngine over the full matrix.
+ *
+ * @p telemetry (may be null) is handed down for trace spans and
+ * per-run epoch sampling.
  */
+EngineReport run_engine(const std::vector<JobSpec> &jobs,
+                        const BenchArgs &args, const JobFn &fn,
+                        TelemetrySession *telemetry = nullptr);
+
+/** run_engine with the default single-core sim body (run_sim_job). */
 EngineReport run_matrix(const std::vector<JobSpec> &jobs,
                         const BenchArgs &args,
                         TelemetrySession *telemetry = nullptr);

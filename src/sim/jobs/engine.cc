@@ -8,6 +8,8 @@
 #include <thread>
 
 #include "common/check.h"
+#include "common/hashing.h"
+#include "common/rng.h"
 #include "sim/jobs/journal.h"
 #include "telemetry/telemetry.h"
 
@@ -62,6 +64,8 @@ engine_tracer(const EngineConfig &cfg)
     return cfg.telemetry->tracer();
 }
 
+}  // namespace
+
 std::string
 job_label(const JobSpec &spec)
 {
@@ -75,8 +79,6 @@ job_label(const JobSpec &spec)
     }
     return label;
 }
-
-}  // namespace
 
 Watchdog::Watchdog(std::uint64_t step_budget, std::uint64_t wall_ms)
     : step_budget_(step_budget), wall_ms_(wall_ms),
@@ -109,6 +111,28 @@ Watchdog::on_tick(std::uint64_t steps)
     }
 }
 
+std::uint64_t
+backoff_delay_ms(const EngineConfig &cfg, std::size_t id, int attempt)
+{
+    // Capped exponential: base * 2^(attempt-1), clamped.
+    const std::uint64_t shift =
+        attempt <= 63 ? static_cast<std::uint64_t>(attempt - 1) : 63;
+    const std::uint64_t delay_ms =
+        std::min(cfg.backoff_cap_ms,
+                 cfg.backoff_base_ms == 0 ? 0
+                                          : cfg.backoff_base_ms << shift);
+    if (!cfg.backoff_jitter || delay_ms == 0) {
+        return delay_ms;
+    }
+    // Decorrelate across shards: a seeded-uniform draw in
+    // [delay/2, delay] keyed on (salt, job, attempt) — pure timing,
+    // no effect on any result value.
+    Rng rng(hash_combine(hash_combine(cfg.jitter_salt,
+                                      static_cast<std::uint64_t>(id)),
+                         static_cast<std::uint64_t>(attempt)));
+    return delay_ms / 2 + rng.below(delay_ms - delay_ms / 2 + 1);
+}
+
 JobEngine::JobEngine(EngineConfig cfg) : cfg_(std::move(cfg))
 {
     SIM_REQUIRE(cfg_.max_attempts >= 1,
@@ -118,7 +142,7 @@ JobEngine::JobEngine(EngineConfig cfg) : cfg_(std::move(cfg))
 JobResult
 JobEngine::execute_one(const JobSpec &spec, const JobFn &fn,
                        const FaultInjector &injector,
-                       std::uint32_t worker) const
+                       std::uint32_t worker, RunTickHook *extra) const
 {
     Tracer *tracer = engine_tracer(cfg_);
     JobResult res;
@@ -137,9 +161,13 @@ JobEngine::execute_one(const JobSpec &spec, const JobFn &fn,
             injector.decide(spec.id, attempt);
         FaultHook fault(decision, injector.plan().stall_ms);
         Watchdog watchdog(spec.watchdog_steps, cfg_.watchdog_wall_ms);
-        // Fault first, watchdog second: a stall is observed by the
-        // deadline check behind it.
+        // Extra (shard heartbeat) first, then fault, then watchdog: a
+        // lease refresh must happen even on the tick a fault fires,
+        // and a stall is observed by the deadline check behind it.
         TickHookChain chain;
+        if (extra != nullptr) {
+            chain.add(extra);
+        }
         chain.add(&fault);
         chain.add(&watchdog);
         JobContext ctx;
@@ -167,18 +195,16 @@ JobEngine::execute_one(const JobSpec &spec, const JobFn &fn,
             res.error_message = "non-standard exception";
         }
         res.status = JobStatus::kFailed;
+        if (res.error == JobErrorCode::kLeaseLost) {
+            break;  // the shard lost this job to a peer; never retry
+        }
         if (!is_transient(res.error) || attempt == cfg_.max_attempts) {
             break;
         }
-        // Capped exponential backoff before retrying a transient
-        // failure: base * 2^(attempt-1), clamped.
-        const std::uint64_t shift =
-            attempt <= 63 ? static_cast<std::uint64_t>(attempt - 1) : 63;
+        // Jittered capped-exponential backoff before retrying a
+        // transient failure (see backoff_delay_ms).
         const std::uint64_t delay_ms =
-            std::min(cfg_.backoff_cap_ms,
-                     cfg_.backoff_base_ms == 0
-                         ? 0
-                         : cfg_.backoff_base_ms << shift);
+            backoff_delay_ms(cfg_, spec.id, attempt);
         if (delay_ms > 0) {
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(delay_ms));
@@ -322,7 +348,19 @@ JobEngine::run(const std::vector<JobSpec> &jobs, const JobFn &fn)
                 rec.error_message = res.error_message;
                 rec.csv = res.csv;
                 rec.aux = res.output.aux;
-                journal->append(rec);
+                try {
+                    journal->append(rec);
+                } catch (const JobError &e) {
+                    // A failed append (real or injected ENOSPC) must
+                    // not kill the sweep: the result is already in
+                    // report.results, only resumability of this one
+                    // job degrades, and the journal self-repairs its
+                    // torn tail on the next append.
+                    std::fprintf(stderr, /* LINT_LOG_OK */
+                                 "engine: journal append failed for "
+                                 "job %zu: %s\n",
+                                 res.id, e.what());
+                }
                 if (tracer != nullptr) {
                     tracer->instant(kEnginePid, wid, "journal",
                                     tracer->now_us(),

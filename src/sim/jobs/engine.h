@@ -43,6 +43,17 @@ struct EngineConfig
     int max_attempts = 3;            //!< attempts for transient failures
     std::uint64_t backoff_base_ms = 10;  //!< doubles per retry ...
     std::uint64_t backoff_cap_ms = 500;  //!< ... up to this cap
+    /**
+     * Decorrelate retry backoff: sleep a seeded-uniform duration in
+     * [delay/2, delay] instead of exactly the exponential delay, so N
+     * shard processes retrying the same transiently-failing trace
+     * spread their filesystem hits instead of thundering in lockstep.
+     * The draw is a pure function of (jitter_salt, job id, attempt) —
+     * timing only, never results — and jitter_salt should differ per
+     * shard (the shard layer salts it with the shard identity).
+     */
+    bool backoff_jitter = true;
+    std::uint64_t jitter_salt = 0;
     bool fail_fast = false;          //!< first failure skips the rest
     //! wall-clock watchdog deadline per attempt; 0 disables it (the
     //! per-job step budget in JobSpec::watchdog_steps still applies)
@@ -111,6 +122,9 @@ inline constexpr std::uint32_t kJobPidBase = 2;
 /** A job body: turns one JobSpec into a JobOutput, or throws. */
 using JobFn = std::function<JobOutput(const JobSpec &, JobContext &)>;
 
+/** Human-readable report label for @p spec ("trace scheme=... ..."). */
+std::string job_label(const JobSpec &spec);
+
 /** What the engine hands back after draining the matrix. */
 struct EngineReport
 {
@@ -129,6 +143,16 @@ struct EngineReport
     std::string summary() const;
 };
 
+/**
+ * Backoff before retry @p attempt (1-based) of job @p id: capped
+ * exponential (base * 2^(attempt-1), clamped to the cap), then — when
+ * cfg.backoff_jitter — decorrelated into [delay/2, delay] by a draw
+ * seeded with (cfg.jitter_salt, id, attempt). Exposed for tests and
+ * for the shard layer's own retry loops.
+ */
+std::uint64_t backoff_delay_ms(const EngineConfig &cfg, std::size_t id,
+                               int attempt);
+
 /** The engine. Construct once per sweep; run() drains the whole matrix. */
 class JobEngine
 {
@@ -142,11 +166,22 @@ class JobEngine
      */
     EngineReport run(const std::vector<JobSpec> &jobs, const JobFn &fn);
 
-  private:
+    /**
+     * Execute one spec through the full per-attempt machinery
+     * (isolation, classification, watchdog, fault injection, retry
+     * with jittered backoff) without touching any journal. @p extra,
+     * when non-null, is prepended to the per-attempt tick-hook chain —
+     * the shard layer threads its lease heartbeat through here so a
+     * lease refresh rides the same cadence as the watchdog.
+     */
     JobResult execute_one(const JobSpec &spec, const JobFn &fn,
                           const FaultInjector &injector,
-                          std::uint32_t worker) const;
+                          std::uint32_t worker,
+                          RunTickHook *extra = nullptr) const;
 
+    const EngineConfig &config() const { return cfg_; }
+
+  private:
     EngineConfig cfg_;
 };
 

@@ -1,5 +1,6 @@
 #include "sim/jobs/faults.h"
 
+#include <csignal>
 #include <cstdio>
 #include <vector>
 
@@ -7,6 +8,53 @@
 #include "common/rng.h"
 
 namespace moka {
+
+const char *
+to_string(ShardFaultPoint point)
+{
+    switch (point) {
+      case ShardFaultPoint::kClaim: return "claim";
+      case ShardFaultPoint::kRun: return "run";
+      case ShardFaultPoint::kCommit: break;
+    }
+    return "commit";
+}
+
+bool
+ProcessFaultInjector::should_kill(ShardFaultPoint point, std::size_t job)
+{
+    if (!plan_.enabled || plan_.kill_rate <= 0.0) {
+        return false;
+    }
+    const std::uint64_t n =
+        crossings_.fetch_add(1, std::memory_order_relaxed);
+    Rng rng(hash_combine(
+        hash_combine(hash_combine(plan_.seed, n),
+                     static_cast<std::uint64_t>(point)),
+        static_cast<std::uint64_t>(job)));
+    return rng.chance(plan_.kill_rate);
+}
+
+void
+ProcessFaultInjector::maybe_kill(ShardFaultPoint point, std::size_t job)
+{
+    if (should_kill(point, job)) {
+        // The honest crash: SIGKILL cannot be caught, so no journal
+        // flush, no lease release — exactly what a dead peer leaves.
+        std::raise(SIGKILL);
+    }
+}
+
+bool
+ProcessFaultInjector::should_fail_write(std::uint64_t nth) const
+{
+    if (!plan_.enabled || plan_.write_fail_rate <= 0.0) {
+        return false;
+    }
+    Rng rng(hash_combine(hash_combine(plan_.seed, nth),
+                         0x57726974ull /* "Writ" */));
+    return rng.chance(plan_.write_fail_rate);
+}
 
 FaultInjector::Decision
 FaultInjector::decide(std::size_t id, int attempt) const
@@ -49,6 +97,7 @@ corrupt_trace_file(const std::string &path, TraceFault fault,
     while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
         bytes.insert(bytes.end(), buf, buf + n);
     }
+    // LINT_IO_OK: read-only stream; close failure cannot lose data.
     std::fclose(in);
 
     constexpr std::size_t kHeaderBytes = 16;  // magic + u64 count
@@ -90,10 +139,11 @@ corrupt_trace_file(const std::string &path, TraceFault fault,
     if (out == nullptr) {
         return false;
     }
-    const bool ok =
+    bool ok =
         bytes.empty() ||
         std::fwrite(bytes.data(), 1, bytes.size(), out) == bytes.size();
-    std::fclose(out);
+    // A failed close loses buffered damage bytes: report it.
+    ok = std::fclose(out) == 0 && ok;
     return ok;
 }
 

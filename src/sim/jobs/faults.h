@@ -8,15 +8,22 @@
  *    delivered through the engine's RunTickHook chain;
  *  - trace faults: byte-level damage to trace files (bit-flipped
  *    magic, truncated header/records, flipped body bytes) exercising
- *    the classified trace_io error paths.
+ *    the classified trace_io error paths;
+ *  - process faults (ProcessFaultPlan): whole-process damage for the
+ *    sharded execution layer (sim/jobs/shard.h) — seeded self-SIGKILL
+ *    at the claim/run/commit boundaries of a shard's job loop, and
+ *    journal write failures (simulated ENOSPC/short write) delivered
+ *    through the injectable write seam in journal.cc.
  *
  * Every recovery path of the engine (isolation, retry, watchdog,
- * partial-results reporting, resume) is exercised in tests and CI by
- * running real sweeps under a FaultPlan.
+ * partial-results reporting, resume) and of the shard layer (lease
+ * expiry, steal, merge) is exercised in tests and CI by running real
+ * sweeps under a FaultPlan / ProcessFaultPlan.
  */
 #ifndef MOKASIM_SIM_JOBS_FAULTS_H
 #define MOKASIM_SIM_JOBS_FAULTS_H
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -60,6 +67,63 @@ class FaultInjector
 
   private:
     FaultPlan plan_;
+};
+
+/**
+ * Where in a shard's job loop a process fault can fire: right after a
+ * lease is acquired, right before the job body runs, or right before
+ * the finished result is committed (journal append + done marker).
+ */
+enum class ShardFaultPoint : std::uint8_t { kClaim, kRun, kCommit };
+
+/** Stable trace/report name of @p point ("claim", "run", "commit"). */
+const char *to_string(ShardFaultPoint point);
+
+/** Process-level fault configuration for sharded sweeps. */
+struct ProcessFaultPlan
+{
+    bool enabled = false;
+    std::uint64_t seed = 1;
+    //! P(self-SIGKILL) per boundary crossing — evaluated at every
+    //! claim/run/commit boundary the shard passes, so any nonzero
+    //! rate kills the process eventually (chaos drills rely on this)
+    double kill_rate = 0.0;
+    //! P(journal write fails as ENOSPC/short write) per write
+    double write_fail_rate = 0.0;
+};
+
+/**
+ * Deterministic process-fault oracle. Each boundary crossing draws
+ * from a stream keyed on (seed, crossing index, point, job), so the
+ * decision sequence replays exactly for a given interleaving, and
+ * unit tests can pin individual decisions without racing.
+ *
+ * maybe_kill delivers SIGKILL to the calling process — the honest
+ * crash: no destructors, no atexit, leases left behind mid-TTL —
+ * which is precisely what the lease-recovery machinery must survive.
+ */
+class ProcessFaultInjector
+{
+  public:
+    explicit ProcessFaultInjector(const ProcessFaultPlan &plan)
+        : plan_(plan)
+    {
+    }
+
+    /** Would crossing (@p point, @p job) kill? Advances the stream. */
+    bool should_kill(ShardFaultPoint point, std::size_t job);
+
+    /** raise(SIGKILL) when should_kill says so; otherwise a no-op. */
+    void maybe_kill(ShardFaultPoint point, std::size_t job);
+
+    /** Does the @p nth journal write fail (ENOSPC)? */
+    bool should_fail_write(std::uint64_t nth) const;
+
+    const ProcessFaultPlan &plan() const { return plan_; }
+
+  private:
+    ProcessFaultPlan plan_;
+    std::atomic<std::uint64_t> crossings_{0};
 };
 
 /** Byte-level trace damage modes (see corrupt_trace_file). */

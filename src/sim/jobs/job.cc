@@ -13,6 +13,7 @@ to_string(JobErrorCode code)
       case JobErrorCode::kAuditFailure: return "audit_failure";
       case JobErrorCode::kTimeout: return "timeout";
       case JobErrorCode::kOom: return "oom";
+      case JobErrorCode::kLeaseLost: return "lease_lost";
       case JobErrorCode::kUnknown: break;
     }
     return "unknown";
@@ -24,7 +25,7 @@ job_error_code_from(const std::string &name)
     for (const JobErrorCode code :
          {JobErrorCode::kTraceCorrupt, JobErrorCode::kConfigInvalid,
           JobErrorCode::kAuditFailure, JobErrorCode::kTimeout,
-          JobErrorCode::kOom}) {
+          JobErrorCode::kOom, JobErrorCode::kLeaseLost}) {
         if (name == to_string(code)) {
             return code;
         }
@@ -38,6 +39,8 @@ is_transient(JobErrorCode code)
     // Timeouts are stragglers/stalls and OOM is memory pressure from
     // neighbouring jobs: both may succeed on a quieter retry. Corrupt
     // input, bad configuration and audit findings are deterministic.
+    // A lost lease is permanent *for this shard*: the peer that stole
+    // the job owns it now, so retrying locally would double-execute.
     return code == JobErrorCode::kTimeout || code == JobErrorCode::kOom;
 }
 

@@ -30,6 +30,7 @@ enum class JobErrorCode : std::uint8_t {
     kAuditFailure,   //!< invariant auditor flagged the finished run
     kTimeout,        //!< watchdog cancelled a hung or stalled run
     kOom,            //!< allocation failure while building/running
+    kLeaseLost,      //!< sharded run lost its job lease to a peer
     kUnknown,        //!< unclassified exception escaping the job body
 };
 

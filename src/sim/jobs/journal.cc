@@ -9,6 +9,22 @@
 namespace moka {
 namespace {
 
+/**
+ * Process-global write-fault seam. Accessed under its own mutex: the
+ * seam is cold (one check per journal write) and tests may install or
+ * clear it around multi-threaded sweeps.
+ */
+SimMutex g_gate_mu;
+//! null = writes always succeed
+JournalWriteGate g_write_gate SIM_GUARDED_BY(g_gate_mu);
+
+bool
+gate_allows(const std::string &path, const std::string &payload)
+{
+    SimMutexLock lock(&g_gate_mu);
+    return !g_write_gate || g_write_gate(path, payload);
+}
+
 /** JSON string escaping for the small subset we emit. */
 std::string
 escape(const std::string &s)
@@ -106,7 +122,54 @@ parse_doubles(const std::string &line, const char *key,
     return true;
 }
 
+/** The %.17g serialization of @p v (exact double round trip). */
+std::string
+format_double(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
 }  // namespace
+
+void
+set_journal_write_gate(JournalWriteGate gate)
+{
+    SimMutexLock lock(&g_gate_mu);
+    g_write_gate = std::move(gate);
+}
+
+std::uint64_t
+record_checksum(const JournalRecord &rec)
+{
+    // FNV-1a over the *result* content. Attempts are excluded on
+    // purpose: a job re-executed after a lease steal may need a
+    // different number of attempts yet must produce the same result.
+    std::uint64_t h = 1469598103934665603ull;
+    const auto feed = [&h](const char *data, std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i) {
+            h ^= static_cast<unsigned char>(data[i]);
+            h *= 1099511628211ull;
+        }
+    };
+    const auto feed_str = [&feed](const std::string &s) {
+        feed(s.data(), s.size());
+        feed("\x1f", 1);  // field separator: ("ab","c") != ("a","bc")
+    };
+    feed_str(std::to_string(rec.job_id));
+    feed_str(to_string(rec.status));
+    if (rec.status == JobStatus::kCompleted) {
+        feed_str(rec.csv);
+        for (const double v : rec.aux) {
+            feed_str(format_double(v));
+        }
+    } else {
+        feed_str(to_string(rec.error));
+        feed_str(rec.error_message);
+    }
+    return h;
+}
 
 std::string
 to_jsonl(const JournalRecord &rec)
@@ -122,11 +185,7 @@ to_jsonl(const JournalRecord &rec)
                 if (i > 0) {
                     os << ',';
                 }
-                char buf[32];
-                // %.17g round-trips doubles exactly: journaled aux
-                // values must reproduce the original output bytes.
-                std::snprintf(buf, sizeof(buf), "%.17g", rec.aux[i]);
-                os << buf;
+                os << format_double(rec.aux[i]);
             }
             os << ']';
         }
@@ -134,7 +193,7 @@ to_jsonl(const JournalRecord &rec)
         os << ",\"error\":\"" << to_string(rec.error) << "\",\"message\":\""
            << escape(rec.error_message) << "\"";
     }
-    os << "}";
+    os << ",\"sum\":" << record_checksum(rec) << "}";
     return os.str();
 }
 
@@ -177,6 +236,10 @@ from_jsonl(const std::string &line, JournalRecord &rec, std::string *error)
     } else {
         return fail("unknown status");
     }
+    std::uint64_t sum = 0;
+    if (parse_u64(line, "sum", sum) && sum != record_checksum(rec)) {
+        return fail("checksum mismatch (corrupt record)");
+    }
     return true;
 }
 
@@ -216,15 +279,46 @@ Journal::append(const JournalRecord &rec)
 {
     SimMutexLock lock(&mu_);
     const std::string line = to_jsonl(rec);
+    // A previous append failed part-way through: rewrite the file
+    // clean from the in-memory mirror first, so the torn tail cannot
+    // glue itself onto this record's bytes. If the disk is still
+    // failing this throws and the journal stays dirty (and safe).
+    if (dirty_tail_) {
+        out_.close();
+        rewrite_locked();
+        open_append_locked();
+        dirty_tail_ = false;
+    }
+    if (!gate_allows(path_, line)) {
+        // Injected ENOSPC: emulate the worst case, a short write that
+        // leaves half a record on disk with no newline.
+        out_ << line.substr(0, line.size() / 2);
+        out_.flush();
+        dirty_tail_ = true;
+        throw JobError(JobErrorCode::kUnknown,
+                       "journal: no space left on device (injected), "
+                       "short write to " + path_);
+    }
     out_ << line << '\n';
     out_.flush();
     if (!out_) {
+        out_.clear();
+        dirty_tail_ = true;
         throw JobError(JobErrorCode::kUnknown,
                        "journal: short write to " + path_);
     }
     record_locked(line, rec.job_id);
     if (disk_bytes_ - live_bytes_ > compact_threshold_) {
-        compact_locked();
+        // Compaction is an optimization: if its replacement file
+        // cannot be written the original journal is untouched, so
+        // defer (the dead-byte threshold will trip again) instead of
+        // failing an append that already persisted its record.
+        try {
+            compact_locked();
+        } catch (const JobError &e) {
+            std::fprintf(stderr,  // LINT_LOG_OK: deferred-compaction warning
+                         "journal: compaction deferred: %s\n", e.what());
+        }
     }
 }
 
@@ -295,7 +389,16 @@ Journal::compact_locked()
     }
     lines_ = std::move(kept);
     out_.close();
-    rewrite_locked();
+    try {
+        rewrite_locked();
+    } catch (const JobError &) {
+        // The replacement file could not be written; the original
+        // journal on disk is untouched (write-rename) and remains a
+        // superset of `lines_`, so recovery still works. Reopen the
+        // append stream and let the caller defer the compaction.
+        open_append_locked();
+        throw;
+    }
     open_append_locked();
     ++compactions_;
 }
@@ -305,15 +408,27 @@ void
 Journal::rewrite_locked()
 {
     const std::string tmp = path_ + ".tmp";
+    std::string payload;
+    for (const auto &entry : lines_) {
+        payload += entry.second;
+        payload += '\n';
+    }
+    if (!gate_allows(tmp, payload)) {
+        // Injected ENOSPC during a rewrite: the replacement file never
+        // materializes and the journal at `path_` is untouched. (A
+        // crash here leaves at worst a stale `.tmp`, which the next
+        // successful rewrite simply overwrites.)
+        throw JobError(JobErrorCode::kUnknown,
+                       "journal: no space left on device (injected), "
+                       "cannot write " + tmp);
+    }
     {
         std::ofstream os(tmp, std::ios::trunc);
         if (!os) {
             throw JobError(JobErrorCode::kUnknown,
                            "journal: cannot write " + tmp);
         }
-        for (const auto &entry : lines_) {
-            os << entry.second << '\n';
-        }
+        os << payload;
         os.flush();
         if (!os) {
             throw JobError(JobErrorCode::kUnknown,

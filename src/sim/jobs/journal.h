@@ -26,6 +26,7 @@
 #define MOKASIM_SIM_JOBS_JOURNAL_H
 
 #include <fstream>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -48,11 +49,37 @@ struct JournalRecord
     std::vector<double> aux;  //!< JobOutput::aux passthrough
 };
 
+/**
+ * Content checksum of @p rec (FNV-1a over job id, status, result CSV,
+ * aux and the error fields — everything that must agree between a
+ * serial run and any shard that re-executed the job, deliberately
+ * excluding attempt counts). to_jsonl embeds it as "sum"; the shard
+ * merge step recomputes it to detect silently corrupted journal lines
+ * and to prove that duplicate records (a job stolen after a false
+ * lease expiry) carry identical results.
+ */
+std::uint64_t record_checksum(const JournalRecord &rec);
+
+/**
+ * Injectable write-fault seam for the journal (process-level fault
+ * testing, see faults.h): consulted with (path, payload) before each
+ * physical write; returning false makes the write fail as a disk-full
+ * short write — part of the payload lands on disk, the rest is lost,
+ * and the writer throws JobError(kUnknown). Process-global; install
+ * before worker threads start and clear (nullptr) after they join.
+ */
+using JournalWriteGate =
+    std::function<bool(const std::string &path, const std::string &payload)>;
+void set_journal_write_gate(JournalWriteGate gate);
+
 /** Serialize @p rec as one JSONL line (no trailing newline). */
 std::string to_jsonl(const JournalRecord &rec);
 
 /**
- * Parse one JSONL line previously produced by to_jsonl.
+ * Parse one JSONL line previously produced by to_jsonl. A line whose
+ * embedded "sum" disagrees with record_checksum of the parsed fields
+ * is rejected as corrupt (lines without a "sum" — journals written
+ * before checksums existed — parse without verification).
  * @return false (and fills @p error) on malformed input.
  */
 bool from_jsonl(const std::string &line, JournalRecord &rec,
@@ -84,8 +111,14 @@ class Journal
     /**
      * Record @p rec and persist: one stream append + flush, O(record)
      * regardless of journal length. Throws JobError(kUnknown) on I/O
-     * error. May trigger a compaction when @p rec supersedes enough
-     * earlier bytes.
+     * error (including an injected ENOSPC/short write, see
+     * set_journal_write_gate); the record is NOT accounted in-memory
+     * then, and the next append first rewrites the file clean so the
+     * torn tail cannot glue onto a later record — a failed append is
+     * safe to retry. May trigger a compaction when @p rec supersedes
+     * enough earlier bytes; a compaction that cannot write its
+     * replacement file is deferred, never fatal (the original journal
+     * is still intact and the threshold trips again later).
      */
     void append(const JournalRecord &rec) SIM_EXCLUDES(mu_);
 
@@ -144,6 +177,9 @@ class Journal
     std::size_t disk_bytes_ SIM_GUARDED_BY(mu_) = 0;
     std::size_t live_bytes_ SIM_GUARDED_BY(mu_) = 0;
     std::size_t compactions_ SIM_GUARDED_BY(mu_) = 0;
+    //! a failed append left a torn tail on disk; repaired (write-
+    //! rename from the in-memory mirror) before the next append
+    bool dirty_tail_ SIM_GUARDED_BY(mu_) = false;
     //! filled by the constructor, read-only afterwards (recovered()
     //! and contains() are const views of construction-time state)
     std::vector<JournalRecord> recovered_;

@@ -1,0 +1,320 @@
+#include "sim/jobs/lease.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "common/hashing.h"
+
+namespace moka {
+namespace {
+
+namespace fs = std::filesystem;
+
+/**
+ * Find `"key":` and return the start of its value, or npos. Lease and
+ * done files are flat one-line objects we wrote ourselves (shard
+ * names are sanitized to [A-Za-z0-9_-] by the shard layer), so the
+ * same substring scan the journal uses is sufficient here.
+ */
+std::size_t
+value_start(const std::string &text, const char *key)
+{
+    const std::string needle = std::string("\"") + key + "\":";
+    const std::size_t at = text.find(needle);
+    return at == std::string::npos ? std::string::npos
+                                   : at + needle.size();
+}
+
+bool
+parse_u64(const std::string &text, const char *key, std::uint64_t &out)
+{
+    const std::size_t i = value_start(text, key);
+    if (i == std::string::npos) {
+        return false;
+    }
+    char *end = nullptr;
+    out = std::strtoull(text.c_str() + i, &end, 10);
+    return end != text.c_str() + i;
+}
+
+bool
+parse_string(const std::string &text, const char *key, std::string &out)
+{
+    std::size_t i = value_start(text, key);
+    if (i == std::string::npos || i >= text.size() || text[i] != '"') {
+        return false;
+    }
+    const std::size_t close = text.find('"', i + 1);
+    if (close == std::string::npos) {
+        return false;
+    }
+    out = text.substr(i + 1, close - i - 1);
+    return true;
+}
+
+/** Whole-file read; empty optional-style: false when unreadable. */
+bool
+read_file(const std::string &path, std::string &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        return false;
+    }
+    out.clear();
+    char buf[512];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+        out.append(buf, n);
+    }
+    // LINT_IO_OK: read-only stream; close failure cannot lose data.
+    std::fclose(f);
+    return true;
+}
+
+/**
+ * Write @p payload to @p path, creating it exclusively when
+ * @p exclusive (the atomic claim: exactly one concurrent caller
+ * succeeds). Every I/O return is checked; a file we created but could
+ * not fill is removed so a half-written lease never lingers.
+ */
+bool
+write_file(const std::string &path, const std::string &payload,
+           bool exclusive)
+{
+    std::FILE *f = std::fopen(path.c_str(), exclusive ? "wbx" : "wb");
+    if (f == nullptr) {
+        return false;  // EEXIST (claim lost) or a real I/O error
+    }
+    bool ok =
+        std::fwrite(payload.data(), 1, payload.size(), f) ==
+        payload.size();
+    ok = std::fflush(f) == 0 && ok;
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+        // LINT_IO_OK: best-effort cleanup of a half-written file the
+        // caller is about to report as not-created.
+        std::remove(path.c_str());
+    }
+    return ok;
+}
+
+/**
+ * Age of @p path's mtime in milliseconds, or -1 when the file is gone
+ * (released or reaped under us). A future mtime (clock skew between
+ * hosts on a shared filesystem) clamps to age 0 — skew can delay a
+ * steal by its magnitude, never cause a premature one.
+ */
+std::int64_t
+age_ms(const std::string &path)
+{
+    std::error_code ec;
+    const fs::file_time_type mtime = fs::last_write_time(path, ec);
+    if (ec) {
+        return -1;
+    }
+    // LINT_NONDET_OK: lease expiry is wall-clock by design; it gates
+    // only *which process* runs a job, never any result value.
+    const auto age = fs::file_time_type::clock::now() - mtime;
+    const auto ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(age)
+            .count();
+    return ms < 0 ? 0 : ms;
+}
+
+}  // namespace
+
+const char *
+to_string(ClaimOutcome outcome)
+{
+    switch (outcome) {
+      case ClaimOutcome::kAcquired: return "acquired";
+      case ClaimOutcome::kStolen: return "stolen";
+      case ClaimOutcome::kBusy: return "busy";
+      case ClaimOutcome::kDone: break;
+    }
+    return "done";
+}
+
+LeaseDir::LeaseDir(std::string dir, std::string owner,
+                   std::uint64_t ttl_ms)
+    : dir_(std::move(dir)), owner_(std::move(owner)), ttl_ms_(ttl_ms)
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);  // claim/steal surface any error
+    // Per-process nonce: distinguishes "my lease" from "a lease a peer
+    // re-created under the same job after stealing mine". It only has
+    // to differ between processes racing for the same directory, so
+    // pid + a wall-clock draw is plenty.
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : owner_) {
+        h = hash_combine(h, static_cast<unsigned char>(c));
+    }
+    // LINT_NONDET_OK: process-identity nonce, never a result value.
+    const auto wall = std::chrono::steady_clock::now().time_since_epoch();
+    nonce_ = hash_combine(
+        hash_combine(h, static_cast<std::uint64_t>(::getpid())),
+        static_cast<std::uint64_t>(wall.count()));
+}
+
+std::string
+LeaseDir::lease_path(std::size_t job) const
+{
+    return dir_ + "/job-" + std::to_string(job) + ".lease";
+}
+
+std::string
+LeaseDir::done_path(std::size_t job) const
+{
+    return dir_ + "/job-" + std::to_string(job) + ".done";
+}
+
+bool
+LeaseDir::owns(const std::string &path) const
+{
+    std::string text;
+    std::uint64_t nonce = 0;
+    return read_file(path, text) && parse_u64(text, "nonce", nonce) &&
+           nonce == nonce_;
+}
+
+ClaimOutcome
+LeaseDir::try_claim(std::size_t job, bool allow_steal)
+{
+    if (is_done(job)) {
+        return ClaimOutcome::kDone;
+    }
+    const std::string path = lease_path(job);
+    const std::string body = "{\"owner\":\"" + owner_ +
+                             "\",\"nonce\":" + std::to_string(nonce_) +
+                             "}\n";
+    bool stole = false;
+    if (!write_file(path, body, /*exclusive=*/true)) {
+        if (!allow_steal) {
+            return ClaimOutcome::kBusy;
+        }
+        const std::int64_t age = age_ms(path);
+        if (age < 0) {
+            // Released between our create and our stat: one retry.
+            if (!write_file(path, body, /*exclusive=*/true)) {
+                return ClaimOutcome::kBusy;
+            }
+        } else if (static_cast<std::uint64_t>(age) <= ttl_ms_) {
+            return ClaimOutcome::kBusy;  // live peer heartbeat
+        } else {
+            // Expired: reap by rename — atomic, so however many
+            // thieves race, exactly one sees this succeed. A thief
+            // that dies here leaves a stale .reap file; it is inert
+            // (nothing globs it) and the lease name is free again.
+            const std::string reap = path + ".reap." + owner_;
+            if (std::rename(path.c_str(), reap.c_str()) != 0) {
+                return ClaimOutcome::kBusy;  // lost the reap race
+            }
+            // LINT_IO_OK: reap-file cleanup; a leftover file is inert.
+            std::remove(reap.c_str());
+            if (!write_file(path, body, /*exclusive=*/true)) {
+                return ClaimOutcome::kBusy;  // another claimer slipped in
+            }
+            stole = true;
+        }
+    }
+    // A peer may have published its result between our is_done check
+    // and the claim (done marker lands *before* lease release, so the
+    // marker is always visible by the time the lease name frees up).
+    if (is_done(job)) {
+        release(job);
+        return ClaimOutcome::kDone;
+    }
+    return stole ? ClaimOutcome::kStolen : ClaimOutcome::kAcquired;
+}
+
+bool
+LeaseDir::refresh(std::size_t job)
+{
+    const std::string path = lease_path(job);
+    if (!owns(path)) {
+        return false;  // stolen or vanished: the job is lost
+    }
+    std::error_code ec;
+    fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+    if (ec) {
+        return false;  // reaped between the read and the touch
+    }
+    // Narrow the touch-vs-steal race: if a thief renamed our lease
+    // away and a new claim re-created the file in the window above,
+    // the touch refreshed *their* lease. Re-reading the nonce detects
+    // that; the residual window is benign (deterministic results +
+    // merge checksums make a double execution harmless).
+    return owns(path);
+}
+
+void
+LeaseDir::release(std::size_t job)
+{
+    const std::string path = lease_path(job);
+    if (owns(path)) {
+        // LINT_IO_OK: failing to unlink only delays a peer by one TTL.
+        std::remove(path.c_str());
+    }
+}
+
+bool
+LeaseDir::mark_done(const DoneMarker &marker)
+{
+    const std::string done = done_path(marker.job_id);
+    const std::string tmp = done + ".tmp." + owner_;
+    const std::string body =
+        "{\"job\":" + std::to_string(marker.job_id) + ",\"status\":\"" +
+        to_string(marker.status) +
+        "\",\"sum\":" + std::to_string(marker.sum) + ",\"owner\":\"" +
+        owner_ + "\"}\n";
+    bool ok = write_file(tmp, body, /*exclusive=*/false);
+    if (ok && std::rename(tmp.c_str(), done.c_str()) != 0) {
+        // LINT_IO_OK: cleanup of the temp marker we failed to publish.
+        std::remove(tmp.c_str());
+        ok = false;
+    }
+    // Release either way: on failure a peer must be able to steal the
+    // job and publish its own marker.
+    release(marker.job_id);
+    return ok;
+}
+
+bool
+LeaseDir::is_done(std::size_t job) const
+{
+    std::error_code ec;
+    return fs::exists(done_path(job), ec);
+}
+
+bool
+LeaseDir::read_done(std::size_t job, DoneMarker &out) const
+{
+    std::string text;
+    if (!read_file(done_path(job), text)) {
+        return false;
+    }
+    std::uint64_t id = 0;
+    std::string status;
+    if (!parse_u64(text, "job", id) ||
+        !parse_string(text, "status", status) ||
+        !parse_u64(text, "sum", out.sum) ||
+        !parse_string(text, "owner", out.owner)) {
+        return false;
+    }
+    out.job_id = static_cast<std::size_t>(id);
+    if (status == to_string(JobStatus::kCompleted)) {
+        out.status = JobStatus::kCompleted;
+    } else if (status == to_string(JobStatus::kFailed)) {
+        out.status = JobStatus::kFailed;
+    } else {
+        return false;
+    }
+    return out.job_id == job;
+}
+
+}  // namespace moka

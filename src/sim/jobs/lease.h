@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Filesystem-coordinated job leases for sharded sweeps. N independent
+ * processes share one journal directory; each job in the matrix is
+ * guarded by a lease file whose existence means "someone is running
+ * this" and whose mtime doubles as a heartbeat:
+ *
+ *  - claim: exclusive create (`fopen "wbx"`) of `job-<id>.lease` —
+ *    the filesystem picks exactly one winner;
+ *  - heartbeat: the owner touches the lease mtime while the job runs
+ *    (LeaseDir::refresh, driven by the shard layer's tick hook at the
+ *    same cadence as the watchdog);
+ *  - expiry + steal: a lease whose mtime is older than the TTL
+ *    belongs to a dead (or wedged) peer. A thief renames it aside —
+ *    rename is atomic, so concurrent thieves get exactly one winner —
+ *    and then claims normally;
+ *  - done: a terminal result is published as `job-<id>.done` via
+ *    write-to-temp + rename, carrying the result's content checksum
+ *    (journal.h) so the merge step can prove agreement.
+ *
+ * The protocol is crash-safe but deliberately not race-free: a wedged
+ * owner can revive after its lease was stolen and finish the job a
+ * second time. That double execution is benign by design — per-job
+ * results are deterministic, so both shards journal byte-identical
+ * records and the merge step dedupes them by checksum (and fails
+ * loudly if they ever disagree).
+ */
+#ifndef MOKASIM_SIM_JOBS_LEASE_H
+#define MOKASIM_SIM_JOBS_LEASE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/hot_path.h"
+#include "sim/jobs/job.h"
+
+namespace moka {
+
+/** What LeaseDir::try_claim found. */
+enum class ClaimOutcome : std::uint8_t {
+    kAcquired,  //!< fresh lease created; the job is ours
+    kStolen,    //!< expired peer lease reaped, then acquired
+    kBusy,      //!< live lease held by a peer (or steal lost the race)
+    kDone,      //!< a done marker exists; nothing to run
+};
+
+/** Stable report name of @p outcome. */
+const char *to_string(ClaimOutcome outcome);
+
+/** Parsed `job-<id>.done` marker (see LeaseDir::mark_done). */
+struct DoneMarker
+{
+    std::size_t job_id = 0;
+    JobStatus status = JobStatus::kFailed;
+    std::uint64_t sum = 0;  //!< record_checksum of the journaled result
+    std::string owner;      //!< shard that committed the result
+};
+
+/**
+ * One process's view of the shared lease directory. Each instance
+ * carries a per-process nonce so a shard can tell "my lease" from "a
+ * lease someone re-created under the same name after stealing mine".
+ *
+ * Thread-compatible the way the shard layer uses it: distinct jobs
+ * may be claimed/refreshed from distinct threads concurrently, but a
+ * single job's lease is only ever driven by the one thread that
+ * claimed it.
+ */
+class LeaseDir
+{
+  public:
+    /**
+     * @param dir    shared directory (created if missing)
+     * @param owner  this shard's name, embedded in lease/done files
+     * @param ttl_ms lease older than this (mtime age) is stealable
+     */
+    LeaseDir(std::string dir, std::string owner, std::uint64_t ttl_ms);
+
+    /**
+     * Try to become the owner of @p job. Never blocks: a live peer
+     * lease yields kBusy immediately (callers poll). With
+     * @p allow_steal, an expired lease is reaped first; losing the
+     * reap race to another thief also yields kBusy.
+     */
+    ClaimOutcome try_claim(std::size_t job, bool allow_steal);
+
+    /**
+     * Heartbeat: push @p job's lease expiry out by touching its
+     * mtime. @return false when the lease is no longer ours (stolen,
+     * or the file vanished) — the caller must treat the job as lost
+     * and MUST NOT commit its result. SIM_COLD: called from a machine
+     * tick hook, but only at the heartbeat cadence (milliseconds of
+     * simulated work per call), never per access.
+     */
+    SIM_COLD bool refresh(std::size_t job);
+
+    /** Drop @p job's lease if it is still ours (crash = just don't). */
+    void release(std::size_t job);
+
+    /**
+     * Publish @p marker as `job-<id>.done` (write-temp + rename, so a
+     * crash mid-publish leaves no half-written marker), then release
+     * the lease. @return false when the marker could not be written —
+     * the lease is then released anyway so a peer can retry the job.
+     */
+    bool mark_done(const DoneMarker &marker);
+
+    /** True once any shard published a done marker for @p job. */
+    bool is_done(std::size_t job) const;
+
+    /**
+     * Parse @p job's done marker into @p out.
+     * @return false when absent or malformed.
+     */
+    bool read_done(std::size_t job, DoneMarker &out) const;
+
+    std::string lease_path(std::size_t job) const;
+    std::string done_path(std::size_t job) const;
+
+    const std::string &dir() const { return dir_; }
+    const std::string &owner() const { return owner_; }
+    std::uint64_t nonce() const { return nonce_; }
+    std::uint64_t ttl_ms() const { return ttl_ms_; }
+
+  private:
+    //! Does the lease file at @p path carry our nonce?
+    bool owns(const std::string &path) const;
+
+    std::string dir_;
+    std::string owner_;
+    std::uint64_t ttl_ms_;
+    std::uint64_t nonce_;
+};
+
+}  // namespace moka
+
+#endif  // MOKASIM_SIM_JOBS_LEASE_H

@@ -1,0 +1,593 @@
+#include "sim/jobs/shard.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "common/check.h"
+#include "common/hashing.h"
+#include "common/thread_annotations.h"
+#include "sim/jobs/lease.h"
+#include "telemetry/telemetry.h"
+
+namespace moka {
+namespace {
+
+namespace fs = std::filesystem;
+
+/**
+ * Lease heartbeat threaded into the engine's per-attempt tick-hook
+ * chain: while the job body runs, touch the lease mtime every
+ * heartbeat period so peers see a live owner. Wall-clock checks ride
+ * a coarse step cadence (like the Watchdog) so the hot path stays one
+ * modulo. Losing the lease aborts the run with kLeaseLost — the
+ * result MUST NOT be committed once a peer owns the job.
+ */
+class LeaseHeartbeat final : public RunTickHook
+{
+  public:
+    //! wall-clock checks happen every this many machine steps
+    static constexpr std::uint64_t kCheckSteps = 1024;
+
+    LeaseHeartbeat(LeaseDir &leases, std::size_t job,
+                   std::uint64_t interval_ms)
+        : leases_(leases), job_(job),
+          interval_(std::chrono::milliseconds(interval_ms)),
+          // LINT_NONDET_OK: heartbeat cadence is wall time by design;
+          // it gates only which process commits, never a result value.
+          next_(std::chrono::steady_clock::now() + interval_)
+    {
+    }
+
+    void on_tick(std::uint64_t steps) override
+    {
+        if (steps % kCheckSteps != 0) {
+            return;
+        }
+        // LINT_NONDET_OK: heartbeat check, as above.
+        const auto now = std::chrono::steady_clock::now();
+        if (now < next_) {
+            return;
+        }
+        next_ = now + interval_;
+        if (!leases_.refresh(job_)) {
+            // LINT_HOT_OK: lease-lost exit; fires at most once per
+            // run, then the attempt unwinds (rule L14).
+            std::ostringstream os;
+            os << "lease for job " << job_
+               << " lost to a peer; abandoning this run";
+            throw JobError(JobErrorCode::kLeaseLost, os.str());
+        }
+    }
+
+  private:
+    LeaseDir &leases_;
+    std::size_t job_;
+    std::chrono::steady_clock::duration interval_;
+    std::chrono::steady_clock::time_point next_;
+};
+
+/**
+ * Shared mutable state of one shard's worker pool: terminal-result
+ * flags, own-result flags, and the report being assembled (results
+ * vector + counters). All of it is guarded by one mutex — claims go
+ * through the filesystem, so this lock is never contended for long.
+ */
+struct SweepState
+{
+    explicit SweepState(std::size_t n)
+        : settled(n, 0), have_own(n, 0)
+    {
+    }
+
+    SimMutex mu;
+    //! per-job: a terminal result is recorded locally (ours or a
+    //! peer's marker); the sweep is over when every flag is set
+    std::vector<std::uint8_t> settled SIM_GUARDED_BY(mu);
+    //! per-job: report.engine.results[i] holds a full journaled
+    //! record of our own
+    std::vector<std::uint8_t> have_own SIM_GUARDED_BY(mu);
+    ShardReport report SIM_GUARDED_BY(mu);
+};
+
+JournalRecord
+to_record(const JobResult &res)
+{
+    JournalRecord rec;
+    rec.job_id = res.id;
+    rec.status = res.status;
+    rec.attempts = res.attempts;
+    rec.error = res.error;
+    rec.error_message = res.error_message;
+    rec.csv = res.csv;
+    rec.aux = res.output.aux;
+    return rec;
+}
+
+}  // namespace
+
+std::string
+ShardEngine::sanitize_name(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (const char c : name) {
+        const bool ok = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == '-';
+        out += ok ? c : '-';
+    }
+    return out;
+}
+
+std::string
+ShardEngine::journal_path(const std::string &dir, const std::string &name)
+{
+    return dir + "/shard-" + name + ".jsonl";
+}
+
+ShardEngine::ShardEngine(ShardConfig cfg) : cfg_(std::move(cfg))
+{
+    SIM_REQUIRE(!cfg_.dir.empty(), "shard engine needs a --shard-dir");
+    SIM_REQUIRE(cfg_.lease_ttl_ms > 0, "lease TTL must be positive");
+    name_ = sanitize_name(cfg_.name);
+    if (name_.empty()) {
+        // LINT_NONDET_OK: shard identity only — it names the journal
+        // file and the lease owner, never enters any result value.
+        name_ = "pid" + std::to_string(::getpid());
+    }
+}
+
+ShardReport
+ShardEngine::run(const std::vector<JobSpec> &jobs, const JobFn &fn)
+{
+    //! const after this loop; read lock-free by workers (labels feed
+    //! tracer registration and report rows)
+    std::vector<std::string> labels(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        SIM_REQUIRE(jobs[i].id == i,
+                    "job ids must be dense and in order");
+        labels[i] = job_label(jobs[i]);
+    }
+    SweepState state(jobs.size());
+    {
+        SimMutexLock lock(&state.mu);
+        state.report.engine.results.resize(jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            state.report.engine.results[i].id = i;
+            state.report.engine.results[i].label = labels[i];
+        }
+    }
+
+    LeaseDir leases(cfg_.dir, name_, cfg_.lease_ttl_ms);
+    Journal journal(journal_path(cfg_.dir, name_));
+
+    EngineConfig ecfg = cfg_.engine;
+    // The shard layer owns journaling and publication; the inner
+    // engine only executes. fail-fast has no cross-process owner, so
+    // it is disabled in shard mode (documented in ShardConfig).
+    ecfg.journal_path.clear();
+    ecfg.resume_path.clear();
+    ecfg.fail_fast = false;
+    std::uint64_t name_hash = 1469598103934665603ull;
+    for (const char c : name_) {
+        name_hash = hash_combine(name_hash,
+                                 static_cast<unsigned char>(c));
+    }
+    ecfg.jitter_salt = hash_combine(ecfg.jitter_salt, name_hash);
+    const JobEngine engine(ecfg);
+    const FaultInjector injector(ecfg.faults);
+    ProcessFaultInjector proc(cfg_.proc_faults);
+    const std::uint64_t heartbeat_ms =
+        cfg_.heartbeat_ms > 0
+            ? cfg_.heartbeat_ms
+            : std::max<std::uint64_t>(1, cfg_.lease_ttl_ms / 4);
+
+    Tracer *tracer = nullptr;
+    if (ecfg.telemetry != nullptr && telemetry_enabled()) {
+        tracer = ecfg.telemetry->tracer();
+    }
+    const std::size_t workers =
+        std::max<std::size_t>(1, std::min(ecfg.workers, jobs.size()));
+    if (tracer != nullptr) {
+        tracer->register_process(kEnginePid, "shard:" + name_);
+        for (std::size_t w = 0; w < workers; ++w) {
+            tracer->register_thread(kEnginePid,
+                                    static_cast<std::uint32_t>(w),
+                                    "worker-" + std::to_string(w));
+        }
+    }
+
+    // Restart resume: a shard re-launched under its old name replays
+    // its own journal — those jobs skip execution and go straight to
+    // marker publication when (re)claimed.
+    {
+        SimMutexLock lock(&state.mu);
+        for (const JournalRecord &rec : journal.recovered()) {
+            if (rec.job_id >= jobs.size()) {
+                continue;  // journal from a different matrix
+            }
+            JobResult &res = state.report.engine.results[rec.job_id];
+            res.status = rec.status;
+            res.attempts = rec.attempts;
+            res.error = rec.error;
+            res.error_message = rec.error_message;
+            res.csv = rec.csv;
+            res.output.aux = rec.aux;
+            res.from_journal = true;
+            state.have_own[rec.job_id] = 1;
+        }
+    }
+
+    const auto instant = [&](std::uint32_t wid, const char *what,
+                             std::size_t job) {
+        if (tracer == nullptr) {
+            return;
+        }
+        std::ostringstream os;
+        os << "{\"job\":" << job << ",\"shard\":\"" << name_
+           << "\",\"pid\":" << ::getpid() << "}";
+        tracer->instant(kEnginePid, wid, what, tracer->now_us(),
+                        os.str());
+    };
+
+    const auto worker = [&](std::uint32_t wid) {
+        const std::size_t n = jobs.size();
+        // Stagger start offsets so workers (and, statistically, peer
+        // shards started at different times) don't all fight over
+        // job 0 first.
+        const std::size_t offset = n == 0 ? 0 : (wid * n) / workers;
+        while (true) {
+            bool progressed = false;
+            for (std::size_t k = 0; k < n; ++k) {
+                const std::size_t i = (offset + k) % n;
+                {
+                    SimMutexLock lock(&state.mu);
+                    if (state.settled[i] != 0) {
+                        continue;
+                    }
+                }
+                const ClaimOutcome outcome =
+                    leases.try_claim(i, cfg_.steal);
+                if (outcome == ClaimOutcome::kBusy) {
+                    continue;  // live peer owns it; poll again later
+                }
+                if (outcome == ClaimOutcome::kDone) {
+                    DoneMarker marker;
+                    const bool parsed = leases.read_done(i, marker);
+                    instant(wid, "peer-done", i);
+                    SimMutexLock lock(&state.mu);
+                    if (state.settled[i] != 0) {
+                        continue;
+                    }
+                    state.settled[i] = 1;
+                    progressed = true;
+                    if (state.have_own[i] == 0) {
+                        ++state.report.peer_done;
+                        JobResult &res = state.report.engine.results[i];
+                        res.status = parsed ? marker.status
+                                            : JobStatus::kCompleted;
+                        res.from_journal = true;
+                        if (res.status == JobStatus::kFailed) {
+                            res.error = JobErrorCode::kUnknown;
+                            res.error_message =
+                                "failed on shard " +
+                                (parsed ? marker.owner
+                                        : std::string("?")) +
+                                " (see merged journal)";
+                        }
+                    }
+                    continue;
+                }
+                // kAcquired / kStolen: the job is ours.
+                proc.maybe_kill(ShardFaultPoint::kClaim, i);
+                instant(wid,
+                        outcome == ClaimOutcome::kStolen ? "steal"
+                                                         : "claim",
+                        i);
+                JobResult res;
+                bool own = false;
+                {
+                    SimMutexLock lock(&state.mu);
+                    if (outcome == ClaimOutcome::kStolen) {
+                        ++state.report.stolen;
+                    }
+                    own = state.have_own[i] != 0;
+                    if (own) {
+                        res = state.report.engine.results[i];
+                    }
+                }
+                if (!own) {
+                    proc.maybe_kill(ShardFaultPoint::kRun, i);
+                    if (tracer != nullptr) {
+                        tracer->register_process(
+                            kJobPidBase + static_cast<std::uint32_t>(i),
+                            "job " + std::to_string(i) + ": " +
+                                labels[i]);
+                    }
+                    LeaseHeartbeat heartbeat(leases, i, heartbeat_ms);
+                    res = engine.execute_one(jobs[i], fn, injector, wid,
+                                             &heartbeat);
+                    if (res.status == JobStatus::kFailed &&
+                        res.error == JobErrorCode::kLeaseLost) {
+                        // A peer owns the job now; never commit this
+                        // run. The peer's marker (or a later steal by
+                        // us) settles it.
+                        instant(wid, "lease-lost", i);
+                        SimMutexLock lock(&state.mu);
+                        ++state.report.lost;
+                        continue;
+                    }
+                    SimMutexLock lock(&state.mu);
+                    ++state.report.ran;
+                }
+                // Commit: journal first (the merge reads journals, so
+                // a record on disk makes the result durable), then
+                // publish the done marker, then the lease drops.
+                proc.maybe_kill(ShardFaultPoint::kCommit, i);
+                const JournalRecord rec = to_record(res);
+                bool committed = own;  // resumed results already on disk
+                for (int attempt = 1; !committed && attempt <= 3;
+                     ++attempt) {
+                    try {
+                        journal.append(rec);
+                        committed = true;
+                    } catch (const JobError &e) {
+                        std::fprintf(stderr,  // LINT_LOG_OK: commit retry
+                                     "shard %s: journal append failed "
+                                     "for job %zu (attempt %d): %s\n",
+                                     name_.c_str(), i, attempt,
+                                     e.what());
+                        const std::uint64_t delay =
+                            backoff_delay_ms(ecfg, i, attempt);
+                        if (delay > 0) {
+                            std::this_thread::sleep_for(
+                                std::chrono::milliseconds(delay));
+                        }
+                    }
+                }
+                if (!committed) {
+                    // Nothing durable: hand the job back to the farm.
+                    leases.release(i);
+                    SimMutexLock lock(&state.mu);
+                    ++state.report.commit_failures;
+                    continue;
+                }
+                if (!leases.mark_done({i, rec.status,
+                                       record_checksum(rec), name_})) {
+                    // The record is journaled (merge-visible); only
+                    // the marker failed. A peer may re-run the job —
+                    // harmless, the merge dedupes by checksum.
+                    SimMutexLock lock(&state.mu);
+                    ++state.report.commit_failures;
+                }
+                instant(wid, "commit", i);
+                SimMutexLock lock(&state.mu);
+                state.report.engine.results[i] = res;
+                state.have_own[i] = 1;
+                state.settled[i] = 1;
+                progressed = true;
+            }
+            {
+                SimMutexLock lock(&state.mu);
+                bool all = true;
+                for (const std::uint8_t s : state.settled) {
+                    if (s == 0) {
+                        all = false;
+                        break;
+                    }
+                }
+                if (all) {
+                    return;
+                }
+            }
+            if (!progressed) {
+                // Everything unsettled is owned by live peers: wait
+                // for their markers (or their leases to expire).
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(cfg_.poll_ms));
+            }
+        }
+    };
+
+    if (workers <= 1) {
+        worker(0);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w) {
+            pool.emplace_back(worker, static_cast<std::uint32_t>(w));
+        }
+        for (std::thread &t : pool) {
+            t.join();
+        }
+    }
+
+    SimMutexLock lock(&state.mu);
+    ShardReport report = std::move(state.report);
+    for (const JobResult &res : report.engine.results) {
+        switch (res.status) {
+          case JobStatus::kCompleted: ++report.engine.completed; break;
+          case JobStatus::kFailed: ++report.engine.failed; break;
+          case JobStatus::kSkipped: ++report.engine.skipped; break;
+        }
+        if (res.from_journal) {
+            ++report.engine.resumed;
+        }
+    }
+    return report;
+}
+
+std::string
+ShardReport::summary() const
+{
+    std::ostringstream os;
+    os << "shard: ran " << ran << " (" << stolen << " stolen), "
+       << peer_done << " by peers, " << lost << " lost, "
+       << commit_failures << " commit failure(s)\n";
+    return os.str();
+}
+
+MergeReport
+merge_shard_dir(const std::string &dir, std::size_t total_jobs)
+{
+    MergeReport merge;
+
+    std::vector<std::string> files;
+    std::error_code ec;
+    for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+         it.increment(ec)) {
+        const std::string name = it->path().filename().string();
+        if (name.rfind("shard-", 0) == 0 && name.size() > 6 + 6 &&
+            name.compare(name.size() - 6, 6, ".jsonl") == 0) {
+            files.push_back(it->path().string());
+        }
+    }
+    std::sort(files.begin(), files.end());  // deterministic read order
+    merge.shards = files.size();
+    if (files.empty()) {
+        merge.problems.push_back("no shard journals (shard-*.jsonl) in " +
+                                 dir);
+        return merge;
+    }
+
+    struct Candidate
+    {
+        JournalRecord rec;
+        std::uint64_t sum = 0;
+    };
+    // Ordered by job id so the emitted records (and any problem
+    // lines) come out ascending and deterministic.
+    std::map<std::size_t, std::vector<Candidate>> by_job;
+    for (const std::string &file : files) {
+        std::size_t skipped = 0;
+        for (JournalRecord &rec : Journal::load(file, &skipped)) {
+            const std::uint64_t sum = record_checksum(rec);
+            by_job[rec.job_id].push_back({std::move(rec), sum});
+        }
+        merge.corrupt += skipped;
+    }
+
+    for (auto &entry : by_job) {
+        const std::size_t id = entry.first;
+        std::vector<Candidate> &cands = entry.second;
+        if (id >= total_jobs) {
+            merge.problems.push_back(
+                "job " + std::to_string(id) +
+                ": record outside the matrix (stale shard dir?)");
+            continue;
+        }
+        std::vector<const Candidate *> completed;
+        std::vector<const Candidate *> failed;
+        for (const Candidate &c : cands) {
+            (c.rec.status == JobStatus::kCompleted ? completed : failed)
+                .push_back(&c);
+        }
+        const Candidate *winner = nullptr;
+        if (!completed.empty()) {
+            // Completed beats failed: a failed record for the same
+            // job is an interrupted shard's attempt that a peer later
+            // finished for real.
+            winner = completed.front();
+            std::set<std::uint64_t> sums;
+            for (const Candidate *c : completed) {
+                sums.insert(c->sum);
+            }
+            if (sums.size() > 1) {
+                merge.problems.push_back(
+                    "job " + std::to_string(id) + ": " +
+                    std::to_string(sums.size()) +
+                    " conflicting completed results across shards "
+                    "(determinism violation)");
+            }
+            merge.duplicates += completed.size() - sums.size();
+            merge.superseded += failed.size();
+        } else {
+            // All failed: keep the most-informed record (most
+            // attempts), first shard on ties.
+            winner = failed.front();
+            for (const Candidate *c : failed) {
+                if (c->rec.attempts > winner->rec.attempts) {
+                    winner = c;
+                }
+            }
+            for (const Candidate *c : failed) {
+                if (c == winner) {
+                    continue;
+                }
+                if (c->sum == winner->sum) {
+                    ++merge.duplicates;
+                } else {
+                    ++merge.superseded;
+                }
+            }
+        }
+        merge.records.push_back(winner->rec);
+    }
+
+    for (std::size_t id = 0; id < total_jobs; ++id) {
+        if (by_job.find(id) == by_job.end()) {
+            merge.problems.push_back("job " + std::to_string(id) +
+                                     ": no record in any shard journal");
+        }
+    }
+    return merge;
+}
+
+std::string
+MergeReport::summary() const
+{
+    std::ostringstream os;
+    os << "merge: " << records.size() << " job record(s) from "
+       << shards << " shard journal(s), " << duplicates
+       << " duplicate(s) deduped, " << superseded << " superseded, "
+       << corrupt << " corrupt line(s)\n";
+    for (const std::string &problem : problems) {
+        os << "  problem: " << problem << '\n';
+    }
+    return os.str();
+}
+
+EngineReport
+report_from_merge(const MergeReport &merge,
+                  const std::vector<JobSpec> &jobs)
+{
+    EngineReport report;
+    report.results.resize(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        report.results[i].id = i;
+        report.results[i].label = job_label(jobs[i]);
+    }
+    for (const JournalRecord &rec : merge.records) {
+        if (rec.job_id >= report.results.size()) {
+            continue;
+        }
+        JobResult &res = report.results[rec.job_id];
+        res.status = rec.status;
+        res.attempts = rec.attempts;
+        res.error = rec.error;
+        res.error_message = rec.error_message;
+        res.csv = rec.csv;
+        res.output.aux = rec.aux;
+        res.from_journal = true;
+    }
+    for (const JobResult &res : report.results) {
+        switch (res.status) {
+          case JobStatus::kCompleted: ++report.completed; break;
+          case JobStatus::kFailed: ++report.failed; break;
+          case JobStatus::kSkipped: ++report.skipped; break;
+        }
+        if (res.from_journal) {
+            ++report.resumed;
+        }
+    }
+    return report;
+}
+
+}  // namespace moka

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Sharded multi-process sweeps. N independent processes point at the
+ * same `--shard-dir`; each runs a ShardEngine over the SAME job
+ * matrix, claims individual jobs through filesystem leases (lease.h),
+ * heartbeats while running, journals finished results into its own
+ * `shard-<name>.jsonl`, and publishes a done marker per job. A shard
+ * that dies mid-job simply stops heartbeating; once its lease ages
+ * past the TTL any surviving peer steals the job and re-runs it
+ * (work-stealing crash recovery — no coordinator process anywhere).
+ *
+ * Exactly-once is enforced at merge time, not claim time: per-job
+ * results are deterministic, so the rare double execution (a false
+ * expiry) yields byte-identical records that merge_shard_dir dedupes
+ * by content checksum — and flags as a hard error if they ever
+ * disagree. The merged report is byte-identical to a serial run.
+ *
+ * Chaos posture: ProcessFaultPlan (faults.h) can SIGKILL a shard at
+ * claim/run/commit boundaries and fail journal writes; CI runs a
+ * 4-shard drill with two seeded victims (tools/ci_chaos_shard.sh).
+ */
+#ifndef MOKASIM_SIM_JOBS_SHARD_H
+#define MOKASIM_SIM_JOBS_SHARD_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/jobs/engine.h"
+#include "sim/jobs/faults.h"
+#include "sim/jobs/journal.h"
+
+namespace moka {
+
+/** Policy for one shard process. */
+struct ShardConfig
+{
+    std::string dir;   //!< shared lease/journal directory (--shard-dir)
+    /**
+     * This shard's name (--shard-name); sanitized to [A-Za-z0-9_-]
+     * and defaulting to "pid<os-pid>" when empty. Names must be
+     * unique across live shards: the per-shard journal is
+     * `<dir>/shard-<name>.jsonl`, and a restarted shard reusing its
+     * old name resumes from that journal.
+     */
+    std::string name;
+    std::uint64_t lease_ttl_ms = 10000;  //!< heartbeat-miss budget
+    //! heartbeat period while a job runs; 0 = lease_ttl_ms / 4
+    std::uint64_t heartbeat_ms = 0;
+    bool steal = true;         //!< reap expired peer leases
+    std::uint64_t poll_ms = 50;  //!< sleep when every job is busy
+    ProcessFaultPlan proc_faults;  //!< chaos drill knobs
+    //! inner engine policy; journal_path/resume_path are ignored (the
+    //! shard layer owns journaling) and jitter_salt is re-salted with
+    //! the shard name so peers' retry backoffs decorrelate
+    EngineConfig engine;
+};
+
+/** What one shard process did (its peers did the rest). */
+struct ShardReport
+{
+    //! full-matrix view: jobs this shard ran carry real results; jobs
+    //! finished by peers carry status from their done markers (no
+    //! csv — the merged journal has the payload), from_journal=true
+    EngineReport engine;
+    std::size_t ran = 0;        //!< jobs this shard executed
+    std::size_t stolen = 0;     //!< ...of which via expired-lease steal
+    std::size_t lost = 0;       //!< runs abandoned: lease lost mid-job
+    std::size_t peer_done = 0;  //!< jobs satisfied by peers' markers
+    std::size_t commit_failures = 0;  //!< results we could not journal
+
+    /**
+     * One deterministic shard counters line (callers print
+     * engine.summary() separately when they want job details).
+     */
+    std::string summary() const;
+};
+
+/**
+ * One shard process's engine. Construct with the shared directory and
+ * run the full matrix; returns once every job in the matrix has a
+ * done marker (ours or a peer's) or is terminally unrunnable here.
+ */
+class ShardEngine
+{
+  public:
+    explicit ShardEngine(ShardConfig cfg);
+
+    ShardReport run(const std::vector<JobSpec> &jobs, const JobFn &fn);
+
+    const std::string &name() const { return name_; }
+    const ShardConfig &config() const { return cfg_; }
+
+    /** `<dir>/shard-<name>.jsonl`, this shard's result journal. */
+    static std::string journal_path(const std::string &dir,
+                                    const std::string &name);
+
+    /** @p name with every character outside [A-Za-z0-9_-] mapped to '-'. */
+    static std::string sanitize_name(const std::string &name);
+
+  private:
+    ShardConfig cfg_;
+    std::string name_;
+};
+
+/** Outcome of merging a shard directory (see merge_shard_dir). */
+struct MergeReport
+{
+    //! winning record per job, ascending job id
+    std::vector<JournalRecord> records;
+    std::size_t shards = 0;      //!< shard journals found
+    std::size_t duplicates = 0;  //!< checksum-identical extra records
+    //! records superseded by a better one for the same job (a failed
+    //! record beaten by a completed re-run, or a lower-attempt failed
+    //! record beaten by a higher-attempt one)
+    std::size_t superseded = 0;
+    std::size_t corrupt = 0;     //!< malformed/checksum-failed lines
+    //! hard problems (conflicting completed results, missing jobs);
+    //! any entry here means the merge must not be trusted
+    std::vector<std::string> problems;
+
+    bool ok() const { return problems.empty(); }
+
+    /** Deterministic one-line stats + one line per problem. */
+    std::string summary() const;
+};
+
+/**
+ * Merge every `shard-*.jsonl` in @p dir into one record per job
+ * (deduped by content checksum; completed beats failed; two
+ * *different* completed results for one job is a hard problem, as is
+ * any job in [0, @p total_jobs) with no record at all). Reading order
+ * is sorted by file name, so the merge is deterministic.
+ */
+MergeReport merge_shard_dir(const std::string &dir,
+                            std::size_t total_jobs);
+
+/**
+ * Rehydrate an EngineReport (labels from @p jobs, results from the
+ * merged records, all from_journal) so sweep tools can emit the
+ * byte-identical CSV a serial run would have produced.
+ */
+EngineReport report_from_merge(const MergeReport &merge,
+                               const std::vector<JobSpec> &jobs);
+
+}  // namespace moka
+
+#endif  // MOKASIM_SIM_JOBS_SHARD_H

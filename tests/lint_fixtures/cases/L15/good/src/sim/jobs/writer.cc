@@ -1,0 +1,40 @@
+// L15 good fixture: every result checked, discarded with an
+// annotation, or outside the rule's reach.
+#include <cstdio>
+#include <filesystem>
+
+bool
+publish(const char *tmp, const char *path, const void *buf, unsigned n)
+{
+    std::FILE *f = std::fopen(tmp, "wb");
+    if (f == nullptr) {
+        return false;
+    }
+    bool ok = std::fwrite(buf, 1, n, f) == n;
+    ok = std::fflush(f) == 0 && ok;
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+        return false;
+    }
+    return std::rename(tmp, path) == 0;
+}
+
+void
+read_side(std::FILE *in)
+{
+    // LINT_IO_OK: read-only stream; close failure cannot lose data.
+    std::fclose(in);
+}
+
+int
+close_as_return(std::FILE *f)
+{
+    return fclose(f);
+}
+
+void
+not_the_libc_ones(const char *a, const char *b)
+{
+    // Qualified non-std rename (returns void) must not match.
+    std::filesystem::rename(a, b);
+}

@@ -7,6 +7,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -160,13 +162,74 @@ TEST(JobErrors, TransiencyTaxonomy)
     EXPECT_FALSE(is_transient(JobErrorCode::kConfigInvalid));
     EXPECT_FALSE(is_transient(JobErrorCode::kAuditFailure));
     EXPECT_FALSE(is_transient(JobErrorCode::kUnknown));
+    // A lost lease must not be retried locally: the peer that stole
+    // the job owns it now (see shard.h).
+    EXPECT_FALSE(is_transient(JobErrorCode::kLeaseLost));
     // Names round-trip through the journal format.
     for (const JobErrorCode code :
          {JobErrorCode::kTraceCorrupt, JobErrorCode::kConfigInvalid,
           JobErrorCode::kAuditFailure, JobErrorCode::kTimeout,
-          JobErrorCode::kOom, JobErrorCode::kUnknown}) {
+          JobErrorCode::kOom, JobErrorCode::kLeaseLost,
+          JobErrorCode::kUnknown}) {
         EXPECT_EQ(job_error_code_from(to_string(code)), code);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Retry backoff jitter
+// ---------------------------------------------------------------------------
+
+TEST(Backoff, JitterStaysInUpperHalfAndIsDeterministic)
+{
+    EngineConfig cfg;
+    cfg.backoff_base_ms = 100;
+    cfg.backoff_cap_ms = 1000;
+    for (std::size_t id = 0; id < 8; ++id) {
+        for (int attempt = 1; attempt <= 6; ++attempt) {
+            const std::uint64_t shift =
+                static_cast<std::uint64_t>(attempt - 1);
+            const std::uint64_t full =
+                std::min<std::uint64_t>(1000, 100u << shift);
+            const std::uint64_t d = backoff_delay_ms(cfg, id, attempt);
+            EXPECT_GE(d, full / 2) << id << "/" << attempt;
+            EXPECT_LE(d, full) << id << "/" << attempt;
+            // Same (salt, id, attempt) always draws the same delay.
+            EXPECT_EQ(d, backoff_delay_ms(cfg, id, attempt));
+        }
+    }
+}
+
+TEST(Backoff, DisabledJitterKeepsCappedExponential)
+{
+    EngineConfig cfg;
+    cfg.backoff_base_ms = 100;
+    cfg.backoff_cap_ms = 1000;
+    cfg.backoff_jitter = false;
+    const std::uint64_t expected[] = {100, 200, 400, 800, 1000, 1000};
+    for (int attempt = 1; attempt <= 6; ++attempt) {
+        EXPECT_EQ(backoff_delay_ms(cfg, 7, attempt),
+                  expected[attempt - 1]);
+    }
+}
+
+TEST(Backoff, SaltDecorrelatesShards)
+{
+    // Two shards retrying the same job on the same attempt must not
+    // sleep in lockstep: different salts draw different delays for at
+    // least some (id, attempt) pairs.
+    EngineConfig a;
+    a.backoff_base_ms = 64;
+    a.backoff_cap_ms = 4096;
+    EngineConfig b = a;
+    b.jitter_salt = 0x9e3779b97f4a7c15ull;
+    bool differs = false;
+    for (std::size_t id = 0; id < 8 && !differs; ++id) {
+        for (int attempt = 1; attempt <= 6 && !differs; ++attempt) {
+            differs = backoff_delay_ms(a, id, attempt) !=
+                      backoff_delay_ms(b, id, attempt);
+        }
+    }
+    EXPECT_TRUE(differs);
 }
 
 // ---------------------------------------------------------------------------
@@ -539,6 +602,226 @@ TEST(Journal, CompactionKeepsNewestRecordPerJob)
     ASSERT_NE(last8, nullptr);
     EXPECT_EQ(last8->status, JobStatus::kCompleted);
     std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Checksums + injected write faults
+// ---------------------------------------------------------------------------
+
+TEST(Journal, ChecksumIgnoresAttemptsButNotResults)
+{
+    JournalRecord rec;
+    rec.job_id = 3;
+    rec.status = JobStatus::kCompleted;
+    rec.attempts = 1;
+    rec.csv = "w,s,p,1.25";
+    rec.aux = {0.5};
+
+    JournalRecord rerun = rec;
+    rerun.attempts = 4;  // a stolen job retried more times upstream
+    EXPECT_EQ(record_checksum(rec), record_checksum(rerun));
+
+    JournalRecord other = rec;
+    other.csv = "w,s,p,1.26";
+    EXPECT_NE(record_checksum(rec), record_checksum(other));
+    other = rec;
+    other.aux = {0.5000001};
+    EXPECT_NE(record_checksum(rec), record_checksum(other));
+    other = rec;
+    other.status = JobStatus::kFailed;
+    EXPECT_NE(record_checksum(rec), record_checksum(other));
+}
+
+TEST(Journal, TamperedLineIsRejectedByChecksum)
+{
+    JournalRecord rec;
+    rec.job_id = 9;
+    rec.status = JobStatus::kCompleted;
+    rec.attempts = 1;
+    rec.csv = "workload9,suite,s,p,1.5";
+    std::string line = to_jsonl(rec);
+    EXPECT_NE(line.find("\"sum\":"), std::string::npos);
+
+    // Flip one payload character: parse must fail even though the
+    // line is still syntactically valid JSONL.
+    const std::size_t at = line.find("workload9");
+    ASSERT_NE(at, std::string::npos);
+    line[at] = 'W';
+    JournalRecord back;
+    std::string error;
+    EXPECT_FALSE(from_jsonl(line, back, &error));
+
+    // A pre-checksum journal line (no "sum" field) still parses.
+    std::string legacy = to_jsonl(rec);
+    const std::size_t sum_at = legacy.rfind(",\"sum\":");
+    ASSERT_NE(sum_at, std::string::npos);
+    legacy.erase(sum_at, legacy.rfind('}') - sum_at);
+    ASSERT_TRUE(from_jsonl(legacy, back, &error)) << error;
+    EXPECT_EQ(back.csv, rec.csv);
+}
+
+TEST(Journal, InjectedShortWriteFailsAppendThenRetriesClean)
+{
+    const std::string path = temp_path("enospc");
+    std::remove(path.c_str());
+    Journal journal(path);
+    JournalRecord rec;
+    rec.job_id = 0;
+    rec.status = JobStatus::kCompleted;
+    rec.attempts = 1;
+    rec.csv = "row0";
+    journal.append(rec);
+
+    // Every write fails as a disk-full short write from here on.
+    set_journal_write_gate(
+        [](const std::string &, const std::string &) { return false; });
+    rec.job_id = 1;
+    rec.csv = "row1";
+    EXPECT_THROW(journal.append(rec), JobError);
+    set_journal_write_gate(nullptr);
+
+    // The failed append tore the tail; the retry first rewrites the
+    // file clean, so nothing is lost and nothing is glued together.
+    journal.append(rec);
+    std::size_t skipped = 99;
+    const auto records = Journal::load(path, &skipped);
+    EXPECT_EQ(skipped, 0u);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].job_id, 0u);
+    EXPECT_EQ(records[1].job_id, 1u);
+    EXPECT_EQ(records[1].csv, "row1");
+    std::remove(path.c_str());
+}
+
+TEST(Journal, FailedCompactionIsDeferredNotFatal)
+{
+    const std::string path = temp_path("defer");
+    std::remove(path.c_str());
+    Journal journal(path, /*compact_threshold_bytes=*/256);
+
+    // Replacement-file writes (write-to-temp + rename) fail; direct
+    // appends succeed. Compaction must be deferred, never fatal.
+    set_journal_write_gate(
+        [&](const std::string &gated, const std::string &) {
+            return gated == path;
+        });
+    JournalRecord rec;
+    rec.job_id = 7;
+    rec.status = JobStatus::kFailed;
+    rec.error = JobErrorCode::kTimeout;
+    rec.error_message = "transient straggler";
+    for (int i = 0; i < 32; ++i) {
+        rec.attempts = i + 1;
+        EXPECT_NO_THROW(journal.append(rec));
+    }
+    EXPECT_EQ(journal.compactions(), 0u);
+    // The journal is fully intact despite the blocked compactions.
+    EXPECT_EQ(Journal::load(path).size(), 32u);
+
+    // Disk pressure clears: the next superseding append compacts.
+    set_journal_write_gate(nullptr);
+    rec.attempts = 33;
+    journal.append(rec);
+    EXPECT_GE(journal.compactions(), 1u);
+    const auto records = Journal::load(path);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].attempts, 33);
+    std::remove(path.c_str());
+}
+
+TEST(Journal, TwoWritersOneFileInterleaveSafely)
+{
+    // Two Journal instances on one path model the misconfiguration
+    // the shard layer avoids by design (per-shard journals): plain
+    // interleaved appends must still all land and load cleanly, as
+    // long as neither instance compacts (thresholds stay default).
+    const std::string path = temp_path("two");
+    std::remove(path.c_str());
+    JournalRecord rec;
+    rec.status = JobStatus::kCompleted;
+    rec.attempts = 1;
+    {
+        Journal a(path);
+        rec.job_id = 0;
+        rec.csv = "a0";
+        a.append(rec);
+        Journal b(path);  // opened later: sees a's record
+        EXPECT_EQ(b.recovered().size(), 1u);
+        rec.job_id = 1;
+        rec.csv = "b1";
+        b.append(rec);
+        rec.job_id = 2;
+        rec.csv = "a2";
+        a.append(rec);
+        rec.job_id = 3;
+        rec.csv = "b3";
+        b.append(rec);
+    }
+    std::size_t skipped = 99;
+    const auto records = Journal::load(path, &skipped);
+    EXPECT_EQ(skipped, 0u);
+    ASSERT_EQ(records.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(records[i].job_id, i);
+    }
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Process-level fault injection
+// ---------------------------------------------------------------------------
+
+TEST(ProcessFaults, DecisionsAreDeterministicAndGated)
+{
+    ProcessFaultPlan plan;
+    plan.enabled = true;
+    plan.seed = 5;
+    plan.kill_rate = 0.5;
+    plan.write_fail_rate = 0.25;
+    ProcessFaultInjector a(plan);
+    ProcessFaultInjector b(plan);
+    bool saw_kill = false;
+    for (std::size_t job = 0; job < 64; ++job) {
+        for (const ShardFaultPoint point :
+             {ShardFaultPoint::kClaim, ShardFaultPoint::kRun,
+              ShardFaultPoint::kCommit}) {
+            const bool ka = a.should_kill(point, job);
+            EXPECT_EQ(ka, b.should_kill(point, job));
+            saw_kill |= ka;
+        }
+    }
+    EXPECT_TRUE(saw_kill);
+    bool saw_write_fail = false;
+    for (std::uint64_t nth = 0; nth < 64; ++nth) {
+        EXPECT_EQ(a.should_fail_write(nth), b.should_fail_write(nth));
+        saw_write_fail |= a.should_fail_write(nth);
+    }
+    EXPECT_TRUE(saw_write_fail);
+
+    plan.enabled = false;
+    ProcessFaultInjector off(plan);
+    for (std::size_t job = 0; job < 32; ++job) {
+        EXPECT_FALSE(off.should_kill(ShardFaultPoint::kClaim, job));
+        EXPECT_FALSE(off.should_fail_write(job));
+    }
+}
+
+using ProcessFaultsDeathTest = ::testing::Test;
+
+TEST(ProcessFaultsDeathTest, MaybeKillDeliversRealSigkill)
+{
+    // The honest crash: no exit handlers, no destructors — the shard
+    // layer's lease recovery is built against exactly this signal.
+    ProcessFaultPlan plan;
+    plan.enabled = true;
+    plan.kill_rate = 1.0;
+    EXPECT_EXIT(
+        {
+            ProcessFaultInjector injector(plan);
+            injector.maybe_kill(ShardFaultPoint::kCommit, 0);
+            std::_Exit(0);  // unreachable when the kill fires
+        },
+        ::testing::KilledBySignal(SIGKILL), "");
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Tests for the sharded execution layer: lease claim/expiry/steal
+ * semantics, the steal-vs-double-execute exclusion, done markers,
+ * concurrent shards producing a merged report byte-identical to a
+ * serial run, restart-resume from a shard's own journal, and the
+ * merge step's duplicate/conflict/missing-job policy.
+ *
+ * Timing: lease TTLs here are either huge (5 s — never expires within
+ * a test) or tiny (60 ms) with sleeps several times longer, so the
+ * assertions hold on arbitrarily slow CI machines.
+ */
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/jobs/engine.h"
+#include "sim/jobs/journal.h"
+#include "sim/jobs/lease.h"
+#include "sim/jobs/shard.h"
+
+namespace moka {
+namespace {
+
+std::string
+temp_dir(const char *tag)
+{
+    const std::string dir =
+        std::string(::testing::TempDir()) + "moka_shard_" + tag;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+std::vector<JobSpec>
+trivial_jobs(std::size_t n)
+{
+    std::vector<JobSpec> jobs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        jobs[i].id = i;
+        jobs[i].workload.name = "job" + std::to_string(i);
+    }
+    return jobs;
+}
+
+JobOutput
+echo_body(const JobSpec &spec, JobContext &)
+{
+    JobOutput out;
+    out.row.workload = spec.workload.name;
+    out.row.suite = "test";
+    out.row.scheme = "s";
+    out.row.prefetcher = "p";
+    out.aux = {static_cast<double>(spec.id) + 0.5};
+    return out;
+}
+
+std::string
+all_csv(const EngineReport &report)
+{
+    std::string out;
+    for (const JobResult &res : report.results) {
+        out += res.csv;
+        out += '\n';
+    }
+    return out;
+}
+
+void
+sleep_ms(std::uint64_t ms)
+{
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+// ---------------------------------------------------------------------------
+// Lease protocol
+// ---------------------------------------------------------------------------
+
+TEST(Lease, ExclusiveClaimAndRelease)
+{
+    const std::string dir = temp_dir("claim");
+    LeaseDir a(dir, "a", 5000);
+    LeaseDir b(dir, "b", 5000);
+
+    EXPECT_EQ(a.try_claim(0, /*allow_steal=*/true),
+              ClaimOutcome::kAcquired);
+    // A live lease is busy for everyone else, steal or not.
+    EXPECT_EQ(b.try_claim(0, true), ClaimOutcome::kBusy);
+    EXPECT_EQ(b.try_claim(0, false), ClaimOutcome::kBusy);
+    // Heartbeats succeed only for the owner.
+    EXPECT_TRUE(a.refresh(0));
+    EXPECT_FALSE(b.refresh(0));
+    // Releasing is idempotent and only drops our own lease.
+    b.release(0);
+    EXPECT_TRUE(a.refresh(0));
+    a.release(0);
+    EXPECT_EQ(b.try_claim(0, false), ClaimOutcome::kAcquired);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Lease, DoneMarkerRoundTripsAndShortCircuitsClaims)
+{
+    const std::string dir = temp_dir("done");
+    LeaseDir a(dir, "a", 5000);
+    ASSERT_EQ(a.try_claim(4, true), ClaimOutcome::kAcquired);
+    DoneMarker marker;
+    marker.job_id = 4;
+    marker.status = JobStatus::kCompleted;
+    marker.sum = 0xfeedfacecafebeefull;
+    marker.owner = "a";
+    ASSERT_TRUE(a.mark_done(marker));
+
+    LeaseDir b(dir, "b", 5000);
+    EXPECT_TRUE(b.is_done(4));
+    DoneMarker back;
+    ASSERT_TRUE(b.read_done(4, back));
+    EXPECT_EQ(back.job_id, 4u);
+    EXPECT_EQ(back.status, JobStatus::kCompleted);
+    EXPECT_EQ(back.sum, marker.sum);
+    EXPECT_EQ(back.owner, "a");
+    // mark_done released the lease and the marker wins all claims.
+    EXPECT_EQ(b.try_claim(4, true), ClaimOutcome::kDone);
+    EXPECT_EQ(a.try_claim(4, true), ClaimOutcome::kDone);
+    EXPECT_FALSE(b.read_done(5, back));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Lease, ExpiredLeaseIsStolenAndOldOwnerCannotCommit)
+{
+    const std::string dir = temp_dir("steal");
+    LeaseDir dead(dir, "dead", /*ttl_ms=*/60);
+    LeaseDir thief(dir, "thief", /*ttl_ms=*/60);
+    ASSERT_EQ(dead.try_claim(0, true), ClaimOutcome::kAcquired);
+    sleep_ms(400);  // several TTLs: the lease is unambiguously stale
+
+    // Without permission to steal, an expired lease still reads busy.
+    EXPECT_EQ(thief.try_claim(0, false), ClaimOutcome::kBusy);
+    EXPECT_EQ(thief.try_claim(0, true), ClaimOutcome::kStolen);
+
+    // The steal-vs-double-execute exclusion: the original owner's
+    // next heartbeat fails (the lease file carries the thief's nonce
+    // now), so a wedged-but-alive owner aborts instead of committing.
+    EXPECT_FALSE(dead.refresh(0));
+    EXPECT_TRUE(thief.refresh(0));
+    // And releasing from the old owner must not drop the thief's lease.
+    dead.release(0);
+    EXPECT_TRUE(thief.refresh(0));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Lease, RefreshExtendsExpiry)
+{
+    const std::string dir = temp_dir("heartbeat");
+    LeaseDir owner(dir, "owner", /*ttl_ms=*/300);
+    LeaseDir thief(dir, "thief", /*ttl_ms=*/300);
+    ASSERT_EQ(owner.try_claim(0, true), ClaimOutcome::kAcquired);
+    // Heartbeat for ~3 TTLs; the lease must never become stealable.
+    for (int i = 0; i < 9; ++i) {
+        sleep_ms(100);
+        ASSERT_TRUE(owner.refresh(0));
+        ASSERT_EQ(thief.try_claim(0, true), ClaimOutcome::kBusy) << i;
+    }
+    std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded execution
+// ---------------------------------------------------------------------------
+
+TEST(ShardEngine, ConcurrentShardsMergeByteIdenticalToSerial)
+{
+    const std::string dir = temp_dir("farm");
+    const auto jobs = trivial_jobs(12);
+    const std::string reference =
+        all_csv(JobEngine(EngineConfig()).run(jobs, echo_body));
+
+    ShardReport ra, rb;
+    auto shard_run = [&](const char *name, ShardReport *out) {
+        ShardConfig cfg;
+        cfg.dir = dir;
+        cfg.name = name;
+        cfg.lease_ttl_ms = 5000;  // never expires inside this test
+        ShardEngine shard(cfg);
+        *out = shard.run(jobs, echo_body);
+    };
+    std::thread ta(shard_run, "a", &ra);
+    std::thread tb(shard_run, "b", &rb);
+    ta.join();
+    tb.join();
+
+    // Leases never expired, so every job ran exactly once somewhere
+    // and each shard saw the rest via done markers.
+    EXPECT_EQ(ra.ran + rb.ran, 12u);
+    EXPECT_EQ(ra.ran + ra.peer_done, 12u);
+    EXPECT_EQ(rb.ran + rb.peer_done, 12u);
+    EXPECT_EQ(ra.stolen + rb.stolen, 0u);
+    EXPECT_EQ(ra.lost + rb.lost, 0u);
+    EXPECT_EQ(ra.commit_failures + rb.commit_failures, 0u);
+    EXPECT_TRUE(ra.engine.all_completed());
+    EXPECT_TRUE(rb.engine.all_completed());
+
+    const MergeReport merge = merge_shard_dir(dir, jobs.size());
+    EXPECT_TRUE(merge.ok()) << merge.summary();
+    EXPECT_EQ(merge.shards, 2u);
+    EXPECT_EQ(merge.records.size(), 12u);
+    EXPECT_EQ(merge.duplicates, 0u);
+    const EngineReport merged = report_from_merge(merge, jobs);
+    EXPECT_TRUE(merged.all_completed());
+    EXPECT_EQ(all_csv(merged), reference);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ShardEngine, RestartResumesFromOwnJournal)
+{
+    const std::string dir = temp_dir("restart");
+    const auto jobs = trivial_jobs(6);
+    ShardConfig cfg;
+    cfg.dir = dir;
+    cfg.name = "solo";
+    cfg.lease_ttl_ms = 5000;
+    const ShardReport first = ShardEngine(cfg).run(jobs, echo_body);
+    EXPECT_EQ(first.ran, 6u);
+
+    // Same name, fresh process (modelled by a fresh engine): every
+    // job replays from shard-solo.jsonl, nothing re-executes.
+    const ShardReport again = ShardEngine(cfg).run(
+        jobs, [](const JobSpec &, JobContext &) -> JobOutput {
+            throw JobError(JobErrorCode::kUnknown,
+                           "nothing should re-run");
+        });
+    EXPECT_EQ(again.ran, 0u);
+    EXPECT_EQ(again.engine.resumed, 6u);
+    EXPECT_TRUE(again.engine.all_completed());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ShardEngine, NamesAndJournalPaths)
+{
+    EXPECT_EQ(ShardEngine::sanitize_name("host-1_gpu"), "host-1_gpu");
+    EXPECT_EQ(ShardEngine::sanitize_name("rack/3 node:7"),
+              "rack-3-node-7");
+    EXPECT_EQ(ShardEngine::journal_path("/farm", "a"),
+              "/farm/shard-a.jsonl");
+}
+
+// ---------------------------------------------------------------------------
+// Merge policy
+// ---------------------------------------------------------------------------
+
+JournalRecord
+completed_record(std::size_t job, const std::string &csv)
+{
+    JournalRecord rec;
+    rec.job_id = job;
+    rec.status = JobStatus::kCompleted;
+    rec.attempts = 1;
+    rec.csv = csv;
+    return rec;
+}
+
+void
+write_shard_journal(const std::string &dir, const std::string &name,
+                    const std::vector<JournalRecord> &records)
+{
+    std::ofstream os(ShardEngine::journal_path(dir, name));
+    for (const JournalRecord &rec : records) {
+        os << to_jsonl(rec) << '\n';
+    }
+}
+
+TEST(Merge, DedupesIdenticalRecordsAcrossShards)
+{
+    // A false lease expiry makes two shards run the same job; both
+    // journal byte-identical records (determinism), and the merge
+    // keeps exactly one.
+    const std::string dir = temp_dir("dedupe");
+    write_shard_journal(dir, "a",
+                        {completed_record(0, "row0"),
+                         completed_record(1, "row1")});
+    write_shard_journal(dir, "b", {completed_record(1, "row1")});
+    const MergeReport merge = merge_shard_dir(dir, 2);
+    EXPECT_TRUE(merge.ok()) << merge.summary();
+    EXPECT_EQ(merge.records.size(), 2u);
+    EXPECT_EQ(merge.duplicates, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Merge, ConflictingCompletedResultsAreAHardProblem)
+{
+    const std::string dir = temp_dir("conflict");
+    write_shard_journal(dir, "a", {completed_record(0, "row0")});
+    write_shard_journal(dir, "b", {completed_record(0, "DIFFERENT")});
+    const MergeReport merge = merge_shard_dir(dir, 1);
+    EXPECT_FALSE(merge.ok());
+    ASSERT_FALSE(merge.problems.empty());
+    EXPECT_NE(merge.summary().find("conflicting"), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Merge, MissingJobsAndEmptyDirsAreProblems)
+{
+    const std::string dir = temp_dir("missing");
+    const MergeReport empty = merge_shard_dir(dir, 1);
+    EXPECT_FALSE(empty.ok());
+
+    write_shard_journal(dir, "a", {completed_record(0, "row0")});
+    const MergeReport partial = merge_shard_dir(dir, 3);
+    EXPECT_FALSE(partial.ok());
+    EXPECT_EQ(partial.records.size(), 1u);
+    EXPECT_GE(partial.problems.size(), 2u);  // jobs 1 and 2 missing
+    // The same journals merge cleanly once the matrix matches.
+    EXPECT_TRUE(merge_shard_dir(dir, 1).ok());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Merge, CompletedRerunSupersedesFailedRecord)
+{
+    // Shard a died after journaling a failure; shard b stole the job
+    // and completed it. The completion wins; the failure is counted
+    // as superseded, not as a conflict.
+    const std::string dir = temp_dir("supersede");
+    JournalRecord failed;
+    failed.job_id = 0;
+    failed.status = JobStatus::kFailed;
+    failed.attempts = 2;
+    failed.error = JobErrorCode::kTimeout;
+    failed.error_message = "watchdog";
+    write_shard_journal(dir, "a", {failed});
+    write_shard_journal(dir, "b", {completed_record(0, "row0")});
+    const MergeReport merge = merge_shard_dir(dir, 1);
+    EXPECT_TRUE(merge.ok()) << merge.summary();
+    ASSERT_EQ(merge.records.size(), 1u);
+    EXPECT_EQ(merge.records[0].status, JobStatus::kCompleted);
+    EXPECT_EQ(merge.superseded, 1u);
+
+    const EngineReport report =
+        report_from_merge(merge, trivial_jobs(1));
+    EXPECT_TRUE(report.all_completed());
+    EXPECT_EQ(report.results[0].csv, "row0");
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Merge, AllFailedKeepsTheMostInformedRecord)
+{
+    const std::string dir = temp_dir("failures");
+    JournalRecord early;
+    early.job_id = 0;
+    early.status = JobStatus::kFailed;
+    early.attempts = 1;
+    early.error = JobErrorCode::kTimeout;
+    JournalRecord late = early;
+    late.attempts = 3;
+    write_shard_journal(dir, "a", {early});
+    write_shard_journal(dir, "b", {late});
+    const MergeReport merge = merge_shard_dir(dir, 1);
+    EXPECT_TRUE(merge.ok()) << merge.summary();
+    ASSERT_EQ(merge.records.size(), 1u);
+    EXPECT_EQ(merge.records[0].attempts, 3);
+    std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace moka

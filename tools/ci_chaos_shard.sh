@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# CI chaos drill for the sharded execution layer (sim/jobs/shard.h):
+#
+#   1. run a fig09-class sweep single-process -> reference CSV;
+#   2. run the identical matrix as 4 shard processes sharing one
+#      --shard-dir; two of them carry seeded self-SIGKILL fault plans
+#      (--inject-kill) and die at claim/run/commit boundaries;
+#   3. the survivors must reclaim the victims' expired leases and
+#      finish every job in the matrix;
+#   4. --merge must reassemble a CSV byte-identical to the reference.
+#
+# Usage: ci_chaos_shard.sh <path-to-sweep_tool> [workdir]
+set -u
+
+SWEEP=${1:?usage: ci_chaos_shard.sh <sweep_tool> [workdir]}
+WORK=${2:-$(mktemp -d)}
+FARM="$WORK/farm"
+mkdir -p "$FARM"
+
+# Fig. 9-class matrix: workloads x {discard, permit, dripper}. Large
+# enough that the victims reliably claim work before dying, small
+# enough to stay fast.
+ARGS=(--workloads 8 --insts 100000 --warmup 20000
+      --schemes discard,permit,dripper)
+# Short TTL so steals happen promptly; --jobs 2 per shard exercises
+# concurrent claim/heartbeat threads inside each process.
+SHARD=(--jobs 2 --shard-dir "$FARM" --lease-ttl 2000)
+
+echo "== reference run (single process) =="
+"$SWEEP" "${ARGS[@]}" > "$WORK/ref.csv" 2> "$WORK/ref.err"
+status=$?
+if [ "$status" -ne 0 ]; then
+    echo "reference sweep exited with $status" >&2
+    cat "$WORK/ref.err" >&2
+    exit 1
+fi
+
+echo "== 4 shards, 2 seeded victims =="
+# Victims start first so they own leases when the kill fires; a high
+# rate makes the seeded SIGKILL land within their first few boundary
+# crossings.
+"$SWEEP" "${ARGS[@]}" "${SHARD[@]}" --shard-name victim0 \
+    --inject-kill 0.9 --fault-seed 11 \
+    > "$WORK/victim0.csv" 2> "$WORK/victim0.err" &
+v0=$!
+"$SWEEP" "${ARGS[@]}" "${SHARD[@]}" --shard-name victim1 \
+    --inject-kill 0.9 --fault-seed 22 \
+    > "$WORK/victim1.csv" 2> "$WORK/victim1.err" &
+v1=$!
+sleep 1
+"$SWEEP" "${ARGS[@]}" "${SHARD[@]}" --shard-name survivor0 \
+    > "$WORK/survivor0.csv" 2> "$WORK/survivor0.err" &
+s0=$!
+"$SWEEP" "${ARGS[@]}" "${SHARD[@]}" --shard-name survivor1 \
+    > "$WORK/survivor1.csv" 2> "$WORK/survivor1.err" &
+s1=$!
+
+wait "$v0"; rv0=$?
+wait "$v1"; rv1=$?
+wait "$s0"; rs0=$?
+wait "$s1"; rs1=$?
+echo "exit codes: victim0=$rv0 victim1=$rv1" \
+     "survivor0=$rs0 survivor1=$rs1"
+cat "$WORK/survivor0.err" "$WORK/survivor1.err"
+
+fail=0
+for rc in "$rv0" "$rv1"; do
+    if [ "$rc" -ne 137 ]; then
+        echo "FAIL: a victim was expected to die of SIGKILL (137)," \
+             "got $rc" >&2
+        fail=1
+    fi
+done
+for rc in "$rs0" "$rs1"; do
+    if [ "$rc" -ne 0 ]; then
+        echo "FAIL: a survivor exited with $rc; the work-stealing" \
+             "recovery did not finish the matrix" >&2
+        fail=1
+    fi
+done
+[ "$fail" -ne 0 ] && exit 1
+
+echo "== merge =="
+"$SWEEP" "${ARGS[@]}" --shard-dir "$FARM" --merge \
+    > "$WORK/merged.csv" 2> "$WORK/merge.err"
+status=$?
+cat "$WORK/merge.err"
+if [ "$status" -ne 0 ]; then
+    echo "FAIL: merge exited with $status" >&2
+    exit 1
+fi
+
+echo "== verify =="
+if ! diff -q "$WORK/ref.csv" "$WORK/merged.csv"; then
+    echo "FAIL: merged CSV differs from the single-process reference" >&2
+    diff "$WORK/ref.csv" "$WORK/merged.csv" | head -20 >&2
+    exit 1
+fi
+echo "PASS: two shards died mid-sweep, survivors finished all jobs," \
+     "merged CSV is byte-identical to the single-process run"

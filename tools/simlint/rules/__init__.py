@@ -14,4 +14,5 @@ from tools.simlint.rules import (  # noqa: F401
     l12_hot_virtual,
     l13_hot_byvalue,
     l14_hot_io,
+    l15_io_checked,
 )

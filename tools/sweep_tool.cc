@@ -13,6 +13,8 @@
  *              [--unseen] [--large-pages F]
  *              [--jobs N] [--journal FILE] [--resume FILE]
  *              [--fail-fast] [--inject-faults RATE] [--fault-seed N]
+ *              [--shard-dir DIR] [--shard-name NAME] [--lease-ttl MS]
+ *              [--merge] [--inject-kill RATE]
  *              [--telemetry-dir DIR] [--trace-events FILE]
  *
  * Example:
@@ -21,6 +23,12 @@
  *
  * The CSV is byte-identical for any --jobs count, and a sweep resumed
  * from its journal reproduces the uninterrupted output exactly.
+ *
+ * Multi-process sweeps: launch N processes with identical matrix
+ * flags and the same --shard-dir; each claims jobs via leases, and
+ * dead shards are recovered by the survivors (sim/jobs/shard.h).
+ * Afterwards, `sweep_tool <same flags> --shard-dir D --merge` emits
+ * the CSV a single-process run would have produced, byte-identical.
  */
 #include <algorithm>
 #include <cstdio>
@@ -92,6 +100,16 @@ main(int argc, char **argv)
             args.fault_rate = require_double(a, next());
         } else if (a == "--fault-seed") {
             args.fault_seed = require_u64(a, next());
+        } else if (a == "--shard-dir") {
+            args.shard_dir = next();
+        } else if (a == "--shard-name") {
+            args.shard_name = next();
+        } else if (a == "--lease-ttl") {
+            args.lease_ttl_ms = require_u64(a, next());
+        } else if (a == "--merge") {
+            args.merge = true;
+        } else if (a == "--inject-kill") {
+            args.kill_rate = require_double(a, next());
         } else if (a == "--telemetry-dir") {
             args.telemetry_dir = next();
         } else if (a == "--trace-events") {
