@@ -4,6 +4,7 @@
 
 #include "common/bitops.h"
 #include "common/check.h"
+#include "snapshot/snapshot.h"
 
 namespace moka {
 
@@ -229,6 +230,52 @@ Cache::access(Addr paddr, AccessType type, Cycle now, bool pgc_prefetch)
     AccessResult r;
     r.done = fill_done;
     return r;
+}
+
+void
+Cache::save_state(SnapshotWriter &w) const
+{
+    for (const Block &b : blocks_) {
+        w.put_u64(b.tag);
+        w.put_bool(b.valid);
+        w.put_bool(b.dirty);
+        w.put_bool(b.prefetched);
+        w.put_bool(b.pgc);
+        w.put_bool(b.used);
+        w.put_u64(b.fill_done);
+    }
+    put_vec(w, inflight_);
+    w.put_u64(next_port_free_);
+    repl_->save_state(w);
+    put_stats(w, stats_.demand);
+    put_stats(w, stats_.walk);
+    w.put_u64(stats_.writebacks);
+    w.put_u64(stats_.prefetch_lookups);
+    put_stats(w, stats_.pf);
+}
+
+void
+Cache::restore_state(SnapshotReader &r)
+{
+    for (Block &b : blocks_) {
+        b.tag = r.get_u64();
+        b.valid = r.get_bool();
+        b.dirty = r.get_bool();
+        b.prefetched = r.get_bool();
+        b.pgc = r.get_bool();
+        b.used = r.get_bool();
+        b.fill_done = r.get_u64();
+    }
+    // The MSHR list length is runtime state (outstanding fills at
+    // snapshot time), not configuration — accept the saved length.
+    get_vec(r, inflight_, /*fixed_size=*/false);
+    next_port_free_ = r.get_u64();
+    repl_->restore_state(r);
+    get_stats(r, stats_.demand);
+    get_stats(r, stats_.walk);
+    stats_.writebacks = r.get_u64();
+    stats_.prefetch_lookups = r.get_u64();
+    get_stats(r, stats_.pf);
 }
 
 }  // namespace moka

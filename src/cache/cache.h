@@ -23,6 +23,8 @@
 namespace moka {
 
 struct AuditAccess;
+class SnapshotReader;
+class SnapshotWriter;
 
 /** Geometry and timing of one cache level. */
 struct CacheConfig
@@ -114,6 +116,11 @@ class Cache final : public MemoryLevel
     /** Config echo. */
     const CacheConfig &config() const { return cfg_; }
 
+    /** Serialize tags, MSHRs, port state, replacement and stats. */
+    void save_state(SnapshotWriter &w) const;
+    /** Inverse of save_state on a same-config instance. */
+    void restore_state(SnapshotReader &r);
+
   private:
     friend struct AuditAccess;
 
@@ -134,8 +141,9 @@ class Cache final : public MemoryLevel
     std::uint32_t pick_victim(std::uint32_t set, Cycle now);
     void mark_used(Block &b);
 
-    CacheConfig cfg_;
-    MemoryLevel *lower_;
+    CacheConfig cfg_;       // LINT_SNAPSHOT_OK: config
+    MemoryLevel *lower_;    // LINT_SNAPSHOT_OK: collaborator, owned by machine
+    // LINT_SNAPSHOT_OK: collaborator, re-wired by the machine builder
     CacheListener *listener_ = nullptr;
     std::vector<Block> blocks_;       //!< sets * ways, row-major
     std::vector<Cycle> inflight_;     //!< outstanding fill completions

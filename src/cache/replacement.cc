@@ -1,5 +1,7 @@
 #include "cache/replacement.h"
 
+#include "snapshot/snapshot.h"
+
 namespace moka {
 namespace {
 
@@ -52,8 +54,22 @@ class LruPolicy : public ReplacementPolicy
         return true;
     }
 
+    void
+    save_state(SnapshotWriter &w) const override
+    {
+        put_vec(w, stamps_);
+        w.put_u64(clock_);
+    }
+
+    void
+    restore_state(SnapshotReader &r) override
+    {
+        get_vec(r, stamps_);
+        clock_ = r.get_u64();
+    }
+
   private:
-    std::uint32_t ways_;
+    std::uint32_t ways_;  // LINT_SNAPSHOT_OK: geometry, not state
     std::vector<std::uint64_t> stamps_;
     std::uint64_t clock_ = 0;
 };
@@ -113,8 +129,20 @@ class SrripPolicy : public ReplacementPolicy
         return true;
     }
 
+    void
+    save_state(SnapshotWriter &w) const override
+    {
+        put_vec(w, rrpv_);
+    }
+
+    void
+    restore_state(SnapshotReader &r) override
+    {
+        get_vec(r, rrpv_);
+    }
+
   private:
-    std::uint32_t ways_;
+    std::uint32_t ways_;  // LINT_SNAPSHOT_OK: geometry, not state
     std::vector<std::uint8_t> rrpv_;
 };
 
@@ -138,8 +166,20 @@ class RandomPolicy : public ReplacementPolicy
 
     const char *name() const override { return "random"; }
 
+    void
+    save_state(SnapshotWriter &w) const override
+    {
+        SnapshotAccess::save(w, rng_);
+    }
+
+    void
+    restore_state(SnapshotReader &r) override
+    {
+        SnapshotAccess::restore(r, rng_);
+    }
+
   private:
-    std::uint32_t ways_;
+    std::uint32_t ways_;  // LINT_SNAPSHOT_OK: geometry, not state
     Rng rng_;
 };
 

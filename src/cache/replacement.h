@@ -17,6 +17,9 @@
 
 namespace moka {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** Replacement policy selector. */
 enum class ReplacementKind : std::uint8_t {
     kLru,    //!< least-recently-used (paper's Table IV)
@@ -56,6 +59,12 @@ class ReplacementPolicy
         (void)why;
         return true;
     }
+
+    /** Serialize replacement metadata (stamps / RRPVs / RNG). */
+    virtual void save_state(SnapshotWriter &w) const = 0;
+
+    /** Inverse of save_state on a same-geometry instance. */
+    virtual void restore_state(SnapshotReader &r) = 0;
 };
 
 /**

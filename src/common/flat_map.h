@@ -183,6 +183,11 @@ class FlatAddrMap
         }
     }
 
+    //! snapshot save/restore copies the slot arrays verbatim: probe
+    //! placement depends on insertion order, so rebuilding from pairs
+    //! would not reproduce the saved layout byte-for-byte
+    friend struct SnapshotAccess;
+
     std::vector<Addr> keys_;
     std::vector<Addr> vals_;
     std::size_t size_ = 0;
@@ -218,6 +223,8 @@ class FrameBitmap
     std::size_t size() const { return count_; }
 
   private:
+    friend struct SnapshotAccess;
+
     std::vector<bool> bits_;
     std::size_t count_ = 0;
 };

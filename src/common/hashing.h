@@ -6,11 +6,33 @@
 #ifndef MOKASIM_COMMON_HASHING_H
 #define MOKASIM_COMMON_HASHING_H
 
+#include <cstddef>
 #include <cstdint>
 
 #include "common/bitops.h"
 
 namespace moka {
+
+//! FNV-1a 64-bit offset basis / prime (shared by the journal record
+//! checksums and the snapshot section checksums).
+inline constexpr std::uint64_t kFnv1aOffset = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ull;
+
+/**
+ * FNV-1a over @p n bytes, continuing from @p h (pass the default to
+ * start a fresh sum; feed chunks by threading the return value back
+ * in).
+ */
+inline std::uint64_t
+fnv1a_64(const void *data, std::size_t n, std::uint64_t h = kFnv1aOffset)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= kFnv1aPrime;
+    }
+    return h;
+}
 
 /** 64-bit finalizer (splitmix64 mix), good avalanche, cheap. */
 constexpr std::uint64_t mix64(std::uint64_t z)

@@ -73,6 +73,10 @@ class Rng
         return (x << k) | (x >> (64 - k));
     }
 
+    //! snapshot save/restore copies the four lanes verbatim so a
+    //! restored stream continues exactly where the saved one stopped
+    friend struct SnapshotAccess;
+
     std::uint64_t s_[4];
 };
 

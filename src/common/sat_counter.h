@@ -61,6 +61,7 @@ class SignedSatCounter
 
   private:
     friend struct AuditAccess;
+    friend struct SnapshotAccess;
 
     constexpr std::int16_t clamp(std::int16_t v) const
     {
@@ -110,6 +111,8 @@ class UnsignedSatCounter
     constexpr std::uint16_t max() const { return max_; }
 
   private:
+    friend struct SnapshotAccess;
+
     std::uint16_t max_;
     std::uint16_t value_;
 };

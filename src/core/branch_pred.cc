@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/hashing.h"
+#include "snapshot/snapshot.h"
 
 namespace moka {
 
@@ -58,6 +59,32 @@ BranchPredictor::update(Addr pc, bool taken)
         }
     }
     history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+void
+BranchPredictor::save_state(SnapshotWriter &w) const
+{
+    for (const std::vector<SignedSatCounter> &table : tables_) {
+        for (const SignedSatCounter &weight : table) {
+            SnapshotAccess::save(w, weight);
+        }
+    }
+    w.put_u64(history_);
+    w.put_u64(lookups_);
+    w.put_u64(mispredicts_);
+}
+
+void
+BranchPredictor::restore_state(SnapshotReader &r)
+{
+    for (std::vector<SignedSatCounter> &table : tables_) {
+        for (SignedSatCounter &weight : table) {
+            SnapshotAccess::restore(r, weight);
+        }
+    }
+    history_ = r.get_u64();
+    lookups_ = r.get_u64();
+    mispredicts_ = r.get_u64();
 }
 
 }  // namespace moka

@@ -17,6 +17,9 @@
 
 namespace moka {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** Predictor geometry. */
 struct BranchPredConfig
 {
@@ -43,12 +46,18 @@ class BranchPredictor
     /** Mispredicted branches. */
     std::uint64_t mispredicts() const { return mispredicts_; }
 
+    /** Serialize weight tables, history and counters. */
+    void save_state(SnapshotWriter &w) const;
+    /** Inverse of save_state on a same-config instance. */
+    void restore_state(SnapshotReader &r);
+
   private:
     static constexpr unsigned kMaxTables = 16;
     using IndexArray = std::array<std::uint32_t, kMaxTables>;
 
     int sum_for(Addr pc, IndexArray &indexes) const;
 
+    // LINT_SNAPSHOT_OK: config, rebuilt from MachineConfig
     BranchPredConfig cfg_;
     std::vector<std::vector<SignedSatCounter>> tables_;
     std::uint64_t history_ = 0;

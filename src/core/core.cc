@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "snapshot/snapshot.h"
+
 namespace moka {
 
 Core::Core(const CoreConfig &config)
@@ -56,6 +58,30 @@ Core::reset_pressure_window()
 {
     window_dispatches_ = 0;
     window_rob_stalls_ = 0;
+}
+
+void
+Core::save_state(SnapshotWriter &w) const
+{
+    put_vec(w, retire_ring_);
+    w.put_u64(ring_head_);
+    w.put_u64(last_retire_);
+    w.put_u32(retire_slot_used_);
+    w.put_u64(retired_);
+    w.put_u64(window_dispatches_);
+    w.put_u64(window_rob_stalls_);
+}
+
+void
+Core::restore_state(SnapshotReader &r)
+{
+    get_vec(r, retire_ring_);
+    ring_head_ = r.get_u64();
+    last_retire_ = r.get_u64();
+    retire_slot_used_ = r.get_u32();
+    retired_ = r.get_u64();
+    window_dispatches_ = r.get_u64();
+    window_rob_stalls_ = r.get_u64();
 }
 
 }  // namespace moka

@@ -18,6 +18,9 @@
 
 namespace moka {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** Core parameters (paper Table IV: 352-entry ROB, 6-wide). */
 struct CoreConfig
 {
@@ -65,8 +68,13 @@ class Core
     /** Reset the windowed pressure counters (per epoch interval). */
     void reset_pressure_window();
 
+    /** Serialize the retire ring and counters. */
+    void save_state(SnapshotWriter &w) const;
+    /** Inverse of save_state on a same-config instance. */
+    void restore_state(SnapshotReader &r);
+
   private:
-    CoreConfig cfg_;
+    CoreConfig cfg_;  // LINT_SNAPSHOT_OK: config, rebuilt from MachineConfig
     std::vector<Cycle> retire_ring_;  //!< retire cycles, ROB-size deep
     std::size_t ring_head_ = 0;
     Cycle last_retire_ = 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "snapshot/snapshot.h"
+
 namespace moka {
 
 Frontend::Frontend(const FrontendConfig &config, Cache *l1i, Tlb *itlb,
@@ -88,6 +90,22 @@ Frontend::redirect(Cycle resolve_cycle)
     fetch_cycle_ =
         std::max(fetch_cycle_, resolve_cycle + cfg_.mispredict_penalty);
     group_used_ = 0;
+}
+
+void
+Frontend::save_state(SnapshotWriter &w) const
+{
+    w.put_u64(fetch_cycle_);
+    w.put_u32(group_used_);
+    w.put_u64(cur_block_);
+}
+
+void
+Frontend::restore_state(SnapshotReader &r)
+{
+    fetch_cycle_ = r.get_u64();
+    group_used_ = r.get_u32();
+    cur_block_ = r.get_u64();
 }
 
 }  // namespace moka

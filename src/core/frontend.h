@@ -18,6 +18,9 @@
 
 namespace moka {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** Frontend parameters. */
 struct FrontendConfig
 {
@@ -50,16 +53,21 @@ class Frontend
      */
     void redirect(Cycle resolve_cycle);
 
+    /** Serialize fetch-stream state (collaborators snapshot separately). */
+    void save_state(SnapshotWriter &w) const;
+    /** Inverse of save_state on a same-config instance. */
+    void restore_state(SnapshotReader &r);
+
   private:
     /** iTLB -> sTLB -> walk; returns {paddr, done}. */
     std::pair<Addr, Cycle> translate(Addr vaddr, Cycle now);
 
-    FrontendConfig cfg_;
-    Cache *l1i_;
-    Tlb *itlb_;
-    Tlb *stlb_;
-    PageWalker *walker_;
-    BranchPredictor *bp_;
+    FrontendConfig cfg_;       // LINT_SNAPSHOT_OK: config
+    Cache *l1i_;               // LINT_SNAPSHOT_OK: collaborator, owned by core
+    Tlb *itlb_;                // LINT_SNAPSHOT_OK: collaborator, owned by core
+    Tlb *stlb_;                // LINT_SNAPSHOT_OK: collaborator, owned by core
+    PageWalker *walker_;       // LINT_SNAPSHOT_OK: collaborator, owned by core
+    BranchPredictor *bp_;      // LINT_SNAPSHOT_OK: collaborator, owned by core
     Cycle fetch_cycle_ = 0;
     unsigned group_used_ = 0;
     Addr cur_block_ = ~Addr{0};

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bitops.h"
+#include "snapshot/snapshot.h"
 
 namespace moka {
 
@@ -55,6 +56,34 @@ Dram::access(Addr paddr, AccessType type, Cycle now, bool /*pgc_prefetch*/)
     r.hit = false;
     r.merged = false;
     return r;
+}
+
+void
+Dram::save_state(SnapshotWriter &w) const
+{
+    for (const Bank &bank : banks_) {
+        w.put_u64(bank.open_row);
+        w.put_u64(bank.next_free);
+    }
+    put_vec(w, channel_next_free_);
+    w.put_u64(accesses_);
+    w.put_u64(row_hits_);
+    w.put_u64(prefetch_accesses_);
+    w.put_u64(walk_accesses_);
+}
+
+void
+Dram::restore_state(SnapshotReader &r)
+{
+    for (Bank &bank : banks_) {
+        bank.open_row = r.get_u64();
+        bank.next_free = r.get_u64();
+    }
+    get_vec(r, channel_next_free_);
+    accesses_ = r.get_u64();
+    row_hits_ = r.get_u64();
+    prefetch_accesses_ = r.get_u64();
+    walk_accesses_ = r.get_u64();
 }
 
 }  // namespace moka

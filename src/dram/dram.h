@@ -18,6 +18,8 @@
 namespace moka {
 
 struct AuditAccess;
+class SnapshotReader;
+class SnapshotWriter;
 
 /** DRAM geometry and timing (core-clock cycles). */
 struct DramConfig
@@ -53,6 +55,11 @@ class Dram : public MemoryLevel
     /** Sentinel for a bank with no open row. */
     static constexpr std::uint64_t kNoOpenRow = ~std::uint64_t{0};
 
+    /** Serialize open rows, availabilities and counters. */
+    void save_state(SnapshotWriter &w) const;
+    /** Inverse of save_state on a same-config instance. */
+    void restore_state(SnapshotReader &r);
+
   private:
     friend struct AuditAccess;
 
@@ -62,7 +69,7 @@ class Dram : public MemoryLevel
         Cycle next_free = 0;
     };
 
-    DramConfig cfg_;
+    DramConfig cfg_;  // LINT_SNAPSHOT_OK: config, rebuilt from MachineConfig
     std::vector<Bank> banks_;               //!< channels*banks flat
     std::vector<Cycle> channel_next_free_;  //!< data-bus availability
     std::uint64_t accesses_ = 0;

@@ -1,5 +1,7 @@
 #include "filter/adaptive_threshold.h"
 
+#include "snapshot/snapshot.h"
+
 #include <algorithm>
 
 #include "telemetry/gate.h"
@@ -117,6 +119,44 @@ AdaptiveThreshold::on_epoch(const EpochInfo &info)
     clamp();
     prev_ = info;
     have_prev_ = true;
+}
+
+void AdaptiveThreshold::save_state(SnapshotWriter &w) const
+{
+    w.begin_section("filter.threshold");
+    w.put_i64(ta_);
+    w.put_bool(pgc_disabled_);
+    w.put_bool(have_prev_);
+    w.put_f64(prev_.pgc_accuracy);
+    w.put_bool(prev_.accuracy_valid);
+    w.put_f64(prev_.ipc);
+    w.put_u64(tel_.rob_clamps);
+    w.put_u64(tel_.acc_clamps);
+    w.put_u64(tel_.l1i_clamps);
+    w.put_u64(tel_.disable_intervals);
+    w.put_u64(tel_.epoch_acc_clamps);
+    w.put_u64(tel_.nudges_up);
+    w.put_u64(tel_.nudges_down);
+    w.put_u64(tel_.ipc_drop_clamps);
+}
+
+void AdaptiveThreshold::restore_state(SnapshotReader &r)
+{
+    r.begin_section("filter.threshold");
+    ta_ = static_cast<int>(r.get_i64());
+    pgc_disabled_ = r.get_bool();
+    have_prev_ = r.get_bool();
+    prev_.pgc_accuracy = r.get_f64();
+    prev_.accuracy_valid = r.get_bool();
+    prev_.ipc = r.get_f64();
+    tel_.rob_clamps = r.get_u64();
+    tel_.acc_clamps = r.get_u64();
+    tel_.l1i_clamps = r.get_u64();
+    tel_.disable_intervals = r.get_u64();
+    tel_.epoch_acc_clamps = r.get_u64();
+    tel_.nudges_up = r.get_u64();
+    tel_.nudges_down = r.get_u64();
+    tel_.ipc_drop_clamps = r.get_u64();
 }
 
 }  // namespace moka

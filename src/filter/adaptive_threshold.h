@@ -16,6 +16,8 @@
 namespace moka {
 
 struct AuditAccess;
+class SnapshotReader;
+class SnapshotWriter;
 
 /** Threshold levels and trip points. */
 struct ThresholdConfig
@@ -100,12 +102,17 @@ class AdaptiveThreshold
     /** Config echo. */
     const ThresholdConfig &config() const { return cfg_; }
 
+    /** Serialize T_a, the disable latch and epoch memory. */
+    void save_state(SnapshotWriter &w) const;
+    /** Inverse of save_state on a same-config instance. */
+    void restore_state(SnapshotReader &r);
+
   private:
     friend struct AuditAccess;
 
     void clamp();
 
-    ThresholdConfig cfg_;
+    ThresholdConfig cfg_;  // LINT_SNAPSHOT_OK: config
     int ta_;
     bool pgc_disabled_ = false;
     bool have_prev_ = false;

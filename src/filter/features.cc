@@ -1,5 +1,7 @@
 #include "filter/features.h"
 
+#include "snapshot/snapshot.h"
+
 #include <cstdlib>
 
 #include "common/hashing.h"
@@ -133,6 +135,32 @@ FeatureExtractor::make_input(Addr trigger_pc, Addr trigger_vaddr,
     const FpaEntry &e = fpa_[mix64(page) % kFpaEntries];
     in.first_page_access = (e.page == page) ? e.first_line : 0;
     return in;
+}
+
+void FeatureExtractor::save_state(SnapshotWriter &w) const
+{
+    w.begin_section("filter.extractor");
+    w.put_u64(va_hist_[0]);
+    w.put_u64(va_hist_[1]);
+    w.put_u64(pc_hist_[0]);
+    w.put_u64(pc_hist_[1]);
+    for (const FpaEntry &e : fpa_) {
+        w.put_u64(e.page);
+        w.put_u64(e.first_line);
+    }
+}
+
+void FeatureExtractor::restore_state(SnapshotReader &r)
+{
+    r.begin_section("filter.extractor");
+    va_hist_[0] = r.get_u64();
+    va_hist_[1] = r.get_u64();
+    pc_hist_[0] = r.get_u64();
+    pc_hist_[1] = r.get_u64();
+    for (FpaEntry &e : fpa_) {
+        e.page = r.get_u64();
+        e.first_line = r.get_u64();
+    }
 }
 
 }  // namespace moka

@@ -17,6 +17,9 @@
 
 namespace moka {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /**
  * Raw inputs a feature is computed from, assembled by the feature
  * extractor at prediction time.
@@ -166,6 +169,11 @@ class FeatureExtractor
     FeatureInput make_input(Addr trigger_pc, Addr trigger_vaddr,
                             std::int64_t delta,
                             std::uint64_t meta = 0) const;
+
+    /** Serialize the VA/PC history and the first-page-access table. */
+    void save_state(SnapshotWriter &w) const;
+    /** Inverse of save_state. */
+    void restore_state(SnapshotReader &r);
 
   private:
     static constexpr std::size_t kFpaEntries = 64;

@@ -23,6 +23,8 @@
 namespace moka {
 
 struct AuditAccess;
+class SnapshotReader;
+class SnapshotWriter;
 
 /**
  * Snapshot of a page-cross filter's internal state for the telemetry
@@ -139,6 +141,16 @@ class PageCrossFilter
      * an invalid (empty) snapshot for stateless policies.
      */
     virtual FilterTelemetry telemetry() const { return {}; }
+
+    /**
+     * Serialize learned state. The default is a no-op pair: correct
+     * only for genuinely stateless policies and test doubles; every
+     * learning filter overrides both.
+     */
+    virtual void save_state(SnapshotWriter &w) const { (void)w; }
+
+    /** Inverse of save_state on a same-config instance. */
+    virtual void restore_state(SnapshotReader &r) { (void)r; }
 };
 
 using FilterPtr = std::unique_ptr<PageCrossFilter>;
@@ -188,6 +200,9 @@ class MokaFilter : public PageCrossFilter
 
     FilterTelemetry telemetry() const override;
 
+    void save_state(SnapshotWriter &w) const override;
+    void restore_state(SnapshotReader &r) override;
+
   private:
     friend struct AuditAccess;
 
@@ -195,7 +210,7 @@ class MokaFilter : public PageCrossFilter
     DecisionRecord make_record(Addr block, const FeatureInput &in,
                                const SystemSnapshot &snap) const;
 
-    MokaConfig cfg_;
+    MokaConfig cfg_;  // LINT_SNAPSHOT_OK: config
     FeatureExtractor extractor_;
     //! one per program feature, then one per specialized feature
     std::vector<WeightTable> tables_;

@@ -1,5 +1,7 @@
 #include "filter/perceptron.h"
 
+#include "snapshot/snapshot.h"
+
 #include "common/bitops.h"
 #include "common/check.h"
 #include "common/hashing.h"
@@ -39,6 +41,20 @@ void
 WeightTable::decrement(std::uint32_t index)
 {
     weights_[index].decrement();
+}
+
+void WeightTable::save_state(SnapshotWriter &w) const
+{
+    for (const SignedSatCounter &c : weights_) {
+        SnapshotAccess::save(w, c);
+    }
+}
+
+void WeightTable::restore_state(SnapshotReader &r)
+{
+    for (SignedSatCounter &c : weights_) {
+        SnapshotAccess::restore(r, c);
+    }
 }
 
 }  // namespace moka

@@ -15,6 +15,8 @@
 namespace moka {
 
 struct AuditAccess;
+class SnapshotReader;
+class SnapshotWriter;
 
 /** One feature's weight table. */
 class WeightTable
@@ -50,12 +52,17 @@ class WeightTable
         return static_cast<std::uint64_t>(weights_.size()) * weight_bits_;
     }
 
+    /** Serialize every weight. */
+    void save_state(SnapshotWriter &w) const;
+    /** Inverse of save_state on a same-config instance. */
+    void restore_state(SnapshotReader &r);
+
   private:
     friend struct AuditAccess;
 
     std::vector<SignedSatCounter> weights_;
-    unsigned weight_bits_;
-    unsigned index_bits_;
+    unsigned weight_bits_;  // LINT_SNAPSHOT_OK: config
+    unsigned index_bits_;   // LINT_SNAPSHOT_OK: config
 };
 
 }  // namespace moka

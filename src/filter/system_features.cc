@@ -1,5 +1,7 @@
 #include "filter/system_features.h"
 
+#include "snapshot/snapshot.h"
+
 namespace moka {
 
 SystemFeatureConfig
@@ -79,6 +81,16 @@ SystemFeature::active(const SystemSnapshot &snap) const
     }
     return cfg_.active_when_above ? (value > cfg_.threshold)
                                   : (value < cfg_.threshold);
+}
+
+void SystemFeature::save_state(SnapshotWriter &w) const
+{
+    SnapshotAccess::save(w, weight_);
+}
+
+void SystemFeature::restore_state(SnapshotReader &r)
+{
+    SnapshotAccess::restore(r, weight_);
 }
 
 }  // namespace moka

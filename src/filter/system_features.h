@@ -18,6 +18,8 @@
 namespace moka {
 
 struct AuditAccess;
+class SnapshotReader;
+class SnapshotWriter;
 
 /** Observable system state sampled over a recent instruction window. */
 struct SystemSnapshot
@@ -96,10 +98,15 @@ class SystemFeature
     /** Storage cost in bits. */
     std::uint64_t storage_bits() const { return cfg_.weight_bits; }
 
+    /** Serialize the trained weight. */
+    void save_state(SnapshotWriter &w) const;
+    /** Inverse of save_state on a same-config instance. */
+    void restore_state(SnapshotReader &r);
+
   private:
     friend struct AuditAccess;
 
-    SystemFeatureConfig cfg_;
+    SystemFeatureConfig cfg_;  // LINT_SNAPSHOT_OK: config
     SignedSatCounter weight_;
 };
 

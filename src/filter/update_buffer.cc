@@ -1,0 +1,79 @@
+/**
+ * @file
+ * UpdateBuffer serialization. Lives apart from the header because the
+ * buffer itself is header-only hot-path code; snapshotting is cold.
+ */
+#include "filter/update_buffer.h"
+
+#include "snapshot/snapshot.h"
+
+namespace moka {
+
+namespace {
+
+void
+put_record(SnapshotWriter &w, const DecisionRecord &rec)
+{
+    w.put_u64(rec.block);
+    w.put_u8(rec.num_features);
+    for (std::uint32_t idx : rec.indexes) {
+        w.put_u32(idx);
+    }
+    w.put_u8(rec.system_mask);
+}
+
+void
+get_record(SnapshotReader &r, DecisionRecord &rec)
+{
+    rec.block = r.get_u64();
+    rec.num_features = r.get_u8();
+    for (std::uint32_t &idx : rec.indexes) {
+        idx = r.get_u32();
+    }
+    rec.system_mask = r.get_u8();
+}
+
+}  // namespace
+
+void
+UpdateBuffer::save_state(SnapshotWriter &w) const
+{
+    for (const Slot &s : ring_) {
+        put_record(w, s.rec);
+        w.put_u64(s.seq);
+        w.put_bool(s.live);
+    }
+    put_vec(w, table_);
+    w.put_u64(head_);
+    w.put_u64(count_);
+    w.put_u64(live_);
+    w.put_u64(stale_);
+    w.put_u64(tombstones_);
+    w.put_u64(next_seq_);
+    w.put_u64(overflow_evictions_);
+}
+
+void
+UpdateBuffer::restore_state(SnapshotReader &r)
+{
+    for (Slot &s : ring_) {
+        get_record(r, s.rec);
+        s.seq = r.get_u64();
+        s.live = r.get_bool();
+    }
+    get_vec(r, table_);
+    head_ = r.get_u64();
+    count_ = r.get_u64();
+    live_ = r.get_u64();
+    stale_ = r.get_u64();
+    tombstones_ = r.get_u64();
+    next_seq_ = r.get_u64();
+    overflow_evictions_ = r.get_u64();
+    if (head_ >= ring_.size() || count_ > ring_.size() ||
+        live_ > capacity_) {
+        throw SnapshotError(SnapshotErrorKind::kMalformed,
+                            "update buffer occupancy out of range");
+    }
+}
+
+}  // namespace moka

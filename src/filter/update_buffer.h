@@ -24,6 +24,8 @@
 namespace moka {
 
 struct AuditAccess;
+class SnapshotReader;
+class SnapshotWriter;
 
 /** Decision context captured when the filter predicted. */
 struct DecisionRecord
@@ -146,6 +148,15 @@ class UpdateBuffer
         return static_cast<std::uint64_t>(capacity_) * (36 + 12);
     }
 
+    /**
+     * Serialize the ring, hash table and bookkeeping verbatim — the
+     * probe layout depends on insertion order, so rebuilding it on
+     * restore would diverge from the straight-through run.
+     */
+    void save_state(SnapshotWriter &w) const;
+    /** Inverse of save_state on a same-config instance. */
+    void restore_state(SnapshotReader &r);
+
   private:
     friend struct AuditAccess;
 
@@ -260,11 +271,11 @@ class UpdateBuffer
         }
     }
 
-    std::size_t capacity_;
+    std::size_t capacity_;  // LINT_SNAPSHOT_OK: config
     //! FIFO ring of live + stale slots; occupied span starts at head_
     std::vector<Slot> ring_;
     std::vector<std::uint32_t> table_;  //!< block -> ring index
-    std::uint32_t tmask_ = 0;
+    std::uint32_t tmask_ = 0;  // LINT_SNAPSHOT_OK: config, derived
     std::size_t head_ = 0;
     std::size_t count_ = 0;      //!< occupied ring slots (live + stale)
     std::size_t live_ = 0;

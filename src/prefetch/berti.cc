@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/hashing.h"
+#include "snapshot/snapshot.h"
 
 namespace moka {
 
@@ -170,6 +171,75 @@ Berti::on_access(const PrefetchContext &ctx,
         req.meta = e.selected_timely[i];  // timeliness confidence
         out.push_back(req);
     }
+}
+
+void Berti::save_state(SnapshotWriter &w) const
+{
+    w.begin_section("pf.berti");
+    for (const IpEntry &e : ips_) {
+        w.put_u64(e.tag);
+        w.put_bool(e.valid);
+        w.put_u64(e.lru);
+        for (const HistoryItem &h : e.history) {
+            w.put_u64(h.line);
+            w.put_u64(h.cycle);
+        }
+        w.put_u32(e.history_head);
+        w.put_u32(static_cast<std::uint32_t>(e.deltas.size()));
+        for (const DeltaCounter &d : e.deltas) {
+            w.put_i64(d.delta);
+            w.put_u16(d.occurrences);
+            w.put_u16(d.timely);
+        }
+        w.put_u32(static_cast<std::uint32_t>(e.selected.size()));
+        for (std::size_t i = 0; i < e.selected.size(); ++i) {
+            w.put_i64(e.selected[i]);
+            w.put_u16(e.selected_timely[i]);
+        }
+        w.put_u32(e.window_count);
+    }
+    w.put_u64(lru_stamp_);
+}
+
+void Berti::restore_state(SnapshotReader &r)
+{
+    r.begin_section("pf.berti");
+    for (IpEntry &e : ips_) {
+        e.tag = r.get_u64();
+        e.valid = r.get_bool();
+        e.lru = r.get_u64();
+        for (HistoryItem &h : e.history) {
+            h.line = r.get_u64();
+            h.cycle = r.get_u64();
+        }
+        e.history_head = r.get_u32();
+        const std::uint32_t ndeltas = r.get_u32();
+        if (ndeltas > cfg_.deltas_per_ip) {
+            throw SnapshotError(SnapshotErrorKind::kMalformed,
+                                "berti delta count above capacity");
+        }
+        e.deltas.clear();
+        for (std::uint32_t i = 0; i < ndeltas; ++i) {
+            DeltaCounter d;
+            d.delta = r.get_i64();
+            d.occurrences = r.get_u16();
+            d.timely = r.get_u16();
+            e.deltas.push_back(d);
+        }
+        const std::uint32_t nsel = r.get_u32();
+        if (nsel > cfg_.max_degree) {
+            throw SnapshotError(SnapshotErrorKind::kMalformed,
+                                "berti selection count above capacity");
+        }
+        e.selected.clear();
+        e.selected_timely.clear();
+        for (std::uint32_t i = 0; i < nsel; ++i) {
+            e.selected.push_back(r.get_i64());
+            e.selected_timely.push_back(r.get_u16());
+        }
+        e.window_count = r.get_u32();
+    }
+    lru_stamp_ = r.get_u64();
 }
 
 }  // namespace moka

@@ -40,6 +40,9 @@ class Berti : public Prefetcher
 
     const std::string &name() const override { return name_; }
 
+    void save_state(SnapshotWriter &w) const override;
+    void restore_state(SnapshotReader &r) override;
+
   private:
     struct HistoryItem
     {
@@ -71,12 +74,13 @@ class Berti : public Prefetcher
     void train(IpEntry &e, Addr line, Cycle now);
     void select_deltas(IpEntry &e);
 
-    BertiConfig cfg_;
+    BertiConfig cfg_;  // LINT_SNAPSHOT_OK: config
     std::vector<IpEntry> ips_;
     //! select_deltas sort scratch, reserved once (rule L10)
+    // LINT_SNAPSHOT_OK: scratch, overwritten before every use
     std::vector<DeltaCounter> sort_scratch_;
     std::uint64_t lru_stamp_ = 0;
-    std::string name_ = "berti";
+    std::string name_ = "berti";  // LINT_SNAPSHOT_OK: constant identifier
 };
 
 }  // namespace moka

@@ -1,4 +1,5 @@
 #include "prefetch/bop.h"
+#include "snapshot/snapshot.h"
 
 #include <algorithm>
 
@@ -97,6 +98,32 @@ Bop::on_access(const PrefetchContext &ctx,
         scores_.empty() ? 0 : *std::max_element(scores_.begin(),
                                                 scores_.end()));
     out.push_back(req);
+}
+
+void Bop::save_state(SnapshotWriter &w) const
+{
+    w.begin_section("pf.bop");
+    put_vec(w, rr_);
+    for (int s : scores_) {
+        w.put_i64(s);
+    }
+    w.put_u32(test_index_);
+    w.put_i64(round_);
+    w.put_i64(best_);
+    w.put_bool(active_);
+}
+
+void Bop::restore_state(SnapshotReader &r)
+{
+    r.begin_section("pf.bop");
+    get_vec(r, rr_);
+    for (int &s : scores_) {
+        s = static_cast<int>(r.get_i64());
+    }
+    test_index_ = r.get_u32();
+    round_ = static_cast<int>(r.get_i64());
+    best_ = r.get_i64();
+    active_ = r.get_bool();
 }
 
 }  // namespace moka

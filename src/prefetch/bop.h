@@ -43,19 +43,22 @@ class Bop : public Prefetcher
     /** Currently selected offset (0 when prefetching is off). */
     std::int64_t best_offset() const { return active_ ? best_ : 0; }
 
+    void save_state(SnapshotWriter &w) const override;
+    void restore_state(SnapshotReader &r) override;
+
   private:
     bool rr_contains(Addr line) const;
     void rr_insert(Addr line);
     void end_phase();
 
-    BopConfig cfg_;
+    BopConfig cfg_;  // LINT_SNAPSHOT_OK: config
     std::vector<Addr> rr_;       //!< line addresses (0 = empty)
     std::vector<int> scores_;
     unsigned test_index_ = 0;
     int round_ = 0;
     std::int64_t best_ = 1;
     bool active_ = true;
-    std::string name_ = "bop";
+    std::string name_ = "bop";  // LINT_SNAPSHOT_OK: constant identifier
 };
 
 }  // namespace moka

@@ -18,6 +18,9 @@
 
 namespace moka {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** One prefetch candidate produced by a prefetcher. */
 struct PrefetchRequest
 {
@@ -70,6 +73,16 @@ class Prefetcher
 
     /** Short identifier ("berti", "ipcp", "bop", ...). */
     virtual const std::string &name() const = 0;
+
+    /**
+     * Serialize learned state. The default is a no-op pair: correct
+     * only for genuinely stateless prefetchers (next-line) and test
+     * doubles; every learning prefetcher overrides both.
+     */
+    virtual void save_state(SnapshotWriter &w) const { (void)w; }
+
+    /** Inverse of save_state on a same-config instance. */
+    virtual void restore_state(SnapshotReader &r) { (void)r; }
 };
 
 using PrefetcherPtr = std::unique_ptr<Prefetcher>;

@@ -37,6 +37,9 @@ class Spp : public Prefetcher
 
     const std::string &name() const override { return name_; }
 
+    void save_state(SnapshotWriter &w) const override;
+    void restore_state(SnapshotReader &r) override;
+
   private:
     struct StEntry
     {
@@ -61,11 +64,11 @@ class Spp : public Prefetcher
 
     static std::uint16_t advance_sig(std::uint16_t sig, std::int32_t delta);
 
-    SppConfig cfg_;
+    SppConfig cfg_;  // LINT_SNAPSHOT_OK: config
     std::vector<StEntry> st_;
     std::vector<PtEntry> pt_;
     std::uint64_t lru_stamp_ = 0;
-    std::string name_ = "spp";
+    std::string name_ = "spp";  // LINT_SNAPSHOT_OK: constant identifier
 };
 
 }  // namespace moka

@@ -1,4 +1,5 @@
 #include "prefetch/stride.h"
+#include "snapshot/snapshot.h"
 
 #include "common/hashing.h"
 
@@ -58,6 +59,30 @@ StridePrefetcher::on_access(const PrefetchContext &ctx,
         req.trigger_pc = ctx.pc;
         req.trigger_vaddr = ctx.vaddr;
         out.push_back(req);
+    }
+}
+
+void StridePrefetcher::save_state(SnapshotWriter &w) const
+{
+    w.begin_section("pf.stride");
+    for (const Entry &e : table_) {
+        w.put_u16(e.tag);
+        w.put_bool(e.valid);
+        w.put_u64(e.last_line);
+        w.put_i64(e.stride);
+        SnapshotAccess::save(w, e.conf);
+    }
+}
+
+void StridePrefetcher::restore_state(SnapshotReader &r)
+{
+    r.begin_section("pf.stride");
+    for (Entry &e : table_) {
+        e.tag = r.get_u16();
+        e.valid = r.get_bool();
+        e.last_line = r.get_u64();
+        e.stride = r.get_i64();
+        SnapshotAccess::restore(r, e.conf);
     }
 }
 

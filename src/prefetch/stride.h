@@ -33,6 +33,9 @@ class StridePrefetcher : public Prefetcher
 
     const std::string &name() const override { return name_; }
 
+    void save_state(SnapshotWriter &w) const override;
+    void restore_state(SnapshotReader &r) override;
+
   private:
     struct Entry
     {
@@ -43,9 +46,9 @@ class StridePrefetcher : public Prefetcher
         UnsignedSatCounter conf{2};
     };
 
-    StridePrefetcherConfig cfg_;
+    StridePrefetcherConfig cfg_;  // LINT_SNAPSHOT_OK: config
     std::vector<Entry> table_;
-    std::string name_ = "stride";
+    std::string name_ = "stride";  // LINT_SNAPSHOT_OK: constant identifier
 };
 
 }  // namespace moka

@@ -1,4 +1,5 @@
 #include "prefetch/throttle.h"
+#include "snapshot/snapshot.h"
 
 #include <algorithm>
 
@@ -71,6 +72,28 @@ ThrottledPrefetcher::end_interval()
     window_useless_ = 0;
     window_late_ = 0;
     window_fills_ = 0;
+}
+
+void ThrottledPrefetcher::save_state(SnapshotWriter &w) const
+{
+    w.begin_section("pf.throttle");
+    w.put_u32(level_);
+    w.put_u64(window_useful_);
+    w.put_u64(window_useless_);
+    w.put_u64(window_late_);
+    w.put_u64(window_fills_);
+    inner_->save_state(w);
+}
+
+void ThrottledPrefetcher::restore_state(SnapshotReader &r)
+{
+    r.begin_section("pf.throttle");
+    level_ = r.get_u32();
+    window_useful_ = r.get_u64();
+    window_useless_ = r.get_u64();
+    window_late_ = r.get_u64();
+    window_fills_ = r.get_u64();
+    inner_->restore_state(r);
 }
 
 }  // namespace moka

@@ -7,9 +7,11 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/hashing.h"
 #include "common/stats.h"
 #include "filter/policies.h"
 #include "sim/jobs/shard.h"
+#include "snapshot/cache.h"
 #include "telemetry/telemetry.h"
 #include "trace/trace_io.h"
 
@@ -123,6 +125,10 @@ parse_bench_args(int argc, char **argv)
             args.telemetry_dir = require_value(a, i, argc, argv);
         } else if (a == "--trace-events") {
             args.trace_events = require_value(a, i, argc, argv);
+        } else if (a == "--snapshot-dir") {
+            args.snapshot_dir = require_value(a, i, argc, argv);
+        } else if (a == "--no-snapshot-reuse") {
+            args.no_snapshot_reuse = true;
         } else {
             std::fprintf(stderr, "warning: ignoring unknown flag %s\n",  // LINT_LOG_OK: usage warning
                          a.c_str());
@@ -248,6 +254,28 @@ make_matrix(const std::vector<WorkloadSpec> &roster,
     return jobs;
 }
 
+namespace {
+
+/**
+ * Snapshot warmup-key contribution of the workload itself. Trace
+ * workloads are identified by path; synthetic ones by the full spec
+ * (two specs with equal fields replay identical streams).
+ */
+std::uint64_t
+workload_identity(const JobSpec &spec)
+{
+    if (!spec.trace_path.empty()) {
+        return fnv1a_64(spec.trace_path.data(), spec.trace_path.size());
+    }
+    const WorkloadSpec &w = spec.workload;
+    std::uint64_t key = fnv1a_64(w.name.data(), w.name.size());
+    key = hash_combine(key, static_cast<std::uint64_t>(w.family));
+    key = hash_combine(key, w.variant);
+    return hash_combine(key, w.seed);
+}
+
+}  // namespace
+
 JobOutput
 run_sim_job(const JobSpec &spec, JobContext &ctx)
 {
@@ -257,6 +285,7 @@ run_sim_job(const JobSpec &spec, JobContext &ctx)
 
     WorkloadPtr workload;
     JobOutput out;
+    WorkloadFactory factory;
     if (!spec.trace_path.empty()) {
         TraceOpenResult open = open_trace_checked(spec.trace_path);
         if (!open.ok()) {
@@ -270,10 +299,22 @@ run_sim_job(const JobSpec &spec, JobContext &ctx)
         workload = std::move(open.workload);
         out.row.workload = workload->name();
         out.row.suite = "trace";
+        factory = [path = spec.trace_path]() {
+            TraceOpenResult reopen = open_trace_checked(path);
+            if (!reopen.ok()) {
+                throw JobError(
+                    reopen.status == TraceIoStatus::kFileMissing
+                        ? JobErrorCode::kConfigInvalid
+                        : JobErrorCode::kTraceCorrupt,
+                    reopen.message);
+            }
+            return std::move(reopen.workload);
+        };
     } else {
         workload = make_workload(spec.workload);
         out.row.workload = spec.workload.name;
         out.row.suite = spec.workload.suite;
+        factory = [w = spec.workload]() { return make_workload(w); };
     }
     out.row.scheme = spec.scheme;
     out.row.prefetcher = spec.prefetcher;
@@ -281,10 +322,16 @@ run_sim_job(const JobSpec &spec, JobContext &ctx)
     std::string audit_findings;
     const std::string label = out.row.workload + "." + spec.scheme + "." +
                               spec.prefetcher;
-    out.row.metrics = run_single_workload(cfg, std::move(workload),
-                                          spec.run, ctx.hook,
-                                          &audit_findings, ctx.telemetry,
-                                          label, ctx.trace_pid);
+    if (ctx.snapshot != nullptr) {
+        out.row.metrics = run_single_workload_snapshot(
+            cfg, factory, spec.run, ctx.hook, *ctx.snapshot,
+            workload_identity(spec), &audit_findings, ctx.telemetry,
+            label, ctx.trace_pid);
+    } else {
+        out.row.metrics = run_single_workload(
+            cfg, std::move(workload), spec.run, ctx.hook, &audit_findings,
+            ctx.telemetry, label, ctx.trace_pid);
+    }
     if (!audit_findings.empty()) {
         throw JobError(JobErrorCode::kAuditFailure, audit_findings);
     }
@@ -314,6 +361,27 @@ run_engine(const std::vector<JobSpec> &jobs, const BenchArgs &args,
     }
     EngineConfig cfg = engine_config(args);
     cfg.telemetry = telemetry;
+    // Warmup-snapshot reuse: one cache shared by every worker (and,
+    // through the claim/publish protocol, by concurrent shards using
+    // the same directory). It must outlive the engine run below.
+    std::unique_ptr<SnapshotCache> snapshots;
+    if (!args.snapshot_dir.empty() && !args.no_snapshot_reuse) {
+        snapshots = std::make_unique<SnapshotCache>(args.snapshot_dir);
+        cfg.snapshot = snapshots.get();
+    }
+    auto report_snapshots = [&snapshots]() {
+        if (snapshots == nullptr) {
+            return;
+        }
+        const SnapshotCache::Stats s = snapshots->stats();
+        std::fprintf(stderr,  // LINT_LOG_OK: report
+                     "snapshot cache: %llu hits, %llu misses, "
+                     "%llu saves, %llu invalid\n",
+                     static_cast<unsigned long long>(s.hits),
+                     static_cast<unsigned long long>(s.misses),
+                     static_cast<unsigned long long>(s.saves),
+                     static_cast<unsigned long long>(s.invalid));
+    };
     if (!args.shard_dir.empty()) {
         ShardConfig shard;
         shard.dir = args.shard_dir;
@@ -329,10 +397,13 @@ run_engine(const std::vector<JobSpec> &jobs, const BenchArgs &args,
         shard.engine = std::move(cfg);
         ShardReport report = ShardEngine(std::move(shard)).run(jobs, fn);
         std::fputs(report.summary().c_str(), stderr);  // LINT_LOG_OK: report
+        report_snapshots();
         return std::move(report.engine);
     }
     JobEngine engine(std::move(cfg));
-    return engine.run(jobs, fn);
+    EngineReport report = engine.run(jobs, fn);
+    report_snapshots();
+    return report;
 }
 
 EngineReport

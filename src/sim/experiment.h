@@ -62,6 +62,14 @@ struct BenchArgs
     std::string telemetry_dir;    //!< per-run epoch CSV/JSONL directory
     std::string trace_events;     //!< merged Chrome trace JSON path
 
+    // Warmup-snapshot reuse (see snapshot/cache.h). A non-empty
+    // snapshot_dir makes every job resolve its warmup through the
+    // shared snapshot cache: warm up once per (workload, machine
+    // config, warmup budget) key, fork every sweep point from the
+    // restored state. Results stay byte-identical to a cold sweep.
+    std::string snapshot_dir;     //!< snapshot cache directory
+    bool no_snapshot_reuse = false;  //!< force cold warmups anyway
+
     /** Effective roster for @p roster given --full/--workloads. */
     std::vector<WorkloadSpec>
     select(const std::vector<WorkloadSpec> &roster) const

@@ -174,6 +174,7 @@ JobEngine::execute_one(const JobSpec &spec, const JobFn &fn,
         ctx.hook = &chain;
         ctx.attempt = attempt;
         ctx.telemetry = cfg_.telemetry;
+        ctx.snapshot = cfg_.snapshot;
         ctx.trace_pid =
             kJobPidBase + static_cast<std::uint32_t>(spec.id);
         try {

@@ -35,6 +35,7 @@
 namespace moka {
 
 class TelemetrySession;
+class SnapshotCache;
 
 /** Engine-wide policy knobs. */
 struct EngineConfig
@@ -68,6 +69,12 @@ struct EngineConfig
      * bodies can arm per-run epoch sampling.
      */
     TelemetrySession *telemetry = nullptr;
+    /**
+     * Warmup-snapshot cache (non-owning, may be null): threaded into
+     * every JobContext so job bodies can resolve their warmup phase
+     * through snapshot reuse instead of re-simulating it.
+     */
+    SnapshotCache *snapshot = nullptr;
 };
 
 /**
@@ -113,6 +120,8 @@ struct JobContext
     //! trace process id reserved for this job's sim-phase spans and
     //! per-core counter tracks (kJobPidBase + job id)
     std::uint32_t trace_pid = 0;
+    //! warmup-snapshot cache (null when reuse is off)
+    SnapshotCache *snapshot = nullptr;
 };
 
 //! trace pid layout: 1 = the engine itself, jobs from here up

@@ -14,6 +14,7 @@ to_string(JobErrorCode code)
       case JobErrorCode::kTimeout: return "timeout";
       case JobErrorCode::kOom: return "oom";
       case JobErrorCode::kLeaseLost: return "lease_lost";
+      case JobErrorCode::kSnapshotInvalid: return "snapshot_invalid";
       case JobErrorCode::kUnknown: break;
     }
     return "unknown";
@@ -25,7 +26,8 @@ job_error_code_from(const std::string &name)
     for (const JobErrorCode code :
          {JobErrorCode::kTraceCorrupt, JobErrorCode::kConfigInvalid,
           JobErrorCode::kAuditFailure, JobErrorCode::kTimeout,
-          JobErrorCode::kOom, JobErrorCode::kLeaseLost}) {
+          JobErrorCode::kOom, JobErrorCode::kLeaseLost,
+          JobErrorCode::kSnapshotInvalid}) {
         if (name == to_string(code)) {
             return code;
         }
@@ -41,6 +43,8 @@ is_transient(JobErrorCode code)
     // input, bad configuration and audit findings are deterministic.
     // A lost lease is permanent *for this shard*: the peer that stole
     // the job owns it now, so retrying locally would double-execute.
+    // A rejected snapshot is handled inline (cold-warmup fallback), so
+    // a job that still fails with it would fail again on retry.
     return code == JobErrorCode::kTimeout || code == JobErrorCode::kOom;
 }
 

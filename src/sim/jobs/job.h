@@ -31,6 +31,7 @@ enum class JobErrorCode : std::uint8_t {
     kTimeout,        //!< watchdog cancelled a hung or stalled run
     kOom,            //!< allocation failure while building/running
     kLeaseLost,      //!< sharded run lost its job lease to a peer
+    kSnapshotInvalid,  //!< warmup snapshot rejected (corrupt/mismatched)
     kUnknown,        //!< unclassified exception escaping the job body
 };
 

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <system_error>
 
+#include "common/hashing.h"
+
 namespace moka {
 namespace {
 
@@ -146,16 +148,10 @@ record_checksum(const JournalRecord &rec)
     // FNV-1a over the *result* content. Attempts are excluded on
     // purpose: a job re-executed after a lease steal may need a
     // different number of attempts yet must produce the same result.
-    std::uint64_t h = 1469598103934665603ull;
-    const auto feed = [&h](const char *data, std::size_t n) {
-        for (std::size_t i = 0; i < n; ++i) {
-            h ^= static_cast<unsigned char>(data[i]);
-            h *= 1099511628211ull;
-        }
-    };
-    const auto feed_str = [&feed](const std::string &s) {
-        feed(s.data(), s.size());
-        feed("\x1f", 1);  // field separator: ("ab","c") != ("a","bc")
+    std::uint64_t h = kFnv1aOffset;
+    const auto feed_str = [&h](const std::string &s) {
+        h = fnv1a_64(s.data(), s.size(), h);
+        h = fnv1a_64("\x1f", 1, h);  // separator: ("ab","c") != ("a","bc")
     };
     feed_str(std::to_string(rec.job_id));
     feed_str(to_string(rec.status));

@@ -1,10 +1,12 @@
 #include "sim/machine.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "audit/audit.h"
 #include "common/check.h"
 #include "common/hashing.h"
+#include "snapshot/snapshot.h"
 
 namespace moka {
 
@@ -580,6 +582,350 @@ Machine::audit(AuditReport &report) const
     for (const auto &core : cores_) {
         core->audit(report);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshotting
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Fingerprint helpers: order-sensitive field mixing. */
+void
+fp(std::uint64_t &h, std::uint64_t v)
+{
+    h = hash_combine(h, v);
+}
+
+void
+fp_f64(std::uint64_t &h, double v)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    fp(h, bits);
+}
+
+void
+fp_str(std::uint64_t &h, const std::string &s)
+{
+    fp(h, s.size());
+    h = hash_combine(h, fnv1a_64(s.data(), s.size()));
+}
+
+void
+fp_cache(std::uint64_t &h, const CacheConfig &c)
+{
+    fp_str(h, c.name);
+    fp(h, c.sets);
+    fp(h, c.ways);
+    fp(h, c.latency);
+    fp(h, c.mshr_entries);
+    fp(h, c.track_pgc ? 1 : 0);
+    fp(h, static_cast<std::uint64_t>(c.replacement));
+}
+
+void
+fp_tlb(std::uint64_t &h, const TlbConfig &c)
+{
+    fp_str(h, c.name);
+    fp(h, c.sets);
+    fp(h, c.ways);
+    fp(h, c.large_sets);
+    fp(h, c.large_ways);
+    fp(h, c.latency);
+}
+
+void
+put_metrics(SnapshotWriter &w, const RunMetrics &m)
+{
+    w.put_u64(m.instructions);
+    w.put_u64(m.cycles);
+    put_stats(w, m.l1i);
+    put_stats(w, m.l1d);
+    put_stats(w, m.l2);
+    put_stats(w, m.llc);
+    put_stats(w, m.dtlb);
+    put_stats(w, m.stlb);
+    put_stats(w, m.l2_walk);
+    w.put_u64(m.l1d_writebacks);
+    w.put_u64(m.l1d_pf_lookups);
+    w.put_u64(m.pf_issued);
+    w.put_u64(m.pf_useful);
+    w.put_u64(m.pf_useless);
+    w.put_u64(m.pgc_candidates);
+    w.put_u64(m.pgc_issued);
+    w.put_u64(m.pgc_useful);
+    w.put_u64(m.pgc_useless);
+    w.put_u64(m.pgc_dropped);
+    w.put_u64(m.demand_walks);
+    w.put_u64(m.spec_walks);
+    w.put_u64(m.walk_refs);
+    w.put_u64(m.dram_accesses);
+    w.put_u64(m.branch_mispredicts);
+}
+
+void
+get_metrics(SnapshotReader &r, RunMetrics &m)
+{
+    m.instructions = r.get_u64();
+    m.cycles = r.get_u64();
+    get_stats(r, m.l1i);
+    get_stats(r, m.l1d);
+    get_stats(r, m.l2);
+    get_stats(r, m.llc);
+    get_stats(r, m.dtlb);
+    get_stats(r, m.stlb);
+    get_stats(r, m.l2_walk);
+    m.l1d_writebacks = r.get_u64();
+    m.l1d_pf_lookups = r.get_u64();
+    m.pf_issued = r.get_u64();
+    m.pf_useful = r.get_u64();
+    m.pf_useless = r.get_u64();
+    m.pgc_candidates = r.get_u64();
+    m.pgc_issued = r.get_u64();
+    m.pgc_useful = r.get_u64();
+    m.pgc_useless = r.get_u64();
+    m.pgc_dropped = r.get_u64();
+    m.demand_walks = r.get_u64();
+    m.spec_walks = r.get_u64();
+    m.walk_refs = r.get_u64();
+    m.dram_accesses = r.get_u64();
+    m.branch_mispredicts = r.get_u64();
+}
+
+void
+put_system_snapshot(SnapshotWriter &w, const SystemSnapshot &s)
+{
+    w.put_f64(s.l1d_mpki);
+    w.put_f64(s.l1d_miss_rate);
+    w.put_f64(s.llc_mpki);
+    w.put_f64(s.llc_miss_rate);
+    w.put_f64(s.stlb_mpki);
+    w.put_f64(s.stlb_miss_rate);
+    w.put_f64(s.l1i_mpki);
+    w.put_f64(s.ipc);
+    w.put_f64(s.rob_occupancy);
+    w.put_u32(s.inflight_l1d_misses);
+    w.put_f64(s.pgc_accuracy);
+    w.put_bool(s.pgc_accuracy_valid);
+}
+
+void
+get_system_snapshot(SnapshotReader &r, SystemSnapshot &s)
+{
+    s.l1d_mpki = r.get_f64();
+    s.l1d_miss_rate = r.get_f64();
+    s.llc_mpki = r.get_f64();
+    s.llc_miss_rate = r.get_f64();
+    s.stlb_mpki = r.get_f64();
+    s.stlb_miss_rate = r.get_f64();
+    s.l1i_mpki = r.get_f64();
+    s.ipc = r.get_f64();
+    s.rob_occupancy = r.get_f64();
+    s.inflight_l1d_misses = r.get_u32();
+    s.pgc_accuracy = r.get_f64();
+    s.pgc_accuracy_valid = r.get_bool();
+}
+
+}  // namespace
+
+std::uint64_t
+config_fingerprint(const MachineConfig &cfg, std::size_t cores)
+{
+    std::uint64_t h = kFnv1aOffset;
+    fp(h, cores);
+    fp(h, cfg.core.rob_entries);
+    fp(h, cfg.core.width);
+    fp(h, cfg.core.mispredict_penalty);
+    fp(h, cfg.frontend.fetch_width);
+    fp(h, cfg.frontend.l1i_prefetch_degree);
+    fp(h, cfg.frontend.mispredict_penalty);
+    fp(h, cfg.branch.tables);
+    fp(h, cfg.branch.entries);
+    fp(h, cfg.branch.weight_bits);
+    fp(h, static_cast<std::uint64_t>(cfg.branch.train_threshold));
+    fp_cache(h, cfg.l1i);
+    fp_cache(h, cfg.l1d);
+    fp_cache(h, cfg.l2);
+    fp_cache(h, cfg.llc);
+    fp_tlb(h, cfg.itlb);
+    fp_tlb(h, cfg.dtlb);
+    fp_tlb(h, cfg.stlb);
+    fp(h, cfg.walker.psc_pml5_entries);
+    fp(h, cfg.walker.psc_pml4_entries);
+    fp(h, cfg.walker.psc_pdpte_entries);
+    fp(h, cfg.walker.psc_pde_entries);
+    fp(h, cfg.walker.psc_latency);
+    fp(h, cfg.walker.concurrent_walks);
+    fp(h, cfg.vmem.phys_bytes);
+    fp_f64(h, cfg.vmem.large_page_fraction);
+    fp(h, cfg.vmem.seed);
+    fp(h, cfg.vmem.reserve_pages);
+    fp(h, cfg.dram.channels);
+    fp(h, cfg.dram.banks);
+    fp(h, cfg.dram.rows_bits);
+    fp(h, cfg.dram.column_bits);
+    fp(h, cfg.dram.row_hit_latency);
+    fp(h, cfg.dram.row_miss_latency);
+    fp(h, cfg.dram.burst_cycles);
+    fp(h, static_cast<std::uint64_t>(cfg.l1d_prefetcher));
+    fp(h, static_cast<std::uint64_t>(cfg.l2_prefetcher));
+    // The scheme's filter factory is a closure; the name + policy +
+    // flags identify the configuration it builds (scheme construction
+    // is deterministic per name in policies.cc).
+    fp_str(h, cfg.scheme.name);
+    fp(h, static_cast<std::uint64_t>(cfg.scheme.policy));
+    fp(h, cfg.scheme.iso_storage ? 1 : 0);
+    fp(h, cfg.scheme.filter_at_2mb ? 1 : 0);
+    fp(h, cfg.interval_insts);
+    fp(h, cfg.epoch_insts);
+    fp(h, cfg.audit_interval_insts);
+    return h;
+}
+
+void
+CoreComplex::save_state(SnapshotWriter &w) const
+{
+    w.begin_section("core.mem");
+    l2_->save_state(w);
+    l1i_->save_state(w);
+    l1d_->save_state(w);
+    page_table_->save_state(w);
+    itlb_->save_state(w);
+    dtlb_->save_state(w);
+    stlb_->save_state(w);
+    walker_->save_state(w);
+    w.begin_section("core.cpu");
+    bp_.save_state(w);
+    core_.save_state(w);
+    frontend_.save_state(w);
+    // Prefetchers/filters open their own sections (or none when
+    // stateless); presence is configuration-determined, so save and
+    // restore agree structurally.
+    l1d_pf_->save_state(w);
+    if (l2_pf_ != nullptr) {
+        l2_pf_->save_state(w);
+    }
+    if (filter_ != nullptr) {
+        filter_->save_state(w);
+    }
+    w.begin_section("core.state");
+    w.put_u64(last_load_complete_);
+    w.put_u64(pgc_candidates_);
+    w.put_u64(pgc_dropped_);
+    w.put_u64(epoch_pgc_useful_);
+    w.put_u64(epoch_pgc_useless_);
+    w.put_u64(next_interval_);
+    w.put_u64(next_epoch_);
+    w.put_u64(next_audit_);
+    put_stats(w, window_start_.l1d);
+    put_stats(w, window_start_.llc);
+    put_stats(w, window_start_.stlb);
+    put_stats(w, window_start_.l1i);
+    w.put_u64(window_start_.insts);
+    w.put_u64(window_start_.cycle);
+    w.put_u64(epoch_start_cycle_);
+    w.put_u64(epoch_start_insts_);
+    put_system_snapshot(w, last_snapshot_);
+}
+
+void
+CoreComplex::restore_state(SnapshotReader &r)
+{
+    r.begin_section("core.mem");
+    l2_->restore_state(r);
+    l1i_->restore_state(r);
+    l1d_->restore_state(r);
+    page_table_->restore_state(r);
+    itlb_->restore_state(r);
+    dtlb_->restore_state(r);
+    stlb_->restore_state(r);
+    walker_->restore_state(r);
+    r.begin_section("core.cpu");
+    bp_.restore_state(r);
+    core_.restore_state(r);
+    frontend_.restore_state(r);
+    l1d_pf_->restore_state(r);
+    if (l2_pf_ != nullptr) {
+        l2_pf_->restore_state(r);
+    }
+    if (filter_ != nullptr) {
+        filter_->restore_state(r);
+    }
+    r.begin_section("core.state");
+    last_load_complete_ = r.get_u64();
+    pgc_candidates_ = r.get_u64();
+    pgc_dropped_ = r.get_u64();
+    epoch_pgc_useful_ = r.get_u64();
+    epoch_pgc_useless_ = r.get_u64();
+    next_interval_ = r.get_u64();
+    next_epoch_ = r.get_u64();
+    next_audit_ = r.get_u64();
+    get_stats(r, window_start_.l1d);
+    get_stats(r, window_start_.llc);
+    get_stats(r, window_start_.stlb);
+    get_stats(r, window_start_.l1i);
+    window_start_.insts = r.get_u64();
+    window_start_.cycle = r.get_u64();
+    epoch_start_cycle_ = r.get_u64();
+    epoch_start_insts_ = r.get_u64();
+    get_system_snapshot(r, last_snapshot_);
+    // Fast-forward the fresh workload to the snapshot position:
+    // step() consumes exactly one workload instruction per
+    // retirement, so the retired count IS the replay position.
+    for (InstCount i = 0; i < core_.retired(); ++i) {
+        (void)workload_->next();
+    }
+}
+
+std::string
+Machine::save_snapshot() const
+{
+    SnapshotWriter w(config_fingerprint(cfg_, cores_.size()));
+    w.begin_section("machine");
+    w.put_u64(steps_);
+    for (const RunMetrics &m : measure_start_) {
+        put_metrics(w, m);
+    }
+    for (const RunMetrics &m : at_budget_) {
+        put_metrics(w, m);
+    }
+    w.begin_section("dram");
+    dram_->save_state(w);
+    w.begin_section("llc");
+    llc_->save_state(w);
+    for (const auto &core : cores_) {
+        core->save_state(w);
+    }
+    return w.finish();
+}
+
+void
+Machine::restore_snapshot(const std::string &bytes)
+{
+    SnapshotReader r(bytes);
+    const std::uint64_t want = config_fingerprint(cfg_, cores_.size());
+    if (r.fingerprint() != want) {
+        throw SnapshotError(SnapshotErrorKind::kConfigMismatch,
+                            "snapshot was taken on a different machine "
+                            "configuration");
+    }
+    r.begin_section("machine");
+    steps_ = r.get_u64();
+    for (RunMetrics &m : measure_start_) {
+        get_metrics(r, m);
+    }
+    for (RunMetrics &m : at_budget_) {
+        get_metrics(r, m);
+    }
+    r.begin_section("dram");
+    dram_->restore_state(r);
+    r.begin_section("llc");
+    llc_->restore_state(r);
+    for (const auto &core : cores_) {
+        core->restore_state(r);
+    }
+    r.finish();
 }
 
 }  // namespace moka

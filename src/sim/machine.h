@@ -30,6 +30,8 @@ namespace moka {
 
 struct AuditAccess;
 class AuditReport;
+class SnapshotReader;
+class SnapshotWriter;
 
 /** Full machine configuration (defaults = paper Table IV). */
 struct MachineConfig
@@ -164,6 +166,17 @@ class CoreComplex : public CacheListener
      */
     SIM_COLD void audit(AuditReport &report) const;
 
+    /**
+     * Serialize every architectural structure in this core complex.
+     * The workload itself is not serialized: its replay position is
+     * the retired-instruction count, and restore_state fast-forwards
+     * a freshly built workload to it (CoreComplex::step consumes
+     * exactly one workload instruction per retirement).
+     */
+    SIM_COLD void save_state(SnapshotWriter &w) const;
+    /** Inverse of save_state on a same-config instance. */
+    SIM_COLD void restore_state(SnapshotReader &r);
+
   private:
     friend struct AuditAccess;
     struct Translated
@@ -187,7 +200,9 @@ class CoreComplex : public CacheListener
     SIM_COLD void interval_tick();
     SIM_COLD SystemSnapshot snapshot() const;
 
+    // LINT_SNAPSHOT_OK: config, checked via the snapshot fingerprint
     const MachineConfig &cfg_;
+    // LINT_SNAPSHOT_OK: collaborator, owned by the machine
     Cache *llc_shared_;  //!< shared LLC (observed for snapshots)
 
     // Memory-side structures (construction order matters).
@@ -203,6 +218,7 @@ class CoreComplex : public CacheListener
     BranchPredictor bp_;
     Core core_;
     Frontend frontend_;
+    // LINT_SNAPSHOT_OK: replayed, fast-forwarded to core_.retired()
     WorkloadPtr workload_;
 
     PrefetcherPtr l1d_pf_;
@@ -210,7 +226,9 @@ class CoreComplex : public CacheListener
     FilterPtr filter_;
 
     Cycle last_load_complete_ = 0;  //!< dependent-load serialization
+    // LINT_SNAPSHOT_OK: scratch, cleared before every use
     std::vector<PrefetchRequest> pf_buffer_;
+    // LINT_SNAPSHOT_OK: scratch, cleared before every use
     std::vector<PrefetchRequest> l2_pf_buffer_;
 
     // Page-cross bookkeeping.
@@ -344,6 +362,23 @@ class Machine
     /** Audit the shared levels (LLC, DRAM) and every core. */
     SIM_COLD void audit(AuditReport &report) const;
 
+    /**
+     * Serialize the whole machine (DRAM, LLC, every core complex and
+     * the run bookkeeping) into a snapshot stamped with this
+     * configuration's fingerprint.
+     */
+    SIM_COLD std::string save_snapshot() const;
+
+    /**
+     * Restore a snapshot produced by save_snapshot() on an identical
+     * configuration. The machine must be freshly built (workloads
+     * unconsumed); they are fast-forwarded to the snapshot position.
+     *
+     * @throws SnapshotError kConfigMismatch when the fingerprint
+     *         differs, or the corruption taxonomy of SnapshotReader.
+     */
+    SIM_COLD void restore_snapshot(const std::string &bytes);
+
   private:
     MachineConfig cfg_;
     std::unique_ptr<Dram> dram_;
@@ -359,6 +394,15 @@ class Machine
 
 /** Table IV machine configuration for @p cores cores. */
 MachineConfig default_config(unsigned cores = 1);
+
+/**
+ * Order-sensitive FNV/mix hash over every field of @p cfg (and the
+ * core count). Two configurations with equal fingerprints build
+ * machines whose snapshots are interchangeable; the scheme's filter
+ * factory is covered by the scheme name, policy and flags.
+ */
+std::uint64_t config_fingerprint(const MachineConfig &cfg,
+                                 std::size_t cores);
 
 }  // namespace moka
 

@@ -15,6 +15,7 @@
 #include "common/thread_annotations.h"
 #include "filter/policies.h"
 #include "sim/machine.h"
+#include "sim/runner.h"
 #include "trace/suites.h"
 
 namespace moka {
@@ -25,7 +26,8 @@ class TelemetrySession;
 struct MulticoreConfig
 {
     unsigned cores = 8;
-    InstCount warmup_insts = 100'000;
+    //! shared with RunConfig so the two entry points cannot drift
+    InstCount warmup_insts = kDefaultWarmupInsts;
     InstCount measure_insts = 400'000;
 };
 

@@ -7,15 +7,25 @@
 #ifndef MOKASIM_SIM_RUNNER_H
 #define MOKASIM_SIM_RUNNER_H
 
+#include <functional>
+
 #include "sim/machine.h"
 #include "trace/suites.h"
 
 namespace moka {
 
+/**
+ * Default warmup budget shared by the single-core RunConfig and the
+ * multicore harness (sim/multicore.h) so the two entry points cannot
+ * silently drift apart. Snapshot warmup-reuse keys include the warmup
+ * budget, so a change here also invalidates cached snapshots.
+ */
+inline constexpr InstCount kDefaultWarmupInsts = 200'000;
+
 /** Instruction budgets for one run. */
 struct RunConfig
 {
-    InstCount warmup_insts = 200'000;
+    InstCount warmup_insts = kDefaultWarmupInsts;
     InstCount measure_insts = 800'000;
 
     /** Scale both budgets by @p factor (for --full sweeps). */
@@ -59,6 +69,37 @@ RunMetrics run_single_workload(const MachineConfig &cfg,
                                TelemetrySession *telemetry = nullptr,
                                const std::string &label = "",
                                std::uint32_t trace_pid = 0);
+
+class SnapshotCache;
+
+/** Builds a fresh, position-zero copy of one run's workload. */
+using WorkloadFactory = std::function<WorkloadPtr()>;
+
+/**
+ * Snapshot-reusing variant of run_single_workload: the warmup phase
+ * is resolved through @p cache under @p warmup_key (callers fold the
+ * workload identity in; the machine config fingerprint and warmup
+ * budget are folded in here). On a cache hit the run restores the
+ * warmed architectural state (traced as a "snapshot:restore" span)
+ * instead of re-simulating the warmup; on a miss it warms up once,
+ * publishes the snapshot, and still goes through restore so hit and
+ * miss runs follow the identical code path — the measured region is
+ * byte-identical to a straight-through run either way.
+ *
+ * A snapshot the cache produced but the machine rejects (corrupt or
+ * config-mismatched bytes) is counted under the "snapshot.invalid"
+ * telemetry counter and the run falls back to a cold warmup — never
+ * a crash, never a silent partial restore.
+ *
+ * @p make is invoked once per machine built (warmup producer and
+ * measuring machine), so it must yield identical replay streams.
+ */
+RunMetrics run_single_workload_snapshot(
+    const MachineConfig &cfg, const WorkloadFactory &make,
+    const RunConfig &run, RunTickHook *hook, SnapshotCache &cache,
+    std::uint64_t warmup_key, std::string *audit_findings = nullptr,
+    TelemetrySession *telemetry = nullptr, const std::string &label = "",
+    std::uint32_t trace_pid = 0);
 
 /**
  * Convenience: default Table IV machine with @p prefetcher and

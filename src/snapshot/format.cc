@@ -1,0 +1,315 @@
+#include "snapshot/format.h"
+
+#include <cstring>
+
+#include "common/check.h"
+#include "common/hashing.h"
+
+namespace moka {
+namespace {
+
+/** Little-endian append of the low @p n bytes of @p v. */
+void
+append_le(std::string &out, std::uint64_t v, unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+}
+
+/** Little-endian read of @p n bytes at @p data. */
+std::uint64_t
+read_le(const char *data, unsigned n)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(data[i]))
+             << (8 * i);
+    }
+    return v;
+}
+
+}  // namespace
+
+const char *
+to_string(SnapshotErrorKind kind)
+{
+    switch (kind) {
+      case SnapshotErrorKind::kBadMagic: return "bad_magic";
+      case SnapshotErrorKind::kBadVersion: return "bad_version";
+      case SnapshotErrorKind::kTruncated: return "truncated";
+      case SnapshotErrorKind::kChecksum: return "checksum";
+      case SnapshotErrorKind::kConfigMismatch: return "config_mismatch";
+      case SnapshotErrorKind::kMalformed: return "malformed";
+    }
+    return "unknown";
+}
+
+SnapshotError::SnapshotError(SnapshotErrorKind kind,
+                             const std::string &message)
+    : std::runtime_error(std::string("snapshot: ") + to_string(kind) +
+                         ": " + message),
+      kind_(kind)
+{
+}
+
+SnapshotWriter::SnapshotWriter(std::uint64_t fingerprint)
+    : fingerprint_(fingerprint)
+{
+}
+
+void
+SnapshotWriter::begin_section(const std::string &name)
+{
+    SIM_REQUIRE(!name.empty(), "snapshot sections need a name");
+    sections_.push_back(Section{name, {}});
+    open_ = true;
+}
+
+void
+SnapshotWriter::raw(const void *data, std::size_t n)
+{
+    SIM_REQUIRE(open_, "snapshot write outside a section");
+    sections_.back().payload.append(static_cast<const char *>(data), n);
+}
+
+void
+SnapshotWriter::put_u8(std::uint8_t v)
+{
+    raw(&v, 1);
+}
+
+void
+SnapshotWriter::put_u16(std::uint16_t v)
+{
+    SIM_REQUIRE(open_, "snapshot write outside a section");
+    append_le(sections_.back().payload, v, 2);
+}
+
+void
+SnapshotWriter::put_u32(std::uint32_t v)
+{
+    SIM_REQUIRE(open_, "snapshot write outside a section");
+    append_le(sections_.back().payload, v, 4);
+}
+
+void
+SnapshotWriter::put_u64(std::uint64_t v)
+{
+    SIM_REQUIRE(open_, "snapshot write outside a section");
+    append_le(sections_.back().payload, v, 8);
+}
+
+void
+SnapshotWriter::put_i64(std::int64_t v)
+{
+    put_u64(static_cast<std::uint64_t>(v));
+}
+
+void
+SnapshotWriter::put_bool(bool v)
+{
+    put_u8(v ? 1 : 0);
+}
+
+void
+SnapshotWriter::put_f64(double v)
+{
+    // Bit-exact: the round trip must reproduce the value even for
+    // NaN payloads and signed zeros.
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_u64(bits);
+}
+
+std::string
+SnapshotWriter::finish()
+{
+    std::string out(kSnapshotMagic, sizeof(kSnapshotMagic));
+    append_le(out, kSnapshotVersion, 4);
+    append_le(out, fingerprint_, 8);
+    append_le(out, sections_.size(), 4);
+    for (const Section &s : sections_) {
+        append_le(out, s.name.size(), 4);
+        out += s.name;
+        append_le(out, s.payload.size(), 8);
+        append_le(out, fnv1a_64(s.payload.data(), s.payload.size()), 8);
+        out += s.payload;
+    }
+    open_ = false;
+    return out;
+}
+
+SnapshotReader::SnapshotReader(std::string bytes)
+    : bytes_(std::move(bytes))
+{
+    std::size_t at = 0;
+    const auto take = [&](unsigned n) {
+        if (bytes_.size() - at < n) {
+            throw SnapshotError(SnapshotErrorKind::kTruncated,
+                                "header ends early");
+        }
+        const std::uint64_t v = read_le(bytes_.data() + at, n);
+        at += n;
+        return v;
+    };
+    if (bytes_.size() < sizeof(kSnapshotMagic) ||
+        std::memcmp(bytes_.data(), kSnapshotMagic,
+                    sizeof(kSnapshotMagic)) != 0) {
+        throw SnapshotError(SnapshotErrorKind::kBadMagic,
+                            "missing MOKASNAP magic");
+    }
+    at = sizeof(kSnapshotMagic);
+    const std::uint64_t version = take(4);
+    if (version != kSnapshotVersion) {
+        throw SnapshotError(SnapshotErrorKind::kBadVersion,
+                            "format version " + std::to_string(version) +
+                                " (want " +
+                                std::to_string(kSnapshotVersion) + ")");
+    }
+    fingerprint_ = take(8);
+    const std::uint64_t count = take(4);
+    sections_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Section s;
+        const std::uint64_t name_len = take(4);
+        if (bytes_.size() - at < name_len) {
+            throw SnapshotError(SnapshotErrorKind::kTruncated,
+                                "section name ends early");
+        }
+        s.name.assign(bytes_.data() + at, name_len);
+        at += name_len;
+        s.size = take(8);
+        const std::uint64_t sum = take(8);
+        if (bytes_.size() - at < s.size) {
+            throw SnapshotError(SnapshotErrorKind::kTruncated,
+                                "section '" + s.name + "' ends early");
+        }
+        s.begin = at;
+        at += s.size;
+        if (fnv1a_64(bytes_.data() + s.begin, s.size) != sum) {
+            throw SnapshotError(SnapshotErrorKind::kChecksum,
+                                "section '" + s.name +
+                                    "' fails its FNV-1a sum");
+        }
+        sections_.push_back(std::move(s));
+    }
+    if (at != bytes_.size()) {
+        throw SnapshotError(SnapshotErrorKind::kMalformed,
+                            "trailing bytes after the last section");
+    }
+}
+
+void
+SnapshotReader::begin_section(const std::string &name)
+{
+    if (section_ > 0) {
+        const Section &prev = sections_[section_ - 1];
+        if (cursor_ != prev.size) {
+            throw SnapshotError(SnapshotErrorKind::kMalformed,
+                                "section '" + prev.name +
+                                    "' left partially consumed");
+        }
+    }
+    if (section_ >= sections_.size() ||
+        sections_[section_].name != name) {
+        throw SnapshotError(
+            SnapshotErrorKind::kMalformed,
+            "expected section '" + name + "', found '" +
+                (section_ < sections_.size() ? sections_[section_].name
+                                             : std::string("<end>")) +
+                "'");
+    }
+    ++section_;
+    cursor_ = 0;
+}
+
+void
+SnapshotReader::need(std::size_t n) const
+{
+    if (section_ == 0) {
+        throw SnapshotError(SnapshotErrorKind::kMalformed,
+                            "read outside any section");
+    }
+    if (sections_[section_ - 1].size - cursor_ < n) {
+        throw SnapshotError(SnapshotErrorKind::kMalformed,
+                            "section '" + sections_[section_ - 1].name +
+                                "' over-consumed");
+    }
+}
+
+std::uint8_t
+SnapshotReader::get_u8()
+{
+    need(1);
+    const Section &s = sections_[section_ - 1];
+    return static_cast<std::uint8_t>(
+        static_cast<unsigned char>(bytes_[s.begin + cursor_++]));
+}
+
+std::uint16_t
+SnapshotReader::get_u16()
+{
+    need(2);
+    const Section &s = sections_[section_ - 1];
+    const std::uint64_t v = read_le(bytes_.data() + s.begin + cursor_, 2);
+    cursor_ += 2;
+    return static_cast<std::uint16_t>(v);
+}
+
+std::uint32_t
+SnapshotReader::get_u32()
+{
+    need(4);
+    const Section &s = sections_[section_ - 1];
+    const std::uint64_t v = read_le(bytes_.data() + s.begin + cursor_, 4);
+    cursor_ += 4;
+    return static_cast<std::uint32_t>(v);
+}
+
+std::uint64_t
+SnapshotReader::get_u64()
+{
+    need(8);
+    const Section &s = sections_[section_ - 1];
+    const std::uint64_t v = read_le(bytes_.data() + s.begin + cursor_, 8);
+    cursor_ += 8;
+    return v;
+}
+
+std::int64_t
+SnapshotReader::get_i64()
+{
+    return static_cast<std::int64_t>(get_u64());
+}
+
+bool
+SnapshotReader::get_bool()
+{
+    return get_u8() != 0;
+}
+
+double
+SnapshotReader::get_f64()
+{
+    const std::uint64_t bits = get_u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+void
+SnapshotReader::finish() const
+{
+    if (section_ != sections_.size()) {
+        throw SnapshotError(SnapshotErrorKind::kMalformed,
+                            "unconsumed sections remain");
+    }
+    if (section_ > 0 && cursor_ != sections_[section_ - 1].size) {
+        throw SnapshotError(SnapshotErrorKind::kMalformed,
+                            "last section left partially consumed");
+    }
+}
+
+}  // namespace moka

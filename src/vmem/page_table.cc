@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/hashing.h"
+#include "snapshot/snapshot.h"
 
 namespace moka {
 namespace {
@@ -127,6 +128,35 @@ PageTable::walk_addresses(Addr vaddr, std::array<Addr, 5> &out)
     const Addr pt = table_frame(0, vaddr >> (kPageBits + 9));
     out[4] = pt + radix_index(vaddr, 0) * 8;
     return 5;
+}
+
+
+void
+PageTable::save_state(SnapshotWriter &w) const
+{
+    SnapshotAccess::save(w, rng_);
+    w.put_u64(root_);
+    for (const FlatAddrMap &m : tables_) {
+        SnapshotAccess::save(w, m);
+    }
+    SnapshotAccess::save(w, page_map_);
+    SnapshotAccess::save(w, large_page_map_);
+    SnapshotAccess::save(w, used_frames_);
+    SnapshotAccess::save(w, used_large_frames_);
+}
+
+void
+PageTable::restore_state(SnapshotReader &r)
+{
+    SnapshotAccess::restore(r, rng_);
+    root_ = r.get_u64();
+    for (FlatAddrMap &m : tables_) {
+        SnapshotAccess::restore(r, m);
+    }
+    SnapshotAccess::restore(r, page_map_);
+    SnapshotAccess::restore(r, large_page_map_);
+    SnapshotAccess::restore(r, used_frames_);
+    SnapshotAccess::restore(r, used_large_frames_);
 }
 
 }  // namespace moka

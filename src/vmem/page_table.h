@@ -19,6 +19,8 @@
 namespace moka {
 
 struct AuditAccess;
+class SnapshotReader;
+class SnapshotWriter;
 
 /** Virtual-memory configuration for one address space. */
 struct VmemConfig
@@ -74,6 +76,11 @@ class PageTable
     /** True if the 2MB region containing @p vaddr uses a large page. */
     bool is_large_region(Addr vaddr) const;
 
+    /** Serialize mappings, table frames, frame sets and the RNG. */
+    void save_state(SnapshotWriter &w) const;
+    /** Inverse of save_state on a same-config instance. */
+    void restore_state(SnapshotReader &r);
+
   private:
     friend struct AuditAccess;
 
@@ -81,7 +88,7 @@ class PageTable
     Addr alloc_large_frame();  //!< unique random 2MB-aligned frame
     Addr table_frame(unsigned level, Addr prefix);
 
-    VmemConfig cfg_;
+    VmemConfig cfg_;  // LINT_SNAPSHOT_OK: config
     Rng rng_;
     Addr root_;  //!< physical base of the PML5 table
     //! table frames keyed by (level, VA prefix)

@@ -2,6 +2,7 @@
 
 #include "common/bitops.h"
 #include "common/check.h"
+#include "snapshot/snapshot.h"
 
 namespace moka {
 
@@ -90,6 +91,45 @@ Tlb::fill(Addr vaddr, Addr page_base, bool large, bool from_prefetch)
         install(small_, cfg_.sets, cfg_.ways, page_number(vaddr),
                 page_base);
     }
+}
+
+
+void
+Tlb::save_state(SnapshotWriter &w) const
+{
+    const auto put_arr = [&w](const std::vector<Entry> &arr) {
+        for (const Entry &e : arr) {
+            w.put_u64(e.vpn);
+            w.put_u64(e.page_base);
+            w.put_bool(e.valid);
+            w.put_u64(e.lru);
+        }
+    };
+    put_arr(small_);
+    put_arr(large_);
+    w.put_u64(lru_stamp_);
+    put_stats(w, demand_);
+    put_stats(w, probe_);
+    w.put_u64(prefetch_fills_);
+}
+
+void
+Tlb::restore_state(SnapshotReader &r)
+{
+    const auto get_arr = [&r](std::vector<Entry> &arr) {
+        for (Entry &e : arr) {
+            e.vpn = r.get_u64();
+            e.page_base = r.get_u64();
+            e.valid = r.get_bool();
+            e.lru = r.get_u64();
+        }
+    };
+    get_arr(small_);
+    get_arr(large_);
+    lru_stamp_ = r.get_u64();
+    get_stats(r, demand_);
+    get_stats(r, probe_);
+    prefetch_fills_ = r.get_u64();
 }
 
 }  // namespace moka

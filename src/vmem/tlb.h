@@ -19,6 +19,8 @@
 namespace moka {
 
 struct AuditAccess;
+class SnapshotReader;
+class SnapshotWriter;
 
 /** Geometry/timing of a TLB level. */
 struct TlbConfig
@@ -76,6 +78,11 @@ class Tlb
     /** Config echo. */
     const TlbConfig &config() const { return cfg_; }
 
+    /** Serialize both entry arrays, the LRU clock and counters. */
+    void save_state(SnapshotWriter &w) const;
+    /** Inverse of save_state on a same-config instance. */
+    void restore_state(SnapshotReader &r);
+
   private:
     friend struct AuditAccess;
 
@@ -92,7 +99,7 @@ class Tlb
     void install(std::vector<Entry> &arr, std::uint32_t sets,
                  std::uint32_t ways, Addr vpn, Addr page_base);
 
-    TlbConfig cfg_;
+    TlbConfig cfg_;  // LINT_SNAPSHOT_OK: config
     std::vector<Entry> small_;
     std::vector<Entry> large_;
     std::uint64_t lru_stamp_ = 0;

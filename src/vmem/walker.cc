@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "snapshot/snapshot.h"
+
 namespace moka {
 
 bool
@@ -108,6 +110,66 @@ PageWalker::walk(Addr vaddr, Cycle now, bool speculative)
 
     *slot = t;
     return r;
+}
+
+
+void
+StructureCache::save_state(SnapshotWriter &w) const
+{
+    w.put_u64(data_.size());
+    for (const Entry &e : data_) {
+        w.put_u64(e.prefix);
+        w.put_u64(e.lru);
+    }
+    w.put_u64(lru_stamp_);
+    w.put_u64(hits_);
+    w.put_u64(lookups_);
+}
+
+void
+StructureCache::restore_state(SnapshotReader &r)
+{
+    const std::uint64_t n = r.get_u64();
+    if (n > entries_) {
+        throw SnapshotError(SnapshotErrorKind::kMalformed,
+                            "PSC occupancy above its capacity");
+    }
+    data_.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Entry e;
+        e.prefix = r.get_u64();
+        e.lru = r.get_u64();
+        data_.push_back(e);
+    }
+    lru_stamp_ = r.get_u64();
+    hits_ = r.get_u64();
+    lookups_ = r.get_u64();
+}
+
+void
+PageWalker::save_state(SnapshotWriter &w) const
+{
+    psc_pml5_.save_state(w);
+    psc_pml4_.save_state(w);
+    psc_pdpte_.save_state(w);
+    psc_pde_.save_state(w);
+    put_vec(w, walker_free_);
+    w.put_u64(demand_walks_);
+    w.put_u64(spec_walks_);
+    w.put_u64(total_mem_refs_);
+}
+
+void
+PageWalker::restore_state(SnapshotReader &r)
+{
+    psc_pml5_.restore_state(r);
+    psc_pml4_.restore_state(r);
+    psc_pdpte_.restore_state(r);
+    psc_pde_.restore_state(r);
+    get_vec(r, walker_free_);
+    demand_walks_ = r.get_u64();
+    spec_walks_ = r.get_u64();
+    total_mem_refs_ = r.get_u64();
 }
 
 }  // namespace moka

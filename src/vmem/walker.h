@@ -20,6 +20,8 @@
 namespace moka {
 
 struct AuditAccess;
+class SnapshotReader;
+class SnapshotWriter;
 
 /** Walker + PSC configuration (Table IV: split PSC, 1-cycle). */
 struct WalkerConfig
@@ -53,6 +55,11 @@ class StructureCache
     std::uint64_t hits() const { return hits_; }
     std::uint64_t lookups() const { return lookups_; }
 
+    /** Serialize cached prefixes, the LRU clock and counters. */
+    void save_state(SnapshotWriter &w) const;
+    /** Inverse of save_state on a same-config instance. */
+    void restore_state(SnapshotReader &r);
+
   private:
     friend struct AuditAccess;
 
@@ -62,7 +69,7 @@ class StructureCache
         std::uint64_t lru = 0;
     };
 
-    unsigned entries_;
+    unsigned entries_;  // LINT_SNAPSHOT_OK: config
     std::vector<Entry> data_;
     std::uint64_t lru_stamp_ = 0;
     std::uint64_t hits_ = 0;
@@ -105,12 +112,17 @@ class PageWalker
     /** Total PTE memory references issued. */
     std::uint64_t total_mem_refs() const { return total_mem_refs_; }
 
+    /** Serialize PSCs, walker-slot availability and counters. */
+    void save_state(SnapshotWriter &w) const;
+    /** Inverse of save_state on a same-config instance. */
+    void restore_state(SnapshotReader &r);
+
   private:
     friend struct AuditAccess;
 
-    WalkerConfig cfg_;
-    PageTable *table_;
-    MemoryLevel *memory_;
+    WalkerConfig cfg_;     // LINT_SNAPSHOT_OK: config
+    PageTable *table_;     // LINT_SNAPSHOT_OK: collaborator, owned by core
+    MemoryLevel *memory_;  // LINT_SNAPSHOT_OK: collaborator, owned by core
     StructureCache psc_pml5_;
     StructureCache psc_pml4_;
     StructureCache psc_pdpte_;

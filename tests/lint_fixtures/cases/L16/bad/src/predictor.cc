@@ -1,0 +1,9 @@
+#include "predictor.h"
+
+void
+OutOfLineTable::save_state(SnapshotWriter &w) const
+{
+    for (std::uint64_t row : rows_) {
+        InlinePredictor::put(w, row);  // lru_ forgotten
+    }
+}

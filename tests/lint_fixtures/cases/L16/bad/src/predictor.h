@@ -1,0 +1,34 @@
+#pragma once
+#include <cstdint>
+#include <vector>
+
+class SnapshotWriter;
+class SnapshotReader;
+
+/** Seeded violations: `misses_` is missing from the inline
+ *  save_state, and OutOfLineTable's `lru_` is missing from its
+ *  out-of-line definition (predictor.cc). */
+class InlinePredictor
+{
+  public:
+    void save_state(SnapshotWriter &w) const
+    {
+        put(w, hits_);
+    }
+
+  private:
+    static void put(SnapshotWriter &w, std::uint64_t v);
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+class OutOfLineTable
+{
+  public:
+    void save_state(SnapshotWriter &w) const;
+
+  private:
+    std::vector<std::uint64_t> rows_;
+    std::uint64_t lru_ = 0;
+};

@@ -1,0 +1,10 @@
+#include "predictor.h"
+
+void
+OutOfLineTable::save_state(SnapshotWriter &w) const
+{
+    for (std::uint64_t row : rows_) {
+        InlinePredictor::put(w, row);
+    }
+    InlinePredictor::put(w, lru_);
+}

@@ -1,0 +1,743 @@
+/** @file Snapshot subsystem: format, per-component round-trips,
+ *  whole-machine byte-identity, cache, and corruption handling. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cache/cache.h"
+#include "core/branch_pred.h"
+#include "dram/dram.h"
+#include "filter/adaptive_threshold.h"
+#include "filter/features.h"
+#include "filter/moka.h"
+#include "filter/perceptron.h"
+#include "filter/policies.h"
+#include "filter/system_features.h"
+#include "filter/update_buffer.h"
+#include "prefetch/berti.h"
+#include "prefetch/bop.h"
+#include "prefetch/ipcp.h"
+#include "prefetch/spp.h"
+#include "prefetch/stride.h"
+#include "prefetch/throttle.h"
+#include "sim/jobs/job.h"
+#include "sim/multicore.h"
+#include "sim/runner.h"
+#include "snapshot/cache.h"
+#include "snapshot/format.h"
+#include "snapshot/snapshot.h"
+#include "trace/suites.h"
+#include "vmem/page_table.h"
+#include "vmem/tlb.h"
+#include "vmem/walker.h"
+
+namespace moka {
+namespace {
+
+std::string
+temp_dir(const char *tag)
+{
+    const std::string dir =
+        std::string(::testing::TempDir()) + "moka_snap_" + tag;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+// ---------------------------------------------------------------- format
+
+TEST(SnapshotFormat, RoundTripPrimitives)
+{
+    SnapshotWriter w(0x1234);
+    w.begin_section("prims");
+    w.put_u8(0xAB);
+    w.put_u16(0xBEEF);
+    w.put_u32(0xDEADBEEFu);
+    w.put_u64(0x0123456789ABCDEFull);
+    w.put_i64(-42);
+    w.put_bool(true);
+    w.put_f64(-0.0);  // signed zero must survive bit-exactly
+    w.put_f64(1.0 / 3.0);
+    w.begin_section("vec");
+    std::vector<std::uint64_t> vals = {1, 2, 3, 5, 8};
+    put_vec(w, vals);
+    const std::string bytes = w.finish();
+
+    SnapshotReader r(bytes);
+    EXPECT_EQ(r.fingerprint(), 0x1234u);
+    r.begin_section("prims");
+    EXPECT_EQ(r.get_u8(), 0xAB);
+    EXPECT_EQ(r.get_u16(), 0xBEEF);
+    EXPECT_EQ(r.get_u32(), 0xDEADBEEFu);
+    EXPECT_EQ(r.get_u64(), 0x0123456789ABCDEFull);
+    EXPECT_EQ(r.get_i64(), -42);
+    EXPECT_TRUE(r.get_bool());
+    EXPECT_TRUE(std::signbit(r.get_f64()));
+    EXPECT_DOUBLE_EQ(r.get_f64(), 1.0 / 3.0);
+    r.begin_section("vec");
+    std::vector<std::uint64_t> back(vals.size());
+    get_vec(r, back);
+    EXPECT_EQ(back, vals);
+    r.finish();
+}
+
+std::string
+tiny_snapshot()
+{
+    SnapshotWriter w(7);
+    w.begin_section("s");
+    w.put_u64(99);
+    return w.finish();
+}
+
+SnapshotErrorKind
+reject_kind(const std::string &bytes)
+{
+    try {
+        SnapshotReader r(bytes);
+    } catch (const SnapshotError &e) {
+        return e.kind();
+    }
+    ADD_FAILURE() << "corrupt snapshot was accepted";
+    return SnapshotErrorKind::kMalformed;
+}
+
+TEST(SnapshotFormat, RejectsBadMagic)
+{
+    std::string bytes = tiny_snapshot();
+    bytes[0] ^= 0xFF;
+    EXPECT_EQ(reject_kind(bytes), SnapshotErrorKind::kBadMagic);
+}
+
+TEST(SnapshotFormat, RejectsWrongVersion)
+{
+    std::string bytes = tiny_snapshot();
+    bytes[8] = static_cast<char>(bytes[8] + 1);  // version u32 LSB
+    EXPECT_EQ(reject_kind(bytes), SnapshotErrorKind::kBadVersion);
+}
+
+TEST(SnapshotFormat, RejectsTruncation)
+{
+    const std::string bytes = tiny_snapshot();
+    // Every proper prefix must be rejected, never mis-parsed.
+    for (std::size_t n = 0; n < bytes.size(); ++n) {
+        const SnapshotErrorKind kind = reject_kind(bytes.substr(0, n));
+        EXPECT_TRUE(kind == SnapshotErrorKind::kTruncated ||
+                    kind == SnapshotErrorKind::kBadMagic)
+            << "prefix of " << n << " bytes";
+    }
+}
+
+TEST(SnapshotFormat, RejectsFlippedPayloadBit)
+{
+    std::string bytes = tiny_snapshot();
+    bytes[bytes.size() - 1] ^= 0x01;  // last payload byte
+    EXPECT_EQ(reject_kind(bytes), SnapshotErrorKind::kChecksum);
+}
+
+TEST(SnapshotFormat, SectionNameMismatchIsMalformed)
+{
+    SnapshotReader r(tiny_snapshot());
+    try {
+        r.begin_section("wrong");
+        ADD_FAILURE() << "mismatched section name accepted";
+    } catch (const SnapshotError &e) {
+        EXPECT_EQ(e.kind(), SnapshotErrorKind::kMalformed);
+    }
+}
+
+TEST(SnapshotFormat, OverconsumeIsMalformed)
+{
+    SnapshotReader r(tiny_snapshot());
+    r.begin_section("s");
+    (void)r.get_u64();
+    try {
+        (void)r.get_u64();
+        ADD_FAILURE() << "read past the section end";
+    } catch (const SnapshotError &e) {
+        EXPECT_EQ(e.kind(), SnapshotErrorKind::kMalformed);
+    }
+}
+
+// ------------------------------------------------- component round-trips
+
+/** One section's worth of @p obj's serialized state. */
+template <typename T>
+std::string
+section_of(const T &obj)
+{
+    SnapshotWriter w(0);
+    w.begin_section("t");
+    obj.save_state(w);
+    return w.finish();
+}
+
+/** Restore @p obj from section_of-style @p bytes. */
+template <typename T>
+void
+restore_section(T &obj, const std::string &bytes)
+{
+    SnapshotReader r(bytes);
+    r.begin_section("t");
+    obj.restore_state(r);
+    r.finish();
+}
+
+/**
+ * The round-trip law every component must satisfy: state saved from
+ * a driven instance, restored into a fresh same-config instance, and
+ * saved again must be byte-identical.
+ */
+template <typename T>
+void
+expect_round_trip(const T &driven, T &fresh)
+{
+    const std::string bytes = section_of(driven);
+    restore_section(fresh, bytes);
+    EXPECT_EQ(section_of(fresh), bytes);
+}
+
+TEST(SnapshotComponents, Rng)
+{
+    Rng driven(1);
+    for (int i = 0; i < 100; ++i) {
+        (void)driven.below(1000);
+    }
+    Rng fresh(2);
+    SnapshotWriter w(0);
+    w.begin_section("t");
+    SnapshotAccess::save(w, driven);
+    const std::string bytes = w.finish();
+    SnapshotReader r(bytes);
+    r.begin_section("t");
+    SnapshotAccess::restore(r, fresh);
+    r.finish();
+    // The restored stream must continue exactly where driven left off.
+    for (int i = 0; i < 32; ++i) {
+        EXPECT_EQ(fresh.next(), driven.next());
+    }
+}
+
+TEST(SnapshotComponents, Dram)
+{
+    DramConfig cfg;
+    Dram driven(cfg);
+    for (Addr a = 0; a < 64 * kBlockSize; a += kBlockSize) {
+        (void)driven.access(a * 37, AccessType::kLoad, a);
+    }
+    Dram fresh(cfg);
+    expect_round_trip(driven, fresh);
+    // Behavioral check: next access sees the same open-row state.
+    const AccessResult a = driven.access(0x5000, AccessType::kStore, 9999);
+    const AccessResult b = fresh.access(0x5000, AccessType::kStore, 9999);
+    EXPECT_EQ(a.done, b.done);
+    EXPECT_EQ(a.hit, b.hit);
+}
+
+TEST(SnapshotComponents, CacheOverDram)
+{
+    DramConfig dcfg;
+    CacheConfig ccfg;
+    ccfg.name = "l1d";
+    ccfg.sets = 16;
+    ccfg.ways = 4;
+    Dram dram_a(dcfg), dram_b(dcfg);
+    Cache driven(ccfg, &dram_a);
+    for (Addr a = 0; a < 256; ++a) {
+        (void)driven.access(a * kBlockSize * 3, AccessType::kLoad, a);
+    }
+    Cache fresh(ccfg, &dram_b);
+    expect_round_trip(driven, fresh);
+}
+
+TEST(SnapshotComponents, Tlb)
+{
+    TlbConfig cfg;
+    Tlb driven(cfg);
+    for (Addr page = 0; page < 128; ++page) {
+        const Addr vaddr = page << 12;
+        (void)driven.lookup(vaddr, page, /*demand=*/true);
+        driven.fill(vaddr, vaddr | 0x1000000, /*large=*/false,
+                    /*from_prefetch=*/(page % 3) == 0);
+    }
+    Tlb fresh(cfg);
+    expect_round_trip(driven, fresh);
+}
+
+TEST(SnapshotComponents, PageTableAndWalker)
+{
+    VmemConfig vcfg;
+    WalkerConfig wcfg;
+    DramConfig dcfg;
+    Dram dram_a(dcfg), dram_b(dcfg);
+    PageTable pt_driven(vcfg);
+    PageWalker driven(wcfg, &pt_driven, &dram_a);
+    for (Addr page = 0; page < 64; ++page) {
+        (void)driven.walk(page << 12, page, /*speculative=*/page % 2);
+    }
+    PageTable pt_fresh(vcfg);
+    PageWalker fresh(wcfg, &pt_fresh, &dram_b);
+    // Walker depends on its table: restore both, compare both.
+    expect_round_trip(pt_driven, pt_fresh);
+    expect_round_trip(driven, fresh);
+}
+
+TEST(SnapshotComponents, BranchPredictor)
+{
+    BranchPredConfig cfg;
+    BranchPredictor driven(cfg);
+    for (Addr pc = 0; pc < 500; ++pc) {
+        const bool taken = (pc % 7) < 3;
+        (void)driven.predict(pc * 4);
+        driven.update(pc * 4, taken);
+    }
+    BranchPredictor fresh(cfg);
+    expect_round_trip(driven, fresh);
+    for (Addr pc = 0; pc < 64; ++pc) {
+        EXPECT_EQ(fresh.predict(pc * 4), driven.predict(pc * 4));
+    }
+}
+
+/** Drive @p pf across page-crossing strides so tables populate. */
+void
+drive_prefetcher(Prefetcher &pf)
+{
+    std::vector<PrefetchRequest> out;
+    for (std::uint64_t i = 0; i < 2000; ++i) {
+        PrefetchContext ctx;
+        ctx.pc = 0x400000 + (i % 7) * 4;
+        ctx.vaddr = (i * 3) * kBlockSize;
+        ctx.hit = (i % 4) != 0;
+        ctx.now = i * 10;
+        pf.on_access(ctx, out);
+        if (i % 5 == 0) {
+            pf.on_fill(ctx.vaddr + kBlockSize, ctx.now + 50,
+                       /*was_prefetch=*/i % 10 == 0);
+        }
+        out.clear();
+    }
+}
+
+template <typename P, typename Cfg>
+void
+expect_prefetcher_round_trip()
+{
+    Cfg cfg;
+    P driven(cfg);
+    drive_prefetcher(driven);
+    P fresh(cfg);
+    SnapshotWriter w(0);
+    driven.save_state(w);  // prefetchers open their own section
+    const std::string bytes = w.finish();
+    SnapshotReader r(bytes);
+    fresh.restore_state(r);
+    r.finish();
+    SnapshotWriter w2(0);
+    fresh.save_state(w2);
+    EXPECT_EQ(w2.finish(), bytes);
+}
+
+TEST(SnapshotComponents, Berti)
+{
+    expect_prefetcher_round_trip<Berti, BertiConfig>();
+}
+
+TEST(SnapshotComponents, Ipcp)
+{
+    expect_prefetcher_round_trip<Ipcp, IpcpConfig>();
+}
+
+TEST(SnapshotComponents, Bop)
+{
+    expect_prefetcher_round_trip<Bop, BopConfig>();
+}
+
+TEST(SnapshotComponents, Stride)
+{
+    expect_prefetcher_round_trip<StridePrefetcher,
+                                 StridePrefetcherConfig>();
+}
+
+TEST(SnapshotComponents, Spp)
+{
+    expect_prefetcher_round_trip<Spp, SppConfig>();
+}
+
+TEST(SnapshotComponents, Throttle)
+{
+    ThrottleConfig cfg;
+    ThrottledPrefetcher driven(std::make_unique<Bop>(BopConfig{}), cfg);
+    drive_prefetcher(driven);
+    ThrottledPrefetcher fresh(std::make_unique<Bop>(BopConfig{}), cfg);
+    SnapshotWriter w(0);
+    driven.save_state(w);
+    const std::string bytes = w.finish();
+    SnapshotReader r(bytes);
+    fresh.restore_state(r);
+    r.finish();
+    SnapshotWriter w2(0);
+    fresh.save_state(w2);
+    EXPECT_EQ(w2.finish(), bytes);
+}
+
+TEST(SnapshotComponents, UpdateBuffer)
+{
+    UpdateBuffer driven(32);
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        DecisionRecord rec;
+        rec.block = i * kBlockSize;
+        rec.num_features = 3;
+        rec.indexes[0] = static_cast<std::uint32_t>(i);
+        driven.insert(rec);
+        if (i % 3 == 0) {
+            DecisionRecord out;
+            (void)driven.take((i / 2) * kBlockSize, out);
+        }
+    }
+    UpdateBuffer fresh(32);
+    expect_round_trip(driven, fresh);
+    // Same lookup must succeed/fail identically after restore.
+    DecisionRecord a, b;
+    EXPECT_EQ(driven.take(99 * kBlockSize, a),
+              fresh.take(99 * kBlockSize, b));
+}
+
+TEST(SnapshotComponents, WeightTable)
+{
+    WeightTable driven(256, 5);
+    for (std::uint64_t v = 0; v < 600; ++v) {
+        const std::uint32_t idx = driven.index_of(v * 2654435761u);
+        if (v % 3 == 0) {
+            driven.decrement(idx);
+        } else {
+            driven.increment(idx);
+        }
+    }
+    WeightTable fresh(256, 5);
+    expect_round_trip(driven, fresh);
+    EXPECT_EQ(fresh.weight_at(driven.index_of(12345)),
+              driven.weight_at(driven.index_of(12345)));
+}
+
+TEST(SnapshotComponents, AdaptiveThreshold)
+{
+    ThresholdConfig cfg;
+    AdaptiveThreshold driven(cfg);
+    for (int e = 0; e < 20; ++e) {
+        EpochInfo info;
+        info.pgc_accuracy = (e % 5) * 0.2;
+        info.accuracy_valid = e > 2;
+        info.ipc = 1.0 + 0.01 * e;
+        driven.on_epoch(info);
+    }
+    AdaptiveThreshold fresh(cfg);
+    // AdaptiveThreshold opens its own section.
+    SnapshotWriter w(0);
+    driven.save_state(w);
+    const std::string bytes = w.finish();
+    SnapshotReader r(bytes);
+    fresh.restore_state(r);
+    r.finish();
+    SnapshotWriter w2(0);
+    fresh.save_state(w2);
+    EXPECT_EQ(w2.finish(), bytes);
+    EXPECT_EQ(fresh.threshold(), driven.threshold());
+}
+
+TEST(SnapshotComponents, MokaFilter)
+{
+    const MokaConfig cfg = dripper_config(L1dPrefetcherKind::kBerti);
+    MokaFilter driven(cfg);
+    SystemSnapshot snap;
+    snap.l1d_mpki = 12.0;
+    snap.stlb_mpki = 2.0;
+    for (std::uint64_t i = 0; i < 500; ++i) {
+        const Addr pc = 0x400100 + (i % 11) * 4;
+        const Addr vaddr = i * 4096 + (i % 64) * 64;
+        driven.on_demand_access(pc, vaddr);
+        const bool ok = driven.permit(pc, vaddr, 5, vaddr + 5 * 64, snap);
+        if (ok) {
+            driven.on_pgc_issued(vaddr + 5 * 64, vaddr + 5 * 64);
+        }
+        if (i % 7 == 0) {
+            driven.on_l1d_demand_miss(vaddr + 5 * 64);
+        }
+    }
+    MokaFilter fresh(cfg);
+    SnapshotWriter w(0);
+    driven.save_state(w);  // opens filter.* sections itself
+    const std::string bytes = w.finish();
+    SnapshotReader r(bytes);
+    fresh.restore_state(r);
+    r.finish();
+    SnapshotWriter w2(0);
+    fresh.save_state(w2);
+    EXPECT_EQ(w2.finish(), bytes);
+}
+
+// ------------------------------------------------- whole-machine tests
+
+WorkloadSpec
+pick(Family family)
+{
+    for (const WorkloadSpec &s : seen_workloads()) {
+        if (s.family == family) {
+            return s;
+        }
+    }
+    ADD_FAILURE() << "family missing from roster";
+    return seen_workloads().front();
+}
+
+MachineConfig
+snap_config()
+{
+    return make_config(L1dPrefetcherKind::kBerti,
+                       scheme_dripper(L1dPrefetcherKind::kBerti));
+}
+
+Machine
+build_machine(const MachineConfig &cfg, const WorkloadSpec &spec)
+{
+    std::vector<WorkloadPtr> w;
+    w.push_back(make_workload(spec));
+    return Machine(cfg, std::move(w));
+}
+
+TEST(SnapshotMachine, SaveRestoreSaveIsByteIdentical)
+{
+    const MachineConfig cfg = snap_config();
+    const WorkloadSpec spec = pick(Family::kCsr);
+    Machine warmed = build_machine(cfg, spec);
+    warmed.run(20'000);
+    const std::string s1 = warmed.save_snapshot();
+
+    Machine restored = build_machine(cfg, spec);
+    restored.restore_snapshot(s1);
+    EXPECT_EQ(restored.save_snapshot(), s1);
+}
+
+TEST(SnapshotMachine, RestoredMeasureMatchesStraightThrough)
+{
+    const MachineConfig cfg = snap_config();
+    const WorkloadSpec spec = pick(Family::kCsr);
+
+    // Straight through: warmup + measure on one machine.
+    Machine straight = build_machine(cfg, spec);
+    straight.run(20'000);
+    const std::string snap = straight.save_snapshot();
+    straight.start_measurement();
+    straight.run(60'000);
+
+    // Restored: fresh machine, restore the warmup state, measure.
+    Machine resumed = build_machine(cfg, spec);
+    resumed.restore_snapshot(snap);
+    resumed.start_measurement();
+    resumed.run(60'000);
+
+    // Strongest possible equality: the full architectural state after
+    // the measured region is byte-identical, not just the metrics.
+    EXPECT_EQ(resumed.save_snapshot(), straight.save_snapshot());
+    const RunMetrics a = straight.measured(0);
+    const RunMetrics b = resumed.measured(0);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.l1d.misses, b.l1d.misses);
+    EXPECT_EQ(a.llc.misses, b.llc.misses);
+    EXPECT_EQ(a.pgc_issued, b.pgc_issued);
+    EXPECT_EQ(a.pgc_dropped, b.pgc_dropped);
+    EXPECT_EQ(a.spec_walks, b.spec_walks);
+    EXPECT_EQ(a.branch_mispredicts, b.branch_mispredicts);
+}
+
+TEST(SnapshotMachine, ConfigMismatchRejected)
+{
+    const WorkloadSpec spec = pick(Family::kStream);
+    Machine warmed = build_machine(snap_config(), spec);
+    warmed.run(5'000);
+    const std::string snap = warmed.save_snapshot();
+
+    const MachineConfig other =
+        make_config(L1dPrefetcherKind::kBerti, scheme_discard());
+    Machine fresh = build_machine(other, spec);
+    try {
+        fresh.restore_snapshot(snap);
+        ADD_FAILURE() << "restored under a different machine config";
+    } catch (const SnapshotError &e) {
+        EXPECT_EQ(e.kind(), SnapshotErrorKind::kConfigMismatch);
+    }
+}
+
+// ------------------------------------------------------- snapshot cache
+
+TEST(SnapshotCacheTest, MissProducesThenDiskHit)
+{
+    const std::string dir = temp_dir("cache");
+    int produced = 0;
+    const auto produce = [&produced]() {
+        ++produced;
+        return tiny_snapshot();
+    };
+    {
+        SnapshotCache cache(dir);
+        SnapshotCache::FetchOutcome out;
+        const SnapshotBlob blob = cache.fetch(1, produce, &out);
+        ASSERT_NE(blob, nullptr);
+        EXPECT_FALSE(out.hit);
+        EXPECT_TRUE(out.saved);
+        EXPECT_EQ(produced, 1);
+        EXPECT_TRUE(std::filesystem::exists(cache.path_for(1)));
+        EXPECT_EQ(cache.stats().misses, 1u);
+        EXPECT_EQ(cache.stats().saves, 1u);
+    }
+    {
+        // New cache instance: must hit from disk, not memory.
+        SnapshotCache cache(dir);
+        SnapshotCache::FetchOutcome out;
+        const SnapshotBlob blob = cache.fetch(1, produce, &out);
+        ASSERT_NE(blob, nullptr);
+        EXPECT_TRUE(out.hit);
+        EXPECT_EQ(produced, 1);  // not produced again
+        EXPECT_EQ(cache.stats().hits, 1u);
+        EXPECT_EQ(*blob, tiny_snapshot());
+    }
+}
+
+TEST(SnapshotCacheTest, InProcessMemoization)
+{
+    const std::string dir = temp_dir("memo");
+    SnapshotCache cache(dir);
+    int produced = 0;
+    for (int i = 0; i < 3; ++i) {
+        (void)cache.fetch(5, [&produced]() {
+            ++produced;
+            return tiny_snapshot();
+        });
+    }
+    EXPECT_EQ(produced, 1);
+    EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(SnapshotCacheTest, CorruptFileFallsBackToProduce)
+{
+    const std::string dir = temp_dir("corrupt");
+    SnapshotCache cache(dir);
+    {
+        std::ofstream os(cache.path_for(9), std::ios::binary);
+        os << "definitely not a snapshot";
+    }
+    int produced = 0;
+    const SnapshotBlob blob = cache.fetch(9, [&produced]() {
+        ++produced;
+        return tiny_snapshot();
+    });
+    ASSERT_NE(blob, nullptr);
+    EXPECT_EQ(produced, 1);
+    EXPECT_EQ(cache.stats().invalid, 1u);
+    // The corrupt file was dropped and replaced by the valid publish.
+    std::ifstream is(cache.path_for(9), std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+    EXPECT_EQ(bytes, tiny_snapshot());
+}
+
+TEST(SnapshotCacheTest, ProducerFailurePropagates)
+{
+    const std::string dir = temp_dir("fail");
+    SnapshotCache cache(dir);
+    EXPECT_THROW(
+        (void)cache.fetch(3,
+                          []() -> std::string {
+                              throw JobError(JobErrorCode::kTimeout,
+                                             "warmup hung");
+                          }),
+        JobError);
+    // A later fetch may retry: the inflight entry was not poisoned.
+    const SnapshotBlob blob = cache.fetch(3, []() { return tiny_snapshot(); });
+    ASSERT_NE(blob, nullptr);
+}
+
+// ----------------------------------------------- runner + job taxonomy
+
+TEST(SnapshotRunner, WarmRunMatchesColdRunExactly)
+{
+    const MachineConfig cfg = snap_config();
+    const WorkloadSpec spec = pick(Family::kGather);
+    RunConfig run;
+    run.warmup_insts = 15'000;
+    run.measure_insts = 40'000;
+
+    const RunMetrics cold =
+        run_single_workload(cfg, make_workload(spec), run, nullptr);
+
+    const std::string dir = temp_dir("runner");
+    SnapshotCache cache(dir);
+    const WorkloadFactory factory = [&spec]() {
+        return make_workload(spec);
+    };
+    // First call misses (produces + publishes), second hits from disk;
+    // both must reproduce the cold metrics exactly.
+    const RunMetrics missed = run_single_workload_snapshot(
+        cfg, factory, run, nullptr, cache, /*warmup_key=*/77);
+    const RunMetrics hit = run_single_workload_snapshot(
+        cfg, factory, run, nullptr, cache, /*warmup_key=*/77);
+    EXPECT_GE(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    for (const RunMetrics &warm : {missed, hit}) {
+        EXPECT_EQ(warm.instructions, cold.instructions);
+        EXPECT_EQ(warm.cycles, cold.cycles);
+        EXPECT_EQ(warm.l1d.misses, cold.l1d.misses);
+        EXPECT_EQ(warm.llc.misses, cold.llc.misses);
+        EXPECT_EQ(warm.pgc_issued, cold.pgc_issued);
+        EXPECT_EQ(warm.branch_mispredicts, cold.branch_mispredicts);
+    }
+}
+
+TEST(SnapshotRunner, DifferentSchemesGetDifferentWarmupKeys)
+{
+    // Same workload + warmup under two schemes must not share a
+    // snapshot: the second run must miss, not hit.
+    const WorkloadSpec spec = pick(Family::kStream);
+    RunConfig run;
+    run.warmup_insts = 5'000;
+    run.measure_insts = 10'000;
+    const std::string dir = temp_dir("keys");
+    SnapshotCache cache(dir);
+    const WorkloadFactory factory = [&spec]() {
+        return make_workload(spec);
+    };
+    (void)run_single_workload_snapshot(snap_config(), factory, run,
+                                       nullptr, cache, 77);
+    const MachineConfig other =
+        make_config(L1dPrefetcherKind::kBerti, scheme_discard());
+    (void)run_single_workload_snapshot(other, factory, run, nullptr,
+                                       cache, 77);
+    EXPECT_EQ(cache.stats().misses, 2u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(SnapshotJobError, NameRoundTrip)
+{
+    EXPECT_STREQ(to_string(JobErrorCode::kSnapshotInvalid),
+                 "snapshot_invalid");
+    EXPECT_EQ(job_error_code_from("snapshot_invalid"),
+              JobErrorCode::kSnapshotInvalid);
+    EXPECT_FALSE(is_transient(JobErrorCode::kSnapshotInvalid));
+}
+
+TEST(SnapshotDefaults, WarmupBudgetUnified)
+{
+    // Satellite of the snapshot work: the single-core and multicore
+    // entry points used to carry silently different warmup defaults.
+    EXPECT_EQ(RunConfig{}.warmup_insts, kDefaultWarmupInsts);
+    EXPECT_EQ(MulticoreConfig{}.warmup_insts, kDefaultWarmupInsts);
+    EXPECT_EQ(kDefaultWarmupInsts, 200'000u);
+}
+
+}  // namespace
+}  // namespace moka

@@ -148,3 +148,105 @@ if [ "$status" -ne 0 ]; then
          "permit throughput" >&2
     exit 1
 fi
+
+# ---------------------------------------------------------------------------
+# Warmup-snapshot reuse benchmark (BENCH_snapshot.json)
+#
+# Wall-clock a warmup-heavy single-trace sweep (1 workload x 4 schemes)
+# cold, then again against a pre-populated --snapshot-dir where every
+# warmup is restored instead of re-simulated.  The committed numbers
+# are informational; the CI gate is the machine-portable cold/warm
+# RATIO: with the warmup budget dominating each point, reuse must pay
+# at least MIN_SNAPSHOT_SPEEDUP_X, or restore has become as expensive
+# as the warmup it replaces (serialization creep, a cache that stopped
+# hitting, or a fallback to cold warmups).
+# ---------------------------------------------------------------------------
+SNAPSHOT_OUT=${SNAPSHOT_OUT:-BENCH_snapshot.json}
+MIN_SNAPSHOT_SPEEDUP_X=${MIN_SNAPSHOT_SPEEDUP_X:-1.5}
+SWEEP=${SWEEP:-$(dirname "$CLI")/sweep_tool}
+
+if [ ! -x "$SWEEP" ]; then
+    echo "perf-smoke: sweep_tool not found at $SWEEP" >&2
+    exit 1
+fi
+
+SNAP_SCHEMES=discard,permit,ppf,dripper
+SNAP_WARMUP=800000
+SNAP_INSTS=200000
+
+run_sweep_once() { # args: extra sweep flags...
+    local begin end
+    begin=$(date +%s%N)
+    "$SWEEP" --workloads 1 --schemes "$SNAP_SCHEMES" \
+        --warmup "$SNAP_WARMUP" --insts "$SNAP_INSTS" "$@" \
+        > /dev/null 2>> "$WORK/snap.err" || return 1
+    end=$(date +%s%N)
+    echo $((end - begin))
+}
+
+best_of_sweep() { # args: label, extra sweep flags...
+    local label=$1
+    shift
+    local best=0 t r
+    for r in $(seq "$REPS"); do
+        t=$(run_sweep_once "$@") || {
+            echo "perf-smoke: $label sweep run $r failed:" >&2
+            cat "$WORK/snap.err" >&2
+            return 1
+        }
+        if [ "$best" -eq 0 ] || [ "$t" -lt "$best" ]; then
+            best=$t
+        fi
+    done
+    echo "$best"
+}
+
+echo "== snapshot bench: 1 workload x {$SNAP_SCHEMES}," \
+     "$SNAP_WARMUP warmup + $SNAP_INSTS measured, best of $REPS =="
+
+cold_ns=$(best_of_sweep "snapshot-cold") || exit 1
+
+# Prime the cache once (untimed), then every timed warm run restores.
+SNAPDIR="$WORK/snaps"
+run_sweep_once --snapshot-dir "$SNAPDIR" > /dev/null || {
+    echo "perf-smoke: snapshot priming sweep failed:" >&2
+    cat "$WORK/snap.err" >&2
+    exit 1
+}
+warm_ns=$(best_of_sweep "snapshot-warm" --snapshot-dir "$SNAPDIR") || exit 1
+
+# A warm run that misses the cache benchmarks the wrong thing.
+: > "$WORK/snap.err"
+run_sweep_once --snapshot-dir "$SNAPDIR" > /dev/null || exit 1
+if ! grep -q 'snapshot cache: [1-9][0-9]* hits, 0 misses' "$WORK/snap.err"
+then
+    echo "perf-smoke: warm sweep was not fully served by the cache:" >&2
+    grep '^snapshot cache:' "$WORK/snap.err" >&2
+    exit 1
+fi
+
+awk -v cold_ns="$cold_ns" -v warm_ns="$warm_ns" \
+    -v min_x="$MIN_SNAPSHOT_SPEEDUP_X" -v out="$SNAPSHOT_OUT" \
+    -v schemes="$SNAP_SCHEMES" -v warmup="$SNAP_WARMUP" \
+    -v insts="$SNAP_INSTS" 'BEGIN {
+    speedup = (warm_ns > 0) ? cold_ns / warm_ns : 0;
+    printf "cold: %.1f ms, warm: %.1f ms, speedup: %.2fx (gate >= %.1fx)\n", \
+        cold_ns / 1e6, warm_ns / 1e6, speedup, min_x;
+    printf "{\n" > out;
+    printf "  \"schemes\": \"%s\",\n", schemes > out;
+    printf "  \"warmup_insts\": %d,\n", warmup > out;
+    printf "  \"measure_insts\": %d,\n", insts > out;
+    printf "  \"wall_ms\": {\"cold\": %.1f, \"warm\": %.1f},\n", \
+        cold_ns / 1e6, warm_ns / 1e6 > out;
+    printf "  \"speedup_x\": %.2f,\n", speedup > out;
+    printf "  \"min_speedup_x\": %.1f\n", min_x > out;
+    printf "}\n" > out;
+    exit speedup < min_x ? 1 : 0;
+}'
+status=$?
+echo "wrote $SNAPSHOT_OUT"
+if [ "$status" -ne 0 ]; then
+    echo "perf-smoke: warmup-snapshot reuse pays less than" \
+         "${MIN_SNAPSHOT_SPEEDUP_X}x on a warmup-heavy sweep" >&2
+    exit 1
+fi

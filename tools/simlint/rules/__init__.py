@@ -15,4 +15,5 @@ from tools.simlint.rules import (  # noqa: F401
     l13_hot_byvalue,
     l14_hot_io,
     l15_io_checked,
+    l16_snapshot_complete,
 )

@@ -16,6 +16,7 @@
  *              [--shard-dir DIR] [--shard-name NAME] [--lease-ttl MS]
  *              [--merge] [--inject-kill RATE]
  *              [--telemetry-dir DIR] [--trace-events FILE]
+ *              [--snapshot-dir DIR] [--no-snapshot-reuse]
  *
  * Example:
  *   sweep_tool --workloads 32 --schemes discard,permit,dripper \
@@ -29,6 +30,12 @@
  * dead shards are recovered by the survivors (sim/jobs/shard.h).
  * Afterwards, `sweep_tool <same flags> --shard-dir D --merge` emits
  * the CSV a single-process run would have produced, byte-identical.
+ *
+ * Warmup reuse: with --snapshot-dir, every job that warms up the same
+ * (workload, machine config, warmup budget) key shares one warmup via
+ * a snapshot cache in that directory; results stay byte-identical to
+ * a cold sweep (see snapshot/cache.h). --no-snapshot-reuse forces
+ * cold warmups even when a directory is given.
  */
 #include <algorithm>
 #include <cstdio>
@@ -114,6 +121,10 @@ main(int argc, char **argv)
             args.telemetry_dir = next();
         } else if (a == "--trace-events") {
             args.trace_events = next();
+        } else if (a == "--snapshot-dir") {
+            args.snapshot_dir = next();
+        } else if (a == "--no-snapshot-reuse") {
+            args.no_snapshot_reuse = true;
         } else {
             std::fprintf(stderr, "usage: unknown flag %s\n", a.c_str());
             return 2;
