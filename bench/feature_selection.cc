@@ -116,7 +116,7 @@ main(int argc, char **argv)
                 ranked[0].name.c_str(), (best - 1.0) * 100.0);
 
     for (std::size_t i = 1; i < ranked.size(); ++i) {
-        if (cfg.program_features.size() >= DecisionRecord::kMaxFeatures ||
+        if (cfg.program_features.size() >= VirtDecisionRecord::kMaxFeatures ||
             ranked[i].geo <= 1.0) {
             continue;
         }

@@ -27,7 +27,8 @@ BM_FilterPredict(benchmark::State &state)
     Addr va = 0x10000000;
     for (auto _ : state) {
         benchmark::DoNotOptimize(
-            f->permit(0x400123, va, 5, va + 5 * 64, snap));
+            f->permit(0x400123, VirtAddr{va}, 5, VirtAddr{va + 5 * 64},
+                      snap));
         va += 64;
     }
     state.SetItemsProcessed(state.iterations());
@@ -41,11 +42,12 @@ BM_FilterTrainCycle(benchmark::State &state)
     SystemSnapshot snap;
     Addr va = 0x10000000;
     for (auto _ : state) {
-        if (f->permit(0x400123, va, 5, va + 5 * 64, snap)) {
-            f->on_pgc_issued(va + 5 * 64, va + 5 * 64);
-            f->on_pgc_eviction(va + 5 * 64, (va & 128) != 0);
+        const VirtAddr target{va + 5 * 64};
+        if (f->permit(0x400123, VirtAddr{va}, 5, target, snap)) {
+            f->on_pgc_issued(target, PhysAddr{va + 5 * 64});
+            f->on_pgc_eviction(PhysAddr{va + 5 * 64}, (va & 128) != 0);
         } else {
-            f->on_l1d_demand_miss(va + 5 * 64);
+            f->on_l1d_demand_miss(target);
         }
         va += 64;
     }
@@ -66,7 +68,7 @@ BM_CacheAccess(benchmark::State &state)
     Cycle now = 0;
     for (auto _ : state) {
         benchmark::DoNotOptimize(
-            cache.access(a, AccessType::kLoad, now));
+            cache.access(PhysAddr{a}, AccessType::kLoad, now));
         a = (a + 64) % (1 << 20);
         now += 2;
     }
@@ -82,11 +84,12 @@ BM_TlbLookup(benchmark::State &state)
     cfg.ways = 4;
     Tlb tlb(cfg);
     for (Addr p = 0; p < 64; ++p) {
-        tlb.fill(p << kPageBits, p << kPageBits, false, false);
+        tlb.fill(VirtAddr{p << kPageBits}, PhysAddr{p << kPageBits},
+                 false, false);
     }
     Addr va = 0;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(tlb.lookup(va, 0, true));
+        benchmark::DoNotOptimize(tlb.lookup(VirtAddr{va}, 0, true));
         va = (va + kPageSize) % (128 << kPageBits);
     }
     state.SetItemsProcessed(state.iterations());
@@ -109,7 +112,7 @@ BM_PageWalk(benchmark::State &state)
     Addr va = 0x10000000;
     Cycle now = 0;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(walker.walk(va, now, false));
+        benchmark::DoNotOptimize(walker.walk(VirtAddr{va}, now, false));
         va += kPageSize;
         now += 50;
     }

@@ -236,14 +236,24 @@ struct AuditAccess
     // Update buffers
     // ----------------------------------------------------------------
 
-    static std::size_t ub_fifo_size(const UpdateBuffer &b) { return b.count_; }
-    static std::uint64_t ub_stale(const UpdateBuffer &b) { return b.stale_; }
+    template <class AddrT>
+    static std::size_t ub_fifo_size(const UpdateBuffer<AddrT> &b)
+    {
+        return b.count_;
+    }
+
+    template <class AddrT>
+    static std::uint64_t ub_stale(const UpdateBuffer<AddrT> &b)
+    {
+        return b.stale_;
+    }
 
     /** Occupied FIFO ring slots (live and stale) as (key, seq). */
-    static std::vector<std::pair<Addr, std::uint64_t>>
-    ub_fifo(const UpdateBuffer &b)
+    template <class AddrT>
+    static std::vector<std::pair<AddrT, std::uint64_t>>
+    ub_fifo(const UpdateBuffer<AddrT> &b)
     {
-        std::vector<std::pair<Addr, std::uint64_t>> out;
+        std::vector<std::pair<AddrT, std::uint64_t>> out;
         out.reserve(b.count_);
         for (std::size_t i = 0, pos = b.head_; i < b.count_;
              ++i, pos = b.next(pos)) {
@@ -253,10 +263,11 @@ struct AuditAccess
     }
 
     /** Live records with their slot sequence numbers. */
-    static std::vector<std::pair<DecisionRecord, std::uint64_t>>
-    ub_records(const UpdateBuffer &b)
+    template <class AddrT>
+    static std::vector<std::pair<DecisionRecordT<AddrT>, std::uint64_t>>
+    ub_records(const UpdateBuffer<AddrT> &b)
     {
-        std::vector<std::pair<DecisionRecord, std::uint64_t>> out;
+        std::vector<std::pair<DecisionRecordT<AddrT>, std::uint64_t>> out;
         out.reserve(b.live_);
         // Ring order is insertion order, so seq is already ascending;
         // the sort stays as a belt against future layout changes.
@@ -274,14 +285,15 @@ struct AuditAccess
     }
 
     /** Corruption: append a phantom FIFO slot nothing indexed. */
+    template <class AddrT>
     static void
-    corrupt_ub_phantom_fifo_slot(UpdateBuffer &b, Addr key)
+    corrupt_ub_phantom_fifo_slot(UpdateBuffer<AddrT> &b, AddrT key)
     {
         if (b.count_ == b.ring_.size()) {
             b.compact();
         }
         const std::size_t tail = (b.head_ + b.count_) % b.ring_.size();
-        b.ring_[tail].rec = DecisionRecord{};
+        b.ring_[tail].rec = DecisionRecordT<AddrT>{};
         b.ring_[tail].rec.block = key;
         b.ring_[tail].seq = ~std::uint64_t{0};
         b.ring_[tail].live = false;
@@ -291,14 +303,15 @@ struct AuditAccess
     }
 
     /** Corruption: blow the feature count of one live record. */
+    template <class AddrT>
     static bool
-    corrupt_ub_feature_count(UpdateBuffer &b)
+    corrupt_ub_feature_count(UpdateBuffer<AddrT> &b)
     {
         for (std::size_t i = 0, pos = b.head_; i < b.count_;
              ++i, pos = b.next(pos)) {
             if (b.ring_[pos].live) {
                 b.ring_[pos].rec.num_features = static_cast<std::uint8_t>(
-                    DecisionRecord::kMaxFeatures + 1);
+                    DecisionRecordT<AddrT>::kMaxFeatures + 1);
                 return true;
             }
         }
@@ -347,10 +360,10 @@ struct AuditAccess
         return sf.weight_;
     }
 
-    static const UpdateBuffer &filter_vub(const MokaFilter &f) { return f.vub_; }
-    static const UpdateBuffer &filter_pub(const MokaFilter &f) { return f.pub_; }
-    static UpdateBuffer &filter_pub_mut(MokaFilter &f) { return f.pub_; }
-    static UpdateBuffer &filter_vub_mut(MokaFilter &f) { return f.vub_; }
+    static const VirtUpdateBuffer &filter_vub(const MokaFilter &f) { return f.vub_; }
+    static const PhysUpdateBuffer &filter_pub(const MokaFilter &f) { return f.pub_; }
+    static PhysUpdateBuffer &filter_pub_mut(MokaFilter &f) { return f.pub_; }
+    static VirtUpdateBuffer &filter_vub_mut(MokaFilter &f) { return f.vub_; }
 
     static const AdaptiveThreshold &
     filter_thresholds(const MokaFilter &f)
@@ -365,7 +378,7 @@ struct AuditAccess
     }
 
     static bool filter_pending_valid(const MokaFilter &f) { return f.pending_valid_; }
-    static const DecisionRecord &filter_pending(const MokaFilter &f)
+    static const VirtDecisionRecord &filter_pending(const MokaFilter &f)
     {
         return f.pending_;
     }

@@ -231,8 +231,8 @@ audit_tlb_array(const Tlb &tlb, const PageTable &table, bool large,
                                   " ahead of the TLB clock " +
                                   std::to_string(stamp));
         }
-        const Addr vaddr = large ? (e.vpn << kLargePageBits)
-                                 : (e.vpn << kPageBits);
+        const VirtAddr vaddr{large ? (e.vpn << kLargePageBits)
+                                   : (e.vpn << kPageBits)};
         if (table.is_large_region(vaddr) != large) {
             report.fail(name, "VPN " + std::to_string(e.vpn) +
                                   (large ? " cached as a 2MB entry in a "
@@ -397,9 +397,10 @@ audit_walker(const PageWalker &walker, AuditReport &report)
 // Update buffers / perceptron / thresholds
 // ---------------------------------------------------------------------------
 
+template <class AddrT>
 void
-audit_update_buffer(const UpdateBuffer &buffer, const std::string &name,
-                    AuditReport &report)
+audit_update_buffer(const UpdateBuffer<AddrT> &buffer,
+                    const std::string &name, AuditReport &report)
 {
     if (buffer.size() > buffer.capacity()) {
         report.fail(name, "occupancy " + std::to_string(buffer.size()) +
@@ -423,19 +424,27 @@ audit_update_buffer(const UpdateBuffer &buffer, const std::string &name,
     for (const auto &[rec, seq] : AuditAccess::ub_records(buffer)) {
         (void)seq;
         if (rec.block != block_addr(rec.block)) {
-            report.fail(name, "record key " + std::to_string(rec.block) +
+            report.fail(name, "record key " +
+                                  std::to_string(rec.block.raw()) +
                                   " is not block-aligned");
         }
-        if (rec.num_features > DecisionRecord::kMaxFeatures) {
+        if (rec.num_features > DecisionRecordT<AddrT>::kMaxFeatures) {
             report.fail(name, "record claims " +
                                   std::to_string(rec.num_features) +
                                   " features (max " +
                                   std::to_string(
-                                      DecisionRecord::kMaxFeatures) +
+                                      DecisionRecordT<AddrT>::kMaxFeatures) +
                                   ")");
         }
     }
 }
+
+template void audit_update_buffer<VirtAddr>(const VirtUpdateBuffer &,
+                                            const std::string &,
+                                            AuditReport &);
+template void audit_update_buffer<PhysAddr>(const PhysUpdateBuffer &,
+                                            const std::string &,
+                                            AuditReport &);
 
 void
 audit_weight_table(const WeightTable &table, const std::string &name,
@@ -534,10 +543,10 @@ audit_filter(const PageCrossFilter &filter, AuditReport &report)
     audit_threshold(AuditAccess::filter_thresholds(*moka), report);
 
     if (AuditAccess::filter_pending_valid(*moka)) {
-        const DecisionRecord &p = AuditAccess::filter_pending(*moka);
+        const VirtDecisionRecord &p = AuditAccess::filter_pending(*moka);
         if (p.block != block_addr(p.block)) {
             report.fail(name, "pending record key " +
-                                  std::to_string(p.block) +
+                                  std::to_string(p.block.raw()) +
                                   " is not block-aligned");
         }
         if (p.num_features != tables.size()) {
@@ -559,17 +568,20 @@ audit_pcb_pub(const Cache &l1d, const PageCrossFilter &filter,
         return;
     }
     const CacheConfig &cfg = l1d.config();
-    const UpdateBuffer &pub = AuditAccess::filter_pub(*moka);
+    const PhysUpdateBuffer &pub = AuditAccess::filter_pub(*moka);
     const std::string name = moka->config().name + ".pUB<->" + cfg.name;
 
     // Direction 1: every pUB record must describe a resident L1D block
     // that is a still-unused page-cross prefetch. The record is
     // inserted when the prefetch fills and removed on first use and on
-    // eviction, so anything else is bookkeeping drift.
+    // eviction, so anything else is bookkeeping drift. Because the L1D
+    // is physically tagged, matching a record against resident tags is
+    // also the runtime cross-check that pUB keys live in the physical
+    // address space (their virtual counterparts would be orphans).
     std::unordered_set<Addr> record_tags;
     for (const auto &[rec, seq] : AuditAccess::ub_records(pub)) {
         (void)seq;
-        const Addr tag = rec.block >> kBlockBits;
+        const Addr tag = block_number(rec.block);
         record_tags.insert(tag);
         const std::uint32_t set =
             static_cast<std::uint32_t>(tag & (cfg.sets - 1));
@@ -582,7 +594,7 @@ audit_pcb_pub(const Cache &l1d, const PageCrossFilter &filter,
                 if (!b.pgc || !b.prefetched || b.used) {
                     report.fail(name,
                                 "pUB record for block " +
-                                    std::to_string(rec.block) +
+                                    std::to_string(rec.block.raw()) +
                                     " names a block that is not an "
                                     "unused page-cross prefetch");
                 }
@@ -590,7 +602,7 @@ audit_pcb_pub(const Cache &l1d, const PageCrossFilter &filter,
         }
         if (!matched) {
             report.fail(name, "orphan pUB record for block " +
-                                  std::to_string(rec.block) +
+                                  std::to_string(rec.block.raw()) +
                                   " with no resident L1D block");
         }
     }

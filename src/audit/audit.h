@@ -30,7 +30,7 @@ class PageTable;
 class PageWalker;
 class StructureCache;
 class Tlb;
-class UpdateBuffer;
+template <class AddrT> class UpdateBuffer;
 class WeightTable;
 
 /** One invariant violation found by an auditor. */
@@ -100,7 +100,8 @@ void audit_walker(const PageWalker &walker, AuditReport &report);
  * bookkeeping in sync, records block-aligned with legal feature
  * counts. @p name labels findings (e.g. "moka.pUB").
  */
-void audit_update_buffer(const UpdateBuffer &buffer,
+template <class AddrT>
+void audit_update_buffer(const UpdateBuffer<AddrT> &buffer,
                          const std::string &name, AuditReport &report);
 
 /** Weight-table invariants: every weight within its n-bit rails. */

@@ -23,14 +23,14 @@ Cache::Cache(const CacheConfig &config, MemoryLevel *lower)
 }
 
 std::uint32_t
-Cache::set_index(Addr paddr) const
+Cache::set_index(PhysAddr paddr) const
 {
     return static_cast<std::uint32_t>(block_number(paddr) &
                                       (cfg_.sets - 1));
 }
 
 Cache::Block *
-Cache::find(Addr paddr, std::uint32_t &way)
+Cache::find(PhysAddr paddr, std::uint32_t &way)
 {
     const Addr tag = block_number(paddr);
     Block *row = &blocks_[static_cast<std::size_t>(set_index(paddr)) *
@@ -45,14 +45,14 @@ Cache::find(Addr paddr, std::uint32_t &way)
 }
 
 const Cache::Block *
-Cache::find(Addr paddr) const
+Cache::find(PhysAddr paddr) const
 {
     std::uint32_t way;
     return const_cast<Cache *>(this)->find(paddr, way);
 }
 
 bool
-Cache::probe(Addr paddr) const
+Cache::probe(PhysAddr paddr) const
 {
     return find(paddr) != nullptr;
 }
@@ -77,7 +77,9 @@ Cache::mark_used(Block &b)
         if (b.pgc) {
             ++stats_.pf.pgc_useful;
             if (listener_ != nullptr) {
-                listener_->on_pgc_first_use(b.tag << kBlockBits);
+                // Tags store raw block numbers; reconstruct the typed
+                // physical address on the way out.
+                listener_->on_pgc_first_use(PhysAddr{b.tag << kBlockBits});
             }
         }
     }
@@ -106,14 +108,14 @@ Cache::pick_victim(std::uint32_t set, Cycle now)
         }
     }
     if (listener_ != nullptr) {
-        listener_->on_eviction(victim->tag << kBlockBits,
+        listener_->on_eviction(PhysAddr{victim->tag << kBlockBits},
                                victim->prefetched, victim->pgc,
                                victim->used);
     }
     if (victim->dirty) {
         ++stats_.writebacks;
         if (lower_ != nullptr) {
-            lower_->access(victim->tag << kBlockBits,
+            lower_->access(PhysAddr{victim->tag << kBlockBits},
                            AccessType::kWriteback, now);
         }
     }
@@ -122,7 +124,7 @@ Cache::pick_victim(std::uint32_t set, Cycle now)
 }
 
 AccessResult
-Cache::access(Addr paddr, AccessType type, Cycle now, bool pgc_prefetch)
+Cache::access(PhysAddr paddr, AccessType type, Cycle now, bool pgc_prefetch)
 {
     // Port contention: one request per cycle enters the pipeline.
     const Cycle start = std::max(now, next_port_free_);

@@ -50,7 +50,7 @@ class CacheListener
     virtual ~CacheListener() = default;
 
     /** A block with PCB set served its first demand access. */
-    virtual void on_pgc_first_use(Addr block_paddr) = 0;
+    virtual void on_pgc_first_use(PhysAddr block_paddr) = 0;
 
     /**
      * A valid block was evicted.
@@ -60,8 +60,8 @@ class CacheListener
      * @param pgc         block's PCB was set
      * @param used        block served at least one demand access
      */
-    virtual void on_eviction(Addr block_paddr, bool prefetched, bool pgc,
-                             bool used) = 0;
+    virtual void on_eviction(PhysAddr block_paddr, bool prefetched,
+                             bool pgc, bool used) = 0;
 };
 
 /** Aggregate statistics of one cache level. */
@@ -98,14 +98,14 @@ class Cache final : public MemoryLevel
      */
     Cache(const CacheConfig &config, MemoryLevel *lower);
 
-    SIM_HOT AccessResult access(Addr paddr, AccessType type, Cycle now,
+    SIM_HOT AccessResult access(PhysAddr paddr, AccessType type, Cycle now,
                                 bool pgc_prefetch = false) override;
 
     /** Install an L1D lifetime listener (used by Page-Cross Filters). */
     void set_listener(CacheListener *listener) { listener_ = listener; }
 
     /** True when @p paddr's block is resident (no state change). */
-    bool probe(Addr paddr) const;
+    bool probe(PhysAddr paddr) const;
 
     /** Counters. */
     const CacheStats &stats() const { return stats_; }
@@ -135,9 +135,9 @@ class Cache final : public MemoryLevel
         Cycle fill_done = 0;   //!< data arrival cycle
     };
 
-    std::uint32_t set_index(Addr paddr) const;
-    Block *find(Addr paddr, std::uint32_t &way);
-    const Block *find(Addr paddr) const;
+    std::uint32_t set_index(PhysAddr paddr) const;
+    Block *find(PhysAddr paddr, std::uint32_t &way);
+    const Block *find(PhysAddr paddr) const;
     std::uint32_t pick_victim(std::uint32_t set, Cycle now);
     void mark_used(Block &b);
 

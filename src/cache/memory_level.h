@@ -36,7 +36,7 @@ class MemoryLevel
      *                     (tracked only by levels configured to care)
      * @return completion information
      */
-    virtual AccessResult access(Addr paddr, AccessType type, Cycle now,
+    virtual AccessResult access(PhysAddr paddr, AccessType type, Cycle now,
                                 bool pgc_prefetch = false) = 0;
 };
 

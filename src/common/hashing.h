@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "common/bitops.h"
+#include "common/types.h"
 
 namespace moka {
 
@@ -46,6 +47,28 @@ constexpr std::uint64_t mix64(std::uint64_t z)
 constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b)
 {
     return mix64(a ^ (b + 0x9E3779B97F4A7C15ull + (a << 6) + (a >> 2)));
+}
+
+/*
+ * Hash consumption is one of the whitelisted exits from the strong
+ * address types (see types.h / ARCHITECTURE.md): a hash index is
+ * space-agnostic by construction, so typed addresses and page
+ * numbers feed the mixer here without scattering `.raw()` through
+ * callers.
+ */
+
+/** Hash a typed address (virtual or physical). */
+template <class Tag>
+constexpr std::uint64_t mix64(StrongAddr<Tag> a)
+{
+    return mix64(a.raw());
+}
+
+/** Hash a typed page number (VPN or PPN). */
+template <class Tag>
+constexpr std::uint64_t mix64(StrongPageNum<Tag> p)
+{
+    return mix64(p.raw());
 }
 
 /**

@@ -2,16 +2,40 @@
  * @file
  * Fundamental address/time types and page/block geometry constants
  * shared by every mokasim subsystem.
+ *
+ * Address-space type safety (see ARCHITECTURE.md): the simulator's
+ * whole subject is the virtual/physical split — the VIPT L1D and all
+ * L1D prefetchers operate on *virtual* addresses, the PTW/L2/LLC/DRAM
+ * on *physical* ones, and the TLB/page table is the only legal
+ * bridge.  `VirtAddr`/`PhysAddr` (and `VirtPageNum`/`PhysPageNum`)
+ * are zero-overhead strong wrappers over the raw 64-bit `Addr`
+ * storage type that make crossing the two spaces a compile error:
+ * there is no implicit conversion in either direction, no mixed
+ * comparison, and no raw-integer arithmetic on a typed address.
+ * Entering a space is an explicit, greppable construction
+ * (`VirtAddr{bits}` at trace synthesis, `PhysAddr{frame}` inside the
+ * page table); leaving it is the `.raw()` escape hatch, which simlint
+ * rule L18 confines to the whitelisted translation seams.  Page/block
+ * geometry on typed addresses goes through the typed helpers below —
+ * raw `>> 12`-style arithmetic outside this header and `src/vmem/` is
+ * flagged by simlint rule L17.
  */
 #ifndef MOKASIM_COMMON_TYPES_H
 #define MOKASIM_COMMON_TYPES_H
 
+#include <compare>
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 
 namespace moka {
 
-/** Virtual or physical byte address. */
+/**
+ * Raw 64-bit address storage. Used directly only at the synthesis
+ * and translation seams (and for space-agnostic scalars like block
+ * numbers and table keys); everywhere else addresses travel as
+ * VirtAddr/PhysAddr.
+ */
 using Addr = std::uint64_t;
 
 /** Simulation time in core clock cycles. */
@@ -35,6 +59,13 @@ inline constexpr Addr kLargePageSize = Addr{1} << kLargePageBits;
 /** Cache blocks per 4KB page. */
 inline constexpr Addr kBlocksPerPage = kPageSize / kBlockSize;
 
+/*
+ * Raw-scalar geometry. Legal on `Addr` only at the seams where
+ * addresses genuinely are raw bit patterns (vmem internals walking
+ * radix levels, trace synthesis building a footprint); typed code
+ * uses the StrongAddr overloads further down.
+ */
+
 /** Strip the block offset. */
 constexpr Addr block_addr(Addr a) { return a & ~(kBlockSize - 1); }
 
@@ -53,6 +84,9 @@ constexpr Addr large_page_number(Addr a) { return a >> kLargePageBits; }
 /** Byte offset within the 4KB page. */
 constexpr Addr page_offset(Addr a) { return a & (kPageSize - 1); }
 
+/** Byte offset within the 2MB page. */
+constexpr Addr large_page_offset(Addr a) { return a & (kLargePageSize - 1); }
+
 /** Cache-line index within the 4KB page (0..63). */
 constexpr Addr line_in_page(Addr a) { return page_offset(a) >> kBlockBits; }
 
@@ -67,6 +101,227 @@ constexpr bool crosses_large_page(Addr a, Addr b)
 {
     return large_page_number(a) != large_page_number(b);
 }
+
+/** Address-space tag of every virtual-side strong type. */
+struct VirtTag
+{
+};
+
+/** Address-space tag of every physical-side strong type. */
+struct PhysTag
+{
+};
+
+/**
+ * A byte address confined to one address space. Same size, layout
+ * and codegen as the raw `Addr` it wraps (the perf gates in
+ * BENCH_hotpath.json hold it to that); the only things it removes
+ * are the accidents: implicit raw conversion, cross-space mixing,
+ * and untyped shift/mask geometry.
+ *
+ * Byte-offset arithmetic (`addr + bytes`, `addr - bytes`) stays in
+ * the space; subtracting two same-space addresses yields the signed
+ * byte distance. Everything else goes through the typed geometry
+ * helpers or the `.raw()` escape hatch that simlint L18 polices.
+ */
+template <class Tag>
+class StrongAddr
+{
+  public:
+    constexpr StrongAddr() = default;
+
+    /** Entering the space is always explicit (and thus greppable). */
+    constexpr explicit StrongAddr(Addr raw) : raw_(raw) {}
+
+    /** Escape hatch to the raw bits; call sites are policed by L18. */
+    constexpr Addr raw() const { return raw_; }
+
+    friend constexpr bool operator==(StrongAddr, StrongAddr) = default;
+    friend constexpr auto operator<=>(StrongAddr, StrongAddr) = default;
+
+    /** Advance by a (possibly negative) byte offset. */
+    template <class Int, std::enable_if_t<std::is_integral_v<Int>, int> = 0>
+    friend constexpr StrongAddr operator+(StrongAddr a, Int bytes)
+    {
+        return StrongAddr{a.raw_ + static_cast<Addr>(bytes)};
+    }
+
+    /** Step back by a byte offset. */
+    template <class Int, std::enable_if_t<std::is_integral_v<Int>, int> = 0>
+    friend constexpr StrongAddr operator-(StrongAddr a, Int bytes)
+    {
+        return StrongAddr{a.raw_ - static_cast<Addr>(bytes)};
+    }
+
+    /** Signed byte distance between two same-space addresses. */
+    friend constexpr std::int64_t operator-(StrongAddr a, StrongAddr b)
+    {
+        return static_cast<std::int64_t>(a.raw_ - b.raw_);
+    }
+
+    template <class Int, std::enable_if_t<std::is_integral_v<Int>, int> = 0>
+    constexpr StrongAddr &operator+=(Int bytes)
+    {
+        raw_ += static_cast<Addr>(bytes);
+        return *this;
+    }
+
+  private:
+    Addr raw_ = 0;
+};
+
+/** A virtual byte address (trace, L1D, L1D prefetchers, vUB). */
+using VirtAddr = StrongAddr<VirtTag>;
+
+/** A physical byte address (L2/LLC/DRAM, page walker, pUB). */
+using PhysAddr = StrongAddr<PhysTag>;
+
+/**
+ * A 4KB page number confined to one address space (a VPN or PPN).
+ * Produced by page_number()/large_page_number() on the matching
+ * StrongAddr; compared and hashed, never mixed across spaces.
+ */
+template <class Tag>
+class StrongPageNum
+{
+  public:
+    constexpr StrongPageNum() = default;
+    constexpr explicit StrongPageNum(Addr raw) : raw_(raw) {}
+
+    /** Escape hatch to the raw page number; policed by L18. */
+    constexpr Addr raw() const { return raw_; }
+
+    friend constexpr bool operator==(StrongPageNum, StrongPageNum) = default;
+    friend constexpr auto operator<=>(StrongPageNum,
+                                      StrongPageNum) = default;
+
+    /** Advance by a (possibly negative) page count. */
+    template <class Int, std::enable_if_t<std::is_integral_v<Int>, int> = 0>
+    friend constexpr StrongPageNum operator+(StrongPageNum p, Int pages)
+    {
+        return StrongPageNum{p.raw_ + static_cast<Addr>(pages)};
+    }
+
+  private:
+    Addr raw_ = 0;
+};
+
+/** A virtual page number. */
+using VirtPageNum = StrongPageNum<VirtTag>;
+
+/** A physical page number (frame number). */
+using PhysPageNum = StrongPageNum<PhysTag>;
+
+/*
+ * Typed geometry. Helpers that stay within one address space return
+ * typed values; helpers that project onto space-agnostic scalars
+ * (block numbers, page-relative offsets, hashing indexes) return raw
+ * integers — a block number indexes a set array identically in both
+ * spaces, and offsets are invariant under translation.
+ */
+
+/** Strip the block offset. */
+template <class Tag>
+constexpr StrongAddr<Tag> block_addr(StrongAddr<Tag> a)
+{
+    return StrongAddr<Tag>{block_addr(a.raw())};
+}
+
+/** Scalar block number (address >> 6), for set/table indexing. */
+template <class Tag>
+constexpr Addr block_number(StrongAddr<Tag> a)
+{
+    return a.raw() >> kBlockBits;
+}
+
+/** Typed 4KB page number (VPN/PPN). */
+template <class Tag>
+constexpr StrongPageNum<Tag> page_number(StrongAddr<Tag> a)
+{
+    return StrongPageNum<Tag>{a.raw() >> kPageBits};
+}
+
+/** Scalar 4KB page number, for hash/index math on typed addresses. */
+template <class Tag>
+constexpr Addr page_index(StrongAddr<Tag> a)
+{
+    return a.raw() >> kPageBits;
+}
+
+/** Base address of the enclosing 4KB page. */
+template <class Tag>
+constexpr StrongAddr<Tag> page_addr(StrongAddr<Tag> a)
+{
+    return StrongAddr<Tag>{page_addr(a.raw())};
+}
+
+/** Base address of a 4KB page given its typed page number. */
+template <class Tag>
+constexpr StrongAddr<Tag> page_base_addr(StrongPageNum<Tag> p)
+{
+    return StrongAddr<Tag>{p.raw() << kPageBits};
+}
+
+/** Typed 2MB page number. */
+template <class Tag>
+constexpr StrongPageNum<Tag> large_page_number(StrongAddr<Tag> a)
+{
+    return StrongPageNum<Tag>{a.raw() >> kLargePageBits};
+}
+
+/** Scalar 2MB page number, for hash/index math on typed addresses. */
+template <class Tag>
+constexpr Addr large_page_index(StrongAddr<Tag> a)
+{
+    return a.raw() >> kLargePageBits;
+}
+
+/** Byte offset within the 4KB page (invariant under translation). */
+template <class Tag>
+constexpr Addr page_offset(StrongAddr<Tag> a)
+{
+    return a.raw() & (kPageSize - 1);
+}
+
+/** Byte offset within the 2MB page (invariant under translation). */
+template <class Tag>
+constexpr Addr large_page_offset(StrongAddr<Tag> a)
+{
+    return a.raw() & (kLargePageSize - 1);
+}
+
+/** Cache-line index within the 4KB page (0..63). */
+template <class Tag>
+constexpr Addr line_in_page(StrongAddr<Tag> a)
+{
+    return page_offset(a) >> kBlockBits;
+}
+
+/** True when @p a and @p b fall in different 4KB pages. */
+template <class Tag>
+constexpr bool crosses_page(StrongAddr<Tag> a, StrongAddr<Tag> b)
+{
+    return page_index(a) != page_index(b);
+}
+
+/** True when @p a and @p b fall in different 2MB pages. */
+template <class Tag>
+constexpr bool crosses_large_page(StrongAddr<Tag> a, StrongAddr<Tag> b)
+{
+    return large_page_index(a) != large_page_index(b);
+}
+
+/*
+ * The wrappers must be free: same size and passing convention as the
+ * raw integer, trivially copyable so snapshots and vectors of them
+ * cost what the raw type costs.
+ */
+static_assert(sizeof(VirtAddr) == sizeof(Addr) &&
+              sizeof(PhysAddr) == sizeof(Addr));
+static_assert(std::is_trivially_copyable_v<VirtAddr> &&
+              std::is_trivially_copyable_v<PhysAddr>);
+static_assert(sizeof(VirtPageNum) == sizeof(Addr) &&
+              std::is_trivially_copyable_v<PhysPageNum>);
 
 /** Kind of a memory reference flowing through the hierarchy. */
 enum class AccessType : std::uint8_t {

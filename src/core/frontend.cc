@@ -13,19 +13,19 @@ Frontend::Frontend(const FrontendConfig &config, Cache *l1i, Tlb *itlb,
 {
 }
 
-std::pair<Addr, Cycle>
-Frontend::translate(Addr vaddr, Cycle now)
+std::pair<PhysAddr, Cycle>
+Frontend::translate(VirtAddr vaddr, Cycle now)
 {
     Tlb::Result r = itlb_->lookup(vaddr, now, /*demand=*/true);
     if (r.hit) {
-        return {r.page_base + (r.large ? (vaddr & (kLargePageSize - 1))
+        return {r.page_base + (r.large ? large_page_offset(vaddr)
                                        : page_offset(vaddr)),
                 r.done};
     }
     Tlb::Result s = stlb_->lookup(vaddr, r.done, /*demand=*/true);
     if (s.hit) {
         itlb_->fill(vaddr, s.page_base, s.large, /*from_prefetch=*/false);
-        return {s.page_base + (s.large ? (vaddr & (kLargePageSize - 1))
+        return {s.page_base + (s.large ? large_page_offset(vaddr)
                                        : page_offset(vaddr)),
                 s.done};
     }
@@ -33,7 +33,7 @@ Frontend::translate(Addr vaddr, Cycle now)
         walker_->walk(vaddr, s.done, /*speculative=*/false);
     stlb_->fill(vaddr, w.page_base, w.large, false);
     itlb_->fill(vaddr, w.page_base, w.large, false);
-    return {w.page_base + (w.large ? (vaddr & (kLargePageSize - 1))
+    return {w.page_base + (w.large ? large_page_offset(vaddr)
                                    : page_offset(vaddr)),
             w.done};
 }
@@ -47,11 +47,13 @@ Frontend::fetch(const TraceInst &inst)
         group_used_ = 1;
     }
 
-    // New cache block: translate and access L1I.
-    const Addr block = block_number(inst.pc);
+    // New cache block: translate and access L1I. The PC is a virtual
+    // address on the fetch path.
+    const VirtAddr vpc{inst.pc};
+    const Addr block = block_number(vpc);
     if (block != cur_block_) {
         cur_block_ = block;
-        auto [paddr, tdone] = translate(inst.pc, fetch_cycle_);
+        auto [paddr, tdone] = translate(vpc, fetch_cycle_);
         const AccessResult r =
             l1i_->access(paddr, AccessType::kInstFetch, tdone);
         fetch_cycle_ = std::max(fetch_cycle_, r.done);
@@ -59,11 +61,11 @@ Frontend::fetch(const TraceInst &inst)
         // Next-line instruction prefetch (fnl-lite): stay within the
         // page so no speculative instruction-side walks are added.
         for (unsigned d = 1; d <= cfg_.l1i_prefetch_degree; ++d) {
-            const Addr tv = inst.pc + d * kBlockSize;
-            if (crosses_page(inst.pc, tv)) {
+            const VirtAddr tv = vpc + d * kBlockSize;
+            if (crosses_page(vpc, tv)) {
                 break;
             }
-            const Addr tp = page_addr(paddr) + page_offset(tv);
+            const PhysAddr tp = page_addr(paddr) + page_offset(tv);
             if (!l1i_->probe(tp)) {
                 l1i_->access(tp, AccessType::kPrefetch, tdone);
             }

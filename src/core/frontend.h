@@ -60,7 +60,7 @@ class Frontend
 
   private:
     /** iTLB -> sTLB -> walk; returns {paddr, done}. */
-    std::pair<Addr, Cycle> translate(Addr vaddr, Cycle now);
+    std::pair<PhysAddr, Cycle> translate(VirtAddr vaddr, Cycle now);
 
     FrontendConfig cfg_;       // LINT_SNAPSHOT_OK: config
     Cache *l1i_;               // LINT_SNAPSHOT_OK: collaborator, owned by core

@@ -14,7 +14,8 @@ Dram::Dram(const DramConfig &config)
 }
 
 AccessResult
-Dram::access(Addr paddr, AccessType type, Cycle now, bool /*pgc_prefetch*/)
+Dram::access(PhysAddr paddr, AccessType type, Cycle now,
+             bool /*pgc_prefetch*/)
 {
     ++accesses_;
     if (type == AccessType::kPrefetch) {

@@ -40,7 +40,7 @@ class Dram : public MemoryLevel
     explicit Dram(const DramConfig &config);
 
     /** Perform one 64B transfer; @p type only affects statistics. */
-    AccessResult access(Addr paddr, AccessType type, Cycle now,
+    AccessResult access(PhysAddr paddr, AccessType type, Cycle now,
                         bool pgc_prefetch = false) override;
 
     /** Total accesses served. */

@@ -17,8 +17,7 @@ eval_feature(ProgramFeatureId id, const FeatureInput &in)
     const std::uint64_t d = static_cast<std::uint64_t>(in.delta);
     const std::uint64_t ad =
         static_cast<std::uint64_t>(std::llabs(in.delta));
-    const Addr tva = static_cast<Addr>(
-        static_cast<std::int64_t>(in.vaddr) + in.delta * 64);
+    const VirtAddr tva = in.vaddr + in.delta * 64;
     (void)ad;
     switch (id) {
 #define MOKA_EVAL(id_, name_, expr_)                                         \
@@ -79,9 +78,9 @@ table1_program_features()
 }
 
 void
-FeatureExtractor::on_demand_access(Addr pc, Addr vaddr)
+FeatureExtractor::on_demand_access(Addr pc, VirtAddr vaddr)
 {
-    const Addr page = page_number(vaddr);
+    const Addr page = page_index(vaddr);
     FpaEntry &e = fpa_[mix64(page) % kFpaEntries];
     if (e.page != page) {
         e.page = page;
@@ -119,7 +118,7 @@ specialized_feature_name(SpecializedFeatureId id)
 }
 
 FeatureInput
-FeatureExtractor::make_input(Addr trigger_pc, Addr trigger_vaddr,
+FeatureExtractor::make_input(Addr trigger_pc, VirtAddr trigger_vaddr,
                              std::int64_t delta, std::uint64_t meta) const
 {
     FeatureInput in;
@@ -131,7 +130,7 @@ FeatureExtractor::make_input(Addr trigger_pc, Addr trigger_vaddr,
     in.pc2 = pc_hist_[1];
     in.delta = delta;
     in.meta = meta;
-    const Addr page = page_number(trigger_vaddr);
+    const Addr page = page_index(trigger_vaddr);
     const FpaEntry &e = fpa_[mix64(page) % kFpaEntries];
     in.first_page_access = (e.page == page) ? e.first_line : 0;
     return in;
@@ -140,8 +139,8 @@ FeatureExtractor::make_input(Addr trigger_pc, Addr trigger_vaddr,
 void FeatureExtractor::save_state(SnapshotWriter &w) const
 {
     w.begin_section("filter.extractor");
-    w.put_u64(va_hist_[0]);
-    w.put_u64(va_hist_[1]);
+    put_addr(w, va_hist_[0]);
+    put_addr(w, va_hist_[1]);
     w.put_u64(pc_hist_[0]);
     w.put_u64(pc_hist_[1]);
     for (const FpaEntry &e : fpa_) {
@@ -153,8 +152,8 @@ void FeatureExtractor::save_state(SnapshotWriter &w) const
 void FeatureExtractor::restore_state(SnapshotReader &r)
 {
     r.begin_section("filter.extractor");
-    va_hist_[0] = r.get_u64();
-    va_hist_[1] = r.get_u64();
+    get_addr(r, va_hist_[0]);
+    get_addr(r, va_hist_[1]);
     pc_hist_[0] = r.get_u64();
     pc_hist_[1] = r.get_u64();
     for (FpaEntry &e : fpa_) {

@@ -26,12 +26,12 @@ class SnapshotWriter;
  */
 struct FeatureInput
 {
-    Addr pc = 0;      //!< PC of the trigger load/store
-    Addr vaddr = 0;   //!< VA of the trigger access
-    Addr va1 = 0;     //!< previous load VA (VA_{i-1})
-    Addr va2 = 0;     //!< VA before that (VA_{i-2})
-    Addr pc1 = 0;     //!< previous load PC
-    Addr pc2 = 0;     //!< PC before that
+    Addr pc = 0;       //!< PC of the trigger load/store
+    VirtAddr vaddr{};  //!< VA of the trigger access
+    VirtAddr va1{};    //!< previous load VA (VA_{i-1})
+    VirtAddr va2{};    //!< VA before that (VA_{i-2})
+    Addr pc1 = 0;      //!< previous load PC
+    Addr pc2 = 0;      //!< PC before that
     std::int64_t delta = 0;          //!< prefetcher's block delta
     std::uint64_t first_page_access = 0; //!< line offset of the first
                                          //!< access to the trigger page
@@ -39,74 +39,96 @@ struct FeatureInput
                                      //!< (specialized features only)
 };
 
-/** X-macro: id, printable name, value expression over FeatureInput in. */
+/**
+ * Whole-VA feature material. Feature hashing consumes every bit of
+ * the trigger VA, which no geometry helper exposes; this is the one
+ * sanctioned full-width exit, so the X-macro below stays free of
+ * scattered escapes. Page-granular features use page_index()/
+ * large_page_index()/block_number()/line_in_page() instead.
+ */
+constexpr std::uint64_t
+va_bits(VirtAddr va)
+{
+    return va.raw();  // LINT_ADDR_OK: feature-hashing material
+}
+
+/**
+ * X-macro: id, printable name, value expression over FeatureInput in.
+ * Page-granular terms go through the typed geometry helpers
+ * (page_index == VA>>12, large_page_index == VA>>21, block_number ==
+ * VA>>6); feature-specific sub-page shifts (>>15/18/24) operate on the
+ * va_bits() scalar. tests/test_feature_pinning.cc pins the evaluated
+ * values so any drift from the original raw expressions is caught.
+ */
 #define MOKA_PROGRAM_FEATURES(X)                                             \
     /* --- Table I features --------------------------------------- */      \
-    X(kVa, "VA", in.vaddr)                                                   \
-    X(kVaP12, "VA>>12", in.vaddr >> 12)                                      \
-    X(kVaP21, "VA>>21", in.vaddr >> 21)                                      \
+    X(kVa, "VA", va_bits(in.vaddr))                                          \
+    X(kVaP12, "VA>>12", page_index(in.vaddr))                                \
+    X(kVaP21, "VA>>21", large_page_index(in.vaddr))                          \
     X(kLineOffset, "CacheLineOffset", line_in_page(in.vaddr))                \
     X(kPc, "PC", in.pc)                                                      \
     X(kPcPlusOffset, "PC+CacheLineOffset", in.pc + line_in_page(in.vaddr))   \
-    X(kVaHist3, "VA_2^VA_1^VA", in.va2 ^ in.va1 ^ in.vaddr)                  \
+    X(kVaHist3, "VA_2^VA_1^VA",                                              \
+      va_bits(in.va2) ^ va_bits(in.va1) ^ va_bits(in.vaddr))                 \
     X(kVpnHist3, "(VA_2>>12)^(VA_1>>12)^(VA>>12)",                           \
-      (in.va2 >> 12) ^ (in.va1 >> 12) ^ (in.vaddr >> 12))                    \
+      page_index(in.va2) ^ page_index(in.va1) ^ page_index(in.vaddr))        \
     X(kPcHist3, "PC_2^PC_1^PC", in.pc2 ^ in.pc1 ^ in.pc)                     \
-    X(kPcXorVa, "PC^VA", in.pc ^ in.vaddr)                                   \
-    X(kPcXorVpn, "PC^(VA>>12)", in.pc ^ (in.vaddr >> 12))                    \
-    X(kVaXorDelta, "VA^Delta", in.vaddr ^ d)                                 \
+    X(kPcXorVa, "PC^VA", in.pc ^ va_bits(in.vaddr))                          \
+    X(kPcXorVpn, "PC^(VA>>12)", in.pc ^ page_index(in.vaddr))                \
+    X(kVaXorDelta, "VA^Delta", va_bits(in.vaddr) ^ d)                        \
     X(kPcXorDelta, "PC^Delta", in.pc ^ d)                                    \
-    X(kVpnXorDelta, "(VA>>12)^Delta", (in.vaddr >> 12) ^ d)                  \
+    X(kVpnXorDelta, "(VA>>12)^Delta", page_index(in.vaddr) ^ d)              \
     X(kPcXorFpa, "PC^FirstPageAccess", in.pc ^ in.first_page_access)         \
-    X(kVaXorFpa, "VA^FirstPageAccess", in.vaddr ^ in.first_page_access)      \
+    X(kVaXorFpa, "VA^FirstPageAccess",                                       \
+      va_bits(in.vaddr) ^ in.first_page_access)                              \
     X(kVpnXorFpa, "(VA>>12)^FirstPageAccess",                                \
-      (in.vaddr >> 12) ^ in.first_page_access)                               \
+      page_index(in.vaddr) ^ in.first_page_access)                           \
     X(kOffsetPlusFpa, "CacheLineOffset+FirstPageAccess",                     \
       line_in_page(in.vaddr) + in.first_page_access)                         \
     X(kDeltaPlusFpa, "Delta+FirstPageAccess", d + in.first_page_access)      \
     /* --- Bouquet extensions -------------------------------------- */     \
-    X(kVaP6, "VA>>6", in.vaddr >> 6)                                         \
-    X(kVaP15, "VA>>15", in.vaddr >> 15)                                      \
-    X(kVaP18, "VA>>18", in.vaddr >> 18)                                      \
-    X(kVaP24, "VA>>24", in.vaddr >> 24)                                      \
+    X(kVaP6, "VA>>6", block_number(in.vaddr))                                \
+    X(kVaP15, "VA>>15", va_bits(in.vaddr) >> 15)                             \
+    X(kVaP18, "VA>>18", va_bits(in.vaddr) >> 18)                             \
+    X(kVaP24, "VA>>24", va_bits(in.vaddr) >> 24)                             \
     X(kPcP2, "PC>>2", in.pc >> 2)                                            \
     X(kPcP4, "PC>>4", in.pc >> 4)                                            \
     X(kDelta, "Delta", d)                                                    \
     X(kAbsDelta, "|Delta|", ad)                                              \
     X(kPcPlusDelta, "PC+Delta", in.pc + d)                                   \
-    X(kVaPlusDelta, "VA+Delta", in.vaddr + d)                                \
-    X(kVaP21XorDelta, "(VA>>21)^Delta", (in.vaddr >> 21) ^ d)                \
+    X(kVaPlusDelta, "VA+Delta", va_bits(in.vaddr) + d)                       \
+    X(kVaP21XorDelta, "(VA>>21)^Delta", large_page_index(in.vaddr) ^ d)      \
     X(kOffsetXorDelta, "CacheLineOffset^Delta",                              \
       line_in_page(in.vaddr) ^ d)                                            \
     X(kOffsetPlusDelta, "CacheLineOffset+Delta",                             \
       line_in_page(in.vaddr) + d)                                            \
     X(kPcXorOffset, "PC^CacheLineOffset",                                    \
       in.pc ^ line_in_page(in.vaddr))                                        \
-    X(kVaHist2, "VA_1^VA", in.va1 ^ in.vaddr)                                \
+    X(kVaHist2, "VA_1^VA", va_bits(in.va1) ^ va_bits(in.vaddr))              \
     X(kVpnHist2, "(VA_1>>12)^(VA>>12)",                                      \
-      (in.va1 >> 12) ^ (in.vaddr >> 12))                                     \
+      page_index(in.va1) ^ page_index(in.vaddr))                             \
     X(kPcHist2, "PC_1^PC", in.pc1 ^ in.pc)                                   \
-    X(kPcXorVaP21, "PC^(VA>>21)", in.pc ^ (in.vaddr >> 21))                  \
-    X(kPcPlusVpn, "PC+(VA>>12)", in.pc + (in.vaddr >> 12))                   \
-    X(kPcXorVaXorDelta, "PC^VA^Delta", in.pc ^ in.vaddr ^ d)                 \
+    X(kPcXorVaP21, "PC^(VA>>21)", in.pc ^ large_page_index(in.vaddr))        \
+    X(kPcPlusVpn, "PC+(VA>>12)", in.pc + page_index(in.vaddr))               \
+    X(kPcXorVaXorDelta, "PC^VA^Delta", in.pc ^ va_bits(in.vaddr) ^ d)        \
     X(kPcXorVpnXorDelta, "PC^(VA>>12)^Delta",                                \
-      in.pc ^ (in.vaddr >> 12) ^ d)                                          \
+      in.pc ^ page_index(in.vaddr) ^ d)                                      \
     X(kDeltaXorFpa, "Delta^FirstPageAccess", d ^ in.first_page_access)       \
     X(kPcPlusFpa, "PC+FirstPageAccess", in.pc + in.first_page_access)        \
     X(kVaHist3XorDelta, "(VA_2^VA_1^VA)^Delta",                              \
-      (in.va2 ^ in.va1 ^ in.vaddr) ^ d)                                      \
+      (va_bits(in.va2) ^ va_bits(in.va1) ^ va_bits(in.vaddr)) ^ d)           \
     X(kPcHist2XorDelta, "(PC_1^PC)^Delta", (in.pc1 ^ in.pc) ^ d)             \
     X(kVpnHist2XorDelta, "((VA_1>>12)^(VA>>12))^Delta",                      \
-      ((in.va1 >> 12) ^ (in.vaddr >> 12)) ^ d)                               \
-    X(kTargetVa, "TargetVA", tva)                                            \
-    X(kTargetVpn, "TargetVA>>12", tva >> 12)                                 \
+      (page_index(in.va1) ^ page_index(in.vaddr)) ^ d)                       \
+    X(kTargetVa, "TargetVA", va_bits(tva))                                   \
+    X(kTargetVpn, "TargetVA>>12", page_index(tva))                           \
     X(kTargetOffset, "TargetCacheLineOffset", line_in_page(tva))             \
-    X(kPcXorTargetVpn, "PC^(TargetVA>>12)", in.pc ^ (tva >> 12))             \
-    X(kVpnPlusDelta, "(VA>>12)+Delta", (in.vaddr >> 12) + d)                 \
-    X(kPcP2XorVa, "(PC>>2)^VA", (in.pc >> 2) ^ in.vaddr)                     \
+    X(kPcXorTargetVpn, "PC^(TargetVA>>12)", in.pc ^ page_index(tva))         \
+    X(kVpnPlusDelta, "(VA>>12)+Delta", page_index(in.vaddr) + d)             \
+    X(kPcP2XorVa, "(PC>>2)^VA", (in.pc >> 2) ^ va_bits(in.vaddr))            \
     X(kOffsetHist2, "Off_1^Off", line_in_page(in.va1) ^                      \
       line_in_page(in.vaddr))                                                \
-    X(kVaXorPcHist2, "(PC_1^PC)^VA", (in.pc1 ^ in.pc) ^ in.vaddr)            \
+    X(kVaXorPcHist2, "(PC_1^PC)^VA", (in.pc1 ^ in.pc) ^ va_bits(in.vaddr))   \
     X(kOffsetDeltaXorPc, "(CacheLineOffset+Delta)^PC",                       \
       (line_in_page(in.vaddr) + d) ^ in.pc)                                  \
     X(kFpa, "FirstPageAccess", in.first_page_access)
@@ -163,10 +185,10 @@ class FeatureExtractor
 {
   public:
     /** Record a demand data access (program order). */
-    void on_demand_access(Addr pc, Addr vaddr);
+    void on_demand_access(Addr pc, VirtAddr vaddr);
 
     /** Assemble the FeatureInput for a prefetch with @p delta. */
-    FeatureInput make_input(Addr trigger_pc, Addr trigger_vaddr,
+    FeatureInput make_input(Addr trigger_pc, VirtAddr trigger_vaddr,
                             std::int64_t delta,
                             std::uint64_t meta = 0) const;
 
@@ -180,11 +202,11 @@ class FeatureExtractor
 
     struct FpaEntry
     {
-        Addr page = ~Addr{0};
+        Addr page = ~Addr{0};  //!< scalar VPN (page_index) or ~0 sentinel
         std::uint64_t first_line = 0;
     };
 
-    Addr va_hist_[2] = {0, 0};  //!< [0] = VA_{i-1}, [1] = VA_{i-2}
+    VirtAddr va_hist_[2]{};  //!< [0] = VA_{i-1}, [1] = VA_{i-2}
     Addr pc_hist_[2] = {0, 0};
     FpaEntry fpa_[kFpaEntries];
 };

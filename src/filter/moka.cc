@@ -14,7 +14,7 @@ MokaFilter::MokaFilter(const MokaConfig &config)
 {
     SIM_REQUIRE(cfg_.program_features.size() +
                         cfg_.specialized_features.size() <=
-                    DecisionRecord::kMaxFeatures,
+                    VirtDecisionRecord::kMaxFeatures,
                 "MOKA configured with more features than a "
                 "DecisionRecord can hold");
     SIM_REQUIRE(cfg_.system_features.size() <= 8,
@@ -29,11 +29,11 @@ MokaFilter::MokaFilter(const MokaConfig &config)
     }
 }
 
-DecisionRecord
-MokaFilter::make_record(Addr block, const FeatureInput &in,
+VirtDecisionRecord
+MokaFilter::make_record(VirtAddr block, const FeatureInput &in,
                         const SystemSnapshot &snap) const
 {
-    DecisionRecord rec;
+    VirtDecisionRecord rec;
     rec.block = block;
     const std::size_t np = cfg_.program_features.size();
     rec.num_features = static_cast<std::uint8_t>(
@@ -55,15 +55,15 @@ MokaFilter::make_record(Addr block, const FeatureInput &in,
 }
 
 bool
-MokaFilter::permit(Addr trigger_pc, Addr trigger_vaddr, std::int64_t delta,
-                   Addr target_vaddr, const SystemSnapshot &snap,
-                   std::uint64_t meta)
+MokaFilter::permit(Addr trigger_pc, VirtAddr trigger_vaddr,
+                   std::int64_t delta, VirtAddr target_vaddr,
+                   const SystemSnapshot &snap, std::uint64_t meta)
 {
     // Stage 1-2: gather program weights and active system weights.
     const FeatureInput in =
         extractor_.make_input(trigger_pc, trigger_vaddr, delta, meta);
-    const DecisionRecord rec = make_record(block_addr(target_vaddr), in,
-                                           snap);
+    const VirtDecisionRecord rec =
+        make_record(block_addr(target_vaddr), in, snap);
 
     if (thresholds_.pgc_disabled()) {
         // Extreme LLC pressure: discard, but let vUB keep learning so
@@ -109,13 +109,14 @@ MokaFilter::permit(Addr trigger_pc, Addr trigger_vaddr, std::int64_t delta,
 }
 
 void
-MokaFilter::on_demand_access(Addr pc, Addr vaddr)
+MokaFilter::on_demand_access(Addr pc, VirtAddr vaddr)
 {
     extractor_.on_demand_access(pc, vaddr);
 }
 
+template <class AddrT>
 void
-MokaFilter::train(const DecisionRecord &rec, bool positive)
+MokaFilter::train(const DecisionRecordT<AddrT> &rec, bool positive)
 {
     for (std::uint8_t i = 0; i < rec.num_features; ++i) {
         if (positive) {
@@ -136,11 +137,11 @@ MokaFilter::train(const DecisionRecord &rec, bool positive)
 }
 
 void
-MokaFilter::on_l1d_demand_miss(Addr vaddr)
+MokaFilter::on_l1d_demand_miss(VirtAddr vaddr)
 {
     // vUB hit: we discarded a page-cross prefetch that would have
     // covered this miss — a false negative. Positive training.
-    DecisionRecord rec;
+    VirtDecisionRecord rec;
     if (vub_.take(block_addr(vaddr), rec)) {
         train(rec, true);
         if (telemetry_enabled()) {
@@ -150,7 +151,7 @@ MokaFilter::on_l1d_demand_miss(Addr vaddr)
 }
 
 void
-MokaFilter::on_pgc_issued(Addr target_vaddr, Addr target_paddr)
+MokaFilter::on_pgc_issued(VirtAddr target_vaddr, PhysAddr target_paddr)
 {
     if (!pending_valid_) {
         return;
@@ -159,16 +160,17 @@ MokaFilter::on_pgc_issued(Addr target_vaddr, Addr target_paddr)
               "issued page-cross prefetch does not match the pending "
               "decision record");
     (void)target_vaddr;
-    pending_.block = block_addr(target_paddr);
-    pub_.insert(pending_);
+    // The VA->PA hand-off: the pending record crosses the translation
+    // seam here and nowhere else.
+    pub_.insert(rekey_to_physical(pending_, block_addr(target_paddr)));
     pending_valid_ = false;
 }
 
 void
-MokaFilter::on_pgc_first_use(Addr block_paddr)
+MokaFilter::on_pgc_first_use(PhysAddr block_paddr)
 {
     // The issued page-cross prefetch proved useful: reward.
-    DecisionRecord rec;
+    PhysDecisionRecord rec;
     if (pub_.take(block_addr(block_paddr), rec)) {
         train(rec, true);
         if (telemetry_enabled()) {
@@ -178,9 +180,9 @@ MokaFilter::on_pgc_first_use(Addr block_paddr)
 }
 
 void
-MokaFilter::on_pgc_eviction(Addr block_paddr, bool used)
+MokaFilter::on_pgc_eviction(PhysAddr block_paddr, bool used)
 {
-    DecisionRecord rec;
+    PhysDecisionRecord rec;
     if (!pub_.take(block_addr(block_paddr), rec)) {
         return;
     }
@@ -237,9 +239,9 @@ MokaFilter::storage_bits() const
 namespace {
 
 void
-put_record(SnapshotWriter &w, const DecisionRecord &rec)
+put_record(SnapshotWriter &w, const VirtDecisionRecord &rec)
 {
-    w.put_u64(rec.block);
+    put_addr(w, rec.block);
     w.put_u8(rec.num_features);
     for (std::uint32_t idx : rec.indexes) {
         w.put_u32(idx);
@@ -248,9 +250,9 @@ put_record(SnapshotWriter &w, const DecisionRecord &rec)
 }
 
 void
-get_record(SnapshotReader &r, DecisionRecord &rec)
+get_record(SnapshotReader &r, VirtDecisionRecord &rec)
 {
-    rec.block = r.get_u64();
+    get_addr(r, rec.block);
     rec.num_features = r.get_u8();
     for (std::uint32_t &idx : rec.indexes) {
         idx = r.get_u32();

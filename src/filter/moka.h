@@ -89,22 +89,25 @@ class PageCrossFilter
      * @param target_vaddr  block-aligned prefetch target VA
      * @param snap          current system state
      */
-    SIM_HOT virtual bool permit(Addr trigger_pc, Addr trigger_vaddr,
-                                std::int64_t delta, Addr target_vaddr,
+    SIM_HOT virtual bool permit(Addr trigger_pc, VirtAddr trigger_vaddr,
+                                std::int64_t delta, VirtAddr target_vaddr,
                                 const SystemSnapshot &snap,
                                 std::uint64_t meta = 0) = 0;
 
     /** Demand data access in program order (feeds feature history). */
-    virtual void on_demand_access(Addr pc, Addr vaddr)
+    virtual void on_demand_access(Addr pc, VirtAddr vaddr)
     {
         (void)pc; (void)vaddr;
     }
 
     /** L1D demand miss (vUB false-negative check). */
-    virtual void on_l1d_demand_miss(Addr vaddr) { (void)vaddr; }
+    virtual void on_l1d_demand_miss(VirtAddr vaddr) { (void)vaddr; }
 
-    /** The last permitted prefetch was issued with this paddr. */
-    virtual void on_pgc_issued(Addr target_vaddr, Addr target_paddr)
+    /**
+     * The last permitted prefetch was issued and translated: hand the
+     * pending (virtual-keyed) record across to the physical side.
+     */
+    virtual void on_pgc_issued(VirtAddr target_vaddr, PhysAddr target_paddr)
     {
         (void)target_vaddr; (void)target_paddr;
     }
@@ -116,10 +119,13 @@ class PageCrossFilter
     virtual void on_pgc_abandoned() {}
 
     /** A PCB block served its first demand hit (positive training). */
-    virtual void on_pgc_first_use(Addr block_paddr) { (void)block_paddr; }
+    virtual void on_pgc_first_use(PhysAddr block_paddr)
+    {
+        (void)block_paddr;
+    }
 
     /** A PCB block was evicted; @p used: served >=1 demand access. */
-    virtual void on_pgc_eviction(Addr block_paddr, bool used)
+    virtual void on_pgc_eviction(PhysAddr block_paddr, bool used)
     {
         (void)block_paddr; (void)used;
     }
@@ -176,16 +182,16 @@ class MokaFilter : public PageCrossFilter
   public:
     explicit MokaFilter(const MokaConfig &config);
 
-    bool permit(Addr trigger_pc, Addr trigger_vaddr, std::int64_t delta,
-                Addr target_vaddr, const SystemSnapshot &snap,
+    bool permit(Addr trigger_pc, VirtAddr trigger_vaddr, std::int64_t delta,
+                VirtAddr target_vaddr, const SystemSnapshot &snap,
                 std::uint64_t meta = 0) override;
 
-    void on_demand_access(Addr pc, Addr vaddr) override;
-    void on_l1d_demand_miss(Addr vaddr) override;
-    void on_pgc_issued(Addr target_vaddr, Addr target_paddr) override;
+    void on_demand_access(Addr pc, VirtAddr vaddr) override;
+    void on_l1d_demand_miss(VirtAddr vaddr) override;
+    void on_pgc_issued(VirtAddr target_vaddr, PhysAddr target_paddr) override;
     void on_pgc_abandoned() override { pending_valid_ = false; }
-    void on_pgc_first_use(Addr block_paddr) override;
-    void on_pgc_eviction(Addr block_paddr, bool used) override;
+    void on_pgc_first_use(PhysAddr block_paddr) override;
+    void on_pgc_eviction(PhysAddr block_paddr, bool used) override;
     void on_interval(const SystemSnapshot &snap) override;
     void on_epoch(const EpochInfo &info) override;
 
@@ -206,19 +212,21 @@ class MokaFilter : public PageCrossFilter
   private:
     friend struct AuditAccess;
 
-    void train(const DecisionRecord &rec, bool positive);
-    DecisionRecord make_record(Addr block, const FeatureInput &in,
-                               const SystemSnapshot &snap) const;
+    template <class AddrT>
+    void train(const DecisionRecordT<AddrT> &rec, bool positive);
+    VirtDecisionRecord make_record(VirtAddr block, const FeatureInput &in,
+                                   const SystemSnapshot &snap) const;
 
     MokaConfig cfg_;  // LINT_SNAPSHOT_OK: config
     FeatureExtractor extractor_;
     //! one per program feature, then one per specialized feature
     std::vector<WeightTable> tables_;
     std::vector<SystemFeature> system_;    //!< instantiated system features
-    UpdateBuffer vub_;
-    UpdateBuffer pub_;
+    VirtUpdateBuffer vub_;   //!< discarded candidates, virtual keys
+    PhysUpdateBuffer pub_;   //!< issued candidates, physical keys
     AdaptiveThreshold thresholds_;
-    DecisionRecord pending_;   //!< permit()'d, awaiting on_pgc_issued()
+    //! permit()'d (virtual key), awaiting on_pgc_issued() to re-key
+    VirtDecisionRecord pending_;
     bool pending_valid_ = false;
     FilterTelemetry tel_;      //!< counter part of telemetry()
 };

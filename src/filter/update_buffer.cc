@@ -2,6 +2,8 @@
  * @file
  * UpdateBuffer serialization. Lives apart from the header because the
  * buffer itself is header-only hot-path code; snapshotting is cold.
+ * The two address-space instantiations (vUB = VirtAddr keys, pUB =
+ * PhysAddr keys) are emitted here.
  */
 #include "filter/update_buffer.h"
 
@@ -11,10 +13,11 @@ namespace moka {
 
 namespace {
 
+template <class AddrT>
 void
-put_record(SnapshotWriter &w, const DecisionRecord &rec)
+put_record(SnapshotWriter &w, const DecisionRecordT<AddrT> &rec)
 {
-    w.put_u64(rec.block);
+    put_addr(w, rec.block);
     w.put_u8(rec.num_features);
     for (std::uint32_t idx : rec.indexes) {
         w.put_u32(idx);
@@ -22,10 +25,11 @@ put_record(SnapshotWriter &w, const DecisionRecord &rec)
     w.put_u8(rec.system_mask);
 }
 
+template <class AddrT>
 void
-get_record(SnapshotReader &r, DecisionRecord &rec)
+get_record(SnapshotReader &r, DecisionRecordT<AddrT> &rec)
 {
-    rec.block = r.get_u64();
+    get_addr(r, rec.block);
     rec.num_features = r.get_u8();
     for (std::uint32_t &idx : rec.indexes) {
         idx = r.get_u32();
@@ -35,8 +39,9 @@ get_record(SnapshotReader &r, DecisionRecord &rec)
 
 }  // namespace
 
+template <class AddrT>
 void
-UpdateBuffer::save_state(SnapshotWriter &w) const
+UpdateBuffer<AddrT>::save_state(SnapshotWriter &w) const
 {
     for (const Slot &s : ring_) {
         put_record(w, s.rec);
@@ -53,8 +58,9 @@ UpdateBuffer::save_state(SnapshotWriter &w) const
     w.put_u64(overflow_evictions_);
 }
 
+template <class AddrT>
 void
-UpdateBuffer::restore_state(SnapshotReader &r)
+UpdateBuffer<AddrT>::restore_state(SnapshotReader &r)
 {
     for (Slot &s : ring_) {
         get_record(r, s.rec);
@@ -75,5 +81,8 @@ UpdateBuffer::restore_state(SnapshotReader &r)
                             "update buffer occupancy out of range");
     }
 }
+
+template class UpdateBuffer<VirtAddr>;
+template class UpdateBuffer<PhysAddr>;
 
 }  // namespace moka

@@ -27,19 +27,50 @@ struct AuditAccess;
 class SnapshotReader;
 class SnapshotWriter;
 
-/** Decision context captured when the filter predicted. */
-struct DecisionRecord
+/**
+ * Decision context captured when the filter predicted, keyed by a
+ * typed block address: @p AddrT is VirtAddr for vUB records and
+ * PhysAddr for pUB records, so a record can never be looked up in the
+ * wrong address space.
+ */
+template <class AddrT>
+struct DecisionRecordT
 {
     static constexpr std::size_t kMaxFeatures = 8;
 
-    Addr block = 0;  //!< block-aligned key (virtual in vUB, physical in pUB)
+    AddrT block{};  //!< block-aligned key in this record's space
     std::uint8_t num_features = 0;              //!< valid prefix length
     std::array<std::uint32_t, kMaxFeatures> indexes{};  //!< WT hash indexes
     std::uint8_t system_mask = 0;               //!< active system features
 };
 
+/** vUB record: keyed by the virtual prefetch-target block. */
+using VirtDecisionRecord = DecisionRecordT<VirtAddr>;
+
+/** pUB record: keyed by the translated physical block. */
+using PhysDecisionRecord = DecisionRecordT<PhysAddr>;
+
 /**
- * FIFO associative buffer of DecisionRecords keyed by block address.
+ * Re-key a decision record across the translation seam: when a
+ * permitted page-cross prefetch is actually issued, its vUB-style
+ * pending record (virtual key) becomes a pUB record under the block's
+ * translated physical address. The learned payload (hash indexes,
+ * system mask) is space-agnostic and carries over unchanged.
+ */
+inline PhysDecisionRecord
+rekey_to_physical(const VirtDecisionRecord &v, PhysAddr block)
+{
+    PhysDecisionRecord p;
+    p.block = block;
+    p.num_features = v.num_features;
+    p.indexes = v.indexes;
+    p.system_mask = v.system_mask;
+    return p;
+}
+
+/**
+ * FIFO associative buffer of DecisionRecordTs keyed by a typed block
+ * address (@p AddrT = VirtAddr for the vUB, PhysAddr for the pUB).
  * Functionally a small CAM. Duplicate keys keep the newest record
  * (refreshed in place; FIFO age unchanged).
  *
@@ -56,9 +87,13 @@ struct DecisionRecord
  *    factor stays below a half; tombstones are cleared by a rebuild
  *    once they outnumber capacity, amortized O(1) per take().
  */
+template <class AddrT>
 class UpdateBuffer
 {
   public:
+    /** The record type this buffer stores. */
+    using Record = DecisionRecordT<AddrT>;
+
     explicit UpdateBuffer(std::size_t entries)
         : capacity_(entries), ring_(2 * entries)
     {
@@ -74,7 +109,7 @@ class UpdateBuffer
     }
 
     /** Insert @p rec, evicting the oldest record when full. */
-    SIM_HOT void insert(const DecisionRecord &rec)
+    SIM_HOT void insert(const Record &rec)
     {
         const std::uint32_t pos = find_slot(rec.block);
         if (pos != kNoSlot && table_[pos] < kTomb) {
@@ -112,7 +147,7 @@ class UpdateBuffer
      * Find the record for @p block, copy it to @p out and remove it.
      * @return true on hit.
      */
-    SIM_HOT bool take(Addr block, DecisionRecord &out)
+    SIM_HOT bool take(AddrT block, Record &out)
     {
         const std::uint32_t pos = find_slot(block);
         if (pos == kNoSlot || table_[pos] >= kTomb) {
@@ -169,7 +204,7 @@ class UpdateBuffer
 
     struct Slot
     {
-        DecisionRecord rec;
+        Record rec;
         std::uint64_t seq = 0;  //!< insertion that created the slot
         bool live = false;      //!< false: awaiting lazy FIFO cleanup
     };
@@ -186,7 +221,7 @@ class UpdateBuffer
      * reusable slot on the probe path (cannot happen below the
      * enforced load factor, but handled anyway).
      */
-    std::uint32_t find_slot(Addr block) const
+    std::uint32_t find_slot(AddrT block) const
     {
         std::uint32_t pos = static_cast<std::uint32_t>(mix64(block)) & tmask_;
         std::uint32_t reuse = kNoSlot;
@@ -208,7 +243,7 @@ class UpdateBuffer
     }
 
     /** First insertable position for @p block (key known absent). */
-    std::uint32_t find_free(Addr block) const
+    std::uint32_t find_free(AddrT block) const
     {
         std::uint32_t pos = static_cast<std::uint32_t>(mix64(block)) & tmask_;
         while (table_[pos] < kTomb) {
@@ -218,7 +253,7 @@ class UpdateBuffer
     }
 
     /** Tombstone the table entry pointing at the live slot of @p block. */
-    void erase_key(Addr block)
+    void erase_key(AddrT block)
     {
         std::uint32_t pos = static_cast<std::uint32_t>(mix64(block)) & tmask_;
         while (table_[pos] != kEmpty) {
@@ -284,6 +319,18 @@ class UpdateBuffer
     std::uint64_t next_seq_ = 0;
     std::uint64_t overflow_evictions_ = 0;
 };
+
+/** The Virtual Update Buffer: discarded candidates, virtual keys. */
+using VirtUpdateBuffer = UpdateBuffer<VirtAddr>;
+
+/** The Physical Update Buffer: issued candidates, physical keys. */
+using PhysUpdateBuffer = UpdateBuffer<PhysAddr>;
+
+// save_state/restore_state are defined (and the two space
+// instantiations emitted) in update_buffer.cc, keeping the snapshot
+// machinery out of this hot-path header.
+extern template class UpdateBuffer<VirtAddr>;
+extern template class UpdateBuffer<PhysAddr>;
 
 }  // namespace moka
 

@@ -164,7 +164,7 @@ Berti::on_access(const PrefetchContext &ctx,
             continue;
         }
         PrefetchRequest req;
-        req.vaddr = static_cast<Addr>(target) << kBlockBits;
+        req.vaddr = VirtAddr{static_cast<Addr>(target) << kBlockBits};
         req.delta = delta;
         req.trigger_pc = ctx.pc;
         req.trigger_vaddr = ctx.vaddr;

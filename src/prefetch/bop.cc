@@ -39,7 +39,7 @@ Bop::end_phase()
 }
 
 void
-Bop::on_fill(Addr vaddr, Cycle /*now*/, bool was_prefetch)
+Bop::on_fill(VirtAddr vaddr, Cycle /*now*/, bool was_prefetch)
 {
     // Fill-time insertion is what makes BOP timeliness-aware: offset
     // d only scores if the fill of X-d completed before X was
@@ -90,7 +90,7 @@ Bop::on_access(const PrefetchContext &ctx,
         return;
     }
     PrefetchRequest req;
-    req.vaddr = static_cast<Addr>(target) << kBlockBits;
+    req.vaddr = VirtAddr{static_cast<Addr>(target) << kBlockBits};
     req.delta = best_;
     req.trigger_pc = ctx.pc;
     req.trigger_vaddr = ctx.vaddr;

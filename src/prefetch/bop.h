@@ -36,7 +36,7 @@ class Bop : public Prefetcher
     void on_access(const PrefetchContext &ctx,
                    std::vector<PrefetchRequest> &out) override;
 
-    void on_fill(Addr vaddr, Cycle now, bool was_prefetch) override;
+    void on_fill(VirtAddr vaddr, Cycle now, bool was_prefetch) override;
 
     const std::string &name() const override { return name_; }
 

@@ -20,7 +20,7 @@ emit(std::vector<PrefetchRequest> &out, Addr line, std::int64_t delta,
         return;
     }
     PrefetchRequest req;
-    req.vaddr = static_cast<Addr>(target) << kBlockBits;
+    req.vaddr = VirtAddr{static_cast<Addr>(target) << kBlockBits};
     req.delta = delta;
     req.trigger_pc = ctx.pc;
     req.trigger_vaddr = ctx.vaddr;

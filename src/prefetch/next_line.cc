@@ -18,7 +18,7 @@ NextLine::on_access(const PrefetchContext &ctx,
     const Addr line = block_number(ctx.vaddr);
     for (unsigned d = 1; d <= degree_; ++d) {
         PrefetchRequest req;
-        req.vaddr = (line + d) << kBlockBits;
+        req.vaddr = VirtAddr{(line + d) << kBlockBits};
         req.delta = static_cast<std::int64_t>(d);
         req.trigger_pc = ctx.pc;
         req.trigger_vaddr = ctx.vaddr;

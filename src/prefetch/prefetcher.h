@@ -24,21 +24,22 @@ class SnapshotWriter;
 /** One prefetch candidate produced by a prefetcher. */
 struct PrefetchRequest
 {
-    Addr vaddr = 0;         //!< block-aligned target (virtual for L1D)
-    std::int64_t delta = 0; //!< block delta from the trigger access
-    Addr trigger_pc = 0;    //!< PC of the triggering load/store
-    Addr trigger_vaddr = 0; //!< virtual address of the trigger
-    std::uint64_t meta = 0; //!< prefetcher-specific metadata for
-                            //!< specialized filter features (paper
-                            //!< SIII-D1 extension): Berti exports the
-                            //!< delta's timeliness count, IPCP its
-                            //!< class, BOP its best score
+    VirtAddr vaddr{};        //!< block-aligned target (virtual for L1D)
+    std::int64_t delta = 0;  //!< block delta from the trigger access
+    Addr trigger_pc = 0;     //!< PC of the triggering load/store
+    VirtAddr trigger_vaddr{}; //!< virtual address of the trigger
+    std::uint64_t meta = 0;  //!< prefetcher-specific metadata for
+                             //!< specialized filter features (paper
+                             //!< SIII-D1 extension): Berti exports the
+                             //!< delta's timeliness count, IPCP its
+                             //!< class, BOP its best score
 };
 
 /** Demand-access context handed to a prefetcher. */
 struct PrefetchContext
 {
-    Addr vaddr = 0;   //!< accessed virtual (L1D) / physical (L2) address
+    VirtAddr vaddr{}; //!< accessed address (virtual for L1D; L2
+                      //!< prefetchers enter via physical_context())
     Addr pc = 0;      //!< instruction pointer
     bool hit = false; //!< demand hit in the host cache
     bool store = false;
@@ -66,7 +67,7 @@ class Prefetcher
      * @param now          fill completion cycle
      * @param was_prefetch true when the fill came from a prefetch
      */
-    virtual void on_fill(Addr vaddr, Cycle now, bool was_prefetch)
+    virtual void on_fill(VirtAddr vaddr, Cycle now, bool was_prefetch)
     {
         (void)vaddr; (void)now; (void)was_prefetch;
     }
@@ -113,6 +114,36 @@ PrefetcherPtr make_l1d_prefetcher(L1dPrefetcherKind kind,
 
 /** Build an L2C prefetcher (physical addresses, in-page only). */
 PrefetcherPtr make_l2_prefetcher(L2PrefetcherKind kind);
+
+/*
+ * L2C prefetchers train on *physical* addresses but reuse the
+ * Prefetcher interface, whose context/request carry VirtAddr for the
+ * VIPT L1D. These two adapters are the single documented seam (rule
+ * L18) where a physical address is re-labelled on the way into an
+ * in-page L2 prefetcher and its candidates are re-labelled back.
+ * L2 candidates never leave the physical page of the trigger, so the
+ * re-labelled bits cannot alias a genuine virtual address downstream.
+ */
+
+/** Wrap a physical demand access for an L2C prefetcher. */
+inline PrefetchContext
+physical_context(PhysAddr paddr, Addr pc, bool hit, bool store, Cycle now)
+{
+    PrefetchContext ctx;
+    ctx.vaddr = VirtAddr{paddr.raw()};  // LINT_ADDR_OK: L2 physical seam
+    ctx.pc = pc;
+    ctx.hit = hit;
+    ctx.store = store;
+    ctx.now = now;
+    return ctx;
+}
+
+/** Recover the physical target of an L2C prefetch candidate. */
+inline PhysAddr
+physical_target(const PrefetchRequest &req)
+{
+    return PhysAddr{req.vaddr.raw()};  // LINT_ADDR_OK: L2 physical seam
+}
 
 /** Parse "berti"/"ipcp"/"bop"/"nl" into a kind. */
 L1dPrefetcherKind parse_l1d_kind(const std::string &s);

@@ -25,7 +25,7 @@ void
 Spp::on_access(const PrefetchContext &ctx,
                std::vector<PrefetchRequest> &out)
 {
-    const Addr page = page_number(ctx.vaddr);
+    const Addr page = page_index(ctx.vaddr);
     const std::int32_t offset =
         static_cast<std::int32_t>(line_in_page(ctx.vaddr) & (kBlocksPerPage - 1));
 
@@ -100,7 +100,7 @@ Spp::on_access(const PrefetchContext &ctx,
             break;  // physical page boundary: stop (PIPT safety)
         }
         PrefetchRequest req;
-        req.vaddr = (page << kPageBits) +
+        req.vaddr = page_addr(ctx.vaddr) +
                     (static_cast<Addr>(cur) << kBlockBits);
         req.delta = best->delta;
         req.trigger_pc = ctx.pc;

@@ -54,7 +54,7 @@ StridePrefetcher::on_access(const PrefetchContext &ctx,
             continue;
         }
         PrefetchRequest req;
-        req.vaddr = static_cast<Addr>(target) << kBlockBits;
+        req.vaddr = VirtAddr{static_cast<Addr>(target) << kBlockBits};
         req.delta = e.stride * static_cast<std::int64_t>(d);
         req.trigger_pc = ctx.pc;
         req.trigger_vaddr = ctx.vaddr;

@@ -28,7 +28,7 @@ ThrottledPrefetcher::on_access(const PrefetchContext &ctx,
 }
 
 void
-ThrottledPrefetcher::on_fill(Addr vaddr, Cycle now, bool was_prefetch)
+ThrottledPrefetcher::on_fill(VirtAddr vaddr, Cycle now, bool was_prefetch)
 {
     inner_->on_fill(vaddr, now, was_prefetch);
     if (was_prefetch && ++window_fills_ >= cfg_.interval_fills) {

@@ -98,7 +98,7 @@ CoreComplex::CoreComplex(const MachineConfig &cfg, Cache *llc,
 CoreComplex::~CoreComplex() = default;
 
 CoreComplex::Translated
-CoreComplex::translate_demand(Addr vaddr, Cycle now)
+CoreComplex::translate_demand(VirtAddr vaddr, Cycle now)
 {
     Translated out;
     Tlb::Result d = dtlb_->lookup(vaddr, now, /*demand=*/true);
@@ -123,7 +123,7 @@ CoreComplex::translate_demand(Addr vaddr, Cycle now)
             out.done = w.done;
         }
     }
-    out.paddr = out.page_base + (out.large ? (vaddr & (kLargePageSize - 1))
+    out.paddr = out.page_base + (out.large ? large_page_offset(vaddr)
                                            : page_offset(vaddr));
     return out;
 }
@@ -136,9 +136,9 @@ CoreComplex::process_candidate(const PrefetchRequest &req,
 
     if (!pgc) {
         // In-page prefetch: reuse the trigger's translation.
-        const Addr paddr =
+        const PhysAddr paddr =
             trigger.page_base +
-            (trigger.large ? (req.vaddr & (kLargePageSize - 1))
+            (trigger.large ? large_page_offset(req.vaddr)
                            : page_offset(req.vaddr));
         const AccessResult r =
             l1d_->access(paddr, AccessType::kPrefetch, now, false);
@@ -184,7 +184,7 @@ CoreComplex::process_candidate(const PrefetchRequest &req,
     // --- TLB probe and (possibly) speculative walk (steps C-D) -------
     const bool used_filter = cfg_.scheme.policy == PgcPolicy::kFilter &&
                              filter_ != nullptr;
-    Addr page_base;
+    PhysAddr page_base;
     bool large;
     Cycle t;
     Tlb::Result d = dtlb_->lookup(req.vaddr, now, /*demand=*/false);
@@ -215,8 +215,8 @@ CoreComplex::process_candidate(const PrefetchRequest &req,
         }
     }
 
-    const Addr paddr =
-        page_base + (large ? (req.vaddr & (kLargePageSize - 1))
+    const PhysAddr paddr =
+        page_base + (large ? large_page_offset(req.vaddr)
                            : page_offset(req.vaddr));
     const AccessResult r =
         l1d_->access(paddr, AccessType::kPrefetch, t, /*pgc=*/true);
@@ -242,21 +242,23 @@ CoreComplex::run_l1d_prefetcher(const PrefetchContext &ctx,
 }
 
 void
-CoreComplex::run_l2_prefetcher(Addr trigger_paddr, Addr pc, Cycle now)
+CoreComplex::run_l2_prefetcher(PhysAddr trigger_paddr, Addr pc, Cycle now)
 {
     l2_pf_buffer_.clear();
-    PrefetchContext ctx;
-    ctx.vaddr = trigger_paddr;  // L2 prefetchers see physical addresses
-    ctx.pc = pc;
-    ctx.hit = false;
-    ctx.now = now;
+    // L2 prefetchers train and prefetch on physical addresses; the
+    // physical_context/physical_target adapters are the declared
+    // re-labelling seam for reusing the Prefetcher interface there.
+    const PrefetchContext ctx =
+        physical_context(trigger_paddr, pc, /*hit=*/false,
+                         /*store=*/false, now);
     l2_pf_->on_access(ctx, l2_pf_buffer_);
     for (const PrefetchRequest &req : l2_pf_buffer_) {
         // PIPT safety: physical page crossing is never allowed at L2.
         if (crosses_page(req.trigger_vaddr, req.vaddr)) {
             continue;
         }
-        l2_->access(req.vaddr, AccessType::kPrefetch, now, false);
+        l2_->access(physical_target(req), AccessType::kPrefetch, now,
+                    false);
     }
 }
 
@@ -438,7 +440,7 @@ CoreComplex::audit(AuditReport &report) const
 }
 
 void
-CoreComplex::on_pgc_first_use(Addr block_paddr)
+CoreComplex::on_pgc_first_use(PhysAddr block_paddr)
 {
     ++epoch_pgc_useful_;
     if (filter_ != nullptr) {
@@ -447,7 +449,7 @@ CoreComplex::on_pgc_first_use(Addr block_paddr)
 }
 
 void
-CoreComplex::on_eviction(Addr block_paddr, bool prefetched, bool pgc,
+CoreComplex::on_eviction(PhysAddr block_paddr, bool prefetched, bool pgc,
                          bool used)
 {
     if (!prefetched || !pgc) {

@@ -154,8 +154,8 @@ class CoreComplex : public CacheListener
     const PageCrossFilter *filter() const { return filter_.get(); }
 
     // CacheListener (L1D lifetime events):
-    void on_pgc_first_use(Addr block_paddr) override;
-    void on_eviction(Addr block_paddr, bool prefetched, bool pgc,
+    void on_pgc_first_use(PhysAddr block_paddr) override;
+    void on_eviction(PhysAddr block_paddr, bool prefetched, bool pgc,
                      bool used) override;
 
     /**
@@ -181,20 +181,20 @@ class CoreComplex : public CacheListener
     friend struct AuditAccess;
     struct Translated
     {
-        Addr paddr = 0;
-        Addr page_base = 0;
+        PhysAddr paddr{};
+        PhysAddr page_base{};
         bool large = false;
         Cycle done = 0;
     };
 
-    Translated translate_demand(Addr vaddr, Cycle now);
+    Translated translate_demand(VirtAddr vaddr, Cycle now);
     void handle_memory(const TraceInst &inst, Cycle dispatch,
                        Cycle &complete);
     void run_l1d_prefetcher(const PrefetchContext &ctx,
                             const Translated &trigger);
     void process_candidate(const PrefetchRequest &req,
                            const Translated &trigger, Cycle now);
-    void run_l2_prefetcher(Addr trigger_paddr, Addr pc, Cycle now);
+    void run_l2_prefetcher(PhysAddr trigger_paddr, Addr pc, Cycle now);
     //! interval/epoch cadence work: amortized over interval_insts
     //! accesses, so it is exempt from the per-access contract
     SIM_COLD void interval_tick();

@@ -32,6 +32,7 @@
 #include "common/rng.h"
 #include "common/sat_counter.h"
 #include "common/stats.h"
+#include "common/types.h"
 #include "snapshot/format.h"
 
 namespace moka {
@@ -146,6 +147,45 @@ get_vec_f64(SnapshotReader &r, std::vector<double> &v)
     for (double &x : v) {
         x = r.get_f64();
     }
+}
+
+/*
+ * Serialization is a whitelisted exit from the strong address types
+ * (types.h / ARCHITECTURE.md): a snapshot stores raw bits, so typed
+ * addresses and page numbers pass through here instead of scattering
+ * `.raw()` across component save/restore code.
+ */
+
+/** Save one typed address (virtual or physical). */
+template <class Tag>
+inline void
+put_addr(SnapshotWriter &w, StrongAddr<Tag> a)
+{
+    w.put_u64(a.raw());
+}
+
+/** Restore one typed address. */
+template <class Tag>
+inline void
+get_addr(SnapshotReader &r, StrongAddr<Tag> &a)
+{
+    a = StrongAddr<Tag>{r.get_u64()};
+}
+
+/** Save one typed page number (VPN or PPN). */
+template <class Tag>
+inline void
+put_addr(SnapshotWriter &w, StrongPageNum<Tag> p)
+{
+    w.put_u64(p.raw());
+}
+
+/** Restore one typed page number. */
+template <class Tag>
+inline void
+get_addr(SnapshotReader &r, StrongPageNum<Tag> &p)
+{
+    p = StrongPageNum<Tag>{r.get_u64()};
 }
 
 inline void

@@ -477,7 +477,9 @@ class SyntheticWorkload : public Workload
                           ? OpClass::kStore
                           : OpClass::kLoad;
             inst.pc = kCodeBase + a.pc;
-            inst.mem_addr = a.addr;
+            // Trace synthesis: the one place raw generated addresses
+            // become typed virtual addresses.
+            inst.mem_addr = VirtAddr{a.addr};
             inst.dep_load = a.dependent;
         } else {
             inst.op = OpClass::kAlu;

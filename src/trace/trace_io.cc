@@ -43,7 +43,7 @@ record_trace(const std::string &path, Workload &workload,
         const TraceInst inst = workload.next();
         TraceRecord rec{};
         rec.pc = inst.pc;
-        rec.mem_addr = inst.mem_addr;
+        rec.mem_addr = inst.mem_addr.raw();  // LINT_ADDR_OK: trace file format
         rec.target = inst.target;
         rec.op = static_cast<std::uint8_t>(inst.op);
         rec.taken = inst.taken ? 1 : 0;
@@ -123,7 +123,7 @@ TraceFileWorkload::next()
     cursor_ = (cursor_ + 1) % records_.size();
     TraceInst inst;
     inst.pc = rec.pc;
-    inst.mem_addr = rec.mem_addr;
+    inst.mem_addr = VirtAddr{rec.mem_addr};
     inst.target = rec.target;
     inst.op = static_cast<OpClass>(rec.op);
     inst.taken = rec.taken != 0;

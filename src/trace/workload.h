@@ -28,7 +28,7 @@ struct TraceInst
 {
     Addr pc = 0;                 //!< virtual PC of the instruction
     OpClass op = OpClass::kAlu;  //!< instruction class
-    Addr mem_addr = 0;           //!< virtual data address (load/store)
+    VirtAddr mem_addr{};         //!< virtual data address (load/store)
     bool taken = false;          //!< branch outcome
     Addr target = 0;             //!< branch target PC (taken branches)
     bool dep_load = false;       //!< load address depends on the

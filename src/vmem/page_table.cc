@@ -62,39 +62,42 @@ PageTable::alloc_large_frame()
 }
 
 bool
-PageTable::is_large_region(Addr vaddr) const
+PageTable::is_large_region(VirtAddr vaddr) const
 {
     if (cfg_.large_page_fraction <= 0.0) {
         return false;
     }
     // Deterministic per-region coin flip so every simulation of the
     // same address space agrees on page sizes.
-    const Addr region = large_page_number(vaddr);
+    const Addr region = large_page_number(vaddr.raw());
     const double draw =
         static_cast<double>(mix64(region ^ cfg_.seed) >> 11) * 0x1.0p-53;
     return draw < cfg_.large_page_fraction;
 }
 
 Translation
-PageTable::translate(Addr vaddr)
+PageTable::translate(VirtAddr vaddr)
 {
+    // The page table is the authoritative VA->PA bridge: virtual
+    // bits unwrap here, physical bits wrap on the way out (the page
+    // maps and frame allocator speak raw frame numbers).
     Translation t;
     if (is_large_region(vaddr)) {
-        const Addr lvpn = large_page_number(vaddr);
+        const Addr lvpn = large_page_number(vaddr.raw());
         auto [frame, inserted] = large_page_map_.try_emplace(lvpn);
         if (inserted) {
             *frame = alloc_large_frame();
         }
-        t.paddr = *frame + (vaddr & (kLargePageSize - 1));
+        t.paddr = PhysAddr{*frame + large_page_offset(vaddr.raw())};
         t.large = true;
         return t;
     }
-    const Addr vpn = page_number(vaddr);
+    const Addr vpn = page_number(vaddr.raw());
     auto [frame, inserted] = page_map_.try_emplace(vpn);
     if (inserted) {
         *frame = alloc_frame();
     }
-    t.paddr = *frame + page_offset(vaddr);
+    t.paddr = PhysAddr{*frame + page_offset(vaddr.raw())};
     t.large = false;
     return t;
 }
@@ -110,23 +113,24 @@ PageTable::table_frame(unsigned level, Addr prefix)
 }
 
 unsigned
-PageTable::walk_addresses(Addr vaddr, std::array<Addr, 5> &out)
+PageTable::walk_addresses(VirtAddr vaddr, std::array<PhysAddr, 5> &out)
 {
     // Levels top-down: PML5 (radix level 4) .. PT (radix level 0).
     // Table frames are keyed by the VA prefix above each table so
     // adjacent pages share leaf tables, giving walks cache locality.
-    out[0] = root_ + radix_index(vaddr, 4) * 8;
-    const Addr pml4 = table_frame(3, vaddr >> (kPageBits + 9 * 4));
-    out[1] = pml4 + radix_index(vaddr, 3) * 8;
-    const Addr pdpt = table_frame(2, vaddr >> (kPageBits + 9 * 3));
-    out[2] = pdpt + radix_index(vaddr, 2) * 8;
-    const Addr pd = table_frame(1, vaddr >> (kPageBits + 9 * 2));
-    out[3] = pd + radix_index(vaddr, 1) * 8;
+    const Addr va = vaddr.raw();
+    out[0] = PhysAddr{root_ + radix_index(va, 4) * 8};
+    const Addr pml4 = table_frame(3, va >> (kPageBits + 9 * 4));
+    out[1] = PhysAddr{pml4 + radix_index(va, 3) * 8};
+    const Addr pdpt = table_frame(2, va >> (kPageBits + 9 * 3));
+    out[2] = PhysAddr{pdpt + radix_index(va, 2) * 8};
+    const Addr pd = table_frame(1, va >> (kPageBits + 9 * 2));
+    out[3] = PhysAddr{pd + radix_index(va, 1) * 8};
     if (is_large_region(vaddr)) {
         return 4;  // PDE maps the 2MB page directly
     }
-    const Addr pt = table_frame(0, vaddr >> (kPageBits + 9));
-    out[4] = pt + radix_index(vaddr, 0) * 8;
+    const Addr pt = table_frame(0, va >> (kPageBits + 9));
+    out[4] = PhysAddr{pt + radix_index(va, 0) * 8};
     return 5;
 }
 

@@ -42,7 +42,7 @@ struct VmemConfig
 /** Result of an address translation. */
 struct Translation
 {
-    Addr paddr = 0;    //!< translated physical byte address
+    PhysAddr paddr{};   //!< translated physical byte address
     bool large = false; //!< backed by a 2MB page
 };
 
@@ -57,8 +57,11 @@ class PageTable
   public:
     explicit PageTable(const VmemConfig &config);
 
-    /** Translate @p vaddr, allocating the mapping on demand. */
-    Translation translate(Addr vaddr);
+    /**
+     * Translate @p vaddr, allocating the mapping on demand — the
+     * authoritative VA->PA bridge (see ARCHITECTURE.md).
+     */
+    Translation translate(VirtAddr vaddr);
 
     /**
      * Physical addresses of the page-table entries a full walk reads,
@@ -68,13 +71,13 @@ class PageTable
      * @param out   filled with up to 5 entry addresses
      * @return number of levels to read (4 for 2MB mappings, 5 for 4KB)
      */
-    unsigned walk_addresses(Addr vaddr, std::array<Addr, 5> &out);
+    unsigned walk_addresses(VirtAddr vaddr, std::array<PhysAddr, 5> &out);
 
     /** Number of 4KB data pages mapped so far. */
     std::size_t mapped_pages() const { return page_map_.size(); }
 
     /** True if the 2MB region containing @p vaddr uses a large page. */
-    bool is_large_region(Addr vaddr) const;
+    bool is_large_region(VirtAddr vaddr) const;
 
     /** Serialize mappings, table frames, frame sets and the RNG. */
     void save_state(SnapshotWriter &w) const;

@@ -51,7 +51,7 @@ Tlb::install(std::vector<Entry> &arr, std::uint32_t sets,
 }
 
 Tlb::Result
-Tlb::lookup(Addr vaddr, Cycle now, bool demand)
+Tlb::lookup(VirtAddr vaddr, Cycle now, bool demand)
 {
     AccessStats &st = demand ? demand_ : probe_;
     ++st.accesses;
@@ -59,18 +59,21 @@ Tlb::lookup(Addr vaddr, Cycle now, bool demand)
     Result r;
     r.done = now + cfg_.latency;
 
-    if (Entry *e = find(small_, cfg_.sets, cfg_.ways, page_number(vaddr))) {
+    // Entries store raw VPN/page-base bits; the TLB is a whitelisted
+    // translation seam (rule L18) so the unwrap happens here, once.
+    if (Entry *e = find(small_, cfg_.sets, cfg_.ways,
+                        page_number(vaddr.raw()))) {
         e->lru = ++lru_stamp_;
         r.hit = true;
-        r.page_base = e->page_base;
+        r.page_base = PhysAddr{e->page_base};
         r.large = false;
         return r;
     }
     if (Entry *e = find(large_, cfg_.large_sets, cfg_.large_ways,
-                        large_page_number(vaddr))) {
+                        large_page_number(vaddr.raw()))) {
         e->lru = ++lru_stamp_;
         r.hit = true;
-        r.page_base = e->page_base;
+        r.page_base = PhysAddr{e->page_base};
         r.large = true;
         return r;
     }
@@ -79,17 +82,18 @@ Tlb::lookup(Addr vaddr, Cycle now, bool demand)
 }
 
 void
-Tlb::fill(Addr vaddr, Addr page_base, bool large, bool from_prefetch)
+Tlb::fill(VirtAddr vaddr, PhysAddr page_base, bool large,
+          bool from_prefetch)
 {
     if (from_prefetch) {
         ++prefetch_fills_;
     }
     if (large) {
         install(large_, cfg_.large_sets, cfg_.large_ways,
-                large_page_number(vaddr), page_base);
+                large_page_number(vaddr.raw()), page_base.raw());
     } else {
-        install(small_, cfg_.sets, cfg_.ways, page_number(vaddr),
-                page_base);
+        install(small_, cfg_.sets, cfg_.ways, page_number(vaddr.raw()),
+                page_base.raw());
     }
 }
 

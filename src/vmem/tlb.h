@@ -41,22 +41,23 @@ class Tlb
     struct Result
     {
         bool hit = false;
-        Addr page_base = 0;  //!< physical base of the enclosing page
+        PhysAddr page_base{};  //!< physical base of the enclosing page
         bool large = false;
-        Cycle done = 0;      //!< lookup completion cycle
+        Cycle done = 0;        //!< lookup completion cycle
     };
 
     explicit Tlb(const TlbConfig &config);
 
     /**
-     * Translate lookup.
+     * Translate lookup — one of the three legal bridges between the
+     * virtual and physical address spaces (see ARCHITECTURE.md).
      *
      * @param vaddr  virtual address
      * @param now    arrival cycle
      * @param demand true for demand accesses (counted in MPKI);
      *               false for prefetch probes (counted separately)
      */
-    Result lookup(Addr vaddr, Cycle now, bool demand);
+    Result lookup(VirtAddr vaddr, Cycle now, bool demand);
 
     /**
      * Install a translation.
@@ -66,7 +67,8 @@ class Tlb
      * @param large     2MB entry
      * @param from_prefetch fill caused by a page-cross prefetch
      */
-    void fill(Addr vaddr, Addr page_base, bool large, bool from_prefetch);
+    void fill(VirtAddr vaddr, PhysAddr page_base, bool large,
+              bool from_prefetch);
 
     /** Demand access/miss counters. */
     const AccessStats &demand_stats() const { return demand_; }

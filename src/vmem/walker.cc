@@ -55,7 +55,7 @@ PageWalker::PageWalker(const WalkerConfig &config, PageTable *table,
 }
 
 PageWalker::WalkResult
-PageWalker::walk(Addr vaddr, Cycle now, bool speculative)
+PageWalker::walk(VirtAddr vaddr, Cycle now, bool speculative)
 {
     if (speculative) {
         ++spec_walks_;
@@ -67,22 +67,24 @@ PageWalker::walk(Addr vaddr, Cycle now, bool speculative)
     auto slot = std::min_element(walker_free_.begin(), walker_free_.end());
     Cycle t = std::max(now, *slot);
 
-    std::array<Addr, 5> pte_addrs;
+    std::array<PhysAddr, 5> pte_addrs;
     const unsigned levels = table_->walk_addresses(vaddr, pte_addrs);
 
     // Split PSC lookup (parallel, 1 cycle): deepest hit decides how
     // many upper-level reads the walk may skip. PSC prefixes, deepest
     // first. A PDE-PSC hit on a 2MB mapping resolves the translation
-    // outright (the PDE is the leaf).
+    // outright (the PDE is the leaf). PSCs are keyed by raw VA
+    // prefixes; the walker is part of the vmem translation seam.
+    const Addr va = vaddr.raw();
     t += cfg_.psc_latency;
     unsigned first_level = 0;  // index into pte_addrs to start reading at
-    if (psc_pde_.lookup(vaddr >> kLargePageBits)) {
+    if (psc_pde_.lookup(va >> kLargePageBits)) {
         first_level = 4;
-    } else if (psc_pdpte_.lookup(vaddr >> 30)) {
+    } else if (psc_pdpte_.lookup(va >> 30)) {
         first_level = 3;
-    } else if (psc_pml4_.lookup(vaddr >> 39)) {
+    } else if (psc_pml4_.lookup(va >> 39)) {
         first_level = 2;
-    } else if (psc_pml5_.lookup(vaddr >> 48)) {
+    } else if (psc_pml5_.lookup(va >> 48)) {
         first_level = 1;
     }
 
@@ -96,16 +98,16 @@ PageWalker::walk(Addr vaddr, Cycle now, bool speculative)
 
     // Refill PSCs for every level the walk traversed.
     if (levels == 5) {
-        psc_pde_.fill(vaddr >> kLargePageBits);
+        psc_pde_.fill(va >> kLargePageBits);
     }
-    psc_pdpte_.fill(vaddr >> 30);
-    psc_pml4_.fill(vaddr >> 39);
-    psc_pml5_.fill(vaddr >> 48);
+    psc_pdpte_.fill(va >> 30);
+    psc_pml4_.fill(va >> 39);
+    psc_pml5_.fill(va >> 48);
 
     const Translation tr = table_->translate(vaddr);
     r.done = t;
-    r.page_base = tr.large ? (tr.paddr & ~(kLargePageSize - 1))
-                           : (tr.paddr & ~(kPageSize - 1));
+    r.page_base = tr.large ? PhysAddr{tr.paddr.raw() & ~(kLargePageSize - 1)}
+                           : PhysAddr{tr.paddr.raw() & ~(kPageSize - 1)};
     r.large = tr.large;
 
     *slot = t;

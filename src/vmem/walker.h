@@ -83,10 +83,10 @@ class PageWalker
     /** Result of a completed walk. */
     struct WalkResult
     {
-        Cycle done = 0;       //!< translation available
-        Addr page_base = 0;   //!< physical page base
-        bool large = false;   //!< 2MB mapping
-        unsigned mem_refs = 0; //!< memory accesses the walk issued
+        Cycle done = 0;         //!< translation available
+        PhysAddr page_base{};   //!< physical page base
+        bool large = false;     //!< 2MB mapping
+        unsigned mem_refs = 0;  //!< memory accesses the walk issued
     };
 
     /**
@@ -103,7 +103,7 @@ class PageWalker
      * @param speculative true for walks triggered by page-cross
      *                    prefetches (counted separately)
      */
-    WalkResult walk(Addr vaddr, Cycle now, bool speculative);
+    WalkResult walk(VirtAddr vaddr, Cycle now, bool speculative);
 
     /** Demand walks performed. */
     std::uint64_t demand_walks() const { return demand_walks_; }

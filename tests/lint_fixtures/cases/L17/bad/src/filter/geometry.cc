@@ -1,0 +1,36 @@
+#include "common/types.h"
+
+namespace moka {
+
+// Raw page geometry in component code: every form L17 exists to stop.
+Addr
+vpn_of(Addr vaddr)
+{
+    return vaddr >> 12;  // should be page_number()
+}
+
+Addr
+large_region_of(Addr vaddr)
+{
+    return vaddr >> kLargePageBits;  // named constant, flagged anywhere
+}
+
+Addr
+rebuild(Addr vpn)
+{
+    return vpn << kPageBits;  // should be page_base_addr()
+}
+
+Addr
+offset_of(Addr paddr)
+{
+    return paddr & 0xFFF;  // should be page_offset()
+}
+
+Addr
+page_base_of(Addr paddr)
+{
+    return paddr & ~(kPageSize - 1);  // should be page_addr()
+}
+
+}  // namespace moka

@@ -1,0 +1,49 @@
+#include <iostream>
+
+#include "common/types.h"
+
+namespace moka {
+
+// The compliant twin: typed helpers, the annotation escape, and the
+// shift-lookalikes (stream ops, template closers, non-geometry
+// shifts) that the disambiguation must not flag.
+VirtPageNum
+vpn_of(VirtAddr vaddr)
+{
+    return page_number(vaddr);
+}
+
+Addr
+offset_of(PhysAddr paddr)
+{
+    return page_offset(paddr);
+}
+
+Addr
+packed(Addr vaddr)
+{
+    // LINT_GEOM_OK: trace file format packs VPN and offset in one word
+    return (vaddr >> 12) << 12;
+}
+
+std::uint16_t
+signature(std::uint64_t sig, std::uint64_t delta)
+{
+    // 12-bit table hashing, not page geometry: no address operand.
+    return static_cast<std::uint16_t>(((sig << 3) ^ delta) & 0xFFF);
+}
+
+void
+report(std::ostream &os, VirtAddr vaddr)
+{
+    os << 12 << " pages near " << page_number(vaddr).raw() << "\n";
+    std::cout << 21 << "\n";
+}
+
+std::vector<std::pair<int, std::vector<int>>>
+nested_template_closer()
+{
+    return {};
+}
+
+}  // namespace moka

@@ -1,0 +1,20 @@
+#include "common/types.h"
+
+namespace moka {
+
+// Unannotated .raw() in component code: the typed world leaks.
+Addr
+leak(VirtAddr vaddr)
+{
+    return vaddr.raw();
+}
+
+bool
+compare_across_spaces(VirtAddr v, PhysAddr p)
+{
+    // The exact bug class the types exist to prevent, smuggled back
+    // in through the escape hatch.
+    return v.raw() == p.raw();
+}
+
+}  // namespace moka

@@ -1,0 +1,18 @@
+#include "common/types.h"
+
+namespace moka {
+
+// Typed end to end: no escape hatch needed.
+Addr
+block_of(VirtAddr vaddr)
+{
+    return block_number(vaddr);
+}
+
+std::uint64_t
+file_record(VirtAddr vaddr)
+{
+    return vaddr.raw();  // LINT_ADDR_OK: trace file format is untyped
+}
+
+}  // namespace moka

@@ -25,6 +25,7 @@ sys.path.insert(0, str(REPO))
 
 from tools.simlint import lint  # noqa: E402
 from tools.simlint.api import _render_github, apply_fixes  # noqa: E402
+from tools.simlint.cppparse import shift_sites  # noqa: E402
 from tools.simlint.lexer import strip_code  # noqa: E402
 from tools.simlint.registry import RULES  # noqa: E402
 
@@ -172,6 +173,52 @@ class LexerRegression(unittest.TestCase):
         self.assertEqual(code.count("\n"), raw.count("\n"))
         self.assertNotIn("assert", code)
         self.assertIn("b();", code)
+
+
+class ShiftDisambiguation(unittest.TestCase):
+    """`<<`/`>>` as shift vs stream op vs template closer (L17)."""
+
+    def ops(self, line):
+        return [(op, rhs.strip()) for _, op, rhs in shift_sites(line)]
+
+    def test_plain_shifts_are_sites(self):
+        self.assertEqual(
+            self.ops("vpn = vaddr >> 12;"), [(">>", "12;")]
+        )
+        self.assertEqual(
+            self.ops("base = vpn << kPageBits;"), [("<<", "kPageBits;")]
+        )
+
+    def test_compound_shift_assign_is_a_site(self):
+        self.assertEqual(self.ops("vaddr >>= 12;"), [(">>", "12;")])
+
+    def test_std_stream_insertion_is_not_a_shift(self):
+        self.assertEqual(self.ops("std::cout << 12;"), [])
+        self.assertEqual(self.ops("std::cerr << 21 << x;"), [])
+
+    def test_local_stream_names_are_not_shifts(self):
+        self.assertEqual(self.ops("os << 12;"), [])
+        self.assertEqual(self.ops("oss << 21;"), [])
+        self.assertEqual(self.ops("my_stream << 12;"), [])
+
+    def test_literal_adjacent_operators_are_stream_chains(self):
+        # strip_code keeps the quotes, so the rhs/lhs checks see them.
+        line = strip_code('out << "vpn " << 12 << " of " << vaddr;')
+        got = [op for _, op, _ in shift_sites(line)]
+        self.assertEqual(got, [])
+
+    def test_template_closer_is_not_a_shift(self):
+        self.assertEqual(
+            self.ops("std::vector<std::pair<int, std::vector<int>>> x;"),
+            [],
+        )
+
+    def test_shift_after_stream_chain_still_found(self):
+        # A genuine shift whose lhs is a parenthesized expression.
+        self.assertEqual(
+            self.ops("x = (vaddr + off) >> kLargePageBits;"),
+            [(">>", "kLargePageBits;")],
+        )
 
 
 class FixMode(unittest.TestCase):

@@ -1,0 +1,15 @@
+// Must FAIL: a virtual address never becomes physical by assignment;
+// only the TLB/page-table seam may re-tag.
+
+#include "common/types.h"
+
+namespace moka {
+
+PhysAddr
+violation(VirtAddr vaddr)
+{
+    PhysAddr paddr = vaddr;  // error: different tags
+    return paddr;
+}
+
+}  // namespace moka

@@ -1,0 +1,14 @@
+// Must FAIL: comparing a VA against a PA is the exact bug class the
+// types exist to kill (aliasing checks must pick one space first).
+
+#include "common/types.h"
+
+namespace moka {
+
+bool
+violation(VirtAddr vaddr, PhysAddr paddr)
+{
+    return vaddr == paddr;  // error: no mixed-tag operator==
+}
+
+}  // namespace moka

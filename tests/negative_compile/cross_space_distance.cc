@@ -1,0 +1,13 @@
+// Must FAIL: a byte distance between a VA and a PA is meaningless.
+
+#include "common/types.h"
+
+namespace moka {
+
+std::int64_t
+violation(VirtAddr vaddr, PhysAddr paddr)
+{
+    return vaddr - paddr;  // error: operands live in different spaces
+}
+
+}  // namespace moka

@@ -1,0 +1,13 @@
+// Must FAIL: a VPN is not a PPN; table keys stay in one space.
+
+#include "common/types.h"
+
+namespace moka {
+
+bool
+violation(VirtAddr vaddr, PhysAddr paddr)
+{
+    return page_number(vaddr) == page_number(paddr);  // error: mixed tags
+}
+
+}  // namespace moka

@@ -1,0 +1,14 @@
+// Must FAIL: entering an address space is always explicit.
+
+#include "common/types.h"
+
+namespace moka {
+
+VirtAddr
+violation(Addr bits)
+{
+    VirtAddr vaddr = bits;  // error: ctor is explicit
+    return vaddr;
+}
+
+}  // namespace moka

@@ -1,0 +1,14 @@
+// Must FAIL: leaving a space goes through .raw() (policed by L18),
+// never through an implicit conversion.
+
+#include "common/types.h"
+
+namespace moka {
+
+Addr
+violation(PhysAddr paddr)
+{
+    return paddr;  // error: no conversion to Addr
+}
+
+}  // namespace moka

@@ -1,0 +1,23 @@
+// Must COMPILE. Exercises the same headers and flags as the negative
+// cases so a harness misconfiguration (bad include path, missing
+// C++20) shows up as this control failing, not as every negative
+// case spuriously "passing".
+
+#include "common/types.h"
+#include "filter/update_buffer.h"
+#include "vmem/tlb.h"
+
+namespace moka {
+
+Addr
+control(VirtAddr vaddr, PhysAddr paddr, Tlb &tlb, Cycle now)
+{
+    tlb.fill(vaddr, page_addr(paddr), false, false);
+    tlb.lookup(vaddr, now, true);
+    VirtPageNum vpn = page_number(vaddr);
+    PhysDecisionRecord rec =
+        rekey_to_physical(VirtDecisionRecord{}, block_addr(paddr));
+    return vpn.raw() + page_offset(vaddr) + block_number(rec.block);
+}
+
+}  // namespace moka

@@ -1,0 +1,14 @@
+// Must FAIL: no raw shift/mask geometry on a typed address — use the
+// typed helpers (page_number, page_offset, ...) instead.
+
+#include "common/types.h"
+
+namespace moka {
+
+Addr
+violation(VirtAddr vaddr)
+{
+    return vaddr >> kPageBits;  // error: no operator>> on StrongAddr
+}
+
+}  // namespace moka

@@ -1,0 +1,16 @@
+// Must FAIL: the classic argument swap at a translation seam.
+// Tlb::fill takes (VirtAddr tag, PhysAddr frame); passing them in
+// the other order must not silently fill the TLB with garbage.
+
+#include "common/types.h"
+#include "vmem/tlb.h"
+
+namespace moka {
+
+void
+violation(Tlb &tlb, VirtAddr vaddr, PhysAddr page_base)
+{
+    tlb.fill(page_base, vaddr, false, false);  // error: swapped spaces
+}
+
+}  // namespace moka

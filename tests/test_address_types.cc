@@ -1,0 +1,166 @@
+// Positive half of the address-space type-safety contract: the
+// strong wrappers behave exactly like the raw scalars they replace
+// (same geometry results, same layout) while staying confined to one
+// space.  The negative half — that *mixing* spaces fails to build —
+// lives in tests/negative_compile/ as compile-failure ctest entries.
+
+#include <type_traits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/types.h"
+#include "filter/update_buffer.h"
+
+namespace moka {
+namespace {
+
+// Layout guarantees: a vector<VirtAddr> and a snapshot of one must
+// cost exactly what the raw integer costs.
+static_assert(sizeof(VirtAddr) == sizeof(Addr));
+static_assert(sizeof(PhysAddr) == sizeof(Addr));
+static_assert(sizeof(VirtPageNum) == sizeof(Addr));
+static_assert(sizeof(PhysPageNum) == sizeof(Addr));
+static_assert(std::is_trivially_copyable_v<VirtAddr>);
+static_assert(std::is_trivially_copyable_v<PhysPageNum>);
+
+// Entering a space is explicit only; no raw integer sneaks in.
+static_assert(!std::is_convertible_v<Addr, VirtAddr>);
+static_assert(!std::is_convertible_v<Addr, PhysAddr>);
+static_assert(!std::is_convertible_v<VirtAddr, Addr>);
+static_assert(!std::is_convertible_v<Addr, VirtPageNum>);
+
+// No bridge between the spaces outside the translation seams.
+static_assert(!std::is_convertible_v<VirtAddr, PhysAddr>);
+static_assert(!std::is_convertible_v<PhysAddr, VirtAddr>);
+static_assert(!std::is_convertible_v<VirtPageNum, PhysPageNum>);
+
+// The whole API is constexpr: geometry folds at compile time.
+static_assert(page_index(VirtAddr{0x1234'5678}) == 0x12345);
+static_assert(page_offset(VirtAddr{0x1234'5678}) == 0x678);
+static_assert(crosses_page(VirtAddr{0xFFF}, VirtAddr{0x1000}));
+static_assert(!crosses_page(PhysAddr{0x2000}, PhysAddr{0x2FFF}));
+
+TEST(AddressTypes, ExplicitConstructionAndRaw)
+{
+    constexpr Addr bits = 0xDEAD'BEEF'1234ull;
+    VirtAddr v{bits};
+    PhysAddr p{bits};
+    EXPECT_EQ(v.raw(), bits);
+    EXPECT_EQ(p.raw(), bits);
+    EXPECT_EQ(VirtAddr{}.raw(), 0u);
+}
+
+TEST(AddressTypes, SameSpaceComparisonAndOrdering)
+{
+    VirtAddr lo{0x1000};
+    VirtAddr hi{0x2000};
+    EXPECT_EQ(lo, VirtAddr{0x1000});
+    EXPECT_NE(lo, hi);
+    EXPECT_LT(lo, hi);
+    EXPECT_GE(hi, lo);
+}
+
+TEST(AddressTypes, ByteOffsetArithmeticStaysInSpace)
+{
+    VirtAddr v{0x1000};
+    EXPECT_EQ(v + 64, VirtAddr{0x1040});
+    EXPECT_EQ(v + (-16), VirtAddr{0xFF0});
+    EXPECT_EQ(v - 0x100, VirtAddr{0xF00});
+    v += kBlockSize;
+    EXPECT_EQ(v, VirtAddr{0x1040});
+
+    // Same-space subtraction is the signed byte distance.
+    EXPECT_EQ(VirtAddr{0x2000} - VirtAddr{0x1F80}, 0x80);
+    EXPECT_EQ(VirtAddr{0x1F80} - VirtAddr{0x2000}, -0x80);
+}
+
+TEST(AddressTypes, PageNumArithmetic)
+{
+    PhysPageNum ppn{100};
+    EXPECT_EQ(ppn + 3, PhysPageNum{103});
+    EXPECT_EQ(ppn + (-1), PhysPageNum{99});
+}
+
+// Every typed geometry helper must agree bit-for-bit with the raw
+// helper it shadows — the refactor moved call sites, not math.
+TEST(AddressTypes, TypedGeometryMatchesRawGeometry)
+{
+    const Addr samples[] = {0x0,
+                            0x7FF,
+                            0x1000,
+                            0x1FFFFF,
+                            0x200000,
+                            0x7FFF'FFFF'F123,
+                            0xFFFF'FFFF'FFFF'FFFFull};
+    for (Addr a : samples) {
+        VirtAddr v{a};
+        EXPECT_EQ(block_addr(v), VirtAddr{block_addr(a)});
+        EXPECT_EQ(block_number(v), block_number(a));
+        EXPECT_EQ(page_number(v), VirtPageNum{page_number(a)});
+        EXPECT_EQ(page_index(v), page_number(a));
+        EXPECT_EQ(page_addr(v), VirtAddr{page_addr(a)});
+        EXPECT_EQ(large_page_number(v), VirtPageNum{large_page_number(a)});
+        EXPECT_EQ(large_page_index(v), large_page_number(a));
+        EXPECT_EQ(page_offset(v), page_offset(a));
+        EXPECT_EQ(large_page_offset(v), large_page_offset(a));
+        EXPECT_EQ(line_in_page(v), line_in_page(a));
+    }
+}
+
+TEST(AddressTypes, PageBaseAddrRoundTrip)
+{
+    VirtAddr v{0xABCD'E123};
+    EXPECT_EQ(page_base_addr(page_number(v)), page_addr(v));
+    EXPECT_EQ(page_number(page_base_addr(VirtPageNum{0x42})),
+              VirtPageNum{0x42});
+}
+
+TEST(AddressTypes, CrossesPagePredicates)
+{
+    // Last block of a 4KB page vs the first of the next.
+    VirtAddr last{0x1FC0};
+    VirtAddr next{0x2000};
+    EXPECT_TRUE(crosses_page(last, next));
+    EXPECT_FALSE(crosses_page(last, last + 8));
+
+    // 2MB boundary: crossing a 4KB page is not crossing a large one.
+    PhysAddr a{0x1F'F000};
+    PhysAddr b{0x20'0000};
+    EXPECT_TRUE(crosses_page(a, b));
+    EXPECT_TRUE(crosses_large_page(a, b));
+    EXPECT_TRUE(crosses_page(PhysAddr{0xFFF}, PhysAddr{0x1000}));
+    EXPECT_FALSE(crosses_large_page(PhysAddr{0xFFF}, PhysAddr{0x1000}));
+}
+
+// The VA->PA seam of the update buffers: the learned payload carries
+// over unchanged, only the key changes space.
+TEST(AddressTypes, RekeyToPhysicalPreservesPayload)
+{
+    VirtDecisionRecord v;
+    v.block = VirtAddr{0x7F00'1040};
+    v.num_features = 3;
+    v.indexes = {11, 22, 33, 0, 0, 0, 0, 0};
+    v.system_mask = 0b101;
+
+    PhysDecisionRecord p = rekey_to_physical(v, PhysAddr{0x1234'5040});
+    EXPECT_EQ(p.block, PhysAddr{0x1234'5040});
+    EXPECT_EQ(p.num_features, v.num_features);
+    EXPECT_EQ(p.indexes, v.indexes);
+    EXPECT_EQ(p.system_mask, v.system_mask);
+}
+
+// Default-constructed wrappers are zero-initialised, so containers
+// of them start in a defined state (snapshot determinism relies on
+// this).
+TEST(AddressTypes, DefaultStateIsZero)
+{
+    std::vector<PhysAddr> frames(4);
+    for (PhysAddr f : frames) {
+        EXPECT_EQ(f, PhysAddr{0});
+    }
+    EXPECT_EQ(VirtPageNum{}.raw(), 0u);
+}
+
+}  // namespace
+}  // namespace moka

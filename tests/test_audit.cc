@@ -20,11 +20,11 @@
 namespace moka {
 namespace {
 
-DecisionRecord
+VirtDecisionRecord
 make_rec(Addr block_index)
 {
-    DecisionRecord r;
-    r.block = block_index * kBlockSize;
+    VirtDecisionRecord r;
+    r.block = VirtAddr{block_index * kBlockSize};
     r.num_features = 1;
     r.indexes[0] = 0;
     return r;
@@ -70,7 +70,7 @@ TEST(AuditReport, ForwardingRoutesToGlobalFailureCounter)
 
 TEST(AuditDeath, RequireViolationAborts)
 {
-    EXPECT_DEATH({ UpdateBuffer buffer(0); },
+    EXPECT_DEATH({ VirtUpdateBuffer buffer(0); },
                  "UpdateBuffer capacity must be positive");
 }
 
@@ -80,10 +80,10 @@ TEST(AuditDeath, RequireViolationAborts)
 
 TEST(AuditUpdateBuffer, CleanBufferIsSilent)
 {
-    UpdateBuffer buffer(4);
+    VirtUpdateBuffer buffer(4);
     buffer.insert(make_rec(1));
     buffer.insert(make_rec(2));
-    DecisionRecord out;
+    VirtDecisionRecord out;
     ASSERT_TRUE(buffer.take(make_rec(1).block, out));
 
     AuditReport report;
@@ -93,9 +93,10 @@ TEST(AuditUpdateBuffer, CleanBufferIsSilent)
 
 TEST(AuditUpdateBuffer, DetectsPhantomFifoSlot)
 {
-    UpdateBuffer buffer(4);
+    VirtUpdateBuffer buffer(4);
     buffer.insert(make_rec(1));
-    AuditAccess::corrupt_ub_phantom_fifo_slot(buffer, 0x9999 * kBlockSize);
+    AuditAccess::corrupt_ub_phantom_fifo_slot(buffer,
+                                              VirtAddr{0x9999 * kBlockSize});
 
     AuditReport report;
     audit::audit_update_buffer(buffer, "ub", report);
@@ -104,7 +105,7 @@ TEST(AuditUpdateBuffer, DetectsPhantomFifoSlot)
 
 TEST(AuditUpdateBuffer, DetectsIllegalFeatureCount)
 {
-    UpdateBuffer buffer(4);
+    VirtUpdateBuffer buffer(4);
     buffer.insert(make_rec(1));
     ASSERT_TRUE(AuditAccess::corrupt_ub_feature_count(buffer));
 
@@ -121,9 +122,9 @@ TEST(AuditUpdateBuffer, DetectsIllegalFeatureCount)
  */
 TEST(AuditUpdateBuffer, OverflowEvictsOldestLiveNotReinsertedRecord)
 {
-    UpdateBuffer buffer(4);
+    VirtUpdateBuffer buffer(4);
     buffer.insert(make_rec(1));  // A, oldest slot
-    DecisionRecord out;
+    VirtDecisionRecord out;
     ASSERT_TRUE(buffer.take(make_rec(1).block, out));  // stale A slot
     buffer.insert(make_rec(2));
     buffer.insert(make_rec(3));
@@ -147,8 +148,8 @@ TEST(AuditUpdateBuffer, OverflowEvictsOldestLiveNotReinsertedRecord)
 /** The FIFO must not grow without bound under insert/take churn. */
 TEST(AuditUpdateBuffer, FifoStaysBoundedUnderChurn)
 {
-    UpdateBuffer buffer(8);
-    DecisionRecord out;
+    VirtUpdateBuffer buffer(8);
+    VirtDecisionRecord out;
     for (Addr i = 0; i < 10'000; ++i) {
         buffer.insert(make_rec(i));
         ASSERT_TRUE(buffer.take(make_rec(i).block, out));
@@ -233,8 +234,8 @@ TEST(AuditTlb, DetectsTranslationDesyncFromPageTable)
     Tlb tlb(TlbConfig{"dTLB", 16, 4, 1, 4, 1});
 
     const Addr va = 0x1234'5678'9000;
-    const Translation tr = table.translate(va);
-    tlb.fill(va, tr.paddr & ~(kPageSize - 1), false, false);
+    const Translation tr = table.translate(VirtAddr{va});
+    tlb.fill(VirtAddr{va}, page_addr(tr.paddr), false, false);
 
     AuditReport clean;
     audit::audit_tlb(tlb, table, clean);
@@ -255,7 +256,7 @@ TEST(AuditTlb, DetectsEntryForUnmappedPage)
     Tlb tlb(TlbConfig{"dTLB", 16, 4, 1, 4, 1});
 
     // Install a translation the page table never produced.
-    tlb.fill(0x4000'0000, 0x1000, false, false);
+    tlb.fill(VirtAddr{0x4000'0000}, PhysAddr{0x1000}, false, false);
 
     AuditReport report;
     audit::audit_tlb(tlb, table, report);
@@ -273,7 +274,7 @@ TEST(AuditWalker, DetectsDuplicatePscEntry)
     PageTable table(vmem);
     Cache memory(CacheConfig{"L2C", 64, 8, 10, 32, false}, nullptr);
     PageWalker walker(WalkerConfig{}, &table, &memory);
-    walker.walk(0x7000'1000, 0, /*speculative=*/false);
+    walker.walk(VirtAddr{0x7000'1000}, 0, /*speculative=*/false);
 
     AuditReport clean;
     audit::audit_walker(walker, clean);
@@ -292,8 +293,8 @@ TEST(AuditWalker, DetectsDuplicatePscEntry)
 TEST(AuditCache, DetectsDuplicateTagInSet)
 {
     Cache cache(CacheConfig{"L1D", 16, 4, 4, 8, true}, nullptr);
-    cache.access(0x1000, AccessType::kLoad, 0);
-    cache.access(0x2000, AccessType::kLoad, 0);
+    cache.access(PhysAddr{0x1000}, AccessType::kLoad, 0);
+    cache.access(PhysAddr{0x2000}, AccessType::kLoad, 0);
 
     AuditReport clean;
     audit::audit_cache(cache, clean);
@@ -308,7 +309,7 @@ TEST(AuditCache, DetectsDuplicateTagInSet)
 TEST(AuditCache, DetectsPcbOnNonPrefetchedBlock)
 {
     Cache cache(CacheConfig{"L1D", 16, 4, 4, 8, true}, nullptr);
-    cache.access(0x1000, AccessType::kLoad, 0);
+    cache.access(PhysAddr{0x1000}, AccessType::kLoad, 0);
 
     std::uint32_t set = 0;
     std::uint32_t way = 0;
@@ -332,9 +333,11 @@ TEST(AuditPcbPub, DetectsPcbFlippedUnderLivePubRecord)
     snap.stlb_mpki = 100.0;  // deactivate the system feature
 
     const Addr target = 0x200000 + 5 * kBlockSize;
-    ASSERT_TRUE(filter.permit(0x400100, 0x1ff000, 5, target, snap));
-    l1d.access(target, AccessType::kPrefetch, 0, /*pgc_prefetch=*/true);
-    filter.on_pgc_issued(target, target);  // identity translation
+    ASSERT_TRUE(filter.permit(0x400100, VirtAddr{0x1ff000}, 5,
+                              VirtAddr{target}, snap));
+    l1d.access(PhysAddr{target}, AccessType::kPrefetch, 0,
+               /*pgc_prefetch=*/true);
+    filter.on_pgc_issued(VirtAddr{target}, PhysAddr{target});
 
     AuditReport clean;
     audit::audit_pcb_pub(l1d, filter, clean);
@@ -360,8 +363,9 @@ TEST(AuditPcbPub, DetectsOrphanPubRecord)
 
     // Insert a pUB record without ever filling the L1D block.
     const Addr target = 0x200000 + 7 * kBlockSize;
-    ASSERT_TRUE(filter.permit(0x400100, 0x1ff000, 7, target, snap));
-    filter.on_pgc_issued(target, target);
+    ASSERT_TRUE(filter.permit(0x400100, VirtAddr{0x1ff000}, 7,
+                              VirtAddr{target}, snap));
+    filter.on_pgc_issued(VirtAddr{target}, PhysAddr{target});
 
     AuditReport report;
     audit::audit_pcb_pub(l1d, filter, report);

@@ -28,7 +28,7 @@ drive_stream(Berti &berti, Addr pc, Addr base, std::int64_t stride_blocks,
         out.clear();
         PrefetchContext ctx;
         ctx.pc = pc;
-        ctx.vaddr = base + Addr(i) * Addr(stride_blocks) * kBlockSize;
+        ctx.vaddr = VirtAddr{base + Addr(i) * Addr(stride_blocks) * kBlockSize};
         ctx.now = now;
         ctx.hit = false;
         berti.on_access(ctx, out);
@@ -85,7 +85,7 @@ TEST(Berti, RandomPatternStaysQuiet)
         x = x * 6364136223846793005ull + 1442695040888963407ull;
         PrefetchContext ctx;
         ctx.pc = 0x400200;
-        ctx.vaddr = (x % (1u << 30)) & ~(kBlockSize - 1);
+        ctx.vaddr = VirtAddr{(x % (1u << 30)) & ~(kBlockSize - 1)};
         ctx.now = now;
         berti.on_access(ctx, out);
         now += 100;
@@ -103,7 +103,7 @@ TEST(Berti, EmitsPageCrossCandidatesNearBoundary)
     std::vector<PrefetchRequest> out;
     PrefetchContext ctx;
     ctx.pc = 0x400100;
-    ctx.vaddr = 0x200000 + kPageSize - kBlockSize;  // last line of page
+    ctx.vaddr = VirtAddr{0x200000 + kPageSize - kBlockSize};  // last line of page
     ctx.now = 1000000;
     berti.on_access(ctx, out);
     bool crossing = false;
@@ -123,7 +123,7 @@ TEST(Berti, PerIpIsolation)
     std::vector<PrefetchRequest> out;
     PrefetchContext ctx;
     ctx.pc = 0xB;
-    ctx.vaddr = 0x900000;
+    ctx.vaddr = VirtAddr{0x900000};
     ctx.now = 500000;
     berti.on_access(ctx, out);
     EXPECT_TRUE(out.empty());

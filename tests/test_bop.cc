@@ -11,7 +11,7 @@ miss(Bop &bop, Addr vaddr, std::vector<PrefetchRequest> &out, Cycle now = 0)
 {
     out.clear();
     PrefetchContext ctx;
-    ctx.vaddr = vaddr;
+    ctx.vaddr = VirtAddr{vaddr};
     ctx.pc = 0x400100;
     ctx.hit = false;
     ctx.now = now;
@@ -40,7 +40,7 @@ TEST(Bop, LearnsStrideOffsetFromFillTiming)
     std::vector<PrefetchRequest> out;
     for (int i = 0; i < 2000; ++i) {
         miss(bop, a, out);
-        bop.on_fill(a, 0, /*was_prefetch=*/false);
+        bop.on_fill(VirtAddr{a}, 0, /*was_prefetch=*/false);
         a += 4 * kBlockSize;
         if (bop.best_offset() % 4 == 0 && bop.best_offset() > 0) {
             break;  // converged
@@ -78,7 +78,7 @@ TEST(Bop, PrefetchFillInsertsShiftedBase)
     Addr a = 0x200000;
     for (int i = 0; i < 800; ++i) {
         miss(bop, a, out);
-        bop.on_fill(a, 0, /*was_prefetch=*/false);
+        bop.on_fill(VirtAddr{a}, 0, /*was_prefetch=*/false);
         if (!out.empty()) {
             bop.on_fill(out[0].vaddr, 0, /*was_prefetch=*/true);
         }
@@ -94,7 +94,7 @@ TEST(Bop, CandidatesCrossPagesFreely)
     std::vector<PrefetchRequest> out;
     miss(bop, 0x100000 + kPageSize - kBlockSize, out);
     ASSERT_FALSE(out.empty());
-    EXPECT_TRUE(crosses_page(0x100000 + kPageSize - kBlockSize,
+    EXPECT_TRUE(crosses_page(VirtAddr{0x100000 + kPageSize - kBlockSize},
                              out[0].vaddr));
 }
 

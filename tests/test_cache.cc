@@ -26,13 +26,13 @@ class RecordingListener : public CacheListener
 {
   public:
     void
-    on_pgc_first_use(Addr block_paddr) override
+    on_pgc_first_use(PhysAddr block_paddr) override
     {
         first_uses.push_back(block_paddr);
     }
 
     void
-    on_eviction(Addr block_paddr, bool prefetched, bool pgc,
+    on_eviction(PhysAddr block_paddr, bool prefetched, bool pgc,
                 bool used) override
     {
         evictions.push_back({block_paddr, prefetched, pgc, used});
@@ -40,21 +40,21 @@ class RecordingListener : public CacheListener
 
     struct Evt
     {
-        Addr addr;
+        PhysAddr addr;
         bool prefetched;
         bool pgc;
         bool used;
     };
-    std::vector<Addr> first_uses;
+    std::vector<PhysAddr> first_uses;
     std::vector<Evt> evictions;
 };
 
 TEST(Cache, MissThenHit)
 {
     Cache c(tiny_config(), nullptr);
-    const AccessResult miss = c.access(0x1000, AccessType::kLoad, 0);
+    const AccessResult miss = c.access(PhysAddr{0x1000}, AccessType::kLoad, 0);
     EXPECT_FALSE(miss.hit);
-    const AccessResult hit = c.access(0x1000, AccessType::kLoad, miss.done);
+    const AccessResult hit = c.access(PhysAddr{0x1000}, AccessType::kLoad, miss.done);
     EXPECT_TRUE(hit.hit);
     EXPECT_EQ(c.stats().demand.accesses, 2u);
     EXPECT_EQ(c.stats().demand.misses, 1u);
@@ -63,11 +63,11 @@ TEST(Cache, MissThenHit)
 TEST(Cache, BlockGranularity)
 {
     Cache c(tiny_config(), nullptr);
-    const AccessResult m = c.access(0x1000, AccessType::kLoad, 0);
+    const AccessResult m = c.access(PhysAddr{0x1000}, AccessType::kLoad, 0);
     // Different byte in the same 64B block: hit.
-    EXPECT_TRUE(c.access(0x103F, AccessType::kLoad, m.done).hit);
+    EXPECT_TRUE(c.access(PhysAddr{0x103F}, AccessType::kLoad, m.done).hit);
     // Next block: miss.
-    EXPECT_FALSE(c.access(0x1040, AccessType::kLoad, m.done).hit);
+    EXPECT_FALSE(c.access(PhysAddr{0x1040}, AccessType::kLoad, m.done).hit);
 }
 
 TEST(Cache, LruEviction)
@@ -75,7 +75,7 @@ TEST(Cache, LruEviction)
     Cache c(tiny_config(), nullptr);
     // 3 blocks in the same set (sets=4 => stride 4 blocks).
     const Addr set_stride = 4 * kBlockSize;
-    const Addr a = 0, b = set_stride, d = 2 * set_stride;
+    const PhysAddr a{0}, b{set_stride}, d{2 * set_stride};
     Cycle t = 1000;
     c.access(a, AccessType::kLoad, t);
     c.access(b, AccessType::kLoad, t + 1000);
@@ -95,11 +95,11 @@ TEST(Cache, MergeIntoInflightFill)
     lower_cfg.latency = 500;
     Cache lower(lower_cfg, nullptr);
     Cache c(tiny_config(), &lower);
-    const AccessResult first = c.access(0x2000, AccessType::kLoad, 0);
+    const AccessResult first = c.access(PhysAddr{0x2000}, AccessType::kLoad, 0);
     EXPECT_FALSE(first.hit);
     // Immediately re-access: merges into the in-flight fill and
     // counts as a miss with the same completion time.
-    const AccessResult second = c.access(0x2000, AccessType::kLoad, 10);
+    const AccessResult second = c.access(PhysAddr{0x2000}, AccessType::kLoad, 10);
     EXPECT_FALSE(second.hit);
     EXPECT_TRUE(second.merged);
     EXPECT_EQ(second.done, first.done);
@@ -113,9 +113,9 @@ TEST(Cache, WritebackOnDirtyEviction)
     Cache c(tiny_config(), &lower);
     const Addr set_stride = 4 * kBlockSize;
     Cycle t = 0;
-    c.access(0x0, AccessType::kStore, t);            // dirty
-    c.access(set_stride, AccessType::kLoad, t + 600);
-    c.access(2 * set_stride, AccessType::kLoad, t + 1200);  // evicts 0x0
+    c.access(PhysAddr{0x0}, AccessType::kStore, t);            // dirty
+    c.access(PhysAddr{set_stride}, AccessType::kLoad, t + 600);
+    c.access(PhysAddr{2 * set_stride}, AccessType::kLoad, t + 1200);  // evicts 0x0
     EXPECT_EQ(c.stats().writebacks, 1u);
 }
 
@@ -124,14 +124,14 @@ TEST(Cache, PrefetchUsefulnessAccounting)
     Cache c(tiny_config(true), nullptr);
     Cycle t = 0;
     // Prefetch fill, then demand hit: useful.
-    c.access(0x0, AccessType::kPrefetch, t, /*pgc=*/true);
+    c.access(PhysAddr{0x0}, AccessType::kPrefetch, t, /*pgc=*/true);
     EXPECT_EQ(c.stats().pf.issued, 1u);
     EXPECT_EQ(c.stats().pf.pgc_issued, 1u);
-    c.access(0x0, AccessType::kLoad, t + 100);
+    c.access(PhysAddr{0x0}, AccessType::kLoad, t + 100);
     EXPECT_EQ(c.stats().pf.useful, 1u);
     EXPECT_EQ(c.stats().pf.pgc_useful, 1u);
     // Second hit must not double-count.
-    c.access(0x0, AccessType::kLoad, t + 200);
+    c.access(PhysAddr{0x0}, AccessType::kLoad, t + 200);
     EXPECT_EQ(c.stats().pf.useful, 1u);
 }
 
@@ -140,10 +140,10 @@ TEST(Cache, UselessPrefetchCountedAtEviction)
     Cache c(tiny_config(true), nullptr);
     const Addr set_stride = 4 * kBlockSize;
     Cycle t = 0;
-    c.access(0x0, AccessType::kPrefetch, t, true);
+    c.access(PhysAddr{0x0}, AccessType::kPrefetch, t, true);
     // Fill the set and evict the prefetched block without any use.
-    c.access(set_stride, AccessType::kLoad, t + 600);
-    c.access(2 * set_stride, AccessType::kLoad, t + 1200);
+    c.access(PhysAddr{set_stride}, AccessType::kLoad, t + 600);
+    c.access(PhysAddr{2 * set_stride}, AccessType::kLoad, t + 1200);
     EXPECT_EQ(c.stats().pf.useless, 1u);
     EXPECT_EQ(c.stats().pf.pgc_useless, 1u);
 }
@@ -156,19 +156,19 @@ TEST(Cache, ListenerSeesPgcLifetime)
     const Addr set_stride = 4 * kBlockSize;
 
     // Useful PGC block: first-use event fires once.
-    c.access(0x0, AccessType::kPrefetch, 0, true);
-    c.access(0x0, AccessType::kLoad, 100);
-    c.access(0x0, AccessType::kLoad, 200);
+    c.access(PhysAddr{0x0}, AccessType::kPrefetch, 0, true);
+    c.access(PhysAddr{0x0}, AccessType::kLoad, 100);
+    c.access(PhysAddr{0x0}, AccessType::kLoad, 200);
     ASSERT_EQ(listener.first_uses.size(), 1u);
-    EXPECT_EQ(listener.first_uses[0], 0u);
+    EXPECT_EQ(listener.first_uses[0], PhysAddr{0});
 
     // Unused PGC block evicted: eviction event carries pgc && !used.
-    c.access(set_stride, AccessType::kPrefetch, 300, true);
-    c.access(2 * set_stride, AccessType::kLoad, 900);
-    c.access(3 * set_stride, AccessType::kLoad, 1500);
+    c.access(PhysAddr{set_stride}, AccessType::kPrefetch, 300, true);
+    c.access(PhysAddr{2 * set_stride}, AccessType::kLoad, 900);
+    c.access(PhysAddr{3 * set_stride}, AccessType::kLoad, 1500);
     bool saw_useless_pgc = false;
     for (const auto &e : listener.evictions) {
-        if (e.addr == set_stride) {
+        if (e.addr == PhysAddr{set_stride}) {
             EXPECT_TRUE(e.prefetched);
             EXPECT_TRUE(e.pgc);
             EXPECT_FALSE(e.used);
@@ -181,8 +181,8 @@ TEST(Cache, ListenerSeesPgcLifetime)
 TEST(Cache, PgcBitRequiresTracking)
 {
     Cache c(tiny_config(false), nullptr);  // track_pgc off (L2/LLC)
-    c.access(0x0, AccessType::kPrefetch, 0, true);
-    c.access(0x0, AccessType::kLoad, 100);
+    c.access(PhysAddr{0x0}, AccessType::kPrefetch, 0, true);
+    c.access(PhysAddr{0x0}, AccessType::kLoad, 100);
     EXPECT_EQ(c.stats().pf.useful, 1u);
     // Without PCB tracking the pgc-useful counter must stay zero.
     EXPECT_EQ(c.stats().pf.pgc_useful, 0u);
@@ -194,8 +194,8 @@ TEST(Cache, InflightMissesVisible)
     lower_cfg.latency = 500;
     Cache lower(lower_cfg, nullptr);
     Cache c(tiny_config(), &lower);
-    c.access(0x0, AccessType::kLoad, 0);
-    c.access(0x40 * 4, AccessType::kLoad, 0);
+    c.access(PhysAddr{0x0}, AccessType::kLoad, 0);
+    c.access(PhysAddr{0x40 * 4}, AccessType::kLoad, 0);
     EXPECT_GE(c.inflight_misses(10), 2u);
     EXPECT_EQ(c.inflight_misses(100000), 0u);
 }
@@ -211,11 +211,11 @@ TEST(Cache, MshrLimitDelaysOverflowingMiss)
     cfg.sets = 64;
     cfg.mshr_entries = 2;
     Cache c(cfg, &lower);
-    const AccessResult a = c.access(0 * kBlockSize, AccessType::kLoad, 0);
-    const AccessResult b = c.access(1 * kBlockSize, AccessType::kLoad, 0);
+    const AccessResult a = c.access(PhysAddr{0 * kBlockSize}, AccessType::kLoad, 0);
+    const AccessResult b = c.access(PhysAddr{1 * kBlockSize}, AccessType::kLoad, 0);
     // Third miss must wait for an MSHR, so it completes clearly after
     // the first two despite arriving at the same time.
-    const AccessResult d = c.access(2 * kBlockSize, AccessType::kLoad, 0);
+    const AccessResult d = c.access(PhysAddr{2 * kBlockSize}, AccessType::kLoad, 0);
     EXPECT_GT(d.done, a.done);
     EXPECT_GT(d.done, b.done - 2);
 }
@@ -226,9 +226,9 @@ TEST(Cache, DemandMissMarksBlockUsed)
     Cache c(tiny_config(true), nullptr);
     c.set_listener(&listener);
     const Addr set_stride = 4 * kBlockSize;
-    c.access(0x0, AccessType::kLoad, 0);
-    c.access(set_stride, AccessType::kLoad, 600);
-    c.access(2 * set_stride, AccessType::kLoad, 1200);
+    c.access(PhysAddr{0x0}, AccessType::kLoad, 0);
+    c.access(PhysAddr{set_stride}, AccessType::kLoad, 600);
+    c.access(PhysAddr{2 * set_stride}, AccessType::kLoad, 1200);
     ASSERT_FALSE(listener.evictions.empty());
     EXPECT_TRUE(listener.evictions[0].used);
     EXPECT_FALSE(listener.evictions[0].prefetched);

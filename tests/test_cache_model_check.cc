@@ -82,7 +82,7 @@ TEST_P(CacheModelCheck, MatchesGoldenLru)
         const Addr paddr = block << kBlockBits;
         now += 10;  // fills complete before the next access
         const AccessResult r =
-            cache.access(paddr, AccessType::kLoad, now);
+            cache.access(PhysAddr{paddr}, AccessType::kLoad, now);
         const bool golden_hit = golden.access(block);
         ASSERT_EQ(r.hit, golden_hit)
             << "divergence at step " << i << " block " << block;
@@ -114,12 +114,13 @@ TEST_P(TlbModelCheck, MatchesGoldenLru)
     for (int i = 0; i < 20000; ++i) {
         const Addr vpn = rng.below(std::uint64_t(g.sets) * g.ways * 4);
         const Addr vaddr = vpn << kPageBits;
-        const Tlb::Result r = tlb.lookup(vaddr, 0, true);
+        const Tlb::Result r = tlb.lookup(VirtAddr{vaddr}, 0, true);
         const bool golden_hit = golden.access(vpn);
         ASSERT_EQ(r.hit, golden_hit)
             << "divergence at step " << i << " vpn " << vpn;
         if (!r.hit) {
-            tlb.fill(vaddr, vpn << kPageBits, false, false);
+            tlb.fill(VirtAddr{vaddr}, PhysAddr{vpn << kPageBits}, false,
+                     false);
         }
     }
 }

@@ -21,7 +21,7 @@ small_config()
 TEST(Dram, FirstAccessIsRowMiss)
 {
     Dram dram(small_config());
-    const AccessResult r = dram.access(0x1000, AccessType::kLoad, 100);
+    const AccessResult r = dram.access(PhysAddr{0x1000}, AccessType::kLoad, 100);
     EXPECT_EQ(r.done, 100 + 180);
     EXPECT_FALSE(r.hit);
     EXPECT_EQ(dram.row_hits(), 0u);
@@ -31,10 +31,10 @@ TEST(Dram, FirstAccessIsRowMiss)
 TEST(Dram, SameRowHitsAfterActivation)
 {
     Dram dram(small_config());
-    dram.access(0x0, AccessType::kLoad, 0);
+    dram.access(PhysAddr{0x0}, AccessType::kLoad, 0);
     // +2 blocks returns to bank 0 within the same row (rows span
     // 2^column_bits blocks per bank).
-    const AccessResult r = dram.access(2 * kBlockSize, AccessType::kLoad,
+    const AccessResult r = dram.access(PhysAddr{2 * kBlockSize}, AccessType::kLoad,
                                        10000);
     EXPECT_EQ(r.done, 10000 + 90);
     EXPECT_EQ(dram.row_hits(), 1u);
@@ -43,10 +43,10 @@ TEST(Dram, SameRowHitsAfterActivation)
 TEST(Dram, BankContentionSerializes)
 {
     Dram dram(small_config());
-    const AccessResult a = dram.access(0x0, AccessType::kLoad, 0);
+    const AccessResult a = dram.access(PhysAddr{0x0}, AccessType::kLoad, 0);
     // Immediately reuse the same bank: the second access cannot start
     // before the bank frees.
-    const AccessResult b = dram.access(2 * kBlockSize, AccessType::kLoad, 0);
+    const AccessResult b = dram.access(PhysAddr{2 * kBlockSize}, AccessType::kLoad, 0);
     EXPECT_GT(b.done, a.done - 180 + 90);  // started after bank busy
     EXPECT_GE(b.done, 90u);
 }
@@ -59,7 +59,7 @@ TEST(Dram, ChannelBusAddsBackToBackDelay)
     Cycle prev_done = 0;
     for (int i = 0; i < 8; ++i) {
         const AccessResult r =
-            dram.access(static_cast<Addr>(i) * kBlockSize,
+            dram.access(PhysAddr{static_cast<Addr>(i) * kBlockSize},
                         AccessType::kLoad, 0);
         EXPECT_GE(r.done, prev_done == 0 ? 0 : cfg.burst_cycles);
         prev_done = r.done;
@@ -70,9 +70,9 @@ TEST(Dram, ChannelBusAddsBackToBackDelay)
 TEST(Dram, TypeCountersSplit)
 {
     Dram dram(small_config());
-    dram.access(0, AccessType::kLoad, 0);
-    dram.access(64, AccessType::kPrefetch, 0);
-    dram.access(128, AccessType::kPageWalk, 0);
+    dram.access(PhysAddr{0}, AccessType::kLoad, 0);
+    dram.access(PhysAddr{64}, AccessType::kPrefetch, 0);
+    dram.access(PhysAddr{128}, AccessType::kPageWalk, 0);
     EXPECT_EQ(dram.accesses(), 3u);
     EXPECT_EQ(dram.prefetch_accesses(), 1u);
     EXPECT_EQ(dram.walk_accesses(), 1u);

@@ -1,0 +1,85 @@
+// Pins the feature-hash values of the MOKA perceptron features to a
+// golden digest captured BEFORE the strong-address-type refactor,
+// when features.h still computed page terms with raw `VA >> 12`
+// shifts.  The typed helpers (page_index, large_page_index,
+// line_in_page, va_bits) must be bit-identical replacements: any
+// drift here changes every learned weight and silently de-tunes the
+// filter against the paper's numbers.
+//
+// The golden values were produced by evaluating every program
+// feature plus the three specialized features over 256 deterministic
+// mix64-derived inputs and folding each value into an FNV-1a digest.
+// Regenerating them is only legitimate when a feature is
+// *intentionally* added or redefined.
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "common/hashing.h"
+#include "filter/features.h"
+
+namespace moka {
+namespace {
+
+FeatureInput
+trial_input(std::uint64_t trial)
+{
+    FeatureInput in;
+    in.pc = mix64(trial * 8 + 1);
+    in.vaddr = VirtAddr{mix64(trial * 8 + 2)};
+    in.va1 = VirtAddr{mix64(trial * 8 + 3)};
+    in.va2 = VirtAddr{mix64(trial * 8 + 4)};
+    in.pc1 = mix64(trial * 8 + 5);
+    in.pc2 = mix64(trial * 8 + 6);
+    in.delta = static_cast<std::int64_t>(mix64(trial * 8 + 7)) % 4096;
+    in.first_page_access = mix64(trial * 8 + 8) % 64;
+    in.meta = mix64(trial * 8 + 9);
+    return in;
+}
+
+TEST(FeaturePinning, DigestMatchesPreRefactorGolden)
+{
+    std::uint64_t digest = kFnv1aOffset;
+    for (std::uint64_t trial = 0; trial < 256; ++trial) {
+        const FeatureInput in = trial_input(trial);
+        for (ProgramFeatureId id : all_program_features()) {
+            const std::uint64_t v = eval_feature(id, in);
+            digest = fnv1a_64(&v, sizeof v, digest);
+        }
+        for (SpecializedFeatureId id :
+             {SpecializedFeatureId::kMeta, SpecializedFeatureId::kMetaXorDelta,
+              SpecializedFeatureId::kMetaXorPc}) {
+            const std::uint64_t v = eval_specialized(id, in);
+            digest = fnv1a_64(&v, sizeof v, digest);
+        }
+    }
+    EXPECT_EQ(digest, 0x5468E5CA71AD447Dull);
+}
+
+// Spot values for the geometry-bearing features of trial 0, so a
+// digest mismatch points at the shift that drifted instead of just
+// "something changed".
+TEST(FeaturePinning, SpotValuesMatchPreRefactorGolden)
+{
+    const FeatureInput in = trial_input(0);
+    EXPECT_EQ(eval_feature(ProgramFeatureId::kVa, in),
+              0xDBD238973A2B148Aull);
+    EXPECT_EQ(eval_feature(ProgramFeatureId::kVaP12, in),
+              0x000DBD238973A2B1ull);  // VA >> 12 == page_index
+    EXPECT_EQ(eval_feature(ProgramFeatureId::kVaP21, in),
+              0x000006DE91C4B9D1ull);  // VA >> 21 == large_page_index
+    EXPECT_EQ(eval_feature(ProgramFeatureId::kLineOffset, in),
+              0x0000000000000012ull);  // (VA & 0xFFF) >> 6 == line_in_page
+    EXPECT_EQ(eval_feature(ProgramFeatureId::kPcXorVpn, in),
+              0x569FAB3E9978A754ull);
+    EXPECT_EQ(eval_feature(ProgramFeatureId::kVaPlusDelta, in),
+              0xDBD238973A2B239Eull);
+    EXPECT_EQ(eval_feature(ProgramFeatureId::kTargetVpn, in),
+              0x000DBD238973A2EDull);
+    EXPECT_EQ(eval_feature(ProgramFeatureId::kVpnHist3, in),
+              0x00072251756AD691ull);
+}
+
+}  // namespace
+}  // namespace moka

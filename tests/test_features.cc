@@ -14,9 +14,9 @@ sample_input()
 {
     FeatureInput in;
     in.pc = 0x400ABC;
-    in.vaddr = 0x7F12345678;
-    in.va1 = 0x7F12340000;
-    in.va2 = 0x7F1233F000;
+    in.vaddr = VirtAddr{0x7F12345678};
+    in.va1 = VirtAddr{0x7F12340000};
+    in.va2 = VirtAddr{0x7F1233F000};
     in.pc1 = 0x400AB0;
     in.pc2 = 0x400AA0;
     in.delta = -5;
@@ -48,25 +48,25 @@ TEST(Features, TableOneFormulas)
 {
     const FeatureInput in = sample_input();
     const std::uint64_t d = static_cast<std::uint64_t>(in.delta);
-    EXPECT_EQ(eval_feature(ProgramFeatureId::kVa, in), in.vaddr);
-    EXPECT_EQ(eval_feature(ProgramFeatureId::kVaP12, in), in.vaddr >> 12);
-    EXPECT_EQ(eval_feature(ProgramFeatureId::kVaP21, in), in.vaddr >> 21);
+    EXPECT_EQ(eval_feature(ProgramFeatureId::kVa, in), in.vaddr.raw());
+    EXPECT_EQ(eval_feature(ProgramFeatureId::kVaP12, in), in.vaddr.raw() >> 12);
+    EXPECT_EQ(eval_feature(ProgramFeatureId::kVaP21, in), in.vaddr.raw() >> 21);
     EXPECT_EQ(eval_feature(ProgramFeatureId::kLineOffset, in),
               line_in_page(in.vaddr));
     EXPECT_EQ(eval_feature(ProgramFeatureId::kPc, in), in.pc);
     EXPECT_EQ(eval_feature(ProgramFeatureId::kPcPlusOffset, in),
               in.pc + line_in_page(in.vaddr));
     EXPECT_EQ(eval_feature(ProgramFeatureId::kVaHist3, in),
-              in.va2 ^ in.va1 ^ in.vaddr);
+              in.va2.raw() ^ in.va1.raw() ^ in.vaddr.raw());
     EXPECT_EQ(eval_feature(ProgramFeatureId::kPcHist3, in),
               in.pc2 ^ in.pc1 ^ in.pc);
     EXPECT_EQ(eval_feature(ProgramFeatureId::kPcXorVa, in),
-              in.pc ^ in.vaddr);
+              in.pc ^ in.vaddr.raw());
     EXPECT_EQ(eval_feature(ProgramFeatureId::kVaXorDelta, in),
-              in.vaddr ^ d);
+              in.vaddr.raw() ^ d);
     EXPECT_EQ(eval_feature(ProgramFeatureId::kPcXorDelta, in), in.pc ^ d);
     EXPECT_EQ(eval_feature(ProgramFeatureId::kVpnXorDelta, in),
-              (in.vaddr >> 12) ^ d);
+              (in.vaddr.raw() >> 12) ^ d);
     EXPECT_EQ(eval_feature(ProgramFeatureId::kPcXorFpa, in),
               in.pc ^ in.first_page_access);
     EXPECT_EQ(eval_feature(ProgramFeatureId::kDeltaPlusFpa, in),
@@ -89,9 +89,9 @@ TEST_P(FeaturePurity, DeterministicAndSensitive)
     // features (each feature uses at least one field).
     FeatureInput other = in;
     other.pc ^= 0xFFFF0000;
-    other.vaddr ^= 0xABCD0000FC0;  // also flips the line offset
-    other.va1 ^= 0x111111;
-    other.va2 ^= 0x222222;
+    other.vaddr = VirtAddr{other.vaddr.raw() ^ 0xABCD0000FC0};  // also flips the line offset
+    other.va1 = VirtAddr{other.va1.raw() ^ 0x111111};
+    other.va2 = VirtAddr{other.va2.raw() ^ 0x222222};
     other.pc1 ^= 0x333333;
     other.pc2 ^= 0x444444;
     other.delta = 17;
@@ -106,13 +106,13 @@ INSTANTIATE_TEST_SUITE_P(AllFeatures, FeaturePurity,
 TEST(FeatureExtractor, TracksHistory)
 {
     FeatureExtractor fx;
-    fx.on_demand_access(0x1, 0xA000);
-    fx.on_demand_access(0x2, 0xB000);
-    const FeatureInput in = fx.make_input(0x3, 0xC000, 7);
+    fx.on_demand_access(0x1, VirtAddr{0xA000});
+    fx.on_demand_access(0x2, VirtAddr{0xB000});
+    const FeatureInput in = fx.make_input(0x3, VirtAddr{0xC000}, 7);
     EXPECT_EQ(in.pc, 0x3u);
-    EXPECT_EQ(in.vaddr, 0xC000u);
-    EXPECT_EQ(in.va1, 0xB000u);
-    EXPECT_EQ(in.va2, 0xA000u);
+    EXPECT_EQ(in.vaddr, VirtAddr{0xC000});
+    EXPECT_EQ(in.va1, VirtAddr{0xB000});
+    EXPECT_EQ(in.va2, VirtAddr{0xA000});
     EXPECT_EQ(in.pc1, 0x2u);
     EXPECT_EQ(in.pc2, 0x1u);
     EXPECT_EQ(in.delta, 7);
@@ -122,17 +122,17 @@ TEST(FeatureExtractor, FirstPageAccessRemembered)
 {
     FeatureExtractor fx;
     // First touch of the page lands at line 5.
-    fx.on_demand_access(0x1, 0x40000000 + 5 * kBlockSize);
-    fx.on_demand_access(0x1, 0x40000000 + 9 * kBlockSize);
+    fx.on_demand_access(0x1, VirtAddr{0x40000000 + 5 * kBlockSize});
+    fx.on_demand_access(0x1, VirtAddr{0x40000000 + 9 * kBlockSize});
     const FeatureInput in =
-        fx.make_input(0x1, 0x40000000 + 20 * kBlockSize, 1);
+        fx.make_input(0x1, VirtAddr{0x40000000 + 20 * kBlockSize}, 1);
     EXPECT_EQ(in.first_page_access, 5u);
 }
 
 TEST(FeatureExtractor, UnknownPageGivesZeroFpa)
 {
     FeatureExtractor fx;
-    const FeatureInput in = fx.make_input(0x1, 0x9999000, 1);
+    const FeatureInput in = fx.make_input(0x1, VirtAddr{0x9999000}, 1);
     EXPECT_EQ(in.first_page_access, 0u);
 }
 

@@ -75,7 +75,7 @@ TEST(Frontend, L1iHitsAfterWarmup)
     f.frontend.fetch(alu_at(0x400000));
     EXPECT_GE(f.l1i.stats().demand.misses, misses);
     EXPECT_TRUE(f.l1i.probe(
-        f.table.translate(0x400000).paddr));
+        f.table.translate(VirtAddr{0x400000}).paddr));
 }
 
 TEST(Frontend, MispredictDetection)

@@ -33,7 +33,7 @@ TEST(Hierarchy, MissesPropagateDownward)
     Stack s;
     Cycle now = 0;
     for (Addr b = 0; b < 100; ++b) {
-        s.l1.access(b << kBlockBits, AccessType::kLoad, now);
+        s.l1.access(PhysAddr{b << kBlockBits}, AccessType::kLoad, now);
         now += 1000;
     }
     // Cold stream: every L1 miss reaches L2, LLC and DRAM exactly once.
@@ -49,13 +49,13 @@ TEST(Hierarchy, L2AbsorbsL1Evictions)
     Cycle now = 0;
     // Touch 256 blocks (4x L1 capacity, exactly L2-but-not capacity).
     for (Addr b = 0; b < 256; ++b) {
-        s.l1.access(b << kBlockBits, AccessType::kLoad, now);
+        s.l1.access(PhysAddr{b << kBlockBits}, AccessType::kLoad, now);
         now += 1000;
     }
     const auto dram_cold = s.dram.accesses();
     // Re-touch: L1 mostly misses, L2 serves everything, DRAM silent.
     for (Addr b = 0; b < 256; ++b) {
-        s.l1.access(b << kBlockBits, AccessType::kLoad, now);
+        s.l1.access(PhysAddr{b << kBlockBits}, AccessType::kLoad, now);
         now += 1000;
     }
     EXPECT_EQ(s.dram.accesses(), dram_cold);
@@ -68,10 +68,10 @@ TEST(Hierarchy, DirtyDataReachesDramEventually)
     Cycle now = 0;
     // Write a block, then stream far past every level's capacity so
     // the dirty line is forced out of LLC as a DRAM writeback.
-    s.l1.access(0x0, AccessType::kStore, now);
+    s.l1.access(PhysAddr{0}, AccessType::kStore, now);
     for (Addr b = 1; b < 4000; ++b) {
         now += 500;
-        s.l1.access(b << kBlockBits, AccessType::kLoad, now);
+        s.l1.access(PhysAddr{b << kBlockBits}, AccessType::kLoad, now);
     }
     EXPECT_GE(s.l1.stats().writebacks, 1u);
     EXPECT_GE(s.l2.stats().writebacks, 1u);
@@ -81,11 +81,11 @@ TEST(Hierarchy, DirtyDataReachesDramEventually)
 TEST(Hierarchy, PrefetchFillsAllLevels)
 {
     Stack s;
-    s.l1.access(0x8000, AccessType::kPrefetch, 0, /*pgc=*/true);
+    s.l1.access(PhysAddr{0x8000}, AccessType::kPrefetch, 0, /*pgc=*/true);
     // The prefetch pulled the block through every level.
-    EXPECT_TRUE(s.l1.probe(0x8000));
-    EXPECT_TRUE(s.l2.probe(0x8000));
-    EXPECT_TRUE(s.llc.probe(0x8000));
+    EXPECT_TRUE(s.l1.probe(PhysAddr{0x8000}));
+    EXPECT_TRUE(s.l2.probe(PhysAddr{0x8000}));
+    EXPECT_TRUE(s.llc.probe(PhysAddr{0x8000}));
     EXPECT_EQ(s.dram.prefetch_accesses(), 1u);
 }
 
@@ -93,19 +93,20 @@ TEST(Hierarchy, LatencyOrderingAcrossLevels)
 {
     Stack s;
     // Cold miss to DRAM.
-    const AccessResult cold = s.l1.access(0x4000, AccessType::kLoad, 0);
+    const AccessResult cold = s.l1.access(PhysAddr{0x4000}, AccessType::kLoad, 0);
     // L1 hit.
     const AccessResult hot =
-        s.l1.access(0x4000, AccessType::kLoad, cold.done);
+        s.l1.access(PhysAddr{0x4000}, AccessType::kLoad, cold.done);
     // L2 hit (evict from L1 by conflict, then re-access).
     const Addr set_stride = 16 * kBlockSize;
     Cycle now = cold.done + 10000;
     for (int i = 1; i <= 4; ++i) {
-        s.l1.access(0x4000 + Addr(i) * set_stride, AccessType::kLoad,
-                    now);
+        s.l1.access(PhysAddr{0x4000 + Addr(i) * set_stride},
+                    AccessType::kLoad, now);
         now += 2000;
     }
-    const AccessResult l2hit = s.l1.access(0x4000, AccessType::kLoad, now);
+    const AccessResult l2hit =
+        s.l1.access(PhysAddr{0x4000}, AccessType::kLoad, now);
     const Cycle cold_lat = cold.done - 0;
     const Cycle hot_lat = hot.done - cold.done;
     const Cycle l2_lat = l2hit.done - now;
@@ -122,8 +123,8 @@ TEST(Hierarchy, RandomTrafficConservation)
     Cycle now = 0;
     for (int i = 0; i < 20000; ++i) {
         now += 400;
-        s.l1.access(rng.below(1 << 14) << kBlockBits, AccessType::kLoad,
-                    now);
+        s.l1.access(PhysAddr{rng.below(1 << 14) << kBlockBits},
+                    AccessType::kLoad, now);
     }
     EXPECT_EQ(s.dram.accesses(), s.llc.stats().demand.misses);
     EXPECT_GE(s.l2.stats().demand.accesses,

@@ -12,7 +12,7 @@ access(Ipcp &ipcp, Addr pc, Addr vaddr, bool hit = false, Cycle now = 0)
     std::vector<PrefetchRequest> out;
     PrefetchContext ctx;
     ctx.pc = pc;
-    ctx.vaddr = vaddr;
+    ctx.vaddr = VirtAddr{vaddr};
     ctx.hit = hit;
     ctx.now = now;
     ipcp.on_access(ctx, out);
@@ -25,7 +25,7 @@ TEST(Ipcp, NextLineOnFreshIpMiss)
     const auto out = access(ipcp, 0x400100, 0x100000, /*hit=*/false);
     ASSERT_EQ(out.size(), 1u);
     EXPECT_EQ(out[0].delta, 1);
-    EXPECT_EQ(out[0].vaddr, 0x100000u + kBlockSize);
+    EXPECT_EQ(out[0].vaddr, VirtAddr{0x100000 + kBlockSize});
 }
 
 TEST(Ipcp, ConstantStrideClassified)
@@ -77,7 +77,7 @@ TEST(Ipcp, CandidatesCarryTriggerContext)
     ASSERT_FALSE(out.empty());
     EXPECT_EQ(out[0].trigger_pc, 0x400500u);
     EXPECT_EQ(page_number(out[0].trigger_vaddr),
-              page_number(Addr{0x300000} + 11 * 2 * kBlockSize));
+              page_number(VirtAddr{0x300000 + 11 * 2 * kBlockSize}));
 }
 
 TEST(Ipcp, StrideChangeRetrains)

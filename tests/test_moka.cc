@@ -24,11 +24,13 @@ simple_config()
 void
 resolve(MokaFilter &f, Addr target, bool useful)
 {
-    f.on_pgc_issued(target, target);  // identity translation for tests
+    // Identity translation for tests: the physical copy shares the raw
+    // bits but must be re-tagged explicitly to cross the seam.
+    f.on_pgc_issued(VirtAddr{target}, PhysAddr{target});
     if (useful) {
-        f.on_pgc_first_use(target);
+        f.on_pgc_first_use(PhysAddr{target});
     } else {
-        f.on_pgc_eviction(target, false);
+        f.on_pgc_eviction(PhysAddr{target}, false);
     }
 }
 
@@ -37,8 +39,8 @@ TEST(MokaFilter, ColdFilterDiscardsAtPositiveThreshold)
     MokaFilter f(simple_config());
     SystemSnapshot snap;
     snap.stlb_mpki = 100.0;  // deactivates the system feature
-    EXPECT_FALSE(f.permit(0x400100, 0x100000, 5,
-                          0x100000 + 5 * kBlockSize, snap));
+    EXPECT_FALSE(f.permit(0x400100, VirtAddr{0x100000}, 5,
+                          VirtAddr{0x100000 + 5 * kBlockSize}, snap));
 }
 
 TEST(MokaFilter, VubFalseNegativeRetrains)
@@ -51,13 +53,15 @@ TEST(MokaFilter, VubFalseNegativeRetrains)
     // trains positively. Repeat until the weight crosses T_a = 2.
     int needed = 0;
     for (int i = 0; i < 10; ++i) {
-        if (f.permit(0x400100, 0x100000, 5, target, snap)) {
+        if (f.permit(0x400100, VirtAddr{0x100000}, 5, VirtAddr{target},
+                     snap)) {
             break;
         }
-        f.on_l1d_demand_miss(target);
+        f.on_l1d_demand_miss(VirtAddr{target});
         ++needed;
     }
-    EXPECT_TRUE(f.permit(0x400100, 0x100000, 5, target, snap));
+    EXPECT_TRUE(
+        f.permit(0x400100, VirtAddr{0x100000}, 5, VirtAddr{target}, snap));
     EXPECT_GE(needed, 2);
 }
 
@@ -72,7 +76,8 @@ TEST(MokaFilter, NegativeTrainingShutsDelta)
     bool rejected = false;
     for (int i = 0; i < 30 && !rejected; ++i) {
         const Addr target = 0x200000 + Addr(i) * kPageSize;
-        if (f.permit(0x400100, 0x200000, 7, target, snap)) {
+        if (f.permit(0x400100, VirtAddr{0x200000}, 7, VirtAddr{target},
+                     snap)) {
             resolve(f, target, /*useful=*/false);
         } else {
             rejected = true;
@@ -80,8 +85,8 @@ TEST(MokaFilter, NegativeTrainingShutsDelta)
     }
     EXPECT_TRUE(rejected);
     // A different delta is unaffected (separate weight entry).
-    EXPECT_TRUE(f.permit(0x400100, 0x200000, 33,
-                         0x200000 + 33 * kBlockSize, snap));
+    EXPECT_TRUE(f.permit(0x400100, VirtAddr{0x200000}, 33,
+                         VirtAddr{0x200000 + 33 * kBlockSize}, snap));
 }
 
 TEST(MokaFilter, SystemFeatureJoinsOnlyWhenActive)
@@ -99,20 +104,20 @@ TEST(MokaFilter, SystemFeatureJoinsOnlyWhenActive)
     high.stlb_miss_rate = 0.9;
     for (int i = 0; i < 10; ++i) {
         const Addr target = 0x300000 + Addr(i) * kPageSize;
-        if (f.permit(0x1, 0x300000, 3, target, high)) {
+        if (f.permit(0x1, VirtAddr{0x300000}, 3, VirtAddr{target}, high)) {
             resolve(f, target, true);
         } else {
-            f.on_l1d_demand_miss(target);
+            f.on_l1d_demand_miss(VirtAddr{target});
         }
     }
-    EXPECT_TRUE(f.permit(0x1, 0x300000, 3, 0x300000 + 64 * kBlockSize,
-                         high));
+    EXPECT_TRUE(f.permit(0x1, VirtAddr{0x300000}, 3,
+                         VirtAddr{0x300000 + 64 * kBlockSize}, high));
     // In a low-miss-rate phase the feature is inactive: the sum is 0
     // and the request is discarded again.
     SystemSnapshot low;
     low.stlb_miss_rate = 0.0;
-    EXPECT_FALSE(f.permit(0x1, 0x300000, 3,
-                          0x300000 + 65 * kBlockSize, low));
+    EXPECT_FALSE(f.permit(0x1, VirtAddr{0x300000}, 3,
+                          VirtAddr{0x300000 + 65 * kBlockSize}, low));
 }
 
 TEST(MokaFilter, AbandonClearsPending)
@@ -122,15 +127,16 @@ TEST(MokaFilter, AbandonClearsPending)
     MokaFilter f(cfg);
     SystemSnapshot snap;
     snap.stlb_mpki = 100.0;
-    ASSERT_TRUE(f.permit(0x1, 0x100000, 4, 0x100000 + 4 * kBlockSize,
-                         snap));
+    ASSERT_TRUE(f.permit(0x1, VirtAddr{0x100000}, 4,
+                         VirtAddr{0x100000 + 4 * kBlockSize}, snap));
     f.on_pgc_abandoned();
     // A later issue for a different target must not inherit state
     // (would assert in debug builds otherwise).
-    ASSERT_TRUE(f.permit(0x1, 0x200000, 4, 0x200000 + 4 * kBlockSize,
-                         snap));
-    f.on_pgc_issued(0x200000 + 4 * kBlockSize, 0x77000);
-    f.on_pgc_first_use(0x77000);
+    ASSERT_TRUE(f.permit(0x1, VirtAddr{0x200000}, 4,
+                         VirtAddr{0x200000 + 4 * kBlockSize}, snap));
+    f.on_pgc_issued(VirtAddr{0x200000 + 4 * kBlockSize},
+                    PhysAddr{0x77000});
+    f.on_pgc_first_use(PhysAddr{0x77000});
     SUCCEED();
 }
 
@@ -145,19 +151,20 @@ TEST(MokaFilter, DisabledPhaseStillLearnsThroughVub)
     extreme.stlb_mpki = 100.0;
     f.on_interval(extreme);  // disables PGC
     const Addr target = 0x500000 + 6 * kBlockSize;
-    EXPECT_FALSE(f.permit(0x1, 0x500000, 6, target, extreme));
+    EXPECT_FALSE(f.permit(0x1, VirtAddr{0x500000}, 6, VirtAddr{target},
+                          extreme));
     // The discarded request still landed in vUB: a demand miss trains.
-    f.on_l1d_demand_miss(target);
+    f.on_l1d_demand_miss(VirtAddr{target});
     // Pressure subsides; a few more vUB rounds flip the decision.
     SystemSnapshot calm;
     calm.stlb_mpki = 100.0;
     f.on_interval(calm);
     for (int i = 0; i < 10; ++i) {
-        if (f.permit(0x1, 0x500000, 6, target, calm)) {
+        if (f.permit(0x1, VirtAddr{0x500000}, 6, VirtAddr{target}, calm)) {
             SUCCEED();
             return;
         }
-        f.on_l1d_demand_miss(target);
+        f.on_l1d_demand_miss(VirtAddr{target});
     }
     FAIL() << "vUB training never re-enabled page-cross prefetching";
 }

@@ -21,7 +21,7 @@ config(double large_fraction = 0.0, std::uint64_t seed = 1)
 TEST(PageTable, TranslationIsStable)
 {
     PageTable pt(config());
-    const Addr va = 0x12345678;
+    const VirtAddr va{0x12345678};
     const Translation t1 = pt.translate(va);
     const Translation t2 = pt.translate(va);
     EXPECT_EQ(t1.paddr, t2.paddr);
@@ -31,7 +31,7 @@ TEST(PageTable, TranslationIsStable)
 TEST(PageTable, OffsetPreserved)
 {
     PageTable pt(config());
-    const Translation t = pt.translate(0xABC123);
+    const Translation t = pt.translate(VirtAddr{0xABC123});
     EXPECT_EQ(page_offset(t.paddr), page_offset(Addr{0xABC123}));
 }
 
@@ -40,8 +40,8 @@ TEST(PageTable, DistinctPagesGetDistinctFrames)
     PageTable pt(config());
     std::set<Addr> frames;
     for (Addr p = 0; p < 500; ++p) {
-        const Translation t = pt.translate(0x40000000 + p * kPageSize);
-        frames.insert(page_addr(t.paddr));
+        const Translation t = pt.translate(VirtAddr{0x40000000 + p * kPageSize});
+        frames.insert(page_addr(t.paddr).raw());
     }
     EXPECT_EQ(frames.size(), 500u);
 }
@@ -52,9 +52,9 @@ TEST(PageTable, ContiguityIsDestroyed)
     // adjacent physically (the VIPT-prefetching premise).
     PageTable pt(config());
     unsigned adjacent = 0;
-    Addr prev = pt.translate(0x40000000).paddr;
+    PhysAddr prev = pt.translate(VirtAddr{0x40000000}).paddr;
     for (Addr p = 1; p < 200; ++p) {
-        const Addr cur = pt.translate(0x40000000 + p * kPageSize).paddr;
+        const PhysAddr cur = pt.translate(VirtAddr{0x40000000 + p * kPageSize}).paddr;
         if (page_addr(cur) == page_addr(prev) + kPageSize) {
             ++adjacent;
         }
@@ -66,32 +66,32 @@ TEST(PageTable, ContiguityIsDestroyed)
 TEST(PageTable, WalkLevelsFor4K)
 {
     PageTable pt(config());
-    std::array<Addr, 5> addrs;
-    EXPECT_EQ(pt.walk_addresses(0x40000000, addrs), 5u);
+    std::array<PhysAddr, 5> addrs;
+    EXPECT_EQ(pt.walk_addresses(VirtAddr{0x40000000}, addrs), 5u);
     // Each PTE address must be 8-byte aligned and inside a 4KB table.
     for (unsigned i = 0; i < 5; ++i) {
-        EXPECT_EQ(addrs[i] % 8, 0u);
+        EXPECT_EQ(addrs[i].raw() % 8, 0u);
     }
 }
 
 TEST(PageTable, WalkLevelsFor2M)
 {
     PageTable pt(config(1.0));
-    std::array<Addr, 5> addrs;
-    EXPECT_EQ(pt.walk_addresses(0x40000000, addrs), 4u);
-    const Translation t = pt.translate(0x40000000);
+    std::array<PhysAddr, 5> addrs;
+    EXPECT_EQ(pt.walk_addresses(VirtAddr{0x40000000}, addrs), 4u);
+    const Translation t = pt.translate(VirtAddr{0x40000000});
     EXPECT_TRUE(t.large);
     // 2MB-aligned frame.
-    EXPECT_EQ(t.paddr & (kLargePageSize - 1),
+    EXPECT_EQ(large_page_offset(t.paddr),
               Addr{0x40000000} & (kLargePageSize - 1));
 }
 
 TEST(PageTable, AdjacentPagesShareLeafTable)
 {
     PageTable pt(config());
-    std::array<Addr, 5> a, b;
-    pt.walk_addresses(0x40000000, a);
-    pt.walk_addresses(0x40000000 + kPageSize, b);
+    std::array<PhysAddr, 5> a, b;
+    pt.walk_addresses(VirtAddr{0x40000000}, a);
+    pt.walk_addresses(VirtAddr{0x40000000 + kPageSize}, b);
     // Same PT leaf page, consecutive entries.
     EXPECT_EQ(page_addr(a[4]), page_addr(b[4]));
     EXPECT_EQ(b[4], a[4] + 8);
@@ -105,7 +105,7 @@ TEST(PageTable, LargeRegionDecisionDeterministic)
     PageTable pt1(config(0.5, 99));
     PageTable pt2(config(0.5, 99));
     for (Addr r = 0; r < 64; ++r) {
-        const Addr va = r * kLargePageSize;
+        const VirtAddr va{r * kLargePageSize};
         EXPECT_EQ(pt1.is_large_region(va), pt2.is_large_region(va));
     }
 }
@@ -116,7 +116,7 @@ TEST(PageTable, LargeFractionRoughlyHonored)
     unsigned large = 0;
     const unsigned n = 400;
     for (Addr r = 0; r < n; ++r) {
-        large += pt.is_large_region(r * kLargePageSize) ? 1 : 0;
+        large += pt.is_large_region(VirtAddr{r * kLargePageSize}) ? 1 : 0;
     }
     EXPECT_GT(large, n / 3);
     EXPECT_LT(large, 2 * n / 3);
@@ -126,9 +126,9 @@ TEST(PageTable, MappedPagesCounts)
 {
     PageTable pt(config());
     EXPECT_EQ(pt.mapped_pages(), 0u);
-    pt.translate(0x1000);
-    pt.translate(0x1100);  // same page
-    pt.translate(0x2000);
+    pt.translate(VirtAddr{0x1000});
+    pt.translate(VirtAddr{0x1100});  // same page
+    pt.translate(VirtAddr{0x2000});
     EXPECT_EQ(pt.mapped_pages(), 2u);
 }
 

@@ -228,13 +228,15 @@ TEST(SnapshotComponents, Dram)
     DramConfig cfg;
     Dram driven(cfg);
     for (Addr a = 0; a < 64 * kBlockSize; a += kBlockSize) {
-        (void)driven.access(a * 37, AccessType::kLoad, a);
+        (void)driven.access(PhysAddr{a * 37}, AccessType::kLoad, a);
     }
     Dram fresh(cfg);
     expect_round_trip(driven, fresh);
     // Behavioral check: next access sees the same open-row state.
-    const AccessResult a = driven.access(0x5000, AccessType::kStore, 9999);
-    const AccessResult b = fresh.access(0x5000, AccessType::kStore, 9999);
+    const AccessResult a =
+        driven.access(PhysAddr{0x5000}, AccessType::kStore, 9999);
+    const AccessResult b =
+        fresh.access(PhysAddr{0x5000}, AccessType::kStore, 9999);
     EXPECT_EQ(a.done, b.done);
     EXPECT_EQ(a.hit, b.hit);
 }
@@ -249,7 +251,8 @@ TEST(SnapshotComponents, CacheOverDram)
     Dram dram_a(dcfg), dram_b(dcfg);
     Cache driven(ccfg, &dram_a);
     for (Addr a = 0; a < 256; ++a) {
-        (void)driven.access(a * kBlockSize * 3, AccessType::kLoad, a);
+        (void)driven.access(PhysAddr{a * kBlockSize * 3}, AccessType::kLoad,
+                            a);
     }
     Cache fresh(ccfg, &dram_b);
     expect_round_trip(driven, fresh);
@@ -261,8 +264,9 @@ TEST(SnapshotComponents, Tlb)
     Tlb driven(cfg);
     for (Addr page = 0; page < 128; ++page) {
         const Addr vaddr = page << 12;
-        (void)driven.lookup(vaddr, page, /*demand=*/true);
-        driven.fill(vaddr, vaddr | 0x1000000, /*large=*/false,
+        (void)driven.lookup(VirtAddr{vaddr}, page, /*demand=*/true);
+        driven.fill(VirtAddr{vaddr}, PhysAddr{vaddr | 0x1000000},
+                    /*large=*/false,
                     /*from_prefetch=*/(page % 3) == 0);
     }
     Tlb fresh(cfg);
@@ -278,7 +282,8 @@ TEST(SnapshotComponents, PageTableAndWalker)
     PageTable pt_driven(vcfg);
     PageWalker driven(wcfg, &pt_driven, &dram_a);
     for (Addr page = 0; page < 64; ++page) {
-        (void)driven.walk(page << 12, page, /*speculative=*/page % 2);
+        (void)driven.walk(VirtAddr{page << 12}, page,
+                          /*speculative=*/page % 2);
     }
     PageTable pt_fresh(vcfg);
     PageWalker fresh(wcfg, &pt_fresh, &dram_b);
@@ -311,7 +316,7 @@ drive_prefetcher(Prefetcher &pf)
     for (std::uint64_t i = 0; i < 2000; ++i) {
         PrefetchContext ctx;
         ctx.pc = 0x400000 + (i % 7) * 4;
-        ctx.vaddr = (i * 3) * kBlockSize;
+        ctx.vaddr = VirtAddr{(i * 3) * kBlockSize};
         ctx.hit = (i % 4) != 0;
         ctx.now = i * 10;
         pf.on_access(ctx, out);
@@ -387,24 +392,24 @@ TEST(SnapshotComponents, Throttle)
 
 TEST(SnapshotComponents, UpdateBuffer)
 {
-    UpdateBuffer driven(32);
+    VirtUpdateBuffer driven(32);
     for (std::uint64_t i = 0; i < 100; ++i) {
-        DecisionRecord rec;
-        rec.block = i * kBlockSize;
+        VirtDecisionRecord rec;
+        rec.block = VirtAddr{i * kBlockSize};
         rec.num_features = 3;
         rec.indexes[0] = static_cast<std::uint32_t>(i);
         driven.insert(rec);
         if (i % 3 == 0) {
-            DecisionRecord out;
-            (void)driven.take((i / 2) * kBlockSize, out);
+            VirtDecisionRecord out;
+            (void)driven.take(VirtAddr{(i / 2) * kBlockSize}, out);
         }
     }
-    UpdateBuffer fresh(32);
+    VirtUpdateBuffer fresh(32);
     expect_round_trip(driven, fresh);
     // Same lookup must succeed/fail identically after restore.
-    DecisionRecord a, b;
-    EXPECT_EQ(driven.take(99 * kBlockSize, a),
-              fresh.take(99 * kBlockSize, b));
+    VirtDecisionRecord a, b;
+    EXPECT_EQ(driven.take(VirtAddr{99 * kBlockSize}, a),
+              fresh.take(VirtAddr{99 * kBlockSize}, b));
 }
 
 TEST(SnapshotComponents, WeightTable)
@@ -459,13 +464,15 @@ TEST(SnapshotComponents, MokaFilter)
     for (std::uint64_t i = 0; i < 500; ++i) {
         const Addr pc = 0x400100 + (i % 11) * 4;
         const Addr vaddr = i * 4096 + (i % 64) * 64;
-        driven.on_demand_access(pc, vaddr);
-        const bool ok = driven.permit(pc, vaddr, 5, vaddr + 5 * 64, snap);
+        driven.on_demand_access(pc, VirtAddr{vaddr});
+        const bool ok = driven.permit(pc, VirtAddr{vaddr}, 5,
+                                      VirtAddr{vaddr + 5 * 64}, snap);
         if (ok) {
-            driven.on_pgc_issued(vaddr + 5 * 64, vaddr + 5 * 64);
+            driven.on_pgc_issued(VirtAddr{vaddr + 5 * 64},
+                                 PhysAddr{vaddr + 5 * 64});
         }
         if (i % 7 == 0) {
-            driven.on_l1d_demand_miss(vaddr + 5 * 64);
+            driven.on_l1d_demand_miss(VirtAddr{vaddr + 5 * 64});
         }
     }
     MokaFilter fresh(cfg);

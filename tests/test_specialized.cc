@@ -45,7 +45,7 @@ TEST(Specialized, BertiExportsTimelinessMeta)
         out.clear();
         PrefetchContext ctx;
         ctx.pc = 0x400100;
-        ctx.vaddr = 0x100000 + Addr(i) * kBlockSize;
+        ctx.vaddr = VirtAddr{0x100000 + Addr(i) * kBlockSize};
         ctx.now = now;
         berti.on_access(ctx, out);
         now += 100;
@@ -61,7 +61,7 @@ TEST(Specialized, IpcpExportsClassMeta)
     std::vector<PrefetchRequest> out;
     PrefetchContext ctx;
     ctx.pc = 0x400200;
-    ctx.vaddr = 0x100000;
+    ctx.vaddr = VirtAddr{0x100000};
     ctx.hit = false;
     ipcp.on_access(ctx, out);
     ASSERT_EQ(out.size(), 1u);
@@ -69,7 +69,7 @@ TEST(Specialized, IpcpExportsClassMeta)
     // Train CS (sparse regions, stride 3): meta becomes the CS class.
     for (int i = 1; i < 10; ++i) {
         out.clear();
-        ctx.vaddr = 0x100000 + Addr(i) * 3 * kBlockSize;
+        ctx.vaddr = VirtAddr{0x100000 + Addr(i) * 3 * kBlockSize};
         ipcp.on_access(ctx, out);
     }
     ASSERT_FALSE(out.empty());
@@ -101,20 +101,24 @@ TEST(Specialized, MetaSeparatesSamePcSameDelta)
     // meta=1 -> useful; meta=2 -> useless, alternating.
     for (int i = 0; i < 40; ++i) {
         const Addr t1 = 0x100000 + Addr(i) * 2 * kPageSize;
-        if (f.permit(0x1, 0x100000, 5, t1, snap, /*meta=*/1)) {
-            f.on_pgc_issued(t1, t1);
-            f.on_pgc_first_use(t1);
+        if (f.permit(0x1, VirtAddr{0x100000}, 5, VirtAddr{t1}, snap,
+                     /*meta=*/1)) {
+            f.on_pgc_issued(VirtAddr{t1}, PhysAddr{t1});
+            f.on_pgc_first_use(PhysAddr{t1});
         } else {
-            f.on_l1d_demand_miss(t1);
+            f.on_l1d_demand_miss(VirtAddr{t1});
         }
         const Addr t2 = t1 + kPageSize;
-        if (f.permit(0x1, 0x100000, 5, t2, snap, /*meta=*/2)) {
-            f.on_pgc_issued(t2, t2);
-            f.on_pgc_eviction(t2, false);
+        if (f.permit(0x1, VirtAddr{0x100000}, 5, VirtAddr{t2}, snap,
+                     /*meta=*/2)) {
+            f.on_pgc_issued(VirtAddr{t2}, PhysAddr{t2});
+            f.on_pgc_eviction(PhysAddr{t2}, false);
         }
     }
-    EXPECT_TRUE(f.permit(0x1, 0x100000, 5, 0x900000, snap, 1));
-    EXPECT_FALSE(f.permit(0x1, 0x100000, 5, 0x901000, snap, 2));
+    EXPECT_TRUE(
+        f.permit(0x1, VirtAddr{0x100000}, 5, VirtAddr{0x900000}, snap, 1));
+    EXPECT_FALSE(
+        f.permit(0x1, VirtAddr{0x100000}, 5, VirtAddr{0x901000}, snap, 2));
 }
 
 TEST(Specialized, SchemeFactory)

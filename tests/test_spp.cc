@@ -11,7 +11,7 @@ access(Spp &spp, Addr paddr)
 {
     std::vector<PrefetchRequest> out;
     PrefetchContext ctx;
-    ctx.vaddr = paddr;  // SPP operates on physical addresses
+    ctx.vaddr = VirtAddr{paddr};  // SPP: physical stream via the adapter seam
     ctx.pc = 0x400100;
     spp.on_access(ctx, out);
     return out;
@@ -48,7 +48,7 @@ TEST(Spp, NeverCrossesPhysicalPage)
         for (unsigned i = 0; i < 30; ++i) {
             out = access(spp, base + Addr(i) * 2 * kBlockSize);
             for (const PrefetchRequest &r : out) {
-                EXPECT_EQ(page_number(r.vaddr), page_number(base))
+                EXPECT_EQ(page_number(r.vaddr), page_number(VirtAddr{base}))
                     << "SPP crossed a physical page";
             }
         }

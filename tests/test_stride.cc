@@ -12,7 +12,7 @@ access(StridePrefetcher &pf, Addr pc, Addr vaddr)
     std::vector<PrefetchRequest> out;
     PrefetchContext ctx;
     ctx.pc = pc;
-    ctx.vaddr = vaddr;
+    ctx.vaddr = VirtAddr{vaddr};
     pf.on_access(ctx, out);
     return out;
 }

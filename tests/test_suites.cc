@@ -86,7 +86,7 @@ TEST(Suites, WorkloadsInstantiateAndRun)
             const TraceInst inst = w->next();
             if (inst.op == OpClass::kLoad || inst.op == OpClass::kStore) {
                 saw_mem = true;
-                EXPECT_NE(inst.mem_addr, 0u);
+                EXPECT_NE(inst.mem_addr, VirtAddr{0});
             }
         }
         EXPECT_TRUE(saw_mem) << spec.name;

@@ -45,7 +45,7 @@ drive_interval(ThrottledPrefetcher &t, bool useful, bool late)
 {
     for (int i = 0; i < 32; ++i) {
         t.on_feedback(useful, late);
-        t.on_fill(0x1000, 0, /*was_prefetch=*/true);
+        t.on_fill(VirtAddr{0x1000}, 0, /*was_prefetch=*/true);
     }
 }
 
@@ -54,7 +54,7 @@ TEST(Throttle, LevelCapsCandidates)
     ThrottledPrefetcher t(std::make_unique<FanPrefetcher>(6), quick());
     std::vector<PrefetchRequest> out;
     PrefetchContext ctx;
-    ctx.vaddr = 0x100000;
+    ctx.vaddr = VirtAddr{0x100000};
     t.on_access(ctx, out);
     EXPECT_EQ(out.size(), 2u);  // initial level 2
 }
@@ -95,7 +95,7 @@ TEST(Throttle, SmallWindowsIgnored)
         t.on_feedback(false, false);
     }
     for (int i = 0; i < 32; ++i) {
-        t.on_fill(0x1000, 0, true);
+        t.on_fill(VirtAddr{0x1000}, 0, true);
     }
     EXPECT_EQ(t.level(), 2u);
 }

@@ -22,23 +22,23 @@ tiny_config()
 TEST(Tlb, MissThenFillThenHit)
 {
     Tlb tlb(tiny_config());
-    const Addr va = 0x12345678;
+    const VirtAddr va{0x12345678};
     Tlb::Result r = tlb.lookup(va, 0, true);
     EXPECT_FALSE(r.hit);
     EXPECT_EQ(r.done, 3u);
-    tlb.fill(va, 0x9000, false, false);
+    tlb.fill(va, PhysAddr{0x9000}, false, false);
     r = tlb.lookup(va, 10, true);
     EXPECT_TRUE(r.hit);
-    EXPECT_EQ(r.page_base, 0x9000u);
+    EXPECT_EQ(r.page_base, PhysAddr{0x9000});
     EXPECT_FALSE(r.large);
 }
 
 TEST(Tlb, DemandAndProbeStatsSplit)
 {
     Tlb tlb(tiny_config());
-    tlb.lookup(0x1000, 0, true);
-    tlb.lookup(0x2000, 0, false);
-    tlb.lookup(0x3000, 0, false);
+    tlb.lookup(VirtAddr{0x1000}, 0, true);
+    tlb.lookup(VirtAddr{0x2000}, 0, false);
+    tlb.lookup(VirtAddr{0x3000}, 0, false);
     EXPECT_EQ(tlb.demand_stats().accesses, 1u);
     EXPECT_EQ(tlb.demand_stats().misses, 1u);
     EXPECT_EQ(tlb.probe_stats().accesses, 2u);
@@ -48,11 +48,12 @@ TEST(Tlb, DemandAndProbeStatsSplit)
 TEST(Tlb, LargePageEntry)
 {
     Tlb tlb(tiny_config());
-    const Addr va = Addr{5} * kLargePageSize + 0x1234;
-    tlb.fill(va, Addr{5} * kLargePageSize + (Addr{1} << 30), true, false);
+    const VirtAddr va{Addr{5} * kLargePageSize + 0x1234};
+    tlb.fill(va, PhysAddr{Addr{5} * kLargePageSize + (Addr{1} << 30)},
+             true, false);
     // Any address in the same 2MB region hits the large entry.
     const Tlb::Result r =
-        tlb.lookup(Addr{5} * kLargePageSize + 0xFFFFF, 0, true);
+        tlb.lookup(VirtAddr{Addr{5} * kLargePageSize + 0xFFFFF}, 0, true);
     EXPECT_TRUE(r.hit);
     EXPECT_TRUE(r.large);
 }
@@ -61,21 +62,21 @@ TEST(Tlb, LruEvictionWithinSet)
 {
     Tlb tlb(tiny_config());
     // sets=2: pages with equal parity collide.
-    tlb.fill(0 * kPageSize, 0x1000, false, false);
-    tlb.fill(2 * kPageSize, 0x2000, false, false);
+    tlb.fill(VirtAddr{0 * kPageSize}, PhysAddr{0x1000}, false, false);
+    tlb.fill(VirtAddr{2 * kPageSize}, PhysAddr{0x2000}, false, false);
     // Touch page 0 so page 2 is LRU.
-    tlb.lookup(0, 0, true);
-    tlb.fill(4 * kPageSize, 0x3000, false, false);  // evicts page 2
-    EXPECT_TRUE(tlb.lookup(0, 0, true).hit);
-    EXPECT_FALSE(tlb.lookup(2 * kPageSize, 0, true).hit);
-    EXPECT_TRUE(tlb.lookup(4 * kPageSize, 0, true).hit);
+    tlb.lookup(VirtAddr{0}, 0, true);
+    tlb.fill(VirtAddr{4 * kPageSize}, PhysAddr{0x3000}, false, false);  // evicts page 2
+    EXPECT_TRUE(tlb.lookup(VirtAddr{0}, 0, true).hit);
+    EXPECT_FALSE(tlb.lookup(VirtAddr{2 * kPageSize}, 0, true).hit);
+    EXPECT_TRUE(tlb.lookup(VirtAddr{4 * kPageSize}, 0, true).hit);
 }
 
 TEST(Tlb, PrefetchFillsCounted)
 {
     Tlb tlb(tiny_config());
-    tlb.fill(0x1000, 0x9000, false, true);
-    tlb.fill(0x2000, 0xA000, false, false);
+    tlb.fill(VirtAddr{0x1000}, PhysAddr{0x9000}, false, true);
+    tlb.fill(VirtAddr{0x2000}, PhysAddr{0xA000}, false, false);
     EXPECT_EQ(tlb.prefetch_fills(), 1u);
 }
 
@@ -84,11 +85,11 @@ TEST(Tlb, PrefetchFillStillPollutes)
     // A fill from a page-cross prefetch occupies a real entry and can
     // evict demand translations — the pollution channel of the paper.
     Tlb tlb(tiny_config());
-    tlb.fill(0 * kPageSize, 0x1000, false, false);
-    tlb.fill(2 * kPageSize, 0x2000, false, false);
-    tlb.lookup(2 * kPageSize, 0, true);  // make page 0 LRU
-    tlb.fill(4 * kPageSize, 0x3000, false, true);  // prefetch fill
-    EXPECT_FALSE(tlb.lookup(0, 0, true).hit);
+    tlb.fill(VirtAddr{0 * kPageSize}, PhysAddr{0x1000}, false, false);
+    tlb.fill(VirtAddr{2 * kPageSize}, PhysAddr{0x2000}, false, false);
+    tlb.lookup(VirtAddr{2 * kPageSize}, 0, true);  // make page 0 LRU
+    tlb.fill(VirtAddr{4 * kPageSize}, PhysAddr{0x3000}, false, true);  // prefetch fill
+    EXPECT_FALSE(tlb.lookup(VirtAddr{0}, 0, true).hit);
 }
 
 }  // namespace

@@ -6,11 +6,11 @@
 namespace moka {
 namespace {
 
-DecisionRecord
+VirtDecisionRecord
 rec(Addr block, std::uint8_t mask = 0)
 {
-    DecisionRecord r;
-    r.block = block;
+    VirtDecisionRecord r;
+    r.block = VirtAddr{block};
     r.num_features = 2;
     r.indexes[0] = static_cast<std::uint32_t>(block & 0x3FF);
     r.indexes[1] = 7;
@@ -20,65 +20,65 @@ rec(Addr block, std::uint8_t mask = 0)
 
 TEST(UpdateBuffer, InsertThenTake)
 {
-    UpdateBuffer ub(4);
+    VirtUpdateBuffer ub(4);
     ub.insert(rec(0x1000, 0b01));
-    DecisionRecord out;
-    EXPECT_TRUE(ub.take(0x1000, out));
-    EXPECT_EQ(out.block, 0x1000u);
+    VirtDecisionRecord out;
+    EXPECT_TRUE(ub.take(VirtAddr{0x1000}, out));
+    EXPECT_EQ(out.block, VirtAddr{0x1000});
     EXPECT_EQ(out.system_mask, 0b01);
     EXPECT_EQ(out.num_features, 2);
     // Second take misses: records are consumed.
-    EXPECT_FALSE(ub.take(0x1000, out));
+    EXPECT_FALSE(ub.take(VirtAddr{0x1000}, out));
 }
 
 TEST(UpdateBuffer, FifoEvictionWhenFull)
 {
-    UpdateBuffer ub(2);
+    VirtUpdateBuffer ub(2);
     ub.insert(rec(0x1));
     ub.insert(rec(0x2));
     ub.insert(rec(0x3));  // evicts 0x1
-    DecisionRecord out;
-    EXPECT_FALSE(ub.take(0x1, out));
-    EXPECT_TRUE(ub.take(0x2, out));
-    EXPECT_TRUE(ub.take(0x3, out));
+    VirtDecisionRecord out;
+    EXPECT_FALSE(ub.take(VirtAddr{0x1}, out));
+    EXPECT_TRUE(ub.take(VirtAddr{0x2}, out));
+    EXPECT_TRUE(ub.take(VirtAddr{0x3}, out));
 }
 
 TEST(UpdateBuffer, DuplicateKeyRefreshes)
 {
-    UpdateBuffer ub(2);
+    VirtUpdateBuffer ub(2);
     ub.insert(rec(0x1, 0b01));
     ub.insert(rec(0x1, 0b10));
     EXPECT_EQ(ub.size(), 1u);
-    DecisionRecord out;
-    ASSERT_TRUE(ub.take(0x1, out));
+    VirtDecisionRecord out;
+    ASSERT_TRUE(ub.take(VirtAddr{0x1}, out));
     EXPECT_EQ(out.system_mask, 0b10);
 }
 
 TEST(UpdateBuffer, StaleFifoSlotsSkipped)
 {
-    UpdateBuffer ub(2);
+    VirtUpdateBuffer ub(2);
     ub.insert(rec(0x1));
     ub.insert(rec(0x2));
-    DecisionRecord out;
-    ASSERT_TRUE(ub.take(0x1, out));  // leaves a stale FIFO slot
+    VirtDecisionRecord out;
+    ASSERT_TRUE(ub.take(VirtAddr{0x1}, out));  // leaves a stale FIFO slot
     ub.insert(rec(0x3));
     ub.insert(rec(0x4));  // must evict 0x2, not fail
     EXPECT_EQ(ub.size(), 2u);
-    EXPECT_FALSE(ub.take(0x2, out));
-    EXPECT_TRUE(ub.take(0x3, out));
-    EXPECT_TRUE(ub.take(0x4, out));
+    EXPECT_FALSE(ub.take(VirtAddr{0x2}, out));
+    EXPECT_TRUE(ub.take(VirtAddr{0x3}, out));
+    EXPECT_TRUE(ub.take(VirtAddr{0x4}, out));
 }
 
 TEST(UpdateBuffer, StorageBitsMatchPaper)
 {
     // Table III: vUB 4x(36+12) bits, pUB 128x(36+12) bits.
-    EXPECT_EQ(UpdateBuffer(4).storage_bits(), 4u * 48u);
-    EXPECT_EQ(UpdateBuffer(128).storage_bits(), 128u * 48u);
+    EXPECT_EQ(VirtUpdateBuffer(4).storage_bits(), 4u * 48u);
+    EXPECT_EQ(VirtUpdateBuffer(128).storage_bits(), 128u * 48u);
 }
 
 TEST(UpdateBuffer, CapacityRespectedUnderChurn)
 {
-    UpdateBuffer ub(8);
+    VirtUpdateBuffer ub(8);
     for (Addr a = 0; a < 1000; ++a) {
         ub.insert(rec(a * kBlockSize));
         EXPECT_LE(ub.size(), 8u);

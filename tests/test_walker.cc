@@ -12,7 +12,7 @@ class CountingMemory : public MemoryLevel
 {
   public:
     AccessResult
-    access(Addr /*paddr*/, AccessType type, Cycle now, bool) override
+    access(PhysAddr /*paddr*/, AccessType type, Cycle now, bool) override
     {
         ++count;
         if (type == AccessType::kPageWalk) {
@@ -48,10 +48,10 @@ TEST(Walker, ColdWalkReadsFiveLevels)
     PageTable pt(vcfg);
     CountingMemory mem;
     PageWalker walker(WalkerConfig{}, &pt, &mem);
-    const PageWalker::WalkResult r = walker.walk(0x40000000, 0, false);
+    const PageWalker::WalkResult r = walker.walk(VirtAddr{0x40000000}, 0, false);
     EXPECT_EQ(r.mem_refs, 5u);
     EXPECT_FALSE(r.large);
-    EXPECT_EQ(r.page_base, page_addr(pt.translate(0x40000000).paddr));
+    EXPECT_EQ(r.page_base, page_addr(pt.translate(VirtAddr{0x40000000}).paddr));
     // Dependent chain: 5 x 50-cycle reads plus PSC latency.
     EXPECT_GE(r.done, 250u);
     EXPECT_EQ(walker.demand_walks(), 1u);
@@ -63,11 +63,11 @@ TEST(Walker, PscShortensRepeatWalks)
     PageTable pt(vcfg);
     CountingMemory mem;
     PageWalker walker(WalkerConfig{}, &pt, &mem);
-    walker.walk(0x40000000, 0, false);
+    walker.walk(VirtAddr{0x40000000}, 0, false);
     // Neighbouring page shares all upper levels: PDE-PSC hit leaves
     // only the PTE read.
     const PageWalker::WalkResult r =
-        walker.walk(0x40000000 + kPageSize, 10000, false);
+        walker.walk(VirtAddr{0x40000000 + kPageSize}, 10000, false);
     EXPECT_EQ(r.mem_refs, 1u);
 }
 
@@ -78,7 +78,7 @@ TEST(Walker, LargePageWalkReadsFourLevelsCold)
     PageTable pt(vcfg);
     CountingMemory mem;
     PageWalker walker(WalkerConfig{}, &pt, &mem);
-    const PageWalker::WalkResult r = walker.walk(0x40000000, 0, false);
+    const PageWalker::WalkResult r = walker.walk(VirtAddr{0x40000000}, 0, false);
     EXPECT_EQ(r.mem_refs, 4u);
     EXPECT_TRUE(r.large);
 }
@@ -90,11 +90,11 @@ TEST(Walker, LargePageRepeatWalkReadsOnlyLeafPde)
     PageTable pt(vcfg);
     CountingMemory mem;
     PageWalker walker(WalkerConfig{}, &pt, &mem);
-    walker.walk(0x40000000, 0, false);
+    walker.walk(VirtAddr{0x40000000}, 0, false);
     // Leaf PDEs are cached by the TLB, not the PSCs, so a repeat walk
     // in the same region still reads exactly the PDE (PDPTE-PSC hit).
     const PageWalker::WalkResult r =
-        walker.walk(0x40000000 + kPageSize, 10000, false);
+        walker.walk(VirtAddr{0x40000000 + kPageSize}, 10000, false);
     EXPECT_EQ(r.mem_refs, 1u);
 }
 
@@ -104,9 +104,9 @@ TEST(Walker, SpeculativeCounterSplit)
     PageTable pt(vcfg);
     CountingMemory mem;
     PageWalker walker(WalkerConfig{}, &pt, &mem);
-    walker.walk(0x1000000, 0, false);
-    walker.walk(0x2000000, 0, true);
-    walker.walk(0x3000000, 0, true);
+    walker.walk(VirtAddr{0x1000000}, 0, false);
+    walker.walk(VirtAddr{0x2000000}, 0, true);
+    walker.walk(VirtAddr{0x3000000}, 0, true);
     EXPECT_EQ(walker.demand_walks(), 1u);
     EXPECT_EQ(walker.spec_walks(), 2u);
     EXPECT_EQ(walker.total_mem_refs(), mem.walk_count);
@@ -120,10 +120,10 @@ TEST(Walker, ConcurrencySlotsSerializeExcessWalks)
     WalkerConfig wcfg;
     wcfg.concurrent_walks = 1;
     PageWalker walker(wcfg, &pt, &mem);
-    const auto a = walker.walk(0x10000000, 0, false);
+    const auto a = walker.walk(VirtAddr{0x10000000}, 0, false);
     // With one slot, a second walk requested at cycle 0 cannot start
     // before the first finishes.
-    const auto b = walker.walk(0x20000000, 0, false);
+    const auto b = walker.walk(VirtAddr{0x20000000}, 0, false);
     EXPECT_GE(b.done, a.done);
 }
 
@@ -136,9 +136,9 @@ TEST(Walker, MaxFiveUselessAccessesRisk)
     PageTable pt(vcfg);
     CountingMemory mem;
     PageWalker walker(WalkerConfig{}, &pt, &mem);
-    const auto cold = walker.walk(0x50000000, 0, true);
+    const auto cold = walker.walk(VirtAddr{0x50000000}, 0, true);
     EXPECT_LE(cold.mem_refs, 5u);
-    const auto warm = walker.walk(0x50000000 + kLargePageSize, 0, true);
+    const auto warm = walker.walk(VirtAddr{0x50000000 + kLargePageSize}, 0, true);
     EXPECT_LE(warm.mem_refs, 4u);  // PML5/PML4/PDPT cached
 }
 

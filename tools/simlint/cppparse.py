@@ -83,6 +83,60 @@ def is_pure_interface(body: str) -> bool:
     return "= 0" in body and not has_data_members(body)
 
 
+# Stream-ish left operands for shift disambiguation: std streams,
+# plus the local naming convention for writers and string builders.
+_STREAM_LHS_RE = re.compile(
+    r"(?:^|::)(?:c(?:out|err|log)|\w*(?:os|ss|stream|sink|log|out))$"
+)
+
+_SHIFT_RE = re.compile(r"(<<|>>)=?")
+
+
+def shift_sites(line: str) -> Iterator[Tuple[int, str, str]]:
+    """Yield (column, op, rhs) for *arithmetic* shifts on a code line.
+
+    ``<<`` / ``>>`` are three different things in C++: a shift, a
+    stream insertion/extraction, and (for ``>>``) a nested-template
+    closer.  Rules that reason about shift *amounts* (page geometry)
+    must not fire on ``os << 12`` or ``std::vector<Foo<T>>``.  The
+    disambiguation is lexical:
+
+    * the operator is a stream op when the nearest token to its left
+      is a stream-ish identifier (``cout``/``cerr``/``clog`` or a
+      local name ending in os/ss/stream/sink/log/out), or when a
+      string literal delimiter directly abuts either side — stream
+      chains interleave literals, shifts never do;
+    * a ``>>`` whose right-hand side is not an expression head
+      (identifier, number, or ``(``) is a template closer, not a
+      shift — callers only see sites with a real rhs.
+
+    The rhs returned is the text from just past the operator to the
+    end of the line; callers match their own amount patterns on it.
+    Stream-ness propagates down the chain: once an operator is
+    classified as a stream op, every later operator before the next
+    ``;`` belongs to the same chain (``os << 21 << x``).
+    """
+    stream_until = -1
+    for m in _SHIFT_RE.finditer(line):
+        if m.start() < stream_until:
+            continue  # inside an already-classified stream chain
+        left = line[: m.start()].rstrip()
+        right = line[m.end() :]
+        semi = line.find(";", m.end())
+        chain_end = len(line) if semi == -1 else semi
+        # String literal hugging the operator: stream chain.
+        if left.endswith('"') or right.lstrip().startswith('"'):
+            stream_until = chain_end
+            continue
+        lhs_tok = re.search(r"([A-Za-z_][\w:]*)$", left)
+        if lhs_tok and _STREAM_LHS_RE.search(lhs_tok.group(1)):
+            stream_until = chain_end
+            continue
+        if not re.match(r"\s*(?:[A-Za-z_0-9(~]|$)", right):
+            continue  # template closer / operator soup
+        yield m.start(), m.group(1), right
+
+
 def cast_sites(line: str, type_pattern: str):
     """Yield (column, inner_expression) for static_cast<T>(expr) and
     C-style (T)(expr) casts whose T matches *type_pattern*."""

@@ -45,7 +45,9 @@ from tools.simlint.model import Project, SourceFile
 
 # Identifiers that look like calls but are not, plus std::atomic's
 # method names — `value_.load(...)` is not a call into a project
-# function that happens to be named `load` (Journal::load).
+# function that happens to be named `load` (Journal::load) — plus the
+# strong-address escape hatch: `addr.raw()` is StrongAddr/StrongPageNum
+# accessor traffic, not a call into SnapshotWriter::raw.
 _NOT_CALLS = frozenset(
     """
     if for while switch return sizeof alignof alignas decltype typeid
@@ -54,6 +56,7 @@ _NOT_CALLS = frozenset(
     SIM_REQUIRE SIM_AUDIT SIM_AUDIT_FAIL SIM_HOT SIM_COLD
     load store exchange fetch_add fetch_sub fetch_and fetch_or
     compare_exchange_weak compare_exchange_strong
+    raw
     """.split()
 )
 

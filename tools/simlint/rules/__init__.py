@@ -16,4 +16,6 @@ from tools.simlint.rules import (  # noqa: F401
     l14_hot_io,
     l15_io_checked,
     l16_snapshot_complete,
+    l17_page_geometry,
+    l18_addr_escapes,
 )

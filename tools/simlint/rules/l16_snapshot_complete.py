@@ -59,8 +59,15 @@ def _inline_body(body: str) -> Optional[str]:
 
 
 def _out_of_line_body(files, cls: str) -> Optional[str]:
-    """Body of `Cls::save_state(...)` found anywhere under src/."""
-    sig = re.compile(r"\b" + re.escape(cls) + r"\s*::\s*save_state\s*\(")
+    """Body of `Cls::save_state(...)` found anywhere under src/.
+
+    Accepts an optional template argument list on the class head
+    (`UpdateBuffer<AddrT>::save_state`) so templated components stay
+    under the contract.
+    """
+    sig = re.compile(
+        r"\b" + re.escape(cls) + r"\s*(?:<[^<>;{}]*>)?\s*::\s*save_state\s*\("
+    )
     for sf in files:
         m = sig.search(sf.code)
         if m is None:

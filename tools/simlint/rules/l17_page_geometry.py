@@ -1,0 +1,107 @@
+"""L17: page geometry must go through the typed helpers."""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from tools.simlint.cppparse import shift_sites
+from tools.simlint.model import Finding, Project
+from tools.simlint.registry import rule
+
+# Files allowed to spell page geometry by hand: the typed helpers
+# themselves, the virtual-memory subsystem that implements the
+# geometry, and the audit layer that re-derives invariants from raw
+# bits on purpose (checking the helpers *with* the helpers would be
+# circular).
+WHITELIST = (
+    "src/common/types.h",
+    "src/vmem/",
+    "src/audit/",
+)
+
+# Shift amounts that encode 4KB / 2MB page geometry.
+GEOM_SHIFT_NAMED = re.compile(r"^\s*\(?\s*(kPageBits|kLargePageBits)\b")
+GEOM_SHIFT_NUMERIC = re.compile(r"^\s*\(?\s*(12|21)\b")
+
+# Offset masks and modulus spelled against the page size constants.
+GEOM_MASK_NAMED = re.compile(
+    r"(?:&\s*~?\s*\(?\s*(?:kPageSize|kLargePageSize)\s*-\s*1"
+    r"|%\s*(?:kPageSize|kLargePageSize)\b)"
+)
+GEOM_MASK_NUMERIC = re.compile(r"&\s*~?\s*(?:0xFFF|0x1FFFFF)\b", re.IGNORECASE)
+
+# A line talks about addresses when an address-ish identifier appears;
+# bare-numeric geometry (``>> 12``, ``& 0xFFF``) is only flagged on
+# such lines so that unrelated 12-bit hashing (e.g. SPP signatures)
+# stays out of scope.  The named constants are unambiguous on their
+# own.
+ADDR_WORD = re.compile(
+    r"\b\w*(?:vaddr|paddr|addr|vpn|ppn|pfn|page|frame)\w*\b", re.IGNORECASE
+)
+
+_SUGGEST = (
+    "use the typed helpers (page_number/page_index/page_offset/"
+    "page_addr/crosses_page and their large-page forms) or annotate "
+    "with `LINT_GEOM_OK: <why>`"
+)
+
+
+def _whitelisted(rel: str) -> bool:
+    return any(
+        rel == w or (w.endswith("/") and rel.startswith(w)) for w in WHITELIST
+    )
+
+
+@rule("L17", "page geometry only via typed helpers")
+def check(project: Project) -> List[Finding]:
+    """Raw page-geometry arithmetic — ``>> kPageBits``, ``>> 12``,
+    ``& (kPageSize - 1)``, ``& 0xFFF`` and their 2MB (``21`` /
+    ``kLargePageBits`` / ``0x1FFFFF``) forms — is only allowed in
+    ``common/types.h`` (which defines the helpers), under ``vmem/``
+    (which implements the geometry), and under ``audit/`` (which
+    re-derives invariants from raw bits deliberately).  Everywhere
+    else, page geometry must go through the typed helpers so that the
+    virtual/physical tag travels with the value.
+
+    Why: a hand-rolled ``addr >> 12`` strips the address-space tag and
+    is the exact hole through which VA/PA confusion re-enters after
+    the strong-type refactor — the paper's whole subject is what
+    happens at page boundaries, so the page math must be impossible to
+    get wrong silently.  Shift operators are disambiguated from stream
+    inserters and template closers lexically; bare-numeric forms are
+    only flagged on lines that mention an address-ish identifier.
+    Annotate deliberate raw geometry (bit-packing into trace formats,
+    hash folding) with ``LINT_GEOM_OK: <why>``.
+    """
+    out: List[Finding] = []
+    for sf in project.src_files():
+        if _whitelisted(sf.rel):
+            continue
+        for no, line in enumerate(sf.code_lines, 1):
+            hits = []
+            for _, op, rhs in shift_sites(line):
+                if GEOM_SHIFT_NAMED.match(rhs):
+                    hits.append(f"`{op} {GEOM_SHIFT_NAMED.match(rhs).group(1)}`")
+                elif GEOM_SHIFT_NUMERIC.match(rhs) and ADDR_WORD.search(line):
+                    hits.append(
+                        f"`{op} {GEOM_SHIFT_NUMERIC.match(rhs).group(1)}`"
+                    )
+            if GEOM_MASK_NAMED.search(line):
+                hits.append("a page-size offset mask")
+            elif GEOM_MASK_NUMERIC.search(line) and ADDR_WORD.search(line):
+                hits.append("a page-offset bit mask")
+            if not hits:
+                continue
+            if sf.annotated(no, "LINT_GEOM_OK"):
+                continue
+            out.append(
+                Finding(
+                    "L17",
+                    sf.path,
+                    no,
+                    f"raw page geometry ({', '.join(hits)}) outside the "
+                    f"typed seams; {_SUGGEST}",
+                )
+            )
+    return out

@@ -1,0 +1,76 @@
+"""L18: strong-address escape hatches only at blessed seams."""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from tools.simlint.model import Finding, Project
+from tools.simlint.registry import rule
+
+# Seams where unwrapping a VirtAddr/PhysAddr back to a raw Addr is the
+# point of the code:
+#
+# * common/types.h    — defines the types and their helpers;
+# * common/hashing.h  — mixes raw bits into table indexes;
+# * snapshot/         — byte-level serialization of every component;
+# * vmem/             — the translation machinery IS the VA->PA seam;
+# * trace/generators.cc — synthesis mints the typed virtual stream;
+# * audit/            — invariant checkers re-derive structure from
+#                       raw bits and print them in diagnostics.
+WHITELIST = (
+    "src/common/types.h",
+    "src/common/hashing.h",
+    "src/snapshot/",
+    "src/vmem/",
+    "src/trace/generators.cc",
+    "src/audit/",
+)
+
+RAW_CALL = re.compile(r"\.\s*raw\s*\(\s*\)")
+
+
+def _whitelisted(rel: str) -> bool:
+    return any(
+        rel == w or (w.endswith("/") and rel.startswith(w)) for w in WHITELIST
+    )
+
+
+@rule("L18", "address-type escapes only at blessed seams")
+def check(project: Project) -> List[Finding]:
+    """``.raw()`` — the escape hatch from ``VirtAddr`` / ``PhysAddr``
+    back to an untagged ``Addr`` — may appear only at the blessed
+    seams: ``common/types.h``, ``common/hashing.h``, ``snapshot/``,
+    ``vmem/``, ``trace/generators.cc``, and ``audit/``.  Anywhere else
+    each call must carry a ``LINT_ADDR_OK: <why>`` annotation on or
+    just above the line.
+
+    Why: the strong address types only deliver their compile-time
+    VA/PA guarantee if unwrapping is rare and auditable.  A stray
+    ``.raw()`` in component code reopens the untyped world — the value
+    can then be re-wrapped with the wrong tag and no compiler or test
+    will notice.  Keeping every escape greppable (whitelisted seam or
+    explicit annotation) means the whole conversion surface of the
+    simulator can be reviewed in one pass.
+    """
+    out: List[Finding] = []
+    for sf in project.src_files():
+        if _whitelisted(sf.rel):
+            continue
+        for no, line in enumerate(sf.code_lines, 1):
+            if not RAW_CALL.search(line):
+                continue
+            if sf.annotated(no, "LINT_ADDR_OK"):
+                continue
+            out.append(
+                Finding(
+                    "L18",
+                    sf.path,
+                    no,
+                    "`.raw()` unwraps a strong address outside the "
+                    "blessed seams; route through a typed helper, move "
+                    "the conversion to a seam, or annotate with "
+                    "`LINT_ADDR_OK: <why>`",
+                )
+            )
+    return out

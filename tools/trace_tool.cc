@@ -90,7 +90,7 @@ main(int argc, char **argv)
                 if (inst.op == OpClass::kLoad ||
                     inst.op == OpClass::kStore) {
                     std::printf("  addr=%#llx%s",
-                                (unsigned long long)inst.mem_addr,
+                                (unsigned long long)inst.mem_addr.raw(),
                                 inst.dep_load ? " (dep)" : "");
                 } else if (inst.op == OpClass::kBranch) {
                     std::printf("  %s -> %#llx",
