@@ -54,9 +54,15 @@ struct AuditAccess
     static BlockView
     cache_block(const Cache &c, std::uint32_t set, std::uint32_t way)
     {
-        const Cache::Block &b =
-            c.blocks_[static_cast<std::size_t>(set) * c.cfg_.ways + way];
-        return {b.tag, b.valid, b.dirty, b.prefetched, b.pgc, b.used};
+        const std::size_t i =
+            static_cast<std::size_t>(set) * c.cfg_.ways + way;
+        const std::uint8_t f = c.flags_[i];
+        return {c.tags_[i] & ~Cache::kValidTagBit,
+                (c.tags_[i] & Cache::kValidTagBit) != 0,
+                (f & Cache::kFlagDirty) != 0,
+                (f & Cache::kFlagPrefetched) != 0,
+                (f & Cache::kFlagPgc) != 0,
+                (f & Cache::kFlagUsed) != 0};
     }
 
     static std::size_t
@@ -76,19 +82,25 @@ struct AuditAccess
     corrupt_cache_pcb(Cache &c, std::uint32_t set, std::uint32_t way,
                       bool pgc)
     {
-        c.blocks_[static_cast<std::size_t>(set) * c.cfg_.ways + way].pgc =
-            pgc;
+        const std::size_t i =
+            static_cast<std::size_t>(set) * c.cfg_.ways + way;
+        if (pgc) {
+            c.flags_[i] |= Cache::kFlagPgc;
+        } else {
+            c.flags_[i] &= static_cast<std::uint8_t>(~Cache::kFlagPgc);
+        }
     }
 
     /** Corruption: clone way 0's tag into way 1 of @p set. */
     static void
     corrupt_cache_duplicate_tag(Cache &c, std::uint32_t set)
     {
-        Cache::Block *row =
-            &c.blocks_[static_cast<std::size_t>(set) * c.cfg_.ways];
-        row[1] = row[0];
-        row[0].valid = true;
-        row[1].valid = true;
+        const std::size_t base =
+            static_cast<std::size_t>(set) * c.cfg_.ways;
+        c.tags_[base] |= Cache::kValidTagBit;
+        c.tags_[base + 1] = c.tags_[base];
+        c.flags_[base + 1] = c.flags_[base];
+        c.fill_done_[base + 1] = c.fill_done_[base];
     }
 
     /** Locate the first valid block; false when the cache is empty. */
@@ -121,22 +133,33 @@ struct AuditAccess
         std::uint64_t lru = 0;
     };
 
-    static std::size_t tlb_small_slots(const Tlb &t) { return t.small_.size(); }
-    static std::size_t tlb_large_slots(const Tlb &t) { return t.large_.size(); }
+    static std::size_t tlb_small_slots(const Tlb &t)
+    {
+        return t.small_.vpn.size();
+    }
+    static std::size_t tlb_large_slots(const Tlb &t)
+    {
+        return t.large_.vpn.size();
+    }
     static std::uint64_t tlb_lru_stamp(const Tlb &t) { return t.lru_stamp_; }
+
+    static TlbEntryView
+    tlb_entry(const Tlb::EntryArray &arr, std::size_t slot)
+    {
+        return {arr.vpn[slot] & ~Tlb::kValidVpnBit, arr.page_base[slot],
+                (arr.vpn[slot] & Tlb::kValidVpnBit) != 0, arr.lru[slot]};
+    }
 
     static TlbEntryView
     tlb_small_entry(const Tlb &t, std::size_t slot)
     {
-        const Tlb::Entry &e = t.small_[slot];
-        return {e.vpn, e.page_base, e.valid, e.lru};
+        return tlb_entry(t.small_, slot);
     }
 
     static TlbEntryView
     tlb_large_entry(const Tlb &t, std::size_t slot)
     {
-        const Tlb::Entry &e = t.large_[slot];
-        return {e.vpn, e.page_base, e.valid, e.lru};
+        return tlb_entry(t.large_, slot);
     }
 
     /**
@@ -146,9 +169,9 @@ struct AuditAccess
     static bool
     corrupt_tlb_page_base(Tlb &t, Addr delta_bytes)
     {
-        for (Tlb::Entry &e : t.small_) {
-            if (e.valid) {
-                e.page_base += delta_bytes;
+        for (std::size_t i = 0; i < t.small_.vpn.size(); ++i) {
+            if ((t.small_.vpn[i] & Tlb::kValidVpnBit) != 0) {
+                t.small_.page_base[i] += delta_bytes;
                 return true;
             }
         }
@@ -336,16 +359,37 @@ struct AuditAccess
         t.ta_ = value;
     }
 
-    static const std::vector<WeightTable> &
-    filter_tables(const MokaFilter &f)
+    static std::size_t
+    filter_num_tables(const MokaFilter &f)
     {
-        return f.tables_;
+        return f.slots_.size();
     }
 
-    static WeightTable &
-    filter_table(MokaFilter &f, std::size_t i)
+    static std::size_t
+    filter_table_entries(const MokaFilter &f)
     {
-        return f.tables_[i];
+        return std::size_t{1} << f.index_bits_;
+    }
+
+    static int
+    filter_weight(const MokaFilter &f, std::size_t table,
+                  std::uint32_t index)
+    {
+        return f.weight_at(table, index);
+    }
+
+    static std::pair<int, int>
+    filter_weight_rails(const MokaFilter &f)
+    {
+        return {f.wmin_, f.wmax_};
+    }
+
+    /** Corruption: write @p raw into arena weight, bypassing rails. */
+    static void
+    corrupt_filter_weight(MokaFilter &f, std::size_t table,
+                          std::uint32_t index, std::int16_t raw)
+    {
+        f.weights_[(table << f.index_bits_) + index] = raw;
     }
 
     static const std::vector<SystemFeature> &

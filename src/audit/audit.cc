@@ -17,6 +17,9 @@
  * cross-structure invariants to audit.
  * LINT_AUDIT_EXEMPT: UnsignedSatCounter — clamped at both rails by
  * construction; covered indirectly wherever it is embedded.
+ * LINT_AUDIT_EXEMPT: LruPolicy — covered through audit_cache, which
+ * runs ReplacementPolicy::audit_state on every cache's policy; the
+ * class moved to the header only to devirtualize the hot calls.
  */
 #include "audit/audit.h"
 
@@ -506,16 +509,29 @@ audit_filter(const PageCrossFilter &filter, AuditReport &report)
 
     const std::size_t expected_tables =
         cfg.program_features.size() + cfg.specialized_features.size();
-    const auto &tables = AuditAccess::filter_tables(*moka);
-    if (tables.size() != expected_tables) {
-        report.fail(name, "holds " + std::to_string(tables.size()) +
+    const std::size_t ntables = AuditAccess::filter_num_tables(*moka);
+    if (ntables != expected_tables) {
+        report.fail(name, "holds " + std::to_string(ntables) +
                               " weight tables for " +
                               std::to_string(expected_tables) +
                               " features");
     }
-    for (std::size_t i = 0; i < tables.size(); ++i) {
-        audit_weight_table(tables[i], name + ".wt" + std::to_string(i),
-                           report);
+    const std::size_t entries = AuditAccess::filter_table_entries(*moka);
+    const auto [lo, hi] = AuditAccess::filter_weight_rails(*moka);
+    for (std::size_t t = 0; t < ntables; ++t) {
+        const std::string tname = name + ".wt" + std::to_string(t);
+        for (std::size_t i = 0; i < entries; ++i) {
+            const int w = AuditAccess::filter_weight(
+                *moka, t, static_cast<std::uint32_t>(i));
+            if (w < lo || w > hi) {
+                report.fail(tname,
+                            "weight[" + std::to_string(i) + "] = " +
+                                std::to_string(w) + " outside the " +
+                                std::to_string(cfg.weight_bits) +
+                                "-bit rails [" + std::to_string(lo) +
+                                ", " + std::to_string(hi) + "]");
+            }
+        }
     }
 
     const auto &system = AuditAccess::filter_system(*moka);
@@ -549,11 +565,11 @@ audit_filter(const PageCrossFilter &filter, AuditReport &report)
                                   std::to_string(p.block.raw()) +
                                   " is not block-aligned");
         }
-        if (p.num_features != tables.size()) {
+        if (p.num_features != ntables) {
             report.fail(name, "pending record carries " +
                                   std::to_string(p.num_features) +
                                   " feature indexes for " +
-                                  std::to_string(tables.size()) +
+                                  std::to_string(ntables) +
                                   " weight tables");
         }
     }

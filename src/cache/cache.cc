@@ -10,12 +10,17 @@ namespace moka {
 
 Cache::Cache(const CacheConfig &config, MemoryLevel *lower)
     : cfg_(config), lower_(lower),
-      blocks_(static_cast<std::size_t>(config.sets) * config.ways),
+      tags_(static_cast<std::size_t>(config.sets) * config.ways, 0),
+      flags_(static_cast<std::size_t>(config.sets) * config.ways, 0),
+      fill_done_(static_cast<std::size_t>(config.sets) * config.ways, 0),
       repl_(make_replacement(config.replacement, config.sets,
                              config.ways))
 {
     SIM_REQUIRE(is_pow2(cfg_.sets), "cache sets must be a power of two");
     SIM_REQUIRE(cfg_.ways > 0, "cache must have at least one way");
+    if (cfg_.replacement == ReplacementKind::kLru) {
+        lru_ = static_cast<LruPolicy *>(repl_.get());
+    }
     // MSHR occupancy is bounded at mshr_entries by the eviction in
     // access(); reserving here keeps the per-access path allocation
     // free (rule L10).
@@ -29,32 +34,30 @@ Cache::set_index(PhysAddr paddr) const
                                       (cfg_.sets - 1));
 }
 
-Cache::Block *
-Cache::find(PhysAddr paddr, std::uint32_t &way)
+Cache::SetRef
+Cache::set_ref(PhysAddr paddr) const
 {
-    const Addr tag = block_number(paddr);
-    Block *row = &blocks_[static_cast<std::size_t>(set_index(paddr)) *
-                          cfg_.ways];
-    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
-        if (row[w].valid && row[w].tag == tag) {
-            way = w;
-            return &row[w];
-        }
-    }
-    return nullptr;
+    const std::uint32_t set = set_index(paddr);
+    return {set, static_cast<std::size_t>(set) * cfg_.ways};
 }
 
-const Cache::Block *
-Cache::find(PhysAddr paddr) const
+std::uint32_t
+Cache::find(const SetRef &ref, Addr tag) const
 {
-    std::uint32_t way;
-    return const_cast<Cache *>(this)->find(paddr, way);
+    const Addr key = tag | kValidTagBit;
+    const Addr *row = &tags_[ref.base];
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        if (row[w] == key) {
+            return w;
+        }
+    }
+    return kNoWay;
 }
 
 bool
 Cache::probe(PhysAddr paddr) const
 {
-    return find(paddr) != nullptr;
+    return find(set_ref(paddr), block_number(paddr)) != kNoWay;
 }
 
 unsigned
@@ -70,56 +73,61 @@ Cache::inflight_misses(Cycle now) const
 }
 
 void
-Cache::mark_used(Block &b)
+Cache::mark_used(std::size_t idx)
 {
-    if (b.prefetched && !b.used) {
+    const std::uint8_t f = flags_[idx];
+    if ((f & kFlagPrefetched) != 0 && (f & kFlagUsed) == 0) {
         ++stats_.pf.useful;
-        if (b.pgc) {
+        if ((f & kFlagPgc) != 0) {
             ++stats_.pf.pgc_useful;
             if (listener_ != nullptr) {
                 // Tags store raw block numbers; reconstruct the typed
                 // physical address on the way out.
-                listener_->on_pgc_first_use(PhysAddr{b.tag << kBlockBits});
+                listener_->on_pgc_first_use(
+                    PhysAddr{(tags_[idx] & ~kValidTagBit) << kBlockBits});
             }
         }
     }
-    b.used = true;
+    flags_[idx] = f | kFlagUsed;
 }
 
 std::uint32_t
-Cache::pick_victim(std::uint32_t set, Cycle now)
+Cache::pick_victim(const SetRef &ref, Cycle now)
 {
-    Block *row = &blocks_[static_cast<std::size_t>(set) * cfg_.ways];
+    const Addr *row = &tags_[ref.base];
     for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
-        if (!row[w].valid) {
+        if ((row[w] & kValidTagBit) == 0) {
             return w;
         }
     }
-    const std::uint32_t way = repl_->victim(set);
+    const std::uint32_t way =
+        lru_ != nullptr ? lru_->victim(ref.set) : repl_->victim(ref.set);
     SIM_AUDIT(way < cfg_.ways,
               "replacement policy chose a way outside the set");
-    Block *victim = &row[way];
+    const std::size_t idx = ref.base + way;
+    const std::uint8_t f = flags_[idx];
+    const Addr tag = tags_[idx] & ~kValidTagBit;
 
     // Evict: resolve prefetch usefulness and write back dirt.
-    if (victim->prefetched && !victim->used) {
+    if ((f & kFlagPrefetched) != 0 && (f & kFlagUsed) == 0) {
         ++stats_.pf.useless;
-        if (victim->pgc) {
+        if ((f & kFlagPgc) != 0) {
             ++stats_.pf.pgc_useless;
         }
     }
     if (listener_ != nullptr) {
-        listener_->on_eviction(PhysAddr{victim->tag << kBlockBits},
-                               victim->prefetched, victim->pgc,
-                               victim->used);
+        listener_->on_eviction(PhysAddr{tag << kBlockBits},
+                               (f & kFlagPrefetched) != 0,
+                               (f & kFlagPgc) != 0, (f & kFlagUsed) != 0);
     }
-    if (victim->dirty) {
+    if ((f & kFlagDirty) != 0) {
         ++stats_.writebacks;
         if (lower_ != nullptr) {
-            lower_->access(PhysAddr{victim->tag << kBlockBits},
+            lower_->access(PhysAddr{tag << kBlockBits},
                            AccessType::kWriteback, now);
         }
     }
-    victim->valid = false;
+    tags_[idx] = tag;  // drop the valid bit, keep the stale tag bits
     return way;
 }
 
@@ -140,18 +148,24 @@ Cache::access(PhysAddr paddr, AccessType type, Cycle now, bool pgc_prefetch)
         ++stats_.prefetch_lookups;
     }
 
-    std::uint32_t way = 0;
-    Block *b = find(paddr, way);
-    if (b != nullptr) {
-        repl_->on_hit(set_index(paddr), way);
+    const Addr tag = block_number(paddr);
+    const SetRef ref = set_ref(paddr);
+    const std::uint32_t way = find(ref, tag);
+    if (way != kNoWay) {
+        const std::size_t idx = ref.base + way;
+        if (lru_ != nullptr) {
+            lru_->on_hit(ref.set, way);
+        } else {
+            repl_->on_hit(ref.set, way);
+        }
         AccessResult r;
-        if (b->fill_done > t && type != AccessType::kWriteback) {
+        if (fill_done_[idx] > t && type != AccessType::kWriteback) {
             // In-flight fill: merge (counts as a miss, pays residual).
-            r.done = b->fill_done;
+            r.done = fill_done_[idx];
             r.merged = true;
             if (demand) {
                 ++stats_.demand.misses;
-                mark_used(*b);
+                mark_used(idx);
             } else if (type == AccessType::kPageWalk) {
                 ++stats_.walk.misses;
             }
@@ -159,11 +173,11 @@ Cache::access(PhysAddr paddr, AccessType type, Cycle now, bool pgc_prefetch)
             r.done = t;
             r.hit = true;
             if (demand) {
-                mark_used(*b);
+                mark_used(idx);
             }
         }
         if (type == AccessType::kStore || type == AccessType::kWriteback) {
-            b->dirty = true;
+            flags_[idx] |= kFlagDirty;
         }
         return r;
     }
@@ -205,28 +219,34 @@ Cache::access(PhysAddr paddr, AccessType type, Cycle now, bool pgc_prefetch)
     SIM_AUDIT(inflight_.size() <= cfg_.mshr_entries,
               "MSHR occupancy exceeded its configured entries");
 
-    const std::uint32_t set = set_index(paddr);
-    const std::uint32_t victim_way = pick_victim(set, t);
-    Block &nb = blocks_[static_cast<std::size_t>(set) * cfg_.ways +
-                        victim_way];
-    nb.valid = true;
-    nb.tag = block_number(paddr);
-    nb.dirty = (type == AccessType::kStore);
-    nb.prefetched = (type == AccessType::kPrefetch);
-    nb.pgc = cfg_.track_pgc && pgc_prefetch &&
-             type == AccessType::kPrefetch;
-    nb.used = false;
-    nb.fill_done = fill_done;
-    repl_->on_fill(set, victim_way);
-
+    const std::uint32_t victim_way = pick_victim(ref, t);
+    const std::size_t idx = ref.base + victim_way;
+    tags_[idx] = tag | kValidTagBit;
+    std::uint8_t f = 0;
+    if (type == AccessType::kStore) {
+        f |= kFlagDirty;
+    }
+    const bool pgc = cfg_.track_pgc && pgc_prefetch &&
+                     type == AccessType::kPrefetch;
     if (type == AccessType::kPrefetch) {
+        f |= kFlagPrefetched;
+        if (pgc) {
+            f |= kFlagPgc;
+        }
         ++stats_.pf.issued;
-        if (nb.pgc || (pgc_prefetch && !cfg_.track_pgc)) {
+        if (pgc || (pgc_prefetch && !cfg_.track_pgc)) {
             ++stats_.pf.pgc_issued;
         }
     } else if (demand) {
         // A demand miss fills a demand block; mark used on arrival.
-        nb.used = true;
+        f |= kFlagUsed;
+    }
+    flags_[idx] = f;
+    fill_done_[idx] = fill_done;
+    if (lru_ != nullptr) {
+        lru_->on_fill(ref.set, victim_way);
+    } else {
+        repl_->on_fill(ref.set, victim_way);
     }
 
     AccessResult r;
@@ -237,14 +257,16 @@ Cache::access(PhysAddr paddr, AccessType type, Cycle now, bool pgc_prefetch)
 void
 Cache::save_state(SnapshotWriter &w) const
 {
-    for (const Block &b : blocks_) {
-        w.put_u64(b.tag);
-        w.put_bool(b.valid);
-        w.put_bool(b.dirty);
-        w.put_bool(b.prefetched);
-        w.put_bool(b.pgc);
-        w.put_bool(b.used);
-        w.put_u64(b.fill_done);
+    // Byte format is unchanged from the array-of-structs layout: the
+    // embedded valid bit decomposes back into the (tag, valid) pair.
+    for (std::size_t i = 0; i < tags_.size(); ++i) {
+        w.put_u64(tags_[i] & ~kValidTagBit);
+        w.put_bool((tags_[i] & kValidTagBit) != 0);
+        w.put_bool((flags_[i] & kFlagDirty) != 0);
+        w.put_bool((flags_[i] & kFlagPrefetched) != 0);
+        w.put_bool((flags_[i] & kFlagPgc) != 0);
+        w.put_bool((flags_[i] & kFlagUsed) != 0);
+        w.put_u64(fill_done_[i]);
     }
     put_vec(w, inflight_);
     w.put_u64(next_port_free_);
@@ -259,14 +281,25 @@ Cache::save_state(SnapshotWriter &w) const
 void
 Cache::restore_state(SnapshotReader &r)
 {
-    for (Block &b : blocks_) {
-        b.tag = r.get_u64();
-        b.valid = r.get_bool();
-        b.dirty = r.get_bool();
-        b.prefetched = r.get_bool();
-        b.pgc = r.get_bool();
-        b.used = r.get_bool();
-        b.fill_done = r.get_u64();
+    for (std::size_t i = 0; i < tags_.size(); ++i) {
+        const Addr tag = r.get_u64();
+        const bool valid = r.get_bool();
+        tags_[i] = valid ? (tag | kValidTagBit) : tag;
+        std::uint8_t f = 0;
+        if (r.get_bool()) {
+            f |= kFlagDirty;
+        }
+        if (r.get_bool()) {
+            f |= kFlagPrefetched;
+        }
+        if (r.get_bool()) {
+            f |= kFlagPgc;
+        }
+        if (r.get_bool()) {
+            f |= kFlagUsed;
+        }
+        flags_[i] = f;
+        fill_done_[i] = r.get_u64();
     }
     // The MSHR list length is runtime state (outstanding fills at
     // snapshot time), not configuration — accept the saved length.

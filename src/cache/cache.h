@@ -124,31 +124,44 @@ class Cache final : public MemoryLevel
   private:
     friend struct AuditAccess;
 
-    struct Block
+    // Structure-of-arrays block store. The lookup scan touches ONE
+    // contiguous Addr array: the valid bit lives in bit 63 of the tag
+    // word (tags are block numbers, < 2^58, so the top bit is free),
+    // which turns the per-way "valid && tag ==" into a single
+    // compare against tag|kValidTagBit. Flags pack into a byte;
+    // fill cycles sit in a parallel array only the merge check reads.
+    static constexpr Addr kValidTagBit = Addr{1} << 63;
+    static constexpr std::uint8_t kFlagDirty = 1u << 0;
+    static constexpr std::uint8_t kFlagPrefetched = 1u << 1;
+    static constexpr std::uint8_t kFlagPgc = 1u << 2;  //!< paper's PCB
+    static constexpr std::uint8_t kFlagUsed = 1u << 3; //!< >=1 demand use
+    static constexpr std::uint32_t kNoWay = ~std::uint32_t{0};
+
+    /** One set resolved to its row base; computed once per access. */
+    struct SetRef
     {
-        Addr tag = 0;
-        bool valid = false;
-        bool dirty = false;
-        bool prefetched = false;
-        bool pgc = false;      //!< the paper's Page-Cross Bit (PCB)
-        bool used = false;     //!< served >=1 demand access
-        Cycle fill_done = 0;   //!< data arrival cycle
+        std::uint32_t set = 0;
+        std::size_t base = 0;  //!< set * ways, index into the arrays
     };
 
     std::uint32_t set_index(PhysAddr paddr) const;
-    Block *find(PhysAddr paddr, std::uint32_t &way);
-    const Block *find(PhysAddr paddr) const;
-    std::uint32_t pick_victim(std::uint32_t set, Cycle now);
-    void mark_used(Block &b);
+    SetRef set_ref(PhysAddr paddr) const;
+    std::uint32_t find(const SetRef &ref, Addr tag) const;
+    std::uint32_t pick_victim(const SetRef &ref, Cycle now);
+    void mark_used(std::size_t idx);
 
     CacheConfig cfg_;       // LINT_SNAPSHOT_OK: config
     MemoryLevel *lower_;    // LINT_SNAPSHOT_OK: collaborator, owned by machine
     // LINT_SNAPSHOT_OK: collaborator, re-wired by the machine builder
     CacheListener *listener_ = nullptr;
-    std::vector<Block> blocks_;       //!< sets * ways, row-major
-    std::vector<Cycle> inflight_;     //!< outstanding fill completions
+    std::vector<Addr> tags_;           //!< sets * ways; bit 63 = valid
+    std::vector<std::uint8_t> flags_;  //!< kFlag* bits, parallel to tags_
+    std::vector<Cycle> fill_done_;     //!< data arrival, parallel to tags_
+    std::vector<Cycle> inflight_;      //!< outstanding fill completions
     Cycle next_port_free_ = 0;
     std::unique_ptr<ReplacementPolicy> repl_;
+    // Devirtualizes the three per-access policy calls (rule L12).
+    LruPolicy *lru_ = nullptr;  // LINT_SNAPSHOT_OK: alias of repl_
     CacheStats stats_;
 };
 

@@ -3,76 +3,35 @@
 #include "snapshot/snapshot.h"
 
 namespace moka {
-namespace {
 
-/** Timestamp LRU. */
-class LruPolicy : public ReplacementPolicy
+bool
+LruPolicy::audit_state(std::string &why) const
 {
-  public:
-    LruPolicy(std::uint32_t sets, std::uint32_t ways)
-        : ways_(ways), stamps_(std::size_t(sets) * ways, 0)
-    {
-    }
-
-    void
-    on_hit(std::uint32_t set, std::uint32_t way) override
-    {
-        stamps_[std::size_t(set) * ways_ + way] = ++clock_;
-    }
-
-    void
-    on_fill(std::uint32_t set, std::uint32_t way) override
-    {
-        stamps_[std::size_t(set) * ways_ + way] = ++clock_;
-    }
-
-    std::uint32_t
-    victim(std::uint32_t set) override
-    {
-        const std::uint64_t *row = &stamps_[std::size_t(set) * ways_];
-        std::uint32_t v = 0;
-        for (std::uint32_t w = 1; w < ways_; ++w) {
-            if (row[w] < row[v]) {
-                v = w;
-            }
+    for (std::size_t i = 0; i < stamps_.size(); ++i) {
+        if (stamps_[i] > clock_) {
+            why = "lru stamp ahead of the policy clock at slot " +
+                  std::to_string(i);
+            return false;
         }
-        return v;
     }
+    return true;
+}
 
-    const char *name() const override { return "lru"; }
+void
+LruPolicy::save_state(SnapshotWriter &w) const
+{
+    put_vec(w, stamps_);
+    w.put_u64(clock_);
+}
 
-    bool
-    audit_state(std::string &why) const override
-    {
-        for (std::size_t i = 0; i < stamps_.size(); ++i) {
-            if (stamps_[i] > clock_) {
-                why = "lru stamp ahead of the policy clock at slot " +
-                      std::to_string(i);
-                return false;
-            }
-        }
-        return true;
-    }
+void
+LruPolicy::restore_state(SnapshotReader &r)
+{
+    get_vec(r, stamps_);
+    clock_ = r.get_u64();
+}
 
-    void
-    save_state(SnapshotWriter &w) const override
-    {
-        put_vec(w, stamps_);
-        w.put_u64(clock_);
-    }
-
-    void
-    restore_state(SnapshotReader &r) override
-    {
-        get_vec(r, stamps_);
-        clock_ = r.get_u64();
-    }
-
-  private:
-    std::uint32_t ways_;  // LINT_SNAPSHOT_OK: geometry, not state
-    std::vector<std::uint64_t> stamps_;
-    std::uint64_t clock_ = 0;
-};
+namespace {
 
 /** 2-bit SRRIP (Jaleel et al., ISCA 2010). */
 class SrripPolicy : public ReplacementPolicy

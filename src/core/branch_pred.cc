@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "common/bitops.h"
 #include "common/hashing.h"
 #include "snapshot/snapshot.h"
 
@@ -9,24 +10,28 @@ namespace moka {
 
 BranchPredictor::BranchPredictor(const BranchPredConfig &config)
     : cfg_(config),
-      tables_(config.tables,
-              std::vector<SignedSatCounter>(
-                  config.entries, SignedSatCounter(config.weight_bits)))
+      weights_(std::size_t(config.tables) * config.entries, 0),
+      wmin_(static_cast<std::int16_t>(-(1 << (config.weight_bits - 1)))),
+      wmax_(static_cast<std::int16_t>((1 << (config.weight_bits - 1)) - 1)),
+      entries_mask_(is_pow2(config.entries) ? config.entries - 1 : 0)
 {
 }
 
 int
 BranchPredictor::sum_for(Addr pc, IndexArray &indexes) const
 {
+    const std::int16_t *arena = weights_.data();
     int sum = 0;
     for (unsigned t = 0; t < cfg_.tables; ++t) {
         // Table t sees the PC hashed with an 8-bit history segment.
         const std::uint64_t seg = (history_ >> (8 * t)) & 0xFF;
+        const std::uint64_t h =
+            mix64(pc ^ (seg << 17) ^ (static_cast<std::uint64_t>(t) << 40));
+        // LINT_HOT_OK: non-pow2 fallback; shipped configs take the mask
         const std::uint32_t idx = static_cast<std::uint32_t>(
-            mix64(pc ^ (seg << 17) ^ (static_cast<std::uint64_t>(t) << 40)) %
-            cfg_.entries);
+            entries_mask_ != 0 ? h & entries_mask_ : h % cfg_.entries);
         indexes[t] = idx;
-        sum += tables_[t][idx].value();
+        sum += arena[std::size_t(t) * cfg_.entries + idx];
     }
     return sum;
 }
@@ -35,26 +40,43 @@ bool
 BranchPredictor::predict(Addr pc) const
 {
     ++lookups_;
-    IndexArray indexes;
-    return sum_for(pc, indexes) >= 0;
+    memo_sum_ = sum_for(pc, memo_indexes_);
+    memo_pc_ = pc;
+    memo_valid_ = true;
+    return memo_sum_ >= 0;
 }
 
 void
 BranchPredictor::update(Addr pc, bool taken)
 {
     IndexArray indexes;
-    const int sum = sum_for(pc, indexes);
+    int sum;
+    if (memo_valid_ && memo_pc_ == pc) {
+        indexes = memo_indexes_;
+        sum = memo_sum_;
+    } else {
+        sum = sum_for(pc, indexes);
+    }
+    // Training and the history shift below invalidate the memo.
+    memo_valid_ = false;
     const bool predicted = sum >= 0;
     if (predicted != taken) {
         ++mispredicts_;
     }
     // Perceptron rule: train on mispredict or weak margin.
     if (predicted != taken || std::abs(sum) < cfg_.train_threshold) {
+        std::int16_t *arena = weights_.data();
         for (unsigned t = 0; t < cfg_.tables; ++t) {
+            std::int16_t &w = arena[std::size_t(t) * cfg_.entries +
+                                    indexes[t]];
             if (taken) {
-                tables_[t][indexes[t]].increment();
+                if (w < wmax_) {
+                    ++w;
+                }
             } else {
-                tables_[t][indexes[t]].decrement();
+                if (w > wmin_) {
+                    --w;
+                }
             }
         }
     }
@@ -64,10 +86,8 @@ BranchPredictor::update(Addr pc, bool taken)
 void
 BranchPredictor::save_state(SnapshotWriter &w) const
 {
-    for (const std::vector<SignedSatCounter> &table : tables_) {
-        for (const SignedSatCounter &weight : table) {
-            SnapshotAccess::save(w, weight);
-        }
+    for (const std::int16_t v : weights_) {
+        w.put_u16(static_cast<std::uint16_t>(v));
     }
     w.put_u64(history_);
     w.put_u64(lookups_);
@@ -77,14 +97,18 @@ BranchPredictor::save_state(SnapshotWriter &w) const
 void
 BranchPredictor::restore_state(SnapshotReader &r)
 {
-    for (std::vector<SignedSatCounter> &table : tables_) {
-        for (SignedSatCounter &weight : table) {
-            SnapshotAccess::restore(r, weight);
+    for (std::int16_t &v : weights_) {
+        const auto got = static_cast<std::int16_t>(r.get_u16());
+        if (got < wmin_ || got > wmax_) {
+            throw SnapshotError(SnapshotErrorKind::kMalformed,
+                                "signed counter outside its rails");
         }
+        v = got;
     }
     history_ = r.get_u64();
     lookups_ = r.get_u64();
     mispredicts_ = r.get_u64();
+    memo_valid_ = false;
 }
 
 }  // namespace moka

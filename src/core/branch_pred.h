@@ -12,7 +12,6 @@
 #include <cstdint>
 #include <vector>
 
-#include "common/sat_counter.h"
 #include "common/types.h"
 
 namespace moka {
@@ -59,10 +58,28 @@ class BranchPredictor
 
     // LINT_SNAPSHOT_OK: config, rebuilt from MachineConfig
     BranchPredConfig cfg_;
-    std::vector<std::vector<SignedSatCounter>> tables_;
+    // One flat table-major arena instead of a vector-of-vectors of
+    // SignedSatCounter: the per-branch sum is a gather over one
+    // contiguous array, and the rails (identical for every weight)
+    // live once in wmin_/wmax_. The snapshot byte format (u16 per
+    // weight, table-major) is unchanged.
+    std::vector<std::int16_t> weights_;
+    std::int16_t wmin_ = 0;            // LINT_SNAPSHOT_OK: config rail
+    std::int16_t wmax_ = 0;            // LINT_SNAPSHOT_OK: config rail
+    //! entries - 1 when entries is a power of two, else 0 (use %)
+    std::uint32_t entries_mask_ = 0;   // LINT_SNAPSHOT_OK: config
     std::uint64_t history_ = 0;
     mutable std::uint64_t lookups_ = 0;
     std::uint64_t mispredicts_ = 0;
+    // predict()/update() run back-to-back for the same branch and
+    // nothing mutates the weights or history in between, so update()
+    // reuses the sum and indexes predict() just computed instead of
+    // re-hashing all tables. Pure memoization of a deterministic
+    // function — not architectural state.
+    mutable IndexArray memo_indexes_{};  // LINT_SNAPSHOT_OK: memo
+    mutable Addr memo_pc_ = 0;           // LINT_SNAPSHOT_OK: memo
+    mutable int memo_sum_ = 0;           // LINT_SNAPSHOT_OK: memo
+    mutable bool memo_valid_ = false;    // LINT_SNAPSHOT_OK: memo
 };
 
 }  // namespace moka

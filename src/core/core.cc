@@ -39,7 +39,12 @@ Core::retire(Cycle complete)
     }
     last_retire_ = r;
     retire_ring_[ring_head_] = r;
-    ring_head_ = (ring_head_ + 1) % retire_ring_.size();
+    // Wrap with a compare, not %: rob_entries is not a power of two,
+    // so the modulo is an integer division on the per-instruction
+    // retire path (rule L19).
+    if (++ring_head_ == retire_ring_.size()) {
+        ring_head_ = 0;
+    }
     ++retired_;
     return r;
 }

@@ -11,6 +11,12 @@ Dram::Dram(const DramConfig &config)
     : cfg_(config), banks_(config.channels * config.banks),
       channel_next_free_(config.channels, 0)
 {
+    if (is_pow2(cfg_.channels)) {
+        chan_bits_ = static_cast<int>(log2_exact(cfg_.channels));
+    }
+    if (is_pow2(cfg_.banks)) {
+        bank_bits_ = static_cast<int>(log2_exact(cfg_.banks));
+    }
 }
 
 AccessResult
@@ -25,17 +31,27 @@ Dram::access(PhysAddr paddr, AccessType type, Cycle now,
     }
 
     const std::uint64_t block = block_number(paddr);
-    const unsigned channel =
-        static_cast<unsigned>(block % cfg_.channels);
+    // Pow-2 geometry slices with shifts/masks; the division fallback
+    // covers exotic user configurations (rule L19).
+    // LINT_HOT_OK: non-pow2 fallback; shipped configs take the mask
+    const unsigned channel = static_cast<unsigned>(
+        chan_bits_ >= 0 ? block & (cfg_.channels - 1)
+                        : block % cfg_.channels);
+    const std::uint64_t above_chan =
+        chan_bits_ >= 0 ? block >> chan_bits_ : block / cfg_.channels;
+    // LINT_HOT_OK: non-pow2 fallback; shipped configs take the mask
     const unsigned bank = static_cast<unsigned>(
-        (block / cfg_.channels) % cfg_.banks);
+        bank_bits_ >= 0 ? above_chan & (cfg_.banks - 1)
+                        : above_chan % cfg_.banks);
+    const std::uint64_t above_bank =
+        bank_bits_ >= 0 ? above_chan >> bank_bits_
+                        : above_chan / cfg_.banks;
     Bank &b = banks_[channel * cfg_.banks + bank];
 
     // Row id: the address bits above bank/channel interleaving and
     // the column bits (a row holds 2^column_bits blocks per bank).
     const std::uint64_t row =
-        bits((block / (cfg_.channels * cfg_.banks)) >> cfg_.column_bits,
-             0, cfg_.rows_bits);
+        bits(above_bank >> cfg_.column_bits, 0, cfg_.rows_bits);
 
     const Cycle start =
         std::max({now, b.next_free, channel_next_free_[channel]});

@@ -2,7 +2,9 @@
 
 #include <cstdlib>
 
+#include "common/bitops.h"
 #include "common/check.h"
+#include "common/hashing.h"
 #include "snapshot/snapshot.h"
 #include "telemetry/gate.h"
 
@@ -19,11 +21,20 @@ MokaFilter::MokaFilter(const MokaConfig &config)
                 "DecisionRecord can hold");
     SIM_REQUIRE(cfg_.system_features.size() <= 8,
                 "MOKA supports at most 8 system features (8-bit mask)");
-    for (std::size_t i = 0; i < cfg_.program_features.size() +
-                                    cfg_.specialized_features.size();
-         ++i) {
-        tables_.emplace_back(cfg_.wt_entries, cfg_.weight_bits);
+    SIM_REQUIRE(is_pow2(cfg_.wt_entries),
+                "weight-table entries must be a power of two");
+    SIM_REQUIRE(cfg_.weight_bits >= 2 && cfg_.weight_bits <= 16,
+                "weight width must be 2..16 bits");
+    index_bits_ = log2_exact(cfg_.wt_entries);
+    wmin_ = static_cast<std::int16_t>(-(1 << (cfg_.weight_bits - 1)));
+    wmax_ = static_cast<std::int16_t>((1 << (cfg_.weight_bits - 1)) - 1);
+    for (ProgramFeatureId id : cfg_.program_features) {
+        slots_.push_back({false, static_cast<std::uint16_t>(id)});
     }
+    for (SpecializedFeatureId id : cfg_.specialized_features) {
+        slots_.push_back({true, static_cast<std::uint16_t>(id)});
+    }
+    weights_.assign(slots_.size() << index_bits_, 0);
     for (const SystemFeatureConfig &sf : cfg_.system_features) {
         system_.emplace_back(sf);
     }
@@ -35,16 +46,15 @@ MokaFilter::make_record(VirtAddr block, const FeatureInput &in,
 {
     VirtDecisionRecord rec;
     rec.block = block;
-    const std::size_t np = cfg_.program_features.size();
-    rec.num_features = static_cast<std::uint8_t>(
-        np + cfg_.specialized_features.size());
-    for (std::size_t i = 0; i < np; ++i) {
-        rec.indexes[i] = tables_[i].index_of(
-            eval_feature(cfg_.program_features[i], in));
-    }
-    for (std::size_t i = 0; i < cfg_.specialized_features.size(); ++i) {
-        rec.indexes[np + i] = tables_[np + i].index_of(
-            eval_specialized(cfg_.specialized_features[i], in));
+    rec.num_features = static_cast<std::uint8_t>(slots_.size());
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        const FeatureSlot s = slots_[i];
+        const std::uint64_t value =
+            s.specialized
+                ? eval_specialized(static_cast<SpecializedFeatureId>(s.id),
+                                   in)
+                : eval_feature(static_cast<ProgramFeatureId>(s.id), in);
+        rec.indexes[i] = table_index(value, index_bits_);
     }
     for (std::size_t i = 0; i < system_.size(); ++i) {
         if (system_[i].active(snap)) {
@@ -73,10 +83,12 @@ MokaFilter::permit(Addr trigger_pc, VirtAddr trigger_vaddr,
         return false;
     }
 
-    // Stage 3: cumulative weight.
+    // Stage 3: cumulative weight — a gather-and-sum over the flat
+    // arena; slot i's table starts at i << index_bits_.
     int w_final = 0;
-    for (std::size_t i = 0; i < tables_.size(); ++i) {
-        w_final += tables_[i].weight_at(rec.indexes[i]);
+    const std::int16_t *arena = weights_.data();
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        w_final += arena[(i << index_bits_) + rec.indexes[i]];
     }
     for (std::size_t i = 0; i < system_.size(); ++i) {
         if (rec.system_mask & (1u << i)) {
@@ -92,9 +104,9 @@ MokaFilter::permit(Addr trigger_pc, VirtAddr trigger_vaddr,
         tel_.permits += permitted ? 1 : 0;
         tel_.sum_total += w_final;
         ++tel_.sum_hist[FilterTelemetry::sum_bucket(w_final)];
-        for (std::size_t i = 0; i < tables_.size(); ++i) {
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
             tel_.feature_abs[i] += static_cast<std::uint64_t>(
-                std::abs(tables_[i].weight_at(rec.indexes[i])));
+                std::abs(weight_at(i, rec.indexes[i])));
         }
     }
 
@@ -119,10 +131,15 @@ void
 MokaFilter::train(const DecisionRecordT<AddrT> &rec, bool positive)
 {
     for (std::uint8_t i = 0; i < rec.num_features; ++i) {
+        std::int16_t &w = weights_[(static_cast<std::size_t>(i)
+                                    << index_bits_) +
+                                   rec.indexes[i]];
         if (positive) {
-            tables_[i].increment(rec.indexes[i]);
-        } else {
-            tables_[i].decrement(rec.indexes[i]);
+            if (w < wmax_) {
+                ++w;
+            }
+        } else if (w > wmin_) {
+            --w;
         }
     }
     for (std::size_t i = 0; i < system_.size(); ++i) {
@@ -216,7 +233,7 @@ MokaFilter::telemetry() const
     t.t_a = thresholds_.threshold();
     t.level = thresholds_.level();
     t.pgc_disabled = thresholds_.pgc_disabled();
-    t.num_features = tables_.size();
+    t.num_features = slots_.size();
     t.threshold = thresholds_.telemetry_counters();
     return t;
 }
@@ -224,10 +241,8 @@ MokaFilter::telemetry() const
 std::uint64_t
 MokaFilter::storage_bits() const
 {
-    std::uint64_t bits = 0;
-    for (const WeightTable &t : tables_) {
-        bits += t.storage_bits();
-    }
+    std::uint64_t bits = static_cast<std::uint64_t>(weights_.size()) *
+                         cfg_.weight_bits;
     for (const SystemFeature &sf : system_) {
         bits += sf.storage_bits();
     }
@@ -293,8 +308,10 @@ MokaFilter::save_state(SnapshotWriter &w) const
 {
     extractor_.save_state(w);
     w.begin_section("filter.moka");
-    for (const WeightTable &t : tables_) {
-        t.save_state(w);
+    // Same byte stream as the per-table layout: one u16 per weight,
+    // table-major — exactly the arena's storage order.
+    for (std::int16_t v : weights_) {
+        w.put_u16(static_cast<std::uint16_t>(v));
     }
     for (const SystemFeature &f : system_) {
         f.save_state(w);
@@ -329,8 +346,13 @@ MokaFilter::restore_state(SnapshotReader &r)
 {
     extractor_.restore_state(r);
     r.begin_section("filter.moka");
-    for (WeightTable &t : tables_) {
-        t.restore_state(r);
+    for (std::int16_t &v : weights_) {
+        const auto x = static_cast<std::int16_t>(r.get_u16());
+        if (x < wmin_ || x > wmax_) {
+            throw SnapshotError(SnapshotErrorKind::kMalformed,
+                                "signed counter outside its rails");
+        }
+        v = x;
     }
     for (SystemFeature &f : system_) {
         f.restore_state(r);

@@ -212,15 +212,41 @@ class MokaFilter : public PageCrossFilter
   private:
     friend struct AuditAccess;
 
+    /**
+     * One entry of the feature-slot plan, precomputed at config time:
+     * which evaluator (program vs specialized) and which feature id
+     * slot i uses. make_record() walks this flat plan instead of
+     * branching over two config vectors per access.
+     */
+    struct FeatureSlot
+    {
+        bool specialized = false;
+        std::uint16_t id = 0;
+    };
+
     template <class AddrT>
     void train(const DecisionRecordT<AddrT> &rec, bool positive);
     VirtDecisionRecord make_record(VirtAddr block, const FeatureInput &in,
                                    const SystemSnapshot &snap) const;
 
+    /** Weight of table @p table at @p index (arena gather). */
+    int weight_at(std::size_t table, std::uint32_t index) const
+    {
+        return weights_[(table << index_bits_) + index];
+    }
+
     MokaConfig cfg_;  // LINT_SNAPSHOT_OK: config
     FeatureExtractor extractor_;
-    //! one per program feature, then one per specialized feature
-    std::vector<WeightTable> tables_;
+    // Flat weight arena: all per-feature tables share entries and
+    // width, so they pack table-major into one contiguous int16
+    // array; slot i's table spans [i << index_bits_, (i+1) <<
+    // index_bits_). permit()'s sum is then a gather over one array
+    // with no per-table object indirection.
+    std::vector<FeatureSlot> slots_;  // LINT_SNAPSHOT_OK: config-derived
+    std::vector<std::int16_t> weights_;  //!< arena, table-major
+    unsigned index_bits_ = 0;  // LINT_SNAPSHOT_OK: config
+    std::int16_t wmin_ = 0;    // LINT_SNAPSHOT_OK: rail from config
+    std::int16_t wmax_ = 0;    // LINT_SNAPSHOT_OK: rail from config
     std::vector<SystemFeature> system_;    //!< instantiated system features
     VirtUpdateBuffer vub_;   //!< discarded candidates, virtual keys
     PhysUpdateBuffer pub_;   //!< issued candidates, physical keys

@@ -133,8 +133,14 @@ class UpdateBuffer
         if (count_ == ring_.size()) {
             compact();  // stale slots mid-ring: squeeze them out
         }
-        const std::uint32_t tail =
-            static_cast<std::uint32_t>((head_ + count_) % ring_.size());
+        // head_ < size and count_ <= size, so one compare-subtract
+        // wraps exactly like the modulo without the division
+        // (rule L19).
+        std::size_t tail_slot = head_ + count_;
+        if (tail_slot >= ring_.size()) {
+            tail_slot -= ring_.size();
+        }
+        const std::uint32_t tail = static_cast<std::uint32_t>(tail_slot);
         ring_[tail] = Slot{rec, next_seq_++, true};
         ++count_;
         ++live_;
@@ -276,18 +282,27 @@ class UpdateBuffer
         }
     }
 
-    /** Drop stale slots, pack live ones to the ring start, re-key. */
+    /** Drop stale slots, pack live ones toward head_ in order, re-key. */
     void compact()
     {
-        std::size_t write = 0;
+        // The occupied span can wrap past the ring end, so packing
+        // toward ring position 0 would overwrite the not-yet-read
+        // wrapped tail and smear those live slots across the ring.
+        // Writing in the same ring order the read cursor walks,
+        // starting at head_, keeps the write cursor at or behind the
+        // read cursor, so every slot is read before it can be
+        // reused as a destination.
+        std::size_t write = head_;
+        std::size_t kept = 0;
         for (std::size_t i = 0, read = head_; i < count_;
              ++i, read = next(read)) {
             if (ring_[read].live) {
-                ring_[write++] = ring_[read];
+                ring_[write] = ring_[read];
+                write = next(write);
+                ++kept;
             }
         }
-        head_ = 0;
-        count_ = write;
+        count_ = kept;
         stale_ = 0;
         rebuild_table();
     }

@@ -8,13 +8,18 @@
 
 namespace moka {
 
-Berti::Berti(const BertiConfig &config) : cfg_(config), ips_(config.ip_entries)
+Berti::Berti(const BertiConfig &config)
+    : cfg_(config), ips_(config.ip_entries),
+      ip_tags_(config.ip_entries, 0), ip_valid_(config.ip_entries, 0),
+      ip_lru_(config.ip_entries, 0)
 {
     // All per-IP vectors are bounded by configuration; reserving at
     // construction keeps train/select allocation free (rule L10).
     for (IpEntry &e : ips_) {
         e.history.resize(cfg_.history_per_ip);
-        e.deltas.reserve(cfg_.deltas_per_ip);
+        e.delta_vals.reserve(cfg_.deltas_per_ip);
+        e.delta_occ.reserve(cfg_.deltas_per_ip);
+        e.delta_timely.reserve(cfg_.deltas_per_ip);
         e.selected.reserve(cfg_.max_degree);
         e.selected_timely.reserve(cfg_.max_degree);
     }
@@ -25,38 +30,43 @@ Berti::IpEntry &
 Berti::lookup_ip(Addr pc)
 {
     const Addr tag = mix64(pc);
-    for (IpEntry &e : ips_) {
-        if (e.valid && e.tag == tag) {
-            e.lru = ++lru_stamp_;
-            return e;
+    const std::size_t n = ips_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (ip_valid_[i] != 0 && ip_tags_[i] == tag) {
+            ip_lru_[i] = ++lru_stamp_;
+            return ips_[i];
         }
     }
     // Allocate the first invalid slot, else the LRU victim.
-    IpEntry *victim = &ips_[0];
-    for (IpEntry &e : ips_) {
-        if (!e.valid) {
-            victim = &e;
+    std::size_t victim = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (ip_valid_[i] == 0) {
+            victim = i;
             break;
         }
-        if (e.lru < victim->lru) {
-            victim = &e;
+        if (ip_lru_[i] < ip_lru_[victim]) {
+            victim = i;
         }
     }
-    victim->valid = true;
-    victim->tag = tag;
-    victim->lru = ++lru_stamp_;
-    victim->history.assign(cfg_.history_per_ip, {});
-    victim->history_head = 0;
-    victim->deltas.clear();
-    victim->selected.clear();
-    victim->selected_timely.clear();
-    victim->window_count = 0;
-    return *victim;
+    ip_valid_[victim] = 1;
+    ip_tags_[victim] = tag;
+    ip_lru_[victim] = ++lru_stamp_;
+    IpEntry &e = ips_[victim];
+    e.history.assign(cfg_.history_per_ip, {});
+    e.history_head = 0;
+    e.delta_vals.clear();
+    e.delta_occ.clear();
+    e.delta_timely.clear();
+    e.selected.clear();
+    e.selected_timely.clear();
+    e.window_count = 0;
+    return e;
 }
 
 void
 Berti::train(IpEntry &e, Addr line, Cycle now)
 {
+    constexpr std::size_t kNoSlot = ~std::size_t{0};
     // Compare against the shadow history: a delta is timely when a
     // prefetch launched at the historical access would have completed
     // by now.
@@ -70,41 +80,52 @@ Berti::train(IpEntry &e, Addr line, Cycle now)
             continue;
         }
         const bool timely = h.cycle + cfg_.timely_latency <= now;
-        DeltaCounter *slot = nullptr;
-        for (DeltaCounter &d : e.deltas) {
-            if (d.delta == delta) {
-                slot = &d;
+        const std::int64_t *vals = e.delta_vals.data();
+        const std::size_t n = e.delta_vals.size();
+        std::size_t slot = kNoSlot;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (vals[i] == delta) {
+                slot = i;
                 break;
             }
         }
-        if (slot == nullptr) {
-            if (e.deltas.size() < cfg_.deltas_per_ip) {
-                e.deltas.push_back({delta, 0, 0});
-                slot = &e.deltas.back();
+        if (slot == kNoSlot) {
+            if (n < cfg_.deltas_per_ip) {
+                slot = n;
+                e.delta_vals.push_back(delta);
+                e.delta_occ.push_back(0);
+                e.delta_timely.push_back(0);
             } else {
-                // Replace the weakest candidate.
-                slot = &*std::min_element(
-                    e.deltas.begin(), e.deltas.end(),
-                    [](const DeltaCounter &a, const DeltaCounter &b) {
-                        return a.timely < b.timely;
-                    });
-                if (slot->timely > 2) {
-                    slot = nullptr;  // keep established deltas
-                } else {
-                    *slot = {delta, 0, 0};
+                // Replace the weakest candidate (first strict minimum
+                // of the timely counts, matching min_element).
+                std::size_t weakest = 0;
+                for (std::size_t i = 1; i < n; ++i) {
+                    if (e.delta_timely[i] < e.delta_timely[weakest]) {
+                        weakest = i;
+                    }
                 }
+                if (e.delta_timely[weakest] <= 2) {
+                    slot = weakest;
+                    e.delta_vals[slot] = delta;
+                    e.delta_occ[slot] = 0;
+                    e.delta_timely[slot] = 0;
+                }  // else keep established deltas
             }
         }
-        if (slot != nullptr) {
-            ++slot->occurrences;
+        if (slot != kNoSlot) {
+            ++e.delta_occ[slot];
             if (timely) {
-                ++slot->timely;
+                ++e.delta_timely[slot];
             }
         }
     }
 
     e.history[e.history_head] = {line, now};
-    e.history_head = (e.history_head + 1) % cfg_.history_per_ip;
+    // Compare-wrap instead of % — the depth is a runtime config value,
+    // so the compiler cannot strength-reduce the modulo (rule L19).
+    if (++e.history_head == cfg_.history_per_ip) {
+        e.history_head = 0;
+    }
 }
 
 void
@@ -116,7 +137,13 @@ Berti::select_deltas(IpEntry &e)
     // instead of a per-window local copy, which allocated every
     // window_accesses-th access (rule L10).
     std::vector<DeltaCounter> &sorted = sort_scratch_;
-    sorted.assign(e.deltas.begin(), e.deltas.end());
+    sorted.clear();
+    for (std::size_t i = 0; i < e.delta_vals.size(); ++i) {
+        // LINT_HOT_OK: aliases sort_scratch_, reserved to
+        // deltas_per_ip in the constructor -- never reallocates.
+        sorted.push_back(
+            {e.delta_vals[i], e.delta_occ[i], e.delta_timely[i]});
+    }
     std::sort(sorted.begin(), sorted.end(),
               [](const DeltaCounter &a, const DeltaCounter &b) {
                   if (a.timely != b.timely) {
@@ -137,10 +164,10 @@ Berti::select_deltas(IpEntry &e)
             e.selected_timely.push_back(d.timely);
         }
     }
-    for (DeltaCounter &d : e.deltas) {
-        d.occurrences = 0;
-        d.timely = 0;
-    }
+    std::fill(e.delta_occ.begin(), e.delta_occ.end(),
+              static_cast<std::uint16_t>(0));
+    std::fill(e.delta_timely.begin(), e.delta_timely.end(),
+              static_cast<std::uint16_t>(0));
 }
 
 void
@@ -176,25 +203,26 @@ Berti::on_access(const PrefetchContext &ctx,
 void Berti::save_state(SnapshotWriter &w) const
 {
     w.begin_section("pf.berti");
-    for (const IpEntry &e : ips_) {
-        w.put_u64(e.tag);
-        w.put_bool(e.valid);
-        w.put_u64(e.lru);
+    for (std::size_t i = 0; i < ips_.size(); ++i) {
+        const IpEntry &e = ips_[i];
+        w.put_u64(ip_tags_[i]);
+        w.put_bool(ip_valid_[i] != 0);
+        w.put_u64(ip_lru_[i]);
         for (const HistoryItem &h : e.history) {
             w.put_u64(h.line);
             w.put_u64(h.cycle);
         }
         w.put_u32(e.history_head);
-        w.put_u32(static_cast<std::uint32_t>(e.deltas.size()));
-        for (const DeltaCounter &d : e.deltas) {
-            w.put_i64(d.delta);
-            w.put_u16(d.occurrences);
-            w.put_u16(d.timely);
+        w.put_u32(static_cast<std::uint32_t>(e.delta_vals.size()));
+        for (std::size_t d = 0; d < e.delta_vals.size(); ++d) {
+            w.put_i64(e.delta_vals[d]);
+            w.put_u16(e.delta_occ[d]);
+            w.put_u16(e.delta_timely[d]);
         }
         w.put_u32(static_cast<std::uint32_t>(e.selected.size()));
-        for (std::size_t i = 0; i < e.selected.size(); ++i) {
-            w.put_i64(e.selected[i]);
-            w.put_u16(e.selected_timely[i]);
+        for (std::size_t s = 0; s < e.selected.size(); ++s) {
+            w.put_i64(e.selected[s]);
+            w.put_u16(e.selected_timely[s]);
         }
         w.put_u32(e.window_count);
     }
@@ -204,10 +232,11 @@ void Berti::save_state(SnapshotWriter &w) const
 void Berti::restore_state(SnapshotReader &r)
 {
     r.begin_section("pf.berti");
-    for (IpEntry &e : ips_) {
-        e.tag = r.get_u64();
-        e.valid = r.get_bool();
-        e.lru = r.get_u64();
+    for (std::size_t i = 0; i < ips_.size(); ++i) {
+        IpEntry &e = ips_[i];
+        ip_tags_[i] = r.get_u64();
+        ip_valid_[i] = r.get_bool() ? 1 : 0;
+        ip_lru_[i] = r.get_u64();
         for (HistoryItem &h : e.history) {
             h.line = r.get_u64();
             h.cycle = r.get_u64();
@@ -218,13 +247,13 @@ void Berti::restore_state(SnapshotReader &r)
             throw SnapshotError(SnapshotErrorKind::kMalformed,
                                 "berti delta count above capacity");
         }
-        e.deltas.clear();
-        for (std::uint32_t i = 0; i < ndeltas; ++i) {
-            DeltaCounter d;
-            d.delta = r.get_i64();
-            d.occurrences = r.get_u16();
-            d.timely = r.get_u16();
-            e.deltas.push_back(d);
+        e.delta_vals.clear();
+        e.delta_occ.clear();
+        e.delta_timely.clear();
+        for (std::uint32_t d = 0; d < ndeltas; ++d) {
+            e.delta_vals.push_back(r.get_i64());
+            e.delta_occ.push_back(r.get_u16());
+            e.delta_timely.push_back(r.get_u16());
         }
         const std::uint32_t nsel = r.get_u32();
         if (nsel > cfg_.max_degree) {
@@ -233,7 +262,7 @@ void Berti::restore_state(SnapshotReader &r)
         }
         e.selected.clear();
         e.selected_timely.clear();
-        for (std::uint32_t i = 0; i < nsel; ++i) {
+        for (std::uint32_t s = 0; s < nsel; ++s) {
             e.selected.push_back(r.get_i64());
             e.selected_timely.push_back(r.get_u16());
         }

@@ -57,14 +57,21 @@ class Berti : public Prefetcher
         std::uint16_t timely = 0;
     };
 
+    /**
+     * Per-IP training state. The candidate deltas are kept as three
+     * parallel arrays (value / occurrences / timely) so the per-access
+     * match scan in train() touches one contiguous int64 array instead
+     * of striding over padded structs. tag/valid/lru live in the
+     * SoA arrays below (ip_tags_ etc.) for the same reason: lookup_ip
+     * scans every entry on every trained access.
+     */
     struct IpEntry
     {
-        Addr tag = 0;
-        bool valid = false;
-        std::uint64_t lru = 0;
         std::vector<HistoryItem> history;  //!< ring buffer
         unsigned history_head = 0;
-        std::vector<DeltaCounter> deltas;
+        std::vector<std::int64_t> delta_vals;
+        std::vector<std::uint16_t> delta_occ;
+        std::vector<std::uint16_t> delta_timely;
         std::vector<std::int64_t> selected;
         std::vector<std::uint16_t> selected_timely;  //!< metadata export
         unsigned window_count = 0;
@@ -76,6 +83,12 @@ class Berti : public Prefetcher
 
     BertiConfig cfg_;  // LINT_SNAPSHOT_OK: config
     std::vector<IpEntry> ips_;
+    //! parallel to ips_: hashed-PC tag per entry
+    std::vector<Addr> ip_tags_;
+    //! parallel to ips_: entry holds live training state
+    std::vector<std::uint8_t> ip_valid_;
+    //! parallel to ips_: LRU stamp per entry
+    std::vector<std::uint64_t> ip_lru_;
     //! select_deltas sort scratch, reserved once (rule L10)
     // LINT_SNAPSHOT_OK: scratch, overwritten before every use
     std::vector<DeltaCounter> sort_scratch_;

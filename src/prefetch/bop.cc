@@ -3,26 +3,35 @@
 
 #include <algorithm>
 
+#include "common/bitops.h"
 #include "common/hashing.h"
 
 namespace moka {
 
 Bop::Bop(const BopConfig &config)
-    : cfg_(config), rr_(config.rr_entries, 0),
-      scores_(config.offsets.size(), 0)
+    : cfg_(config), rr_mask_(pow2_mask(config.rr_entries)),
+      rr_(config.rr_entries, 0), scores_(config.offsets.size(), 0)
 {
+}
+
+std::size_t
+Bop::rr_index(Addr line) const
+{
+    const std::uint64_t h = mix64(line);
+    // LINT_HOT_OK: non-pow2 fallback; shipped configs take the mask
+    return rr_mask_ != 0 ? h & rr_mask_ : h % rr_.size();
 }
 
 bool
 Bop::rr_contains(Addr line) const
 {
-    return rr_[mix64(line) % rr_.size()] == line;
+    return rr_[rr_index(line)] == line;
 }
 
 void
 Bop::rr_insert(Addr line)
 {
-    rr_[mix64(line) % rr_.size()] = line;
+    rr_[rr_index(line)] = line;
 }
 
 void

@@ -47,11 +47,13 @@ class Bop : public Prefetcher
     void restore_state(SnapshotReader &r) override;
 
   private:
+    std::size_t rr_index(Addr line) const;
     bool rr_contains(Addr line) const;
     void rr_insert(Addr line);
     void end_phase();
 
     BopConfig cfg_;  // LINT_SNAPSHOT_OK: config
+    std::uint64_t rr_mask_ = 0;  // LINT_SNAPSHOT_OK: config (rule L19)
     std::vector<Addr> rr_;       //!< line addresses (0 = empty)
     std::vector<int> scores_;
     unsigned test_index_ = 0;

@@ -31,7 +31,10 @@ emit(std::vector<PrefetchRequest> &out, Addr line, std::int64_t delta,
 }  // namespace
 
 Ipcp::Ipcp(const IpcpConfig &config)
-    : cfg_(config), ips_(config.ip_entries), cspt_(config.cspt_entries),
+    : cfg_(config), region_mask_(pow2_mask(config.region_lines)),
+      ip_mask_(pow2_mask(config.ip_entries)),
+      cspt_mask_(pow2_mask(config.cspt_entries)),
+      ips_(config.ip_entries), cspt_(config.cspt_entries),
       regions_(config.rst_entries)
 {
 }
@@ -76,8 +79,10 @@ Ipcp::on_access(const PrefetchContext &ctx,
 
     // --- Region stream tracking (GS class) ---------------------------
     Region *region = find_region(line, true);
-    const unsigned line_in_region =
-        static_cast<unsigned>(line % cfg_.region_lines);
+    // LINT_HOT_OK: non-pow2 fallback; shipped configs take the mask
+    const unsigned line_in_region = static_cast<unsigned>(
+        region_mask_ != 0 ? line & region_mask_
+                          : line % cfg_.region_lines);
     if ((region->touched & (std::uint64_t{1} << line_in_region)) == 0) {
         region->touched |= std::uint64_t{1} << line_in_region;
         if (++region->count >= cfg_.dense_threshold) {
@@ -87,7 +92,9 @@ Ipcp::on_access(const PrefetchContext &ctx,
 
     // --- IP table -----------------------------------------------------
     const std::uint64_t h = mix64(ctx.pc);
-    IpEntry &ip = ips_[h % cfg_.ip_entries];
+    // LINT_HOT_OK: non-pow2 fallback; shipped configs take the mask
+    IpEntry &ip =
+        ips_[ip_mask_ != 0 ? h & ip_mask_ : h % cfg_.ip_entries];
     const std::uint16_t tag = static_cast<std::uint16_t>(h >> 32);
     if (!ip.valid || ip.tag != tag) {
         ip = IpEntry{};
@@ -117,7 +124,10 @@ Ipcp::on_access(const PrefetchContext &ctx,
     }
 
     // --- Train CPLX (stride signature -> next stride) -------------------
-    CsptEntry &pred = cspt_[ip.signature % cfg_.cspt_entries];
+    // LINT_HOT_OK: non-pow2 fallback; shipped configs take the mask
+    CsptEntry &pred =
+        cspt_[cspt_mask_ != 0 ? ip.signature & cspt_mask_
+                              : ip.signature % cfg_.cspt_entries];
     if (stride != 0) {
         if (pred.stride == stride) {
             pred.conf.increment();
@@ -154,7 +164,10 @@ Ipcp::on_access(const PrefetchContext &ctx,
     std::uint16_t sig = ip.signature;
     Addr cur = line;
     for (unsigned d = 0; d < cfg_.cplx_degree; ++d) {
-        const CsptEntry &p = cspt_[sig % cfg_.cspt_entries];
+        // LINT_HOT_OK: non-pow2 fallback; see the training lookup
+        const CsptEntry &p =
+            cspt_[cspt_mask_ != 0 ? sig & cspt_mask_
+                                  : sig % cfg_.cspt_entries];
         if (p.conf.value() < 2 || p.stride == 0) {
             break;
         }

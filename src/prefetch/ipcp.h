@@ -74,6 +74,10 @@ class Ipcp : public Prefetcher
     Region *find_region(Addr line, bool allocate);
 
     IpcpConfig cfg_;  // LINT_SNAPSHOT_OK: config
+    // Index masks, nonzero when the table size is pow2 (rule L19).
+    std::uint64_t region_mask_ = 0;  // LINT_SNAPSHOT_OK: config
+    std::uint64_t ip_mask_ = 0;      // LINT_SNAPSHOT_OK: config
+    std::uint64_t cspt_mask_ = 0;    // LINT_SNAPSHOT_OK: config
     std::vector<IpEntry> ips_;
     std::vector<CsptEntry> cspt_;
     std::vector<Region> regions_;

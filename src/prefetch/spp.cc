@@ -3,12 +3,15 @@
 
 #include <algorithm>
 
+#include "common/bitops.h"
 #include "common/hashing.h"
 
 namespace moka {
 
 Spp::Spp(const SppConfig &config)
-    : cfg_(config), st_(config.st_entries), pt_(config.pt_entries)
+    : cfg_(config), st_mask_(pow2_mask(config.st_entries)),
+      pt_mask_(pow2_mask(config.pt_entries)), st_(config.st_entries),
+      pt_(config.pt_entries)
 {
     for (PtEntry &e : pt_) {
         e.slots.resize(cfg_.deltas_per_sig);
@@ -30,13 +33,17 @@ Spp::on_access(const PrefetchContext &ctx,
         static_cast<std::int32_t>(line_in_page(ctx.vaddr) & (kBlocksPerPage - 1));
 
     // --- Signature table lookup (set = hashed page) -------------------
-    StEntry &e = st_[mix64(page) % st_.size()];
+    const std::uint64_t ph = mix64(page);
+    // LINT_HOT_OK: non-pow2 fallback; shipped configs take the mask
+    StEntry &e = st_[st_mask_ != 0 ? ph & st_mask_ : ph % st_.size()];
     std::uint16_t sig = 0;
     if (e.valid && e.page_tag == page) {
         const std::int32_t delta = offset - e.last_offset;
         if (delta != 0) {
             // Train the pattern table for the *previous* signature.
-            PtEntry &p = pt_[e.signature % pt_.size()];
+            // LINT_HOT_OK: non-pow2 fallback; see the st_ lookup
+            PtEntry &p = pt_[pt_mask_ != 0 ? e.signature & pt_mask_
+                                           : e.signature % pt_.size()];
             DeltaSlot *slot = nullptr;
             for (DeltaSlot &s : p.slots) {
                 if (s.delta == delta && s.count > 0) {
@@ -79,7 +86,9 @@ Spp::on_access(const PrefetchContext &ctx,
     std::int32_t cur = offset;
     std::uint16_t s = sig;
     for (unsigned depth = 0; depth < cfg_.max_depth; ++depth) {
-        const PtEntry &p = pt_[s % pt_.size()];
+        // LINT_HOT_OK: non-pow2 fallback; see the st_ lookup
+        const PtEntry &p =
+            pt_[pt_mask_ != 0 ? s & pt_mask_ : s % pt_.size()];
         const DeltaSlot *best = nullptr;
         for (const DeltaSlot &slot : p.slots) {
             if (slot.count > 0 &&

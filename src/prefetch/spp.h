@@ -65,6 +65,8 @@ class Spp : public Prefetcher
     static std::uint16_t advance_sig(std::uint16_t sig, std::int32_t delta);
 
     SppConfig cfg_;  // LINT_SNAPSHOT_OK: config
+    std::uint64_t st_mask_ = 0;  // LINT_SNAPSHOT_OK: config (rule L19)
+    std::uint64_t pt_mask_ = 0;  // LINT_SNAPSHOT_OK: config (rule L19)
     std::vector<StEntry> st_;
     std::vector<PtEntry> pt_;
     std::uint64_t lru_stamp_ = 0;

@@ -1,12 +1,14 @@
 #include "prefetch/stride.h"
 #include "snapshot/snapshot.h"
 
+#include "common/bitops.h"
 #include "common/hashing.h"
 
 namespace moka {
 
 StridePrefetcher::StridePrefetcher(const StridePrefetcherConfig &config)
-    : cfg_(config), table_(config.entries)
+    : cfg_(config), table_mask_(pow2_mask(config.entries)),
+      table_(config.entries)
 {
 }
 
@@ -16,7 +18,9 @@ StridePrefetcher::on_access(const PrefetchContext &ctx,
 {
     const Addr line = block_number(ctx.vaddr);
     const std::uint64_t h = mix64(ctx.pc);
-    Entry &e = table_[h % table_.size()];
+    // LINT_HOT_OK: non-pow2 fallback; shipped configs take the mask
+    Entry &e =
+        table_[table_mask_ != 0 ? h & table_mask_ : h % table_.size()];
     const std::uint16_t tag = static_cast<std::uint16_t>(h >> 40);
 
     if (!e.valid || e.tag != tag) {

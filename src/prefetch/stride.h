@@ -47,6 +47,7 @@ class StridePrefetcher : public Prefetcher
     };
 
     StridePrefetcherConfig cfg_;  // LINT_SNAPSHOT_OK: config
+    std::uint64_t table_mask_ = 0;  // LINT_SNAPSHOT_OK: config (rule L19)
     std::vector<Entry> table_;
     std::string name_ = "stride";  // LINT_SNAPSHOT_OK: constant identifier
 };

@@ -530,10 +530,10 @@ void
 Machine::run(InstCount insts_per_core, RunTickHook *hook)
 {
     std::vector<InstCount> &target = run_target_;
-    std::vector<bool> &crossed = run_crossed_;
+    std::vector<std::uint8_t> &crossed = run_crossed_;
     for (std::size_t i = 0; i < cores_.size(); ++i) {
         target[i] = cores_[i]->retired() + insts_per_core;
-        crossed[i] = false;
+        crossed[i] = 0;
     }
     std::size_t remaining = cores_.size();
     while (remaining > 0) {
@@ -556,8 +556,9 @@ Machine::run(InstCount insts_per_core, RunTickHook *hook)
             // runs, and hooks guard their own slow paths (rule L12).
             hook->on_tick(steps_);
         }
-        if (!crossed[pick] && cores_[pick]->retired() >= target[pick]) {
-            crossed[pick] = true;
+        if (crossed[pick] == 0 &&
+            cores_[pick]->retired() >= target[pick]) {
+            crossed[pick] = 1;
             at_budget_[pick] = cores_[pick]->metrics();
             --remaining;
         }
@@ -875,9 +876,8 @@ CoreComplex::restore_state(SnapshotReader &r)
     // Fast-forward the fresh workload to the snapshot position:
     // step() consumes exactly one workload instruction per
     // retirement, so the retired count IS the replay position.
-    for (InstCount i = 0; i < core_.retired(); ++i) {
-        (void)workload_->next();
-    }
+    // Seekable workloads (trace files) re-position in O(1).
+    workload_->skip(core_.retired());
 }
 
 std::string

@@ -388,7 +388,10 @@ class Machine
     std::vector<RunMetrics> at_budget_;  //!< metrics at own crossing
     //! run() scratch, sized once at construction (rule L10)
     std::vector<InstCount> run_target_;
-    std::vector<bool> run_crossed_;
+    // uint8_t, not the bit-packed vector<bool>: the run loop reads
+    // this per step and the proxy-object bit math costs more than the
+    // byte it saves (rule L19)
+    std::vector<std::uint8_t> run_crossed_;
     std::uint64_t steps_ = 0;            //!< lifetime step count (hooks)
 };
 

@@ -24,7 +24,11 @@ class StreamKernel : public AccessKernel
     next(Rng &rng) override
     {
         const unsigned s = next_stream_;
-        next_stream_ = (next_stream_ + 1) % p_.streams;
+        // Compare-wrap, not %: runs on every generated access
+        // (rule L19).
+        if (++next_stream_ == p_.streams) {
+            next_stream_ = 0;
+        }
         const Addr per_stream = p_.footprint / p_.streams;
         const Addr lo = p_.base + s * per_stream;
         Addr a = cursors_[s];
@@ -54,7 +58,9 @@ class TileKernel : public AccessKernel
         col_ += p_.stride;
         if (col_ >= p_.row_bytes) {
             col_ = 0;
-            row_ = (row_ + 1) % p_.rows;
+            if (++row_ == p_.rows) {  // compare-wrap (rule L19)
+                row_ = 0;
+            }
         }
         return {a, 0x5000, rng.chance(p_.store_frac)};
     }
@@ -90,6 +96,9 @@ class CsrGraphKernel : public AccessKernel
             degree_left_ = 1 + static_cast<unsigned>(
                 mix64(vertex_ * 0x9E3779B97F4A7C15ull) %
                 (2 * p_.avg_degree));
+            // LINT_HOT_OK: semantic range reduction of a hash onto
+            // the edge array, not table indexing -- the footprint is
+            // not pow2 and the modulo defines the workload.
             edge_cursor_ = edges_base_ +
                 (mix64(vertex_) % (p_.vertices * p_.avg_degree)) * 8;
             state_ = State::kEdges;
@@ -100,7 +109,9 @@ class CsrGraphKernel : public AccessKernel
             edge_cursor_ += 8;
             pending_gather_ = rng.chance(p_.value_gather_frac);
             if (--degree_left_ == 0) {
-                vertex_ = (vertex_ + 1) % p_.vertices;
+                if (++vertex_ == p_.vertices) {  // compare-wrap (rule L19)
+                    vertex_ = 0;
+                }
                 state_ = pending_gather_ ? State::kGather : State::kOffset;
             } else if (pending_gather_) {
                 state_ = State::kGather;
@@ -109,6 +120,8 @@ class CsrGraphKernel : public AccessKernel
           }
           case State::kGather:
           default: {
+            // LINT_HOT_OK: semantic range reduction of the random
+            // gather target; vertices is not pow2 in general.
             const Addr a = values_base_ +
                 (rng.next() % p_.vertices) * kBlockSize;
             state_ = (degree_left_ == 0) ? State::kOffset : State::kEdges;
@@ -172,8 +185,12 @@ class PointerChaseKernel : public AccessKernel
     next(Rng & /*rng*/) override
     {
         const unsigned c = next_chain_;
-        next_chain_ = (next_chain_ + 1) % p_.chains;
+        if (++next_chain_ == p_.chains) {  // compare-wrap (rule L19)
+            next_chain_ = 0;
+        }
         const Addr blocks = p_.footprint / kBlockSize;
+        // LINT_HOT_OK: semantic range reduction of the chase hash
+        // onto the footprint, which is not pow2 in general.
         const Addr a = p_.base + (cursors_[c] % blocks) * kBlockSize;
         // Next hop depends on the current one: a data-dependent chain.
         cursors_[c] = mix64(cursors_[c]);
@@ -270,7 +287,9 @@ class StencilKernel : public AccessKernel
             point_ = 0;
             if (++col_ >= p_.row_bytes / p_.elem_bytes - 1) {
                 col_ = 1;
-                row_ = (row_ + 1) % p_.rows;
+                if (++row_ == p_.rows) {  // compare-wrap (rule L19)
+                    row_ = 0;
+                }
                 if (row_ == 0) {
                     row_ = 1;
                 }
@@ -309,6 +328,8 @@ class ZipfKernel : public AccessKernel
         }
         // Scramble ranks across the footprint so the hot set is not
         // spatially contiguous (defeats trivial spatial prefetching).
+        // LINT_HOT_OK: semantic range reduction of the scramble hash;
+        // the Zipf footprint is not pow2 in general.
         block = mix64(block) % blocks_;
         return {p_.base + block * kBlockSize, 0xD800,
                 rng.chance(p_.store_frac)};
@@ -330,7 +351,12 @@ class DualStrideKernel : public AccessKernel
     {
         if (streaming_) {
             const Addr a = p_.base + stream_cursor_;
-            stream_cursor_ = (stream_cursor_ + kBlockSize) % p_.footprint;
+            // cursor < footprint, so one compare-subtract wraps
+            // exactly like the modulo (rule L19).
+            stream_cursor_ += kBlockSize;
+            if (stream_cursor_ >= p_.footprint) {
+                stream_cursor_ -= p_.footprint;
+            }
             if (++burst_count_ >= p_.stream_burst) {
                 burst_count_ = 0;
                 streaming_ = false;
@@ -385,7 +411,9 @@ class PhaseMixKernel : public AccessKernel
     {
         if (++count_ >= phase_len_) {
             count_ = 0;
-            active_ = (active_ + 1) % children_.size();
+            if (++active_ == children_.size()) {  // compare-wrap (rule L19)
+                active_ = 0;
+            }
         }
         return children_[active_]->next(rng);
     }
@@ -425,6 +453,8 @@ class BurstyKernel : public AccessKernel
         }
         chase_ = mix64(chase_ + 1);
         const Addr blocks = p_.footprint / kBlockSize;
+        // LINT_HOT_OK: semantic range reduction of the chase hash;
+        // the footprint is not pow2 in general.
         return {p_.base + (chase_ % blocks) * kBlockSize, 0xA010, false, true};
     }
 
@@ -464,6 +494,9 @@ class SyntheticWorkload : public Workload
             } else {
                 // Loop branch: taken (period-1)/period of the time.
                 inst.pc = kBranchBase;
+                // LINT_HOT_OK: loop_iter_ is a monotonic counter in
+                // the snapshot format; wrapping it would change the
+                // serialized state.
                 inst.taken = (++loop_iter_ % p_.loop_period) != 0;
             }
             inst.target = inst.taken ? kLoopTop : inst.pc + 4;

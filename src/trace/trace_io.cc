@@ -1,5 +1,6 @@
 #include "trace/trace_io.h"
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <stdexcept>
@@ -68,8 +69,15 @@ to_string(TraceIoStatus status)
     return "empty";
 }
 
-TraceFileWorkload::TraceFileWorkload(const std::string &path)
-    : name_("trace:" + path)
+namespace {
+
+constexpr long kHeaderBytes = 16;  //!< magic + u64 record count
+
+}  // namespace
+
+TraceFileWorkload::TraceFileWorkload(const std::string &path,
+                                     std::size_t block_records)
+    : name_("trace:" + path), path_(path)
 {
     File f(std::fopen(path.c_str(), "rb"));
     if (f.fp == nullptr) {
@@ -77,7 +85,6 @@ TraceFileWorkload::TraceFileWorkload(const std::string &path)
                            "cannot open trace " + path);
     }
     char magic[8];
-    std::uint64_t count = 0;
     if (std::fread(magic, sizeof(magic), 1, f.fp) != 1) {
         throw TraceIoError(TraceIoStatus::kTruncated,
                            "truncated header (no magic) in " + path);
@@ -87,40 +94,96 @@ TraceFileWorkload::TraceFileWorkload(const std::string &path)
                            "bad magic in " + path +
                                " (not a MOKATRC1 trace)");
     }
-    if (std::fread(&count, sizeof(count), 1, f.fp) != 1) {
+    if (std::fread(&count_, sizeof(count_), 1, f.fp) != 1) {
         throw TraceIoError(TraceIoStatus::kTruncated,
                            "truncated header (no count) in " + path);
     }
     // A flipped count byte must not turn into a terabyte allocation.
     constexpr std::uint64_t kMaxRecords = std::uint64_t{1} << 32;
-    if (count > kMaxRecords) {
+    if (count_ > kMaxRecords) {
         throw TraceIoError(TraceIoStatus::kBadHeader,
                            "implausible record count " +
-                               std::to_string(count) + " in " + path);
+                               std::to_string(count_) + " in " + path);
     }
-    records_.resize(count);
-    if (count > 0) {
-        const std::size_t got = std::fread(
-            records_.data(), sizeof(TraceRecord), count, f.fp);
-        if (got != count) {
-            throw TraceIoError(
-                TraceIoStatus::kTruncated,
-                "truncated trace " + path + ": header promises " +
-                    std::to_string(count) + " records, found " +
-                    std::to_string(got));
-        }
+    // The record stream is validated against the on-disk size up
+    // front, so the block decoder never discovers truncation
+    // mid-simulation.
+    if (std::fseek(f.fp, 0, SEEK_END) != 0) {
+        throw TraceIoError(TraceIoStatus::kTruncated,
+                           "cannot size trace " + path);
     }
-    if (records_.empty()) {
+    const long size = std::ftell(f.fp);
+    const std::uint64_t found =
+        size <= kHeaderBytes
+            ? 0
+            : static_cast<std::uint64_t>(size - kHeaderBytes) /
+                  sizeof(TraceRecord);
+    if (found < count_) {
+        throw TraceIoError(
+            TraceIoStatus::kTruncated,
+            "truncated trace " + path + ": header promises " +
+                std::to_string(count_) + " records, found " +
+                std::to_string(found));
+    }
+    if (count_ == 0) {
         throw TraceIoError(TraceIoStatus::kEmpty,
                            "empty trace " + path);
     }
+    if (std::fseek(f.fp, kHeaderBytes, SEEK_SET) != 0) {
+        throw TraceIoError(TraceIoStatus::kTruncated,
+                           "cannot seek trace " + path);
+    }
+    const std::uint64_t cap =
+        std::max<std::uint64_t>(1, std::min<std::uint64_t>(
+                                       block_records, count_));
+    ring_.resize(static_cast<std::size_t>(cap));
+    // Adopt the handle: replay streams from disk for the whole run.
+    file_ = f.fp;
+    f.fp = nullptr;
+}
+
+TraceFileWorkload::~TraceFileWorkload()
+{
+    if (file_ != nullptr) {
+        std::fclose(file_);
+    }
+}
+
+void
+TraceFileWorkload::refill()
+{
+    const std::uint64_t remaining = count_ - file_next_;
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(ring_.size(), remaining));
+    // LINT_HOT_OK: one fread per ring_ records, not per instruction —
+    // this IS the batching that keeps the per-next() path lean
+    const std::size_t got =
+        std::fread(ring_.data(), sizeof(TraceRecord), n, file_);
+    if (got != n) {
+        throw TraceIoError(TraceIoStatus::kTruncated,
+                           "trace " + path_ + " shrank mid-replay");
+    }
+    file_next_ += n;
+    if (file_next_ == count_) {
+        // End of pass: loop back to the first record.
+        if (std::fseek(file_, kHeaderBytes, SEEK_SET) != 0) {
+            throw TraceIoError(TraceIoStatus::kTruncated,
+                               "cannot rewind trace " + path_);
+        }
+        file_next_ = 0;
+    }
+    ring_pos_ = 0;
+    ring_filled_ = n;
 }
 
 TraceInst
 TraceFileWorkload::next()
 {
-    const TraceRecord &rec = records_[cursor_];
-    cursor_ = (cursor_ + 1) % records_.size();
+    if (ring_pos_ == ring_filled_) {
+        refill();
+    }
+    const TraceRecord &rec = ring_[ring_pos_++];
+    cursor_ = cursor_ + 1 == count_ ? 0 : cursor_ + 1;
     TraceInst inst;
     inst.pc = rec.pc;
     inst.mem_addr = VirtAddr{rec.mem_addr};
@@ -129,6 +192,22 @@ TraceFileWorkload::next()
     inst.taken = rec.taken != 0;
     inst.dep_load = rec.dep_load != 0;
     return inst;
+}
+
+void
+TraceFileWorkload::skip(std::uint64_t n)
+{
+    cursor_ = (cursor_ + n) % count_;
+    ring_pos_ = 0;
+    ring_filled_ = 0;
+    file_next_ = cursor_;
+    const long offset =
+        kHeaderBytes +
+        static_cast<long>(cursor_ * sizeof(TraceRecord));
+    if (std::fseek(file_, offset, SEEK_SET) != 0) {
+        throw TraceIoError(TraceIoStatus::kTruncated,
+                           "cannot seek trace " + path_);
+    }
 }
 
 TraceOpenResult

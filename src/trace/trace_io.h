@@ -75,25 +75,54 @@ bool record_trace(const std::string &path, Workload &workload,
 /**
  * A Workload backed by a trace file; loops back to the start when the
  * trace is exhausted (mirrors how SimPoint regions are replayed).
- * The whole trace is held in memory (32B/instruction).
+ *
+ * Decoding is batched: the file stays open and records stream through
+ * a reusable fixed-size ring, fread'ing a block at a time instead of
+ * one record per next() — or the whole trace up front. The record
+ * stream is validated against the on-disk size at construction, so a
+ * truncated file still fails fast with the classified taxonomy.
  */
 class TraceFileWorkload : public Workload
 {
   public:
-    /** Throws TraceIoError (a std::runtime_error) on malformed files. */
-    explicit TraceFileWorkload(const std::string &path);
+    //! records per decoded block (128KB of ring at 32B/record)
+    static constexpr std::size_t kDefaultBlockRecords = 4096;
+
+    /**
+     * Throws TraceIoError (a std::runtime_error) on malformed files.
+     *
+     * @param block_records ring capacity; tests shrink it to cover
+     *                      wrap/short-block paths cheaply
+     */
+    explicit TraceFileWorkload(
+        const std::string &path,
+        std::size_t block_records = kDefaultBlockRecords);
+    ~TraceFileWorkload() override;
+    TraceFileWorkload(const TraceFileWorkload &) = delete;
+    TraceFileWorkload &operator=(const TraceFileWorkload &) = delete;
 
     TraceInst next() override;
+
+    /** O(1) re-position: one fseek instead of n decodes. */
+    void skip(std::uint64_t n) override;
 
     const std::string &name() const override { return name_; }
 
     /** Instructions in one pass of the trace. */
-    std::uint64_t length() const { return records_.size(); }
+    std::uint64_t length() const { return count_; }
 
   private:
+    void refill();
+
     std::string name_;
-    std::vector<TraceRecord> records_;
-    std::size_t cursor_ = 0;
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    std::uint64_t count_ = 0;      //!< records in one trace pass
+    std::uint64_t cursor_ = 0;     //!< logical index of the next record
+    std::uint64_t file_next_ = 0;  //!< next record the file will read
+    std::vector<TraceRecord> ring_;
+    std::size_t ring_pos_ = 0;     //!< next undecoded ring slot
+    std::size_t ring_filled_ = 0;  //!< valid records in the ring
 };
 
 /** Outcome of open_trace_checked: workload or classified failure. */

@@ -51,6 +51,19 @@ class Workload
     /** Produce the next instruction of the stream. */
     virtual TraceInst next() = 0;
 
+    /**
+     * Advance the stream by @p n instructions, discarding them. The
+     * default decodes and drops; seekable sources (trace files)
+     * override with O(1) re-positioning — snapshot restore uses this
+     * to fast-forward to the retired-instruction count.
+     */
+    virtual void skip(std::uint64_t n)
+    {
+        for (std::uint64_t i = 0; i < n; ++i) {
+            (void)next();
+        }
+    }
+
     /** Human-readable instance name (e.g. "gap.bfs.0"). */
     virtual const std::string &name() const = 0;
 };

@@ -16,38 +16,41 @@ Tlb::Tlb(const TlbConfig &config)
                 "TLB sets must be powers of two");
 }
 
-Tlb::Entry *
-Tlb::find(std::vector<Entry> &arr, std::uint32_t sets, std::uint32_t ways,
-          Addr vpn)
+std::size_t
+Tlb::find(const EntryArray &arr, std::uint32_t sets, std::uint32_t ways,
+          Addr vpn) const
 {
-    Entry *row = &arr[static_cast<std::size_t>(vpn & (sets - 1)) * ways];
+    const Addr key = vpn | kValidVpnBit;
+    const std::size_t base =
+        static_cast<std::size_t>(vpn & (sets - 1)) * ways;
+    const Addr *row = &arr.vpn[base];
     for (std::uint32_t w = 0; w < ways; ++w) {
-        if (row[w].valid && row[w].vpn == vpn) {
-            return &row[w];
+        if (row[w] == key) {
+            return base + w;
         }
     }
-    return nullptr;
+    return kNoSlot;
 }
 
 void
-Tlb::install(std::vector<Entry> &arr, std::uint32_t sets,
-             std::uint32_t ways, Addr vpn, Addr page_base)
+Tlb::install(EntryArray &arr, std::uint32_t sets, std::uint32_t ways,
+             Addr vpn, Addr page_base)
 {
-    Entry *row = &arr[static_cast<std::size_t>(vpn & (sets - 1)) * ways];
-    Entry *victim = &row[0];
+    const std::size_t base =
+        static_cast<std::size_t>(vpn & (sets - 1)) * ways;
+    std::size_t victim = base;
     for (std::uint32_t w = 0; w < ways; ++w) {
-        if (!row[w].valid) {
-            victim = &row[w];
+        if ((arr.vpn[base + w] & kValidVpnBit) == 0) {
+            victim = base + w;
             break;
         }
-        if (row[w].lru < victim->lru) {
-            victim = &row[w];
+        if (arr.lru[base + w] < arr.lru[victim]) {
+            victim = base + w;
         }
     }
-    victim->valid = true;
-    victim->vpn = vpn;
-    victim->page_base = page_base;
-    victim->lru = ++lru_stamp_;
+    arr.vpn[victim] = vpn | kValidVpnBit;
+    arr.page_base[victim] = page_base;
+    arr.lru[victim] = ++lru_stamp_;
 }
 
 Tlb::Result
@@ -61,19 +64,22 @@ Tlb::lookup(VirtAddr vaddr, Cycle now, bool demand)
 
     // Entries store raw VPN/page-base bits; the TLB is a whitelisted
     // translation seam (rule L18) so the unwrap happens here, once.
-    if (Entry *e = find(small_, cfg_.sets, cfg_.ways,
-                        page_number(vaddr.raw()))) {
-        e->lru = ++lru_stamp_;
+    if (const std::size_t slot = find(small_, cfg_.sets, cfg_.ways,
+                                      page_number(vaddr.raw()));
+        slot != kNoSlot) {
+        small_.lru[slot] = ++lru_stamp_;
         r.hit = true;
-        r.page_base = PhysAddr{e->page_base};
+        r.page_base = PhysAddr{small_.page_base[slot]};
         r.large = false;
         return r;
     }
-    if (Entry *e = find(large_, cfg_.large_sets, cfg_.large_ways,
-                        large_page_number(vaddr.raw()))) {
-        e->lru = ++lru_stamp_;
+    if (const std::size_t slot =
+            find(large_, cfg_.large_sets, cfg_.large_ways,
+                 large_page_number(vaddr.raw()));
+        slot != kNoSlot) {
+        large_.lru[slot] = ++lru_stamp_;
         r.hit = true;
-        r.page_base = PhysAddr{e->page_base};
+        r.page_base = PhysAddr{large_.page_base[slot]};
         r.large = true;
         return r;
     }
@@ -101,12 +107,14 @@ Tlb::fill(VirtAddr vaddr, PhysAddr page_base, bool large,
 void
 Tlb::save_state(SnapshotWriter &w) const
 {
-    const auto put_arr = [&w](const std::vector<Entry> &arr) {
-        for (const Entry &e : arr) {
-            w.put_u64(e.vpn);
-            w.put_u64(e.page_base);
-            w.put_bool(e.valid);
-            w.put_u64(e.lru);
+    // Byte format is unchanged from the array-of-structs layout: the
+    // embedded valid bit decomposes back into the (vpn, valid) pair.
+    const auto put_arr = [&w](const EntryArray &arr) {
+        for (std::size_t i = 0; i < arr.vpn.size(); ++i) {
+            w.put_u64(arr.vpn[i] & ~kValidVpnBit);
+            w.put_u64(arr.page_base[i]);
+            w.put_bool((arr.vpn[i] & kValidVpnBit) != 0);
+            w.put_u64(arr.lru[i]);
         }
     };
     put_arr(small_);
@@ -120,12 +128,12 @@ Tlb::save_state(SnapshotWriter &w) const
 void
 Tlb::restore_state(SnapshotReader &r)
 {
-    const auto get_arr = [&r](std::vector<Entry> &arr) {
-        for (Entry &e : arr) {
-            e.vpn = r.get_u64();
-            e.page_base = r.get_u64();
-            e.valid = r.get_bool();
-            e.lru = r.get_u64();
+    const auto get_arr = [&r](EntryArray &arr) {
+        for (std::size_t i = 0; i < arr.vpn.size(); ++i) {
+            const Addr vpn = r.get_u64();
+            arr.page_base[i] = r.get_u64();
+            arr.vpn[i] = r.get_bool() ? (vpn | kValidVpnBit) : vpn;
+            arr.lru[i] = r.get_u64();
         }
     };
     get_arr(small_);

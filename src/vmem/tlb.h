@@ -88,22 +88,34 @@ class Tlb
   private:
     friend struct AuditAccess;
 
-    struct Entry
+    // Structure-of-arrays entry store, mirroring the cache layout:
+    // the lookup scan reads only the vpn array, whose bit 63 carries
+    // the valid flag (VPNs are at most 52 bits), so each way costs a
+    // single compare against vpn|kValidVpnBit. Page bases and LRU
+    // stamps sit in parallel arrays touched only on hit/install.
+    static constexpr Addr kValidVpnBit = Addr{1} << 63;
+    static constexpr std::size_t kNoSlot = ~std::size_t{0};
+
+    struct EntryArray
     {
-        Addr vpn = 0;
-        Addr page_base = 0;
-        bool valid = false;
-        std::uint64_t lru = 0;
+        std::vector<Addr> vpn;        //!< bit 63 = valid
+        std::vector<Addr> page_base;  //!< parallel to vpn
+        std::vector<std::uint64_t> lru;
+
+        explicit EntryArray(std::size_t slots)
+            : vpn(slots, 0), page_base(slots, 0), lru(slots, 0)
+        {
+        }
     };
 
-    Entry *find(std::vector<Entry> &arr, std::uint32_t sets,
-                std::uint32_t ways, Addr vpn);
-    void install(std::vector<Entry> &arr, std::uint32_t sets,
+    std::size_t find(const EntryArray &arr, std::uint32_t sets,
+                     std::uint32_t ways, Addr vpn) const;
+    void install(EntryArray &arr, std::uint32_t sets,
                  std::uint32_t ways, Addr vpn, Addr page_base);
 
     TlbConfig cfg_;  // LINT_SNAPSHOT_OK: config
-    std::vector<Entry> small_;
-    std::vector<Entry> large_;
+    EntryArray small_;
+    EntryArray large_;
     std::uint64_t lru_stamp_ = 0;
     AccessStats demand_;
     AccessStats probe_;

@@ -215,8 +215,7 @@ TEST(AuditFilter, DetectsCorruptWeightThroughFullFilterAudit)
     audit::audit_filter(filter, clean);
     EXPECT_TRUE(clean.ok()) << clean.to_string();
 
-    AuditAccess::corrupt_weight(AuditAccess::filter_table(filter, 0), 0,
-                                -100);
+    AuditAccess::corrupt_filter_weight(filter, 0, 0, -100);
     AuditReport report;
     audit::audit_filter(filter, report);
     EXPECT_FALSE(report.ok());

@@ -181,6 +181,92 @@ TEST(TraceIoCorpus, BitFlippedBodyStillLoads)
     std::remove(path.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// Block decoder: the ring must be invisible — any ring size yields the
+// same stream, across wrap-around, a short final block, and skip().
+// ---------------------------------------------------------------------------
+
+TEST(TraceIoDecoder, TinyRingMatchesFullStreamAcrossWrap)
+{
+    const WorkloadSpec spec = seen_workloads().front();
+    const std::string path = temp_path("ringwrap");
+    WorkloadPtr source = make_workload(spec);
+    // 100 records with a 7-record ring: 15 blocks, the pass boundary
+    // lands mid-ring on later laps.
+    ASSERT_TRUE(record_trace(path, *source, 100));
+
+    TraceFileWorkload ringed(path, /*block_records=*/7);
+    TraceFileWorkload plain(path);
+    for (int i = 0; i < 350; ++i) {  // 3.5 passes
+        const TraceInst a = plain.next();
+        const TraceInst b = ringed.next();
+        ASSERT_EQ(a.pc, b.pc) << "instruction " << i;
+        ASSERT_EQ(a.mem_addr, b.mem_addr) << "instruction " << i;
+        ASSERT_EQ(static_cast<int>(a.op), static_cast<int>(b.op));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoDecoder, ShortFinalBlockServesExactly)
+{
+    const WorkloadSpec spec = seen_workloads().front();
+    const std::string path = temp_path("shortblock");
+    WorkloadPtr source = make_workload(spec);
+    // 10 records, ring of 8: the second block holds only 2 records and
+    // the decoder must wrap after them, not after a full ring.
+    ASSERT_TRUE(record_trace(path, *source, 10));
+
+    TraceFileWorkload trace(path, /*block_records=*/8);
+    std::vector<Addr> first_pass;
+    for (int i = 0; i < 10; ++i) {
+        first_pass.push_back(trace.next().pc);
+    }
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(trace.next().pc, first_pass[i]) << "lap 2, inst " << i;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoDecoder, SkipRepositionsMidBlock)
+{
+    const WorkloadSpec spec = seen_workloads().front();
+    const std::string path = temp_path("skipmid");
+    WorkloadPtr source = make_workload(spec);
+    ASSERT_TRUE(record_trace(path, *source, 100));
+
+    // Reference stream positions 0..: skip must land exactly where
+    // the equivalent number of next() calls would have.
+    TraceFileWorkload reference(path, /*block_records=*/16);
+    for (int i = 0; i < 37; ++i) {
+        (void)reference.next();
+    }
+    const Addr expect37 = reference.next().pc;
+
+    TraceFileWorkload seek(path, /*block_records=*/16);
+    (void)seek.next();  // consume into the first block, then skip
+    seek.skip(36);      // mid-block re-position to logical index 37
+    EXPECT_EQ(seek.next().pc, expect37);
+
+    // Skip across the wrap boundary: 38 served + 62 skipped = 100,
+    // which is the first record again.
+    TraceFileWorkload wrapseek(path, /*block_records=*/16);
+    const Addr first = wrapseek.next().pc;
+    wrapseek.skip(99);
+    EXPECT_EQ(wrapseek.next().pc, first);
+
+    // Default-skip (decode-and-drop) and seek-skip agree.
+    TraceFileWorkload a(path, /*block_records=*/16);
+    TraceFileWorkload b(path, /*block_records=*/16);
+    for (int i = 0; i < 53; ++i) {
+        (void)a.next();
+    }
+    b.skip(53);
+    for (int i = 0; i < 60; ++i) {
+        ASSERT_EQ(a.next().pc, b.next().pc) << "post-skip inst " << i;
+    }
+    std::remove(path.c_str());
+}
+
 TEST(TraceIo, LengthReported)
 {
     const WorkloadSpec spec = seen_workloads().front();

@@ -26,7 +26,21 @@ SCHEME=dripper
 WARMUP=200000
 INSTS=4000000
 REPS=3
-MAX_OVERHEAD_PCT=5
+
+# Gate thresholds come from the committed BENCH_*.json baselines at
+# the repo root -- one source of truth shared by CI and local runs.
+# An environment variable still overrides for experiments, and the
+# built-in default covers a baseline that has not been committed yet.
+# Read before any benchmark runs: OUT may be the committed file.
+REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
+json_field() { # args: file, key, default
+    local v
+    v=$(grep -o "\"$2\": *-\{0,1\}[0-9.]*" "$1" 2>/dev/null |
+        head -1 | sed 's/.*: *//')
+    echo "${v:-$3}"
+}
+MAX_OVERHEAD_PCT=${MAX_OVERHEAD_PCT:-$(json_field \
+    "$REPO_ROOT/BENCH_smoke.json" limit_pct 5)}
 
 # Wall-clock one run in nanoseconds; echoes the elapsed time.
 run_once() { # args: extra cli flags...
@@ -116,7 +130,8 @@ fi
 # means per-access work crept into the filter hot path.
 # ---------------------------------------------------------------------------
 HOTPATH_OUT=${HOTPATH_OUT:-BENCH_hotpath.json}
-MIN_RATIO_PCT=${MIN_RATIO_PCT:-60}
+MIN_RATIO_PCT=${MIN_RATIO_PCT:-$(json_field \
+    "$REPO_ROOT/BENCH_hotpath.json" min_ratio_pct 60)}
 
 echo "== hot-path bench: $WORKLOAD, $INSTS insts, best of $REPS =="
 dripper_ns=$(SCHEME=dripper best_of "hotpath-dripper") || exit 1
@@ -162,7 +177,8 @@ fi
 # hitting, or a fallback to cold warmups).
 # ---------------------------------------------------------------------------
 SNAPSHOT_OUT=${SNAPSHOT_OUT:-BENCH_snapshot.json}
-MIN_SNAPSHOT_SPEEDUP_X=${MIN_SNAPSHOT_SPEEDUP_X:-1.5}
+MIN_SNAPSHOT_SPEEDUP_X=${MIN_SNAPSHOT_SPEEDUP_X:-$(json_field \
+    "$REPO_ROOT/BENCH_snapshot.json" min_speedup_x 1.5)}
 SWEEP=${SWEEP:-$(dirname "$CLI")/sweep_tool}
 
 if [ ! -x "$SWEEP" ]; then

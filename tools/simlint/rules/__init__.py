@@ -18,4 +18,5 @@ from tools.simlint.rules import (  # noqa: F401
     l16_snapshot_complete,
     l17_page_geometry,
     l18_addr_escapes,
+    l19_hot_modulo,
 )
